@@ -1,0 +1,369 @@
+//! Streaming empirical-entropy estimation — the second downstream
+//! application the paper names (§1.2/§6; Chakrabarti, Cormode & McGregor,
+//! reference \[5\]), widely used for network anomaly detection \[10, 22\].
+//!
+//! The empirical entropy of a weighted stream is
+//! `H = Σᵢ (fᵢ/N) · log₂(N/fᵢ)`. Entropy collapses when traffic
+//! concentrates (DDoS source, worm scan) and spikes when it disperses, so
+//! tracking it online is a classic monitoring primitive.
+//!
+//! ## Estimator
+//!
+//! The CCM decomposition: heavy items dominate entropy error, and the
+//! frequent-items sketch estimates exactly those with certified accuracy;
+//! the tail is handled by position sampling.
+//!
+//! * **Heavy part** — every item tracked by the sketch contributes the
+//!   plug-in term `(lb/N)·log₂(N/lb)` from its certified lower bound
+//!   (lower bounds are mass-conserving: `Σ lb ≤ N`).
+//! * **Tail part** — a weighted reservoir (Efraimidis–Spirakis A-Res)
+//!   samples mass units uniformly; each slot tracks `R`, the item's mass
+//!   from the sampled unit to the present. For `g(f) = (f/N)·log₂(N/f)`,
+//!   `Y = N·(g(R) − g(R−1))` telescopes to `E[Y | unit ∉ tracked] =
+//!   (N/N_res)·Σ_{i∉tracked} g(fᵢ)` — the CCM unbiased estimator — so the
+//!   tail contributes `(N_res/N) · mean(Y over untracked slots)`.
+//!
+//! Accuracy is probabilistic over sampling; the tests validate it on
+//! uniform, degenerate, skewed, and shifting streams.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use streamfreq_core::FreqSketch;
+
+/// One reservoir slot: a sampled mass unit of `item`, with its A-Res key
+/// and the forward count `R` (mass of `item` from the sampled unit on).
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    item: u64,
+    /// A-Res key `u^{1/w}`; the reservoir keeps the largest keys.
+    key: f64,
+    /// Item mass observed from the sampled unit (inclusive) onward.
+    r: u64,
+}
+
+/// Streaming estimator of the empirical entropy of a weighted stream.
+///
+/// # Example
+///
+/// ```
+/// use streamfreq_apps::EntropyEstimator;
+///
+/// let mut h = EntropyEstimator::new(64, 256, 1);
+/// for item in 0..4u64 {
+///     h.update(item, 100); // uniform over 4 items → 2 bits
+/// }
+/// assert!((h.estimate() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EntropyEstimator {
+    sketch: FreqSketch,
+    reservoir: Vec<Slot>,
+    /// item → indices of reservoir slots holding it (kept exact).
+    slot_index: HashMap<u64, Vec<usize>>,
+    /// index of the minimum-key slot once the reservoir is full.
+    min_idx: usize,
+    reservoir_capacity: usize,
+    rng: StdRng,
+    stream_weight: u64,
+}
+
+impl EntropyEstimator {
+    /// Creates an estimator with `k` sketch counters and a weighted
+    /// reservoir of `reservoir_capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if either capacity is zero.
+    pub fn new(k: usize, reservoir_capacity: usize, seed: u64) -> Self {
+        assert!(reservoir_capacity > 0, "reservoir capacity must be positive");
+        Self {
+            sketch: FreqSketch::builder(k)
+                .seed(seed)
+                .build()
+                .expect("invalid k"),
+            reservoir: Vec::with_capacity(reservoir_capacity),
+            slot_index: HashMap::new(),
+            min_idx: 0,
+            reservoir_capacity,
+            rng: StdRng::seed_from_u64(seed ^ 0xE57A_0B1A),
+            stream_weight: 0,
+        }
+    }
+
+    /// Processes a weighted update.
+    pub fn update(&mut self, item: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.stream_weight += weight;
+        self.sketch.update(item, weight);
+        // Advance forward counts of existing slots holding this item.
+        if let Some(idxs) = self.slot_index.get(&item) {
+            for &i in idxs {
+                self.reservoir[i].r += weight;
+            }
+        }
+        // A-Res: key = U^(1/w); keep the reservoir_capacity largest keys.
+        let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let key = u.powf(1.0 / weight as f64);
+        // The sampled unit is uniform within this update's mass, so the
+        // forward count starts uniform on 1..=weight.
+        let r0 = self.rng.gen_range(1..=weight);
+        if self.reservoir.len() < self.reservoir_capacity {
+            let idx = self.reservoir.len();
+            self.reservoir.push(Slot { item, key, r: r0 });
+            self.slot_index.entry(item).or_default().push(idx);
+            if self.reservoir.len() == self.reservoir_capacity {
+                self.recompute_min();
+            }
+        } else if key > self.reservoir[self.min_idx].key {
+            let evicted = self.reservoir[self.min_idx];
+            let idxs = self
+                .slot_index
+                .get_mut(&evicted.item)
+                .expect("evicted item must be indexed");
+            idxs.retain(|&i| i != self.min_idx);
+            if idxs.is_empty() {
+                self.slot_index.remove(&evicted.item);
+            }
+            self.reservoir[self.min_idx] = Slot { item, key, r: r0 };
+            self.slot_index.entry(item).or_default().push(self.min_idx);
+            self.recompute_min();
+        }
+    }
+
+    fn recompute_min(&mut self) {
+        let mut min = 0usize;
+        for i in 1..self.reservoir.len() {
+            if self.reservoir[i].key < self.reservoir[min].key {
+                min = i;
+            }
+        }
+        self.min_idx = min;
+    }
+
+    /// Total weighted stream length processed.
+    pub fn stream_weight(&self) -> u64 {
+        self.stream_weight
+    }
+
+    /// Access to the inner frequent-items sketch (for diagnostics or
+    /// combined queries).
+    pub fn sketch(&self) -> &FreqSketch {
+        &self.sketch
+    }
+
+    /// Estimates the empirical entropy `H = Σ (fᵢ/N) log₂(N/fᵢ)` in bits.
+    ///
+    /// Exact when every distinct item fits in the sketch; otherwise the
+    /// heavy part is sketch-accurate and the tail uses the CCM sampled
+    /// estimator (unbiased; variance shrinks with the reservoir size).
+    pub fn estimate(&self) -> f64 {
+        let n = self.stream_weight;
+        if n == 0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let g = |f: u64| -> f64 {
+            if f == 0 {
+                0.0
+            } else {
+                (f as f64 / nf) * (nf / f as f64).log2()
+            }
+        };
+        // Heavy part: tracked items by certified lower bound.
+        let mut covered = 0u64;
+        let mut h = 0.0f64;
+        let tracked: Vec<(u64, u64)> = self.sketch.counters().collect();
+        let tracked_items: std::collections::HashSet<u64> =
+            tracked.iter().map(|&(i, _)| i).collect();
+        for &(_, lb) in &tracked {
+            h += g(lb);
+            covered += lb;
+        }
+        let residual = n.saturating_sub(covered);
+        if residual == 0 {
+            return h;
+        }
+        // Tail part: CCM estimator over untracked slots.
+        let mut y_sum = 0.0f64;
+        let mut y_count = 0usize;
+        for slot in &self.reservoir {
+            if tracked_items.contains(&slot.item) {
+                continue;
+            }
+            y_sum += nf * (g(slot.r) - g(slot.r - 1));
+            y_count += 1;
+        }
+        if y_count > 0 {
+            h += (residual as f64 / nf) * (y_sum / y_count as f64);
+        }
+        h
+    }
+}
+
+/// Exact empirical entropy of a materialized frequency vector (test and
+/// harness ground truth): `Σ (fᵢ/N) log₂(N/fᵢ)`.
+pub fn exact_entropy(freqs: &[u64]) -> f64 {
+    let n: u64 = freqs.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    freqs
+        .iter()
+        .filter(|&&f| f > 0)
+        .map(|&f| {
+            let p = f as f64 / nf;
+            p * (nf / f as f64).log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_entropy_known_values() {
+        assert_eq!(exact_entropy(&[]), 0.0);
+        assert_eq!(exact_entropy(&[100]), 0.0); // degenerate: H = 0
+        let h = exact_entropy(&[50, 50]);
+        assert!((h - 1.0).abs() < 1e-12, "fair coin must be 1 bit, got {h}");
+        let h4 = exact_entropy(&[25, 25, 25, 25]);
+        assert!((h4 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_stream_has_zero_entropy() {
+        let mut e = EntropyEstimator::new(16, 64, 1);
+        for _ in 0..1000 {
+            e.update(7, 13);
+        }
+        assert!(e.estimate().abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_uniform_stream_is_exact() {
+        // 8 items fit in the sketch: the estimate is the plug-in truth.
+        let mut e = EntropyEstimator::new(16, 64, 2);
+        for item in 0..8u64 {
+            e.update(item, 100);
+        }
+        let h = e.estimate();
+        assert!((h - 3.0).abs() < 1e-9, "uniform-8 is 3 bits, got {h}");
+    }
+
+    #[test]
+    fn uniform_tail_beyond_sketch_capacity() {
+        // 4096 equally frequent items, sketch of 64: the tail estimator
+        // must carry nearly all of H = 12 bits.
+        let mut e = EntropyEstimator::new(64, 1024, 9);
+        for round in 0..20u64 {
+            for item in 0..4096u64 {
+                e.update(item * 77 + round % 3, 1); // slight mixing of ids
+            }
+        }
+        let est = e.estimate();
+        assert!(
+            (10.0..14.0).contains(&est),
+            "uniform-4096-ish entropy estimate {est:.2} far from ~12"
+        );
+    }
+
+    #[test]
+    fn skewed_stream_estimate_tracks_truth() {
+        // Zipf-ish stream with a tail larger than the sketch.
+        let mut e = EntropyEstimator::new(64, 1024, 3);
+        let mut freqs = std::collections::HashMap::new();
+        let mut x = 5u64;
+        for _ in 0..200_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = ((x >> 33) % 1_000) + 1;
+            let item = (x >> 20) % (r * 7 + 1); // heavier mass on small ids
+            e.update(item, 1);
+            *freqs.entry(item).or_insert(0u64) += 1;
+        }
+        let truth = exact_entropy(&freqs.values().copied().collect::<Vec<_>>());
+        let est = e.estimate();
+        let rel = (est - truth).abs() / truth;
+        assert!(
+            rel < 0.1,
+            "entropy estimate {est:.3} vs truth {truth:.3} (rel {rel:.3})"
+        );
+    }
+
+    #[test]
+    fn weighted_stream_estimate_tracks_truth() {
+        let mut e = EntropyEstimator::new(64, 1024, 8);
+        let mut freqs = std::collections::HashMap::new();
+        let mut x = 31u64;
+        for _ in 0..100_000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(1);
+            let item = (x >> 32) % 3_000;
+            let w = x % 100 + 1;
+            e.update(item, w);
+            *freqs.entry(item).or_insert(0u64) += w;
+        }
+        let truth = exact_entropy(&freqs.values().copied().collect::<Vec<_>>());
+        let est = e.estimate();
+        let rel = (est - truth).abs() / truth;
+        assert!(
+            rel < 0.1,
+            "weighted entropy estimate {est:.3} vs truth {truth:.3} (rel {rel:.3})"
+        );
+    }
+
+    #[test]
+    fn entropy_detects_concentration_shift() {
+        // Anomaly-detection use case: a DDoS-like concentration must
+        // produce a clearly lower entropy than dispersed traffic.
+        let mut normal = EntropyEstimator::new(64, 256, 4);
+        let mut attack = EntropyEstimator::new(64, 256, 4);
+        let mut x = 1u64;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(1);
+            normal.update((x >> 32) % 5_000, 1);
+            // attack: 90% of packets from one source
+            if !x.is_multiple_of(10) {
+                attack.update(42, 1);
+            } else {
+                attack.update((x >> 32) % 5_000, 1);
+            }
+        }
+        assert!(
+            attack.estimate() < normal.estimate() * 0.5,
+            "attack entropy {:.2} not clearly below normal {:.2}",
+            attack.estimate(),
+            normal.estimate()
+        );
+    }
+
+    #[test]
+    fn reservoir_stays_bounded_and_indexed() {
+        let mut e = EntropyEstimator::new(8, 32, 5);
+        for i in 0..10_000u64 {
+            e.update(i, i % 100 + 1);
+        }
+        assert!(e.reservoir.len() <= 32);
+        // index consistency
+        for (item, idxs) in &e.slot_index {
+            for &i in idxs {
+                assert_eq!(e.reservoir[i].item, *item, "stale slot index");
+            }
+        }
+        let indexed: usize = e.slot_index.values().map(Vec::len).sum();
+        assert_eq!(indexed, e.reservoir.len());
+        assert_eq!(e.stream_weight(), (0..10_000u64).map(|i| i % 100 + 1).sum());
+    }
+
+    #[test]
+    fn zero_weight_ignored() {
+        let mut e = EntropyEstimator::new(8, 8, 6);
+        e.update(1, 0);
+        assert_eq!(e.stream_weight(), 0);
+        assert_eq!(e.estimate(), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # streamfreq-apps
+//!
+//! The downstream applications the paper motivates (§1.2) and defers to
+//! future work (§6), built on the optimized frequent-items sketch:
+//!
+//! | module | application | paper reference |
+//! |---|---|---|
+//! | [`hhh`] | hierarchical heavy hitters over IPv4 prefixes | Mitzenmacher, Steinke & Thaler \[18\] |
+//! | [`entropy`] | streaming empirical-entropy estimation | Chakrabarti, Cormode & McGregor \[5\] |
+//! | [`sampled`] | sampled feeding (weighted Bhattacharyya et al. adaptation) | §5, reference \[3\] |
+//! | [`window`] | per-period summaries with range-merge queries | §3's first motivating scenario |
+//!
+//! Each module documents its algorithm and the substitution of our sketch
+//! for the subroutine the original work used.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod entropy;
+pub mod hhh;
+pub mod sampled;
+pub mod window;
+
+pub use entropy::{exact_entropy, EntropyEstimator};
+pub use hhh::{HhhRow, HhhSketch};
+pub use sampled::SampledSketch;
+pub use window::WindowedStore;

@@ -1,0 +1,239 @@
+//! Time-windowed sketch storage — §3's first motivating scenario made
+//! concrete: "a company keeps a separate summary for data obtained in
+//! each 1-hour period over the course of several years … at query time,
+//! an analyst specifies which data are of interest and the summaries are
+//! seamlessly merged".
+//!
+//! [`WindowedStore`] keeps one serialized [`FreqSketch`] per fixed-width
+//! time bucket. Updates land in the open (in-memory) bucket; closed
+//! buckets are held as compact wire bytes (hundreds of bytes to a few
+//! hundred KiB each, §2.3.3), the way a production system would keep them
+//! in object storage. A range query deserializes and merges only the
+//! buckets that overlap the queried interval — millions of summaries
+//! could be scanned this way because Algorithm 5's merge is O(k) with no
+//! scratch allocation.
+
+use streamfreq_core::{Error, FreqSketch, PurgePolicy};
+
+/// A store of per-window frequent-items summaries with range-merge
+/// queries.
+///
+/// # Example
+///
+/// ```
+/// use streamfreq_apps::WindowedStore;
+///
+/// // Hourly windows (3600-second buckets), 1024 counters per window.
+/// let mut store = WindowedStore::new(3600, 1024);
+/// store.record(0, 42, 100);        // hour 0
+/// store.record(4000, 42, 50);      // hour 1
+/// store.record(8000, 7, 10);       // hour 2
+///
+/// // What happened between hours 0 and 1?
+/// let summary = store.query_range(0, 7200).unwrap().unwrap();
+/// assert_eq!(summary.estimate(42), 150);
+/// assert_eq!(summary.estimate(7), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WindowedStore {
+    window_width: u64,
+    k: usize,
+    policy: PurgePolicy,
+    /// Closed buckets: `(window_start, serialized sketch)`, ascending.
+    closed: Vec<(u64, Vec<u8>)>,
+    /// The currently open bucket, if any.
+    open: Option<(u64, FreqSketch)>,
+}
+
+impl WindowedStore {
+    /// Creates a store with `window_width` time units per bucket and `k`
+    /// counters per bucket summary.
+    ///
+    /// # Panics
+    /// Panics if `window_width` is zero or `k` is invalid.
+    pub fn new(window_width: u64, k: usize) -> Self {
+        assert!(window_width > 0, "window width must be positive");
+        // Validate k eagerly so failures surface at construction.
+        let _probe = FreqSketch::builder(k).build().expect("invalid k");
+        Self {
+            window_width,
+            k,
+            policy: PurgePolicy::default(),
+            closed: Vec::new(),
+            open: None,
+        }
+    }
+
+    fn window_start(&self, timestamp: u64) -> u64 {
+        timestamp - timestamp % self.window_width
+    }
+
+    /// Records `(item, weight)` at `timestamp`. Timestamps must be
+    /// non-decreasing across calls (streaming ingestion); a timestamp
+    /// before the open window is clamped into it.
+    ///
+    /// # Panics
+    /// Panics if the timestamp precedes an already-closed window.
+    pub fn record(&mut self, timestamp: u64, item: u64, weight: u64) {
+        let start = self.window_start(timestamp);
+        if let Some((last_closed, _)) = self.closed.last() {
+            assert!(
+                start >= *last_closed + self.window_width,
+                "timestamp {timestamp} falls in an already-closed window"
+            );
+        }
+        let need_roll = match &self.open {
+            // a record after the open window closes it; a late record
+            // within the open epoch is clamped into the open window
+            Some((open_start, _)) => start > *open_start,
+            None => true,
+        };
+        if need_roll {
+            self.roll_to(start);
+        }
+        let (_, sketch) = self.open.as_mut().expect("a window is open");
+        sketch.update(item, weight);
+    }
+
+    /// Closes the open window (serializing it) and opens one at `start`.
+    fn roll_to(&mut self, start: u64) {
+        if let Some((open_start, sketch)) = self.open.take() {
+            self.closed.push((open_start, sketch.serialize_to_bytes()));
+        }
+        let sketch = FreqSketch::builder(self.k)
+            .policy(self.policy)
+            .seed(start ^ 0x0057_AB1E)
+            .build()
+            .expect("validated at construction");
+        self.open = Some((start, sketch));
+    }
+
+    /// Number of closed windows held.
+    pub fn num_closed_windows(&self) -> usize {
+        self.closed.len()
+    }
+
+    /// Total bytes held by the closed-window encodings.
+    pub fn stored_bytes(&self) -> usize {
+        self.closed.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Merges every window overlapping `[from, to)` into one summary of
+    /// the union of their streams (Theorem 5 bounds apply). Returns `None`
+    /// when no window overlaps.
+    ///
+    /// # Errors
+    /// Returns a codec error if a stored encoding is corrupt.
+    pub fn query_range(&self, from: u64, to: u64) -> Result<Option<FreqSketch>, Error> {
+        let mut merged: Option<FreqSketch> = None;
+        let mut absorb = |sketch: FreqSketch| {
+            match &mut merged {
+                Some(acc) => acc.merge(&sketch),
+                None => merged = Some(sketch),
+            }
+        };
+        for (start, bytes) in &self.closed {
+            if *start < to && start + self.window_width > from {
+                absorb(FreqSketch::deserialize_from_bytes(bytes)?);
+            }
+        }
+        if let Some((start, sketch)) = &self.open {
+            if *start < to && start + self.window_width > from {
+                absorb(sketch.clone());
+            }
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_roll_on_time() {
+        let mut store = WindowedStore::new(3600, 64);
+        store.record(0, 1, 10);
+        store.record(1800, 1, 5);
+        store.record(3600, 2, 7); // second hour
+        store.record(7300, 3, 1); // third hour
+        assert_eq!(store.num_closed_windows(), 2);
+        assert!(store.stored_bytes() > 0);
+    }
+
+    #[test]
+    fn range_query_merges_only_selected_windows() {
+        let mut store = WindowedStore::new(100, 64);
+        for hour in 0..10u64 {
+            for _ in 0..5 {
+                store.record(hour * 100 + 10, hour + 1, 100);
+            }
+        }
+        // Query hours 3..=4 (timestamps 300..500).
+        let merged = store.query_range(300, 500).unwrap().expect("overlap");
+        assert_eq!(merged.estimate(4), 500, "hour-3 item");
+        assert_eq!(merged.estimate(5), 500, "hour-4 item");
+        assert_eq!(merged.estimate(1), 0, "hour-0 item must be absent");
+        assert_eq!(merged.stream_weight(), 1000);
+    }
+
+    #[test]
+    fn open_window_participates_in_queries() {
+        let mut store = WindowedStore::new(100, 32);
+        store.record(50, 42, 9);
+        let merged = store.query_range(0, 100).unwrap().expect("open window");
+        assert_eq!(merged.estimate(42), 9);
+    }
+
+    #[test]
+    fn empty_range_returns_none() {
+        let mut store = WindowedStore::new(100, 32);
+        store.record(50, 1, 1);
+        assert!(store.query_range(1000, 2000).unwrap().is_none());
+    }
+
+    #[test]
+    fn merged_range_respects_error_bounds() {
+        let mut store = WindowedStore::new(1000, 64);
+        let mut truth = std::collections::HashMap::new();
+        let mut x = 9u64;
+        for t in 0..50_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (x >> 33) % 500;
+            let w = x % 20 + 1;
+            store.record(t, item, w);
+            *truth.entry(item).or_insert(0u64) += w;
+        }
+        let merged = store.query_range(0, 50_000).unwrap().expect("windows");
+        for (&item, &f) in &truth {
+            assert!(merged.lower_bound(item) <= f);
+            assert!(merged.upper_bound(item) >= f);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already-closed")]
+    fn rejects_timestamps_behind_closed_windows() {
+        let mut store = WindowedStore::new(100, 32);
+        store.record(250, 1, 1);
+        store.record(90, 2, 1); // window [0,100) was implicitly skipped... 250 closed nothing yet
+        store.record(350, 3, 1); // closes [200,300)
+        store.record(150, 4, 1); // behind the closed window → panic
+    }
+
+    #[test]
+    fn storage_is_compact() {
+        let mut store = WindowedStore::new(10, 4096);
+        // sparse windows: few distinct items each
+        for w in 0..100u64 {
+            store.record(w * 10, w % 7, 1);
+        }
+        // 99 closed windows, each with ~1 counter: ~124 bytes each
+        assert_eq!(store.num_closed_windows(), 99);
+        assert!(
+            store.stored_bytes() < 99 * 200,
+            "sparse windows must serialize compactly, got {}",
+            store.stored_bytes()
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan, LATIN 2004) — the
+//! representative of the *linear sketch* class of §1.3.
+//!
+//! Cormode & Hadjieleftheriou's survey found (and the paper's own initial
+//! experiments confirmed) that counter-based algorithms beat sketches on
+//! space, speed, and accuracy for insertion streams. This implementation
+//! exists so the benchmark suite can re-confirm that claim
+//! (`sketch_vs_counters` harness) rather than assert it.
+//!
+//! A Count-Min sketch is a `depth × width` grid of counters; each row hashes
+//! the item to one cell and adds the weight. The estimate is the minimum
+//! over rows: always an overestimate, with `ε = e/width` relative error at
+//! confidence `1 − e^{−depth}`.
+
+use streamfreq_core::hashing::Hash64;
+use streamfreq_core::rng::split_mix64_mix;
+use streamfreq_core::FrequencyEstimator;
+
+/// Count-Min sketch with `depth` rows of `width` counters.
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    rows: Vec<Vec<u64>>,
+    row_seeds: Vec<u64>,
+    width: usize,
+    stream_weight: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a `depth × width` sketch seeded deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics if `depth` or `width` is zero.
+    pub fn new(depth: usize, width: usize, seed: u64) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        assert!(width > 0, "width must be positive");
+        let row_seeds = (0..depth as u64)
+            .map(|r| split_mix64_mix(seed ^ r.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        Self {
+            rows: vec![vec![0; width]; depth],
+            row_seeds,
+            width,
+            stream_weight: 0,
+        }
+    }
+
+    /// Sizes the sketch for additive error `≤ eps·N` with failure
+    /// probability `≤ delta` (standard `w = ⌈e/eps⌉`, `d = ⌈ln(1/delta)⌉`).
+    ///
+    /// # Panics
+    /// Panics unless `0 < eps ≤ 1` and `0 < delta < 1`.
+    pub fn with_error_bounds(eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps <= 1.0, "eps {eps} outside (0, 1]");
+        assert!(delta > 0.0 && delta < 1.0, "delta {delta} outside (0, 1)");
+        let width = (core::f64::consts::E / eps).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(depth, width, seed)
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, item: u64) -> usize {
+        (split_mix64_mix(item.hash64() ^ self.row_seeds[row]) as usize) % self.width
+    }
+
+    /// Bytes of counter storage (8 bytes per cell).
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * self.width * 8
+    }
+
+    /// The sketch depth (number of rows).
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The sketch width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl FrequencyEstimator for CountMinSketch {
+    fn update(&mut self, item: u64, weight: u64) {
+        self.stream_weight += weight;
+        for row in 0..self.rows.len() {
+            let c = self.cell(row, item);
+            self.rows[row][c] += weight;
+        }
+    }
+
+    /// Estimate: the minimum cell over rows (never underestimates).
+    fn estimate(&self, item: u64) -> u64 {
+        (0..self.rows.len())
+            .map(|row| self.rows[row][self.cell(row, item)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn stream_weight(&self) -> u64 {
+        self.stream_weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMinSketch::new(4, 64, 1);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut x = 9u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (x >> 33) % 500;
+            let w = x % 9 + 1;
+            cm.update(item, w);
+            *truth.entry(item).or_insert(0) += w;
+        }
+        for (&item, &f) in &truth {
+            assert!(cm.estimate(item) >= f, "CM underestimated {item}");
+        }
+    }
+
+    #[test]
+    fn error_within_theory_bound() {
+        let eps = 0.01;
+        let mut cm = CountMinSketch::with_error_bounds(eps, 0.01, 42);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut x = 77u64;
+        for _ in 0..100_000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(1);
+            let item = (x >> 32) % 2_000;
+            cm.update(item, 1);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        let n = cm.stream_weight();
+        let bound = (eps * n as f64) as u64;
+        let mut violations = 0;
+        for (&item, &f) in &truth {
+            if cm.estimate(item) - f > bound {
+                violations += 1;
+            }
+        }
+        // With depth = ln(100) ≈ 5 rows, per-item failure prob ≤ 1%.
+        assert!(
+            violations <= truth.len() / 20,
+            "{violations} of {} items exceeded the CM bound",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn exact_for_isolated_items() {
+        let mut cm = CountMinSketch::new(4, 1024, 3);
+        cm.update(42, 1000);
+        assert_eq!(cm.estimate(42), 1000);
+        // an item never updated can still collide, but with 1024 cells and
+        // one occupied cell per row, 4 independent rows make it astronomically
+        // unlikely all 4 collide.
+        assert_eq!(cm.estimate(43), 0);
+    }
+
+    #[test]
+    fn sizing_formula() {
+        let cm = CountMinSketch::with_error_bounds(0.001, 0.01, 0);
+        assert_eq!(cm.width(), 2719); // ceil(e/0.001)
+        assert_eq!(cm.depth(), 5); // ceil(ln 100)
+        assert_eq!(cm.memory_bytes(), 5 * 2719 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        CountMinSketch::new(1, 0, 0);
+    }
+}

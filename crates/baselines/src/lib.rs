@@ -1,0 +1,45 @@
+//! # streamfreq-baselines
+//!
+//! Every prior-work algorithm the paper (Anderson et al., IMC 2017)
+//! discusses or benchmarks against, implemented from scratch so the
+//! evaluation figures can be regenerated honestly:
+//!
+//! | module | algorithm | paper role |
+//! |---|---|---|
+//! | [`misra_gries`] | Misra-Gries (Algorithm 1) | the base algorithm being optimized |
+//! | [`space_saving`] | Space Saving on a min-heap — SSH / **MHE** | principal speed baseline (Figs 1–2) |
+//! | [`stream_summary`] | Space Saving on Stream Summary — SSL | the "conventional wisdom" O(1) unit-update structure (§1.1) |
+//! | [`rbmc`] | Berinde et al. reduce-by-min-counter | principal accuracy baseline (Figs 1–2) |
+//! | [`rtuc`] | reduce-to-unit-case wrappers | semantic reference for isomorphism tests (§1.4) |
+//! | [`count_min`], [`count_sketch`] | linear sketches | the sketch class counter-based algorithms beat (§1.3) |
+//! | [`exact`] | exact hash-map counts | ground truth + the §4.1 "trivial solution" |
+//! | [`merge_prior`] | Agarwal et al. merge (sort & quickselect) | merge baselines of Figure 4 |
+//!
+//! All streaming algorithms implement
+//! [`streamfreq_core::FrequencyEstimator`], and the counter-based ones also
+//! implement [`streamfreq_core::CounterSummary`], so the benchmark harness
+//! treats them interchangeably.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod count_min;
+pub mod count_sketch;
+pub mod exact;
+pub mod merge_prior;
+pub mod misra_gries;
+pub mod rbmc;
+pub mod rtuc;
+pub mod space_saving;
+pub mod stream_summary;
+
+pub use count_min::CountMinSketch;
+pub use count_sketch::CountSketch;
+pub use exact::ExactCounter;
+pub use merge_prior::{ach_merge, ach_merge_quickselect, ach_merge_sort, MergedCounters};
+pub use misra_gries::MisraGries;
+pub use rbmc::Rbmc;
+pub use rtuc::{RtucMg, RtucSs};
+pub use space_saving::SpaceSavingHeap;
+pub use stream_summary::StreamSummary;

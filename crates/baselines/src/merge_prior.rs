@@ -1,0 +1,242 @@
+//! Prior-work merge procedures for counter-based summaries (§3.1):
+//! the Agarwal et al. merge, in the two implementations Figure 4
+//! benchmarks against.
+//!
+//! * [`ach_merge_sort`] — **ACH+13**: add the counters of both summaries in
+//!   a fresh hash table of capacity 2k, *sort* them, keep the top `k`.
+//!   Ω(k log k).
+//! * [`ach_merge_quickselect`] — **Hoa61**: identical, except the k-th
+//!   largest counter is found with Quickselect and a second pass collects
+//!   the survivors. O(k), but with the constant factors the paper calls "a
+//!   runtime bottleneck in practice".
+//!
+//! Both allocate ~2k scratch entries on every merge — the space overhead
+//! (2.5× total, §4.5) that Algorithm 5's in-place replay avoids.
+//!
+//! Following the paper's description of its benchmark comparator, the
+//! merge *truncates* to the top `k` counters. The original Agarwal et al.
+//! procedure additionally subtracts the (k+1)-st largest value from the
+//! survivors to restore the Misra-Gries invariant; pass
+//! `subtract_excess = true` to [`ach_merge`] for that variant (estimates
+//! then stay underestimates, Equation (6)).
+
+use std::collections::HashMap;
+
+use streamfreq_core::select::select_nth_largest;
+
+/// The result of a prior-work merge: at most `k` counters with exact-map
+/// lookups. Implements enough of the summary interface for error
+/// measurement and for feeding further merges (aggregation trees).
+#[derive(Clone, Debug)]
+pub struct MergedCounters {
+    map: HashMap<u64, u64>,
+    k: usize,
+}
+
+impl MergedCounters {
+    /// The estimate for `item`: its merged counter, or 0 if not retained.
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.map.get(&item).copied().unwrap_or(0)
+    }
+
+    /// The retained `(item, count)` pairs (unordered).
+    pub fn counters(&self) -> Vec<(u64, u64)> {
+        self.map.iter().map(|(&i, &c)| (i, c)).collect()
+    }
+
+    /// Number of retained counters (≤ k).
+    pub fn num_counters(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The capacity this summary was merged to.
+    pub fn max_counters(&self) -> usize {
+        self.k
+    }
+}
+
+/// Which selection procedure identifies the top-k counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectionMethod {
+    /// Full sort of the combined counters (ACH+13 as-published).
+    Sort,
+    /// Quickselect for the k-th largest, then a filtering pass (the
+    /// paper's proposed Hoa61 variant of the same procedure).
+    Quickselect,
+}
+
+/// Merges two counter lists with the Agarwal et al. procedure.
+///
+/// `subtract_excess = false` reproduces the comparator benchmarked in
+/// Figure 4 (truncate to top k); `true` additionally subtracts the
+/// (k+1)-st largest combined counter from the survivors, as in the
+/// original Agarwal et al. analysis.
+///
+/// # Panics
+/// Panics if `k` is zero.
+pub fn ach_merge(
+    a: &[(u64, u64)],
+    b: &[(u64, u64)],
+    k: usize,
+    method: SelectionMethod,
+    subtract_excess: bool,
+) -> MergedCounters {
+    assert!(k > 0, "k must be positive");
+    // Step 1-2: fresh table of capacity 2k; add all counters.
+    let mut combined: HashMap<u64, u64> = HashMap::with_capacity(2 * k);
+    for &(item, count) in a.iter().chain(b.iter()) {
+        *combined.entry(item).or_insert(0) += count;
+    }
+    if combined.len() <= k {
+        // Nothing to discard — and nothing to subtract either, since no
+        // (k+1)-st largest counter exists.
+        return MergedCounters { map: combined, k };
+    }
+    // Step 3: find the k-th and (k+1)-st largest combined values.
+    let (kth, excess) = match method {
+        SelectionMethod::Sort => {
+            let mut values: Vec<u64> = combined.values().copied().collect();
+            values.sort_unstable_by(|x, y| y.cmp(x));
+            (values[k - 1], values[k])
+        }
+        SelectionMethod::Quickselect => {
+            let mut values: Vec<u64> = combined.values().copied().collect();
+            let kth = select_nth_largest(&mut values, k - 1);
+            let excess = select_nth_largest(&mut values, k);
+            (kth, excess)
+        }
+    };
+    let decrement = if subtract_excess { excess } else { 0 };
+    // Step 4: keep the top k (ties broken arbitrarily but capped at k),
+    // applying the optional decrement.
+    let mut map = HashMap::with_capacity(k);
+    let mut kept = 0usize;
+    // strictly-greater first, then fill remaining quota with ties at kth
+    for (&item, &count) in &combined {
+        if count > kth && kept < k {
+            if count > decrement {
+                map.insert(item, count - decrement);
+            }
+            kept += 1;
+        }
+    }
+    for (&item, &count) in &combined {
+        if count == kth && kept < k {
+            if count > decrement {
+                map.insert(item, count - decrement);
+            }
+            kept += 1;
+        }
+    }
+    MergedCounters { map, k }
+}
+
+/// ACH+13: the sort-based Agarwal et al. merge, truncating to top k.
+pub fn ach_merge_sort(a: &[(u64, u64)], b: &[(u64, u64)], k: usize) -> MergedCounters {
+    ach_merge(a, b, k, SelectionMethod::Sort, false)
+}
+
+/// Hoa61: the Quickselect-based Agarwal et al. merge, truncating to top k.
+pub fn ach_merge_quickselect(a: &[(u64, u64)], b: &[(u64, u64)], k: usize) -> MergedCounters {
+    ach_merge(a, b, k, SelectionMethod::Quickselect, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(pairs: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        pairs.to_vec()
+    }
+
+    #[test]
+    fn disjoint_small_merge_keeps_everything() {
+        let a = counters(&[(1, 10), (2, 20)]);
+        let b = counters(&[(3, 30)]);
+        let m = ach_merge_sort(&a, &b, 8);
+        assert_eq!(m.num_counters(), 3);
+        assert_eq!(m.estimate(1), 10);
+        assert_eq!(m.estimate(3), 30);
+    }
+
+    #[test]
+    fn overlapping_items_sum() {
+        let a = counters(&[(1, 10), (2, 20)]);
+        let b = counters(&[(1, 5), (3, 1)]);
+        let m = ach_merge_sort(&a, &b, 8);
+        assert_eq!(m.estimate(1), 15);
+    }
+
+    #[test]
+    fn truncates_to_top_k() {
+        let a = counters(&[(1, 100), (2, 90), (3, 80)]);
+        let b = counters(&[(4, 70), (5, 60), (6, 50)]);
+        let m = ach_merge_sort(&a, &b, 3);
+        assert_eq!(m.num_counters(), 3);
+        assert_eq!(m.estimate(1), 100);
+        assert_eq!(m.estimate(3), 80);
+        assert_eq!(m.estimate(4), 0, "rank 4 must be discarded");
+    }
+
+    #[test]
+    fn sort_and_quickselect_agree() {
+        // Build two pseudo-random counter sets and check both selection
+        // methods retain identical counters (up to ties, absent here).
+        let mut x = 31u64;
+        let mut step = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        };
+        let a: Vec<(u64, u64)> = (0..200).map(|i| (i, step() % 100_000 + 1)).collect();
+        let b: Vec<(u64, u64)> = (100..300).map(|i| (i, step() % 100_000 + 1)).collect();
+        let s = ach_merge_sort(&a, &b, 64);
+        let q = ach_merge_quickselect(&a, &b, 64);
+        let mut sc = s.counters();
+        let mut qc = q.counters();
+        sc.sort_unstable();
+        qc.sort_unstable();
+        assert_eq!(sc, qc);
+    }
+
+    #[test]
+    fn subtraction_variant_underestimates() {
+        let a = counters(&[(1, 100), (2, 90), (3, 80)]);
+        let b = counters(&[(4, 70), (5, 60)]);
+        let m = ach_merge(&a, &b, 3, SelectionMethod::Sort, true);
+        // (k+1)-st largest = 70 ⇒ survivors lose 70.
+        assert_eq!(m.estimate(1), 30);
+        assert_eq!(m.estimate(2), 20);
+        assert_eq!(m.estimate(3), 10);
+        assert_eq!(m.estimate(4), 0);
+    }
+
+    #[test]
+    fn ties_at_threshold_respect_capacity() {
+        let a = counters(&[(1, 50), (2, 50), (3, 50), (4, 50)]);
+        let b = counters(&[(5, 50), (6, 50)]);
+        let m = ach_merge_sort(&a, &b, 3);
+        assert_eq!(m.num_counters(), 3, "ties must not exceed k");
+        for (_, c) in m.counters() {
+            assert_eq!(c, 50);
+        }
+    }
+
+    #[test]
+    fn merge_supports_aggregation_trees() {
+        // merge of merges: feed MergedCounters back in.
+        let a = counters(&[(1, 10), (2, 9)]);
+        let b = counters(&[(3, 8), (4, 7)]);
+        let c = counters(&[(5, 6), (6, 5)]);
+        let ab = ach_merge_sort(&a, &b, 4);
+        let abc = ach_merge_sort(&ab.counters(), &c, 4);
+        assert_eq!(abc.num_counters(), 4);
+        assert_eq!(abc.estimate(1), 10);
+        assert_eq!(abc.estimate(6), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        ach_merge_sort(&[], &[], 0);
+    }
+}

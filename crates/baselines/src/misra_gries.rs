@@ -1,0 +1,211 @@
+//! The classic Misra-Gries algorithm (Algorithm 1 of the paper;
+//! Misra & Gries, *Finding Repeated Elements*, 1982).
+//!
+//! `k` counters in a hash map; a unit update to an untracked item when all
+//! counters are assigned decrements **every** counter by one and releases
+//! the zeroed ones. Estimates are the stored counts (`0` when untracked),
+//! so `0 ≤ fᵢ − f̂ᵢ ≤ N/(k+1)` (Lemma 1) and the Berinde et al. tail bound
+//! (Lemma 2) hold.
+//!
+//! This is the reference point every other algorithm in the repository is
+//! measured against conceptually; it handles **unit updates only** in O(1)
+//! amortized time. [`MisraGries::update`] accepts weights by reduction to
+//! unit case (RTUC-MG, §1.3.4) and therefore costs Θ(Δ) — the very
+//! shortcoming the paper's weighted algorithms remove.
+
+use std::collections::HashMap;
+
+use streamfreq_core::{CounterSummary, FrequencyEstimator};
+
+/// Misra-Gries summary with `k` counters (unit-update algorithm).
+#[derive(Clone, Debug)]
+pub struct MisraGries {
+    counters: HashMap<u64, u64>,
+    k: usize,
+    stream_weight: u64,
+    num_decrement_ops: u64,
+}
+
+impl MisraGries {
+    /// Creates a summary with `k` counters.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            counters: HashMap::with_capacity(k + 1),
+            k,
+            stream_weight: 0,
+            num_decrement_ops: 0,
+        }
+    }
+
+    /// Processes a unit update (Algorithm 1's `Update(i, +1)`).
+    pub fn update_unit(&mut self, item: u64) {
+        self.stream_weight += 1;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(item, 1);
+            return;
+        }
+        self.decrement_all();
+    }
+
+    /// Algorithm 1's `DecrementCounters()`: reduce every counter by one and
+    /// unassign the zeroed ones.
+    fn decrement_all(&mut self) {
+        self.num_decrement_ops += 1;
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Number of `DecrementCounters()` operations performed so far. Lemma 1
+    /// bounds this by `N/(k+1)`.
+    pub fn num_decrement_ops(&self) -> u64 {
+        self.num_decrement_ops
+    }
+
+    /// Sum of all stored counters (the `C` of the paper's analyses).
+    pub fn counter_sum(&self) -> u64 {
+        self.counters.values().sum()
+    }
+}
+
+impl FrequencyEstimator for MisraGries {
+    /// Weighted update by reduction to unit case (RTUC-MG): Θ(weight) time.
+    fn update(&mut self, item: u64, weight: u64) {
+        for _ in 0..weight {
+            self.update_unit(item);
+        }
+    }
+
+    fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).copied().unwrap_or(0)
+    }
+
+    fn stream_weight(&self) -> u64 {
+        self.stream_weight
+    }
+}
+
+impl CounterSummary for MisraGries {
+    fn counters(&self) -> Vec<(u64, u64)> {
+        self.counters.iter().map(|(&i, &c)| (i, c)).collect()
+    }
+
+    fn num_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn max_counters(&self) -> usize {
+        self.k
+    }
+
+    fn max_error(&self) -> u64 {
+        // Every estimate satisfies f − f̂ ≤ #decrements.
+        self.num_decrement_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut mg = MisraGries::new(10);
+        for _ in 0..5 {
+            mg.update_unit(1);
+        }
+        mg.update_unit(2);
+        assert_eq!(mg.estimate(1), 5);
+        assert_eq!(mg.estimate(2), 1);
+        assert_eq!(mg.estimate(3), 0);
+        assert_eq!(mg.num_decrement_ops(), 0);
+    }
+
+    #[test]
+    fn textbook_decrement_example() {
+        // k=2 counters, stream a a a b c: after `c` triggers a decrement,
+        // a survives with 2, b is gone, c was never assigned.
+        let mut mg = MisraGries::new(2);
+        for item in [1, 1, 1, 2, 3] {
+            mg.update_unit(item);
+        }
+        assert_eq!(mg.estimate(1), 2);
+        assert_eq!(mg.estimate(2), 0);
+        assert_eq!(mg.estimate(3), 0);
+        assert_eq!(mg.num_decrement_ops(), 1);
+    }
+
+    #[test]
+    fn lemma1_error_bound_holds() {
+        let mut mg = MisraGries::new(9);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut x = 7u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (x >> 33) % 100;
+            mg.update_unit(item);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        let n = mg.stream_weight();
+        let bound = n / 10; // N/(k+1)
+        for (&item, &f) in &truth {
+            let est = mg.estimate(item);
+            assert!(est <= f, "MG must underestimate");
+            assert!(f - est <= bound, "Lemma 1 violated for {item}");
+        }
+    }
+
+    #[test]
+    fn decrement_count_bounded_by_lemma1() {
+        let mut mg = MisraGries::new(9);
+        for i in 0..10_000u64 {
+            mg.update_unit(i); // all-distinct stream maximizes decrements
+        }
+        assert!(mg.num_decrement_ops() <= 10_000 / 10);
+    }
+
+    #[test]
+    fn counter_sum_identity() {
+        // N - C = d·(k+1) exactly, from the proof of Lemma 1.
+        let mut mg = MisraGries::new(4);
+        for i in 0..5_000u64 {
+            mg.update_unit(i % 23);
+        }
+        let n = mg.stream_weight();
+        let c = mg.counter_sum();
+        let d = mg.num_decrement_ops();
+        assert_eq!(n - c, d * 5);
+    }
+
+    #[test]
+    fn weighted_update_reduces_to_unit_case() {
+        let mut a = MisraGries::new(5);
+        let mut b = MisraGries::new(5);
+        let updates = [(1u64, 3u64), (2, 5), (1, 2), (3, 4)];
+        for &(i, w) in &updates {
+            a.update(i, w);
+            for _ in 0..w {
+                b.update_unit(i);
+            }
+        }
+        for item in 1..=3 {
+            assert_eq!(a.estimate(item), b.estimate(item));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        MisraGries::new(0);
+    }
+}

@@ -1,0 +1,210 @@
+//! **RBMC** — the Reduce-By-Min-Counter extension of Misra-Gries to
+//! weighted updates (Berinde, Indyk, Cormode & Strauss, §1.3.4 of the
+//! paper).
+//!
+//! On an update to an untracked item with all counters assigned, RBMC
+//! decrements every counter by `min(Δ, c_min)` and inserts the new item
+//! with the excess `Δ − c_min` (if positive). Its estimates are *identical*
+//! to running plain Misra-Gries on the unit-expanded stream (RTUC-MG), so
+//! it inherits Lemmas 1–2. Its weakness is runtime: decrement sweeps can
+//! fire on essentially **every** update (§1.3.4 exhibits such a stream; the
+//! `adversarial` workload in `streamfreq-workloads` generates it), which is
+//! what Figures 1 and 3 measure.
+//!
+//! ## Implementation
+//!
+//! The sweep loop and storage reuse the optimized linear-probing table via
+//! [`PurgePolicy::GlobalMin`]: inserting the update first and then
+//! decrementing all `k+1` counters by the *global* minimum reproduces both
+//! RBMC cases exactly — if `Δ ≤ c_min` the new item itself is the minimum
+//! and is swept out (case 1), otherwise the old minimum dies and the new
+//! item keeps `Δ − c_min` (case 2). Sharing the table keeps the
+//! equal-space comparisons of Figure 1 exact (the paper likewise gives
+//! RBMC its own optimized-table implementation). Estimates are reported
+//! MG-style — the stored counter, `0` if untracked — as in Berinde et al.
+
+use streamfreq_core::{CounterSummary, FreqSketch, FrequencyEstimator, PurgePolicy};
+
+/// RBMC summary: weighted Misra-Gries with reduce-by-global-min sweeps.
+#[derive(Clone, Debug)]
+pub struct Rbmc {
+    inner: FreqSketch,
+}
+
+impl Rbmc {
+    /// Creates an RBMC summary with `k` counters.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or needs a table beyond 2³¹ slots.
+    pub fn new(k: usize) -> Self {
+        Self {
+            // Preallocated table: the baseline RBMC of the paper's
+            // experiments owns a fixed k-counter table, and equal-space
+            // comparisons account for the full allocation.
+            inner: FreqSketch::builder(k)
+                .policy(PurgePolicy::GlobalMin)
+                .grow_from_small(false)
+                .build()
+                .expect("invalid k"),
+        }
+    }
+
+    /// Number of decrement sweeps performed (each costs Θ(k)).
+    pub fn num_sweeps(&self) -> u64 {
+        self.inner.num_purges()
+    }
+
+    /// Total decrement applied to any surviving counter — the exact
+    /// maximum estimation error of the summary.
+    pub fn max_error(&self) -> u64 {
+        self.inner.maximum_error()
+    }
+
+    /// Bytes of heap memory held by the counter table (same table as the
+    /// paper's optimized algorithms, so equal-space comparisons are exact).
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+}
+
+impl FrequencyEstimator for Rbmc {
+    fn update(&mut self, item: u64, weight: u64) {
+        self.inner.update(item, weight);
+    }
+
+    /// MG-style estimate: the stored counter, `0` if untracked (always an
+    /// underestimate, per Berinde et al.).
+    fn estimate(&self, item: u64) -> u64 {
+        self.inner.lower_bound(item)
+    }
+
+    fn stream_weight(&self) -> u64 {
+        self.inner.stream_weight()
+    }
+}
+
+impl CounterSummary for Rbmc {
+    fn counters(&self) -> Vec<(u64, u64)> {
+        self.inner.counters().collect()
+    }
+
+    fn num_counters(&self) -> usize {
+        self.inner.num_counters()
+    }
+
+    fn max_counters(&self) -> usize {
+        self.inner.max_counters()
+    }
+
+    fn max_error(&self) -> u64 {
+        Rbmc::max_error(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtuc::RtucMg;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_under_capacity() {
+        let mut r = Rbmc::new(8);
+        r.update(1, 100);
+        r.update(2, 50);
+        assert_eq!(r.estimate(1), 100);
+        assert_eq!(r.estimate(2), 50);
+        assert_eq!(r.num_sweeps(), 0);
+    }
+
+    #[test]
+    fn case1_small_weight_is_absorbed() {
+        // Table full with large counters; a unit update to a new item
+        // sweeps everyone down by 1 and the new item vanishes.
+        let mut r = Rbmc::new(4);
+        for item in 0..4u64 {
+            r.update(item, 100);
+        }
+        r.update(99, 1);
+        assert_eq!(r.estimate(99), 0, "small new item must not survive");
+        assert_eq!(r.estimate(0), 99, "counters reduced by Δ = 1");
+        assert_eq!(r.num_sweeps(), 1);
+    }
+
+    #[test]
+    fn case2_large_weight_replaces_minimum() {
+        let mut r = Rbmc::new(4);
+        r.update(0, 100);
+        r.update(1, 100);
+        r.update(2, 100);
+        r.update(3, 10); // the minimum
+        r.update(99, 50); // > c_min = 10: everyone -10, item 99 gets 40
+        assert_eq!(r.estimate(3), 0);
+        assert_eq!(r.estimate(99), 40);
+        assert_eq!(r.estimate(0), 90);
+    }
+
+    #[test]
+    fn estimates_match_rtuc_mg_exactly() {
+        // RBMC is isomorphic to running MG on the unit-expanded stream
+        // (§1.3.4). Verify estimate-for-estimate equality on a random
+        // small-weight stream.
+        let mut rbmc = Rbmc::new(6);
+        let mut rtuc = RtucMg::new(6);
+        let mut x = 42u64;
+        for _ in 0..3_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (x >> 33) % 40;
+            let w = x % 5 + 1;
+            rbmc.update(item, w);
+            rtuc.update(item, w);
+        }
+        for item in 0..40u64 {
+            assert_eq!(
+                rbmc.estimate(item),
+                rtuc.estimate(item),
+                "RBMC/RTUC-MG diverged on item {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_stream_sweeps_every_update() {
+        // §1.3.4's lower-bound stream: k huge counters, then unit updates
+        // to fresh items — every unit update forces a Θ(k) sweep.
+        let k = 16;
+        let m = 500u64;
+        let mut r = Rbmc::new(k);
+        for item in 0..k as u64 {
+            r.update(item, m);
+        }
+        for item in 0..m {
+            r.update(1000 + item, 1);
+        }
+        assert_eq!(
+            r.num_sweeps(),
+            m,
+            "every unit update must trigger a sweep"
+        );
+    }
+
+    #[test]
+    fn lemma1_bound_holds() {
+        let mut r = Rbmc::new(9);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut x = 3u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(1);
+            let item = (x >> 32) % 150;
+            let w = x % 30 + 1;
+            r.update(item, w);
+            *truth.entry(item).or_insert(0) += w;
+        }
+        let bound = r.stream_weight() / 10;
+        for (&item, &f) in &truth {
+            let est = r.estimate(item);
+            assert!(est <= f);
+            assert!(f - est <= bound, "Lemma 1 violated for {item}");
+        }
+    }
+}

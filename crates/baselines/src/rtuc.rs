@@ -1,0 +1,174 @@
+//! **RTUC** — Reduce-To-Unit-Case extensions (§1.3.4 / §1.3.5): process a
+//! weighted update `(i, Δ)` as `Δ` unit updates.
+//!
+//! Θ(Δ) per update makes these unusable on real weighted streams (packet
+//! sizes, bytes transferred, …) — that is the paper's opening argument —
+//! but they are the *semantic reference points*: RBMC's estimates equal
+//! RTUC-MG's, and MHE's equal RTUC-SS's (§1.4). The test suites use these
+//! wrappers to validate the fast implementations against ground-truth
+//! semantics on small streams.
+
+use crate::misra_gries::MisraGries;
+use crate::space_saving::SpaceSavingHeap;
+use streamfreq_core::{CounterSummary, FrequencyEstimator};
+
+/// RTUC-MG: Misra-Gries driven by unit expansion of weighted updates.
+#[derive(Clone, Debug)]
+pub struct RtucMg {
+    inner: MisraGries,
+}
+
+impl RtucMg {
+    /// Creates a summary with `k` counters.
+    pub fn new(k: usize) -> Self {
+        Self {
+            inner: MisraGries::new(k),
+        }
+    }
+
+    /// Number of unit-level decrement operations performed.
+    pub fn num_decrement_ops(&self) -> u64 {
+        self.inner.num_decrement_ops()
+    }
+}
+
+impl FrequencyEstimator for RtucMg {
+    fn update(&mut self, item: u64, weight: u64) {
+        self.inner.update(item, weight);
+    }
+
+    fn estimate(&self, item: u64) -> u64 {
+        self.inner.estimate(item)
+    }
+
+    fn stream_weight(&self) -> u64 {
+        self.inner.stream_weight()
+    }
+}
+
+impl CounterSummary for RtucMg {
+    fn counters(&self) -> Vec<(u64, u64)> {
+        self.inner.counters()
+    }
+
+    fn num_counters(&self) -> usize {
+        self.inner.num_counters()
+    }
+
+    fn max_counters(&self) -> usize {
+        self.inner.max_counters()
+    }
+
+    fn max_error(&self) -> u64 {
+        self.inner.max_error()
+    }
+}
+
+/// RTUC-SS: Space Saving driven by unit expansion of weighted updates.
+#[derive(Clone, Debug)]
+pub struct RtucSs {
+    inner: SpaceSavingHeap,
+}
+
+impl RtucSs {
+    /// Creates a summary with `k` counters.
+    pub fn new(k: usize) -> Self {
+        Self {
+            inner: SpaceSavingHeap::new(k),
+        }
+    }
+
+    /// The minimum counter value.
+    pub fn min_counter(&self) -> u64 {
+        self.inner.min_counter()
+    }
+}
+
+impl FrequencyEstimator for RtucSs {
+    fn update(&mut self, item: u64, weight: u64) {
+        for _ in 0..weight {
+            self.inner.update_one(item);
+        }
+    }
+
+    fn estimate(&self, item: u64) -> u64 {
+        self.inner.estimate(item)
+    }
+
+    fn stream_weight(&self) -> u64 {
+        self.inner.stream_weight()
+    }
+}
+
+impl CounterSummary for RtucSs {
+    fn counters(&self) -> Vec<(u64, u64)> {
+        self.inner.counters()
+    }
+
+    fn num_counters(&self) -> usize {
+        self.inner.num_counters()
+    }
+
+    fn max_counters(&self) -> usize {
+        self.inner.max_counters()
+    }
+
+    fn max_error(&self) -> u64 {
+        self.inner.max_error()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtuc_mg_equals_unit_mg() {
+        let mut weighted = RtucMg::new(5);
+        let mut unit = MisraGries::new(5);
+        let updates = [(1u64, 4u64), (2, 2), (3, 7), (1, 1), (4, 3)];
+        for &(i, w) in &updates {
+            weighted.update(i, w);
+            for _ in 0..w {
+                unit.update_unit(i);
+            }
+        }
+        for item in 1..=4 {
+            assert_eq!(weighted.estimate(item), unit.estimate(item));
+        }
+    }
+
+    #[test]
+    fn rtuc_ss_counter_sum_is_stream_weight() {
+        let mut ss = RtucSs::new(4);
+        ss.update(1, 10);
+        ss.update(2, 5);
+        ss.update(3, 3);
+        ss.update(4, 2);
+        ss.update(5, 1); // eviction
+        let sum: u64 = ss.counters().iter().map(|&(_, c)| c).sum();
+        assert_eq!(sum, 21);
+        assert_eq!(ss.stream_weight(), 21);
+    }
+
+    #[test]
+    fn mhe_equals_rtuc_ss_on_unambiguous_streams() {
+        // §1.4: MHE produces the same estimates as RTUC-SS. Eviction
+        // tie-breaking can differ, so use a stream with distinct counter
+        // values at every eviction point.
+        let mut mhe = SpaceSavingHeap::new(3);
+        let mut rtuc = RtucSs::new(3);
+        let updates = [(1u64, 100u64), (2, 50), (3, 20), (4, 7), (5, 131)];
+        for &(i, w) in &updates {
+            mhe.update(i, w);
+            rtuc.update(i, w);
+        }
+        for item in 1..=5 {
+            assert_eq!(
+                mhe.estimate(item),
+                rtuc.estimate(item),
+                "MHE/RTUC-SS diverged on {item}"
+            );
+        }
+    }
+}

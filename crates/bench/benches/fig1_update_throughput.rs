@@ -1,0 +1,71 @@
+//! Criterion counterpart of Figure 1: per-update throughput of the four
+//! weighted-stream algorithms on the synthetic packet trace, at a small
+//! and a large counter budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use streamfreq_baselines::{Rbmc, SpaceSavingHeap};
+use streamfreq_core::{FreqSketch, FrequencyEstimator, PurgePolicy};
+use streamfreq_workloads::{CaidaConfig, SyntheticCaida, WeightedUpdate};
+
+fn trace(updates: usize) -> Vec<WeightedUpdate> {
+    SyntheticCaida::materialize(&CaidaConfig::scaled(updates))
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let stream = trace(1_000_000);
+    let mut group = c.benchmark_group("fig1_update_throughput");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+
+    for &k in &[1_536usize, 24_576] {
+        group.bench_with_input(BenchmarkId::new("SMED", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = FreqSketch::builder(k)
+                    .policy(PurgePolicy::smed())
+                    .grow_from_small(false)
+                    .build()
+                    .unwrap();
+                for &(item, w) in &stream {
+                    s.update(item, w);
+                }
+                s.num_purges()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("SMIN", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = FreqSketch::builder(k)
+                    .policy(PurgePolicy::smin())
+                    .grow_from_small(false)
+                    .build()
+                    .unwrap();
+                for &(item, w) in &stream {
+                    s.update(item, w);
+                }
+                s.num_purges()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("RBMC", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = Rbmc::new(k);
+                for &(item, w) in &stream {
+                    s.update(item, w);
+                }
+                s.num_sweeps()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("MHE", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = SpaceSavingHeap::new(k);
+                for &(item, w) in &stream {
+                    s.update(item, w);
+                }
+                s.min_counter()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

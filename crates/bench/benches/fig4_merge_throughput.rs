@@ -1,0 +1,54 @@
+//! Criterion counterpart of Figure 4: time to merge one pair of filled
+//! SMED sketches, ours vs the two Agarwal et al. implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use streamfreq_baselines::{ach_merge_quickselect, ach_merge_sort};
+use streamfreq_core::{FreqSketch, PurgePolicy};
+use streamfreq_workloads::{fill_stream, MergeWorkloadConfig};
+
+fn filled(k: usize, index: u64) -> FreqSketch {
+    let cfg = MergeWorkloadConfig {
+        updates_per_sketch: 100_000,
+        ..MergeWorkloadConfig::default()
+    };
+    let mut s = FreqSketch::builder(k)
+        .policy(PurgePolicy::smed())
+        .grow_from_small(false)
+        .seed(77 + index)
+        .build()
+        .unwrap();
+    for (item, w) in fill_stream(&cfg, index) {
+        s.update(item, w);
+    }
+    s
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_merge");
+    group.sample_size(20);
+    for &k in &[4_096usize, 65_536] {
+        let a = filled(k, 0);
+        let b = filled(k, 1);
+        let ca: Vec<(u64, u64)> = a.counters().collect();
+        let cb: Vec<(u64, u64)> = b.counters().collect();
+
+        group.bench_with_input(BenchmarkId::new("ours_alg5", k), &k, |bench, _| {
+            bench.iter(|| {
+                let mut dst = a.clone();
+                dst.merge(&b);
+                dst.num_counters()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hoa61_quickselect", k), &k, |bench, &k| {
+            bench.iter(|| ach_merge_quickselect(&ca, &cb, k).num_counters())
+        });
+        group.bench_with_input(BenchmarkId::new("ach13_sort", k), &k, |bench, &k| {
+            bench.iter(|| ach_merge_sort(&ca, &cb, k).num_counters())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

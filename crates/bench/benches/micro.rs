@@ -1,0 +1,134 @@
+//! Micro-benchmarks of the substrates: table operations, selection, purge,
+//! hashing, and the Zipf sampler. These quantify the §2.3.3 design choices
+//! (linear probing + shift deletion, quickselect on samples).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use streamfreq_core::hashing::Hash64;
+use streamfreq_core::rng::Xoshiro256StarStar;
+use streamfreq_core::select::select_nth_smallest;
+use streamfreq_core::table::LpTable;
+use streamfreq_workloads::Zipf;
+
+fn bench_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_table");
+    let lg = 15u32; // 32k slots, 24k counters at 3/4
+    let cap = (1usize << lg) * 3 / 4;
+
+    group.throughput(Throughput::Elements(cap as u64));
+    group.bench_function("fill_to_three_quarters", |b| {
+        b.iter(|| {
+            let mut t = LpTable::with_lg_len(lg);
+            for i in 0..cap as u64 {
+                t.adjust_or_insert(i, 1);
+            }
+            t.num_active()
+        })
+    });
+
+    let mut full = LpTable::with_lg_len(lg);
+    for i in 0..cap as u64 {
+        full.adjust_or_insert(i, (i % 1000 + 1) as i64);
+    }
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("lookup_hit", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for i in 0..10_000u64 {
+                acc += full.get(i * 7 % cap as u64).unwrap_or(0);
+            }
+            acc
+        })
+    });
+    group.bench_function("lookup_miss", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for i in 0..10_000u64 {
+                acc += full.get(cap as u64 + i).unwrap_or(0);
+            }
+            acc
+        })
+    });
+
+    group.throughput(Throughput::Elements(cap as u64));
+    group.bench_function("purge_sweep", |b| {
+        b.iter(|| {
+            let mut t = full.clone();
+            t.adjust_all(-500);
+            t.retain_positive()
+        })
+    });
+    group.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[1_024usize, 32_768] {
+        let data: Vec<i64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("quickselect_median", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut work = data.clone();
+                select_nth_smallest(&mut work, n / 2)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_sort_median", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut work = data.clone();
+                work.sort_unstable();
+                work[n / 2]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.throughput(Throughput::Elements(1024));
+    let lg = 15u32;
+    let cap = (1usize << lg) * 3 / 4;
+    let mut table = LpTable::with_lg_len(lg);
+    for i in 0..cap as u64 {
+        table.adjust_or_insert(i, (i + 1) as i64);
+    }
+    group.bench_function("sample_1024_counters", |b| {
+        let mut rng = Xoshiro256StarStar::from_seed(1);
+        let mut out = Vec::new();
+        b.iter(|| {
+            table.sample_values(&mut rng, 1024, &mut out);
+            out.len()
+        })
+    });
+
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("zipf_sample_2pow32", |b| {
+        let z = Zipf::new(1 << 32, 1.05);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(z.sample(&mut rng));
+            }
+            acc
+        })
+    });
+
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("hash64_u64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i.hash64());
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table, bench_select, bench_sampling);
+criterion_main!(benches);

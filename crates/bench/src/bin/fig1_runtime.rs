@@ -1,0 +1,84 @@
+//! Figure 1 — runtime comparison of SMED, SMIN, RBMC, MHE on the packet
+//! trace, in both the equal-counters and equal-space regimes.
+//!
+//! Paper shapes to reproduce (§4.3): SMED 5.5–8.7× faster than MHE,
+//! 6.5–30× faster than SMIN, 20–70× faster than RBMC; gaps shrink as k
+//! grows.
+//!
+//! ```text
+//! cargo run --release -p streamfreq-bench --bin fig1_runtime [--quick|--full|--updates N]
+//! ```
+
+use std::collections::HashMap;
+
+use streamfreq_baselines::SpaceSavingHeap;
+use streamfreq_bench::{parse_scale_args, print_header, run_algo, Algo, PAPER_K_VALUES};
+use streamfreq_workloads::{CaidaConfig, SyntheticCaida};
+
+fn main() {
+    let updates = parse_scale_args();
+    let config = CaidaConfig::scaled(updates);
+    eprintln!(
+        "generating synthetic CAIDA-like trace: {} updates, {} flows ...",
+        config.num_updates, config.num_flows
+    );
+    let stream = SyntheticCaida::materialize(&config);
+    let n: u64 = stream.iter().map(|&(_, w)| w).sum();
+    eprintln!("weighted length N = {n}");
+
+    // One timed run per (algo, k); reused by every panel below.
+    let algos = [Algo::Smed, Algo::Smin, Algo::Rbmc, Algo::Mhe];
+    let mut secs: HashMap<(String, usize), f64> = HashMap::new();
+
+    println!("# Figure 1a: equal number of counters k");
+    print_header(&["k", "algo", "seconds", "updates_per_sec", "memory_bytes"]);
+    for &k in &PAPER_K_VALUES {
+        for algo in algos {
+            let r = run_algo(algo, k, &stream, None);
+            secs.insert((r.algo.clone(), k), r.elapsed.as_secs_f64());
+            println!(
+                "{k}\t{}\t{:.3}\t{:.3e}\t{}",
+                r.algo,
+                r.elapsed.as_secs_f64(),
+                r.updates_per_sec,
+                r.memory_bytes
+            );
+        }
+    }
+
+    println!();
+    println!("# Figure 1b: equal space (MHE gets fewer counters for the same bytes)");
+    print_header(&["budget_bytes", "algo", "k", "seconds", "updates_per_sec"]);
+    for &k in &PAPER_K_VALUES {
+        let budget = 24 * k; // bytes used by the table-based algorithms
+        for algo in [Algo::Smed, Algo::Smin, Algo::Rbmc] {
+            let t = secs[&(algo.name(), k)];
+            println!(
+                "{budget}\t{}\t{k}\t{t:.3}\t{:.3e}",
+                algo.name(),
+                stream.len() as f64 / t
+            );
+        }
+        let k_mhe = SpaceSavingHeap::counters_for_bytes(budget);
+        let r = run_algo(Algo::Mhe, k_mhe, &stream, None);
+        println!(
+            "{budget}\t{}\t{k_mhe}\t{:.3}\t{:.3e}",
+            r.algo,
+            r.elapsed.as_secs_f64(),
+            r.updates_per_sec
+        );
+    }
+
+    println!();
+    println!("# Speedup summary (equal counters)");
+    print_header(&["k", "SMED_vs_MHE", "SMED_vs_SMIN", "SMED_vs_RBMC"]);
+    for &k in &PAPER_K_VALUES {
+        let smed = secs[&("SMED".to_string(), k)];
+        println!(
+            "{k}\t{:.1}x\t{:.1}x\t{:.1}x",
+            secs[&("MHE".to_string(), k)] / smed,
+            secs[&("SMIN".to_string(), k)] / smed,
+            secs[&("RBMC".to_string(), k)] / smed,
+        );
+    }
+}

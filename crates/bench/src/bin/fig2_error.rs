@@ -1,0 +1,92 @@
+//! Figure 2 — maximum-error comparison of SMED, SMIN (≡ RBMC), and MHE on
+//! the packet trace, equal-space and equal-counters.
+//!
+//! Paper shapes to reproduce (§4.3): at equal space SMED's maximum error is
+//! 18–29% above MHE's; RBMC/SMIN are indistinguishable from each other and
+//! clearly better than both; doubling SMED's counters erases its gap. At
+//! equal counters RBMC, MHE and SMIN are indistinguishable (they are
+//! isomorphic up to one counter, §1.4).
+//!
+//! ```text
+//! cargo run --release -p streamfreq-bench --bin fig2_error [--quick|--full|--updates N]
+//! ```
+
+use std::collections::HashMap;
+
+use streamfreq_baselines::SpaceSavingHeap;
+use streamfreq_bench::{exact_of, parse_scale_args, print_header, run_algo, Algo, PAPER_K_VALUES};
+use streamfreq_core::FrequencyEstimator;
+use streamfreq_workloads::{CaidaConfig, SyntheticCaida};
+
+fn main() {
+    let updates = parse_scale_args();
+    let config = CaidaConfig::scaled(updates);
+    eprintln!(
+        "generating synthetic CAIDA-like trace: {} updates, {} flows ...",
+        config.num_updates, config.num_flows
+    );
+    let stream = SyntheticCaida::materialize(&config);
+    eprintln!("building exact ground truth ...");
+    let truth = exact_of(&stream);
+    let n = truth.stream_weight();
+    eprintln!("N = {n}, distinct = {}", truth.num_distinct());
+
+    // One measured run per configuration, reused by every panel.
+    let mut errs: HashMap<(String, usize), u64> = HashMap::new();
+    let mut measure = |algo: Algo, k: usize| -> u64 {
+        let key = (algo.name(), k);
+        if let Some(&e) = errs.get(&key) {
+            return e;
+        }
+        let e = run_algo(algo, k, &stream, Some(&truth))
+            .max_error
+            .expect("truth supplied");
+        errs.insert(key, e);
+        e
+    };
+
+    println!("# Figure 2a: maximum error at equal space");
+    print_header(&["budget_bytes", "algo", "k", "max_error", "error_over_N"]);
+    for &k in &PAPER_K_VALUES {
+        let budget = 24 * k;
+        for (algo, kk) in [
+            (Algo::Smed, k),
+            (Algo::Smin, k),
+            (Algo::Rbmc, k),
+            (Algo::Mhe, SpaceSavingHeap::counters_for_bytes(budget)),
+        ] {
+            let err = measure(algo, kk);
+            println!(
+                "{budget}\t{}\t{kk}\t{err}\t{:.3e}",
+                algo.name(),
+                err as f64 / n as f64
+            );
+        }
+    }
+
+    println!();
+    println!("# Figure 2b: maximum error at equal counters");
+    print_header(&["k", "algo", "max_error", "error_over_N"]);
+    for &k in &PAPER_K_VALUES {
+        for algo in [Algo::Smed, Algo::Smin, Algo::Rbmc, Algo::Mhe] {
+            let err = measure(algo, k);
+            println!("{k}\t{}\t{err}\t{:.3e}", algo.name(), err as f64 / n as f64);
+        }
+    }
+
+    println!();
+    println!("# Error-ratio summary (equal space; SMIN as the accuracy reference)");
+    print_header(&["k", "SMED_over_MHE", "SMED_over_SMIN", "MHE_over_SMIN"]);
+    for &k in &PAPER_K_VALUES {
+        let budget = 24 * k;
+        let smed = measure(Algo::Smed, k).max(1) as f64;
+        let smin = measure(Algo::Smin, k).max(1) as f64;
+        let mhe = measure(Algo::Mhe, SpaceSavingHeap::counters_for_bytes(budget)).max(1) as f64;
+        println!(
+            "{k}\t{:.2}x\t{:.2}x\t{:.2}x",
+            smed / mhe,
+            smed / smin,
+            mhe / smin
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 3 — the speed/error tradeoff as a function of the purge
+//! quantile: fifty variants from the 0th quantile (SMIN) to the 98th.
+//!
+//! Paper shapes to reproduce (§4.4): runtime falls steeply from q=0 to
+//! q≈50 with diminishing returns beyond (98th only 20–30% faster than
+//! 20th); maximum error grows slowly up to q≈70 and sharply after.
+//!
+//! ```text
+//! cargo run --release -p streamfreq-bench --bin fig3_quantile_sweep \
+//!     [--quick|--full|--updates N] [--kvalues 3072,24576]
+//! ```
+
+use streamfreq_bench::{exact_of, parse_scale_args, print_header, run_algo, Algo};
+use streamfreq_core::FrequencyEstimator;
+use streamfreq_workloads::{CaidaConfig, SyntheticCaida};
+
+fn k_values() -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--kvalues") {
+        if let Some(list) = args.get(pos + 1) {
+            return list
+                .split(',')
+                .map(|s| s.parse().expect("--kvalues wants comma-separated integers"))
+                .collect();
+        }
+    }
+    vec![3_072, 24_576]
+}
+
+fn main() {
+    let updates = parse_scale_args();
+    let config = CaidaConfig::scaled(updates);
+    eprintln!(
+        "generating synthetic CAIDA-like trace: {} updates, {} flows ...",
+        config.num_updates, config.num_flows
+    );
+    let stream = SyntheticCaida::materialize(&config);
+    let truth = exact_of(&stream);
+
+    println!("# Figure 3: time and max error vs purge quantile (50 variants)");
+    print_header(&["k", "quantile", "seconds", "updates_per_sec", "max_error", "error_over_N"]);
+    for k in k_values() {
+        for step in 0..50 {
+            let q = (step * 2) as f64 / 100.0; // 0.00, 0.02, …, 0.98
+            let r = run_algo(Algo::Quantile(q), k, &stream, Some(&truth));
+            let err = r.max_error.expect("truth supplied");
+            println!(
+                "{k}\t{:.2}\t{:.3}\t{:.3e}\t{err}\t{:.3e}",
+                q,
+                r.elapsed.as_secs_f64(),
+                r.updates_per_sec,
+                err as f64 / truth.stream_weight() as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! §3.2's Note — merging two summaries that share a hash function must
+//! not iterate the source table front-to-back, or the insertion order
+//! correlates with destination probe positions and clusters the table.
+//!
+//! Our [`FreqSketch::merge`] replays in randomized order; the sequential
+//! order is reproduced here via `absorb_counters` over the table-order
+//! iterator, and both are timed over repeated merges.
+//!
+//! ```text
+//! cargo run --release -p streamfreq-bench --bin merge_clustering [--pairs N]
+//! ```
+
+use std::time::Instant;
+
+use streamfreq_bench::{parse_flag, print_header};
+use streamfreq_core::{FreqSketch, PurgePolicy};
+use streamfreq_workloads::{fill_stream, MergeWorkloadConfig};
+
+fn filled(k: usize, cfg: &MergeWorkloadConfig, index: u64) -> FreqSketch {
+    // Same default seed for every sketch: both summaries use the same hash
+    // function AND the same purge-sampler seed — the §3.2 worst case.
+    let mut s = FreqSketch::builder(k)
+        .policy(PurgePolicy::smed())
+        .grow_from_small(false)
+        .build()
+        .expect("invalid k");
+    for (item, w) in fill_stream(cfg, index) {
+        s.update(item, w);
+    }
+    s
+}
+
+fn main() {
+    let pairs = parse_flag("--pairs", 50);
+    let k = parse_flag("--k", 16_384);
+    let cfg = MergeWorkloadConfig {
+        updates_per_sketch: 200_000,
+        ..MergeWorkloadConfig::default()
+    };
+    let sketches: Vec<(FreqSketch, FreqSketch)> = (0..pairs as u64)
+        .map(|i| (filled(k, &cfg, 2 * i), filled(k, &cfg, 2 * i + 1)))
+        .collect();
+
+    print_header(&["order", "seconds", "merges_per_sec"]);
+
+    // Randomized order (the shipped merge).
+    let start = Instant::now();
+    for (a, b) in &sketches {
+        let mut dst = a.clone();
+        dst.merge(b);
+    }
+    let t_rand = start.elapsed().as_secs_f64();
+    println!("randomized\t{t_rand:.4}\t{:.1}", pairs as f64 / t_rand);
+
+    // Sequential table order (the §3.2 anti-pattern).
+    let start = Instant::now();
+    for (a, b) in &sketches {
+        let mut dst = a.clone();
+        dst.absorb_counters(b.counters(), b.stream_weight(), b.maximum_error());
+    }
+    let t_seq = start.elapsed().as_secs_f64();
+    println!("sequential\t{t_seq:.4}\t{:.1}", pairs as f64 / t_seq);
+
+    println!();
+    println!(
+        "# sequential/randomized time ratio: {:.2}x (>1 indicates probe clustering)",
+        t_seq / t_rand
+    );
+}

@@ -1,0 +1,78 @@
+//! §1.3's premise — "counter-based algorithms perform significantly better
+//! in terms of space, speed, and accuracy than quantile and sketching
+//! algorithms" (Cormode & Hadjieleftheriou, confirmed by the paper's
+//! initial experiments) — re-verified against our Count-Min and
+//! CountSketch implementations at equal memory.
+//!
+//! ```text
+//! cargo run --release -p streamfreq-bench --bin sketch_vs_counters [--quick|--full|--updates N]
+//! ```
+
+use std::time::Instant;
+
+use streamfreq_baselines::{CountMinSketch, CountSketch};
+use streamfreq_bench::{exact_of, parse_scale_args, print_header, run_algo, Algo};
+use streamfreq_core::FrequencyEstimator;
+use streamfreq_workloads::{CaidaConfig, SyntheticCaida};
+
+fn main() {
+    let updates = parse_scale_args();
+    let config = CaidaConfig::scaled(updates);
+    eprintln!("generating trace ({} updates) ...", config.num_updates);
+    let stream = SyntheticCaida::materialize(&config);
+    let truth = exact_of(&stream);
+    let n = truth.stream_weight();
+
+    let k = 6_144usize;
+    let budget = 24 * k; // bytes of the counter-based sketch
+    println!("# Equal-memory comparison at {budget} bytes (k = {k} counters)");
+    print_header(&["algo", "memory_bytes", "seconds", "updates_per_sec", "max_error", "error_over_N"]);
+
+    // Counter-based representative: SMED.
+    let r = run_algo(Algo::Smed, k, &stream, Some(&truth));
+    println!(
+        "SMED\t{}\t{:.3}\t{:.3e}\t{}\t{:.3e}",
+        r.memory_bytes,
+        r.elapsed.as_secs_f64(),
+        r.updates_per_sec,
+        r.max_error.unwrap(),
+        r.max_error.unwrap() as f64 / n as f64
+    );
+
+    // Count-Min at the same byte budget: depth 4 → width = budget / (4·8).
+    let depth = 4;
+    let width = budget / (depth * 8);
+    let mut cm = CountMinSketch::new(depth, width, 1);
+    let start = Instant::now();
+    for &(item, w) in &stream {
+        cm.update(item, w);
+    }
+    let t = start.elapsed();
+    let cm_err = truth.max_abs_error(|i| cm.estimate(i));
+    println!(
+        "CountMin\t{}\t{:.3}\t{:.3e}\t{cm_err}\t{:.3e}",
+        cm.memory_bytes(),
+        t.as_secs_f64(),
+        stream.len() as f64 / t.as_secs_f64(),
+        cm_err as f64 / n as f64
+    );
+
+    // CountSketch at the same budget.
+    let mut cs = CountSketch::new(depth, width, 2);
+    let start = Instant::now();
+    for &(item, w) in &stream {
+        cs.update(item, w);
+    }
+    let t = start.elapsed();
+    let cs_err = truth.max_abs_error(|i| cs.estimate(i));
+    println!(
+        "CountSketch\t{}\t{:.3}\t{:.3e}\t{cs_err}\t{:.3e}",
+        cs.memory_bytes(),
+        t.as_secs_f64(),
+        stream.len() as f64 / t.as_secs_f64(),
+        cs_err as f64 / n as f64
+    );
+
+    println!();
+    println!("# expected shape: SMED at or above the sketches' speed with far lower max error");
+}

@@ -1,0 +1,65 @@
+//! Space accounting — verifies §2.3.3's `24k`-byte formula and §4.1's
+//! claim that at `k = 24 576` the sketch uses < 1/70 of the trivial exact
+//! solution's space.
+//!
+//! ```text
+//! cargo run --release -p streamfreq-bench --bin space_table [--quick|--full|--updates N]
+//! ```
+
+use streamfreq_baselines::{ExactCounter, Rbmc, SpaceSavingHeap, StreamSummary};
+use streamfreq_bench::{fmt_bytes, parse_scale_args, print_header, PAPER_K_VALUES};
+use streamfreq_core::{FreqSketch, FrequencyEstimator};
+use streamfreq_workloads::{CaidaConfig, SyntheticCaida};
+
+fn main() {
+    println!("# Sketch memory by k (paper: 24k bytes for the table-based algorithms)");
+    print_header(&["k", "sketch_bytes", "bytes_per_counter", "mhe_bytes", "ssl_bytes_est"]);
+    for &k in &PAPER_K_VALUES {
+        let sketch = FreqSketch::builder(k)
+            .grow_from_small(false)
+            .build()
+            .expect("invalid k");
+        let rbmc = Rbmc::new(k);
+        assert_eq!(sketch.memory_bytes(), rbmc.memory_bytes());
+        let mhe = SpaceSavingHeap::new(k);
+        let mut ssl = StreamSummary::new(k);
+        for i in 0..k as u64 {
+            ssl.update_one(i); // force full allocation
+        }
+        println!(
+            "{k}\t{}\t{:.1}\t{}\t{}",
+            sketch.memory_bytes(),
+            sketch.memory_bytes() as f64 / k as f64,
+            mhe.memory_bytes(),
+            ssl.memory_bytes()
+        );
+    }
+
+    let updates = parse_scale_args();
+    let config = CaidaConfig::scaled(updates);
+    eprintln!(
+        "generating trace ({} updates) for the trivial-solution comparison ...",
+        config.num_updates
+    );
+    let mut exact = ExactCounter::new();
+    for (item, w) in SyntheticCaida::new(&config) {
+        exact.update(item, w);
+    }
+    println!();
+    println!("# Trivial exact solution vs sketch (k = 24576)");
+    let sketch_bytes = FreqSketch::builder(24_576)
+        .grow_from_small(false)
+        .build()
+        .expect("k")
+        .memory_bytes();
+    println!(
+        "exact: {} distinct items, {}",
+        exact.num_distinct(),
+        fmt_bytes(exact.memory_bytes())
+    );
+    println!("sketch: {}", fmt_bytes(sketch_bytes));
+    println!(
+        "ratio: {:.1}x (paper at full scale: >70x)",
+        exact.memory_bytes() as f64 / sketch_bytes as f64
+    );
+}

@@ -1,0 +1,594 @@
+//! Implementation of the `streamfreq` command-line tool: argument
+//! parsing, command execution, and report formatting, factored into a
+//! library so the test suite can drive it without spawning processes.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use streamfreq_core::{ErrorType, FreqSketch, PurgePolicy};
+use streamfreq_workloads::{load_binary, save_binary, CaidaConfig, SyntheticCaida};
+
+/// Usage text for `streamfreq help`.
+pub const USAGE: &str = "\
+streamfreq — frequent-items sketching from the command line
+
+USAGE:
+  streamfreq build -k <counters> --input <stream.bin> --output <sketch.sk>
+                   [--policy smed|smin|q<percent>|med|globalmin] [--seed N]
+  streamfreq info  <sketch.sk>
+  streamfreq top   <sketch.sk> [-n <rows>]
+  streamfreq query <sketch.sk> <item> [<item> ...]
+  streamfreq heavy <sketch.sk> --phi <fraction> [--contract nfp|nfn]
+  streamfreq merge <a.sk> <b.sk> [<c.sk> ...] --output <merged.sk>
+  streamfreq synth --updates <n> --output <stream.bin> [--flows N] [--seed N]
+  streamfreq help
+
+FILES:
+  stream.bin  16-byte little-endian (item u64, weight u64) records
+  sketch.sk   streamfreq-core versioned wire format
+";
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Build a sketch from a stream file.
+    Build {
+        /// Counters `k`.
+        k: usize,
+        /// Purge policy.
+        policy: PurgePolicy,
+        /// Sampler seed.
+        seed: u64,
+        /// Input stream path.
+        input: PathBuf,
+        /// Output sketch path.
+        output: PathBuf,
+    },
+    /// Print summary statistics of a sketch file.
+    Info(PathBuf),
+    /// Print the top-n rows of a sketch file.
+    Top {
+        /// Sketch path.
+        path: PathBuf,
+        /// Number of rows.
+        n: usize,
+    },
+    /// Point-query one or more items.
+    Query {
+        /// Sketch path.
+        path: PathBuf,
+        /// Items to query.
+        items: Vec<u64>,
+    },
+    /// Heavy hitters at a φ threshold.
+    Heavy {
+        /// Sketch path.
+        path: PathBuf,
+        /// The φ fraction of total weight.
+        phi: f64,
+        /// Reporting contract.
+        error_type: ErrorType,
+    },
+    /// Merge sketch files into one.
+    Merge {
+        /// Input sketch paths (two or more).
+        inputs: Vec<PathBuf>,
+        /// Output path.
+        output: PathBuf,
+    },
+    /// Generate a synthetic CAIDA-like stream file.
+    Synth {
+        /// Number of updates.
+        updates: usize,
+        /// Number of flows (0 = scaled default).
+        flows: u64,
+        /// Seed.
+        seed: u64,
+        /// Output path.
+        output: PathBuf,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// Filesystem failure on a path.
+    Io(PathBuf, std::io::Error),
+    /// Malformed sketch file.
+    Sketch(PathBuf, streamfreq_core::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            CliError::Sketch(path, e) => write!(f, "{}: {e}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_policy(s: &str) -> Result<PurgePolicy, CliError> {
+    match s {
+        "smed" => Ok(PurgePolicy::smed()),
+        "smin" => Ok(PurgePolicy::smin()),
+        "med" => Ok(PurgePolicy::med()),
+        "globalmin" => Ok(PurgePolicy::GlobalMin),
+        other => {
+            if let Some(pct) = other.strip_prefix('q') {
+                let pct: f64 = pct
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad quantile `{other}`")))?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(CliError::Usage(format!("quantile {pct} outside 0..=100")));
+                }
+                Ok(PurgePolicy::sample_quantile(pct / 100.0))
+            } else {
+                Err(CliError::Usage(format!("unknown policy `{other}`")))
+            }
+        }
+    }
+}
+
+fn required<'a>(args: &'a [String], flag: &str, cmd: &str) -> Result<&'a str, CliError> {
+    flag_value(args, flag).ok_or_else(|| CliError::Usage(format!("{cmd} requires {flag}")))
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, CliError> {
+    s.parse()
+        .map_err(|_| CliError::Usage(format!("bad {what} `{s}`")))
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+/// Returns [`CliError::Usage`] describing the first problem found.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "build" => {
+            let k = parse_u64(required(rest, "-k", "build")?, "counter count")? as usize;
+            let input = PathBuf::from(required(rest, "--input", "build")?);
+            let output = PathBuf::from(required(rest, "--output", "build")?);
+            let policy = match flag_value(rest, "--policy") {
+                Some(p) => parse_policy(p)?,
+                None => PurgePolicy::smed(),
+            };
+            let seed = match flag_value(rest, "--seed") {
+                Some(s) => parse_u64(s, "seed")?,
+                None => streamfreq_core::sketch::DEFAULT_SEED,
+            };
+            Ok(Command::Build {
+                k,
+                policy,
+                seed,
+                input,
+                output,
+            })
+        }
+        "info" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| CliError::Usage("info requires a sketch path".into()))?;
+            Ok(Command::Info(PathBuf::from(path)))
+        }
+        "top" => {
+            let path = rest
+                .first()
+                .filter(|p| !p.starts_with('-'))
+                .ok_or_else(|| CliError::Usage("top requires a sketch path".into()))?;
+            let n = match flag_value(rest, "-n") {
+                Some(s) => parse_u64(s, "row count")? as usize,
+                None => 10,
+            };
+            Ok(Command::Top {
+                path: PathBuf::from(path),
+                n,
+            })
+        }
+        "query" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| CliError::Usage("query requires a sketch path".into()))?;
+            let items = rest[1..]
+                .iter()
+                .map(|s| parse_u64(s, "item"))
+                .collect::<Result<Vec<u64>, _>>()?;
+            if items.is_empty() {
+                return Err(CliError::Usage("query requires at least one item".into()));
+            }
+            Ok(Command::Query {
+                path: PathBuf::from(path),
+                items,
+            })
+        }
+        "heavy" => {
+            let path = rest
+                .first()
+                .filter(|p| !p.starts_with('-'))
+                .ok_or_else(|| CliError::Usage("heavy requires a sketch path".into()))?;
+            let phi: f64 = required(rest, "--phi", "heavy")?
+                .parse()
+                .map_err(|_| CliError::Usage("bad --phi value".into()))?;
+            if !(0.0..=1.0).contains(&phi) {
+                return Err(CliError::Usage(format!("phi {phi} outside [0, 1]")));
+            }
+            let error_type = match flag_value(rest, "--contract") {
+                None | Some("nfn") => ErrorType::NoFalseNegatives,
+                Some("nfp") => ErrorType::NoFalsePositives,
+                Some(other) => {
+                    return Err(CliError::Usage(format!(
+                        "unknown contract `{other}` (want nfp|nfn)"
+                    )))
+                }
+            };
+            Ok(Command::Heavy {
+                path: PathBuf::from(path),
+                phi,
+                error_type,
+            })
+        }
+        "merge" => {
+            let output = PathBuf::from(required(rest, "--output", "merge")?);
+            let inputs: Vec<PathBuf> = rest
+                .iter()
+                .take_while(|a| *a != "--output")
+                .map(PathBuf::from)
+                .collect();
+            if inputs.len() < 2 {
+                return Err(CliError::Usage("merge requires at least two sketches".into()));
+            }
+            Ok(Command::Merge { inputs, output })
+        }
+        "synth" => {
+            let updates =
+                parse_u64(required(rest, "--updates", "synth")?, "update count")? as usize;
+            let output = PathBuf::from(required(rest, "--output", "synth")?);
+            let flows = match flag_value(rest, "--flows") {
+                Some(s) => parse_u64(s, "flow count")?,
+                None => 0,
+            };
+            let seed = match flag_value(rest, "--seed") {
+                Some(s) => parse_u64(s, "seed")?,
+                None => 0xCA1DA,
+            };
+            Ok(Command::Synth {
+                updates,
+                flows,
+                seed,
+                output,
+            })
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn read_sketch(path: &Path) -> Result<FreqSketch, CliError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::Io(path.to_path_buf(), e))?;
+    FreqSketch::deserialize_from_bytes(&bytes)
+        .map_err(|e| CliError::Sketch(path.to_path_buf(), e))
+}
+
+fn write_sketch(path: &Path, sketch: &FreqSketch) -> Result<(), CliError> {
+    std::fs::write(path, sketch.serialize_to_bytes())
+        .map_err(|e| CliError::Io(path.to_path_buf(), e))
+}
+
+/// Executes a command and returns the text report to print.
+///
+/// # Errors
+/// Returns a [`CliError`] describing I/O, codec, or usage failures.
+pub fn run(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Build {
+            k,
+            policy,
+            seed,
+            input,
+            output,
+        } => {
+            let stream =
+                load_binary(input).map_err(|e| CliError::Io(input.clone(), e))?;
+            let mut sketch = FreqSketch::builder(*k)
+                .policy(*policy)
+                .seed(*seed)
+                .build()
+                .map_err(|e| CliError::Sketch(output.clone(), e))?;
+            for &(item, weight) in &stream {
+                sketch.update(item, weight);
+            }
+            write_sketch(output, &sketch)?;
+            Ok(format!(
+                "built {}: {} updates, N = {}, {} counters, max error ±{}\n",
+                output.display(),
+                sketch.num_updates(),
+                sketch.stream_weight(),
+                sketch.num_counters(),
+                sketch.maximum_error()
+            ))
+        }
+        Command::Info(path) => {
+            let s = read_sketch(path)?;
+            Ok(format!(
+                "sketch {}\n\
+                 \x20 capacity (k):      {}\n\
+                 \x20 counters in use:   {}\n\
+                 \x20 policy:            {:?}\n\
+                 \x20 stream weight N:   {}\n\
+                 \x20 updates n:         {}\n\
+                 \x20 purges:            {}\n\
+                 \x20 max error:         {}\n\
+                 \x20 table memory:      {} bytes\n",
+                path.display(),
+                s.max_counters(),
+                s.num_counters(),
+                s.policy(),
+                s.stream_weight(),
+                s.num_updates(),
+                s.num_purges(),
+                s.maximum_error(),
+                s.memory_bytes()
+            ))
+        }
+        Command::Top { path, n } => {
+            let s = read_sketch(path)?;
+            let mut out = format!("{:>20} {:>16} {:>16} {:>16}\n", "item", "estimate", "lower", "upper");
+            for row in s.top_k(*n) {
+                out.push_str(&format!(
+                    "{:>20} {:>16} {:>16} {:>16}\n",
+                    row.item, row.estimate, row.lower_bound, row.upper_bound
+                ));
+            }
+            Ok(out)
+        }
+        Command::Query { path, items } => {
+            let s = read_sketch(path)?;
+            let mut out = String::new();
+            for &item in items {
+                out.push_str(&format!(
+                    "{item}: estimate {} (certified {} ..= {})\n",
+                    s.estimate(item),
+                    s.lower_bound(item),
+                    s.upper_bound(item)
+                ));
+            }
+            Ok(out)
+        }
+        Command::Heavy {
+            path,
+            phi,
+            error_type,
+        } => {
+            let s = read_sketch(path)?;
+            let rows = s.heavy_hitters(*phi, *error_type);
+            let n = s.stream_weight().max(1);
+            let mut out = format!(
+                "{} items may exceed {:.3}% of N = {}\n",
+                rows.len(),
+                phi * 100.0,
+                s.stream_weight()
+            );
+            for row in rows {
+                out.push_str(&format!(
+                    "  {:>20}  ~{}  ({:.3}% of N)\n",
+                    row.item,
+                    row.estimate,
+                    100.0 * row.estimate as f64 / n as f64
+                ));
+            }
+            Ok(out)
+        }
+        Command::Merge { inputs, output } => {
+            let mut merged = read_sketch(&inputs[0])?;
+            for path in &inputs[1..] {
+                let other = read_sketch(path)?;
+                merged.merge(&other);
+            }
+            write_sketch(output, &merged)?;
+            Ok(format!(
+                "merged {} sketches into {}: N = {}, {} counters, max error ±{}\n",
+                inputs.len(),
+                output.display(),
+                merged.stream_weight(),
+                merged.num_counters(),
+                merged.maximum_error()
+            ))
+        }
+        Command::Synth {
+            updates,
+            flows,
+            seed,
+            output,
+        } => {
+            let mut config = CaidaConfig::scaled(*updates);
+            if *flows > 0 {
+                config.num_flows = *flows;
+            }
+            config.seed = *seed;
+            let stream: Vec<(u64, u64)> = SyntheticCaida::new(&config).collect();
+            save_binary(&stream, output).map_err(|e| CliError::Io(output.clone(), e))?;
+            Ok(format!(
+                "wrote {}: {} updates over ~{} flows\n",
+                output.display(),
+                stream.len(),
+                config.num_flows
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("streamfreq-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn parses_build_with_policy() {
+        let cmd = parse_args(&args(
+            "build -k 1024 --input in.bin --output out.sk --policy q25 --seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Build { k, policy, seed, .. } => {
+                assert_eq!(k, 1024);
+                assert_eq!(policy, PurgePolicy::sample_quantile(0.25));
+                assert_eq!(seed, 7);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_flags() {
+        assert!(parse_args(&args("build -k 10 --input x")).is_err());
+        assert!(parse_args(&args("heavy s.sk")).is_err());
+        assert!(parse_args(&args("merge a.sk --output m.sk")).is_err());
+        assert!(parse_args(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse_args(&args("build -k lots --input a --output b")).is_err());
+        assert!(parse_args(&args("heavy s.sk --phi 1.5")).is_err());
+        assert!(parse_args(&args(
+            "build -k 8 --input a --output b --policy q150"
+        ))
+        .is_err());
+        assert!(parse_args(&args("query s.sk")).is_err());
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn end_to_end_synth_build_query_merge() {
+        let stream_path = tmp("e2e.bin");
+        let sk_a = tmp("a.sk");
+        let sk_b = tmp("b.sk");
+        let merged = tmp("m.sk");
+
+        // synth
+        run(&Command::Synth {
+            updates: 50_000,
+            flows: 2_000,
+            seed: 1,
+            output: stream_path.clone(),
+        })
+        .unwrap();
+
+        // build two sketches from the same stream with different seeds
+        for (path, seed) in [(&sk_a, 1u64), (&sk_b, 2u64)] {
+            run(&Command::Build {
+                k: 512,
+                policy: PurgePolicy::smed(),
+                seed,
+                input: stream_path.clone(),
+                output: path.clone(),
+            })
+            .unwrap();
+        }
+
+        // info
+        let info = run(&Command::Info(sk_a.clone())).unwrap();
+        assert!(info.contains("capacity (k):      512"), "{info}");
+
+        // top
+        let top = run(&Command::Top {
+            path: sk_a.clone(),
+            n: 5,
+        })
+        .unwrap();
+        assert_eq!(top.lines().count(), 6, "header + 5 rows");
+
+        // query a heavy item from top output
+        let heavy_item: u64 = top
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let q = run(&Command::Query {
+            path: sk_a.clone(),
+            items: vec![heavy_item],
+        })
+        .unwrap();
+        assert!(q.contains("estimate"));
+
+        // merge
+        let report = run(&Command::Merge {
+            inputs: vec![sk_a.clone(), sk_b.clone()],
+            output: merged.clone(),
+        })
+        .unwrap();
+        assert!(report.contains("merged 2 sketches"));
+        let m = read_sketch(&merged).unwrap();
+        let a = read_sketch(&sk_a).unwrap();
+        assert_eq!(m.stream_weight(), 2 * a.stream_weight());
+
+        // heavy
+        let h = run(&Command::Heavy {
+            path: merged.clone(),
+            phi: 0.01,
+            error_type: ErrorType::NoFalseNegatives,
+        })
+        .unwrap();
+        assert!(h.contains("% of N"));
+
+        for p in [stream_path, sk_a, sk_b, merged] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn corrupt_sketch_file_is_reported() {
+        let path = tmp("corrupt.sk");
+        std::fs::write(&path, b"not a sketch").unwrap();
+        let err = run(&Command::Info(path.clone())).unwrap_err();
+        assert!(matches!(err, CliError::Sketch(..)), "{err:?}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = run(&Command::Info(PathBuf::from("/nonexistent/x.sk"))).unwrap_err();
+        assert!(matches!(err, CliError::Io(..)));
+    }
+}

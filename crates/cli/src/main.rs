@@ -1,0 +1,57 @@
+//! `streamfreq` — command-line front end for the frequent-items sketch.
+//!
+//! Mirrors the workflows a production deployment runs around the library
+//! (build a sketch from a stream file, inspect it, merge shards, answer
+//! queries) so the sketch can be exercised without writing Rust:
+//!
+//! ```text
+//! streamfreq build  -k 4096 --input updates.bin --output day1.sk
+//! streamfreq info   day1.sk
+//! streamfreq top    day1.sk -n 20
+//! streamfreq query  day1.sk 192168001001 424242
+//! streamfreq merge  day1.sk day2.sk --output week.sk
+//! streamfreq synth  --updates 1000000 --output demo.bin      # demo stream
+//! ```
+//!
+//! Stream files are the 16-byte little-endian `(item, weight)` records of
+//! `streamfreq_workloads::save_binary`; sketch files are the versioned
+//! wire format of `streamfreq_core::codec`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use streamfreq_cli::{parse_args, run, CliError, Command};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(Command::Help) => {
+            print!("{}", streamfreq_cli::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `streamfreq help` for usage");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&command) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Io(path, e)) => {
+            eprintln!("error: {}: {e}", display(&path));
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn display(p: &Path) -> String {
+    PathBuf::from(p).display().to_string()
+}

@@ -1,0 +1,115 @@
+//! A-priori error-bound arithmetic from the paper's analysis (Lemmas 1–4,
+//! Theorems 2, 4, 5).
+//!
+//! These helpers let callers size a sketch before seeing the stream
+//! ("how many counters for ±0.1% of N?") and let the test suite assert the
+//! guarantees the paper proves.
+
+/// Lemma 1: the classic Misra-Gries bound. With `k` counters on a stream of
+/// weighted length `n`, every estimate satisfies `0 ≤ fᵢ − f̂ᵢ ≤ n/(k+1)`.
+#[inline]
+pub fn mg_error_bound(k: usize, n: u64) -> u64 {
+    n / (k as u64 + 1)
+}
+
+/// Theorem 2 / Theorem 4 tail form: with effective `k*` and residual weight
+/// `n_res_j = N^res(j)` (total weight minus the top-`j` items), the error is
+/// at most `N^res(j)/(k* − j)`. Returns `None` when `j ≥ k*` (the bound is
+/// vacuous there).
+#[inline]
+pub fn tail_error_bound(kstar: usize, j: usize, n_res_j: u64) -> Option<u64> {
+    if j >= kstar {
+        return None;
+    }
+    Some(n_res_j / (kstar - j) as u64)
+}
+
+/// Counters needed for absolute error `≤ eps · n` under an effective-k\*
+/// fraction `kstar_fraction` (see
+/// [`crate::purge::PurgePolicy::effective_kstar_fraction`]):
+/// `k ≥ 1/(eps · fraction)`.
+///
+/// # Panics
+/// Panics unless `0 < eps ≤ 1` and `0 < kstar_fraction ≤ 1`.
+pub fn counters_for_epsilon(eps: f64, kstar_fraction: f64) -> usize {
+    assert!(eps > 0.0 && eps <= 1.0, "eps {eps} outside (0, 1]");
+    assert!(
+        kstar_fraction > 0.0 && kstar_fraction <= 1.0,
+        "kstar_fraction {kstar_fraction} outside (0, 1]"
+    );
+    (1.0 / (eps * kstar_fraction)).ceil() as usize
+}
+
+/// Residual stream weight `N^res(j)`: the total weight minus the `j`
+/// heaviest frequencies. `freqs` need not be sorted. Used by tests and the
+/// error-measurement harness to evaluate tail guarantees on skewed streams.
+pub fn residual_weight(freqs: &[u64], j: usize) -> u64 {
+    let total: u64 = freqs.iter().sum();
+    if j == 0 {
+        return total;
+    }
+    let mut top: Vec<u64> = freqs.to_vec();
+    top.sort_unstable_by(|a, b| b.cmp(a));
+    total - top.iter().take(j).sum::<u64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mg_bound_basic() {
+        assert_eq!(mg_error_bound(99, 10_000), 100);
+        assert_eq!(mg_error_bound(0, 500), 500);
+    }
+
+    #[test]
+    fn tail_bound_specializes_to_lemma1_at_j0() {
+        // With j = 0, N^res(0) = N and the bound is N/k*.
+        assert_eq!(tail_error_bound(100, 0, 10_000), Some(100));
+    }
+
+    #[test]
+    fn tail_bound_vacuous_when_j_too_large() {
+        assert_eq!(tail_error_bound(10, 10, 1000), None);
+        assert_eq!(tail_error_bound(10, 11, 1000), None);
+    }
+
+    #[test]
+    fn tail_bound_improves_on_skew() {
+        // One item holds 90% of the mass: removing it shrinks the bound 10x.
+        let freqs = [9_000u64, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100];
+        let n = residual_weight(&freqs, 0);
+        assert_eq!(n, 10_000);
+        let res1 = residual_weight(&freqs, 1);
+        assert_eq!(res1, 1_000);
+        let loose = tail_error_bound(50, 0, n).unwrap();
+        let tight = tail_error_bound(50, 1, res1).unwrap();
+        assert!(tight * 9 < loose, "tail bound should exploit skew");
+    }
+
+    #[test]
+    fn counters_for_epsilon_inverts_bound() {
+        // eps = 1% with SMED's 0.33 fraction → ~304 counters.
+        let k = counters_for_epsilon(0.01, 0.33);
+        assert_eq!(k, 304);
+        // With those k, the bound indeed comes in at or under eps·n.
+        let n = 1_000_000u64;
+        let err = n as f64 / (0.33 * k as f64);
+        assert!(err <= 0.01 * n as f64 * 1.01);
+    }
+
+    #[test]
+    fn residual_weight_unsorted_input() {
+        assert_eq!(residual_weight(&[5, 100, 7], 1), 12);
+        assert_eq!(residual_weight(&[5, 100, 7], 2), 5);
+        assert_eq!(residual_weight(&[5, 100, 7], 5), 0);
+        assert_eq!(residual_weight(&[], 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn counters_for_epsilon_rejects_zero() {
+        counters_for_epsilon(0.0, 0.33);
+    }
+}

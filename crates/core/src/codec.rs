@@ -1,0 +1,471 @@
+//! Compact binary serialization of [`FreqSketch`].
+//!
+//! Mergeable summaries matter because they move between machines (§3's
+//! motivating scenarios: per-hour summaries at query time, partitioned
+//! processing, geo-distributed aggregation). That requires a stable wire
+//! format. The encoding below is little-endian, versioned, and stores only
+//! the assigned counters — an underfilled sketch of capacity 24 576 costs a
+//! few hundred bytes on the wire, not 576 KiB.
+//!
+//! ## Layout (version 1)
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `"SFQ1"` |
+//! | 4      | 1    | format version (`1`) |
+//! | 5      | 1    | policy tag (0 = SampleQuantile, 1 = ExactKStar, 2 = GlobalMin) |
+//! | 6      | 2    | reserved (zero) |
+//! | 8      | 8    | `max_counters` |
+//! | 16     | 8    | `seed` |
+//! | 24     | 8    | `offset` (cumulative decrement) |
+//! | 32     | 8    | `stream_weight` |
+//! | 40     | 8    | `num_updates` |
+//! | 48     | 8    | `num_purges` |
+//! | 56     | 8    | policy parameter A (`sample_size`, or `fraction` bits) |
+//! | 64     | 8    | policy parameter B (`quantile` bits, else zero) |
+//! | 72     | 32   | purge-sampler state (xoshiro256\*\* state words) |
+//! | 104    | 4    | `num_active` |
+//! | 108    | 16·n | `num_active` × (item `u64`, count `u64`) |
+//!
+//! Deserialization reconstructs the counter table by re-inserting the
+//! pairs; because the item hash is deterministic ([`crate::hashing`]), the
+//! rebuilt table is operationally identical, and because the sampler state
+//! is carried along, *continuing to update a round-tripped sketch produces
+//! bit-identical results to the original*.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::Error;
+use crate::purge::PurgePolicy;
+use crate::rng::Xoshiro256StarStar;
+use crate::sketch::{FreqSketch, FreqSketchBuilder};
+
+const MAGIC: &[u8; 4] = b"SFQ1";
+const VERSION: u8 = 1;
+const HEADER_LEN: usize = 108;
+
+pub(crate) fn policy_tag(policy: &PurgePolicy) -> u8 {
+    match policy {
+        PurgePolicy::SampleQuantile { .. } => 0,
+        PurgePolicy::ExactKStar { .. } => 1,
+        PurgePolicy::GlobalMin => 2,
+    }
+}
+
+pub(crate) fn policy_params(policy: &PurgePolicy) -> (u64, u64) {
+    match *policy {
+        PurgePolicy::SampleQuantile {
+            sample_size,
+            quantile,
+        } => (sample_size as u64, quantile.to_bits()),
+        PurgePolicy::ExactKStar { fraction } => (fraction.to_bits(), 0),
+        PurgePolicy::GlobalMin => (0, 0),
+    }
+}
+
+pub(crate) fn policy_from_wire(tag: u8, a: u64, b: u64) -> Result<PurgePolicy, Error> {
+    let policy = match tag {
+        0 => PurgePolicy::SampleQuantile {
+            sample_size: usize::try_from(a)
+                .map_err(|_| Error::Corrupt("sample_size exceeds usize".into()))?,
+            quantile: f64::from_bits(b),
+        },
+        1 => PurgePolicy::ExactKStar {
+            fraction: f64::from_bits(a),
+        },
+        2 => PurgePolicy::GlobalMin,
+        other => return Err(Error::Corrupt(format!("unknown policy tag {other}"))),
+    };
+    policy.validate().map_err(Error::Corrupt)?;
+    Ok(policy)
+}
+
+impl FreqSketch {
+    /// Serializes the sketch into a fresh byte vector (format version 1).
+    pub fn serialize_to_bytes(&self) -> Vec<u8> {
+        let num_active = self.table.num_active();
+        let mut out = Vec::with_capacity(HEADER_LEN + 16 * num_active);
+        out.put_slice(MAGIC);
+        out.put_u8(VERSION);
+        out.put_u8(policy_tag(&self.policy));
+        out.put_u16_le(0);
+        out.put_u64_le(self.max_counters as u64);
+        out.put_u64_le(self.seed);
+        out.put_u64_le(self.offset);
+        out.put_u64_le(self.stream_weight);
+        out.put_u64_le(self.num_updates);
+        out.put_u64_le(self.num_purges);
+        let (a, b) = policy_params(&self.policy);
+        out.put_u64_le(a);
+        out.put_u64_le(b);
+        for word in self.rng.state() {
+            out.put_u64_le(word);
+        }
+        out.put_u32_le(num_active as u32);
+        for (item, count) in self.table.iter() {
+            out.put_u64_le(item);
+            out.put_u64_le(count as u64);
+        }
+        out
+    }
+
+    /// Reconstructs a sketch serialized by [`Self::serialize_to_bytes`].
+    ///
+    /// # Errors
+    /// Returns [`Error::Corrupt`], [`Error::UnsupportedVersion`] or
+    /// [`Error::Truncated`] for malformed input. Trailing bytes after the
+    /// encoded sketch are rejected as corruption.
+    pub fn deserialize_from_bytes(bytes: &[u8]) -> Result<FreqSketch, Error> {
+        let mut buf = bytes;
+        if buf.remaining() < HEADER_LEN {
+            return Err(Error::Truncated {
+                needed: HEADER_LEN - buf.remaining(),
+                remaining: buf.remaining(),
+            });
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(Error::Corrupt(format!("bad magic {magic:02x?}")));
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(Error::UnsupportedVersion(version));
+        }
+        let tag = buf.get_u8();
+        let reserved = buf.get_u16_le();
+        if reserved != 0 {
+            return Err(Error::Corrupt("nonzero reserved field".into()));
+        }
+        let max_counters = usize::try_from(buf.get_u64_le())
+            .map_err(|_| Error::Corrupt("max_counters exceeds usize".into()))?;
+        let seed = buf.get_u64_le();
+        let offset = buf.get_u64_le();
+        let stream_weight = buf.get_u64_le();
+        let num_updates = buf.get_u64_le();
+        let num_purges = buf.get_u64_le();
+        let param_a = buf.get_u64_le();
+        let param_b = buf.get_u64_le();
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = buf.get_u64_le();
+        }
+        let num_active = buf.get_u32_le() as usize;
+        if buf.remaining() != num_active * 16 {
+            return if buf.remaining() < num_active * 16 {
+                Err(Error::Truncated {
+                    needed: num_active * 16 - buf.remaining(),
+                    remaining: buf.remaining(),
+                })
+            } else {
+                Err(Error::Corrupt("trailing bytes after counters".into()))
+            };
+        }
+        if num_active > max_counters {
+            return Err(Error::Corrupt(format!(
+                "{num_active} counters exceed capacity {max_counters}"
+            )));
+        }
+        let policy = policy_from_wire(tag, param_a, param_b)?;
+        let mut sketch = FreqSketchBuilder::new(max_counters)
+            .policy(policy)
+            .seed(seed)
+            .build()
+            .map_err(|e| Error::Corrupt(e.to_string()))?;
+        for _ in 0..num_active {
+            let item = buf.get_u64_le();
+            let count = buf.get_u64_le();
+            if count == 0 || count > i64::MAX as u64 {
+                return Err(Error::Corrupt(format!("counter value {count} out of range")));
+            }
+            // Direct feed: counts are within capacity, so no purge can fire,
+            // only table growth.
+            sketch.feed_for_decode(item, count as i64)?;
+        }
+        sketch.offset = offset;
+        sketch.stream_weight = stream_weight;
+        sketch.num_updates = num_updates;
+        sketch.num_purges = num_purges;
+        sketch.rng = Xoshiro256StarStar::from_state(state);
+        Ok(sketch)
+    }
+}
+
+impl FreqSketch {
+    /// Decode-path insertion: inserts a counter, growing but never purging,
+    /// and rejects duplicate items (each may appear once in the encoding).
+    fn feed_for_decode(&mut self, item: u64, count: i64) -> Result<(), Error> {
+        use crate::table::Upsert;
+        if self.table.get(item).is_some() {
+            return Err(Error::Corrupt(format!("duplicate item {item} in encoding")));
+        }
+        let outcome = self.table.adjust_or_insert(item, count);
+        debug_assert_eq!(outcome, Upsert::Inserted);
+        while self.table.num_active() > self.capacity_now_for_decode() {
+            self.grow_for_decode();
+        }
+        Ok(())
+    }
+
+    fn capacity_now_for_decode(&self) -> usize {
+        if self.lg_cur == self.lg_max {
+            self.max_counters
+        } else {
+            (self.table.len() * 3) / 4
+        }
+    }
+
+    fn grow_for_decode(&mut self) {
+        let new_lg = self.lg_cur + 1;
+        let mut bigger = crate::table::LpTable::with_lg_len(new_lg);
+        for (key, value) in self.table.iter() {
+            bigger.adjust_or_insert(key, value);
+        }
+        self.table = bigger;
+        self.lg_cur = new_lg;
+    }
+}
+
+/// Serde integration (enable the `serde` cargo feature): sketches
+/// serialize as a structured record mirroring the binary wire format, so
+/// they can ride along in JSON/CBOR/etc. configuration or RPC payloads.
+/// For high-volume transport prefer [`FreqSketch::serialize_to_bytes`].
+#[cfg(feature = "serde")]
+mod serde_impl {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    use super::{policy_from_wire, policy_params, policy_tag};
+    use crate::rng::Xoshiro256StarStar;
+    use crate::sketch::{FreqSketch, FreqSketchBuilder};
+
+    #[derive(Serialize, Deserialize)]
+    struct WireSketch {
+        max_counters: u64,
+        policy_tag: u8,
+        policy_a: u64,
+        policy_b: u64,
+        seed: u64,
+        offset: u64,
+        stream_weight: u64,
+        num_updates: u64,
+        num_purges: u64,
+        rng_state: [u64; 4],
+        counters: Vec<(u64, u64)>,
+    }
+
+    impl Serialize for FreqSketch {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let (a, b) = policy_params(&self.policy);
+            WireSketch {
+                max_counters: self.max_counters as u64,
+                policy_tag: policy_tag(&self.policy),
+                policy_a: a,
+                policy_b: b,
+                seed: self.seed,
+                offset: self.offset,
+                stream_weight: self.stream_weight,
+                num_updates: self.num_updates,
+                num_purges: self.num_purges,
+                rng_state: self.rng.state(),
+                counters: self.table.iter().map(|(k, v)| (k, v as u64)).collect(),
+            }
+            .serialize(serializer)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for FreqSketch {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            use serde::de::Error as _;
+            let wire = WireSketch::deserialize(deserializer)?;
+            let policy = policy_from_wire(wire.policy_tag, wire.policy_a, wire.policy_b)
+                .map_err(D::Error::custom)?;
+            let max_counters =
+                usize::try_from(wire.max_counters).map_err(D::Error::custom)?;
+            let mut sketch = FreqSketchBuilder::new(max_counters)
+                .policy(policy)
+                .seed(wire.seed)
+                .build()
+                .map_err(D::Error::custom)?;
+            if wire.counters.len() > max_counters {
+                return Err(D::Error::custom("more counters than capacity"));
+            }
+            for (item, count) in wire.counters {
+                if count == 0 || count > i64::MAX as u64 {
+                    return Err(D::Error::custom("counter value out of range"));
+                }
+                sketch
+                    .feed_for_decode(item, count as i64)
+                    .map_err(D::Error::custom)?;
+            }
+            sketch.offset = wire.offset;
+            sketch.stream_weight = wire.stream_weight;
+            sketch.num_updates = wire.num_updates;
+            sketch.num_purges = wire.num_purges;
+            if wire.rng_state == [0; 4] {
+                return Err(D::Error::custom("invalid all-zero sampler state"));
+            }
+            sketch.rng = Xoshiro256StarStar::from_state(wire.rng_state);
+            Ok(sketch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::ErrorType;
+
+    fn loaded_sketch() -> FreqSketch {
+        let mut s = FreqSketch::builder(128)
+            .policy(PurgePolicy::smed())
+            .seed(777)
+            .build()
+            .unwrap();
+        for i in 0..50_000u64 {
+            s.update(i % 999, i % 17 + 1);
+        }
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_all_queries() {
+        let s = loaded_sketch();
+        let bytes = s.serialize_to_bytes();
+        let d = FreqSketch::deserialize_from_bytes(&bytes).unwrap();
+        assert_eq!(d.stream_weight(), s.stream_weight());
+        assert_eq!(d.num_updates(), s.num_updates());
+        assert_eq!(d.num_purges(), s.num_purges());
+        assert_eq!(d.maximum_error(), s.maximum_error());
+        assert_eq!(d.num_counters(), s.num_counters());
+        assert_eq!(d.max_counters(), s.max_counters());
+        for item in 0..999u64 {
+            assert_eq!(d.estimate(item), s.estimate(item), "item {item}");
+            assert_eq!(d.lower_bound(item), s.lower_bound(item));
+            assert_eq!(d.upper_bound(item), s.upper_bound(item));
+        }
+        assert_eq!(
+            d.frequent_items(ErrorType::NoFalseNegatives),
+            s.frequent_items(ErrorType::NoFalseNegatives)
+        );
+    }
+
+    #[test]
+    fn roundtrip_then_update_is_bit_identical() {
+        // The sampler state travels with the sketch, so future purges make
+        // identical decisions.
+        let mut original = loaded_sketch();
+        let bytes = original.serialize_to_bytes();
+        let mut restored = FreqSketch::deserialize_from_bytes(&bytes).unwrap();
+        for i in 0..50_000u64 {
+            original.update(i % 1733, 5);
+            restored.update(i % 1733, 5);
+        }
+        assert_eq!(original.maximum_error(), restored.maximum_error());
+        assert_eq!(original.num_purges(), restored.num_purges());
+        for item in 0..1733u64 {
+            assert_eq!(original.estimate(item), restored.estimate(item));
+        }
+    }
+
+    #[test]
+    fn empty_sketch_roundtrip() {
+        let s = FreqSketch::with_max_counters(64);
+        let bytes = s.serialize_to_bytes();
+        assert_eq!(bytes.len(), 108, "empty sketch is header-only");
+        let d = FreqSketch::deserialize_from_bytes(&bytes).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.max_counters(), 64);
+    }
+
+    #[test]
+    fn policies_roundtrip() {
+        for policy in [
+            PurgePolicy::smed(),
+            PurgePolicy::smin(),
+            PurgePolicy::sample_quantile(0.73),
+            PurgePolicy::med(),
+            PurgePolicy::ExactKStar { fraction: 0.25 },
+            PurgePolicy::GlobalMin,
+        ] {
+            let s = FreqSketch::builder(32).policy(policy).build().unwrap();
+            let d = FreqSketch::deserialize_from_bytes(&s.serialize_to_bytes()).unwrap();
+            assert_eq!(d.policy(), policy);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = loaded_sketch().serialize_to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            FreqSketch::deserialize_from_bytes(&bytes),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut bytes = loaded_sketch().serialize_to_bytes();
+        bytes[4] = 9;
+        assert!(matches!(
+            FreqSketch::deserialize_from_bytes(&bytes),
+            Err(Error::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix_length() {
+        let bytes = loaded_sketch().serialize_to_bytes();
+        for cut in [0, 1, 50, HEADER_LEN - 1, HEADER_LEN + 1, bytes.len() - 1] {
+            let err = FreqSketch::deserialize_from_bytes(&bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = loaded_sketch().serialize_to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            FreqSketch::deserialize_from_bytes(&bytes),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_counter_value() {
+        let s = {
+            let mut s = FreqSketch::with_max_counters(8);
+            s.update(1, 5);
+            s
+        };
+        let mut bytes = s.serialize_to_bytes();
+        // zero out the count of the single counter (last 8 bytes)
+        let n = bytes.len();
+        bytes[n - 8..].fill(0);
+        assert!(matches!(
+            FreqSketch::deserialize_from_bytes(&bytes),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_policy_tag() {
+        let mut bytes = loaded_sketch().serialize_to_bytes();
+        bytes[5] = 42;
+        assert!(matches!(
+            FreqSketch::deserialize_from_bytes(&bytes),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn wire_size_tracks_content_not_capacity() {
+        let mut s = FreqSketch::with_max_counters(24_576);
+        for i in 0..10u64 {
+            s.update(i, 1);
+        }
+        let bytes = s.serialize_to_bytes();
+        assert_eq!(bytes.len(), 108 + 10 * 16);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for sketch configuration and (de)serialization.
+
+use core::fmt;
+
+/// Errors reported by sketch construction and the binary codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A configuration parameter was out of range.
+    InvalidConfig(String),
+    /// The serialized bytes do not describe a sketch (bad magic or framing).
+    Corrupt(String),
+    /// The serialized sketch uses a format version this library predates.
+    UnsupportedVersion(u8),
+    /// The byte buffer ended before the encoded sketch did.
+    Truncated {
+        /// Bytes needed to continue decoding.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid sketch configuration: {msg}"),
+            Error::Corrupt(msg) => write!(f, "corrupt sketch encoding: {msg}"),
+            Error::UnsupportedVersion(v) => write!(f, "unsupported serialization version {v}"),
+            Error::Truncated { needed, remaining } => write!(
+                f,
+                "truncated sketch encoding: needed {needed} more bytes, {remaining} remain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidConfig("k must be positive".into());
+        assert!(e.to_string().contains("k must be positive"));
+        let e = Error::Truncated {
+            needed: 16,
+            remaining: 3,
+        };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains('3'));
+    }
+}

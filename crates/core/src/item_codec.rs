@@ -1,0 +1,153 @@
+//! Byte-level encoding of sketch item types, used by
+//! [`crate::ItemsSketch`]'s wire format.
+//!
+//! The `u64` sketch has a fixed-width key encoding; arbitrary item types
+//! need a serializer. [`ItemCodec`] is deliberately tiny — two methods, no
+//! external dependencies — mirroring the `ArrayOfItemsSerDe` interface the
+//! DataSketches library uses for the same purpose.
+
+use crate::error::Error;
+
+/// Items that can travel in an [`crate::ItemsSketch`] wire encoding.
+pub trait ItemCodec: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one item from the front of `buf`, advancing it past the
+    /// consumed bytes.
+    ///
+    /// # Errors
+    /// Returns [`Error::Truncated`] or [`Error::Corrupt`] on malformed
+    /// input.
+    fn decode(buf: &mut &[u8]) -> Result<Self, Error>;
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], Error> {
+    if buf.len() < n {
+        return Err(Error::Truncated {
+            needed: n - buf.len(),
+            remaining: buf.len(),
+        });
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+macro_rules! impl_item_codec_int {
+    ($($t:ty),*) => {
+        $(impl ItemCodec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn decode(buf: &mut &[u8]) -> Result<Self, Error> {
+                let bytes = take(buf, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        })*
+    };
+}
+
+impl_item_codec_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl ItemCodec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let bytes = self.as_bytes();
+        (bytes.len() as u32).encode(out);
+        out.extend_from_slice(bytes);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, Error> {
+        let len = u32::decode(buf)? as usize;
+        let bytes = take(buf, len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| Error::Corrupt(format!("invalid UTF-8 item: {e}")))
+    }
+}
+
+impl ItemCodec for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, Error> {
+        let len = u32::decode(buf)? as usize;
+        Ok(take(buf, len)?.to_vec())
+    }
+}
+
+impl<A: ItemCodec, B: ItemCodec> ItemCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, Error> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: ItemCodec + PartialEq + std::fmt::Debug>(value: T) {
+        let mut bytes = Vec::new();
+        value.encode(&mut bytes);
+        let mut view = bytes.as_slice();
+        let decoded = T::decode(&mut view).expect("decode");
+        assert_eq!(decoded, value);
+        assert!(view.is_empty(), "decoder must consume exactly its bytes");
+    }
+
+    #[test]
+    fn integers_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(-42i32);
+        roundtrip(u128::MAX - 7);
+        roundtrip(255u8);
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        roundtrip(String::new());
+        roundtrip("hello world".to_string());
+        roundtrip("unicode: čau světe 🌍".to_string());
+    }
+
+    #[test]
+    fn byte_vectors_roundtrip() {
+        roundtrip(Vec::<u8>::new());
+        roundtrip(vec![0u8, 255, 1, 2, 3]);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        roundtrip((7u64, "label".to_string()));
+        roundtrip((1u32, (2u32, 3u32)));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut bytes = Vec::new();
+        "something long".to_string().encode(&mut bytes);
+        for cut in 0..bytes.len() {
+            let mut view = &bytes[..cut];
+            assert!(
+                String::decode(&mut view).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut bytes = Vec::new();
+        vec![0xFFu8, 0xFE, 0xFD].encode(&mut bytes);
+        let mut view = bytes.as_slice();
+        assert!(matches!(String::decode(&mut view), Err(Error::Corrupt(_))));
+    }
+}

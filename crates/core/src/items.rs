@@ -1,0 +1,798 @@
+//! [`ItemsSketch`]: the frequent-items sketch for arbitrary item types.
+//!
+//! The `u64`-keyed [`crate::FreqSketch`] is the fast path for numeric
+//! identifiers (IP addresses, user ids, …). Real deployments also sketch
+//! strings, tuples, and composite keys; the DataSketches library the paper
+//! ships in provides an `ItemsSketch<T>` for exactly this reason, and so do
+//! we.
+//!
+//! Items are stored **by value** in the counter table (not by 64-bit hash),
+//! so the certified bounds hold unconditionally — no birthday-bound
+//! caveats. The cost is `Option<T>` slots instead of the paper's packed
+//! 8-byte keys; use [`crate::FreqSketch`] when items fit in a `u64` and the
+//! §2.3.3 memory formula matters.
+//!
+//! The update, purge, estimate, and merge logic is identical to
+//! [`crate::FreqSketch`] — same policies, same offset bookkeeping, same
+//! guarantees (Theorems 3–5).
+//!
+//! # Example
+//!
+//! ```
+//! use streamfreq_core::{ItemsSketch, ErrorType};
+//!
+//! let mut sketch: ItemsSketch<String> = ItemsSketch::with_max_counters(32);
+//! for word in ["the", "quick", "the", "fox", "the"] {
+//!     sketch.update(word.to_string(), 1);
+//! }
+//! assert_eq!(sketch.estimate(&"the".to_string()), 3);
+//! let top = sketch.frequent_items(ErrorType::NoFalsePositives);
+//! assert_eq!(top[0].item, "the");
+//! ```
+
+use core::hash::Hash;
+
+use crate::error::Error;
+use crate::hashing::hash64_of;
+use crate::item_codec::ItemCodec;
+use crate::purge::{CounterValues, PurgePolicy};
+use crate::result::{sort_rows_descending, ErrorType, Row};
+use crate::rng::Xoshiro256StarStar;
+use crate::sketch::DEFAULT_SEED;
+
+/// Item types storable in an [`ItemsSketch`]: hashable, comparable, and
+/// clonable (cloned only when reporting rows and when tables grow).
+pub trait SketchItem: Hash + Eq + Clone {}
+impl<T: Hash + Eq + Clone> SketchItem for T {}
+
+const LG_MIN_TABLE: u32 = 3;
+
+/// Linear-probing counter table storing items by value. Same layout and
+/// deletion discipline as [`crate::table::LpTable`]; see that module for
+/// the algorithmic commentary.
+#[derive(Clone, Debug)]
+struct ItemTable<T> {
+    keys: Vec<Option<T>>,
+    values: Vec<i64>,
+    states: Vec<u16>,
+    mask: usize,
+    num_active: usize,
+}
+
+impl<T: SketchItem> ItemTable<T> {
+    fn with_lg_len(lg_len: u32) -> Self {
+        assert!((1..=31).contains(&lg_len));
+        let len = 1usize << lg_len;
+        Self {
+            keys: (0..len).map(|_| None).collect(),
+            values: vec![0; len],
+            states: vec![0; len],
+            mask: len - 1,
+            num_active: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    fn home(&self, item: &T) -> usize {
+        (hash64_of(item) as usize) & self.mask
+    }
+
+    fn get(&self, item: &T) -> Option<i64> {
+        let mut i = self.home(item);
+        loop {
+            if self.states[i] == 0 {
+                return None;
+            }
+            if self.keys[i].as_ref() == Some(item) {
+                return Some(self.values[i]);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn adjust_or_insert(&mut self, item: T, delta: i64) {
+        assert!(self.num_active < self.len(), "ItemTable overflow");
+        let mut i = self.home(&item);
+        let mut dist: usize = 0;
+        loop {
+            if self.states[i] == 0 {
+                assert!(dist < u16::MAX as usize, "probe distance exceeds state range");
+                self.keys[i] = Some(item);
+                self.values[i] = delta;
+                self.states[i] = (dist + 1) as u16;
+                self.num_active += 1;
+                return;
+            }
+            if self.keys[i].as_ref() == Some(&item) {
+                self.values[i] += delta;
+                return;
+            }
+            i = (i + 1) & self.mask;
+            dist += 1;
+        }
+    }
+
+    fn adjust_all(&mut self, delta: i64) {
+        for i in 0..self.len() {
+            if self.states[i] != 0 {
+                self.values[i] += delta;
+            }
+        }
+    }
+
+    fn retain_positive(&mut self) -> usize {
+        let len = self.len();
+        let mut removed = 0usize;
+        let mut i = 0usize;
+        while i < len {
+            if self.states[i] != 0 && self.values[i] <= 0 {
+                self.delete_slot(i);
+                removed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        removed
+    }
+
+    fn delete_slot(&mut self, mut hole: usize) {
+        debug_assert!(self.states[hole] != 0);
+        self.num_active -= 1;
+        let mask = self.mask;
+        let mut j = hole;
+        loop {
+            self.states[hole] = 0;
+            self.keys[hole] = None;
+            loop {
+                j = (j + 1) & mask;
+                if self.states[j] == 0 {
+                    return;
+                }
+                let dist = (self.states[j] - 1) as usize;
+                let home = j.wrapping_sub(dist) & mask;
+                let new_dist = hole.wrapping_sub(home) & mask;
+                if new_dist < dist {
+                    self.keys[hole] = self.keys[j].take();
+                    self.values[hole] = self.values[j];
+                    self.states[hole] = (new_dist + 1) as u16;
+                    hole = j;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&T, i64)> + '_ {
+        (0..self.len()).filter_map(move |i| {
+            if self.states[i] != 0 {
+                Some((self.keys[i].as_ref().expect("occupied slot has key"), self.values[i]))
+            } else {
+                None
+            }
+        })
+    }
+
+}
+
+impl<T: SketchItem> CounterValues for ItemTable<T> {
+    fn is_empty(&self) -> bool {
+        self.num_active == 0
+    }
+
+    fn sample_values(
+        &self,
+        rng: &mut Xoshiro256StarStar,
+        sample_size: usize,
+        out: &mut Vec<i64>,
+    ) {
+        if self.num_active <= sample_size {
+            self.values_into(out);
+            return;
+        }
+        out.clear();
+        out.reserve(sample_size);
+        let len = self.len() as u64;
+        while out.len() < sample_size {
+            let i = rng.next_below(len) as usize;
+            if self.states[i] != 0 {
+                out.push(self.values[i]);
+            }
+        }
+    }
+
+    fn values_into(&self, out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(self.num_active);
+        for i in 0..self.len() {
+            if self.states[i] != 0 {
+                out.push(self.values[i]);
+            }
+        }
+    }
+
+    fn min_value(&self) -> Option<i64> {
+        let mut min = None;
+        for i in 0..self.len() {
+            if self.states[i] != 0 {
+                min = Some(match min {
+                    None => self.values[i],
+                    Some(m) if self.values[i] < m => self.values[i],
+                    Some(m) => m,
+                });
+            }
+        }
+        min
+    }
+}
+
+/// A weighted frequent-items sketch over arbitrary item types.
+///
+/// See the [module docs](self) and [`crate::FreqSketch`] (whose API this
+/// mirrors, with `&T` queries and `Row<T>` results).
+#[derive(Clone, Debug)]
+pub struct ItemsSketch<T: SketchItem> {
+    table: ItemTable<T>,
+    lg_cur: u32,
+    lg_max: u32,
+    max_counters: usize,
+    policy: PurgePolicy,
+    rng: Xoshiro256StarStar,
+    offset: u64,
+    stream_weight: u64,
+    num_updates: u64,
+    num_purges: u64,
+    scratch: Vec<i64>,
+}
+
+impl<T: SketchItem> ItemsSketch<T> {
+    /// Creates a SMED sketch maintaining at most `max_counters` counters.
+    ///
+    /// # Panics
+    /// Panics if `max_counters` is zero or needs a table beyond 2³¹ slots.
+    pub fn with_max_counters(max_counters: usize) -> Self {
+        Self::try_new(max_counters, PurgePolicy::default(), DEFAULT_SEED)
+            .expect("invalid max_counters")
+    }
+
+    /// Creates a sketch with an explicit policy and seed.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] for a zero capacity, an oversized
+    /// capacity, or invalid policy parameters.
+    pub fn try_new(max_counters: usize, policy: PurgePolicy, seed: u64) -> Result<Self, Error> {
+        if max_counters == 0 {
+            return Err(Error::InvalidConfig("max_counters must be positive".into()));
+        }
+        policy.validate().map_err(Error::InvalidConfig)?;
+        let min_len = (max_counters * 4).div_ceil(3);
+        let lg_max = min_len
+            .next_power_of_two()
+            .trailing_zeros()
+            .max(LG_MIN_TABLE);
+        if lg_max > 31 {
+            return Err(Error::InvalidConfig(format!(
+                "max_counters {max_counters} needs a table larger than 2^31 slots"
+            )));
+        }
+        let lg_cur = LG_MIN_TABLE.min(lg_max);
+        Ok(Self {
+            table: ItemTable::with_lg_len(lg_cur),
+            lg_cur,
+            lg_max,
+            max_counters,
+            policy,
+            rng: Xoshiro256StarStar::from_seed(seed),
+            offset: 0,
+            stream_weight: 0,
+            num_updates: 0,
+            num_purges: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Number of counters currently assigned.
+    pub fn num_counters(&self) -> usize {
+        self.table.num_active
+    }
+
+    /// Maximum number of counters maintained (the paper's `k`).
+    pub fn max_counters(&self) -> usize {
+        self.max_counters
+    }
+
+    /// True if no updates have been processed.
+    pub fn is_empty(&self) -> bool {
+        self.num_updates == 0
+    }
+
+    /// Total weighted stream length processed (including merges).
+    pub fn stream_weight(&self) -> u64 {
+        self.stream_weight
+    }
+
+    /// Number of update operations processed.
+    pub fn num_updates(&self) -> u64 {
+        self.num_updates
+    }
+
+    /// Number of purge operations performed.
+    pub fn num_purges(&self) -> u64 {
+        self.num_purges
+    }
+
+    /// The purge policy in effect.
+    pub fn policy(&self) -> PurgePolicy {
+        self.policy
+    }
+
+    /// A-posteriori maximum estimation error (the cumulative decrement).
+    pub fn maximum_error(&self) -> u64 {
+        self.offset
+    }
+
+    fn capacity_now(&self) -> usize {
+        if self.lg_cur == self.lg_max {
+            self.max_counters
+        } else {
+            (self.table.len() * 3) / 4
+        }
+    }
+
+    /// Processes the weighted update `(item, weight)` in amortized O(1).
+    /// Zero weights are ignored.
+    ///
+    /// # Panics
+    /// Panics if `weight` exceeds `i64::MAX` or total weight overflows.
+    pub fn update(&mut self, item: T, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        assert!(
+            weight <= i64::MAX as u64,
+            "update weight {weight} exceeds supported range"
+        );
+        self.stream_weight = self
+            .stream_weight
+            .checked_add(weight)
+            .expect("total stream weight overflowed u64");
+        self.num_updates += 1;
+        self.feed(item, weight as i64);
+    }
+
+    /// Processes a unit update.
+    pub fn update_one(&mut self, item: T) {
+        self.update(item, 1);
+    }
+
+    fn feed(&mut self, item: T, weight: i64) {
+        self.table.adjust_or_insert(item, weight);
+        while self.table.num_active > self.capacity_now() {
+            if self.lg_cur < self.lg_max {
+                self.grow();
+            } else {
+                self.purge();
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_lg = self.lg_cur + 1;
+        let mut bigger = ItemTable::with_lg_len(new_lg);
+        let old = core::mem::replace(&mut self.table, ItemTable::with_lg_len(1));
+        for (i, slot) in old.keys.into_iter().enumerate() {
+            if let Some(item) = slot {
+                if old.states[i] != 0 {
+                    bigger.adjust_or_insert(item, old.values[i]);
+                }
+            }
+        }
+        self.table = bigger;
+        self.lg_cur = new_lg;
+    }
+
+    fn purge(&mut self) {
+        let cstar = self
+            .policy
+            .compute_cstar(&self.table, &mut self.rng, &mut self.scratch);
+        debug_assert!(cstar > 0);
+        self.table.adjust_all(-cstar);
+        self.table.retain_positive();
+        self.offset += cstar as u64;
+        self.num_purges += 1;
+    }
+
+    /// Estimate of the item's weighted frequency (§2.3.1 offset variant).
+    pub fn estimate(&self, item: &T) -> u64 {
+        match self.table.get(item) {
+            Some(c) => c as u64 + self.offset,
+            None => 0,
+        }
+    }
+
+    /// Certified lower bound on the item's frequency.
+    pub fn lower_bound(&self, item: &T) -> u64 {
+        self.table.get(item).map_or(0, |c| c as u64)
+    }
+
+    /// Certified upper bound on the item's frequency.
+    pub fn upper_bound(&self, item: &T) -> u64 {
+        self.table
+            .get(item)
+            .map_or(self.offset, |c| c as u64 + self.offset)
+    }
+
+    /// Iterates over tracked `(item, lower_bound)` pairs.
+    pub fn counters(&self) -> impl Iterator<Item = (&T, u64)> + '_ {
+        self.table.iter().map(|(item, c)| (item, c as u64))
+    }
+
+    fn row_for(&self, item: &T, count: i64) -> Row<T> {
+        Row {
+            item: item.clone(),
+            estimate: count as u64 + self.offset,
+            lower_bound: count as u64,
+            upper_bound: count as u64 + self.offset,
+        }
+    }
+
+    /// Items whose frequency may exceed `threshold` under the chosen
+    /// contract, sorted by descending estimate. A threshold below
+    /// [`Self::maximum_error`] is raised to it — see
+    /// [`crate::FreqSketch::frequent_items_with_threshold`].
+    pub fn frequent_items_with_threshold(
+        &self,
+        threshold: u64,
+        error_type: ErrorType,
+    ) -> Vec<Row<T>>
+    where
+        T: Ord,
+    {
+        let threshold = threshold.max(self.maximum_error());
+        let mut rows: Vec<Row<T>> = self
+            .table
+            .iter()
+            .filter_map(|(item, count)| {
+                let row = self.row_for(item, count);
+                let include = match error_type {
+                    ErrorType::NoFalsePositives => row.lower_bound > threshold,
+                    ErrorType::NoFalseNegatives => row.upper_bound > threshold,
+                };
+                include.then_some(row)
+            })
+            .collect();
+        sort_rows_descending(&mut rows);
+        rows
+    }
+
+    /// [`Self::frequent_items_with_threshold`] at the sketch's own
+    /// `maximum_error`.
+    pub fn frequent_items(&self, error_type: ErrorType) -> Vec<Row<T>>
+    where
+        T: Ord,
+    {
+        self.frequent_items_with_threshold(self.maximum_error(), error_type)
+    }
+
+    /// (φ, ε)-heavy hitters: items whose frequency may exceed `phi · N`.
+    ///
+    /// # Panics
+    /// Panics if `phi` is outside `[0, 1]`.
+    pub fn heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<Row<T>>
+    where
+        T: Ord,
+    {
+        assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
+        let threshold = (phi * self.stream_weight as f64) as u64;
+        self.frequent_items_with_threshold(threshold, error_type)
+    }
+
+    /// Merges `other` into `self` (Algorithm 5, randomized replay order —
+    /// see [`crate::FreqSketch::merge`] for the §3.2 rationale).
+    pub fn merge(&mut self, other: &ItemsSketch<T>) {
+        let mut pairs: Vec<(&T, i64)> = other.table.iter().collect();
+        for i in (1..pairs.len()).rev() {
+            let j = self.rng.next_below(i as u64 + 1) as usize;
+            pairs.swap(i, j);
+        }
+        for (item, count) in pairs {
+            self.feed(item.clone(), count);
+        }
+        self.offset += other.offset;
+        self.stream_weight = self
+            .stream_weight
+            .checked_add(other.stream_weight)
+            .expect("merged stream weight overflowed u64");
+        self.num_updates += other.num_updates;
+    }
+}
+
+/// Wire format for item sketches (versioned, little-endian): the header
+/// mirrors [`crate::codec`]'s `u64` format with magic `"SFQI"`, followed
+/// by `(item, count)` entries where items use their [`ItemCodec`]
+/// encoding. Round-tripped sketches behave bit-identically, including
+/// future purges (the sampler state travels along).
+impl<T: SketchItem + ItemCodec> ItemsSketch<T> {
+    /// Serializes the sketch into a fresh byte vector.
+    pub fn serialize_to_bytes(&self) -> Vec<u8> {
+        use crate::codec::{policy_params, policy_tag};
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SFQI");
+        out.push(1u8); // version
+        out.push(policy_tag(&self.policy));
+        out.extend_from_slice(&[0u8, 0]); // reserved
+        (self.max_counters as u64).encode(&mut out);
+        self.offset.encode(&mut out);
+        self.stream_weight.encode(&mut out);
+        self.num_updates.encode(&mut out);
+        self.num_purges.encode(&mut out);
+        let (a, b) = policy_params(&self.policy);
+        a.encode(&mut out);
+        b.encode(&mut out);
+        for word in self.rng.state() {
+            word.encode(&mut out);
+        }
+        (self.table.num_active as u32).encode(&mut out);
+        for (item, count) in self.table.iter() {
+            item.encode(&mut out);
+            (count as u64).encode(&mut out);
+        }
+        out
+    }
+
+    /// Reconstructs a sketch from [`Self::serialize_to_bytes`] output.
+    ///
+    /// # Errors
+    /// Returns [`Error::Corrupt`], [`Error::UnsupportedVersion`] or
+    /// [`Error::Truncated`] on malformed input; trailing bytes are
+    /// rejected.
+    pub fn deserialize_from_bytes(bytes: &[u8]) -> Result<Self, Error> {
+        use crate::codec::policy_from_wire;
+        let mut buf = bytes;
+        let magic: [u8; 4] = {
+            let mut m = [0u8; 4];
+            for slot in &mut m {
+                *slot = u8::decode(&mut buf)?;
+            }
+            m
+        };
+        if &magic != b"SFQI" {
+            return Err(Error::Corrupt(format!("bad magic {magic:02x?}")));
+        }
+        let version = u8::decode(&mut buf)?;
+        if version != 1 {
+            return Err(Error::UnsupportedVersion(version));
+        }
+        let tag = u8::decode(&mut buf)?;
+        let reserved = u16::decode(&mut buf)?;
+        if reserved != 0 {
+            return Err(Error::Corrupt("nonzero reserved field".into()));
+        }
+        let max_counters = usize::try_from(u64::decode(&mut buf)?)
+            .map_err(|_| Error::Corrupt("max_counters exceeds usize".into()))?;
+        let offset = u64::decode(&mut buf)?;
+        let stream_weight = u64::decode(&mut buf)?;
+        let num_updates = u64::decode(&mut buf)?;
+        let num_purges = u64::decode(&mut buf)?;
+        let a = u64::decode(&mut buf)?;
+        let b = u64::decode(&mut buf)?;
+        let policy = policy_from_wire(tag, a, b)?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = u64::decode(&mut buf)?;
+        }
+        if state == [0; 4] {
+            return Err(Error::Corrupt("invalid all-zero sampler state".into()));
+        }
+        let num_active = u32::decode(&mut buf)? as usize;
+        if num_active > max_counters {
+            return Err(Error::Corrupt(format!(
+                "{num_active} counters exceed capacity {max_counters}"
+            )));
+        }
+        let mut sketch = ItemsSketch::try_new(max_counters, policy, 0)?;
+        for _ in 0..num_active {
+            let item = T::decode(&mut buf)?;
+            let count = u64::decode(&mut buf)?;
+            if count == 0 || count > i64::MAX as u64 {
+                return Err(Error::Corrupt(format!("counter value {count} out of range")));
+            }
+            if sketch.table.get(&item).is_some() {
+                return Err(Error::Corrupt("duplicate item in encoding".into()));
+            }
+            // Growth-only insertion: num_active ≤ max_counters guarantees
+            // no purge can trigger.
+            sketch.feed(item, count as i64);
+        }
+        if !buf.is_empty() {
+            return Err(Error::Corrupt("trailing bytes after counters".into()));
+        }
+        sketch.offset = offset;
+        sketch.stream_weight = stream_weight;
+        sketch.num_updates = num_updates;
+        sketch.num_purges = num_purges;
+        sketch.rng = Xoshiro256StarStar::from_state(state);
+        Ok(sketch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s: ItemsSketch<&'static str> = ItemsSketch::with_max_counters(16);
+        s.update("alpha", 10);
+        s.update("beta", 5);
+        s.update("alpha", 7);
+        assert_eq!(s.estimate(&"alpha"), 17);
+        assert_eq!(s.estimate(&"beta"), 5);
+        assert_eq!(s.estimate(&"gamma"), 0);
+        assert_eq!(s.maximum_error(), 0);
+        assert_eq!(s.stream_weight(), 22);
+    }
+
+    #[test]
+    fn string_items_bounds_bracket_truth() {
+        let mut s: ItemsSketch<String> = ItemsSketch::with_max_counters(24);
+        let mut truth: HashMap<String, u64> = HashMap::new();
+        for i in 0..30_000u64 {
+            let item = format!("key-{}", i % 200);
+            let w = i % 11 + 1;
+            s.update(item.clone(), w);
+            *truth.entry(item).or_insert(0) += w;
+        }
+        assert!(s.num_purges() > 0, "test must exercise purging");
+        for (item, &f) in &truth {
+            assert!(s.lower_bound(item) <= f, "lb violated for {item}");
+            assert!(s.upper_bound(item) >= f, "ub violated for {item}");
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_on_words() {
+        let mut s: ItemsSketch<&'static str> = ItemsSketch::with_max_counters(8);
+        for _ in 0..1000 {
+            s.update("hot", 10);
+            s.update("warm", 3);
+        }
+        for i in 0..500u64 {
+            // unique cold words, boxed into leaked strs via a small set
+            s.update(["c0", "c1", "c2", "c3", "c4"][(i % 5) as usize], 1);
+        }
+        let hh = s.heavy_hitters(0.5, ErrorType::NoFalsePositives);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].item, "hot");
+        let all = s.heavy_hitters(0.1, ErrorType::NoFalseNegatives);
+        assert!(all.iter().any(|r| r.item == "warm"));
+    }
+
+    #[test]
+    fn tuple_items() {
+        let mut s: ItemsSketch<(u32, u32)> = ItemsSketch::with_max_counters(16);
+        s.update((1, 2), 100);
+        s.update((2, 1), 1);
+        assert_eq!(s.estimate(&(1, 2)), 100);
+        assert_eq!(s.estimate(&(2, 1)), 1);
+    }
+
+    #[test]
+    fn merge_string_sketches() {
+        let mut a: ItemsSketch<String> = ItemsSketch::with_max_counters(32);
+        let mut b: ItemsSketch<String> = ItemsSketch::with_max_counters(32);
+        let mut truth: HashMap<String, u64> = HashMap::new();
+        for i in 0..10_000u64 {
+            let item = format!("w{}", i % 150);
+            let w = i % 5 + 1;
+            if i % 2 == 0 {
+                a.update(item.clone(), w);
+            } else {
+                b.update(item.clone(), w);
+            }
+            *truth.entry(item).or_insert(0) += w;
+        }
+        let n = a.stream_weight() + b.stream_weight();
+        a.merge(&b);
+        assert_eq!(a.stream_weight(), n);
+        for (item, &f) in &truth {
+            assert!(a.lower_bound(item) <= f);
+            assert!(a.upper_bound(item) >= f);
+        }
+    }
+
+    #[test]
+    fn growth_preserves_items() {
+        let mut s: ItemsSketch<String> = ItemsSketch::with_max_counters(500);
+        for i in 0..400u64 {
+            s.update(format!("item{i}"), i + 1);
+        }
+        assert_eq!(s.maximum_error(), 0);
+        for i in (0..400u64).step_by(37) {
+            assert_eq!(s.estimate(&format!("item{i}")), i + 1);
+        }
+    }
+
+    #[test]
+    fn purge_policies_work_for_items() {
+        for policy in [PurgePolicy::smed(), PurgePolicy::smin(), PurgePolicy::med(), PurgePolicy::GlobalMin] {
+            let mut s: ItemsSketch<u32> = ItemsSketch::try_new(16, policy, 7).unwrap();
+            for i in 0..5_000u32 {
+                s.update(i % 100, 2);
+            }
+            assert!(s.num_purges() > 0, "{policy:?} never purged");
+            // a-priori bound (Lemma 4 form)
+            let kstar = policy.effective_kstar_fraction() * 16.0;
+            let bound = (s.stream_weight() as f64 / kstar).ceil() as u64;
+            assert!(s.maximum_error() <= bound, "{policy:?} exceeded bound");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(ItemsSketch::<String>::try_new(0, PurgePolicy::smed(), 1).is_err());
+    }
+
+    #[test]
+    fn codec_roundtrip_string_items() {
+        let mut s: ItemsSketch<String> = ItemsSketch::with_max_counters(24);
+        for i in 0..10_000u64 {
+            s.update(format!("key-{}", i % 200), i % 7 + 1);
+        }
+        assert!(s.num_purges() > 0);
+        let bytes = s.serialize_to_bytes();
+        let d = ItemsSketch::<String>::deserialize_from_bytes(&bytes).unwrap();
+        assert_eq!(d.maximum_error(), s.maximum_error());
+        assert_eq!(d.stream_weight(), s.stream_weight());
+        assert_eq!(d.num_counters(), s.num_counters());
+        for i in 0..200u64 {
+            let key = format!("key-{i}");
+            assert_eq!(d.estimate(&key), s.estimate(&key), "{key}");
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_then_update_is_identical() {
+        let mut original: ItemsSketch<u32> = ItemsSketch::with_max_counters(16);
+        for i in 0..5_000u32 {
+            original.update(i % 100, 3);
+        }
+        let mut restored =
+            ItemsSketch::<u32>::deserialize_from_bytes(&original.serialize_to_bytes()).unwrap();
+        for i in 0..5_000u32 {
+            original.update(i % 77, 2);
+            restored.update(i % 77, 2);
+        }
+        assert_eq!(original.maximum_error(), restored.maximum_error());
+        for i in 0..100u32 {
+            assert_eq!(original.estimate(&i), restored.estimate(&i));
+        }
+    }
+
+    #[test]
+    fn codec_rejects_malformed() {
+        let mut s: ItemsSketch<String> = ItemsSketch::with_max_counters(8);
+        s.update("x".to_string(), 5);
+        let bytes = s.serialize_to_bytes();
+        // bad magic
+        let mut bad = bytes.clone();
+        bad[0] = b'Z';
+        assert!(ItemsSketch::<String>::deserialize_from_bytes(&bad).is_err());
+        // truncations
+        for cut in [0, 4, 10, bytes.len() - 1] {
+            assert!(
+                ItemsSketch::<String>::deserialize_from_bytes(&bytes[..cut]).is_err(),
+                "prefix {cut} accepted"
+            );
+        }
+        // trailing garbage
+        let mut long = bytes.clone();
+        long.push(7);
+        assert!(ItemsSketch::<String>::deserialize_from_bytes(&long).is_err());
+    }
+}

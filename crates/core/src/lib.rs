@@ -1,0 +1,107 @@
+//! # streamfreq-core
+//!
+//! A high-performance frequent-items sketch for data streams — a from-
+//! scratch Rust implementation of
+//!
+//! > Anderson, Bevin, Lang, Liberty, Rhodes, Thaler.
+//! > *A High-Performance Algorithm for Identifying Frequent Items in Data
+//! > Streams.* IMC 2017 (arXiv:1705.07001),
+//!
+//! the algorithm deployed in Apache DataSketches as the Frequent Items
+//! Sketch.
+//!
+//! ## What it does
+//!
+//! In one pass over a stream of weighted updates `(item, Δ)`, a
+//! [`FreqSketch`] with `k` counters maintains, in `24k` bytes:
+//!
+//! * point estimates `f̂ᵢ` with certified bounds
+//!   `lower_bound ≤ fᵢ ≤ upper_bound`,
+//! * (φ, ε)-heavy hitters with either a no-false-positives or a
+//!   no-false-negatives contract ([`ErrorType`]),
+//! * amortized **O(1)** update time for *weighted* updates — the paper's
+//!   first headline contribution — via sample-quantile purging
+//!   ([`PurgePolicy`], default SMED), and
+//! * mergeability (Algorithm 5) with error bounded by Theorem 5 — the
+//!   second headline contribution.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use streamfreq_core::{FreqSketch, ErrorType};
+//!
+//! // Track network flows by bytes sent, with ~64 counters of state.
+//! let mut sketch = FreqSketch::with_max_counters(64);
+//! for (flow, bytes_sent) in [(10u64, 1500u64), (10, 1500), (20, 40), (10, 9000)] {
+//!     sketch.update(flow, bytes_sent);
+//! }
+//! assert_eq!(sketch.estimate(10), 12_000);
+//! let heavy = sketch.heavy_hitters(0.5, ErrorType::NoFalsePositives);
+//! assert_eq!(heavy[0].item, 10);
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`sketch`] | [`FreqSketch`] — the u64-item sketch (Algorithm 4 + §2.3) |
+//! | [`items`] | [`ItemsSketch`] — the same engine for arbitrary item types |
+//! | [`signed`] | [`SignedFreqSketch`] — deletions via §1.3's two-instance reduction |
+//! | [`purge`] | decrement policies: SMED / SMIN / quantile sweep / MED / global-min |
+//! | [`table`] | the §2.3.3 linear-probing counter table |
+//! | [`select`] | Hoare's quickselect (Algorithm 65: FIND) |
+//! | [`bounds`] | a-priori error arithmetic (Lemmas 1–4, Theorems 2/4/5) |
+//! | [`result`] | heavy-hitter rows and reporting contracts |
+//! | [`codec`] | versioned binary wire format |
+//! | [`hashing`], [`rng`] | deterministic hashing and sampling substrate |
+//!
+//! ## Guarantees
+//!
+//! With the default SMED policy (`ℓ = 1024`), Theorems 3–4 of the paper
+//! give amortized O(1) updates and, with probability ≥ 1 − 1.5·10⁻⁸ on
+//! streams of weight ≤ 10²⁰ (§2.3.2),
+//!
+//! ```text
+//! 0 ≤ fᵢ − lower_bound(i) ≤ N^res(j) / (0.33·k − j)   for any j < 0.33k.
+//! ```
+//!
+//! The a-posteriori error [`FreqSketch::maximum_error`] is typically far
+//! smaller than the a-priori bound and is exact: every estimate is within
+//! `maximum_error` of the truth.
+//!
+//! ## Out of scope (by design, matching the paper)
+//!
+//! * Deletions / negative weights: counter-based summaries target
+//!   insertion streams (§1.3 Note shows the two-instance reduction if
+//!   deletions are rare).
+//! * Adversarial hash-collision resistance: hashing is deterministic for
+//!   reproducibility and wire compatibility; an adversary who can choose
+//!   items after inspecting the code can lengthen probe runs. The same
+//!   holds for the deployed DataSketches implementation.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bounds;
+pub mod codec;
+pub mod error;
+pub mod hashing;
+pub mod item_codec;
+pub mod items;
+pub mod purge;
+pub mod result;
+pub mod rng;
+pub mod select;
+pub mod signed;
+pub mod sketch;
+pub mod table;
+pub mod traits;
+
+pub use error::Error;
+pub use items::ItemsSketch;
+pub use purge::PurgePolicy;
+pub use result::{ErrorType, Row};
+pub use signed::SignedFreqSketch;
+pub use sketch::{FreqSketch, FreqSketchBuilder};
+pub use traits::{CounterSummary, FrequencyEstimator};

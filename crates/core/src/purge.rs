@@ -1,0 +1,333 @@
+//! Purge (DecrementCounters) policies: how much to decrement when the table
+//! is full.
+//!
+//! The paper develops a family of policies:
+//!
+//! * **Algorithm 3 (MED)** decrements by the *exact* k\*-th largest counter
+//!   value — accurate but needs an extra pass and `k` words of scratch.
+//! * **Algorithm 4 (SMED / SMIN / quantile sweep)** decrements by a quantile
+//!   of a random *sample* of `ℓ` counters — one selection over `ℓ = 1024`
+//!   values instead of `k`, and no full snapshot.
+//! * **RBMC** (Berinde et al., §1.3.4) decrements by the global minimum —
+//!   maximally accurate, but purges can fire on (almost) every update.
+//!
+//! [`PurgePolicy`] captures all of these so a single sketch implementation
+//! can reproduce every point of Figure 3's speed/error tradeoff curve.
+
+use crate::rng::Xoshiro256StarStar;
+use crate::select::{select_nth_largest, select_quantile};
+
+/// Read access to a table's counter values, as needed by the purge
+/// policies. Implemented by the `u64`-keyed [`crate::table::LpTable`] and
+/// by the generic item table behind [`crate::ItemsSketch`].
+pub trait CounterValues {
+    /// True when no counters are assigned.
+    fn is_empty(&self) -> bool;
+    /// Draws `sample_size` counter values uniformly (with replacement
+    /// across slots) into `out`, or all values if fewer are assigned.
+    fn sample_values(
+        &self,
+        rng: &mut Xoshiro256StarStar,
+        sample_size: usize,
+        out: &mut Vec<i64>,
+    );
+    /// Copies all assigned counter values into `out`.
+    fn values_into(&self, out: &mut Vec<i64>);
+    /// The minimum assigned counter value, or `None` when empty.
+    fn min_value(&self) -> Option<i64>;
+}
+
+/// The sample size the paper's numerical analysis fixes for deployments
+/// (§2.3.2): with `ℓ = 1024`, streams of weight up to 10²⁰ satisfy the
+/// tail bound `f̂ᵢ ≥ fᵢ − N^res(j)/(0.33k − j)` with probability
+/// ≥ 1 − 1.5·10⁻⁸.
+pub const DEFAULT_SAMPLE_SIZE: usize = 1024;
+
+/// Decrement-value selection strategy for the purge step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PurgePolicy {
+    /// Algorithm 4: decrement by the `quantile`-quantile of a uniform sample
+    /// of `sample_size` counters. `quantile = 0.5` is **SMED**, `0.0` is
+    /// **SMIN**; intermediate values trace Figure 3's tradeoff curve.
+    SampleQuantile {
+        /// Number of counters sampled per purge (`ℓ`).
+        sample_size: usize,
+        /// Sample quantile used as the decrement value, in `[0, 1]`.
+        quantile: f64,
+    },
+    /// Algorithm 3 (MED): decrement by the exact `⌈fraction · k⌉`-th largest
+    /// counter value. Requires an extra O(k) snapshot per purge — the cost
+    /// Algorithm 4 exists to avoid.
+    ExactKStar {
+        /// `k*/k`: which order statistic to decrement by (`0.5` = median).
+        fraction: f64,
+    },
+    /// RBMC semantics: decrement by the global minimum counter value.
+    /// Gives the tightest per-purge error but no amortized-time guarantee
+    /// (§1.3.4's adversarial stream purges on every update).
+    GlobalMin,
+}
+
+impl PurgePolicy {
+    /// SMED — the paper's recommended default (sample median, `ℓ = 1024`).
+    pub fn smed() -> Self {
+        PurgePolicy::SampleQuantile {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            quantile: 0.5,
+        }
+    }
+
+    /// SMIN — sample minimum, `ℓ = 1024` (the accuracy-leaning variant of
+    /// §4.3, nearly matching RBMC's error at far better speed).
+    pub fn smin() -> Self {
+        PurgePolicy::SampleQuantile {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            quantile: 0.0,
+        }
+    }
+
+    /// Sample-quantile policy with the default `ℓ = 1024` (Figure 3 sweep).
+    pub fn sample_quantile(quantile: f64) -> Self {
+        PurgePolicy::SampleQuantile {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            quantile,
+        }
+    }
+
+    /// Algorithm 3 with `k* = k/2` (the expository MED variant).
+    pub fn med() -> Self {
+        PurgePolicy::ExactKStar { fraction: 0.5 }
+    }
+
+    /// Validates the policy parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            PurgePolicy::SampleQuantile {
+                sample_size,
+                quantile,
+            } => {
+                if sample_size == 0 {
+                    return Err("sample_size must be positive".into());
+                }
+                if !(0.0..=1.0).contains(&quantile) {
+                    return Err(format!("quantile {quantile} outside [0, 1]"));
+                }
+                Ok(())
+            }
+            PurgePolicy::ExactKStar { fraction } => {
+                if !(fraction > 0.0 && fraction <= 1.0) {
+                    return Err(format!("fraction {fraction} outside (0, 1]"));
+                }
+                Ok(())
+            }
+            PurgePolicy::GlobalMin => Ok(()),
+        }
+    }
+
+    /// The fraction `k*/k` this policy effectively decrements by, used for
+    /// a-priori error bounds (error ≤ N^res(j)/(k*_eff·k − j)):
+    ///
+    /// * `SampleQuantile{ℓ, q}`: `1 − q − 0.17`, clamped to `[0.01, 1]`.
+    ///   The 0.17 term is the sampling slack of the paper's numerical
+    ///   calibration at `ℓ = 1024` (§2.3.2: the sample median, `q = 0.5`,
+    ///   certifies `k* = 0.33·k` for stream weights up to 10²⁰ with failure
+    ///   probability ≤ 1.5·10⁻⁸). We apply the same slack across the
+    ///   quantile sweep; smaller sample sizes deserve a larger slack, so
+    ///   treat bounds from `ℓ < 1024` as approximate.
+    /// * `ExactKStar{f}`: `f` exactly (Theorem 2 with `k* = f·k`).
+    /// * `GlobalMin`: `1` (RBMC inherits the exact Misra-Gries bound,
+    ///   Lemma 1).
+    pub fn effective_kstar_fraction(&self) -> f64 {
+        match *self {
+            PurgePolicy::SampleQuantile { quantile, .. } => {
+                (1.0 - quantile - 0.17).clamp(0.01, 1.0)
+            }
+            PurgePolicy::ExactKStar { fraction } => fraction,
+            PurgePolicy::GlobalMin => 1.0,
+        }
+    }
+
+    /// Computes the decrement value `c*` for the current table contents.
+    ///
+    /// `scratch` is a reusable buffer (the sample, or the full snapshot for
+    /// [`PurgePolicy::ExactKStar`]); it is cleared and refilled.
+    ///
+    /// Always returns a value `>=` the global minimum counter, so a purge
+    /// deletes at least one counter and the amortized-time argument of
+    /// Theorem 3 applies (for quantiles above the minimum).
+    ///
+    /// # Panics
+    /// Panics if the table has no assigned counters.
+    pub fn compute_cstar<T: CounterValues>(
+        &self,
+        table: &T,
+        rng: &mut Xoshiro256StarStar,
+        scratch: &mut Vec<i64>,
+    ) -> i64 {
+        assert!(
+            !table.is_empty(),
+            "purge requested on a table with no counters"
+        );
+        match *self {
+            PurgePolicy::SampleQuantile {
+                sample_size,
+                quantile,
+            } => {
+                table.sample_values(rng, sample_size, scratch);
+                select_quantile(scratch, quantile)
+            }
+            PurgePolicy::ExactKStar { fraction } => {
+                table.values_into(scratch);
+                let n = scratch.len();
+                // k*-th largest, 1-indexed in the paper; clamp to [1, n].
+                let kstar = ((fraction * n as f64).ceil() as usize).clamp(1, n);
+                select_nth_largest(scratch, kstar - 1)
+            }
+            PurgePolicy::GlobalMin => table
+                .min_value()
+                .expect("non-empty table must have a minimum"),
+        }
+    }
+}
+
+impl Default for PurgePolicy {
+    /// SMED: the configuration the paper recommends and deploys.
+    fn default() -> Self {
+        PurgePolicy::smed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::LpTable;
+
+    fn filled_table(values: &[i64]) -> LpTable {
+        let mut t = LpTable::with_lg_len(10);
+        for (i, &v) in values.iter().enumerate() {
+            t.adjust_or_insert(i as u64, v);
+        }
+        t
+    }
+
+    #[test]
+    fn global_min_matches_table_minimum() {
+        let t = filled_table(&[5, 3, 9, 7]);
+        let mut rng = Xoshiro256StarStar::from_seed(1);
+        let mut scratch = Vec::new();
+        let c = PurgePolicy::GlobalMin.compute_cstar(&t, &mut rng, &mut scratch);
+        assert_eq!(c, 3);
+    }
+
+    #[test]
+    fn exact_kstar_median_of_small_table() {
+        let t = filled_table(&[10, 20, 30, 40]);
+        let mut rng = Xoshiro256StarStar::from_seed(1);
+        let mut scratch = Vec::new();
+        // k* = ceil(0.5*4) = 2nd largest = 30.
+        let c = PurgePolicy::med().compute_cstar(&t, &mut rng, &mut scratch);
+        assert_eq!(c, 30);
+    }
+
+    #[test]
+    fn exact_kstar_full_fraction_is_minimum() {
+        let t = filled_table(&[10, 20, 30, 40]);
+        let mut rng = Xoshiro256StarStar::from_seed(1);
+        let mut scratch = Vec::new();
+        let c = PurgePolicy::ExactKStar { fraction: 1.0 }.compute_cstar(&t, &mut rng, &mut scratch);
+        assert_eq!(c, 10, "k* = k selects the smallest counter");
+    }
+
+    #[test]
+    fn sample_quantile_small_table_is_exact() {
+        // When num_active <= sample_size the sample is the whole table, so
+        // the sample quantile is the exact quantile.
+        let t = filled_table(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut rng = Xoshiro256StarStar::from_seed(1);
+        let mut scratch = Vec::new();
+        let smed = PurgePolicy::smed().compute_cstar(&t, &mut rng, &mut scratch);
+        assert_eq!(smed, 5);
+        let smin = PurgePolicy::smin().compute_cstar(&t, &mut rng, &mut scratch);
+        assert_eq!(smin, 1);
+    }
+
+    #[test]
+    fn sampled_median_is_near_true_median_on_large_table() {
+        // 700 counters with values 1..=700; the sampled median (ℓ=256)
+        // should land near 350 with overwhelming probability.
+        let values: Vec<i64> = (1..=700).collect();
+        let t = filled_table(&values);
+        let mut rng = Xoshiro256StarStar::from_seed(7);
+        let mut scratch = Vec::new();
+        let policy = PurgePolicy::SampleQuantile {
+            sample_size: 256,
+            quantile: 0.5,
+        };
+        let c = policy.compute_cstar(&t, &mut rng, &mut scratch);
+        assert!(
+            (250..=450).contains(&c),
+            "sample median {c} implausibly far from 350"
+        );
+    }
+
+    #[test]
+    fn cstar_never_below_global_min() {
+        let values: Vec<i64> = (10..=500).collect();
+        let t = filled_table(&values);
+        let mut rng = Xoshiro256StarStar::from_seed(3);
+        let mut scratch = Vec::new();
+        for policy in [
+            PurgePolicy::smed(),
+            PurgePolicy::smin(),
+            PurgePolicy::sample_quantile(0.9),
+            PurgePolicy::med(),
+            PurgePolicy::GlobalMin,
+        ] {
+            let c = policy.compute_cstar(&t, &mut rng, &mut scratch);
+            assert!(c >= 10, "{policy:?} produced c* {c} below the minimum");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(PurgePolicy::SampleQuantile {
+            sample_size: 0,
+            quantile: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(PurgePolicy::SampleQuantile {
+            sample_size: 10,
+            quantile: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(PurgePolicy::ExactKStar { fraction: 0.0 }.validate().is_err());
+        assert!(PurgePolicy::ExactKStar { fraction: 1.1 }.validate().is_err());
+        assert!(PurgePolicy::smed().validate().is_ok());
+        assert!(PurgePolicy::GlobalMin.validate().is_ok());
+    }
+
+    #[test]
+    fn effective_kstar_fractions() {
+        assert!((PurgePolicy::smed().effective_kstar_fraction() - 0.33).abs() < 1e-9);
+        assert!((PurgePolicy::med().effective_kstar_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(PurgePolicy::GlobalMin.effective_kstar_fraction(), 1.0);
+        assert!(
+            PurgePolicy::smin().effective_kstar_fraction()
+                > PurgePolicy::smed().effective_kstar_fraction()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no counters")]
+    fn purge_on_empty_table_panics() {
+        let t = LpTable::with_lg_len(4);
+        let mut rng = Xoshiro256StarStar::from_seed(1);
+        let mut scratch = Vec::new();
+        PurgePolicy::smed().compute_cstar(&t, &mut rng, &mut scratch);
+    }
+}

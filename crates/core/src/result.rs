@@ -1,0 +1,88 @@
+//! Query result types: heavy-hitter rows and the false-positive /
+//! false-negative reporting contract.
+
+/// Which side of the approximation a heavy-hitter query must be exact on
+/// (§1.2's (φ, ε) guarantee can be met from either side).
+///
+/// Because the sketch brackets every true frequency as
+/// `lower_bound ≤ f ≤ upper_bound`, a threshold query can either
+///
+/// * return only items whose **lower** bound clears the threshold — every
+///   returned item is genuinely frequent (*no false positives*), but an item
+///   within the error band may be missed; or
+/// * return all items whose **upper** bound clears the threshold — every
+///   genuinely frequent item is returned (*no false negatives*), plus
+///   possibly a few whose true frequency is within the error band below.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorType {
+    /// Report `item` only if `lower_bound(item) > threshold`.
+    NoFalsePositives,
+    /// Report `item` if `upper_bound(item) > threshold`.
+    NoFalseNegatives,
+}
+
+/// One reported heavy hitter: the item with its estimate and the two-sided
+/// bounds the summary certifies (§2.3.1: `lower = c(i)`,
+/// `upper = c(i) + offset`, `estimate = upper`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Row<T = u64> {
+    /// The reported item.
+    pub item: T,
+    /// The sketch's estimate `f̂` of the item's weighted frequency.
+    pub estimate: u64,
+    /// Certified lower bound: `f ≥ lower_bound` always.
+    pub lower_bound: u64,
+    /// Certified upper bound: `f ≤ upper_bound` always.
+    pub upper_bound: u64,
+}
+
+impl<T> Row<T> {
+    /// Width of the certified interval (`upper_bound − lower_bound`).
+    pub fn uncertainty(&self) -> u64 {
+        self.upper_bound - self.lower_bound
+    }
+}
+
+/// Sorts rows by descending estimate, breaking ties by descending lower
+/// bound so output order is deterministic for items with equal estimates.
+pub fn sort_rows_descending<T: Ord>(rows: &mut [Row<T>]) {
+    rows.sort_by(|a, b| {
+        b.estimate
+            .cmp(&a.estimate)
+            .then(b.lower_bound.cmp(&a.lower_bound))
+            .then(a.item.cmp(&b.item))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(item: u64, est: u64, lb: u64) -> Row {
+        Row {
+            item,
+            estimate: est,
+            lower_bound: lb,
+            upper_bound: est,
+        }
+    }
+
+    #[test]
+    fn uncertainty_is_bound_gap() {
+        let r = Row {
+            item: 1u64,
+            estimate: 100,
+            lower_bound: 90,
+            upper_bound: 100,
+        };
+        assert_eq!(r.uncertainty(), 10);
+    }
+
+    #[test]
+    fn sorting_is_by_estimate_then_lower_bound_then_item() {
+        let mut rows = vec![row(3, 50, 40), row(1, 100, 90), row(2, 50, 45), row(4, 50, 45)];
+        sort_rows_descending(&mut rows);
+        let order: Vec<u64> = rows.iter().map(|r| r.item).collect();
+        assert_eq!(order, vec![1, 2, 4, 3]);
+    }
+}

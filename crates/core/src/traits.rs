@@ -1,0 +1,130 @@
+//! Common traits for streaming frequency estimators and counter-based
+//! summaries.
+//!
+//! The paper's merge procedure (Algorithm 5) "applies generically to any
+//! counter-based algorithm that can efficiently handle weighted updates"
+//! (§3.2). These traits make that genericity concrete: anything exposing
+//! weighted [`FrequencyEstimator::update`] can be a merge *destination*,
+//! and anything exposing its counters ([`CounterSummary::counters`]) can be
+//! a merge *source*. The baseline algorithms in `streamfreq-baselines`
+//! implement both, which is how the experiment harness swaps algorithms.
+
+/// A one-pass streaming algorithm answering point queries over weighted
+/// streams (§1.2).
+pub trait FrequencyEstimator {
+    /// Processes the weighted update `(item, weight)`.
+    fn update(&mut self, item: u64, weight: u64);
+
+    /// Processes a unit update.
+    fn update_one(&mut self, item: u64) {
+        self.update(item, 1);
+    }
+
+    /// The estimate `f̂ᵢ` for the item's weighted frequency.
+    fn estimate(&self, item: u64) -> u64;
+
+    /// The weighted stream length `N = Σ Δⱼ` processed so far.
+    fn stream_weight(&self) -> u64;
+}
+
+/// A counter-based summary (§1.3.1): `k` counters, each assigned to an item
+/// with an approximate count.
+pub trait CounterSummary: FrequencyEstimator {
+    /// The current `(item, count)` assignments. Counts are the summary's
+    /// stored (lower-bound) counters, not offset-adjusted estimates.
+    fn counters(&self) -> Vec<(u64, u64)>;
+
+    /// Number of currently assigned counters.
+    fn num_counters(&self) -> usize;
+
+    /// Maximum number of counters the summary maintains (the paper's `k`).
+    fn max_counters(&self) -> usize;
+
+    /// The summary's maximum estimation error (`offset` for this crate's
+    /// sketches; `0` for exact summaries; the minimum counter for Space
+    /// Saving style summaries).
+    fn max_error(&self) -> u64;
+}
+
+/// Algorithm 5's core loop in trait form: replay `src`'s counters into
+/// `dst` as weighted updates.
+///
+/// Note that `dst.stream_weight()` afterwards reflects the *sum of src's
+/// counters*, not the weighted length of src's input stream (counters
+/// undercount by design). [`crate::FreqSketch::merge`] and
+/// [`crate::FreqSketch::absorb_counters`] perform the exact bookkeeping;
+/// this helper exists for experiments that merge across algorithm types.
+pub fn replay_counters<D: FrequencyEstimator + ?Sized, S: CounterSummary + ?Sized>(
+    dst: &mut D,
+    src: &S,
+) {
+    for (item, count) in src.counters() {
+        if count > 0 {
+            dst.update(item, count);
+        }
+    }
+}
+
+impl FrequencyEstimator for crate::FreqSketch {
+    fn update(&mut self, item: u64, weight: u64) {
+        crate::FreqSketch::update(self, item, weight);
+    }
+
+    fn estimate(&self, item: u64) -> u64 {
+        crate::FreqSketch::estimate(self, item)
+    }
+
+    fn stream_weight(&self) -> u64 {
+        crate::FreqSketch::stream_weight(self)
+    }
+}
+
+impl CounterSummary for crate::FreqSketch {
+    fn counters(&self) -> Vec<(u64, u64)> {
+        crate::FreqSketch::counters(self).collect()
+    }
+
+    fn num_counters(&self) -> usize {
+        crate::FreqSketch::num_counters(self)
+    }
+
+    fn max_counters(&self) -> usize {
+        crate::FreqSketch::max_counters(self)
+    }
+
+    fn max_error(&self) -> u64 {
+        self.maximum_error()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FreqSketch;
+
+    #[test]
+    fn freq_sketch_implements_both_traits() {
+        let mut s = FreqSketch::with_max_counters(16);
+        FrequencyEstimator::update(&mut s, 1, 10);
+        s.update_one(1);
+        assert_eq!(FrequencyEstimator::estimate(&s, 1), 11);
+        assert_eq!(FrequencyEstimator::stream_weight(&s), 11);
+        assert_eq!(CounterSummary::num_counters(&s), 1);
+        assert_eq!(CounterSummary::max_counters(&s), 16);
+        assert_eq!(CounterSummary::max_error(&s), 0);
+        assert_eq!(CounterSummary::counters(&s), vec![(1, 11)]);
+    }
+
+    #[test]
+    fn replay_counters_transfers_mass() {
+        let mut src = FreqSketch::with_max_counters(16);
+        for i in 0..10u64 {
+            src.update(i, (i + 1) * 3);
+        }
+        let mut dst = FreqSketch::with_max_counters(16);
+        replay_counters(&mut dst, &src);
+        for i in 0..10u64 {
+            assert_eq!(dst.estimate(i), (i + 1) * 3);
+        }
+    }
+}

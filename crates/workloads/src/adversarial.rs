@@ -1,0 +1,89 @@
+//! Adversarial streams that separate the algorithms' worst cases.
+//!
+//! §1.3.4 exhibits a stream on which RBMC performs a Θ(k) decrement sweep
+//! on **every** update: `k` huge-weight updates to distinct items, then `M`
+//! unit updates to fresh items. Each unit update finds the table full of
+//! counters far above 1, sweeps everyone down by 1, and discards the new
+//! item — forever. SMED, by contrast, purges at most once every ~k/2
+//! updates regardless of the input. The `adversarial_ablation` harness
+//! measures exactly this separation.
+
+use crate::stream::WeightedUpdate;
+
+/// Configuration for the §1.3.4 RBMC worst-case stream.
+#[derive(Clone, Copy, Debug)]
+pub struct AdversarialConfig {
+    /// Number of counters `k` of the algorithm under attack.
+    pub k: usize,
+    /// The large weight `M` given to the first `k` items; also the number
+    /// of trailing unit updates.
+    pub m: u64,
+}
+
+/// Generates the stream: `k` updates of weight `m` to items `0..k`,
+/// followed by `m` unit updates to the fresh items `k, k+1, …, k+m-1`.
+pub fn rbmc_killer(config: AdversarialConfig) -> Vec<WeightedUpdate> {
+    assert!(config.k > 0, "k must be positive");
+    assert!(config.m > 0, "m must be positive");
+    let mut stream = Vec::with_capacity(config.k + config.m as usize);
+    for item in 0..config.k as u64 {
+        stream.push((item, config.m));
+    }
+    for i in 0..config.m {
+        stream.push((config.k as u64 + i, 1));
+    }
+    stream
+}
+
+/// A milder adversary: alternating heavy and unit updates, keeping the
+/// table permanently full of large counters while a trickle of unit
+/// updates probes the purge path. Stresses purge-frequency accounting
+/// without the pure-phase structure of [`rbmc_killer`].
+pub fn heavy_light_interleave(k: usize, rounds: usize, heavy: u64) -> Vec<WeightedUpdate> {
+    assert!(k > 0 && rounds > 0 && heavy > 0);
+    let mut stream = Vec::with_capacity(2 * rounds);
+    for r in 0..rounds as u64 {
+        stream.push((r % k as u64, heavy));
+        stream.push((1_000_000 + r, 1));
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::total_weight;
+
+    #[test]
+    fn killer_stream_shape() {
+        let s = rbmc_killer(AdversarialConfig { k: 4, m: 10 });
+        assert_eq!(s.len(), 14);
+        assert_eq!(&s[..4], &[(0, 10), (1, 10), (2, 10), (3, 10)]);
+        assert_eq!(s[4], (4, 1));
+        assert_eq!(s[13], (13, 1));
+        assert_eq!(total_weight(&s), 4 * 10 + 10);
+    }
+
+    #[test]
+    fn killer_items_are_all_distinct() {
+        let s = rbmc_killer(AdversarialConfig { k: 8, m: 100 });
+        let mut items: Vec<u64> = s.iter().map(|&(i, _)| i).collect();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), s.len());
+    }
+
+    #[test]
+    fn interleave_alternates() {
+        let s = heavy_light_interleave(4, 10, 1000);
+        assert_eq!(s.len(), 20);
+        assert_eq!(s[0].1, 1000);
+        assert_eq!(s[1].1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be positive")]
+    fn zero_m_panics() {
+        rbmc_killer(AdversarialConfig { k: 1, m: 0 });
+    }
+}

@@ -1,0 +1,36 @@
+//! # streamfreq-workloads
+//!
+//! Deterministic workload generators for the evaluation of Anderson et
+//! al. (IMC 2017), replacing the access-restricted datasets with
+//! statistically equivalent synthetics (substitutions documented in
+//! DESIGN.md §4):
+//!
+//! | module | provides | paper use |
+//! |---|---|---|
+//! | [`zipf`] | rejection-inversion Zipf(α) sampler, O(1) per draw for any universe | §4.1/§4.5 synthetic streams |
+//! | [`caida`] | synthetic packet trace (skewed IPs × IMIX packet sizes in bits) | the CAIDA 2016 trace of §4.1 (Figs 1–3) |
+//! | [`merge_workload`] | Zipf(1.05) ids × uniform [1, 10 000] weights | the §4.5 merge-fill streams (Fig 4) |
+//! | [`adversarial`] | the §1.3.4 RBMC worst-case stream | adversarial ablation |
+//! | [`stream`] | update type, composition helpers, binary persistence | everywhere |
+//!
+//! Every generator is seeded and fully reproducible: the same config
+//! yields the same bytes on every platform.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod adversarial;
+pub mod caida;
+pub mod merge_workload;
+pub mod stream;
+pub mod zipf;
+
+pub use adversarial::{heavy_light_interleave, rbmc_killer, AdversarialConfig};
+pub use caida::{CaidaConfig, SyntheticCaida};
+pub use merge_workload::{fill_stream, MergeWorkloadConfig};
+pub use stream::{
+    concat, load_binary, num_distinct, partition_round_robin, save_binary, shuffle,
+    total_weight, WeightedUpdate,
+};
+pub use zipf::Zipf;

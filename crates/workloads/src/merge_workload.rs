@@ -1,0 +1,104 @@
+//! The §4.5 merge-experiment workload: item identifiers from Zipf(α=1.05)
+//! and weights uniform on `[1, 10 000]`, used to "fill up" sketches before
+//! merge benchmarking.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stream::WeightedUpdate;
+use crate::zipf::Zipf;
+
+/// Configuration of the merge-fill workload.
+#[derive(Clone, Debug)]
+pub struct MergeWorkloadConfig {
+    /// Updates per sketch fill.
+    pub updates_per_sketch: usize,
+    /// Zipf support size for item identifiers.
+    pub universe: u64,
+    /// Zipf exponent (the paper uses 1.05).
+    pub alpha: f64,
+    /// Maximum uniform weight (the paper uses 10 000).
+    pub max_weight: u64,
+    /// Base RNG seed; sketch `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for MergeWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            updates_per_sketch: 100_000,
+            universe: 1 << 22,
+            alpha: 1.05,
+            max_weight: 10_000,
+            seed: 0x4D45_5247, // "MERG"
+        }
+    }
+}
+
+/// Generates the fill stream for the `index`-th sketch of the experiment.
+pub fn fill_stream(config: &MergeWorkloadConfig, index: u64) -> Vec<WeightedUpdate> {
+    let zipf = Zipf::new(config.universe, config.alpha);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(index));
+    (0..config.updates_per_sketch)
+        .map(|_| {
+            let item = zipf.sample(&mut rng);
+            let weight = rng.gen_range(1..=config.max_weight);
+            (item, weight)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_parameters() {
+        let cfg = MergeWorkloadConfig {
+            updates_per_sketch: 5_000,
+            universe: 1000,
+            alpha: 1.05,
+            max_weight: 10_000,
+            seed: 1,
+        };
+        let s = fill_stream(&cfg, 0);
+        assert_eq!(s.len(), 5_000);
+        for &(item, w) in &s {
+            assert!((1..=1000).contains(&item));
+            assert!((1..=10_000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let cfg = MergeWorkloadConfig::default();
+        let a = fill_stream(
+            &MergeWorkloadConfig {
+                updates_per_sketch: 1000,
+                ..cfg.clone()
+            },
+            0,
+        );
+        let b = fill_stream(
+            &MergeWorkloadConfig {
+                updates_per_sketch: 1000,
+                ..cfg
+            },
+            1,
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn weights_cover_the_range() {
+        let cfg = MergeWorkloadConfig {
+            updates_per_sketch: 50_000,
+            ..MergeWorkloadConfig::default()
+        };
+        let s = fill_stream(&cfg, 3);
+        let lo = s.iter().map(|&(_, w)| w).min().unwrap();
+        let hi = s.iter().map(|&(_, w)| w).max().unwrap();
+        assert!(lo < 100, "low weights missing (min {lo})");
+        assert!(hi > 9_900, "high weights missing (max {hi})");
+    }
+}

@@ -1,0 +1,165 @@
+//! Weighted-stream plumbing: the update type, composition helpers, and a
+//! binary on-disk format so experiment runs are replayable byte-for-byte.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One weighted stream update `(item, Δ)` — §1.2's update model. Items are
+/// 64-bit identifiers (IPv4 fits with room to spare, §4.1); weights are
+/// positive integers (packet size in bits, bytes transferred, …).
+pub type WeightedUpdate = (u64, u64);
+
+/// Total weighted length `N = Σ Δⱼ` of a materialized stream.
+pub fn total_weight(stream: &[WeightedUpdate]) -> u64 {
+    stream.iter().map(|&(_, w)| w).sum()
+}
+
+/// Number of distinct items in a materialized stream.
+pub fn num_distinct(stream: &[WeightedUpdate]) -> usize {
+    let mut items: Vec<u64> = stream.iter().map(|&(i, _)| i).collect();
+    items.sort_unstable();
+    items.dedup();
+    items.len()
+}
+
+/// Concatenates streams in order (the `σ = σ₁ ∘ σ₂` of §3's merge
+/// analyses).
+pub fn concat(parts: &[Vec<WeightedUpdate>]) -> Vec<WeightedUpdate> {
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Deterministically shuffles a stream (Fisher-Yates under a seeded
+/// generator) — used to destroy adversarial orderings in ablations.
+pub fn shuffle(stream: &mut [WeightedUpdate], seed: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    stream.shuffle(&mut rng);
+}
+
+/// Splits a stream round-robin into `n` partitions — the "partitioned
+/// across machines" merge scenario of §3.
+pub fn partition_round_robin(stream: &[WeightedUpdate], n: usize) -> Vec<Vec<WeightedUpdate>> {
+    assert!(n > 0, "need at least one partition");
+    let mut parts = vec![Vec::with_capacity(stream.len() / n + 1); n];
+    for (i, &u) in stream.iter().enumerate() {
+        parts[i % n].push(u);
+    }
+    parts
+}
+
+/// Writes a stream as little-endian `(u64, u64)` records.
+///
+/// # Errors
+/// Propagates I/O errors from the filesystem.
+pub fn save_binary(stream: &[WeightedUpdate], path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for &(item, weight) in stream {
+        w.write_all(&item.to_le_bytes())?;
+        w.write_all(&weight.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a stream written by [`save_binary`].
+///
+/// # Errors
+/// Fails on I/O errors or if the file length is not a multiple of 16.
+pub fn load_binary(path: &Path) -> io::Result<Vec<WeightedUpdate>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() % 16 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("file length {} is not a multiple of 16", bytes.len()),
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(16)
+        .map(|c| {
+            let item = u64::from_le_bytes(c[..8].try_into().expect("8-byte chunk"));
+            let weight = u64::from_le_bytes(c[8..].try_into().expect("8-byte chunk"));
+            (item, weight)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream() -> Vec<WeightedUpdate> {
+        vec![(1, 10), (2, 20), (1, 5), (3, 1)]
+    }
+
+    #[test]
+    fn totals_and_distinct() {
+        let s = sample_stream();
+        assert_eq!(total_weight(&s), 36);
+        assert_eq!(num_distinct(&s), 3);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let joined = concat(&[vec![(1, 1), (2, 2)], vec![(3, 3)]]);
+        assert_eq!(joined, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let mut a: Vec<WeightedUpdate> = (0..100).map(|i| (i, i + 1)).collect();
+        let mut b = a.clone();
+        let original = a.clone();
+        shuffle(&mut a, 5);
+        shuffle(&mut b, 5);
+        assert_eq!(a, b, "same seed, same order");
+        assert_ne!(a, original, "shuffle must move something");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original, "shuffle must be a permutation");
+    }
+
+    #[test]
+    fn partition_covers_everything() {
+        let s: Vec<WeightedUpdate> = (0..10).map(|i| (i, 1)).collect();
+        let parts = partition_round_robin(&s, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 10);
+        assert_eq!(parts[0], vec![(0, 1), (3, 1), (6, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let dir = std::env::temp_dir().join("streamfreq-test-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.bin");
+        let s = sample_stream();
+        save_binary(&s, &path).unwrap();
+        let loaded = load_binary(&path).unwrap();
+        assert_eq!(loaded, s);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_torn_file() {
+        let dir = std::env::temp_dir().join("streamfreq-test-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.bin");
+        std::fs::write(&path, [0u8; 15]).unwrap();
+        assert!(load_binary(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn zero_partitions_panics() {
+        partition_round_robin(&[], 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Zipf-distributed item sampling by rejection-inversion.
+//!
+//! §4.1 and §4.5 of the paper use Zipfian synthetic streams ("a Zipfian
+//! distribution with various skewness parameters", α = 1.05 for the merge
+//! experiment). A table-based inverse-CDF sampler needs O(m) memory — fine
+//! for small universes, useless for m = 2³². We implement W. Hörmann &
+//! G. Derflinger's *rejection-inversion* sampler ("Rejection-inversion to
+//! generate variates from monotone discrete distributions", ACM TOMACS
+//! 1996), which samples Zipf(α, m) in O(1) expected time and O(1) memory
+//! for any exponent α > 0 — the same algorithm Apache Commons RNG ships.
+
+use rand::Rng;
+
+/// Zipf(α) sampler over ranks `{1, …, num_elements}`:
+/// `P(X = r) ∝ r^{−α}`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    num_elements: u64,
+    exponent: f64,
+    h_integral_x1: f64,
+    h_integral_num_elements: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `{1, …, num_elements}` with exponent
+    /// `alpha > 0`.
+    ///
+    /// # Panics
+    /// Panics if `num_elements` is zero or `alpha` is not finite and
+    /// positive.
+    pub fn new(num_elements: u64, alpha: f64) -> Self {
+        assert!(num_elements > 0, "num_elements must be positive");
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "alpha {alpha} must be finite and positive"
+        );
+        let h_integral_x1 = h_integral(1.5, alpha) - 1.0;
+        let h_integral_num_elements = h_integral(num_elements as f64 + 0.5, alpha);
+        let s = 2.0 - h_integral_inverse(h_integral(2.5, alpha) - h(2.0, alpha), alpha);
+        Self {
+            num_elements,
+            exponent: alpha,
+            h_integral_x1,
+            h_integral_num_elements,
+            s,
+        }
+    }
+
+    /// Number of elements in the support.
+    pub fn num_elements(&self) -> u64 {
+        self.num_elements
+    }
+
+    /// The exponent α.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws one rank in `{1, …, num_elements}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u: f64 = self.h_integral_num_elements
+                + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_num_elements);
+            let x = h_integral_inverse(u, self.exponent);
+            // Clamp to the support; floating error can push x slightly out.
+            let k64 = x.round().clamp(1.0, self.num_elements as f64);
+            let k = k64 as u64;
+            // Acceptance tests from Hörmann & Derflinger: the first is a
+            // cheap squeeze, the second the exact rejection test.
+            if k64 - x <= self.s
+                || u >= h_integral(k64 + 0.5, self.exponent) - h(k64, self.exponent)
+            {
+                return k;
+            }
+        }
+    }
+
+    /// The exact probability of rank `r` (for tests and analytics):
+    /// `r^{−α} / H_{m,α}` where `H` is the generalized harmonic number.
+    pub fn probability(&self, rank: u64) -> f64 {
+        assert!(rank >= 1 && rank <= self.num_elements, "rank out of range");
+        (rank as f64).powf(-self.exponent) / self.harmonic()
+    }
+
+    /// The generalized harmonic number `H_{m,α}` (exact summation; only
+    /// sensible for small supports — tests use it, production code does
+    /// not need it).
+    pub fn harmonic(&self) -> f64 {
+        (1..=self.num_elements)
+            .map(|r| (r as f64).powf(-self.exponent))
+            .sum()
+    }
+}
+
+/// `H(x)`: the integral of `h(x) = x^{−α}`, shifted so the formulas stay
+/// stable near α = 1 (where the antiderivative switches to `ln`).
+fn h_integral(x: f64, alpha: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - alpha) * log_x) * log_x
+}
+
+/// `h(x) = x^{−α}`.
+fn h(x: f64, alpha: f64) -> f64 {
+    (-alpha * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, alpha: f64) -> f64 {
+    let mut t = x * (1.0 - alpha);
+    if t < -1.0 {
+        // Numerical guard from the reference implementation.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `helper1(x) = ln(1+x)/x`, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `helper2(x) = (e^x − 1)/x`, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_support() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+        }
+    }
+
+    #[test]
+    fn single_element_support() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_matches_theoretical_small_support() {
+        // Chi-square-style check on m = 10, α = 1.0 with 200k samples:
+        // every bucket within 5% relative of its expectation.
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = [0u64; 10];
+        for _ in 0..n {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for rank in 1..=10u64 {
+            let expected = z.probability(rank) * n as f64;
+            let got = counts[(rank - 1) as usize] as f64;
+            let rel = (got - expected).abs() / expected;
+            assert!(
+                rel < 0.05,
+                "rank {rank}: got {got}, expected {expected:.0} (rel {rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_alpha_concentrates_mass() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mild = Zipf::new(1000, 0.8);
+        let steep = Zipf::new(1000, 2.0);
+        let n = 50_000;
+        let top_share = |z: &Zipf, rng: &mut StdRng| {
+            let mut top = 0u64;
+            for _ in 0..n {
+                if z.sample(rng) == 1 {
+                    top += 1;
+                }
+            }
+            top as f64 / n as f64
+        };
+        let mild_share = top_share(&mild, &mut rng);
+        let steep_share = top_share(&steep, &mut rng);
+        assert!(
+            steep_share > 2.0 * mild_share,
+            "steep {steep_share:.3} vs mild {mild_share:.3}"
+        );
+    }
+
+    #[test]
+    fn works_at_alpha_one_boundary() {
+        // α exactly 1 exercises the ln-form antiderivative.
+        let z = Zipf::new(1 << 20, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut max_seen = 0;
+        for _ in 0..10_000 {
+            max_seen = max_seen.max(z.sample(&mut rng));
+        }
+        assert!(max_seen > 1000, "deep tail never sampled: {max_seen}");
+    }
+
+    #[test]
+    fn huge_universe_is_cheap() {
+        // m = 2^32 — the paper's IPv4 universe. Must not allocate tables.
+        let z = Zipf::new(1 << 32, 1.05);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            distinct.insert(z.sample(&mut rng));
+        }
+        assert!(distinct.len() > 2_000, "skew should still allow diversity");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let z = Zipf::new(10_000, 1.2);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_nonpositive_alpha() {
+        Zipf::new(10, 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Distributed sketching — §3's motivating scenario: partition a stream
+//! across workers, sketch each partition independently (in parallel
+//! threads here, machines in production), then merge the summaries
+//! through an arbitrary aggregation tree and serialize the result.
+//!
+//! Demonstrates that the merged summary answers queries over the *union*
+//! of the partitions with Theorem 5's error bound, and that the wire
+//! format round-trips.
+//!
+//! ```text
+//! cargo run --release --example distributed_merge
+//! ```
+
+use std::thread;
+
+use streamfreq::baselines::ExactCounter;
+use streamfreq::workloads::{partition_round_robin, CaidaConfig, SyntheticCaida};
+use streamfreq::{FreqSketch, FrequencyEstimator, PurgePolicy};
+
+const WORKERS: usize = 8;
+const K: usize = 2048;
+
+fn main() {
+    let config = CaidaConfig::scaled(2_000_000);
+    println!("synthesizing {} packets ...", config.num_updates);
+    let stream: Vec<(u64, u64)> = SyntheticCaida::materialize(&config);
+    let mut exact = ExactCounter::new();
+    for &(ip, bits) in &stream {
+        exact.update(ip, bits);
+    }
+
+    // 1. Partition across workers (round-robin; any partition works).
+    let parts = partition_round_robin(&stream, WORKERS);
+
+    // 2. Each worker sketches its shard independently.
+    println!("sketching {WORKERS} shards in parallel ...");
+    let mut shard_sketches: Vec<FreqSketch> = thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(w, shard)| {
+                scope.spawn(move || {
+                    let mut s = FreqSketch::builder(K)
+                        .policy(PurgePolicy::smed())
+                        .seed(w as u64) // independent sampling per worker
+                        .build()
+                        .expect("valid k");
+                    for &(ip, bits) in shard {
+                        s.update(ip, bits);
+                    }
+                    s
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    // 3. Merge through a binary aggregation tree (any shape is valid).
+    println!("merging through a binary tree ...");
+    while shard_sketches.len() > 1 {
+        let mut next = Vec::with_capacity(shard_sketches.len().div_ceil(2));
+        let mut iter = shard_sketches.into_iter();
+        while let Some(mut left) = iter.next() {
+            if let Some(right) = iter.next() {
+                left.merge(&right); // right is discarded after the merge
+            }
+            next.push(left);
+        }
+        shard_sketches = next;
+    }
+    let merged = shard_sketches.pop().expect("one sketch remains");
+
+    // 4. The merged summary covers the whole stream.
+    let n = merged.stream_weight();
+    assert_eq!(n, exact.stream_weight(), "no mass lost in the tree");
+    let max_err = exact.max_abs_error(|ip| merged.estimate(ip));
+    println!(
+        "merged sketch: N = {n}, max observed error {max_err} ({:.5}% of N, certified ±{})",
+        100.0 * max_err as f64 / n as f64,
+        merged.maximum_error()
+    );
+    assert!(max_err <= merged.maximum_error(), "certified bound violated");
+
+    // 5. Ship it: serialize, deserialize, and query the copy.
+    let wire = merged.serialize_to_bytes();
+    let restored = FreqSketch::deserialize_from_bytes(&wire).expect("valid encoding");
+    println!(
+        "wire format: {} bytes for {} counters; restored top talker:",
+        wire.len(),
+        restored.num_counters()
+    );
+    let top = restored.top_k(3);
+    for row in top {
+        println!(
+            "  ip {:>12}  ~{} bits (true {})",
+            row.item,
+            row.estimate,
+            exact.estimate(row.item)
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Hierarchical heavy hitters — the paper's flagship downstream
+//! application (§1.2/§6, reference [18]): find not just heavy *hosts* but
+//! heavy *subnets*, including attacks dispersed across a prefix where no
+//! single source is heavy.
+//!
+//! ```text
+//! cargo run --release --example hierarchical_hhh
+//! ```
+
+use streamfreq::apps::HhhSketch;
+use streamfreq::workloads::{CaidaConfig, SyntheticCaida};
+use streamfreq::ErrorType;
+
+fn main() {
+    let mut hhh = HhhSketch::new(1024);
+
+    // Background: realistic dispersed traffic.
+    let config = CaidaConfig::scaled(500_000);
+    println!("feeding {} background packets ...", config.num_updates);
+    for (ip, bits) in SyntheticCaida::new(&config) {
+        hhh.update(ip as u32, bits);
+    }
+    let background = hhh.stream_weight();
+
+    // Injected behaviour 1: one heavy host (a single busy server).
+    let server = u32::from_be_bytes([203, 0, 113, 7]);
+    // Injected behaviour 2: a botnet dispersed over 10.66.0.0/16 — every
+    // bot individually light, the subnet jointly heavy.
+    println!("injecting one heavy host and one dispersed /16 botnet ...");
+    let per_host = background / 20 / 256; // subnet totals ~5% of background
+    for _ in 0..20 {
+        hhh.update(server, background / 80); // server totals ~25% of background
+    }
+    for bot in 0..=255u32 {
+        let ip = u32::from_be_bytes([10, 66, (bot / 16) as u8, (bot % 16 * 13) as u8]);
+        hhh.update(ip, per_host);
+    }
+
+    let n = hhh.stream_weight();
+    println!(
+        "total traffic {:.2} Gbit across {} sketch levels ({} KiB state)\n",
+        n as f64 / 1e9,
+        hhh.level_sketches().len(),
+        hhh.memory_bytes() / 1024
+    );
+
+    let phi = 0.02;
+    println!("hierarchical heavy hitters above {:.0}% of traffic:", phi * 100.0);
+    let rows = hhh.hierarchical_heavy_hitters(phi, ErrorType::NoFalseNegatives);
+    for row in &rows {
+        println!(
+            "  {:>18}  conditioned {:>6.2}%  (raw estimate {:>6.2}%)",
+            row.to_cidr(),
+            100.0 * row.conditioned as f64 / n as f64,
+            100.0 * row.estimate as f64 / n as f64,
+        );
+    }
+
+    // The server must surface as a /32; the botnet as an aggregate (the
+    // /16 or one of its parents), with no single /32 bot reported.
+    assert!(
+        rows.iter().any(|r| r.prefix_len == 32 && r.prefix == server),
+        "heavy server not detected"
+    );
+    assert!(
+        rows.iter()
+            .any(|r| r.prefix_len <= 16 && r.prefix >> 24 == 10),
+        "dispersed botnet prefix not detected"
+    );
+    assert!(
+        !rows
+            .iter()
+            .any(|r| r.prefix_len == 32 && r.prefix >> 24 == 10),
+        "individual bots must stay below the radar"
+    );
+    println!("\nserver found at /32, botnet only as an aggregate prefix — as intended.");
+}

@@ -1,0 +1,66 @@
+//! Quickstart: sketch a weighted stream, query point estimates with
+//! certified bounds, and list the heavy hitters.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use streamfreq::{ErrorType, FreqSketch, ItemsSketch};
+
+fn main() {
+    // --- u64 items: track video watch time (seconds) per video id -------
+    let mut sketch = FreqSketch::with_max_counters(64);
+
+    // A popular video, a moderately popular one, and a long tail.
+    for _ in 0..500 {
+        sketch.update(1001, 240); // 500 views × 4 minutes
+    }
+    for _ in 0..120 {
+        sketch.update(2002, 600); // 120 views × 10 minutes
+    }
+    for tail_video in 3000..3800u64 {
+        sketch.update(tail_video, 30); // one 30-second view each
+    }
+
+    let n = sketch.stream_weight();
+    println!("stream: {} updates, total weight N = {n} seconds", sketch.num_updates());
+    println!("state: {} counters, {} bytes, max error ±{}",
+        sketch.num_counters(),
+        sketch.memory_bytes(),
+        sketch.maximum_error());
+    println!();
+
+    // Point queries with certified bounds.
+    for video in [1001u64, 2002, 3000, 999_999] {
+        println!(
+            "video {video:>6}: estimate {:>7}  (certified {} ..= {})",
+            sketch.estimate(video),
+            sketch.lower_bound(video),
+            sketch.upper_bound(video),
+        );
+    }
+    println!();
+
+    // Heavy hitters: videos that may hold >5% of total watch time.
+    println!("videos holding >5% of watch time (no false negatives):");
+    for row in sketch.heavy_hitters(0.05, ErrorType::NoFalseNegatives) {
+        println!(
+            "  video {:>6}: ~{} s ({:.1}% of stream)",
+            row.item,
+            row.estimate,
+            100.0 * row.estimate as f64 / n as f64
+        );
+    }
+    println!();
+
+    // --- arbitrary item types: the same API over strings ----------------
+    let mut words: ItemsSketch<String> = ItemsSketch::with_max_counters(32);
+    let text = "the quick brown fox jumps over the lazy dog the fox";
+    for word in text.split_whitespace() {
+        words.update(word.to_string(), 1);
+    }
+    println!("most frequent words of {text:?}:");
+    for row in words.frequent_items(ErrorType::NoFalsePositives) {
+        println!("  {:>6}: {}", row.item, row.estimate);
+    }
+}

@@ -1,0 +1,52 @@
+//! # streamfreq
+//!
+//! High-performance frequent-items sketches for data streams: a complete
+//! Rust implementation of
+//!
+//! > Anderson, Bevin, Lang, Liberty, Rhodes, Thaler.
+//! > *A High-Performance Algorithm for Identifying Frequent Items in Data
+//! > Streams.* IMC 2017 (arXiv:1705.07001)
+//!
+//! — the algorithm behind Apache DataSketches' Frequent Items Sketch —
+//! together with every baseline of its evaluation, the workload generators,
+//! and the downstream applications it motivates.
+//!
+//! This facade crate re-exports the public APIs of the workspace:
+//!
+//! * [`streamfreq_core`] — [`FreqSketch`], [`ItemsSketch`], purge
+//!   policies, error bounds, serialization.
+//! * [`baselines`] — Misra-Gries, Space Saving (heap and Stream Summary),
+//!   RBMC, RTUC, Count-Min, CountSketch, exact counting, prior merges.
+//! * [`workloads`] — Zipf, synthetic CAIDA-like traces, adversarial
+//!   streams.
+//! * [`apps`] — hierarchical heavy hitters, entropy estimation, sampled
+//!   feeding.
+//!
+//! See the `examples/` directory for runnable walkthroughs, DESIGN.md for
+//! the system inventory, and EXPERIMENTS.md for the reproduced evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use streamfreq::{FreqSketch, ErrorType};
+//!
+//! let mut sketch = FreqSketch::with_max_counters(256);
+//! sketch.update(/* flow id */ 42, /* bytes */ 1500);
+//! sketch.update(42, 9000);
+//! sketch.update(7, 40);
+//! assert_eq!(sketch.estimate(42), 10_500);
+//! let heavy = sketch.heavy_hitters(0.5, ErrorType::NoFalsePositives);
+//! assert_eq!(heavy[0].item, 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use streamfreq_apps as apps;
+pub use streamfreq_baselines as baselines;
+pub use streamfreq_core::{
+    bounds, codec, hashing, item_codec, purge, result, rng, select, signed, sketch, table,
+    traits, CounterSummary, Error, ErrorType, FreqSketch, FreqSketchBuilder,
+    FrequencyEstimator, ItemsSketch, PurgePolicy, Row, SignedFreqSketch,
+};
+pub use streamfreq_workloads as workloads;

@@ -1,0 +1,209 @@
+//! Cross-crate accuracy tests: the paper's error guarantees, checked for
+//! every algorithm on realistic workloads (synthetic packet trace and
+//! Zipf streams).
+
+
+use streamfreq::baselines::{ExactCounter, Rbmc, SpaceSavingHeap};
+use streamfreq::workloads::{CaidaConfig, SyntheticCaida, Zipf};
+use streamfreq::{ErrorType, FreqSketch, FrequencyEstimator, PurgePolicy};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn caida_stream(updates: usize) -> Vec<(u64, u64)> {
+    SyntheticCaida::materialize(&CaidaConfig {
+        num_updates: updates,
+        num_flows: (updates / 40).max(500) as u64,
+        alpha: 1.1,
+        seed: 99,
+    })
+}
+
+fn zipf_stream(updates: usize, alpha: f64, seed: u64) -> Vec<(u64, u64)> {
+    let z = Zipf::new(1 << 22, alpha);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..updates)
+        .map(|_| (z.sample(&mut rng), rng.gen_range(1..=1000)))
+        .collect()
+}
+
+fn truth_of(stream: &[(u64, u64)]) -> ExactCounter {
+    let mut t = ExactCounter::new();
+    for &(i, w) in stream {
+        t.update(i, w);
+    }
+    t
+}
+
+/// Lemma 4 / §2.3.1: the a-posteriori `maximum_error` (offset) brackets
+/// every estimate, for every purge policy, on the packet workload.
+#[test]
+fn offset_bound_is_exact_for_all_policies() {
+    let stream = caida_stream(300_000);
+    let truth = truth_of(&stream);
+    for policy in [
+        PurgePolicy::smed(),
+        PurgePolicy::smin(),
+        PurgePolicy::sample_quantile(0.9),
+        PurgePolicy::med(),
+        PurgePolicy::GlobalMin,
+    ] {
+        let mut s = FreqSketch::builder(512).policy(policy).build().unwrap();
+        for &(i, w) in &stream {
+            s.update(i, w);
+        }
+        assert!(s.num_purges() > 0, "{policy:?}: workload must force purges");
+        let offset = s.maximum_error();
+        for (item, f) in truth.iter() {
+            assert!(s.lower_bound(item) <= f, "{policy:?}: lb violated");
+            assert!(s.upper_bound(item) >= f, "{policy:?}: ub violated");
+            assert!(
+                s.upper_bound(item) - s.lower_bound(item) <= offset,
+                "{policy:?}: interval wider than offset"
+            );
+        }
+    }
+}
+
+/// Theorem 4 with j = 0: max error ≤ N/(0.33·k) for SMED whp.
+#[test]
+fn smed_a_priori_bound_holds_on_zipf() {
+    for (alpha, seed) in [(0.8, 1u64), (1.1, 2), (1.5, 3)] {
+        let stream = zipf_stream(400_000, alpha, seed);
+        let truth = truth_of(&stream);
+        let k = 256;
+        let mut s = FreqSketch::builder(k).policy(PurgePolicy::smed()).build().unwrap();
+        for &(i, w) in &stream {
+            s.update(i, w);
+        }
+        let bound = (truth.stream_weight() as f64 / (0.33 * k as f64)).ceil() as u64;
+        let err = truth.max_abs_error(|i| s.estimate(i));
+        assert!(
+            err <= bound,
+            "alpha {alpha}: error {err} exceeds N/(0.33k) = {bound}"
+        );
+    }
+}
+
+/// Theorem 2 tail guarantee: on a skewed stream the error is bounded by
+/// the *residual* weight, far below N/k.
+#[test]
+fn tail_guarantee_exploits_skew() {
+    // Extremely skewed: two items hold 90% of the mass.
+    let mut stream: Vec<(u64, u64)> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..10_000 {
+        stream.push((1, 450));
+        stream.push((2, 450));
+        stream.push((rng.gen_range(100..10_000), 100));
+    }
+    let truth = truth_of(&stream);
+    let k = 128;
+    let mut s = FreqSketch::builder(k).policy(PurgePolicy::smed()).build().unwrap();
+    for &(i, w) in &stream {
+        s.update(i, w);
+    }
+    let n = truth.stream_weight();
+    let freqs = truth.sorted_frequencies();
+    let j = 2;
+    let n_res: u64 = freqs.iter().skip(j).sum();
+    let tail_bound = n_res / ((0.33 * k as f64) as u64 - j as u64);
+    let naive_bound = n / ((0.33 * k as f64) as u64);
+    let err = truth.max_abs_error(|i| s.estimate(i));
+    assert!(err <= tail_bound, "error {err} > tail bound {tail_bound}");
+    assert!(
+        tail_bound * 5 < naive_bound,
+        "test not meaningful: tail bound must be much tighter"
+    );
+}
+
+/// §4.2: as k grows past the distinct count, every algorithm becomes
+/// exact and their errors converge to zero.
+#[test]
+fn algorithms_converge_with_k() {
+    let stream = zipf_stream(100_000, 1.2, 5);
+    let truth = truth_of(&stream);
+    let distinct = truth.num_distinct();
+    let k = distinct + 10;
+    let mut smed = FreqSketch::builder(k).build().unwrap();
+    let mut rbmc = Rbmc::new(k);
+    let mut mhe = SpaceSavingHeap::new(k);
+    for &(i, w) in &stream {
+        smed.update(i, w);
+        rbmc.update(i, w);
+        mhe.update(i, w);
+    }
+    for (item, f) in truth.iter() {
+        assert_eq!(smed.estimate(item), f, "SMED must be exact at k > distinct");
+        assert_eq!(rbmc.estimate(item), f, "RBMC must be exact at k > distinct");
+        assert_eq!(mhe.estimate(item), f, "MHE must be exact at k > distinct");
+    }
+}
+
+/// The reporting contracts against exact ground truth on the packet trace.
+#[test]
+fn heavy_hitter_contracts_on_packet_trace() {
+    let stream = caida_stream(400_000);
+    let truth = truth_of(&stream);
+    let mut s = FreqSketch::builder(1024).build().unwrap();
+    for &(i, w) in &stream {
+        s.update(i, w);
+    }
+    let n = truth.stream_weight();
+    for phi in [0.001, 0.01, 0.05] {
+        // thresholds are clamped to the summary's error level by the query
+        let threshold = ((phi * n as f64) as u64).max(s.maximum_error());
+        let nfn: Vec<u64> = s
+            .heavy_hitters(phi, ErrorType::NoFalseNegatives)
+            .iter()
+            .map(|r| r.item)
+            .collect();
+        for (item, f) in truth.iter() {
+            if f > threshold {
+                assert!(nfn.contains(&item), "phi={phi}: missed true HH {item}");
+            }
+        }
+        for row in s.heavy_hitters(phi, ErrorType::NoFalsePositives) {
+            assert!(
+                truth.estimate(row.item) > threshold,
+                "phi={phi}: false positive {}",
+                row.item
+            );
+        }
+    }
+}
+
+/// Figure 2's error ordering at equal counters: SMED's error may exceed
+/// the isomorphic trio (SMIN ≈ RBMC ≈ MHE), but by a bounded factor, and
+/// doubling SMED's counters closes the gap (§4.3).
+#[test]
+fn error_ordering_and_recovery_by_doubling() {
+    let stream = caida_stream(500_000);
+    let truth = truth_of(&stream);
+    let k = 512;
+    let run_sketch = |k: usize, policy: PurgePolicy| {
+        let mut s = FreqSketch::builder(k).policy(policy).build().unwrap();
+        for &(i, w) in &stream {
+            s.update(i, w);
+        }
+        truth.max_abs_error(|i| s.estimate(i))
+    };
+    let smed = run_sketch(k, PurgePolicy::smed());
+    let smin = run_sketch(k, PurgePolicy::smin());
+    let smed_double = run_sketch(2 * k, PurgePolicy::smed());
+    let mut rbmc = Rbmc::new(k);
+    for &(i, w) in &stream {
+        rbmc.update(i, w);
+    }
+    let rbmc_err = truth.max_abs_error(|i| rbmc.estimate(i));
+
+    assert!(smin <= smed, "SMIN must not err more than SMED");
+    assert!(
+        smed <= rbmc_err.max(1) * 6,
+        "SMED error {smed} implausibly above RBMC {rbmc_err}"
+    );
+    assert!(
+        smed_double <= smin.max(1) * 2,
+        "doubling k must bring SMED ({smed_double}) into SMIN's range ({smin})"
+    );
+}

@@ -1,0 +1,158 @@
+//! Integration tests of the application layer against exact computations
+//! on realistic workloads.
+
+use std::collections::HashMap;
+
+use streamfreq::apps::{exact_entropy, EntropyEstimator, HhhSketch, SampledSketch};
+use streamfreq::workloads::{CaidaConfig, SyntheticCaida};
+use streamfreq::ErrorType;
+
+fn trace(updates: usize, seed: u64) -> Vec<(u64, u64)> {
+    SyntheticCaida::materialize(&CaidaConfig {
+        num_updates: updates,
+        num_flows: (updates / 50).max(200) as u64,
+        alpha: 1.1,
+        seed,
+    })
+}
+
+/// HHH against a brute-force hierarchical computation: every truly heavy
+/// prefix (by conditioned count computed exactly) must be reported in
+/// no-false-negatives mode.
+#[test]
+fn hhh_finds_every_truly_heavy_prefix() {
+    let stream = trace(300_000, 5);
+    let mut hhh = HhhSketch::new(2048);
+    let mut exact_by_level: Vec<HashMap<u32, u64>> = vec![HashMap::new(); 4];
+    let levels = [8u8, 16, 24, 32];
+    let mut n = 0u64;
+    for &(ip, bits) in &stream {
+        let ip = ip as u32;
+        hhh.update(ip, bits);
+        n += bits;
+        for (li, &len) in levels.iter().enumerate() {
+            let prefix = ip & (u32::MAX << (32 - len));
+            *exact_by_level[li].entry(prefix).or_insert(0) += bits;
+        }
+    }
+    let phi = 0.01;
+    let threshold = (phi * n as f64) as u64;
+    let reported = hhh.hierarchical_heavy_hitters(phi, ErrorType::NoFalseNegatives);
+
+    // Exact HHH, most specific level first (same semantics as the app):
+    // a prefix is heavy when its exact count minus the exact counts of
+    // already-reported descendants clears the threshold.
+    let mut discounted: HashMap<u32, u64> = HashMap::new();
+    for (li, &len) in levels.iter().enumerate().rev() {
+        let mut reported_here: Vec<(u32, u64)> = Vec::new();
+        for (&prefix, &f) in &exact_by_level[li] {
+            let below = discounted.get(&prefix).copied().unwrap_or(0);
+            if f.saturating_sub(below) > threshold {
+                reported_here.push((prefix, f));
+                assert!(
+                    reported
+                        .iter()
+                        .any(|r| r.prefix_len == len && r.prefix == prefix),
+                    "missed exact HHH {prefix:#x}/{len}"
+                );
+            }
+        }
+        if li > 0 {
+            let parent_len = levels[li - 1];
+            let parent_of = |p: u32| p & (u32::MAX << (32 - parent_len));
+            let reported_set: std::collections::HashSet<u32> =
+                reported_here.iter().map(|&(p, _)| p).collect();
+            let mut up: HashMap<u32, u64> = HashMap::new();
+            // A reported prefix discounts its parent by its full count
+            // (which already subsumes its own descendants' counts).
+            for &(prefix, f) in &reported_here {
+                *up.entry(parent_of(prefix)).or_insert(0) += f;
+            }
+            // Unreported prefixes pass their accumulated descendant
+            // discounts upward unchanged.
+            for (prefix, below) in discounted {
+                if !reported_set.contains(&prefix) {
+                    *up.entry(parent_of(prefix)).or_insert(0) += below;
+                }
+            }
+            discounted = up;
+        }
+    }
+}
+
+/// Entropy estimator vs exact entropy on packet traces of different
+/// skews.
+#[test]
+fn entropy_tracks_exact_on_traces() {
+    for (alpha, seed) in [(0.9f64, 1u64), (1.1, 2), (1.4, 3)] {
+        let stream = SyntheticCaida::materialize(&CaidaConfig {
+            num_updates: 150_000,
+            num_flows: 5_000,
+            alpha,
+            seed,
+        });
+        let mut est = EntropyEstimator::new(128, 2048, seed);
+        let mut freqs: HashMap<u64, u64> = HashMap::new();
+        for &(ip, _) in &stream {
+            est.update(ip, 1);
+            *freqs.entry(ip).or_insert(0) += 1;
+        }
+        let truth = exact_entropy(&freqs.values().copied().collect::<Vec<_>>());
+        let got = est.estimate();
+        let rel = (got - truth).abs() / truth.max(1e-9);
+        assert!(
+            rel < 0.15,
+            "alpha {alpha}: entropy {got:.3} vs exact {truth:.3} (rel {rel:.3})"
+        );
+    }
+}
+
+/// Sampled sketch recovers the same top-5 as exact counting on a skewed
+/// trace, at a 1% sampling rate.
+#[test]
+fn sampled_sketch_recovers_top_talkers() {
+    let stream = trace(400_000, 7);
+    let n: u64 = stream.iter().map(|&(_, w)| w).sum();
+    let mut sampled = SampledSketch::with_sample_target(512, n / 100, n, 11);
+    let mut exact: HashMap<u64, u64> = HashMap::new();
+    for &(ip, bits) in &stream {
+        sampled.update(ip, bits);
+        *exact.entry(ip).or_insert(0) += bits;
+    }
+    let mut true_top: Vec<(u64, u64)> = exact.iter().map(|(&i, &f)| (i, f)).collect();
+    true_top.sort_unstable_by_key(|&(_, f)| std::cmp::Reverse(f));
+    true_top.truncate(5);
+    let reported: Vec<u64> = sampled.top_k(8).iter().map(|&(i, _)| i).collect();
+    for (item, f) in true_top {
+        assert!(
+            reported.contains(&item),
+            "top talker {item} (f {f}) missing from sampled top-8"
+        );
+    }
+}
+
+/// Sampled estimates concentrate near truth for heavy items across seeds.
+#[test]
+fn sampled_estimates_concentrate() {
+    let stream = trace(200_000, 9);
+    let mut exact: HashMap<u64, u64> = HashMap::new();
+    for &(ip, bits) in &stream {
+        *exact.entry(ip).or_insert(0) += bits;
+    }
+    let n: u64 = stream.iter().map(|&(_, w)| w).sum();
+    let (&top_item, &top_f) = exact.iter().max_by_key(|&(_, &f)| f).unwrap();
+    let mut rels = Vec::new();
+    for seed in 0..5u64 {
+        let mut s = SampledSketch::with_sample_target(512, n / 50, n, seed);
+        for &(ip, bits) in &stream {
+            s.update(ip, bits);
+        }
+        let est = s.estimate(top_item);
+        rels.push(est.abs_diff(top_f) as f64 / top_f as f64);
+    }
+    let mean_rel = rels.iter().sum::<f64>() / rels.len() as f64;
+    assert!(
+        mean_rel < 0.05,
+        "mean relative error {mean_rel:.3} too large for the top talker"
+    );
+}

@@ -1,0 +1,178 @@
+//! The isomorphism results of §1.4 and the counter-sum identities of the
+//! paper's analyses, verified across implementations.
+
+use streamfreq::baselines::{MisraGries, Rbmc, RtucMg, RtucSs, SpaceSavingHeap, StreamSummary};
+use streamfreq::{FreqSketch, FrequencyEstimator, PurgePolicy};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn weighted_stream(n: usize, universe: u64, max_w: u64, seed: u64) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (rng.gen_range(0..universe), rng.gen_range(1..=max_w)))
+        .collect()
+}
+
+/// RBMC (via the optimized table with GlobalMin purging) is estimate-for-
+/// estimate identical to Misra-Gries run on the unit-expanded stream.
+#[test]
+fn rbmc_is_isomorphic_to_rtuc_mg() {
+    for seed in [1u64, 2, 3] {
+        let stream = weighted_stream(4_000, 60, 8, seed);
+        let mut rbmc = Rbmc::new(8);
+        let mut rtuc = RtucMg::new(8);
+        for &(i, w) in &stream {
+            rbmc.update(i, w);
+            rtuc.update(i, w);
+        }
+        for item in 0..60u64 {
+            assert_eq!(
+                rbmc.estimate(item),
+                rtuc.estimate(item),
+                "seed {seed}: divergence at item {item}"
+            );
+        }
+    }
+}
+
+/// MHE is estimate-for-estimate identical to Space Saving run on the
+/// unit-expanded stream, when eviction minima are unique (tie-breaking is
+/// the only freedom the isomorphism allows).
+#[test]
+fn mhe_is_isomorphic_to_rtuc_ss_without_ties() {
+    // Distinct prime weights keep counter values distinct at evictions.
+    let updates = [
+        (1u64, 101u64),
+        (2, 211),
+        (3, 307),
+        (4, 401),
+        (5, 503),
+        (6, 601),
+        (1, 97),
+        (7, 701),
+        (2, 89),
+        (8, 809),
+    ];
+    let mut mhe = SpaceSavingHeap::new(4);
+    let mut rtuc = RtucSs::new(4);
+    for &(i, w) in &updates {
+        mhe.update(i, w);
+        rtuc.update(i, w);
+    }
+    for item in 1..=8u64 {
+        assert_eq!(mhe.estimate(item), rtuc.estimate(item), "item {item}");
+    }
+}
+
+/// Agarwal et al.'s structural identity behind the MG/SS isomorphism: for
+/// a unit stream, `N − C = d·(k+1)` for MG with k counters, and the SS
+/// (k+1)-counter summary keeps `ΣC = N` exactly.
+#[test]
+fn counter_sum_identities() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let stream: Vec<u64> = (0..30_000).map(|_| rng.gen_range(0..500)).collect();
+    let k = 31;
+    let mut mg = MisraGries::new(k);
+    let mut ss = SpaceSavingHeap::new(k + 1);
+    let mut ssl = StreamSummary::new(k + 1);
+    for &i in &stream {
+        mg.update_unit(i);
+        ss.update_one(i);
+        ssl.update_one(i);
+    }
+    let n = stream.len() as u64;
+    assert_eq!(
+        n - mg.counter_sum(),
+        mg.num_decrement_ops() * (k as u64 + 1),
+        "MG mass identity violated"
+    );
+    assert_eq!(ss.counter_sum(), n, "SS preserves all mass");
+    let ssl_sum: u64 = {
+        use streamfreq::CounterSummary;
+        ssl.counters().iter().map(|&(_, c)| c).sum()
+    };
+    assert_eq!(ssl_sum, n, "Stream Summary preserves all mass");
+}
+
+/// The two Space Saving implementations (heap and Stream Summary) agree
+/// on the error bound and on estimates of clearly-heavy items.
+#[test]
+fn ssh_and_ssl_agree_on_heavy_items() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut ssh = SpaceSavingHeap::new(32);
+    let mut ssl = StreamSummary::new(32);
+    for _ in 0..50_000 {
+        // items 0..5 heavy, long tail beyond
+        let item = if rng.gen_bool(0.6) {
+            rng.gen_range(0..5)
+        } else {
+            rng.gen_range(5..2_000)
+        };
+        ssh.update_one(item);
+        ssl.update_one(item);
+    }
+    assert_eq!(ssh.min_counter(), ssl.min_counter());
+    for item in 0..5u64 {
+        let a = ssh.estimate(item);
+        let b = ssl.estimate(item);
+        // same algorithm, but tie-broken evictions may differ slightly
+        let err = ssh.min_counter();
+        assert!(
+            a.abs_diff(b) <= err,
+            "item {item}: SSH {a} vs SSL {b} differ beyond the error bound {err}"
+        );
+    }
+}
+
+/// The GlobalMin policy inside FreqSketch and the Rbmc wrapper expose the
+/// same counters (the wrapper only changes the estimate convention).
+#[test]
+fn rbmc_wrapper_matches_global_min_policy() {
+    let stream = weighted_stream(20_000, 300, 50, 13);
+    let mut wrapper = Rbmc::new(64);
+    let mut raw = FreqSketch::builder(64)
+        .policy(PurgePolicy::GlobalMin)
+        .grow_from_small(false)
+        .build()
+        .unwrap();
+    for &(i, w) in &stream {
+        wrapper.update(i, w);
+        raw.update(i, w);
+    }
+    for item in 0..300u64 {
+        assert_eq!(wrapper.estimate(item), raw.lower_bound(item));
+    }
+    assert_eq!(wrapper.max_error(), raw.maximum_error());
+}
+
+/// Misra-Gries and Space Saving bracket the truth from opposite sides —
+/// the §2.3.1 motivation for the hybrid estimator.
+#[test]
+fn mg_underestimates_ss_overestimates() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let stream: Vec<u64> = (0..40_000).map(|_| rng.gen_range(0..1_000)).collect();
+    let mut truth = std::collections::HashMap::new();
+    let mut mg = MisraGries::new(20);
+    let mut ss = SpaceSavingHeap::new(20);
+    for &i in &stream {
+        mg.update_unit(i);
+        ss.update_one(i);
+        *truth.entry(i).or_insert(0u64) += 1;
+    }
+    for (&item, &f) in &truth {
+        assert!(mg.estimate(item) <= f, "MG overestimated {item}");
+        if ss.is_tracked(item) {
+            assert!(ss.estimate(item) >= f, "SS underestimated tracked {item}");
+        }
+    }
+    // And the FreqSketch hybrid does both: lb like MG, ub like SS.
+    let mut hybrid = FreqSketch::builder(20).build().unwrap();
+    for &i in &stream {
+        hybrid.update(i, 1);
+    }
+    for (&item, &f) in &truth {
+        assert!(hybrid.lower_bound(item) <= f);
+        assert!(hybrid.upper_bound(item) >= f);
+    }
+}

@@ -1,0 +1,198 @@
+//! Merge semantics across the workspace: Algorithm 5 under arbitrary
+//! aggregation trees (Theorem 5), against the prior-work merges of §3.1,
+//! and across summary types via the generic counter interface.
+
+use streamfreq::baselines::{ach_merge_quickselect, ach_merge_sort, ExactCounter, MisraGries};
+use streamfreq::workloads::{concat, fill_stream, partition_round_robin, MergeWorkloadConfig};
+use streamfreq::{CounterSummary, FreqSketch, FrequencyEstimator, PurgePolicy};
+
+fn truth_of(stream: &[(u64, u64)]) -> ExactCounter {
+    let mut t = ExactCounter::new();
+    for &(i, w) in stream {
+        t.update(i, w);
+    }
+    t
+}
+
+fn sketch_of(stream: &[(u64, u64)], k: usize, seed: u64) -> FreqSketch {
+    let mut s = FreqSketch::builder(k)
+        .policy(PurgePolicy::smed())
+        .seed(seed)
+        .build()
+        .unwrap();
+    for &(i, w) in stream {
+        s.update(i, w);
+    }
+    s
+}
+
+fn workload(parts: usize, per_part: usize) -> Vec<Vec<(u64, u64)>> {
+    let cfg = MergeWorkloadConfig {
+        updates_per_sketch: per_part,
+        ..MergeWorkloadConfig::default()
+    };
+    (0..parts as u64).map(|i| fill_stream(&cfg, i)).collect()
+}
+
+/// Theorem 5 under every aggregation-tree shape: left-deep chain,
+/// balanced binary tree, and star merges must all satisfy the certified
+/// bound for the concatenated stream.
+#[test]
+fn arbitrary_aggregation_trees_stay_bounded() {
+    let parts = workload(8, 30_000);
+    let full = concat(&parts);
+    let truth = truth_of(&full);
+    let k = 256;
+
+    // Left-deep chain: ((((s0+s1)+s2)+s3)...)
+    let mut chain = sketch_of(&parts[0], k, 0);
+    for (i, p) in parts.iter().enumerate().skip(1) {
+        chain.merge(&sketch_of(p, k, i as u64));
+    }
+
+    // Balanced binary tree.
+    let mut level: Vec<FreqSketch> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sketch_of(p, k, 100 + i as u64))
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        let mut iter = level.into_iter();
+        while let Some(mut a) = iter.next() {
+            if let Some(b) = iter.next() {
+                a.merge(&b);
+            }
+            next.push(a);
+        }
+        level = next;
+    }
+    let tree = level.pop().unwrap();
+
+    for merged in [&chain, &tree] {
+        assert_eq!(merged.stream_weight(), truth.stream_weight());
+        let err = truth.max_abs_error(|i| merged.estimate(i));
+        assert!(
+            err <= merged.maximum_error(),
+            "observed error {err} exceeds certified {}",
+            merged.maximum_error()
+        );
+        // Theorem 5 a-priori form (with the SMED effective k*).
+        let bound = merged.a_priori_error(truth.stream_weight());
+        assert!(
+            merged.maximum_error() <= bound,
+            "certified error {} exceeds Theorem 5 bound {bound}",
+            merged.maximum_error()
+        );
+    }
+}
+
+/// Merging must be equivalent (up to certified error) to sketching the
+/// concatenated stream directly.
+#[test]
+fn merge_approximates_concatenation() {
+    let parts = workload(4, 50_000);
+    let full = concat(&parts);
+    let truth = truth_of(&full);
+    let k = 512;
+
+    let direct = sketch_of(&full, k, 42);
+    let mut merged = sketch_of(&parts[0], k, 0);
+    for (i, p) in parts.iter().enumerate().skip(1) {
+        merged.merge(&sketch_of(p, k, i as u64));
+    }
+    let tolerance = direct.maximum_error() + merged.maximum_error();
+    for (item, _) in truth.iter() {
+        let d = direct.estimate(item);
+        let m = merged.estimate(item);
+        assert!(
+            d.abs_diff(m) <= tolerance,
+            "item {item}: direct {d} vs merged {m} beyond tolerance {tolerance}"
+        );
+    }
+}
+
+/// Our merge against the prior-work merges: error within a small factor
+/// (the paper reports within 2.5%), and identical heavy-hitter sets for
+/// clear heavy hitters.
+#[test]
+fn merge_error_competitive_with_prior_work() {
+    let parts = workload(2, 100_000);
+    let truth = truth_of(&concat(&parts));
+    let k = 1024;
+    let a = sketch_of(&parts[0], k, 0);
+    let b = sketch_of(&parts[1], k, 1);
+    let ca: Vec<(u64, u64)> = a.counters().collect();
+    let cb: Vec<(u64, u64)> = b.counters().collect();
+
+    let mut ours = a.clone();
+    ours.merge(&b);
+    let sort_merge = ach_merge_sort(&ca, &cb, k);
+    let qs_merge = ach_merge_quickselect(&ca, &cb, k);
+
+    let e_ours = truth.max_abs_error(|i| ours.estimate(i));
+    let e_sort = truth.max_abs_error(|i| sort_merge.estimate(i));
+    let e_qs = truth.max_abs_error(|i| qs_merge.estimate(i));
+    assert!(
+        e_ours as f64 <= e_sort as f64 * 1.5 + 1.0,
+        "ours {e_ours} vs ACH {e_sort}: error blow-up"
+    );
+    assert_eq!(e_sort, e_qs, "the two ACH implementations are equivalent");
+}
+
+/// Algorithm 5 applies to any counter-based summary: absorb a Misra-Gries
+/// summary into a FreqSketch with correct offset accounting.
+#[test]
+fn absorb_misra_gries_summary() {
+    let mut mg = MisraGries::new(64);
+    let mut rng_state = 5u64;
+    let mut step = || {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        rng_state >> 33
+    };
+    let mut truth = ExactCounter::new();
+    for _ in 0..30_000 {
+        let item = step() % 400;
+        mg.update_unit(item);
+        truth.update(item, 1);
+    }
+    let mut sketch = FreqSketch::with_max_counters(64);
+    sketch.absorb_counters(mg.counters(), mg.stream_weight(), mg.max_error());
+    assert_eq!(sketch.stream_weight(), truth.stream_weight());
+    for (item, f) in truth.iter() {
+        assert!(sketch.lower_bound(item) <= f, "lb violated for {item}");
+        assert!(sketch.upper_bound(item) >= f, "ub violated for {item}");
+    }
+}
+
+/// The round-robin partition scenario end to end: partition, sketch,
+/// merge, and verify the (φ, ε) contract on the union.
+#[test]
+fn partitioned_heavy_hitters_survive_merge() {
+    let cfg = MergeWorkloadConfig {
+        updates_per_sketch: 120_000,
+        ..MergeWorkloadConfig::default()
+    };
+    let mut stream = fill_stream(&cfg, 9);
+    // plant unmistakable heavy hitters
+    for _ in 0..6_000 {
+        stream.push((424242, 10_000));
+        stream.push((434343, 5_000));
+    }
+    let truth = truth_of(&stream);
+    let parts = partition_round_robin(&stream, 5);
+    let mut merged = sketch_of(&parts[0], 256, 0);
+    for (i, p) in parts.iter().enumerate().skip(1) {
+        merged.merge(&sketch_of(p, 256, i as u64));
+    }
+    let n = truth.stream_weight();
+    let hh = merged.heavy_hitters(0.02, streamfreq::ErrorType::NoFalseNegatives);
+    let reported: Vec<u64> = hh.iter().map(|r| r.item).collect();
+    for (item, f) in truth.iter() {
+        if f as f64 > 0.02 * n as f64 {
+            assert!(reported.contains(&item), "missed heavy hitter {item}");
+        }
+    }
+    assert!(reported.contains(&424242));
+    assert!(reported.contains(&434343));
+}

@@ -1,0 +1,157 @@
+//! Property tests for the extended surface: generic item sketches, signed
+//! sketches, the Stream Summary baseline, the windowed store, and the
+//! item codec.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use streamfreq::apps::WindowedStore;
+use streamfreq::baselines::{RtucSs, StreamSummary};
+use streamfreq::{FrequencyEstimator, ItemsSketch, SignedFreqSketch};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ItemsSketch over strings: identical bracket contract as FreqSketch.
+    #[test]
+    fn items_sketch_bounds_bracket_truth(
+        stream in proptest::collection::vec((0u32..60, 1u64..500), 1..800),
+        k in 4usize..48,
+    ) {
+        let mut sketch: ItemsSketch<String> = ItemsSketch::with_max_counters(k);
+        let mut truth: HashMap<String, u64> = HashMap::new();
+        for &(id, w) in &stream {
+            let item = format!("item-{id}");
+            sketch.update(item.clone(), w);
+            *truth.entry(item).or_insert(0) += w;
+        }
+        for (item, &f) in &truth {
+            prop_assert!(sketch.lower_bound(item) <= f);
+            prop_assert!(sketch.upper_bound(item) >= f);
+        }
+        prop_assert_eq!(
+            sketch.stream_weight(),
+            truth.values().sum::<u64>()
+        );
+    }
+
+    /// ItemsSketch wire format round-trips arbitrary states.
+    #[test]
+    fn items_codec_roundtrip(
+        stream in proptest::collection::vec((0u32..60, 1u64..200), 1..500),
+        k in 4usize..32,
+    ) {
+        let mut sketch: ItemsSketch<String> = ItemsSketch::with_max_counters(k);
+        for &(id, w) in &stream {
+            sketch.update(format!("item-{id}"), w);
+        }
+        let bytes = sketch.serialize_to_bytes();
+        let restored = ItemsSketch::<String>::deserialize_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(restored.maximum_error(), sketch.maximum_error());
+        prop_assert_eq!(restored.num_counters(), sketch.num_counters());
+        for id in 0u32..60 {
+            let item = format!("item-{id}");
+            prop_assert_eq!(restored.estimate(&item), sketch.estimate(&item));
+        }
+    }
+
+    /// Signed sketch: bounds bracket the signed truth for any mix of
+    /// insertions and deletions.
+    #[test]
+    fn signed_sketch_brackets_net_truth(
+        stream in proptest::collection::vec(
+            (0u64..80, -300i64..300),
+            1..800,
+        ),
+        k in 8usize..48,
+    ) {
+        let mut sketch = SignedFreqSketch::with_max_counters(k);
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        for &(item, delta) in &stream {
+            sketch.update(item, delta);
+            *truth.entry(item).or_insert(0) += delta;
+        }
+        for (&item, &f) in &truth {
+            let (lo, hi) = sketch.bounds(item);
+            prop_assert!(lo <= f && f <= hi, "item {item}: {f} outside [{lo}, {hi}]");
+            prop_assert!(
+                sketch.estimate(item).abs_diff(f) <= sketch.maximum_error(),
+                "estimate outside certified error"
+            );
+        }
+    }
+
+    /// Stream Summary: model-checked against the RTUC reference (both are
+    /// Space Saving; counter sums and error bounds must agree exactly, and
+    /// the overestimate property must hold item by item).
+    #[test]
+    fn stream_summary_is_space_saving(
+        stream in proptest::collection::vec(0u64..50, 1..1500),
+        k in 2usize..24,
+    ) {
+        let mut ssl = StreamSummary::new(k);
+        let mut reference = RtucSs::new(k);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &item in &stream {
+            ssl.update_one(item);
+            reference.update(item, 1);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        ssl.check_invariants();
+        prop_assert_eq!(ssl.min_counter(), reference.min_counter());
+        use streamfreq::CounterSummary;
+        let sum_ssl: u64 = ssl.counters().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(sum_ssl, stream.len() as u64, "SS preserves mass");
+        let err = ssl.min_counter();
+        for (&item, &f) in &truth {
+            let est = ssl.estimate(item);
+            prop_assert!(est + err >= f, "item {item} underestimated beyond bound");
+            prop_assert!(est <= f + err, "item {item} overestimated beyond bound");
+        }
+    }
+
+    /// Windowed store: a full-range query is equivalent (within certified
+    /// error) to one sketch over everything.
+    #[test]
+    fn windowed_store_full_range_is_bounded(
+        stream in proptest::collection::vec((0u64..100, 1u64..100), 1..600),
+        window in 1u64..50,
+    ) {
+        let mut store = WindowedStore::new(window, 64);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for (t, &(item, w)) in stream.iter().enumerate() {
+            store.record(t as u64, item, w);
+            *truth.entry(item).or_insert(0) += w;
+        }
+        let merged = store
+            .query_range(0, stream.len() as u64)
+            .unwrap()
+            .expect("data present");
+        prop_assert_eq!(merged.stream_weight(), truth.values().sum::<u64>());
+        for (&item, &f) in &truth {
+            prop_assert!(merged.lower_bound(item) <= f);
+            prop_assert!(merged.upper_bound(item) >= f);
+        }
+    }
+
+    /// Item codec primitives survive arbitrary values and reject all
+    /// truncations.
+    #[test]
+    fn item_codec_strings(s in ".*", tail in proptest::collection::vec(any::<u8>(), 0..20)) {
+        use streamfreq::item_codec::ItemCodec;
+        let mut bytes = Vec::new();
+        s.encode(&mut bytes);
+        let full_len = bytes.len();
+        bytes.extend_from_slice(&tail);
+        let mut view = bytes.as_slice();
+        let decoded = String::decode(&mut view).unwrap();
+        prop_assert_eq!(&decoded, &s);
+        prop_assert_eq!(view.len(), tail.len(), "must consume exactly the encoding");
+        for cut in 0..full_len {
+            let mut v = &bytes[..cut];
+            // Prefixes shorter than the encoding must fail or leave the
+            // string truncated-and-detected; they must never panic.
+            let _ = String::decode(&mut v);
+        }
+    }
+}

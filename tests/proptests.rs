@@ -1,0 +1,212 @@
+//! Property-based tests of the core invariants, over arbitrary streams
+//! and arbitrary sketch configurations.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use streamfreq::baselines::ExactCounter;
+use streamfreq::{FreqSketch, FrequencyEstimator, PurgePolicy};
+
+fn arb_policy() -> impl Strategy<Value = PurgePolicy> {
+    prop_oneof![
+        Just(PurgePolicy::smed()),
+        Just(PurgePolicy::smin()),
+        (0.0f64..=0.98).prop_map(PurgePolicy::sample_quantile),
+        (0.05f64..=1.0).prop_map(|fraction| PurgePolicy::ExactKStar { fraction }),
+        Just(PurgePolicy::GlobalMin),
+    ]
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..200, 1u64..5_000), 1..2_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fundamental contract: for any stream, any policy, any capacity,
+    /// `lower_bound ≤ f ≤ upper_bound` and `ub − lb ≤ maximum_error`.
+    #[test]
+    fn bounds_always_bracket_truth(
+        stream in arb_stream(),
+        policy in arb_policy(),
+        k in 4usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut sketch = FreqSketch::builder(k).policy(policy).seed(seed).build().unwrap();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(item, w) in &stream {
+            sketch.update(item, w);
+            *truth.entry(item).or_insert(0) += w;
+        }
+        sketch.check_invariants();
+        let offset = sketch.maximum_error();
+        for (&item, &f) in &truth {
+            let lb = sketch.lower_bound(item);
+            let ub = sketch.upper_bound(item);
+            prop_assert!(lb <= f, "lb {lb} > f {f} for item {item}");
+            prop_assert!(ub >= f, "ub {ub} < f {f} for item {item}");
+            prop_assert!(ub - lb <= offset);
+        }
+        // Untracked items (estimate 0) must have true frequency ≤ offset.
+        for (&item, &f) in &truth {
+            if sketch.estimate(item) == 0 {
+                prop_assert!(f <= offset, "evicted item {item} had f {f} > offset {offset}");
+            }
+        }
+    }
+
+    /// Stream-weight bookkeeping is exact under any update sequence.
+    #[test]
+    fn stream_weight_is_exact(stream in arb_stream(), k in 4usize..32) {
+        let mut sketch = FreqSketch::builder(k).build().unwrap();
+        let mut n = 0u64;
+        for &(item, w) in &stream {
+            sketch.update(item, w);
+            n += w;
+        }
+        prop_assert_eq!(sketch.stream_weight(), n);
+        prop_assert_eq!(sketch.num_updates(), stream.len() as u64);
+    }
+
+    /// Merging two sketches preserves the bracket contract on the union.
+    #[test]
+    fn merge_preserves_bounds(
+        left in arb_stream(),
+        right in arb_stream(),
+        k in 8usize..48,
+    ) {
+        let mut a = FreqSketch::builder(k).seed(1).build().unwrap();
+        let mut b = FreqSketch::builder(k).seed(2).build().unwrap();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(item, w) in &left {
+            a.update(item, w);
+            *truth.entry(item).or_insert(0) += w;
+        }
+        for &(item, w) in &right {
+            b.update(item, w);
+            *truth.entry(item).or_insert(0) += w;
+        }
+        a.merge(&b);
+        a.check_invariants();
+        for (&item, &f) in &truth {
+            prop_assert!(a.lower_bound(item) <= f);
+            prop_assert!(a.upper_bound(item) >= f);
+        }
+        prop_assert_eq!(
+            a.stream_weight(),
+            truth.values().sum::<u64>()
+        );
+    }
+
+    /// Codec roundtrip: any sketch state survives serialization exactly,
+    /// including continued updating.
+    #[test]
+    fn codec_roundtrip_any_state(
+        stream in arb_stream(),
+        policy in arb_policy(),
+        k in 4usize..64,
+        extra in proptest::collection::vec((0u64..200, 1u64..100), 0..50),
+    ) {
+        let mut sketch = FreqSketch::builder(k).policy(policy).build().unwrap();
+        for &(item, w) in &stream {
+            sketch.update(item, w);
+        }
+        let bytes = sketch.serialize_to_bytes();
+        let mut restored = FreqSketch::deserialize_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(restored.maximum_error(), sketch.maximum_error());
+        prop_assert_eq!(restored.num_counters(), sketch.num_counters());
+        for item in 0..200u64 {
+            prop_assert_eq!(restored.estimate(item), sketch.estimate(item));
+        }
+        // continued updates stay bit-identical
+        for &(item, w) in &extra {
+            sketch.update(item, w);
+            restored.update(item, w);
+        }
+        prop_assert_eq!(restored.maximum_error(), sketch.maximum_error());
+        for item in 0..200u64 {
+            prop_assert_eq!(restored.estimate(item), sketch.estimate(item));
+        }
+    }
+
+    /// Corrupted or truncated encodings never panic — they error.
+    #[test]
+    fn codec_rejects_mutations_gracefully(
+        stream in proptest::collection::vec((0u64..50, 1u64..100), 1..100),
+        mutation_pos in any::<usize>(),
+        mutation_val in any::<u8>(),
+        truncate_to in any::<usize>(),
+    ) {
+        let mut sketch = FreqSketch::builder(16).build().unwrap();
+        for &(item, w) in &stream {
+            sketch.update(item, w);
+        }
+        let bytes = sketch.serialize_to_bytes();
+        // mutate one byte
+        let mut mutated = bytes.clone();
+        let pos = mutation_pos % mutated.len();
+        mutated[pos] ^= mutation_val | 1;
+        let _ = FreqSketch::deserialize_from_bytes(&mutated); // must not panic
+        // truncate
+        let cut = truncate_to % bytes.len();
+        let result = FreqSketch::deserialize_from_bytes(&bytes[..cut]);
+        prop_assert!(result.is_err(), "truncated encoding accepted");
+    }
+
+    /// The update path is permutation-insensitive for the exact regime
+    /// (no purges): any order of the same updates gives identical state.
+    #[test]
+    fn exact_regime_is_order_insensitive(
+        mut stream in proptest::collection::vec((0u64..30, 1u64..100), 1..200),
+    ) {
+        let run = |updates: &[(u64, u64)]| {
+            let mut s = FreqSketch::builder(64).build().unwrap();
+            for &(item, w) in updates {
+                s.update(item, w);
+            }
+            s
+        };
+        let a = run(&stream);
+        stream.reverse();
+        let b = run(&stream);
+        prop_assert_eq!(a.maximum_error(), 0);
+        for item in 0..30u64 {
+            prop_assert_eq!(a.estimate(item), b.estimate(item));
+        }
+    }
+
+    /// Heavy-hitter reporting contracts hold for arbitrary thresholds.
+    #[test]
+    fn reporting_contracts(
+        stream in arb_stream(),
+        k in 8usize..64,
+        phi in 0.0f64..=1.0,
+    ) {
+        let mut sketch = FreqSketch::builder(k).build().unwrap();
+        let mut exact = ExactCounter::new();
+        for &(item, w) in &stream {
+            sketch.update(item, w);
+            exact.update(item, w);
+        }
+        let n = exact.stream_weight();
+        // The query clamps thresholds to the summary's error level (the
+        // summary cannot enumerate items inside its error band).
+        let threshold = ((phi * n as f64) as u64).max(sketch.maximum_error());
+        let nfn: Vec<u64> = sketch
+            .heavy_hitters(phi, streamfreq::ErrorType::NoFalseNegatives)
+            .iter().map(|r| r.item).collect();
+        for (item, f) in exact.iter() {
+            if f > threshold {
+                prop_assert!(nfn.contains(&item), "missed item {item} with f {f}");
+            }
+        }
+        for row in sketch.heavy_hitters(phi, streamfreq::ErrorType::NoFalsePositives) {
+            prop_assert!(
+                exact.estimate(row.item) > threshold,
+                "false positive {} (f {} ≤ {threshold})",
+                row.item, exact.estimate(row.item)
+            );
+        }
+    }
+}
