@@ -77,7 +77,10 @@ impl EntropyEstimator {
     /// # Panics
     /// Panics if either capacity is zero.
     pub fn new(k: usize, reservoir_capacity: usize, seed: u64) -> Self {
-        assert!(reservoir_capacity > 0, "reservoir capacity must be positive");
+        assert!(
+            reservoir_capacity > 0,
+            "reservoir capacity must be positive"
+        );
         Self {
             sketch: FreqSketch::builder(k)
                 .seed(seed)

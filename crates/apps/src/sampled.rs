@@ -73,7 +73,10 @@ impl SampledSketch {
     /// anticipated weight `n` (the `p = O(ε⁻² log(1/δ)/N)` of \[3\], with the
     /// constants surfaced as an explicit target).
     pub fn with_sample_target(k: usize, target_sample: u64, anticipated_n: u64, seed: u64) -> Self {
-        assert!(anticipated_n > 0, "anticipated stream weight must be positive");
+        assert!(
+            anticipated_n > 0,
+            "anticipated stream weight must be positive"
+        );
         let p = (target_sample as f64 / anticipated_n as f64).clamp(f64::MIN_POSITIVE, 1.0);
         Self::new(k, p, seed)
     }
@@ -183,7 +186,10 @@ mod tests {
         let expected = 0.01 * n as f64;
         let got = s.sampled_weight() as f64;
         let rel = (got - expected).abs() / expected;
-        assert!(rel < 0.05, "sampled mass {got} vs expected {expected} (rel {rel:.3})");
+        assert!(
+            rel < 0.05,
+            "sampled mass {got} vs expected {expected} (rel {rel:.3})"
+        );
     }
 
     #[test]

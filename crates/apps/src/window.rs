@@ -126,11 +126,9 @@ impl WindowedStore {
     /// Returns a codec error if a stored encoding is corrupt.
     pub fn query_range(&self, from: u64, to: u64) -> Result<Option<FreqSketch>, Error> {
         let mut merged: Option<FreqSketch> = None;
-        let mut absorb = |sketch: FreqSketch| {
-            match &mut merged {
-                Some(acc) => acc.merge(&sketch),
-                None => merged = Some(sketch),
-            }
+        let mut absorb = |sketch: FreqSketch| match &mut merged {
+            Some(acc) => acc.merge(&sketch),
+            None => merged = Some(sketch),
         };
         for (start, bytes) in &self.closed {
             if *start < to && start + self.window_width > from {

@@ -181,11 +181,7 @@ mod tests {
         for item in 0..m {
             r.update(1000 + item, 1);
         }
-        assert_eq!(
-            r.num_sweeps(),
-            m,
-            "every unit update must trigger a sweep"
-        );
+        assert_eq!(r.num_sweeps(), m, "every unit update must trigger a sweep");
     }
 
     #[test]

@@ -1,15 +1,76 @@
 //! Criterion counterpart of Figure 1: per-update throughput of the four
 //! weighted-stream algorithms on the synthetic packet trace, at a small
-//! and a large counter budget.
+//! and a large counter budget — plus the ingestion-pipeline comparison
+//! (scalar vs batch vs sharded) on Zipf and adversarial workloads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use streamfreq_baselines::{Rbmc, SpaceSavingHeap};
-use streamfreq_core::{FreqSketch, FrequencyEstimator, PurgePolicy};
-use streamfreq_workloads::{CaidaConfig, SyntheticCaida, WeightedUpdate};
+use streamfreq_core::{FreqSketch, FrequencyEstimator, PurgePolicy, ShardedSketch};
+use streamfreq_workloads::{
+    heavy_light_interleave, materialize_zipf, CaidaConfig, SyntheticCaida, WeightedUpdate,
+};
 
 fn trace(updates: usize) -> Vec<WeightedUpdate> {
     SyntheticCaida::materialize(&CaidaConfig::scaled(updates))
+}
+
+fn bench_ingest_pipeline(c: &mut Criterion) {
+    let k = 24_576usize;
+    let updates = 1_000_000;
+    let workloads: [(&str, Vec<WeightedUpdate>); 2] = [
+        ("zipf", materialize_zipf(updates, 1 << 26, 1.05, 1_500, 42)),
+        (
+            "adversarial",
+            heavy_light_interleave(k, updates / 2, 1_000_000),
+        ),
+    ];
+    let mut group = c.benchmark_group("fig1_ingest_pipeline");
+    group.sample_size(10);
+    for (name, stream) in &workloads {
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", name), stream, |b, stream| {
+            b.iter(|| {
+                let mut s = FreqSketch::builder(k)
+                    .grow_from_small(false)
+                    .build()
+                    .unwrap();
+                for &(item, w) in stream.iter() {
+                    s.update(item, w);
+                }
+                s.num_purges()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch", name), stream, |b, stream| {
+            b.iter(|| {
+                let mut s = FreqSketch::builder(k)
+                    .grow_from_small(false)
+                    .build()
+                    .unwrap();
+                s.update_batch(stream);
+                s.num_purges()
+            })
+        });
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("sharded8x{threads}"), name),
+                stream,
+                |b, stream| {
+                    b.iter(|| {
+                        // k/8 counters per shard: every mode manages the
+                        // same total counter state.
+                        let mut bank = ShardedSketch::builder(8, k / 8)
+                            .grow_from_small(false)
+                            .build()
+                            .unwrap();
+                        bank.ingest_parallel(stream, threads);
+                        bank.num_purges()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
 }
 
 fn bench_updates(c: &mut Criterion) {
@@ -67,5 +128,5 @@ fn bench_updates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_updates);
+criterion_group!(benches, bench_updates, bench_ingest_pipeline);
 criterion_main!(benches);

@@ -24,7 +24,14 @@ fn main() {
     let n = truth.stream_weight();
 
     println!("# Exact selection (MED, Algorithm 3) vs sampled median (SMED, Algorithm 4)");
-    print_header(&["k", "policy", "seconds", "updates_per_sec", "max_error", "error_over_N"]);
+    print_header(&[
+        "k",
+        "policy",
+        "seconds",
+        "updates_per_sec",
+        "max_error",
+        "error_over_N",
+    ]);
     for k in [1_536usize, 6_144, 24_576] {
         for algo in [Algo::Med, Algo::Smed] {
             let r = run_algo(algo, k, &stream, Some(&truth));

@@ -21,7 +21,13 @@ fn main() {
     let m = parse_flag("--m", 2_000_000) as u64;
     let stream = rbmc_killer(AdversarialConfig { k, m });
     println!("# Adversarial stream: k={k} heavy items of weight {m}, then {m} unit updates");
-    print_header(&["algo", "seconds", "updates_per_sec", "purges", "purges_per_update"]);
+    print_header(&[
+        "algo",
+        "seconds",
+        "updates_per_sec",
+        "purges",
+        "purges_per_update",
+    ]);
 
     let mut rbmc = Rbmc::new(k);
     let start = Instant::now();

@@ -5,18 +5,139 @@
 //! 6.5–30× faster than SMIN, 20–70× faster than RBMC; gaps shrink as k
 //! grows.
 //!
+//! The trailing panels go beyond the paper: they compare the three
+//! ingestion layers (scalar updates, the prefetching batch path, and the
+//! sharded multi-thread bank) on Zipf and adversarial workloads, and
+//! record the numbers in `BENCH_fig1.json` so future changes can be
+//! checked for throughput regressions.
+//!
 //! ```text
-//! cargo run --release -p streamfreq-bench --bin fig1_runtime [--quick|--full|--updates N]
+//! cargo run --release -p streamfreq-bench --bin fig1_runtime \
+//!     [--quick|--full|--updates N] [--json PATH] [--pipeline-only]
 //! ```
 
 use std::collections::HashMap;
 
 use streamfreq_baselines::SpaceSavingHeap;
-use streamfreq_bench::{parse_scale_args, print_header, run_algo, Algo, PAPER_K_VALUES};
-use streamfreq_workloads::{CaidaConfig, SyntheticCaida};
+use streamfreq_bench::{
+    ingest_results_to_json, parse_scale_args, print_header, run_algo, run_ingest_median, Algo,
+    IngestMode, IngestResult, PAPER_K_VALUES,
+};
+use streamfreq_workloads::{heavy_light_interleave, materialize_zipf, CaidaConfig, SyntheticCaida};
+
+/// Counter budgets for the ingestion-pipeline panel: the paper's largest
+/// configuration (table ≈ 576 KiB, already beyond L2) and a
+/// production-scale configuration whose table (≈ 72 MiB) lives in DRAM —
+/// the regime the prefetching batch path targets.
+const PIPELINE_KS: [usize; 2] = [24_576, 2_097_152];
+
+/// Median-of-N repetitions per measurement (VM timing noise easily
+/// exceeds 10%; the median of three is stable enough to trend).
+const PIPELINE_REPS: usize = 3;
+
+/// Runs the scalar/batch/sharded comparison over one workload and
+/// appends rows + records. Sharded modes get `k / shards` counters per
+/// shard, so every mode manages the same total counter state; hash
+/// partitioning also splits the distinct items about evenly, so the
+/// per-shard error level matches the unsharded sketch's.
+fn pipeline_panel(workload: &str, stream: &[(u64, u64)], results: &mut Vec<IngestResult>) {
+    for k in PIPELINE_KS {
+        let modes = [
+            IngestMode::Scalar,
+            IngestMode::Batch,
+            IngestMode::Sharded {
+                shards: 8,
+                threads: 1,
+            },
+            IngestMode::Sharded {
+                shards: 8,
+                threads: 2,
+            },
+            IngestMode::Sharded {
+                shards: 8,
+                threads: 4,
+            },
+            IngestMode::Sharded {
+                shards: 8,
+                threads: 8,
+            },
+        ];
+        let mut scalar_rate = 0.0f64;
+        for mode in modes {
+            let k_per_sketch = match mode {
+                IngestMode::Sharded { shards, .. } => k / shards,
+                _ => k,
+            };
+            let r = run_ingest_median(mode, k_per_sketch, stream, workload, PIPELINE_REPS);
+            if mode == IngestMode::Scalar {
+                scalar_rate = r.updates_per_sec;
+            }
+            println!(
+                "{workload}\t{k}\t{}\t{}\t{:.3}\t{:.3e}\t{:.2}x",
+                r.mode,
+                r.threads,
+                r.seconds,
+                r.updates_per_sec,
+                r.updates_per_sec / scalar_rate
+            );
+            results.push(r);
+        }
+    }
+}
 
 fn main() {
     let updates = parse_scale_args();
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|p| args.get(p + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fig1.json".to_string());
+    let pipeline_only = args.iter().any(|a| a == "--pipeline-only");
+
+    if !pipeline_only {
+        figure1_panels(updates);
+    }
+
+    // Ingestion pipeline: scalar vs batch vs sharded, Zipf + adversarial.
+    println!();
+    println!("# Ingestion pipeline: scalar vs batch vs sharded");
+    print_header(&[
+        "workload",
+        "k_total",
+        "mode",
+        "threads",
+        "seconds",
+        "updates_per_sec",
+        "vs_scalar",
+    ]);
+    let mut results: Vec<IngestResult> = Vec::new();
+
+    // Zipf(0.8) over a 2^27 universe: heavy enough that real heavy
+    // hitters exist, light enough that the cold tail dominates table
+    // traffic — the regime line-rate telemetry actually sees.
+    eprintln!("generating Zipf(0.8) stream: {updates} updates ...");
+    let zipf = materialize_zipf(updates, 1 << 27, 0.8, 1_500, 42);
+    pipeline_panel("zipf", &zipf, &mut results);
+    drop(zipf);
+
+    // Adversarial: a permanently-full table probed by fresh unit items —
+    // the purge-heavy worst case for the capacity discipline.
+    eprintln!("generating adversarial interleave stream ...");
+    let adversarial = heavy_light_interleave(PIPELINE_KS[0], updates / 2, 1_000_000);
+    pipeline_panel("adversarial", &adversarial, &mut results);
+    drop(adversarial);
+
+    let json = ingest_results_to_json(updates, &results);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+}
+
+/// The original Figure 1 panels: SMED/SMIN/RBMC/MHE on the packet trace.
+fn figure1_panels(updates: usize) {
     let config = CaidaConfig::scaled(updates);
     eprintln!(
         "generating synthetic CAIDA-like trace: {} updates, {} flows ...",

@@ -38,7 +38,14 @@ fn main() {
     let truth = exact_of(&stream);
 
     println!("# Figure 3: time and max error vs purge quantile (50 variants)");
-    print_header(&["k", "quantile", "seconds", "updates_per_sec", "max_error", "error_over_N"]);
+    print_header(&[
+        "k",
+        "quantile",
+        "seconds",
+        "updates_per_sec",
+        "max_error",
+        "error_over_N",
+    ]);
     for k in k_values() {
         for step in 0..50 {
             let q = (step * 2) as f64 / 100.0; // 0.00, 0.02, …, 0.98

@@ -64,12 +64,16 @@ fn main() {
         // both ours (internal scan) and Agarwal et al.'s (the "add all
         // counters into a fresh table" step).
         let sketches: Vec<(FreqSketch, FreqSketch)> = (0..pairs as u64)
-            .map(|i| (filled_sketch(k, &cfg, 2 * i), filled_sketch(k, &cfg, 2 * i + 1)))
+            .map(|i| {
+                (
+                    filled_sketch(k, &cfg, 2 * i),
+                    filled_sketch(k, &cfg, 2 * i + 1),
+                )
+            })
             .collect();
 
         // Ours: Algorithm 5 — replay the second sketch into the first.
-        let mut destinations: Vec<FreqSketch> =
-            sketches.iter().map(|(a, _)| a.clone()).collect();
+        let mut destinations: Vec<FreqSketch> = sketches.iter().map(|(a, _)| a.clone()).collect();
         let start = Instant::now();
         for (dst, (_, b)) in destinations.iter_mut().zip(&sketches) {
             dst.merge(b);
@@ -116,5 +120,7 @@ fn main() {
     }
 
     println!();
-    println!("# Space: ours merges in place (no scratch); ACH/Hoa allocate a 2k scratch map + k output");
+    println!(
+        "# Space: ours merges in place (no scratch); ACH/Hoa allocate a 2k scratch map + k output"
+    );
 }

@@ -26,7 +26,14 @@ fn main() {
     let k = 6_144usize;
     let budget = 24 * k; // bytes of the counter-based sketch
     println!("# Equal-memory comparison at {budget} bytes (k = {k} counters)");
-    print_header(&["algo", "memory_bytes", "seconds", "updates_per_sec", "max_error", "error_over_N"]);
+    print_header(&[
+        "algo",
+        "memory_bytes",
+        "seconds",
+        "updates_per_sec",
+        "max_error",
+        "error_over_N",
+    ]);
 
     // Counter-based representative: SMED.
     let r = run_algo(Algo::Smed, k, &stream, Some(&truth));

@@ -13,7 +13,13 @@ use streamfreq_workloads::{CaidaConfig, SyntheticCaida};
 
 fn main() {
     println!("# Sketch memory by k (paper: 24k bytes for the table-based algorithms)");
-    print_header(&["k", "sketch_bytes", "bytes_per_counter", "mhe_bytes", "ssl_bytes_est"]);
+    print_header(&[
+        "k",
+        "sketch_bytes",
+        "bytes_per_counter",
+        "mhe_bytes",
+        "ssl_bytes_est",
+    ]);
     for &k in &PAPER_K_VALUES {
         let sketch = FreqSketch::builder(k)
             .grow_from_small(false)

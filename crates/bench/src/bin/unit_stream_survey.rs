@@ -22,7 +22,10 @@ use streamfreq_workloads::{CaidaConfig, SyntheticCaida};
 fn main() {
     let updates = parse_scale_args();
     let config = CaidaConfig::scaled(updates);
-    eprintln!("generating trace ({} packets, unit weights) ...", config.num_updates);
+    eprintln!(
+        "generating trace ({} packets, unit weights) ...",
+        config.num_updates
+    );
     // Unit-weight view of the trace: count packets, not bits.
     let stream: Vec<u64> = SyntheticCaida::new(&config).map(|(ip, _)| ip).collect();
     let mut exact = ExactCounter::new();
@@ -31,8 +34,17 @@ fn main() {
     }
 
     let k = 4_096usize;
-    println!("# Unit-update comparison at k = {k} counters, {} updates", stream.len());
-    print_header(&["algo", "seconds", "updates_per_sec", "memory_bytes", "max_error"]);
+    println!(
+        "# Unit-update comparison at k = {k} counters, {} updates",
+        stream.len()
+    );
+    print_header(&[
+        "algo",
+        "seconds",
+        "updates_per_sec",
+        "memory_bytes",
+        "max_error",
+    ]);
 
     // Misra-Gries (hash map).
     let mut mg = MisraGries::new(k);
@@ -97,6 +109,9 @@ fn main() {
     println!();
     println!("# survey shapes: SSL faster than SSH but bigger; SMED competitive with SSL's");
     println!("# speed at SSH-or-better space — the §1.1 'no min-heap needed' conclusion");
-    println!("# SSL_vs_SSH speedup: {:.2}x; SSL/SMED space: {:.2}x", t_ssh / t_ssl,
-        ssl.memory_bytes() as f64 / smed.memory_bytes() as f64);
+    println!(
+        "# SSL_vs_SSH speedup: {:.2}x; SSL/SMED space: {:.2}x",
+        t_ssh / t_ssl,
+        ssl.memory_bytes() as f64 / smed.memory_bytes() as f64
+    );
 }

@@ -150,7 +150,12 @@ pub struct RunResult {
 /// Runs `algo` with `k` counters over `stream`, timing the update pass and
 /// (when `truth` is given) measuring the maximum absolute error of the
 /// algorithm's estimates over every distinct item.
-pub fn run_algo(algo: Algo, k: usize, stream: &[WeightedUpdate], truth: Option<&ExactCounter>) -> RunResult {
+pub fn run_algo(
+    algo: Algo,
+    k: usize,
+    stream: &[WeightedUpdate],
+    truth: Option<&ExactCounter>,
+) -> RunResult {
     let mut runner = Runner::new(algo, k);
     let start = Instant::now();
     for &(item, weight) in stream {
@@ -166,6 +171,180 @@ pub fn run_algo(algo: Algo, k: usize, stream: &[WeightedUpdate], truth: Option<&
         updates_per_sec: stream.len() as f64 / elapsed.as_secs_f64(),
         max_error,
     }
+}
+
+/// How a [`FreqSketch`]-family summary ingests a stream — the three
+/// layers of the ingestion pipeline compared by `fig1_runtime`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IngestMode {
+    /// One `FreqSketch::update` call per stream element.
+    Scalar,
+    /// One `FreqSketch::update_batch` call over the whole slice
+    /// (home precompute + software prefetch + folded bookkeeping).
+    Batch,
+    /// A `ShardedSketch` bank ingesting with `threads` scoped threads
+    /// over `shards` hash-partitioned shards.
+    Sharded {
+        /// Number of hash-partitioned shards in the bank.
+        shards: usize,
+        /// Scoped ingestion threads (clamped to `shards`).
+        threads: usize,
+    },
+}
+
+impl IngestMode {
+    /// Display name (`scalar`, `batch`, `sharded8x4`, …).
+    pub fn name(&self) -> String {
+        match self {
+            IngestMode::Scalar => "scalar".into(),
+            IngestMode::Batch => "batch".into(),
+            IngestMode::Sharded { shards, threads } => format!("sharded{shards}x{threads}"),
+        }
+    }
+}
+
+/// Outcome of one ingestion-pipeline measurement.
+#[derive(Clone, Debug)]
+pub struct IngestResult {
+    /// Mode display name.
+    pub mode: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Counters per sketch (per shard in sharded modes).
+    pub k: usize,
+    /// Ingestion threads (1 for scalar/batch).
+    pub threads: usize,
+    /// Stream updates processed.
+    pub updates: usize,
+    /// Wall time for the ingestion pass.
+    pub seconds: f64,
+    /// Updates per second.
+    pub updates_per_sec: f64,
+    /// Checksum (Σ lower bounds over probed items) so the compiler cannot
+    /// discard the work and runs can be sanity-compared.
+    pub checksum: u64,
+}
+
+/// Runs one ingestion measurement of `mode` with `k` counters over
+/// `stream`, labeling the result with `workload`.
+pub fn run_ingest(
+    mode: IngestMode,
+    k: usize,
+    stream: &[WeightedUpdate],
+    workload: &str,
+) -> IngestResult {
+    use streamfreq_core::ShardedSketch;
+    let probe: Vec<u64> = stream.iter().take(64).map(|&(i, _)| i).collect();
+    let (seconds, checksum, threads) = match mode {
+        IngestMode::Scalar => {
+            let mut s = FreqSketch::builder(k)
+                .grow_from_small(false)
+                .build()
+                .expect("invalid k");
+            let start = Instant::now();
+            for &(item, w) in stream {
+                s.update(item, w);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            (secs, probe.iter().map(|&i| s.lower_bound(i)).sum(), 1)
+        }
+        IngestMode::Batch => {
+            let mut s = FreqSketch::builder(k)
+                .grow_from_small(false)
+                .build()
+                .expect("invalid k");
+            let start = Instant::now();
+            s.update_batch(stream);
+            let secs = start.elapsed().as_secs_f64();
+            (secs, probe.iter().map(|&i| s.lower_bound(i)).sum(), 1)
+        }
+        IngestMode::Sharded { shards, threads } => {
+            let mut bank = ShardedSketch::builder(shards, k)
+                .grow_from_small(false)
+                .build()
+                .expect("invalid sharded config");
+            let start = Instant::now();
+            bank.ingest_parallel(stream, threads);
+            let secs = start.elapsed().as_secs_f64();
+            (
+                secs,
+                probe.iter().map(|&i| bank.lower_bound(i)).sum(),
+                threads,
+            )
+        }
+    };
+    IngestResult {
+        mode: mode.name(),
+        workload: workload.to_string(),
+        k,
+        threads,
+        updates: stream.len(),
+        seconds,
+        updates_per_sec: stream.len() as f64 / seconds,
+        checksum,
+    }
+}
+
+/// [`run_ingest`] repeated `reps` times, keeping the median-throughput
+/// run — measurement noise on small VMs easily exceeds the effects being
+/// measured, and the median of three is stable enough to trend.
+pub fn run_ingest_median(
+    mode: IngestMode,
+    k: usize,
+    stream: &[WeightedUpdate],
+    workload: &str,
+    reps: usize,
+) -> IngestResult {
+    assert!(reps > 0);
+    let mut runs: Vec<IngestResult> = (0..reps)
+        .map(|_| run_ingest(mode, k, stream, workload))
+        .collect();
+    runs.sort_by(|a, b| {
+        a.updates_per_sec
+            .partial_cmp(&b.updates_per_sec)
+            .expect("throughput is never NaN")
+    });
+    runs.swap_remove(runs.len() / 2)
+}
+
+/// Serializes ingestion results as a JSON trajectory file (hand-rolled —
+/// the offline workspace carries no serde). Layout:
+///
+/// ```json
+/// {
+///   "bench": "fig1_ingest_pipeline",
+///   "updates": 1000000,
+///   "hardware_threads": 8,
+///   "results": [ {"mode": "...", "workload": "...", ...}, ... ]
+/// }
+/// ```
+pub fn ingest_results_to_json(updates: usize, results: &[IngestResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"fig1_ingest_pipeline\",\n");
+    out.push_str(&format!("  \"updates\": {updates},\n"));
+    out.push_str(&format!(
+        "  \"hardware_threads\": {},\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"workload\": \"{}\", \"k\": {}, \"threads\": {}, \
+             \"updates\": {}, \"seconds\": {:.6}, \"updates_per_sec\": {:.1}, \
+             \"checksum\": {}}}{}\n",
+            r.mode,
+            r.workload,
+            r.k,
+            r.threads,
+            r.updates,
+            r.seconds,
+            r.updates_per_sec,
+            r.checksum,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Builds the exact ground truth for a stream.
@@ -245,7 +424,11 @@ mod tests {
         let truth = exact_of(&stream);
         for algo in [Algo::Smed, Algo::Smin, Algo::Med, Algo::Rbmc, Algo::Mhe] {
             let r = run_algo(algo, 64, &stream, Some(&truth));
-            assert!(r.updates_per_sec > 0.0, "{:?} reported zero throughput", algo);
+            assert!(
+                r.updates_per_sec > 0.0,
+                "{:?} reported zero throughput",
+                algo
+            );
             assert!(r.memory_bytes > 0);
             let err = r.max_error.expect("truth supplied");
             assert!(
@@ -260,9 +443,16 @@ mod tests {
     fn error_shrinks_with_k() {
         let stream = tiny_stream();
         let truth = exact_of(&stream);
-        let small = run_algo(Algo::Smed, 32, &stream, Some(&truth)).max_error.unwrap();
-        let large = run_algo(Algo::Smed, 512, &stream, Some(&truth)).max_error.unwrap();
-        assert!(large < small, "error must shrink with k: {large} !< {small}");
+        let small = run_algo(Algo::Smed, 32, &stream, Some(&truth))
+            .max_error
+            .unwrap();
+        let large = run_algo(Algo::Smed, 512, &stream, Some(&truth))
+            .max_error
+            .unwrap();
+        assert!(
+            large < small,
+            "error must shrink with k: {large} !< {small}"
+        );
     }
 
     #[test]
@@ -270,8 +460,14 @@ mod tests {
         let bytes = 24 * 1024 * 24; // SMED with k = 24576... scaled: k=1024 → 24 KiB·24
         let k_mhe = SpaceSavingHeap::counters_for_bytes(bytes);
         let mhe = SpaceSavingHeap::new(k_mhe);
-        assert!(mhe.memory_bytes() <= bytes + bytes / 10, "MHE overshoots budget");
-        assert!(k_mhe < 24 * 1024, "MHE must get fewer counters for equal space");
+        assert!(
+            mhe.memory_bytes() <= bytes + bytes / 10,
+            "MHE overshoots budget"
+        );
+        assert!(
+            k_mhe < 24 * 1024,
+            "MHE must get fewer counters for equal space"
+        );
     }
 
     #[test]

@@ -257,7 +257,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .map(PathBuf::from)
                 .collect();
             if inputs.len() < 2 {
-                return Err(CliError::Usage("merge requires at least two sketches".into()));
+                return Err(CliError::Usage(
+                    "merge requires at least two sketches".into(),
+                ));
             }
             Ok(Command::Merge { inputs, output })
         }
@@ -285,10 +287,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 }
 
 fn read_sketch(path: &Path) -> Result<FreqSketch, CliError> {
-    let bytes =
-        std::fs::read(path).map_err(|e| CliError::Io(path.to_path_buf(), e))?;
-    FreqSketch::deserialize_from_bytes(&bytes)
-        .map_err(|e| CliError::Sketch(path.to_path_buf(), e))
+    let bytes = std::fs::read(path).map_err(|e| CliError::Io(path.to_path_buf(), e))?;
+    FreqSketch::deserialize_from_bytes(&bytes).map_err(|e| CliError::Sketch(path.to_path_buf(), e))
 }
 
 fn write_sketch(path: &Path, sketch: &FreqSketch) -> Result<(), CliError> {
@@ -310,8 +310,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             input,
             output,
         } => {
-            let stream =
-                load_binary(input).map_err(|e| CliError::Io(input.clone(), e))?;
+            let stream = load_binary(input).map_err(|e| CliError::Io(input.clone(), e))?;
             let mut sketch = FreqSketch::builder(*k)
                 .policy(*policy)
                 .seed(*seed)
@@ -355,7 +354,10 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         }
         Command::Top { path, n } => {
             let s = read_sketch(path)?;
-            let mut out = format!("{:>20} {:>16} {:>16} {:>16}\n", "item", "estimate", "lower", "upper");
+            let mut out = format!(
+                "{:>20} {:>16} {:>16} {:>16}\n",
+                "item", "estimate", "lower", "upper"
+            );
             for row in s.top_k(*n) {
                 out.push_str(&format!(
                     "{:>20} {:>16} {:>16} {:>16}\n",
@@ -461,7 +463,9 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Build { k, policy, seed, .. } => {
+            Command::Build {
+                k, policy, seed, ..
+            } => {
                 assert_eq!(k, 1024);
                 assert_eq!(policy, PurgePolicy::sample_quantile(0.25));
                 assert_eq!(seed, 7);
@@ -482,10 +486,7 @@ mod tests {
     fn rejects_bad_values() {
         assert!(parse_args(&args("build -k lots --input a --output b")).is_err());
         assert!(parse_args(&args("heavy s.sk --phi 1.5")).is_err());
-        assert!(parse_args(&args(
-            "build -k 8 --input a --output b --policy q150"
-        ))
-        .is_err());
+        assert!(parse_args(&args("build -k 8 --input a --output b --policy q150")).is_err());
         assert!(parse_args(&args("query s.sk")).is_err());
     }
 

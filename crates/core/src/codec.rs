@@ -14,7 +14,7 @@
 //! | 0      | 4    | magic `"SFQ1"` |
 //! | 4      | 1    | format version (`1`) |
 //! | 5      | 1    | policy tag (0 = SampleQuantile, 1 = ExactKStar, 2 = GlobalMin) |
-//! | 6      | 2    | reserved (zero) |
+//! | 6      | 2    | flags (bit 0: stream weight saturated; rest reserved, zero) |
 //! | 8      | 8    | `max_counters` |
 //! | 16     | 8    | `seed` |
 //! | 24     | 8    | `offset` (cumulative decrement) |
@@ -88,7 +88,7 @@ impl FreqSketch {
         out.put_slice(MAGIC);
         out.put_u8(VERSION);
         out.put_u8(policy_tag(&self.policy));
-        out.put_u16_le(0);
+        out.put_u16_le(u16::from(self.weight_saturated));
         out.put_u64_le(self.max_counters as u64);
         out.put_u64_le(self.seed);
         out.put_u64_le(self.offset);
@@ -133,10 +133,11 @@ impl FreqSketch {
             return Err(Error::UnsupportedVersion(version));
         }
         let tag = buf.get_u8();
-        let reserved = buf.get_u16_le();
-        if reserved != 0 {
-            return Err(Error::Corrupt("nonzero reserved field".into()));
+        let flags = buf.get_u16_le();
+        if flags > 1 {
+            return Err(Error::Corrupt("nonzero reserved flag bits".into()));
         }
+        let weight_saturated = flags & 1 != 0;
         let max_counters = usize::try_from(buf.get_u64_le())
             .map_err(|_| Error::Corrupt("max_counters exceeds usize".into()))?;
         let seed = buf.get_u64_le();
@@ -176,7 +177,9 @@ impl FreqSketch {
             let item = buf.get_u64_le();
             let count = buf.get_u64_le();
             if count == 0 || count > i64::MAX as u64 {
-                return Err(Error::Corrupt(format!("counter value {count} out of range")));
+                return Err(Error::Corrupt(format!(
+                    "counter value {count} out of range"
+                )));
             }
             // Direct feed: counts are within capacity, so no purge can fire,
             // only table growth.
@@ -184,6 +187,7 @@ impl FreqSketch {
         }
         sketch.offset = offset;
         sketch.stream_weight = stream_weight;
+        sketch.weight_saturated = weight_saturated;
         sketch.num_updates = num_updates;
         sketch.num_purges = num_purges;
         sketch.rng = Xoshiro256StarStar::from_state(state);
@@ -279,8 +283,7 @@ mod serde_impl {
             let wire = WireSketch::deserialize(deserializer)?;
             let policy = policy_from_wire(wire.policy_tag, wire.policy_a, wire.policy_b)
                 .map_err(D::Error::custom)?;
-            let max_counters =
-                usize::try_from(wire.max_counters).map_err(D::Error::custom)?;
+            let max_counters = usize::try_from(wire.max_counters).map_err(D::Error::custom)?;
             let mut sketch = FreqSketchBuilder::new(max_counters)
                 .policy(policy)
                 .seed(wire.seed)

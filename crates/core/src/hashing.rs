@@ -77,7 +77,11 @@ impl Hash64 for Vec<u8> {
 impl<A: Hash64, B: Hash64> Hash64 for (A, B) {
     #[inline]
     fn hash64(&self) -> u64 {
-        split_mix64_mix(self.0.hash64().wrapping_add(self.1.hash64().rotate_left(32)))
+        split_mix64_mix(
+            self.0
+                .hash64()
+                .wrapping_add(self.1.hash64().rotate_left(32)),
+        )
     }
 }
 
@@ -146,7 +150,11 @@ mod tests {
     #[test]
     fn integer_hashes_are_stable() {
         assert_eq!(42u64.hash64(), 42u64.hash64());
-        assert_eq!(42u32.hash64(), 42u64.hash64(), "same value, same width-extension");
+        assert_eq!(
+            42u32.hash64(),
+            42u64.hash64(),
+            "same value, same width-extension"
+        );
     }
 
     #[test]

@@ -97,11 +97,23 @@ impl<T: SketchItem> ItemTable<T> {
 
     fn adjust_or_insert(&mut self, item: T, delta: i64) {
         assert!(self.num_active < self.len(), "ItemTable overflow");
-        let mut i = self.home(&item);
+        let home = self.home(&item);
+        self.upsert_at(home, item, delta);
+    }
+
+    /// Probe loop shared by the scalar and batch paths; `home` is the
+    /// item's precomputed preferred slot.
+    #[inline]
+    fn upsert_at(&mut self, home: usize, item: T, delta: i64) {
+        debug_assert_eq!(home, self.home(&item));
+        let mut i = home;
         let mut dist: usize = 0;
         loop {
             if self.states[i] == 0 {
-                assert!(dist < u16::MAX as usize, "probe distance exceeds state range");
+                assert!(
+                    dist < u16::MAX as usize,
+                    "probe distance exceeds state range"
+                );
                 self.keys[i] = Some(item);
                 self.values[i] = delta;
                 self.states[i] = (dist + 1) as u16;
@@ -117,66 +129,102 @@ impl<T: SketchItem> ItemTable<T> {
         }
     }
 
-    fn adjust_all(&mut self, delta: i64) {
-        for i in 0..self.len() {
-            if self.states[i] != 0 {
-                self.values[i] += delta;
+    /// Batched [`Self::adjust_or_insert`], cloning items out of `batch` in
+    /// order. Same chunked home-precompute + prefetch scheme as
+    /// [`crate::table::LpTable::adjust_or_insert_batch`]; see there for the
+    /// memory-latency rationale. The caller must leave `batch.len()` free
+    /// slots per chunk (the sketch's capacity discipline guarantees this).
+    fn adjust_or_insert_batch(&mut self, batch: &[(T, i64)]) {
+        use crate::table::{prefetch_read, BATCH_CHUNK};
+        const PREFETCH_AHEAD: usize = 8;
+        for chunk in batch.chunks(BATCH_CHUNK) {
+            assert!(
+                self.num_active + chunk.len() < self.len(),
+                "ItemTable overflow: batch of {} cannot keep load below 100%",
+                chunk.len()
+            );
+            let mut homes = [0usize; BATCH_CHUNK];
+            for (j, (item, _)) in chunk.iter().enumerate() {
+                homes[j] = self.home(item);
+            }
+            let n = chunk.len();
+            for &home in homes.iter().take(PREFETCH_AHEAD.min(n)) {
+                prefetch_read(&self.states, home);
+                prefetch_read(&self.keys, home);
+                prefetch_read(&self.values, home);
+            }
+            for j in 0..n {
+                if j + PREFETCH_AHEAD < n {
+                    let ahead = homes[j + PREFETCH_AHEAD];
+                    prefetch_read(&self.states, ahead);
+                    prefetch_read(&self.keys, ahead);
+                    prefetch_read(&self.values, ahead);
+                }
+                let (item, delta) = &chunk[j];
+                self.upsert_at(homes[j], item.clone(), *delta);
             }
         }
     }
 
-    fn retain_positive(&mut self) -> usize {
+    /// Fused purge: decrement by `cstar`, delete the non-positive, and
+    /// compact runs, in one sequential pass. Mirror of
+    /// [`crate::table::LpTable::purge_decrement`]; see there for the
+    /// algorithm and why it replaces per-deletion backward shifting.
+    fn purge_decrement(&mut self, cstar: i64) -> usize {
+        debug_assert!(cstar > 0);
+        if self.num_active == 0 {
+            return 0;
+        }
         let len = self.len();
+        let mask = self.mask;
+        let first_empty = (0..len)
+            .find(|&i| self.states[i] == 0)
+            .expect("table is never 100% full");
+        let rank = |p: usize| p.wrapping_sub(first_empty) & mask;
         let mut removed = 0usize;
-        let mut i = 0usize;
-        while i < len {
-            if self.states[i] != 0 && self.values[i] <= 0 {
-                self.delete_slot(i);
+        let mut gaps: Vec<usize> = Vec::new();
+        let mut i = (first_empty + 1) & mask;
+        for _ in 0..len - 1 {
+            let state = self.states[i];
+            if state == 0 {
+                gaps.clear();
+            } else if self.values[i] <= cstar {
+                self.states[i] = 0;
+                self.keys[i] = None;
+                gaps.push(i);
                 removed += 1;
             } else {
-                i += 1;
+                let home = i.wrapping_sub(state as usize - 1) & mask;
+                let pos = gaps.partition_point(|&g| rank(g) < rank(home));
+                if pos < gaps.len() {
+                    let dest = gaps.remove(pos);
+                    self.keys[dest] = self.keys[i].take();
+                    self.values[dest] = self.values[i] - cstar;
+                    self.states[dest] = ((dest.wrapping_sub(home) & mask) + 1) as u16;
+                    self.states[i] = 0;
+                    gaps.push(i);
+                } else {
+                    self.values[i] -= cstar;
+                }
             }
+            i = (i + 1) & mask;
         }
+        self.num_active -= removed;
         removed
-    }
-
-    fn delete_slot(&mut self, mut hole: usize) {
-        debug_assert!(self.states[hole] != 0);
-        self.num_active -= 1;
-        let mask = self.mask;
-        let mut j = hole;
-        loop {
-            self.states[hole] = 0;
-            self.keys[hole] = None;
-            loop {
-                j = (j + 1) & mask;
-                if self.states[j] == 0 {
-                    return;
-                }
-                let dist = (self.states[j] - 1) as usize;
-                let home = j.wrapping_sub(dist) & mask;
-                let new_dist = hole.wrapping_sub(home) & mask;
-                if new_dist < dist {
-                    self.keys[hole] = self.keys[j].take();
-                    self.values[hole] = self.values[j];
-                    self.states[hole] = (new_dist + 1) as u16;
-                    hole = j;
-                    break;
-                }
-            }
-        }
     }
 
     fn iter(&self) -> impl Iterator<Item = (&T, i64)> + '_ {
         (0..self.len()).filter_map(move |i| {
             if self.states[i] != 0 {
-                Some((self.keys[i].as_ref().expect("occupied slot has key"), self.values[i]))
+                Some((
+                    self.keys[i].as_ref().expect("occupied slot has key"),
+                    self.values[i],
+                ))
             } else {
                 None
             }
         })
     }
-
 }
 
 impl<T: SketchItem> CounterValues for ItemTable<T> {
@@ -184,12 +232,7 @@ impl<T: SketchItem> CounterValues for ItemTable<T> {
         self.num_active == 0
     }
 
-    fn sample_values(
-        &self,
-        rng: &mut Xoshiro256StarStar,
-        sample_size: usize,
-        out: &mut Vec<i64>,
-    ) {
+    fn sample_values(&self, rng: &mut Xoshiro256StarStar, sample_size: usize, out: &mut Vec<i64>) {
         if self.num_active <= sample_size {
             self.values_into(out);
             return;
@@ -244,9 +287,11 @@ pub struct ItemsSketch<T: SketchItem> {
     rng: Xoshiro256StarStar,
     offset: u64,
     stream_weight: u64,
+    weight_saturated: bool,
     num_updates: u64,
     num_purges: u64,
     scratch: Vec<i64>,
+    pair_scratch: Vec<(T, i64)>,
 }
 
 impl<T: SketchItem> ItemsSketch<T> {
@@ -289,9 +334,11 @@ impl<T: SketchItem> ItemsSketch<T> {
             rng: Xoshiro256StarStar::from_seed(seed),
             offset: 0,
             stream_weight: 0,
+            weight_saturated: false,
             num_updates: 0,
             num_purges: 0,
             scratch: Vec::new(),
+            pair_scratch: Vec::new(),
         })
     }
 
@@ -311,8 +358,29 @@ impl<T: SketchItem> ItemsSketch<T> {
     }
 
     /// Total weighted stream length processed (including merges).
+    /// Saturates at `u64::MAX` instead of panicking — see
+    /// [`crate::FreqSketch::stream_weight`] for the shared policy.
     pub fn stream_weight(&self) -> u64 {
         self.stream_weight
+    }
+
+    /// True if the total stream weight exceeded `u64::MAX` and
+    /// [`Self::stream_weight`] is pinned at the saturation point.
+    pub fn stream_weight_saturated(&self) -> bool {
+        self.weight_saturated
+    }
+
+    /// Saturating stream-weight accounting shared by the scalar, batch,
+    /// and merge paths (the policy of [`crate::FreqSketch`]).
+    #[inline]
+    fn absorb_stream_weight(&mut self, total: u128) {
+        let new_total = self.stream_weight as u128 + total;
+        if new_total > u64::MAX as u128 {
+            self.stream_weight = u64::MAX;
+            self.weight_saturated = true;
+        } else {
+            self.stream_weight = new_total as u64;
+        }
     }
 
     /// Number of update operations processed.
@@ -344,10 +412,11 @@ impl<T: SketchItem> ItemsSketch<T> {
     }
 
     /// Processes the weighted update `(item, weight)` in amortized O(1).
-    /// Zero weights are ignored.
+    /// Zero weights are ignored. Total stream weight saturates at
+    /// `u64::MAX` rather than panicking (see [`Self::stream_weight`]).
     ///
     /// # Panics
-    /// Panics if `weight` exceeds `i64::MAX` or total weight overflows.
+    /// Panics if `weight` exceeds `i64::MAX`.
     pub fn update(&mut self, item: T, weight: u64) {
         if weight == 0 {
             return;
@@ -356,10 +425,7 @@ impl<T: SketchItem> ItemsSketch<T> {
             weight <= i64::MAX as u64,
             "update weight {weight} exceeds supported range"
         );
-        self.stream_weight = self
-            .stream_weight
-            .checked_add(weight)
-            .expect("total stream weight overflowed u64");
+        self.absorb_stream_weight(weight as u128);
         self.num_updates += 1;
         self.feed(item, weight as i64);
     }
@@ -367,6 +433,51 @@ impl<T: SketchItem> ItemsSketch<T> {
     /// Processes a unit update.
     pub fn update_one(&mut self, item: T) {
         self.update(item, 1);
+    }
+
+    /// Processes a slice of weighted updates (items cloned out of the
+    /// slice), state-identically to scalar [`Self::update`] calls in
+    /// order, via the chunked, prefetching table path. Chunks are sized
+    /// to the purge headroom so growth/purge timing matches the scalar
+    /// path exactly — see [`crate::FreqSketch::update_batch`] for the
+    /// scheme.
+    pub fn update_batch(&mut self, batch: &[(T, u64)]) {
+        let mut rest = batch;
+        while !rest.is_empty() {
+            let headroom = self.capacity_now().saturating_sub(self.table.num_active);
+            if headroom == 0 {
+                let (item, weight) = &rest[0];
+                rest = &rest[1..];
+                self.update(item.clone(), *weight);
+                continue;
+            }
+            let take = headroom.min(rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            let mut total: u128 = 0;
+            let mut count = 0u64;
+            self.pair_scratch.clear();
+            for (item, weight) in chunk {
+                if *weight == 0 {
+                    continue;
+                }
+                assert!(
+                    *weight <= i64::MAX as u64,
+                    "update weight {weight} exceeds supported range"
+                );
+                total += *weight as u128;
+                count += 1;
+                self.pair_scratch.push((item.clone(), *weight as i64));
+            }
+            self.absorb_stream_weight(total);
+            self.num_updates += count;
+            let pairs = core::mem::take(&mut self.pair_scratch);
+            self.table.adjust_or_insert_batch(&pairs);
+            self.pair_scratch = pairs;
+            // A headroom-sized chunk cannot push past capacity; growth
+            // and purges all route through the scalar fallback above.
+            debug_assert!(self.table.num_active <= self.capacity_now());
+        }
     }
 
     fn feed(&mut self, item: T, weight: i64) {
@@ -400,8 +511,7 @@ impl<T: SketchItem> ItemsSketch<T> {
             .policy
             .compute_cstar(&self.table, &mut self.rng, &mut self.scratch);
         debug_assert!(cstar > 0);
-        self.table.adjust_all(-cstar);
-        self.table.retain_positive();
+        self.table.purge_decrement(cstar);
         self.offset += cstar as u64;
         self.num_purges += 1;
     }
@@ -503,11 +613,26 @@ impl<T: SketchItem> ItemsSketch<T> {
             self.feed(item.clone(), count);
         }
         self.offset += other.offset;
-        self.stream_weight = self
-            .stream_weight
-            .checked_add(other.stream_weight)
-            .expect("merged stream weight overflowed u64");
+        self.absorb_stream_weight(other.stream_weight as u128);
+        self.weight_saturated |= other.weight_saturated;
         self.num_updates += other.num_updates;
+    }
+}
+
+/// Streaming ingestion through the batch path — the generic-item
+/// counterpart of `FreqSketch`'s `Extend` impl.
+impl<T: SketchItem> Extend<(T, u64)> for ItemsSketch<T> {
+    fn extend<I: IntoIterator<Item = (T, u64)>>(&mut self, iter: I) {
+        const EXTEND_BUF: usize = 4096;
+        let mut buf: Vec<(T, u64)> = Vec::with_capacity(EXTEND_BUF);
+        for pair in iter {
+            buf.push(pair);
+            if buf.len() == EXTEND_BUF {
+                self.update_batch(&buf);
+                buf.clear();
+            }
+        }
+        self.update_batch(&buf);
     }
 }
 
@@ -524,7 +649,8 @@ impl<T: SketchItem + ItemCodec> ItemsSketch<T> {
         out.extend_from_slice(b"SFQI");
         out.push(1u8); // version
         out.push(policy_tag(&self.policy));
-        out.extend_from_slice(&[0u8, 0]); // reserved
+        // flags (bit 0: stream weight saturated; rest reserved, zero)
+        out.extend_from_slice(&[u8::from(self.weight_saturated), 0]);
         (self.max_counters as u64).encode(&mut out);
         self.offset.encode(&mut out);
         self.stream_weight.encode(&mut out);
@@ -568,9 +694,9 @@ impl<T: SketchItem + ItemCodec> ItemsSketch<T> {
             return Err(Error::UnsupportedVersion(version));
         }
         let tag = u8::decode(&mut buf)?;
-        let reserved = u16::decode(&mut buf)?;
-        if reserved != 0 {
-            return Err(Error::Corrupt("nonzero reserved field".into()));
+        let flags = u16::decode(&mut buf)?;
+        if flags > 1 {
+            return Err(Error::Corrupt("nonzero reserved flag bits".into()));
         }
         let max_counters = usize::try_from(u64::decode(&mut buf)?)
             .map_err(|_| Error::Corrupt("max_counters exceeds usize".into()))?;
@@ -599,7 +725,9 @@ impl<T: SketchItem + ItemCodec> ItemsSketch<T> {
             let item = T::decode(&mut buf)?;
             let count = u64::decode(&mut buf)?;
             if count == 0 || count > i64::MAX as u64 {
-                return Err(Error::Corrupt(format!("counter value {count} out of range")));
+                return Err(Error::Corrupt(format!(
+                    "counter value {count} out of range"
+                )));
             }
             if sketch.table.get(&item).is_some() {
                 return Err(Error::Corrupt("duplicate item in encoding".into()));
@@ -613,6 +741,7 @@ impl<T: SketchItem + ItemCodec> ItemsSketch<T> {
         }
         sketch.offset = offset;
         sketch.stream_weight = stream_weight;
+        sketch.weight_saturated = flags & 1 != 0;
         sketch.num_updates = num_updates;
         sketch.num_purges = num_purges;
         sketch.rng = Xoshiro256StarStar::from_state(state);
@@ -674,6 +803,46 @@ mod tests {
     }
 
     #[test]
+    fn update_batch_matches_scalar_updates() {
+        let stream: Vec<(String, u64)> = (0..20_000u64)
+            .map(|i| (format!("key-{}", (i * 2_654_435_761) % 300), i % 13 + 1))
+            .collect();
+        let mut scalar: ItemsSketch<String> = ItemsSketch::with_max_counters(48);
+        for (item, w) in &stream {
+            scalar.update(item.clone(), *w);
+        }
+        let mut batched: ItemsSketch<String> = ItemsSketch::with_max_counters(48);
+        batched.update_batch(&stream);
+        assert!(scalar.num_purges() > 0, "test must exercise purging");
+        assert_eq!(batched.serialize_to_bytes(), scalar.serialize_to_bytes());
+    }
+
+    #[test]
+    fn extend_matches_update_batch() {
+        let stream: Vec<(String, u64)> = (0..8_000u64)
+            .map(|i| (format!("w{}", i % 120), i % 7 + 1))
+            .collect();
+        let mut a: ItemsSketch<String> = ItemsSketch::with_max_counters(32);
+        a.update_batch(&stream);
+        let mut b: ItemsSketch<String> = ItemsSketch::with_max_counters(32);
+        b.extend(stream.iter().cloned());
+        assert_eq!(a.serialize_to_bytes(), b.serialize_to_bytes());
+    }
+
+    #[test]
+    fn stream_weight_saturates_and_roundtrips() {
+        let mut s: ItemsSketch<u32> = ItemsSketch::with_max_counters(8);
+        s.update(1, i64::MAX as u64);
+        s.update(2, i64::MAX as u64);
+        s.update(3, 9);
+        assert!(s.stream_weight_saturated());
+        assert_eq!(s.stream_weight(), u64::MAX);
+        let restored = ItemsSketch::<u32>::deserialize_from_bytes(&s.serialize_to_bytes()).unwrap();
+        assert!(restored.stream_weight_saturated());
+        assert_eq!(restored.stream_weight(), u64::MAX);
+    }
+
+    #[test]
     fn tuple_items() {
         let mut s: ItemsSketch<(u32, u32)> = ItemsSketch::with_max_counters(16);
         s.update((1, 2), 100);
@@ -720,7 +889,12 @@ mod tests {
 
     #[test]
     fn purge_policies_work_for_items() {
-        for policy in [PurgePolicy::smed(), PurgePolicy::smin(), PurgePolicy::med(), PurgePolicy::GlobalMin] {
+        for policy in [
+            PurgePolicy::smed(),
+            PurgePolicy::smin(),
+            PurgePolicy::med(),
+            PurgePolicy::GlobalMin,
+        ] {
             let mut s: ItemsSketch<u32> = ItemsSketch::try_new(16, policy, 7).unwrap();
             for i in 0..5_000u32 {
                 s.update(i % 100, 2);

@@ -46,6 +46,7 @@
 //! |---|---|
 //! | [`sketch`] | [`FreqSketch`] — the u64-item sketch (Algorithm 4 + §2.3) |
 //! | [`items`] | [`ItemsSketch`] — the same engine for arbitrary item types |
+//! | [`sharded`] | [`ShardedSketch`] — hash-partitioned multi-core ingestion |
 //! | [`signed`] | [`SignedFreqSketch`] — deletions via §1.3's two-instance reduction |
 //! | [`purge`] | decrement policies: SMED / SMIN / quantile sweep / MED / global-min |
 //! | [`table`] | the §2.3.3 linear-probing counter table |
@@ -79,7 +80,10 @@
 //!   items after inspecting the code can lengthen probe runs. The same
 //!   holds for the deployed DataSketches implementation.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// bounds-checked software-prefetch helper in `table`, which must call the
+// `_mm_prefetch` intrinsic on x86-64 (see `table::prefetch_read`).
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
@@ -93,6 +97,7 @@ pub mod purge;
 pub mod result;
 pub mod rng;
 pub mod select;
+pub mod sharded;
 pub mod signed;
 pub mod sketch;
 pub mod table;
@@ -102,6 +107,7 @@ pub use error::Error;
 pub use items::ItemsSketch;
 pub use purge::PurgePolicy;
 pub use result::{ErrorType, Row};
+pub use sharded::{ShardedSketch, ShardedSketchBuilder};
 pub use signed::SignedFreqSketch;
 pub use sketch::{FreqSketch, FreqSketchBuilder};
 pub use traits::{CounterSummary, FrequencyEstimator};

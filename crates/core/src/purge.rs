@@ -25,12 +25,7 @@ pub trait CounterValues {
     fn is_empty(&self) -> bool;
     /// Draws `sample_size` counter values uniformly (with replacement
     /// across slots) into `out`, or all values if fewer are assigned.
-    fn sample_values(
-        &self,
-        rng: &mut Xoshiro256StarStar,
-        sample_size: usize,
-        out: &mut Vec<i64>,
-    );
+    fn sample_values(&self, rng: &mut Xoshiro256StarStar, sample_size: usize, out: &mut Vec<i64>);
     /// Copies all assigned counter values into `out`.
     fn values_into(&self, out: &mut Vec<i64>);
     /// The minimum assigned counter value, or `None` when empty.
@@ -305,8 +300,12 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(PurgePolicy::ExactKStar { fraction: 0.0 }.validate().is_err());
-        assert!(PurgePolicy::ExactKStar { fraction: 1.1 }.validate().is_err());
+        assert!(PurgePolicy::ExactKStar { fraction: 0.0 }
+            .validate()
+            .is_err());
+        assert!(PurgePolicy::ExactKStar { fraction: 1.1 }
+            .validate()
+            .is_err());
         assert!(PurgePolicy::smed().validate().is_ok());
         assert!(PurgePolicy::GlobalMin.validate().is_ok());
     }

@@ -80,7 +80,12 @@ mod tests {
 
     #[test]
     fn sorting_is_by_estimate_then_lower_bound_then_item() {
-        let mut rows = vec![row(3, 50, 40), row(1, 100, 90), row(2, 50, 45), row(4, 50, 45)];
+        let mut rows = vec![
+            row(3, 50, 40),
+            row(1, 100, 90),
+            row(2, 50, 45),
+            row(4, 50, 45),
+        ];
         sort_rows_descending(&mut rows);
         let order: Vec<u64> = rows.iter().map(|r| r.item).collect();
         assert_eq!(order, vec![1, 2, 4, 3]);

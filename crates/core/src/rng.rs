@@ -79,7 +79,10 @@ impl Xoshiro256StarStar {
     /// # Panics
     /// Panics if `state` is all zeros (an invalid xoshiro state).
     pub fn from_state(state: [u64; 4]) -> Self {
-        assert!(state != [0; 4], "all-zero state is invalid for xoshiro256**");
+        assert!(
+            state != [0; 4],
+            "all-zero state is invalid for xoshiro256**"
+        );
         Self { s: state }
     }
 

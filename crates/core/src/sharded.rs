@@ -1,0 +1,526 @@
+//! [`ShardedSketch`]: hash-partitioned, multi-core ingestion over a bank
+//! of independent [`FreqSketch`] shards.
+//!
+//! The paper's summary is single-threaded by construction; what makes it
+//! *deployable* at line rate is that it merges (Algorithm 5, Theorem 5),
+//! so a stream can be split across cores and the per-core summaries
+//! combined without the unbounded error compounding of heap-based Space
+//! Saving merges. This module exploits a stronger property than generic
+//! merging: items are routed to shards **by hash**, so every occurrence
+//! of an item lands in the same shard and that shard's counter bounds for
+//! the item are *global* bounds — no cross-shard error at query time at
+//! all. Algorithm-5 merging is still available ([`ShardedSketch::merged`])
+//! when a single exportable summary is needed; its error adds across
+//! shards exactly as Theorem 5 prescribes.
+//!
+//! Shard routing uses the upper 32 bits of the same 64-bit hash the
+//! counter tables probe with ([`crate::hashing::Hash64`]); the tables use
+//! the low `lg ≤ 31` bits, so routing and probing stay independent.
+//!
+//! Ingestion from multiple threads uses scoped threads and needs no
+//! locks: each thread owns a disjoint set of shards outright and scans
+//! the shared input slice, claiming the items that route to it. Every
+//! shard therefore sees its items in stream order, which makes the final
+//! state **independent of the thread count** — byte-identical to a
+//! sequential run — because the batch path is state-identical to scalar
+//! updates under any chunking (see [`FreqSketch::update_batch`]).
+//!
+//! # Example
+//!
+//! ```
+//! use streamfreq_core::{ErrorType, ShardedSketch};
+//!
+//! let stream: Vec<(u64, u64)> = (0..100_000)
+//!     .map(|i| (if i % 10 == 0 { 7 } else { i }, 1))
+//!     .collect();
+//! let mut sharded = ShardedSketch::new(4, 256);
+//! sharded.ingest_parallel(&stream, 4);
+//! assert_eq!(sharded.stream_weight(), 100_000);
+//! let top = sharded.frequent_items(ErrorType::NoFalsePositives);
+//! assert_eq!(top[0].item, 7);
+//! ```
+
+use crate::error::Error;
+use crate::hashing::Hash64;
+use crate::purge::PurgePolicy;
+use crate::result::{sort_rows_descending, ErrorType, Row};
+use crate::sketch::{FreqSketch, FreqSketchBuilder, DEFAULT_SEED};
+
+/// Items buffered per shard before flushing into its batch path during
+/// parallel ingestion: big enough to amortize routing, small enough that
+/// per-shard buffers stay cache-friendly.
+const INGEST_BUF: usize = 4096;
+
+/// A bank of hash-partitioned [`FreqSketch`] shards that can ingest one
+/// logical stream from many threads and answer the same queries.
+///
+/// See the [module docs](self) for the partitioning and threading model.
+#[derive(Clone, Debug)]
+pub struct ShardedSketch {
+    shards: Vec<FreqSketch>,
+    /// Per-shard buffers reused by [`Self::update_batch`].
+    route_bufs: Vec<Vec<(u64, u64)>>,
+}
+
+/// Configures and constructs a [`ShardedSketch`].
+#[derive(Clone, Debug)]
+pub struct ShardedSketchBuilder {
+    num_shards: usize,
+    counters_per_shard: usize,
+    policy: PurgePolicy,
+    seed: u64,
+    grow_from_small: bool,
+}
+
+impl ShardedSketchBuilder {
+    /// Starts a builder for `num_shards` shards of `counters_per_shard`
+    /// counters each.
+    pub fn new(num_shards: usize, counters_per_shard: usize) -> Self {
+        Self {
+            num_shards,
+            counters_per_shard,
+            policy: PurgePolicy::default(),
+            seed: DEFAULT_SEED,
+            grow_from_small: true,
+        }
+    }
+
+    /// Selects the purge policy for every shard (default: SMED).
+    pub fn policy(mut self, policy: PurgePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Seeds the shards' purge samplers; shard `s` uses `seed + s` so
+    /// sampling streams are distinct but the whole bank is deterministic.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// If `false`, every shard preallocates its maximum table up front.
+    pub fn grow_from_small(mut self, grow: bool) -> Self {
+        self.grow_from_small = grow;
+        self
+    }
+
+    /// Builds the sharded sketch.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if `num_shards` is zero or any
+    /// per-shard configuration is invalid (see [`FreqSketchBuilder`]).
+    pub fn build(self) -> Result<ShardedSketch, Error> {
+        if self.num_shards == 0 {
+            return Err(Error::InvalidConfig("num_shards must be positive".into()));
+        }
+        let shards = (0..self.num_shards)
+            .map(|s| {
+                FreqSketchBuilder::new(self.counters_per_shard)
+                    .policy(self.policy)
+                    .seed(self.seed.wrapping_add(s as u64))
+                    .grow_from_small(self.grow_from_small)
+                    .build()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let route_bufs = vec![Vec::new(); self.num_shards];
+        Ok(ShardedSketch { shards, route_bufs })
+    }
+}
+
+impl ShardedSketch {
+    /// Creates a SMED bank of `num_shards` shards with
+    /// `counters_per_shard` counters each and default seeding.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration; use [`Self::builder`] to handle
+    /// errors.
+    pub fn new(num_shards: usize, counters_per_shard: usize) -> Self {
+        ShardedSketchBuilder::new(num_shards, counters_per_shard)
+            .build()
+            .expect("invalid sharded configuration")
+    }
+
+    /// Starts a [`ShardedSketchBuilder`].
+    pub fn builder(num_shards: usize, counters_per_shard: usize) -> ShardedSketchBuilder {
+        ShardedSketchBuilder::new(num_shards, counters_per_shard)
+    }
+
+    /// Number of shards in the bank.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `item` routes to: a Lemire reduction of the upper
+    /// 32 hash bits, leaving the low bits for table probing.
+    #[inline]
+    pub fn shard_of(&self, item: u64) -> usize {
+        shard_of(item, self.shards.len())
+    }
+
+    /// Read access to the underlying shards (for inspection/metrics).
+    pub fn shards(&self) -> &[FreqSketch] {
+        &self.shards
+    }
+
+    /// Total weighted stream length across all shards, saturating like
+    /// [`FreqSketch::stream_weight`].
+    pub fn stream_weight(&self) -> u64 {
+        let total: u128 = self.shards.iter().map(|s| s.stream_weight() as u128).sum();
+        total.min(u64::MAX as u128) as u64
+    }
+
+    /// True if the total stream weight exceeded `u64::MAX` — either
+    /// inside a shard or when summing across shards — and
+    /// [`Self::stream_weight`] is pinned at the saturation point.
+    pub fn stream_weight_saturated(&self) -> bool {
+        let total: u128 = self.shards.iter().map(|s| s.stream_weight() as u128).sum();
+        total > u64::MAX as u128 || self.shards.iter().any(|s| s.stream_weight_saturated())
+    }
+
+    /// Number of update operations processed across all shards.
+    pub fn num_updates(&self) -> u64 {
+        self.shards.iter().map(|s| s.num_updates()).sum()
+    }
+
+    /// Number of purge operations across all shards.
+    pub fn num_purges(&self) -> u64 {
+        self.shards.iter().map(|s| s.num_purges()).sum()
+    }
+
+    /// Counters currently assigned across all shards.
+    pub fn num_counters(&self) -> usize {
+        self.shards.iter().map(|s| s.num_counters()).sum()
+    }
+
+    /// Bytes of heap memory held by all shard tables.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.memory_bytes()).sum()
+    }
+
+    /// The worst per-item estimation error over the bank: because items
+    /// are hash-partitioned, an item's error is its *own shard's* offset,
+    /// so this is `max`, not `Σ`, of the shard offsets — tighter than the
+    /// Theorem 5 error of a merged summary.
+    pub fn maximum_error(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.maximum_error())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Routes one weighted update to its shard.
+    #[inline]
+    pub fn update(&mut self, item: u64, weight: u64) {
+        let s = self.shard_of(item);
+        self.shards[s].update(item, weight);
+    }
+
+    /// Routes a unit update to its shard.
+    #[inline]
+    pub fn update_one(&mut self, item: u64) {
+        self.update(item, 1);
+    }
+
+    /// Batched single-threaded ingestion: partitions the slice into
+    /// per-shard runs (preserving stream order within each shard), then
+    /// drives every shard's prefetching batch path.
+    pub fn update_batch(&mut self, batch: &[(u64, u64)]) {
+        let n = self.shards.len();
+        if n == 1 {
+            self.shards[0].update_batch(batch);
+            return;
+        }
+        for buf in &mut self.route_bufs {
+            buf.clear();
+        }
+        for &(item, weight) in batch {
+            self.route_bufs[shard_of(item, n)].push((item, weight));
+        }
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.update_batch(&self.route_bufs[s]);
+        }
+    }
+
+    /// Multi-threaded ingestion of one logical stream.
+    ///
+    /// Spawns up to `num_threads` scoped threads (clamped to the shard
+    /// count); each thread takes ownership of a contiguous group of
+    /// shards, scans the whole input, and batch-feeds the items that
+    /// route to its group. No locks, no channels — the only shared state
+    /// is the read-only input slice.
+    ///
+    /// The resulting state is **identical for every `num_threads`**,
+    /// including `1`: each shard always consumes exactly its items in
+    /// stream order through the batch path.
+    pub fn ingest_parallel(&mut self, stream: &[(u64, u64)], num_threads: usize) {
+        let num_shards = self.shards.len();
+        let num_threads = num_threads.clamp(1, num_shards);
+        let shards_per_thread = num_shards.div_ceil(num_threads);
+        std::thread::scope(|scope| {
+            for (group_index, shard_group) in self.shards.chunks_mut(shards_per_thread).enumerate()
+            {
+                let first_shard = group_index * shards_per_thread;
+                scope.spawn(move || {
+                    let group_len = shard_group.len();
+                    // Not `vec![Vec::with_capacity(..); n]`: cloning an
+                    // empty Vec drops its capacity, which would make
+                    // every buffer but the last reallocate on the hot
+                    // ingestion path.
+                    let mut bufs: Vec<Vec<(u64, u64)>> = (0..group_len)
+                        .map(|_| Vec::with_capacity(INGEST_BUF))
+                        .collect();
+                    for &(item, weight) in stream {
+                        let s = shard_of(item, num_shards);
+                        if s < first_shard || s >= first_shard + group_len {
+                            continue;
+                        }
+                        let local = s - first_shard;
+                        bufs[local].push((item, weight));
+                        if bufs[local].len() == INGEST_BUF {
+                            shard_group[local].update_batch(&bufs[local]);
+                            bufs[local].clear();
+                        }
+                    }
+                    for (local, buf) in bufs.iter().enumerate() {
+                        shard_group[local].update_batch(buf);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Point estimate for `item` from its owning shard. Because sharding
+    /// is by item hash, this is exactly the estimate a per-shard stream
+    /// would produce — the error band is the owning shard's offset.
+    #[inline]
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.shards[self.shard_of(item)].estimate(item)
+    }
+
+    /// Certified lower bound on `item`'s global frequency.
+    #[inline]
+    pub fn lower_bound(&self, item: u64) -> u64 {
+        self.shards[self.shard_of(item)].lower_bound(item)
+    }
+
+    /// Certified upper bound on `item`'s global frequency.
+    #[inline]
+    pub fn upper_bound(&self, item: u64) -> u64 {
+        self.shards[self.shard_of(item)].upper_bound(item)
+    }
+
+    /// Union of every shard's reported rows above `threshold`, sorted by
+    /// descending estimate. Each shard applies its own error clamp, which
+    /// is at most (and usually far below) a merged summary's.
+    pub fn frequent_items_with_threshold(&self, threshold: u64, error_type: ErrorType) -> Vec<Row> {
+        let mut rows: Vec<Row> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.frequent_items_with_threshold(threshold, error_type))
+            .collect();
+        sort_rows_descending(&mut rows);
+        rows
+    }
+
+    /// [`Self::frequent_items_with_threshold`] at the bank's
+    /// [`Self::maximum_error`].
+    pub fn frequent_items(&self, error_type: ErrorType) -> Vec<Row> {
+        self.frequent_items_with_threshold(self.maximum_error(), error_type)
+    }
+
+    /// (φ, ε)-heavy hitters over the combined stream.
+    ///
+    /// # Panics
+    /// Panics if `phi` is outside `[0, 1]`.
+    pub fn heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<Row> {
+        assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
+        let threshold = (phi * self.stream_weight() as f64) as u64;
+        self.frequent_items_with_threshold(threshold, error_type)
+    }
+
+    /// Collapses the bank into one [`FreqSketch`] of `max_counters`
+    /// counters via Algorithm 5: every shard is merged in, offsets (and
+    /// hence the error budget) adding exactly as Theorem 5 prescribes.
+    /// Use this when a single summary must leave the process — for
+    /// queries against the live bank, the direct methods are tighter.
+    pub fn merged_with_capacity(&self, max_counters: usize) -> FreqSketch {
+        let mut out = FreqSketch::with_max_counters(max_counters);
+        for shard in &self.shards {
+            out.merge(shard);
+        }
+        out
+    }
+
+    /// [`Self::merged_with_capacity`] at the per-shard counter budget.
+    pub fn merged(&self) -> FreqSketch {
+        let k = self.shards[0].max_counters();
+        self.merged_with_capacity(k)
+    }
+
+    /// Test/debug aid: verifies every shard's invariants and that each
+    /// tracked item actually routes to the shard tracking it.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.check_invariants();
+            for (item, _) in shard.counters() {
+                assert_eq!(
+                    self.shard_of(item),
+                    s,
+                    "item {item} tracked by shard {s} but routes elsewhere"
+                );
+            }
+        }
+    }
+}
+
+/// Routes `item` to a shard: Lemire-reduces the upper 32 bits of the
+/// table hash onto `[0, num_shards)`. Free function so ingestion threads
+/// can route without borrowing the bank.
+#[inline]
+fn shard_of(item: u64, num_shards: usize) -> usize {
+    let high = item.hash64() >> 32;
+    ((high * num_shards as u64) >> 32) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn skewed_stream(len: u64) -> Vec<(u64, u64)> {
+        (0..len)
+            .map(|i| {
+                let item = (i * 2_654_435_761) % 5_000;
+                let w = if item < 5 { 1_000 } else { i % 13 + 1 };
+                (item, w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_total_and_stable() {
+        let bank = ShardedSketch::new(8, 64);
+        for item in 0..10_000u64 {
+            let s = bank.shard_of(item);
+            assert!(s < 8);
+            assert_eq!(s, bank.shard_of(item), "routing must be pure");
+        }
+    }
+
+    #[test]
+    fn single_threaded_matches_scalar_routing() {
+        let stream = skewed_stream(30_000);
+        let mut scalar = ShardedSketch::new(4, 128);
+        for &(item, w) in &stream {
+            scalar.update(item, w);
+        }
+        let mut batched = ShardedSketch::new(4, 128);
+        batched.update_batch(&stream);
+        batched.check_invariants();
+        for s in 0..4 {
+            assert_eq!(
+                batched.shards()[s].serialize_to_bytes(),
+                scalar.shards()[s].serialize_to_bytes(),
+                "shard {s} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_state() {
+        let stream = skewed_stream(40_000);
+        let reference = {
+            let mut bank = ShardedSketch::new(8, 96);
+            bank.ingest_parallel(&stream, 1);
+            bank
+        };
+        for threads in [2usize, 3, 4, 8, 64] {
+            let mut bank = ShardedSketch::new(8, 96);
+            bank.ingest_parallel(&stream, threads);
+            for s in 0..8 {
+                assert_eq!(
+                    bank.shards()[s].serialize_to_bytes(),
+                    reference.shards()[s].serialize_to_bytes(),
+                    "shard {s} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_truth_across_shards() {
+        let stream = skewed_stream(60_000);
+        let mut bank = ShardedSketch::new(4, 64);
+        bank.ingest_parallel(&stream, 4);
+        bank.check_invariants();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(item, w) in &stream {
+            *truth.entry(item).or_insert(0) += w;
+        }
+        assert_eq!(bank.stream_weight(), truth.values().sum::<u64>());
+        for (&item, &f) in &truth {
+            assert!(bank.lower_bound(item) <= f, "lb violated for {item}");
+            assert!(bank.upper_bound(item) >= f, "ub violated for {item}");
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_across_shards() {
+        let mut bank = ShardedSketch::new(4, 64);
+        let mut stream: Vec<(u64, u64)> = Vec::new();
+        for i in 0..20_000u64 {
+            stream.push((42, 100));
+            stream.push((i % 3_000 + 100, 1));
+        }
+        bank.ingest_parallel(&stream, 2);
+        let hh = bank.heavy_hitters(0.4, ErrorType::NoFalsePositives);
+        assert_eq!(hh.len(), 1);
+        assert_eq!(hh[0].item, 42);
+    }
+
+    #[test]
+    fn merged_obeys_theorem5_bound() {
+        let stream = skewed_stream(80_000);
+        let mut bank = ShardedSketch::builder(4, 64).seed(11).build().unwrap();
+        bank.ingest_parallel(&stream, 4);
+        let merged = bank.merged();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(item, w) in &stream {
+            *truth.entry(item).or_insert(0) += w;
+        }
+        for (&item, &f) in &truth {
+            assert!(merged.lower_bound(item) <= f, "merged lb violated");
+            assert!(merged.upper_bound(item) >= f, "merged ub violated");
+        }
+        // Theorem 5: merged error within the a-priori budget for the
+        // combined stream.
+        let bound = merged.a_priori_error(merged.stream_weight());
+        assert!(merged.maximum_error() <= bound);
+        // The live bank's per-item error is never worse than merged.
+        assert!(bank.maximum_error() <= merged.maximum_error());
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards() {
+        assert!(matches!(
+            ShardedSketch::builder(0, 16).build(),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn thread_clamp_handles_extremes() {
+        let stream = skewed_stream(5_000);
+        let mut bank = ShardedSketch::new(2, 32);
+        bank.ingest_parallel(&stream, 0); // clamps to 1
+        let mut more_threads_than_shards = ShardedSketch::new(2, 32);
+        more_threads_than_shards.ingest_parallel(&stream, 16); // clamps to 2
+        assert_eq!(
+            bank.stream_weight(),
+            more_threads_than_shards.stream_weight()
+        );
+    }
+}

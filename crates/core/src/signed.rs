@@ -59,7 +59,10 @@ impl SignedFreqSketch {
     /// Returns [`Error::InvalidConfig`] for invalid parameters.
     pub fn try_new(k: usize, policy: PurgePolicy, seed: u64) -> Result<Self, Error> {
         Ok(Self {
-            additions: FreqSketchBuilder::new(k).policy(policy).seed(seed).build()?,
+            additions: FreqSketchBuilder::new(k)
+                .policy(policy)
+                .seed(seed)
+                .build()?,
             deletions: FreqSketchBuilder::new(k)
                 .policy(policy)
                 .seed(seed ^ 0x0DE1_E7E5)
@@ -91,10 +94,10 @@ impl SignedFreqSketch {
     /// Certified bounds on the net frequency:
     /// `lower = lb⁺ − ub⁻`, `upper = ub⁺ − lb⁻`.
     pub fn bounds(&self, item: u64) -> (i64, i64) {
-        let lower = self.additions.lower_bound(item) as i64
-            - self.deletions.upper_bound(item) as i64;
-        let upper = self.additions.upper_bound(item) as i64
-            - self.deletions.lower_bound(item) as i64;
+        let lower =
+            self.additions.lower_bound(item) as i64 - self.deletions.upper_bound(item) as i64;
+        let upper =
+            self.additions.upper_bound(item) as i64 - self.deletions.lower_bound(item) as i64;
         (lower, upper)
     }
 

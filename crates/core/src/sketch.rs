@@ -53,6 +53,10 @@ const LG_MIN_TABLE: u32 = 3;
 const LOAD_NUM: usize = 3;
 const LOAD_DEN: usize = 4;
 
+/// Upper bound on one batch chunk, bounding transient scratch work per
+/// capacity check regardless of `k`.
+const MAX_CHUNK: usize = 1 << 20;
+
 /// A weighted frequent-items sketch over `u64` item identifiers.
 ///
 /// See the [module docs](self) for the algorithmic background and the
@@ -68,9 +72,11 @@ pub struct FreqSketch {
     pub(crate) seed: u64,
     pub(crate) offset: u64,
     pub(crate) stream_weight: u64,
+    pub(crate) weight_saturated: bool,
     pub(crate) num_updates: u64,
     pub(crate) num_purges: u64,
     pub(crate) scratch: Vec<i64>,
+    pub(crate) pair_scratch: Vec<(u64, i64)>,
 }
 
 /// Configures and constructs a [`FreqSketch`].
@@ -126,14 +132,13 @@ impl FreqSketchBuilder {
         if self.max_counters == 0 {
             return Err(Error::InvalidConfig("max_counters must be positive".into()));
         }
-        self.policy
-            .validate()
-            .map_err(Error::InvalidConfig)?;
-        let lg_max = lg_table_len_for(self.max_counters)
-            .ok_or_else(|| Error::InvalidConfig(format!(
+        self.policy.validate().map_err(Error::InvalidConfig)?;
+        let lg_max = lg_table_len_for(self.max_counters).ok_or_else(|| {
+            Error::InvalidConfig(format!(
                 "max_counters {} needs a table larger than 2^31 slots",
                 self.max_counters
-            )))?;
+            ))
+        })?;
         let lg_cur = if self.grow_from_small {
             LG_MIN_TABLE.min(lg_max)
         } else {
@@ -149,9 +154,11 @@ impl FreqSketchBuilder {
             seed: self.seed,
             offset: 0,
             stream_weight: 0,
+            weight_saturated: false,
             num_updates: 0,
             num_purges: 0,
             scratch: Vec::new(),
+            pair_scratch: Vec::new(),
         })
     }
 }
@@ -164,7 +171,10 @@ fn lg_table_len_for(k: usize) -> Option<u32> {
     if min_len > 1 << 31 {
         return None;
     }
-    let lg = min_len.next_power_of_two().trailing_zeros().max(LG_MIN_TABLE);
+    let lg = min_len
+        .next_power_of_two()
+        .trailing_zeros()
+        .max(LG_MIN_TABLE);
     if lg <= 31 {
         Some(lg)
     } else {
@@ -210,9 +220,37 @@ impl FreqSketch {
 
     /// Total weighted stream length `N = Σ Δⱼ` processed so far
     /// (including merged-in streams).
+    ///
+    /// Saturates at `u64::MAX` instead of panicking if the true total
+    /// exceeds `u64` (beyond the paper's `N ≤ 10²⁰` deployment regime);
+    /// [`Self::stream_weight_saturated`] reports when that happened. A
+    /// saturated `N` only makes [`Self::heavy_hitters`] thresholds
+    /// conservative (too low), so the no-false-negatives contract is
+    /// preserved; counter bounds are unaffected.
     #[inline]
     pub fn stream_weight(&self) -> u64 {
         self.stream_weight
+    }
+
+    /// True if the total stream weight ever exceeded `u64::MAX` and
+    /// [`Self::stream_weight`] is pinned at the saturation point.
+    #[inline]
+    pub fn stream_weight_saturated(&self) -> bool {
+        self.weight_saturated
+    }
+
+    /// Folds `total` new stream weight into the running `N` under the
+    /// documented saturating policy. Shared by the scalar update, the
+    /// batch update, and the merge paths.
+    #[inline]
+    pub(crate) fn absorb_stream_weight(&mut self, total: u128) {
+        let new_total = self.stream_weight as u128 + total;
+        if new_total > u64::MAX as u128 {
+            self.stream_weight = u64::MAX;
+            self.weight_saturated = true;
+        } else {
+            self.stream_weight = new_total as u64;
+        }
     }
 
     /// Number of update operations `n` processed so far.
@@ -259,12 +297,13 @@ impl FreqSketch {
 
     /// Processes the weighted update `(item, weight)` in amortized O(1).
     ///
-    /// Zero weights are ignored (they carry no frequency mass).
+    /// Zero weights are ignored (they carry no frequency mass). If the
+    /// total stream weight exceeds `u64::MAX`, `N` saturates rather than
+    /// panicking — see [`Self::stream_weight`] for the policy.
     ///
     /// # Panics
-    /// Panics if `weight` exceeds `i64::MAX` or the total stream weight
-    /// would overflow `u64` (the paper's deployment regime is `N ≤ 10²⁰`,
-    /// within `u64`).
+    /// Panics if `weight` exceeds `i64::MAX` (counters are signed 64-bit,
+    /// matching the paper's deployment).
     pub fn update(&mut self, item: u64, weight: u64) {
         if weight == 0 {
             return;
@@ -273,10 +312,7 @@ impl FreqSketch {
             weight <= i64::MAX as u64,
             "update weight {weight} exceeds supported range"
         );
-        self.stream_weight = self
-            .stream_weight
-            .checked_add(weight)
-            .expect("total stream weight overflowed u64");
+        self.absorb_stream_weight(weight as u128);
         self.num_updates += 1;
         self.feed(item, weight as i64);
     }
@@ -285,6 +321,53 @@ impl FreqSketch {
     #[inline]
     pub fn update_one(&mut self, item: u64) {
         self.update(item, 1);
+    }
+
+    /// Processes a slice of weighted updates, **state-identically** to
+    /// calling [`Self::update`] on each pair in order, but substantially
+    /// faster on large tables:
+    ///
+    /// * probe homes are precomputed a chunk at a time and the table
+    ///   slots software-prefetched ahead of the probe cursor
+    ///   ([`LpTable::adjust_or_insert_batch`]), hiding DRAM latency that
+    ///   dominates once the table outgrows L2;
+    /// * the `stream_weight` / `num_updates` bookkeeping is folded into
+    ///   one accumulation per chunk instead of one per update.
+    ///
+    /// Equivalence with the scalar path (same estimates, same purge
+    /// points, same table layout, same sampler state) is maintained by
+    /// sizing each chunk to the purge headroom: a chunk never inserts
+    /// more counters than `capacity − num_active`, so no purge or growth
+    /// decision can fall *inside* a chunk, and the items at capacity
+    /// boundaries take the scalar path exactly as `update` would.
+    pub fn update_batch(&mut self, batch: &[(u64, u64)]) {
+        let mut rest = batch;
+        while !rest.is_empty() {
+            let headroom = self.capacity_now().saturating_sub(self.table.num_active());
+            if headroom == 0 {
+                // At capacity: the next update may trigger growth or a
+                // purge, whose timing must match the scalar path.
+                let (item, weight) = rest[0];
+                rest = &rest[1..];
+                self.update(item, weight);
+                continue;
+            }
+            let take = headroom.min(rest.len()).min(MAX_CHUNK);
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            // The chunk goes to the table untouched — no copy — with
+            // validation and weight/count accounting folded into the same
+            // single pass. Within-chunk inserts cannot exceed capacity
+            // (chunk size is bounded by headroom), so no purge/grow check
+            // is needed until the chunk completes.
+            let (total, applied) = self.table.adjust_or_insert_batch_weighted(chunk);
+            self.absorb_stream_weight(total);
+            self.num_updates += applied;
+            // A headroom-sized chunk cannot push past capacity, so no
+            // purge or growth can be due here — they all route through
+            // the scalar fallback above, preserving scalar timing.
+            debug_assert!(self.table.num_active() <= self.capacity_now());
+        }
     }
 
     /// Core insertion path shared by updates and merges: adjust the counter,
@@ -300,13 +383,17 @@ impl FreqSketch {
         }
     }
 
-    /// Doubles the table, rehashing all counters.
+    /// Doubles the table, rehashing all counters through the prefetching
+    /// batch path (rehash is pure random access over the new table, the
+    /// best case for prefetching).
     fn grow(&mut self) {
         let new_lg = self.lg_cur + 1;
         let mut bigger = LpTable::with_lg_len(new_lg);
-        for (key, value) in self.table.iter() {
-            bigger.adjust_or_insert(key, value);
-        }
+        let mut pairs = core::mem::take(&mut self.pair_scratch);
+        pairs.clear();
+        pairs.extend(self.table.iter());
+        bigger.adjust_or_insert_batch(&pairs);
+        self.pair_scratch = pairs;
         self.table = bigger;
         self.lg_cur = new_lg;
     }
@@ -319,8 +406,7 @@ impl FreqSketch {
             .policy
             .compute_cstar(&self.table, &mut self.rng, &mut self.scratch);
         debug_assert!(cstar > 0, "counters are positive, so c* must be");
-        self.table.adjust_all(-cstar);
-        self.table.retain_positive();
+        self.table.purge_decrement(cstar);
         self.offset += cstar as u64;
         self.num_purges += 1;
     }
@@ -349,7 +435,9 @@ impl FreqSketch {
     /// frequency.
     #[inline]
     pub fn upper_bound(&self, item: u64) -> u64 {
-        self.table.get(item).map_or(self.offset, |c| c as u64 + self.offset)
+        self.table
+            .get(item)
+            .map_or(self.offset, |c| c as u64 + self.offset)
     }
 
     /// The a-posteriori maximum error: any estimate is within this of the
@@ -394,11 +482,7 @@ impl FreqSketch {
     /// the deployed DataSketches API): the summary cannot enumerate items
     /// whose entire frequency fits inside its error band, so thresholds
     /// below that level cannot honour either contract.
-    pub fn frequent_items_with_threshold(
-        &self,
-        threshold: u64,
-        error_type: ErrorType,
-    ) -> Vec<Row> {
+    pub fn frequent_items_with_threshold(&self, threshold: u64, error_type: ErrorType) -> Vec<Row> {
         let threshold = threshold.max(self.maximum_error());
         let mut rows: Vec<Row> = self
             .table
@@ -471,10 +555,8 @@ impl FreqSketch {
             self.feed(item, count);
         }
         self.offset += other.offset;
-        self.stream_weight = self
-            .stream_weight
-            .checked_add(other.stream_weight)
-            .expect("merged stream weight overflowed u64");
+        self.absorb_stream_weight(other.stream_weight as u128);
+        self.weight_saturated |= other.weight_saturated;
         self.num_updates += other.num_updates;
     }
 
@@ -501,10 +583,7 @@ impl FreqSketch {
             self.feed(item, count as i64);
         }
         self.offset += source_max_error;
-        self.stream_weight = self
-            .stream_weight
-            .checked_add(source_stream_weight)
-            .expect("merged stream weight overflowed u64");
+        self.absorb_stream_weight(source_stream_weight as u128);
     }
 
     /// Test/debug aid: verifies the internal table invariants.
@@ -512,6 +591,27 @@ impl FreqSketch {
     pub fn check_invariants(&self) {
         self.table.check_invariants();
         assert!(self.table.num_active() <= self.capacity_now().max(self.max_counters));
+    }
+}
+
+/// Streaming ingestion through the batch path: buffers the iterator into
+/// chunks and forwards them to [`FreqSketch::update_batch`], so
+/// `sketch.extend(stream)` gets the prefetching fast path without the
+/// caller materializing a slice.
+impl Extend<(u64, u64)> for FreqSketch {
+    fn extend<I: IntoIterator<Item = (u64, u64)>>(&mut self, iter: I) {
+        /// Buffered pairs per `update_batch` call; large enough to
+        /// amortize the call, small enough to stay cache-resident.
+        const EXTEND_BUF: usize = 4096;
+        let mut buf: Vec<(u64, u64)> = Vec::with_capacity(EXTEND_BUF);
+        for pair in iter {
+            buf.push(pair);
+            if buf.len() == EXTEND_BUF {
+                self.update_batch(&buf);
+                buf.clear();
+            }
+        }
+        self.update_batch(&buf);
     }
 }
 
@@ -586,7 +686,12 @@ mod tests {
 
     #[test]
     fn maximum_error_respects_a_priori_bound() {
-        for policy in [PurgePolicy::smed(), PurgePolicy::smin(), PurgePolicy::med(), PurgePolicy::GlobalMin] {
+        for policy in [
+            PurgePolicy::smed(),
+            PurgePolicy::smin(),
+            PurgePolicy::med(),
+            PurgePolicy::GlobalMin,
+        ] {
             let mut s = FreqSketch::builder(100).policy(policy).build().unwrap();
             for i in 0..200_000u64 {
                 s.update(i % 1000, 3);
@@ -693,7 +798,11 @@ mod tests {
     fn preallocated_matches_grown() {
         let stream: Vec<(u64, u64)> = (0..30_000u64).map(|i| (i % 700, i % 13 + 1)).collect();
         let mut grown = FreqSketch::builder(128).seed(9).build().unwrap();
-        let mut fixed = FreqSketch::builder(128).seed(9).grow_from_small(false).build().unwrap();
+        let mut fixed = FreqSketch::builder(128)
+            .seed(9)
+            .grow_from_small(false)
+            .build()
+            .unwrap();
         for &(i, w) in &stream {
             grown.update(i, w);
             fixed.update(i, w);
@@ -782,7 +891,10 @@ mod tests {
         ));
         assert!(matches!(
             FreqSketch::builder(10)
-                .policy(PurgePolicy::SampleQuantile { sample_size: 0, quantile: 0.5 })
+                .policy(PurgePolicy::SampleQuantile {
+                    sample_size: 0,
+                    quantile: 0.5
+                })
                 .build(),
             Err(Error::InvalidConfig(_))
         ));
@@ -801,7 +913,10 @@ mod tests {
 
     #[test]
     fn memory_is_24k_bytes_at_design_point() {
-        let s = FreqSketch::builder(24_576).grow_from_small(false).build().unwrap();
+        let s = FreqSketch::builder(24_576)
+            .grow_from_small(false)
+            .build()
+            .unwrap();
         assert_eq!(s.memory_bytes(), 24 * 24_576);
     }
 
@@ -816,11 +931,113 @@ mod tests {
         let purges = s.num_purges();
         // Each purge with c*=median kills ≥ half the counters ⇒ at most
         // one purge per k/2 inserts plus slack.
-        assert!(
-            purges <= 100_000 / (256 / 4),
-            "too many purges: {purges}"
-        );
+        assert!(purges <= 100_000 / (256 / 4), "too many purges: {purges}");
         assert!(purges > 0);
+    }
+
+    /// Reference stream with enough skew and churn to force growth and
+    /// many purges at small k.
+    fn churny_stream(len: u64) -> Vec<(u64, u64)> {
+        (0..len)
+            .map(|i| {
+                let item = (i * 2_654_435_761) % 900;
+                let w = if item < 3 { 1_000 } else { i % 17 + 1 };
+                (item, w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn update_batch_is_state_identical_to_scalar() {
+        let stream = churny_stream(40_000);
+        let mut scalar = FreqSketch::builder(128).seed(5).build().unwrap();
+        for &(item, w) in &stream {
+            scalar.update(item, w);
+        }
+        let mut batched = FreqSketch::builder(128).seed(5).build().unwrap();
+        batched.update_batch(&stream);
+        batched.check_invariants();
+        // Bit-identical state: same counters in the same slots, same
+        // offset, same sampler state — the wire encodings must match.
+        assert_eq!(batched.serialize_to_bytes(), scalar.serialize_to_bytes());
+    }
+
+    #[test]
+    fn update_batch_equivalence_across_arbitrary_splits() {
+        let stream = churny_stream(20_000);
+        let reference = {
+            let mut s = FreqSketch::builder(64).seed(9).build().unwrap();
+            s.update_batch(&stream);
+            s
+        };
+        for parts in [2usize, 3, 7, 100] {
+            let mut s = FreqSketch::builder(64).seed(9).build().unwrap();
+            for chunk in stream.chunks(stream.len().div_ceil(parts)) {
+                s.update_batch(chunk);
+            }
+            assert_eq!(
+                s.serialize_to_bytes(),
+                reference.serialize_to_bytes(),
+                "split into {parts} parts diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn update_batch_skips_zero_weights_like_scalar() {
+        let mut a = FreqSketch::with_max_counters(16);
+        a.update_batch(&[(1, 5), (2, 0), (3, 7), (2, 0)]);
+        assert_eq!(a.num_updates(), 2);
+        assert_eq!(a.stream_weight(), 12);
+        assert_eq!(a.estimate(2), 0);
+    }
+
+    #[test]
+    fn extend_matches_update_batch() {
+        let stream = churny_stream(30_000);
+        let mut via_batch = FreqSketch::builder(96).seed(2).build().unwrap();
+        via_batch.update_batch(&stream);
+        let mut via_extend = FreqSketch::builder(96).seed(2).build().unwrap();
+        via_extend.extend(stream.iter().copied());
+        assert_eq!(
+            via_extend.serialize_to_bytes(),
+            via_batch.serialize_to_bytes()
+        );
+    }
+
+    #[test]
+    fn stream_weight_saturates_instead_of_panicking() {
+        let mut s = FreqSketch::with_max_counters(8);
+        s.update(1, i64::MAX as u64);
+        s.update(2, i64::MAX as u64);
+        assert!(!s.stream_weight_saturated());
+        assert_eq!(s.stream_weight(), u64::MAX - 1);
+        s.update(3, 100);
+        assert!(s.stream_weight_saturated());
+        assert_eq!(s.stream_weight(), u64::MAX);
+        // Counter state is unaffected by N saturating.
+        assert_eq!(s.lower_bound(3), 100);
+        // The flag survives merging into another sketch.
+        let mut dst = FreqSketch::with_max_counters(8);
+        dst.merge(&s);
+        assert!(dst.stream_weight_saturated());
+        assert_eq!(dst.stream_weight(), u64::MAX);
+    }
+
+    #[test]
+    fn batch_saturation_matches_scalar_saturation() {
+        let stream = [(1u64, i64::MAX as u64), (2, i64::MAX as u64), (3, 77)];
+        let mut scalar = FreqSketch::with_max_counters(8);
+        for &(i, w) in &stream {
+            scalar.update(i, w);
+        }
+        let mut batched = FreqSketch::with_max_counters(8);
+        batched.update_batch(&stream);
+        assert_eq!(batched.stream_weight(), scalar.stream_weight());
+        assert_eq!(
+            batched.stream_weight_saturated(),
+            scalar.stream_weight_saturated()
+        );
     }
 
     #[test]

@@ -11,10 +11,20 @@
 //!
 //! The operation that distinguishes this table from a stock hash map is the
 //! purge: *decrement every counter by `c*` and delete the non-positive ones,
-//! in place, in one pass, with no scratch allocation*. Deletion uses
-//! backward-shifting within each run of occupied cells (the states make the
-//! shift decision O(1) per inspected cell), preserving the linear-probing
-//! lookup invariant without tombstones.
+//! in place, in one pass* ([`LpTable::purge_decrement`]). The pass fuses
+//! decrement, deletion, and run compaction: each survivor's home cell is
+//! recovered from its probe-distance state and it slides to the first free
+//! slot of its run — the canonical FCFS layout, with no tombstones and no
+//! hashing. (Incremental backward-shift deletion is also available via
+//! [`LpTable::retain_positive`]; it is the better tool only when few
+//! counters die, and it degrades to O(cluster²) per run when a purge kills
+//! the large fractions the median policies target.)
+//!
+//! The batched entry points ([`LpTable::adjust_or_insert_batch`] and the
+//! zero-copy [`LpTable::adjust_or_insert_batch_weighted`]) precompute probe
+//! homes a chunk at a time and software-prefetch upcoming slots, hiding
+//! DRAM latency once the table outgrows cache; they apply updates in order
+//! and are state-identical to scalar upsert loops.
 //!
 //! The table is deliberately *not* a general-purpose map: it has exactly the
 //! operations the sketch needs, and its capacity discipline (the sketch
@@ -23,6 +33,40 @@
 use crate::rng::Xoshiro256StarStar;
 
 use crate::hashing::Hash64;
+
+/// Items per internal batch chunk: homes for a whole chunk are computed
+/// up front so the key hashing vectorizes and the slot accesses can be
+/// prefetched before the probe loop touches them.
+pub(crate) const BATCH_CHUNK: usize = 64;
+
+/// How many slots ahead of the cursor the batch path prefetches. Far
+/// enough that a line arrives from DRAM before the probe loop reaches it
+/// (~8 upserts of latency), near enough not to evict still-needed lines.
+const PREFETCH_AHEAD: usize = 8;
+
+/// Best-effort prefetch of `slice[index]` into L1. Bounds are checked
+/// before forming the address; the instruction itself has no
+/// architectural effect, so a wasted hint is the only failure mode.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(slice: &[T], index: usize) {
+    if index < slice.len() {
+        // SAFETY: `index` is in bounds, so `add(index)` stays inside the
+        // allocation; PREFETCHT0 performs no memory access that could
+        // fault or be observed by safe code.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                slice.as_ptr().add(index) as *const i8,
+            );
+        }
+    }
+}
+
+/// No-op fallback on architectures without a stable prefetch intrinsic.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(_slice: &[T], _index: usize) {}
 
 /// Result of [`LpTable::adjust_or_insert`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,7 +167,16 @@ impl LpTable {
             self.num_active < self.len(),
             "LpTable overflow: caller must keep load below 100%"
         );
-        let mut i = self.home(key);
+        let home = self.home(key);
+        self.upsert_at(home, key, delta)
+    }
+
+    /// Probe loop shared by the scalar and batch paths; `home` is the
+    /// key's precomputed preferred slot.
+    #[inline]
+    fn upsert_at(&mut self, home: usize, key: u64, delta: i64) -> Upsert {
+        debug_assert_eq!(home, self.home(key));
+        let mut i = home;
         let mut dist: usize = 0;
         loop {
             if self.states[i] == 0 {
@@ -146,6 +199,103 @@ impl LpTable {
         }
     }
 
+    /// Zero-copy batch entry for the sketch's update path: like
+    /// [`Self::adjust_or_insert_batch`] but consuming `(key, weight)`
+    /// pairs with unsigned weights straight from the caller's stream
+    /// slice, and folding the stream accounting into the same pass (so
+    /// the batch touches each input pair exactly once). Zero weights are
+    /// skipped (they carry no frequency mass and must not allocate a
+    /// counter). Returns `(total_weight, applied)`: the sum of all
+    /// weights and the number of non-zero-weight updates applied.
+    ///
+    /// # Panics
+    /// Panics if a weight exceeds `i64::MAX`, with updates before the
+    /// offending pair already applied — byte-identical to what a scalar
+    /// update loop would have done before panicking at the same pair.
+    pub fn adjust_or_insert_batch_weighted(&mut self, batch: &[(u64, u64)]) -> (u128, u64) {
+        let mut total: u128 = 0;
+        let mut applied: u64 = 0;
+        for chunk in batch.chunks(BATCH_CHUNK) {
+            assert!(
+                self.num_active + chunk.len() < self.len(),
+                "LpTable overflow: batch of {} cannot keep load below 100%",
+                chunk.len()
+            );
+            let mut homes = [0usize; BATCH_CHUNK];
+            for (j, &(key, _)) in chunk.iter().enumerate() {
+                homes[j] = self.home(key);
+            }
+            let n = chunk.len();
+            for &home in homes.iter().take(PREFETCH_AHEAD.min(n)) {
+                self.prefetch_slot(home);
+            }
+            for j in 0..n {
+                if j + PREFETCH_AHEAD < n {
+                    self.prefetch_slot(homes[j + PREFETCH_AHEAD]);
+                }
+                let (key, weight) = chunk[j];
+                if weight == 0 {
+                    continue;
+                }
+                assert!(
+                    weight <= i64::MAX as u64,
+                    "update weight {weight} exceeds supported range"
+                );
+                total += weight as u128;
+                applied += 1;
+                self.upsert_at(homes[j], key, weight as i64);
+            }
+        }
+        (total, applied)
+    }
+
+    /// Prefetches the three parallel arrays at slot `i` so the probe loop
+    /// finds its first touch already in cache.
+    #[inline(always)]
+    fn prefetch_slot(&self, i: usize) {
+        prefetch_read(&self.states, i);
+        prefetch_read(&self.keys, i);
+        prefetch_read(&self.values, i);
+    }
+
+    /// Batched [`Self::adjust_or_insert`]: applies every `(key, delta)`
+    /// pair **in order**, producing exactly the state a scalar loop would.
+    ///
+    /// The throughput win comes from working a chunk at a time: the probe
+    /// homes for [`BATCH_CHUNK`] keys are precomputed in one pass (letting
+    /// the hash pipeline), and each home is software-prefetched a fixed
+    /// distance ahead of the probe cursor, so a table bigger than cache
+    /// pays DRAM latency once per chunk wave instead of once per update.
+    ///
+    /// # Panics
+    /// Panics if the pending insertions could fill the table completely;
+    /// the caller must keep `num_active + batch.len() < len` per chunk
+    /// (the sketch's capacity discipline guarantees this).
+    pub fn adjust_or_insert_batch(&mut self, batch: &[(u64, i64)]) {
+        for chunk in batch.chunks(BATCH_CHUNK) {
+            assert!(
+                self.num_active + chunk.len() < self.len(),
+                "LpTable overflow: batch of {} cannot keep load below 100%",
+                chunk.len()
+            );
+            let mut homes = [0usize; BATCH_CHUNK];
+            for (j, &(key, _)) in chunk.iter().enumerate() {
+                homes[j] = self.home(key);
+            }
+            let n = chunk.len();
+            for &home in homes.iter().take(PREFETCH_AHEAD.min(n)) {
+                self.prefetch_slot(home);
+            }
+            for j in 0..n {
+                if j + PREFETCH_AHEAD < n {
+                    self.prefetch_slot(homes[j + PREFETCH_AHEAD]);
+                }
+                let (key, delta) = chunk[j];
+                self.upsert_at(homes[j], key, delta);
+            }
+        }
+    }
+
     /// Adds `delta` to every assigned counter (used by the purge with a
     /// negative `delta`). Values may become non-positive; follow with
     /// [`LpTable::retain_positive`].
@@ -155,6 +305,76 @@ impl LpTable {
                 self.values[i] += delta;
             }
         }
+    }
+
+    /// One full purge step: subtracts `cstar` from every counter, removes
+    /// the non-positive ones, and returns how many were removed.
+    ///
+    /// Single sequential pass, in place: decrement, delete, and
+    /// run-compaction are fused. Each survivor's home cell is recovered
+    /// from its probe-distance state (no hashing, no random access), and
+    /// survivors slide left to the first free slot of their run — the
+    /// canonical FCFS linear-probing layout. This replaces the
+    /// per-deletion backward-shift sweep (`adjust_all` +
+    /// [`Self::retain_positive`]), whose cost degrades to O(cluster²) per
+    /// run exactly when purges kill large fractions of the table — the
+    /// common case, since the median policies remove about half the
+    /// counters per purge.
+    pub fn purge_decrement(&mut self, cstar: i64) -> usize {
+        debug_assert!(cstar > 0);
+        if self.num_active == 0 {
+            return 0;
+        }
+        let len = self.len();
+        let mask = self.mask;
+        // The capacity discipline guarantees an empty slot; runs cannot
+        // span it, so starting the sweep there lets every run (including
+        // the one wrapping the array end) be processed contiguously.
+        let first_empty = (0..len)
+            .find(|&i| self.states[i] == 0)
+            .expect("table is never 100% full");
+        // Ring rank relative to the scan origin: monotone in scan order,
+        // so "first free slot at-or-after a home cell" is an ordinary
+        // order comparison even across the array-end wrap.
+        let rank = |p: usize| p.wrapping_sub(first_empty) & mask;
+        let mut removed = 0usize;
+        // Free slots of the *current* run, ascending by rank. Deaths and
+        // vacated sources append at the scan head, so the order is
+        // maintained by construction; placements remove from the middle.
+        // Runs are short at the 3/4 load bound, so this stays tiny.
+        let mut gaps: Vec<usize> = Vec::new();
+        let mut i = (first_empty + 1) & mask;
+        for _ in 0..len - 1 {
+            let state = self.states[i];
+            if state == 0 {
+                // Run boundary: holes cannot be used across it.
+                gaps.clear();
+            } else if self.values[i] <= cstar {
+                self.states[i] = 0;
+                gaps.push(i);
+                removed += 1;
+            } else {
+                // Survivor: its home cell is encoded in the state — no
+                // hash, no key read needed for placement. It slides to
+                // the first free slot at-or-after its home, exactly where
+                // a fresh FCFS re-insertion would put it.
+                let home = i.wrapping_sub(state as usize - 1) & mask;
+                let pos = gaps.partition_point(|&g| rank(g) < rank(home));
+                if pos < gaps.len() {
+                    let dest = gaps.remove(pos);
+                    self.keys[dest] = self.keys[i];
+                    self.values[dest] = self.values[i] - cstar;
+                    self.states[dest] = ((dest.wrapping_sub(home) & mask) + 1) as u16;
+                    self.states[i] = 0;
+                    gaps.push(i);
+                } else {
+                    self.values[i] -= cstar;
+                }
+            }
+            i = (i + 1) & mask;
+        }
+        self.num_active -= removed;
+        removed
     }
 
     /// Deletes every counter whose value is `<= 0`, compacting runs in place
@@ -351,12 +571,7 @@ impl crate::purge::CounterValues for LpTable {
         LpTable::is_empty(self)
     }
 
-    fn sample_values(
-        &self,
-        rng: &mut Xoshiro256StarStar,
-        sample_size: usize,
-        out: &mut Vec<i64>,
-    ) {
+    fn sample_values(&self, rng: &mut Xoshiro256StarStar, sample_size: usize, out: &mut Vec<i64>) {
         LpTable::sample_values(self, rng, sample_size, out)
     }
 
@@ -411,6 +626,50 @@ mod tests {
     }
 
     #[test]
+    fn batch_upsert_matches_scalar_exactly() {
+        // Same pairs, same order: the batch path must be state-identical
+        // to a scalar loop, including slot layout and probe distances.
+        let pairs: Vec<(u64, i64)> = (0..180u64)
+            .map(|i| (i * 2_654_435_761 % 120, (i % 9 + 1) as i64))
+            .collect();
+        let mut scalar = table();
+        for &(k, d) in &pairs {
+            scalar.adjust_or_insert(k, d);
+        }
+        let mut batched = table();
+        batched.adjust_or_insert_batch(&pairs);
+        batched.check_invariants();
+        assert_eq!(batched.num_active(), scalar.num_active());
+        let a: Vec<(u64, i64)> = scalar.iter().collect();
+        let b: Vec<(u64, i64)> = batched.iter().collect();
+        assert_eq!(a, b, "slot layouts diverged");
+    }
+
+    #[test]
+    fn batch_upsert_handles_odd_chunk_tails() {
+        // Lengths around the internal chunk size exercise the prefetch
+        // window clamping and the per-chunk overflow assertion.
+        for len in [1usize, 7, 63, 64, 65, 130] {
+            let pairs: Vec<(u64, i64)> = (0..len as u64).map(|i| (i, 1)).collect();
+            let mut t = table();
+            t.adjust_or_insert_batch(&pairs);
+            t.check_invariants();
+            assert_eq!(t.num_active(), len);
+            for i in 0..len as u64 {
+                assert_eq!(t.get(i), Some(1), "key {i} of {len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "LpTable overflow")]
+    fn batch_upsert_rejects_overfill() {
+        let mut t = LpTable::with_lg_len(4); // 16 slots
+        let pairs: Vec<(u64, i64)> = (0..16u64).map(|i| (i, 1)).collect();
+        t.adjust_or_insert_batch(&pairs);
+    }
+
+    #[test]
     fn adjust_all_shifts_every_value() {
         let mut t = table();
         for k in 0..100u64 {
@@ -440,6 +699,81 @@ mod tests {
         for k in 50..100u64 {
             assert_eq!(t.get(k), Some((k + 1) as i64 - 50), "key {k}");
         }
+    }
+
+    #[test]
+    fn purge_decrement_matches_sweep_and_retain() {
+        // The fused compaction pass must agree with the reference
+        // two-step purge (adjust_all + retain_positive) on contents.
+        let mut rng = Xoshiro256StarStar::from_seed(77);
+        for round in 0..50u64 {
+            let mut a = LpTable::with_lg_len(8);
+            let mut b = LpTable::with_lg_len(8);
+            let n = 1 + rng.next_below(192) as usize;
+            for _ in 0..n {
+                let key = rng.next_below(400);
+                let v = rng.next_below(100) as i64 + 1;
+                if a.num_active() < 192 || a.get(key).is_some() {
+                    a.adjust_or_insert(key, v);
+                    b.adjust_or_insert(key, v);
+                }
+            }
+            let cstar = rng.next_below(60) as i64 + 1;
+            let removed_a = a.purge_decrement(cstar);
+            b.adjust_all(-cstar);
+            let removed_b = b.retain_positive();
+            assert_eq!(removed_a, removed_b, "round {round}");
+            a.check_invariants();
+            let mut ca: Vec<(u64, i64)> = a.iter().collect();
+            let mut cb: Vec<(u64, i64)> = b.iter().collect();
+            ca.sort_unstable();
+            cb.sort_unstable();
+            assert_eq!(ca, cb, "round {round}");
+        }
+    }
+
+    #[test]
+    fn purge_decrement_handles_wrapping_runs() {
+        let mut t = LpTable::with_lg_len(4); // 16 slots
+        let len = t.len();
+        // Keys homing to the last two slots build a run wrapping 15 → 0.
+        let mut picked = Vec::new();
+        let mut candidate = 0u64;
+        while picked.len() < 6 {
+            let home = (candidate.hash64() as usize) & (len - 1);
+            if home >= len - 2 {
+                picked.push(candidate);
+            }
+            candidate += 1;
+        }
+        for (idx, &k) in picked.iter().enumerate() {
+            t.adjust_or_insert(k, if idx % 2 == 0 { 1 } else { 10 });
+        }
+        let removed = t.purge_decrement(1);
+        assert_eq!(removed, 3);
+        t.check_invariants();
+        for (idx, &k) in picked.iter().enumerate() {
+            if idx % 2 == 0 {
+                assert_eq!(t.get(k), None);
+            } else {
+                assert_eq!(t.get(k), Some(9));
+            }
+        }
+    }
+
+    #[test]
+    fn purge_decrement_all_and_none() {
+        let mut t = LpTable::with_lg_len(6);
+        for k in 0..40u64 {
+            t.adjust_or_insert(k, 5);
+        }
+        assert_eq!(t.purge_decrement(1), 0, "no counter at or below 1 dies");
+        for k in 0..40u64 {
+            assert_eq!(t.get(k), Some(4));
+        }
+        assert_eq!(t.purge_decrement(10), 40, "everyone dies");
+        assert!(t.is_empty());
+        t.check_invariants();
     }
 
     #[test]
@@ -663,7 +997,8 @@ mod tests {
                             let before = model.len();
                             model = model
                                 .into_iter()
-                                .filter_map(|(k, v)| (v > dec).then(|| (k, v - dec)))
+                                .filter(|&(_, v)| v > dec)
+                                .map(|(k, v)| (k, v - dec))
                                 .collect();
                             prop_assert_eq!(removed, before - model.len());
                             table.check_invariants();

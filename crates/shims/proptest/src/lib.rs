@@ -1,0 +1,523 @@
+//! Offline stand-in for the published `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate implements a working property-testing engine covering exactly
+//! the API surface the workspace uses:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`Strategy`] with `prop_map` and `boxed`,
+//! * integer/float range strategies, tuples, [`Just`], [`any`],
+//!   [`collection::vec`], the `".*"` string pattern, and the weighted and
+//!   unweighted [`prop_oneof!`] forms,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed (reproducible CI), there is **no shrinking** (a
+//! failure reports the panic message of the failing case directly), and
+//! string strategies support only the `".*"` pattern. Swap the manifest
+//! entry for crates.io `proptest` to regain shrinking.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving every strategy (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f` (the real crate's
+    /// `Strategy::prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.new_value(rng)))
+    }
+}
+
+/// Type-erased strategy (closure capturing the source strategy).
+pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Include the endpoint occasionally so `..=1.0` can hit 1.0.
+        if rng.below(64) == 0 {
+            hi
+        } else {
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+}
+
+/// String pattern strategy. Only the universal pattern `".*"` is
+/// supported by this stand-in: it yields arbitrary (possibly multi-byte)
+/// strings of length 0–63 chars.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        assert_eq!(
+            *self, ".*",
+            "the offline proptest stand-in supports only the \".*\" string pattern"
+        );
+        let len = rng.below(64) as usize;
+        (0..len)
+            .map(|_| {
+                // Mix ASCII with the occasional multi-byte scalar.
+                match rng.below(8) {
+                    0 => char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('§'),
+                    1 => '\u{1F600}',
+                    _ => (b' ' + rng.below(95) as u8) as char,
+                }
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Full-range strategy for primitive types ([`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns a strategy generating any value of `T` (the real crate's
+/// `any::<T>()`).
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Weighted union of boxed strategies (backs [`prop_oneof!`]).
+pub struct Union<V> {
+    choices: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, strategy)` choices.
+    ///
+    /// # Panics
+    /// Panics if `choices` is empty or all weights are zero.
+    pub fn new(choices: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total: u64 = choices.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { choices, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let mut roll = rng.below(self.total);
+        for (w, strat) in &self.choices {
+            if roll < *w as u64 {
+                return strat.new_value(rng);
+            }
+            roll -= *w as u64;
+        }
+        unreachable!("weighted roll exceeded total")
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<E::Value>` with length drawn from `size`.
+    pub struct VecStrategy<E> {
+        element: E,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `size` (the real crate's `collection::vec`).
+    pub fn vec<E: Strategy>(element: E, size: Range<usize>) -> VecStrategy<E> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Asserts a condition inside a property, with optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property, with optional format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property, with optional format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Builds a strategy choosing among alternatives, optionally weighted:
+/// `prop_oneof![a, b, c]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Binds `name in strategy` parameters for one generated case.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; mut $name:ident in $strat:expr) => {
+        let mut $name = $crate::Strategy::new_value(&$strat, &mut $rng);
+    };
+    ($rng:ident; mut $name:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $name = $crate::Strategy::new_value(&$strat, &mut $rng);
+        $crate::__prop_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::new_value(&$strat, &mut $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::new_value(&$strat, &mut $rng);
+        $crate::__prop_bind!($rng; $($rest)*);
+    };
+}
+
+/// Expands the test functions inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            // Derive a per-test seed from the test name so distinct
+            // properties explore distinct sequences, deterministically.
+            let __name_seed: u64 = stringify!($name)
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+                });
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::new(
+                    __name_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(__case as u64 + 1)),
+                );
+                $crate::__prop_bind!(__rng; $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+}
+
+/// Declares property-based tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, mut v in collection::vec(any::<i64>(), 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(<$crate::ProptestConfig as Default>::default(); $($rest)*);
+    };
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        Add(u64, i64),
+        Sweep(i64),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..50, y in 1i64..=9, f in 0.25f64..=0.75) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((1..=9).contains(&y));
+            prop_assert!((0.25..=0.75).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn vec_and_tuple_compose(
+            mut v in collection::vec((0u64..10, 1i64..5), 1..40),
+            n in any::<usize>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            let _ = n;
+            v.push((0, 1));
+            for &(a, b) in &v {
+                prop_assert!(a < 10 && (1..5).contains(&b));
+            }
+        }
+
+        #[test]
+        fn oneof_weighted_and_mapped(op in prop_oneof![
+            3 => (0u64..100, 1i64..50).prop_map(|(k, d)| Op::Add(k, d)),
+            1 => (1i64..20).prop_map(Op::Sweep),
+        ]) {
+            match op {
+                Op::Add(k, d) => prop_assert!(k < 100 && (1..50).contains(&d)),
+                Op::Sweep(d) => prop_assert!((1..20).contains(&d)),
+            }
+        }
+
+        #[test]
+        fn string_pattern(s in ".*") {
+            prop_assert!(s.chars().count() < 64);
+        }
+    }
+
+    #[test]
+    fn union_covers_all_choices() {
+        let u = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::new(7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = collection::vec(0u64..1000, 1..20);
+        let a: Vec<Vec<u64>> = (0..5)
+            .map(|i| strat.new_value(&mut crate::TestRng::new(i)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..5)
+            .map(|i| strat.new_value(&mut crate::TestRng::new(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

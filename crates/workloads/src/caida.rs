@@ -179,7 +179,10 @@ mod tests {
         for (_, w) in SyntheticCaida::new(&small()).take(10_000) {
             assert!(w % 8 == 0, "weights are whole bytes in bits");
             let bytes = w / 8;
-            assert!((40..=1500).contains(&bytes), "implausible packet: {bytes} B");
+            assert!(
+                (40..=1500).contains(&bytes),
+                "implausible packet: {bytes} B"
+            );
         }
     }
 

@@ -30,7 +30,7 @@ pub use adversarial::{heavy_light_interleave, rbmc_killer, AdversarialConfig};
 pub use caida::{CaidaConfig, SyntheticCaida};
 pub use merge_workload::{fill_stream, MergeWorkloadConfig};
 pub use stream::{
-    concat, load_binary, num_distinct, partition_round_robin, save_binary, shuffle,
-    total_weight, WeightedUpdate,
+    concat, load_binary, num_distinct, partition_round_robin, save_binary, shuffle, total_weight,
+    WeightedUpdate,
 };
-pub use zipf::Zipf;
+pub use zipf::{materialize_zipf, Zipf};

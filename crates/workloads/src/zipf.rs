@@ -93,6 +93,34 @@ impl Zipf {
     }
 }
 
+/// Materializes a weighted Zipf stream: `updates` draws of
+/// `Zipf(alpha, universe)` ranks, each mixed through a bijective scramble
+/// (so hot items are not simply the small integers) and carrying a
+/// uniform weight in `1..=max_weight`. Deterministic given `seed`.
+pub fn materialize_zipf(
+    updates: usize,
+    universe: u64,
+    alpha: f64,
+    max_weight: u64,
+    seed: u64,
+) -> Vec<crate::stream::WeightedUpdate> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert!(max_weight > 0, "max_weight must be positive");
+    let zipf = Zipf::new(universe, alpha);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..updates)
+        .map(|_| {
+            let rank = zipf.sample(&mut rng);
+            // Fibonacci-hash scramble: bijective on u64, so rank
+            // frequencies are preserved but item ids are spread.
+            let item = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let w = rng.gen_range(1..=max_weight);
+            (item, w)
+        })
+        .collect()
+}
+
 /// `H(x)`: the integral of `h(x) = x^{−α}`, shifted so the formulas stay
 /// stable near α = 1 (where the antiderivative switches to `ln`).
 fn h_integral(x: f64, alpha: f64) -> f64 {

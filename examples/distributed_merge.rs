@@ -52,7 +52,10 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     // 3. Merge through a binary aggregation tree (any shape is valid).
@@ -79,7 +82,10 @@ fn main() {
         100.0 * max_err as f64 / n as f64,
         merged.maximum_error()
     );
-    assert!(max_err <= merged.maximum_error(), "certified bound violated");
+    assert!(
+        max_err <= merged.maximum_error(),
+        "certified bound violated"
+    );
 
     // 5. Ship it: serialize, deserialize, and query the copy.
     let wire = merged.serialize_to_bytes();

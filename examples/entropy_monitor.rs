@@ -22,14 +22,19 @@ fn main() {
 
     for window_start in (0..normal_traffic.len()).step_by(WINDOW) {
         window_id += 1;
-        let window = &normal_traffic[window_start..(window_start + WINDOW).min(normal_traffic.len())];
+        let window =
+            &normal_traffic[window_start..(window_start + WINDOW).min(normal_traffic.len())];
         // Window 3 simulates an attack: 85% of packets rewritten to one source.
         let attacked = window_id == 3;
 
         let mut est = EntropyEstimator::new(256, 2048, window_id as u64);
         let mut freqs = std::collections::HashMap::new();
         for (i, &(ip, _bits)) in window.iter().enumerate() {
-            let src = if attacked && i % 100 < 85 { 0xBAD_CAFE } else { ip };
+            let src = if attacked && i % 100 < 85 {
+                0xBAD_CAFE
+            } else {
+                ip
+            };
             est.update(src, 1); // per-packet entropy of source addresses
             *freqs.entry(src).or_insert(0u64) += 1;
         }
@@ -55,6 +60,8 @@ fn main() {
             );
         }
     }
-    println!("\nsketch state per window: {} bytes (vs an exact per-source table)",
-        256 * 24 + 2048 * 24);
+    println!(
+        "\nsketch state per window: {} bytes (vs an exact per-source table)",
+        256 * 24 + 2048 * 24
+    );
 }

@@ -45,7 +45,10 @@ fn main() {
     );
 
     let phi = 0.02;
-    println!("hierarchical heavy hitters above {:.0}% of traffic:", phi * 100.0);
+    println!(
+        "hierarchical heavy hitters above {:.0}% of traffic:",
+        phi * 100.0
+    );
     let rows = hhh.hierarchical_heavy_hitters(phi, ErrorType::NoFalseNegatives);
     for row in &rows {
         println!(
@@ -59,7 +62,8 @@ fn main() {
     // The server must surface as a /32; the botnet as an aggregate (the
     // /16 or one of its parents), with no single /32 bot reported.
     assert!(
-        rows.iter().any(|r| r.prefix_len == 32 && r.prefix == server),
+        rows.iter()
+            .any(|r| r.prefix_len == 32 && r.prefix == server),
         "heavy server not detected"
     );
     assert!(

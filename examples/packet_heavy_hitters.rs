@@ -53,11 +53,18 @@ fn main() {
     println!();
 
     let phi = 0.01;
-    println!("sources that may exceed {:.0}% of traffic (no false negatives):", phi * 100.0);
+    println!(
+        "sources that may exceed {:.0}% of traffic (no false negatives):",
+        phi * 100.0
+    );
     let reported = sketch.heavy_hitters(phi, ErrorType::NoFalseNegatives);
     for row in &reported {
         let truth = exact.estimate(row.item);
-        let verdict = if truth as f64 > phi * n as f64 { "true HH" } else { "borderline" };
+        let verdict = if truth as f64 > phi * n as f64 {
+            "true HH"
+        } else {
+            "borderline"
+        };
         println!(
             "  {:>15}  est {:>13} bits  true {:>13} bits  [{verdict}]",
             format_ip(row.item),
@@ -78,7 +85,10 @@ fn main() {
         .iter()
         .filter(|ip| !reported.iter().any(|r| r.item == **ip))
         .count();
-    println!("ground truth: {} sources above the threshold; sketch missed {missed} (must be 0)", true_hh.len());
+    println!(
+        "ground truth: {} sources above the threshold; sketch missed {missed} (must be 0)",
+        true_hh.len()
+    );
 
     let strict = sketch.heavy_hitters(phi, ErrorType::NoFalsePositives);
     let false_pos = strict
@@ -93,5 +103,11 @@ fn main() {
 
 fn format_ip(ip: u64) -> String {
     let ip = ip as u32;
-    format!("{}.{}.{}.{}", ip >> 24, (ip >> 16) & 255, (ip >> 8) & 255, ip & 255)
+    format!(
+        "{}.{}.{}.{}",
+        ip >> 24,
+        (ip >> 16) & 255,
+        (ip >> 8) & 255,
+        ip & 255
+    )
 }

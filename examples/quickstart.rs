@@ -23,11 +23,16 @@ fn main() {
     }
 
     let n = sketch.stream_weight();
-    println!("stream: {} updates, total weight N = {n} seconds", sketch.num_updates());
-    println!("state: {} counters, {} bytes, max error ±{}",
+    println!(
+        "stream: {} updates, total weight N = {n} seconds",
+        sketch.num_updates()
+    );
+    println!(
+        "state: {} counters, {} bytes, max error ±{}",
         sketch.num_counters(),
         sketch.memory_bytes(),
-        sketch.maximum_error());
+        sketch.maximum_error()
+    );
     println!();
 
     // Point queries with certified bounds.

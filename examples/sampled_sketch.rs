@@ -35,10 +35,7 @@ fn main() {
     }
     let t_sampled = start.elapsed();
 
-    println!(
-        "full sketch:    {:>8.3} s, N = {n}",
-        t_full.as_secs_f64()
-    );
+    println!("full sketch:    {:>8.3} s, N = {n}", t_full.as_secs_f64());
     println!(
         "sampled sketch: {:>8.3} s, p = {:.2e}, sampled mass = {}",
         t_sampled.as_secs_f64(),
@@ -48,13 +45,19 @@ fn main() {
     println!();
 
     println!("top talkers, full vs sampled estimates:");
-    println!("{:>14} {:>16} {:>16} {:>8}", "source", "full est", "sampled est", "rel");
+    println!(
+        "{:>14} {:>16} {:>16} {:>8}",
+        "source", "full est", "sampled est", "rel"
+    );
     for row in full.top_k(8) {
         let s = sampled.estimate(row.item);
         let rel = (s as f64 - row.estimate as f64).abs() / row.estimate as f64;
         println!(
             "{:>14} {:>16} {:>16} {:>7.2}%",
-            row.item, row.estimate, s, rel * 100.0
+            row.item,
+            row.estimate,
+            s,
+            rel * 100.0
         );
     }
     println!();

@@ -2,7 +2,6 @@
 //! every algorithm on realistic workloads (synthetic packet trace and
 //! Zipf streams).
 
-
 use streamfreq::baselines::{ExactCounter, Rbmc, SpaceSavingHeap};
 use streamfreq::workloads::{CaidaConfig, SyntheticCaida, Zipf};
 use streamfreq::{ErrorType, FreqSketch, FrequencyEstimator, PurgePolicy};
@@ -72,7 +71,10 @@ fn smed_a_priori_bound_holds_on_zipf() {
         let stream = zipf_stream(400_000, alpha, seed);
         let truth = truth_of(&stream);
         let k = 256;
-        let mut s = FreqSketch::builder(k).policy(PurgePolicy::smed()).build().unwrap();
+        let mut s = FreqSketch::builder(k)
+            .policy(PurgePolicy::smed())
+            .build()
+            .unwrap();
         for &(i, w) in &stream {
             s.update(i, w);
         }
@@ -99,7 +101,10 @@ fn tail_guarantee_exploits_skew() {
     }
     let truth = truth_of(&stream);
     let k = 128;
-    let mut s = FreqSketch::builder(k).policy(PurgePolicy::smed()).build().unwrap();
+    let mut s = FreqSketch::builder(k)
+        .policy(PurgePolicy::smed())
+        .build()
+        .unwrap();
     for &(i, w) in &stream {
         s.update(i, w);
     }

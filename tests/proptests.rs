@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 use streamfreq::baselines::ExactCounter;
-use streamfreq::{FreqSketch, FrequencyEstimator, PurgePolicy};
+use streamfreq::{FreqSketch, FrequencyEstimator, PurgePolicy, ShardedSketch};
 
 fn arb_policy() -> impl Strategy<Value = PurgePolicy> {
     prop_oneof![
@@ -174,6 +174,87 @@ proptest! {
         for item in 0..30u64 {
             prop_assert_eq!(a.estimate(item), b.estimate(item));
         }
+    }
+
+    /// The batch update path is *state-identical* to scalar updates for
+    /// any stream, any policy, any capacity, and any split of the stream
+    /// into `update_batch` calls: same estimates, same offset, same
+    /// bounds — in fact the entire wire encoding (counters, slot layout,
+    /// sampler state) matches byte for byte.
+    #[test]
+    fn update_batch_any_split_matches_scalar(
+        stream in arb_stream(),
+        policy in arb_policy(),
+        k in 4usize..64,
+        split_seed in any::<u64>(),
+    ) {
+        let mut scalar = FreqSketch::builder(k).policy(policy).build().unwrap();
+        for &(item, w) in &stream {
+            scalar.update(item, w);
+        }
+        let mut batched = FreqSketch::builder(k).policy(policy).build().unwrap();
+        let mut rest: &[(u64, u64)] = &stream;
+        let mut x = split_seed | 1;
+        while !rest.is_empty() {
+            // xorshift-driven arbitrary split points, including size 0.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let take = (x as usize % (rest.len() + 1)).min(rest.len());
+            let (chunk, tail) = rest.split_at(take.max(1).min(rest.len()));
+            batched.update_batch(chunk);
+            rest = tail;
+        }
+        batched.check_invariants();
+        prop_assert_eq!(batched.maximum_error(), scalar.maximum_error());
+        prop_assert_eq!(batched.stream_weight(), scalar.stream_weight());
+        prop_assert_eq!(batched.num_updates(), scalar.num_updates());
+        for item in 0..200u64 {
+            prop_assert_eq!(batched.estimate(item), scalar.estimate(item));
+            prop_assert_eq!(batched.lower_bound(item), scalar.lower_bound(item));
+            prop_assert_eq!(batched.upper_bound(item), scalar.upper_bound(item));
+        }
+        prop_assert_eq!(batched.serialize_to_bytes(), scalar.serialize_to_bytes());
+    }
+
+    /// A sharded bank answers within the certified bounds for any stream
+    /// and thread count, its state is thread-count-independent, and its
+    /// Algorithm-5 merge stays within the Theorem 5 error budget.
+    #[test]
+    fn sharded_matches_merged_within_theorem5(
+        stream in arb_stream(),
+        shards in 1usize..6,
+        k in 8usize..48,
+        threads in 1usize..5,
+    ) {
+        let mut bank = ShardedSketch::builder(shards, k).seed(3).build().unwrap();
+        bank.ingest_parallel(&stream, threads);
+        bank.check_invariants();
+        let mut reference = ShardedSketch::builder(shards, k).seed(3).build().unwrap();
+        for &(item, w) in &stream {
+            reference.update(item, w);
+        }
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(item, w) in &stream {
+            *truth.entry(item).or_insert(0) += w;
+        }
+        // Parallel ingestion is deterministic: identical to scalar routing.
+        for (a, b) in bank.shards().iter().zip(reference.shards()) {
+            prop_assert_eq!(a.serialize_to_bytes(), b.serialize_to_bytes());
+        }
+        // The live bank brackets the truth per item.
+        for (&item, &f) in &truth {
+            prop_assert!(bank.lower_bound(item) <= f);
+            prop_assert!(bank.upper_bound(item) >= f);
+        }
+        // And the single merged export obeys Theorem 5.
+        let merged = bank.merged();
+        prop_assert_eq!(merged.stream_weight(), bank.stream_weight());
+        for (&item, &f) in &truth {
+            prop_assert!(merged.lower_bound(item) <= f);
+            prop_assert!(merged.upper_bound(item) >= f);
+        }
+        prop_assert!(merged.maximum_error() <= merged.a_priori_error(merged.stream_weight()));
     }
 
     /// Heavy-hitter reporting contracts hold for arbitrary thresholds.
