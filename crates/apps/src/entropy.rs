@@ -31,20 +31,23 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use streamfreq_core::FreqSketch;
+use streamfreq_core::{SketchEngine, SketchEngineBuilder, SketchKey};
 
 /// One reservoir slot: a sampled mass unit of `item`, with its A-Res key
 /// and the forward count `R` (mass of `item` from the sampled unit on).
-#[derive(Clone, Copy, Debug)]
-struct Slot {
-    item: u64,
+#[derive(Clone, Debug)]
+struct Slot<K> {
+    item: K,
     /// A-Res key `u^{1/w}`; the reservoir keeps the largest keys.
     key: f64,
     /// Item mass observed from the sampled unit (inclusive) onward.
     r: u64,
 }
 
-/// Streaming estimator of the empirical entropy of a weighted stream.
+/// Streaming estimator of the empirical entropy of a weighted stream,
+/// generic over the item type (`u64` by default; any
+/// [`SketchKey`] + `Hash` item works — the sketch half rides the shared
+/// engine, the reservoir half a std `HashMap`).
 ///
 /// # Example
 ///
@@ -58,11 +61,11 @@ struct Slot {
 /// assert!((h.estimate() - 2.0).abs() < 1e-9);
 /// ```
 #[derive(Clone, Debug)]
-pub struct EntropyEstimator {
-    sketch: FreqSketch,
-    reservoir: Vec<Slot>,
+pub struct EntropyEstimator<K: SketchKey + core::hash::Hash = u64> {
+    sketch: SketchEngine<K>,
+    reservoir: Vec<Slot<K>>,
     /// item → indices of reservoir slots holding it (kept exact).
-    slot_index: HashMap<u64, Vec<usize>>,
+    slot_index: HashMap<K, Vec<usize>>,
     /// index of the minimum-key slot once the reservoir is full.
     min_idx: usize,
     reservoir_capacity: usize,
@@ -70,7 +73,7 @@ pub struct EntropyEstimator {
     stream_weight: u64,
 }
 
-impl EntropyEstimator {
+impl<K: SketchKey + core::hash::Hash> EntropyEstimator<K> {
     /// Creates an estimator with `k` sketch counters and a weighted
     /// reservoir of `reservoir_capacity` samples.
     ///
@@ -82,7 +85,7 @@ impl EntropyEstimator {
             "reservoir capacity must be positive"
         );
         Self {
-            sketch: FreqSketch::builder(k)
+            sketch: SketchEngineBuilder::new(k)
                 .seed(seed)
                 .build()
                 .expect("invalid k"),
@@ -96,12 +99,12 @@ impl EntropyEstimator {
     }
 
     /// Processes a weighted update.
-    pub fn update(&mut self, item: u64, weight: u64) {
+    pub fn update(&mut self, item: K, weight: u64) {
         if weight == 0 {
             return;
         }
         self.stream_weight += weight;
-        self.sketch.update(item, weight);
+        self.sketch.update(item.clone(), weight);
         // Advance forward counts of existing slots holding this item.
         if let Some(idxs) = self.slot_index.get(&item) {
             for &i in idxs {
@@ -116,22 +119,30 @@ impl EntropyEstimator {
         let r0 = self.rng.gen_range(1..=weight);
         if self.reservoir.len() < self.reservoir_capacity {
             let idx = self.reservoir.len();
-            self.reservoir.push(Slot { item, key, r: r0 });
+            self.reservoir.push(Slot {
+                item: item.clone(),
+                key,
+                r: r0,
+            });
             self.slot_index.entry(item).or_default().push(idx);
             if self.reservoir.len() == self.reservoir_capacity {
                 self.recompute_min();
             }
         } else if key > self.reservoir[self.min_idx].key {
-            let evicted = self.reservoir[self.min_idx];
+            let evicted_item = self.reservoir[self.min_idx].item.clone();
             let idxs = self
                 .slot_index
-                .get_mut(&evicted.item)
+                .get_mut(&evicted_item)
                 .expect("evicted item must be indexed");
             idxs.retain(|&i| i != self.min_idx);
             if idxs.is_empty() {
-                self.slot_index.remove(&evicted.item);
+                self.slot_index.remove(&evicted_item);
             }
-            self.reservoir[self.min_idx] = Slot { item, key, r: r0 };
+            self.reservoir[self.min_idx] = Slot {
+                item: item.clone(),
+                key,
+                r: r0,
+            };
             self.slot_index.entry(item).or_default().push(self.min_idx);
             self.recompute_min();
         }
@@ -152,9 +163,9 @@ impl EntropyEstimator {
         self.stream_weight
     }
 
-    /// Access to the inner frequent-items sketch (for diagnostics or
+    /// Access to the inner frequent-items engine (for diagnostics or
     /// combined queries).
-    pub fn sketch(&self) -> &FreqSketch {
+    pub fn sketch(&self) -> &SketchEngine<K> {
         &self.sketch
     }
 
@@ -179,8 +190,8 @@ impl EntropyEstimator {
         // Heavy part: tracked items by certified lower bound.
         let mut covered = 0u64;
         let mut h = 0.0f64;
-        let tracked: Vec<(u64, u64)> = self.sketch.counters().collect();
-        let tracked_items: std::collections::HashSet<u64> =
+        let tracked: Vec<(&K, u64)> = self.sketch.counters().collect();
+        let tracked_items: std::collections::HashSet<&K> =
             tracked.iter().map(|&(i, _)| i).collect();
         for &(_, lb) in &tracked {
             h += g(lb);

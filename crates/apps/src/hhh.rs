@@ -9,9 +9,11 @@
 //!
 //! ## Algorithm
 //!
-//! One [`FreqSketch`] per prefix length in the hierarchy (default: byte
-//! boundaries `/8 /16 /24 /32`). An update `(ip, Δ)` feeds each level with
-//! the ip masked to that prefix — O(levels) amortized per packet. A query
+//! One [`SketchEngine<u64>`] per prefix length in the hierarchy (default:
+//! byte boundaries `/8 /16 /24 /32`). An update `(ip, Δ)` feeds each level
+//! with the ip masked to that prefix — O(levels) amortized per packet;
+//! [`HhhSketch::update_batch`] drives every level through the engine's
+//! prefetching batch pipeline. A query
 //! walks from the most-specific level upward, reporting a prefix whenever
 //! its **conditioned count** — its estimate minus the counts of already
 //! reported descendants — clears `φ·N`. This is the standard
@@ -21,7 +23,7 @@
 
 use std::collections::HashMap;
 
-use streamfreq_core::{ErrorType, FreqSketch, PurgePolicy};
+use streamfreq_core::{ErrorType, PurgePolicy, SketchEngine, SketchEngineBuilder};
 
 /// A reported hierarchical heavy hitter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,8 +75,10 @@ impl HhhRow {
 pub struct HhhSketch {
     /// Prefix lengths, ascending (least specific first).
     levels: Vec<u8>,
-    /// One sketch per level, aligned with `levels`.
-    sketches: Vec<FreqSketch>,
+    /// One sketch engine per level, aligned with `levels`.
+    sketches: Vec<SketchEngine<u64>>,
+    /// Reusable masked-update buffer for [`Self::update_batch`].
+    batch_buf: Vec<(u64, u64)>,
     stream_weight: u64,
 }
 
@@ -106,7 +110,7 @@ impl HhhSketch {
         let sketches = levels
             .iter()
             .map(|&l| {
-                FreqSketch::builder(k)
+                SketchEngineBuilder::new(k)
                     .policy(PurgePolicy::smed())
                     .seed(0x4848_4800 + l as u64) // distinct seed per level
                     .build()
@@ -116,6 +120,7 @@ impl HhhSketch {
         Self {
             levels: levels.to_vec(),
             sketches,
+            batch_buf: Vec::new(),
             stream_weight: 0,
         }
     }
@@ -141,13 +146,34 @@ impl HhhSketch {
         }
     }
 
+    /// Feeds a slice of weighted updates through every level's batched,
+    /// prefetching ingestion path ([`SketchEngine::update_batch`]) —
+    /// state-identical to calling [`Self::update`] on each pair in order,
+    /// but each level's table is driven with precomputed homes and
+    /// software prefetch, which matters once `k` pushes the per-level
+    /// tables out of cache.
+    pub fn update_batch(&mut self, batch: &[(u32, u64)]) {
+        let mut masked = core::mem::take(&mut self.batch_buf);
+        for (idx, &len) in self.levels.iter().enumerate() {
+            masked.clear();
+            // Zero weights pass through: the engine's batch path skips
+            // them with scalar-identical accounting.
+            masked.extend(batch.iter().map(|&(ip, w)| (Self::mask(ip, len) as u64, w)));
+            self.sketches[idx].update_batch(&masked);
+        }
+        self.stream_weight += batch.iter().map(|&(_, w)| w).sum::<u64>();
+        masked.clear();
+        self.batch_buf = masked;
+    }
+
     /// Total weighted traffic processed.
     pub fn stream_weight(&self) -> u64 {
         self.stream_weight
     }
 
-    /// The per-level sketches (least-specific first), for diagnostics.
-    pub fn level_sketches(&self) -> &[FreqSketch] {
+    /// The per-level sketch engines (least-specific first), for
+    /// diagnostics.
+    pub fn level_sketches(&self) -> &[SketchEngine<u64>] {
         &self.sketches
     }
 
@@ -322,6 +348,28 @@ mod tests {
             conditioned: 5,
         };
         assert_eq!(row.to_cidr(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn update_batch_is_state_identical_to_scalar() {
+        let stream: Vec<(u32, u64)> = (0..30_000u64)
+            .map(|i| {
+                let ip = ((i * 2_654_435_761) % 9_000) as u32 | 0x0A00_0000;
+                (ip, i % 40 + 1)
+            })
+            .collect();
+        let mut scalar = HhhSketch::new(64);
+        for &(ip, w) in &stream {
+            scalar.update(ip, w);
+        }
+        let mut batched = HhhSketch::new(64);
+        for chunk in stream.chunks(997) {
+            batched.update_batch(chunk);
+        }
+        assert_eq!(batched.stream_weight(), scalar.stream_weight());
+        for (a, b) in batched.level_sketches().iter().zip(scalar.level_sketches()) {
+            assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        }
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! `t ~ Binomial(Δ, p)`; drawing `t` directly by skipping geometric gaps
 //! costs O(1 + t) expected time, so the whole pass stays amortized O(1)
 //! for `p = O(sample_target/N)`. The sampled weighted update `(i, t)` then
-//! feeds any counter-based summary — here, the optimized [`FreqSketch`],
+//! feeds any counter-based summary — here, the optimized
+//! [`SketchEngine`],
 //! which is precisely the paper's "carry over in a black-box manner"
 //! remark.
 //!
@@ -20,9 +21,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use streamfreq_core::{FreqSketch, PurgePolicy};
+use streamfreq_core::{PurgePolicy, SketchEngine, SketchEngineBuilder, SketchKey};
 
-/// A frequent-items summary over a `p`-sampled view of the stream.
+/// A frequent-items summary over a `p`-sampled view of the stream,
+/// generic over the item type (`u64` by default — any [`SketchKey`] item
+/// works, since the inner summary is the shared engine).
 ///
 /// # Example
 ///
@@ -34,21 +37,21 @@ use streamfreq_core::{FreqSketch, PurgePolicy};
 /// for _ in 0..10_000 {
 ///     s.update(42, 1_000);
 /// }
-/// let est = s.estimate(42);
+/// let est = s.estimate(&42);
 /// let truth = 10_000u64 * 1_000;
 /// let rel = est.abs_diff(truth) as f64 / truth as f64;
 /// assert!(rel < 0.1);
 /// ```
 #[derive(Clone, Debug)]
-pub struct SampledSketch {
-    inner: FreqSketch,
+pub struct SampledSketch<K: SketchKey = u64> {
+    inner: SketchEngine<K>,
     p: f64,
     rng: StdRng,
     stream_weight: u64,
     sampled_weight: u64,
 }
 
-impl SampledSketch {
+impl<K: SketchKey> SampledSketch<K> {
     /// Creates a sampled sketch: `k` counters over a stream thinned to
     /// mass-sampling probability `p`.
     ///
@@ -57,7 +60,7 @@ impl SampledSketch {
     pub fn new(k: usize, p: f64, seed: u64) -> Self {
         assert!(p > 0.0 && p <= 1.0, "p {p} outside (0, 1]");
         Self {
-            inner: FreqSketch::builder(k)
+            inner: SketchEngineBuilder::new(k)
                 .policy(PurgePolicy::smed())
                 .seed(seed)
                 .build()
@@ -97,14 +100,14 @@ impl SampledSketch {
         self.sampled_weight
     }
 
-    /// The inner sketch over the sampled stream.
-    pub fn inner(&self) -> &FreqSketch {
+    /// The inner sketch engine over the sampled stream.
+    pub fn inner(&self) -> &SketchEngine<K> {
         &self.inner
     }
 
     /// Processes `(item, Δ)` in O(1 + Δ·p) expected time: draws
     /// `t ~ Binomial(Δ, p)` by geometric skipping and feeds `(item, t)`.
-    pub fn update(&mut self, item: u64, weight: u64) {
+    pub fn update(&mut self, item: K, weight: u64) {
         if weight == 0 {
             return;
         }
@@ -139,12 +142,15 @@ impl SampledSketch {
 
     /// Estimated frequency of `item`, scaled back to the full stream
     /// (`inner estimate / p`).
-    pub fn estimate(&self, item: u64) -> u64 {
+    pub fn estimate(&self, item: &K) -> u64 {
         (self.inner.estimate(item) as f64 / self.p).round() as u64
     }
 
     /// The `top` items by scaled estimate.
-    pub fn top_k(&self, top: usize) -> Vec<(u64, u64)> {
+    pub fn top_k(&self, top: usize) -> Vec<(K, u64)>
+    where
+        K: Ord,
+    {
         self.inner
             .top_k(top)
             .into_iter()
@@ -163,13 +169,13 @@ mod tests {
         s.update(1, 1000);
         s.update(2, 50);
         assert_eq!(s.sampled_weight(), 1050);
-        assert_eq!(s.estimate(1), 1000);
-        assert_eq!(s.estimate(2), 50);
+        assert_eq!(s.estimate(&1), 1000);
+        assert_eq!(s.estimate(&2), 50);
     }
 
     #[test]
     fn binomial_sample_never_exceeds_n() {
-        let mut s = SampledSketch::new(8, 0.3, 2);
+        let mut s = SampledSketch::<u64>::new(8, 0.3, 2);
         for _ in 0..1000 {
             let t = s.sample_binomial(50);
             assert!(t <= 50);
@@ -203,7 +209,7 @@ mod tests {
             s.update((x >> 33) % 5_000 + 1_000, 70);
         }
         let truth = 100_000u64 * 30;
-        let est = s.estimate(777);
+        let est = s.estimate(&777);
         let rel = est.abs_diff(truth) as f64 / truth as f64;
         assert!(rel < 0.05, "est {est} vs truth {truth} (rel {rel:.3})");
     }
@@ -230,7 +236,7 @@ mod tests {
             for i in 0..10_000u64 {
                 s.update(i % 50, 20);
             }
-            (s.sampled_weight(), s.estimate(7))
+            (s.sampled_weight(), s.estimate(&7))
         };
         assert_eq!(run(), run());
     }
@@ -238,6 +244,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside")]
     fn zero_p_rejected() {
-        SampledSketch::new(8, 0.0, 1);
+        SampledSketch::<u64>::new(8, 0.0, 1);
+    }
+
+    #[test]
+    fn generic_string_items_sample_and_report() {
+        let mut s: SampledSketch<String> = SampledSketch::new(64, 0.05, 9);
+        for i in 0..20_000u64 {
+            s.update("whale".to_string(), 200);
+            s.update(format!("minnow-{}", i % 500), 4);
+        }
+        let truth = 20_000u64 * 200;
+        let est = s.estimate(&"whale".to_string());
+        let rel = est.abs_diff(truth) as f64 / truth as f64;
+        assert!(rel < 0.1, "est {est} vs truth {truth}");
+        assert_eq!(s.top_k(1)[0].0, "whale");
     }
 }

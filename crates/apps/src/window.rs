@@ -52,13 +52,26 @@ impl WindowedStore {
     /// # Panics
     /// Panics if `window_width` is zero or `k` is invalid.
     pub fn new(window_width: u64, k: usize) -> Self {
+        Self::with_policy(window_width, k, PurgePolicy::default())
+    }
+
+    /// [`Self::new`] with an explicit purge policy for every window
+    /// summary (the same `policy` knob the sketch builders expose).
+    ///
+    /// # Panics
+    /// Panics if `window_width` is zero or `k`/`policy` is invalid.
+    pub fn with_policy(window_width: u64, k: usize, policy: PurgePolicy) -> Self {
         assert!(window_width > 0, "window width must be positive");
-        // Validate k eagerly so failures surface at construction.
-        let _probe = FreqSketch::builder(k).build().expect("invalid k");
+        // Validate k and policy eagerly so failures surface at
+        // construction.
+        let _probe = FreqSketch::builder(k)
+            .policy(policy)
+            .build()
+            .expect("invalid k or policy");
         Self {
             window_width,
             k,
-            policy: PurgePolicy::default(),
+            policy,
             closed: Vec::new(),
             open: None,
         }
@@ -93,6 +106,36 @@ impl WindowedStore {
         }
         let (_, sketch) = self.open.as_mut().expect("a window is open");
         sketch.update(item, weight);
+    }
+
+    /// Records a slice of `(item, weight)` updates that all carry the same
+    /// `timestamp`, through the open window's batched, prefetching
+    /// ingestion path ([`FreqSketch::update_batch`]) — the natural entry
+    /// for ingest pipelines that deliver telemetry in per-tick buckets.
+    /// State-identical to calling [`Self::record`] per pair.
+    ///
+    /// # Panics
+    /// Panics if the timestamp precedes an already-closed window.
+    pub fn record_batch(&mut self, timestamp: u64, batch: &[(u64, u64)]) {
+        if batch.is_empty() {
+            return;
+        }
+        let start = self.window_start(timestamp);
+        if let Some((last_closed, _)) = self.closed.last() {
+            assert!(
+                start >= *last_closed + self.window_width,
+                "timestamp {timestamp} falls in an already-closed window"
+            );
+        }
+        let need_roll = match &self.open {
+            Some((open_start, _)) => start > *open_start,
+            None => true,
+        };
+        if need_roll {
+            self.roll_to(start);
+        }
+        let (_, sketch) = self.open.as_mut().expect("a window is open");
+        sketch.update_batch(batch);
     }
 
     /// Closes the open window (serializing it) and opens one at `start`.
@@ -217,6 +260,31 @@ mod tests {
         store.record(90, 2, 1); // window [0,100) was implicitly skipped... 250 closed nothing yet
         store.record(350, 3, 1); // closes [200,300)
         store.record(150, 4, 1); // behind the closed window → panic
+    }
+
+    #[test]
+    fn record_batch_matches_scalar_records() {
+        let per_tick: Vec<(u64, u64)> = (0..5_000u64).map(|i| (i % 300, i % 9 + 1)).collect();
+        let mut scalar = WindowedStore::new(100, 64);
+        let mut batched = WindowedStore::new(100, 64);
+        for tick in 0..5u64 {
+            for &(item, w) in &per_tick {
+                scalar.record(tick * 100, item, w);
+            }
+            batched.record_batch(tick * 100, &per_tick);
+        }
+        let a = scalar.query_range(0, 500).unwrap().unwrap();
+        let b = batched.query_range(0, 500).unwrap().unwrap();
+        assert_eq!(a.serialize_to_bytes(), b.serialize_to_bytes());
+    }
+
+    #[test]
+    fn with_policy_configures_every_window() {
+        let mut store = WindowedStore::with_policy(100, 32, PurgePolicy::smin());
+        store.record(50, 1, 5);
+        store.record(150, 2, 5); // closes window 0
+        let merged = store.query_range(0, 200).unwrap().unwrap();
+        assert_eq!(merged.policy(), PurgePolicy::smin());
     }
 
     #[test]

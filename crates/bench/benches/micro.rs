@@ -37,7 +37,7 @@ fn bench_table(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0i64;
             for i in 0..10_000u64 {
-                acc += full.get(i * 7 % cap as u64).unwrap_or(0);
+                acc += full.get(&(i * 7 % cap as u64)).unwrap_or(0);
             }
             acc
         })
@@ -46,7 +46,7 @@ fn bench_table(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0i64;
             for i in 0..10_000u64 {
-                acc += full.get(cap as u64 + i).unwrap_or(0);
+                acc += full.get(&(cap as u64 + i)).unwrap_or(0);
             }
             acc
         })

@@ -5,16 +5,22 @@
 //! 6.5–30× faster than SMIN, 20–70× faster than RBMC; gaps shrink as k
 //! grows.
 //!
-//! The trailing panels go beyond the paper: they compare the three
-//! ingestion layers (scalar updates, the prefetching batch path, and the
-//! sharded multi-thread bank) on Zipf and adversarial workloads, and
-//! record the numbers in `BENCH_fig1.json` so future changes can be
-//! checked for throughput regressions.
+//! The trailing panels go beyond the paper: they compare the ingestion
+//! layers (scalar updates, the prefetching batch path, the sharded
+//! multi-thread bank, and the generic-engine `ItemsSketch<u64>` path —
+//! the abstraction-overhead column for the unified core) on Zipf and
+//! adversarial workloads, and record the numbers in `BENCH_fig1.json` so
+//! future changes can be checked for throughput regressions.
 //!
 //! ```text
 //! cargo run --release -p streamfreq-bench --bin fig1_runtime \
 //!     [--quick|--full|--updates N] [--json PATH] [--pipeline-only]
+//!     [--smoke]
 //! ```
+//!
+//! `--smoke` shrinks the panel to one small counter budget with a single
+//! repetition — a seconds-long CI guard that the bench binaries still
+//! build and run end to end.
 
 use std::collections::HashMap;
 
@@ -35,16 +41,25 @@ const PIPELINE_KS: [usize; 2] = [24_576, 2_097_152];
 /// exceeds 10%; the median of three is stable enough to trend).
 const PIPELINE_REPS: usize = 3;
 
-/// Runs the scalar/batch/sharded comparison over one workload and
-/// appends rows + records. Sharded modes get `k / shards` counters per
-/// shard, so every mode manages the same total counter state; hash
+/// Runs the scalar/batch/sharded/generic comparison over one workload
+/// and appends rows + records. Sharded modes get `k / shards` counters
+/// per shard, so every mode manages the same total counter state; hash
 /// partitioning also splits the distinct items about evenly, so the
-/// per-shard error level matches the unsharded sketch's.
-fn pipeline_panel(workload: &str, stream: &[(u64, u64)], results: &mut Vec<IngestResult>) {
-    for k in PIPELINE_KS {
+/// per-shard error level matches the unsharded sketch's. The `items_u64`
+/// mode runs the identical batch workload through `ItemsSketch<u64>` —
+/// the generic engine's abstraction-overhead column vs `FreqSketch`.
+fn pipeline_panel(
+    workload: &str,
+    stream: &[(u64, u64)],
+    ks: &[usize],
+    reps: usize,
+    results: &mut Vec<IngestResult>,
+) {
+    for &k in ks {
         let modes = [
             IngestMode::Scalar,
             IngestMode::Batch,
+            IngestMode::Generic,
             IngestMode::Sharded {
                 shards: 8,
                 threads: 1,
@@ -68,7 +83,7 @@ fn pipeline_panel(workload: &str, stream: &[(u64, u64)], results: &mut Vec<Inges
                 IngestMode::Sharded { shards, .. } => k / shards,
                 _ => k,
             };
-            let r = run_ingest_median(mode, k_per_sketch, stream, workload, PIPELINE_REPS);
+            let r = run_ingest_median(mode, k_per_sketch, stream, workload, reps);
             if mode == IngestMode::Scalar {
                 scalar_rate = r.updates_per_sec;
             }
@@ -86,23 +101,30 @@ fn pipeline_panel(workload: &str, stream: &[(u64, u64)], results: &mut Vec<Inges
 }
 
 fn main() {
-    let updates = parse_scale_args();
     let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let updates = if smoke { 200_000 } else { parse_scale_args() };
     let json_path = args
         .iter()
         .position(|a| a == "--json")
         .and_then(|p| args.get(p + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_fig1.json".to_string());
-    let pipeline_only = args.iter().any(|a| a == "--pipeline-only");
+    let pipeline_only = args.iter().any(|a| a == "--pipeline-only") || smoke;
+    let (ks, reps): (Vec<usize>, usize) = if smoke {
+        (vec![4_096], 1)
+    } else {
+        (PIPELINE_KS.to_vec(), PIPELINE_REPS)
+    };
 
     if !pipeline_only {
         figure1_panels(updates);
     }
 
-    // Ingestion pipeline: scalar vs batch vs sharded, Zipf + adversarial.
+    // Ingestion pipeline: scalar vs batch vs sharded vs generic engine,
+    // Zipf + adversarial.
     println!();
-    println!("# Ingestion pipeline: scalar vs batch vs sharded");
+    println!("# Ingestion pipeline: scalar vs batch vs sharded vs items_u64");
     print_header(&[
         "workload",
         "k_total",
@@ -119,14 +141,16 @@ fn main() {
     // traffic — the regime line-rate telemetry actually sees.
     eprintln!("generating Zipf(0.8) stream: {updates} updates ...");
     let zipf = materialize_zipf(updates, 1 << 27, 0.8, 1_500, 42);
-    pipeline_panel("zipf", &zipf, &mut results);
+    pipeline_panel("zipf", &zipf, &ks, reps, &mut results);
     drop(zipf);
 
     // Adversarial: a permanently-full table probed by fresh unit items —
     // the purge-heavy worst case for the capacity discipline.
     eprintln!("generating adversarial interleave stream ...");
-    let adversarial = heavy_light_interleave(PIPELINE_KS[0], updates / 2, 1_000_000);
-    pipeline_panel("adversarial", &adversarial, &mut results);
+    // Sized to the smallest benched k so its table is permanently full
+    // (ks[0] == PIPELINE_KS[0] in the full run, the smoke k otherwise).
+    let adversarial = heavy_light_interleave(ks[0], updates / 2, 1_000_000);
+    pipeline_panel("adversarial", &adversarial, &ks, reps, &mut results);
     drop(adversarial);
 
     let json = ingest_results_to_json(updates, &results);

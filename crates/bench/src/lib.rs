@@ -27,7 +27,7 @@
 use std::time::{Duration, Instant};
 
 use streamfreq_baselines::{ExactCounter, Rbmc, SpaceSavingHeap};
-use streamfreq_core::{FreqSketch, FrequencyEstimator, PurgePolicy};
+use streamfreq_core::{FreqSketch, FrequencyEstimator, ItemsSketch, PurgePolicy};
 use streamfreq_workloads::WeightedUpdate;
 
 /// The algorithms compared in Figures 1–3.
@@ -190,6 +190,11 @@ pub enum IngestMode {
         /// Scoped ingestion threads (clamped to `shards`).
         threads: usize,
     },
+    /// An `ItemsSketch<u64>` driving the same generic engine through the
+    /// by-value item path — measures the abstraction overhead of the
+    /// generic core against the `u64`-specialized `FreqSketch` wrapper
+    /// (state-identical by construction; only the dispatch differs).
+    Generic,
 }
 
 impl IngestMode {
@@ -199,6 +204,7 @@ impl IngestMode {
             IngestMode::Scalar => "scalar".into(),
             IngestMode::Batch => "batch".into(),
             IngestMode::Sharded { shards, threads } => format!("sharded{shards}x{threads}"),
+            IngestMode::Generic => "items_u64".into(),
         }
     }
 }
@@ -258,6 +264,16 @@ pub fn run_ingest(
             let secs = start.elapsed().as_secs_f64();
             (secs, probe.iter().map(|&i| s.lower_bound(i)).sum(), 1)
         }
+        IngestMode::Generic => {
+            let mut s: ItemsSketch<u64> = ItemsSketch::builder(k)
+                .grow_from_small(false)
+                .build()
+                .expect("invalid k");
+            let start = Instant::now();
+            s.update_batch(stream);
+            let secs = start.elapsed().as_secs_f64();
+            (secs, probe.iter().map(|i| s.lower_bound(i)).sum(), 1)
+        }
         IngestMode::Sharded { shards, threads } => {
             let mut bank = ShardedSketch::builder(shards, k)
                 .grow_from_small(false)
@@ -268,7 +284,7 @@ pub fn run_ingest(
             let secs = start.elapsed().as_secs_f64();
             (
                 secs,
-                probe.iter().map(|&i| bank.lower_bound(i)).sum(),
+                probe.iter().map(|i| bank.lower_bound(i)).sum(),
                 threads,
             )
         }

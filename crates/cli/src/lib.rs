@@ -9,7 +9,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use streamfreq_core::{ErrorType, FreqSketch, PurgePolicy};
+use streamfreq_core::{ErrorType, FreqSketch, PurgePolicy, ShardedSketch};
 use streamfreq_workloads::{load_binary, save_binary, CaidaConfig, SyntheticCaida};
 
 /// Usage text for `streamfreq help`.
@@ -19,6 +19,7 @@ streamfreq — frequent-items sketching from the command line
 USAGE:
   streamfreq build -k <counters> --input <stream.bin> --output <sketch.sk>
                    [--policy smed|smin|q<percent>|med|globalmin] [--seed N]
+                   [--threads N] [--shards S]
   streamfreq info  <sketch.sk>
   streamfreq top   <sketch.sk> [-n <rows>]
   streamfreq query <sketch.sk> <item> [<item> ...]
@@ -30,6 +31,16 @@ USAGE:
 FILES:
   stream.bin  16-byte little-endian (item u64, weight u64) records
   sketch.sk   streamfreq-core versioned wire format
+
+MULTI-CORE BUILD:
+  --threads N > 1 ingests through a hash-partitioned ShardedSketch bank
+  (one shard group per thread, lock-free) and exports the Algorithm-5
+  merged sketch of k counters. --shards S sets the bank width (default:
+  the thread count); each shard gets k/S counters, so total counter
+  state matches a plain -k build. The result is deterministic for a
+  given --shards value, independent of --threads. The merged export's
+  error band is the sum of the shard offsets (Theorem 5), typically
+  wider than a single-threaded build's.
 ";
 
 /// A parsed command line.
@@ -43,6 +54,10 @@ pub enum Command {
         policy: PurgePolicy,
         /// Sampler seed.
         seed: u64,
+        /// Ingestion threads (1 = plain single-sketch build).
+        threads: usize,
+        /// Shards in the bank when `threads > 1` (0 = match threads).
+        shards: usize,
         /// Input stream path.
         input: PathBuf,
         /// Output sketch path.
@@ -179,10 +194,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 Some(s) => parse_u64(s, "seed")?,
                 None => streamfreq_core::sketch::DEFAULT_SEED,
             };
+            let threads = match flag_value(rest, "--threads") {
+                Some(s) => {
+                    let t = parse_u64(s, "thread count")? as usize;
+                    if t == 0 {
+                        return Err(CliError::Usage("--threads must be positive".into()));
+                    }
+                    t
+                }
+                None => 1,
+            };
+            let shards = match flag_value(rest, "--shards") {
+                Some(s) => {
+                    let n = parse_u64(s, "shard count")? as usize;
+                    if n == 0 {
+                        return Err(CliError::Usage("--shards must be positive".into()));
+                    }
+                    n
+                }
+                None => 0,
+            };
             Ok(Command::Build {
                 k,
                 policy,
                 seed,
+                threads,
+                shards,
                 input,
                 output,
             })
@@ -307,18 +344,46 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             k,
             policy,
             seed,
+            threads,
+            shards,
             input,
             output,
         } => {
             let stream = load_binary(input).map_err(|e| CliError::Io(input.clone(), e))?;
+            if *threads > 1 || *shards > 0 {
+                // Multi-core path: hash-partitioned bank, lock-free scoped
+                // ingestion, then the Algorithm-5 merged export so the
+                // output file is an ordinary k-counter sketch. Counters
+                // divide across shards so total state matches a plain
+                // -k build (the fig1_runtime convention).
+                let num_shards = if *shards > 0 { *shards } else { *threads };
+                let k_per_shard = (*k / num_shards).max(1);
+                let mut bank = ShardedSketch::<u64>::builder(num_shards, k_per_shard)
+                    .policy(*policy)
+                    .seed(*seed)
+                    .build()
+                    .map_err(|e| CliError::Sketch(output.clone(), e))?;
+                bank.ingest_parallel(&stream, *threads);
+                let sketch = FreqSketch::from(bank.merged_with_capacity(*k));
+                write_sketch(output, &sketch)?;
+                return Ok(format!(
+                    "built {} via {} shards × {} threads: {} updates, N = {}, \
+                     {} counters, max error ±{}\n",
+                    output.display(),
+                    num_shards,
+                    threads,
+                    sketch.num_updates(),
+                    sketch.stream_weight(),
+                    sketch.num_counters(),
+                    sketch.maximum_error()
+                ));
+            }
             let mut sketch = FreqSketch::builder(*k)
                 .policy(*policy)
                 .seed(*seed)
                 .build()
                 .map_err(|e| CliError::Sketch(output.clone(), e))?;
-            for &(item, weight) in &stream {
-                sketch.update(item, weight);
-            }
+            sketch.update_batch(&stream);
             write_sketch(output, &sketch)?;
             Ok(format!(
                 "built {}: {} updates, N = {}, {} counters, max error ±{}\n",
@@ -518,6 +583,8 @@ mod tests {
                 k: 512,
                 policy: PurgePolicy::smed(),
                 seed,
+                threads: 1,
+                shards: 0,
                 input: stream_path.clone(),
                 output: path.clone(),
             })
@@ -576,6 +643,60 @@ mod tests {
         for p in [stream_path, sk_a, sk_b, merged] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn parses_build_threads_and_shards() {
+        let cmd = parse_args(&args(
+            "build -k 256 --input in.bin --output out.sk --threads 4 --shards 8",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Build {
+                threads, shards, ..
+            } => {
+                assert_eq!(threads, 4);
+                assert_eq!(shards, 8);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse_args(&args("build -k 8 --input a --output b --threads 0")).is_err());
+        assert!(parse_args(&args("build -k 8 --input a --output b --shards 0")).is_err());
+    }
+
+    #[test]
+    fn threaded_build_is_thread_count_invariant_and_readable() {
+        let stream_path = tmp("threaded.bin");
+        run(&Command::Synth {
+            updates: 40_000,
+            flows: 1_500,
+            seed: 3,
+            output: stream_path.clone(),
+        })
+        .unwrap();
+        let mut outputs: Vec<Vec<u8>> = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let out = tmp(&format!("threaded-{threads}.sk"));
+            let report = run(&Command::Build {
+                k: 256,
+                policy: PurgePolicy::smed(),
+                seed: 9,
+                threads,
+                shards: 4, // fixed bank width → identical output per thread count
+                input: stream_path.clone(),
+                output: out.clone(),
+            })
+            .unwrap();
+            assert!(report.contains("4 shards"), "{report}");
+            outputs.push(std::fs::read(&out).unwrap());
+            // The export is an ordinary sketch file: info must read it.
+            let info = run(&Command::Info(out.clone())).unwrap();
+            assert!(info.contains("capacity (k):      256"), "{info}");
+            std::fs::remove_file(out).unwrap();
+        }
+        assert_eq!(outputs[0], outputs[1], "2 threads diverged from 1");
+        assert_eq!(outputs[0], outputs[2], "4 threads diverged from 1");
+        std::fs::remove_file(stream_path).unwrap();
     }
 
     #[test]

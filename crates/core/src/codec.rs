@@ -7,6 +7,12 @@
 //! the assigned counters — an underfilled sketch of capacity 24 576 costs a
 //! few hundred bytes on the wire, not 576 KiB.
 //!
+//! The codec is implemented on the `u64` instantiation of the generic
+//! engine ([`SketchEngine<u64>`]), so every `u64`-keyed summary — a
+//! [`FreqSketch`], a [`crate::ShardedSketch`] shard, or a merged export —
+//! serializes identically. The byte layout is unchanged from the
+//! pre-engine implementation (pinned by the round-trip tests below).
+//!
 //! ## Layout (version 1)
 //!
 //! | offset | size | field |
@@ -35,10 +41,11 @@
 
 use bytes::{Buf, BufMut};
 
+use crate::engine::{SketchEngine, SketchEngineBuilder};
 use crate::error::Error;
 use crate::purge::PurgePolicy;
 use crate::rng::Xoshiro256StarStar;
-use crate::sketch::{FreqSketch, FreqSketchBuilder};
+use crate::sketch::FreqSketch;
 
 const MAGIC: &[u8; 4] = b"SFQ1";
 const VERSION: u8 = 1;
@@ -80,8 +87,8 @@ pub(crate) fn policy_from_wire(tag: u8, a: u64, b: u64) -> Result<PurgePolicy, E
     Ok(policy)
 }
 
-impl FreqSketch {
-    /// Serializes the sketch into a fresh byte vector (format version 1).
+impl SketchEngine<u64> {
+    /// Serializes the engine into a fresh byte vector (format version 1).
     pub fn serialize_to_bytes(&self) -> Vec<u8> {
         let num_active = self.table.num_active();
         let mut out = Vec::with_capacity(HEADER_LEN + 16 * num_active);
@@ -102,20 +109,20 @@ impl FreqSketch {
             out.put_u64_le(word);
         }
         out.put_u32_le(num_active as u32);
-        for (item, count) in self.table.iter() {
+        for (&item, count) in self.table.iter() {
             out.put_u64_le(item);
             out.put_u64_le(count as u64);
         }
         out
     }
 
-    /// Reconstructs a sketch serialized by [`Self::serialize_to_bytes`].
+    /// Reconstructs an engine serialized by [`Self::serialize_to_bytes`].
     ///
     /// # Errors
     /// Returns [`Error::Corrupt`], [`Error::UnsupportedVersion`] or
     /// [`Error::Truncated`] for malformed input. Trailing bytes after the
     /// encoded sketch are rejected as corruption.
-    pub fn deserialize_from_bytes(bytes: &[u8]) -> Result<FreqSketch, Error> {
+    pub fn deserialize_from_bytes(bytes: &[u8]) -> Result<SketchEngine<u64>, Error> {
         let mut buf = bytes;
         if buf.remaining() < HEADER_LEN {
             return Err(Error::Truncated {
@@ -168,7 +175,7 @@ impl FreqSketch {
             )));
         }
         let policy = policy_from_wire(tag, param_a, param_b)?;
-        let mut sketch = FreqSketchBuilder::new(max_counters)
+        let mut engine = SketchEngineBuilder::<u64>::new(max_counters)
             .policy(policy)
             .seed(seed)
             .build()
@@ -183,50 +190,34 @@ impl FreqSketch {
             }
             // Direct feed: counts are within capacity, so no purge can fire,
             // only table growth.
-            sketch.feed_for_decode(item, count as i64)?;
+            engine.feed_for_decode(item, count as i64)?;
         }
-        sketch.offset = offset;
-        sketch.stream_weight = stream_weight;
-        sketch.weight_saturated = weight_saturated;
-        sketch.num_updates = num_updates;
-        sketch.num_purges = num_purges;
-        sketch.rng = Xoshiro256StarStar::from_state(state);
-        Ok(sketch)
+        engine.offset = offset;
+        engine.stream_weight = stream_weight;
+        engine.weight_saturated = weight_saturated;
+        engine.num_updates = num_updates;
+        engine.num_purges = num_purges;
+        engine.rng = Xoshiro256StarStar::from_state(state);
+        Ok(engine)
     }
 }
 
 impl FreqSketch {
-    /// Decode-path insertion: inserts a counter, growing but never purging,
-    /// and rejects duplicate items (each may appear once in the encoding).
-    fn feed_for_decode(&mut self, item: u64, count: i64) -> Result<(), Error> {
-        use crate::table::Upsert;
-        if self.table.get(item).is_some() {
-            return Err(Error::Corrupt(format!("duplicate item {item} in encoding")));
-        }
-        let outcome = self.table.adjust_or_insert(item, count);
-        debug_assert_eq!(outcome, Upsert::Inserted);
-        while self.table.num_active() > self.capacity_now_for_decode() {
-            self.grow_for_decode();
-        }
-        Ok(())
+    /// Serializes the sketch into a fresh byte vector (format version 1).
+    pub fn serialize_to_bytes(&self) -> Vec<u8> {
+        self.engine.serialize_to_bytes()
     }
 
-    fn capacity_now_for_decode(&self) -> usize {
-        if self.lg_cur == self.lg_max {
-            self.max_counters
-        } else {
-            (self.table.len() * 3) / 4
-        }
-    }
-
-    fn grow_for_decode(&mut self) {
-        let new_lg = self.lg_cur + 1;
-        let mut bigger = crate::table::LpTable::with_lg_len(new_lg);
-        for (key, value) in self.table.iter() {
-            bigger.adjust_or_insert(key, value);
-        }
-        self.table = bigger;
-        self.lg_cur = new_lg;
+    /// Reconstructs a sketch serialized by [`Self::serialize_to_bytes`].
+    ///
+    /// # Errors
+    /// Returns [`Error::Corrupt`], [`Error::UnsupportedVersion`] or
+    /// [`Error::Truncated`] for malformed input. Trailing bytes after the
+    /// encoded sketch are rejected as corruption.
+    pub fn deserialize_from_bytes(bytes: &[u8]) -> Result<FreqSketch, Error> {
+        Ok(FreqSketch {
+            engine: SketchEngine::<u64>::deserialize_from_bytes(bytes)?,
+        })
     }
 }
 
@@ -239,8 +230,9 @@ mod serde_impl {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
     use super::{policy_from_wire, policy_params, policy_tag};
+    use crate::engine::SketchEngineBuilder;
     use crate::rng::Xoshiro256StarStar;
-    use crate::sketch::{FreqSketch, FreqSketchBuilder};
+    use crate::sketch::FreqSketch;
 
     #[derive(Serialize, Deserialize)]
     struct WireSketch {
@@ -259,19 +251,20 @@ mod serde_impl {
 
     impl Serialize for FreqSketch {
         fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-            let (a, b) = policy_params(&self.policy);
+            let engine = &self.engine;
+            let (a, b) = policy_params(&engine.policy);
             WireSketch {
-                max_counters: self.max_counters as u64,
-                policy_tag: policy_tag(&self.policy),
+                max_counters: engine.max_counters as u64,
+                policy_tag: policy_tag(&engine.policy),
                 policy_a: a,
                 policy_b: b,
-                seed: self.seed,
-                offset: self.offset,
-                stream_weight: self.stream_weight,
-                num_updates: self.num_updates,
-                num_purges: self.num_purges,
-                rng_state: self.rng.state(),
-                counters: self.table.iter().map(|(k, v)| (k, v as u64)).collect(),
+                seed: engine.seed,
+                offset: engine.offset,
+                stream_weight: engine.stream_weight,
+                num_updates: engine.num_updates,
+                num_purges: engine.num_purges,
+                rng_state: engine.rng.state(),
+                counters: engine.table.iter().map(|(&k, v)| (k, v as u64)).collect(),
             }
             .serialize(serializer)
         }
@@ -284,7 +277,7 @@ mod serde_impl {
             let policy = policy_from_wire(wire.policy_tag, wire.policy_a, wire.policy_b)
                 .map_err(D::Error::custom)?;
             let max_counters = usize::try_from(wire.max_counters).map_err(D::Error::custom)?;
-            let mut sketch = FreqSketchBuilder::new(max_counters)
+            let mut engine = SketchEngineBuilder::<u64>::new(max_counters)
                 .policy(policy)
                 .seed(wire.seed)
                 .build()
@@ -296,19 +289,19 @@ mod serde_impl {
                 if count == 0 || count > i64::MAX as u64 {
                     return Err(D::Error::custom("counter value out of range"));
                 }
-                sketch
+                engine
                     .feed_for_decode(item, count as i64)
                     .map_err(D::Error::custom)?;
             }
-            sketch.offset = wire.offset;
-            sketch.stream_weight = wire.stream_weight;
-            sketch.num_updates = wire.num_updates;
-            sketch.num_purges = wire.num_purges;
+            engine.offset = wire.offset;
+            engine.stream_weight = wire.stream_weight;
+            engine.num_updates = wire.num_updates;
+            engine.num_purges = wire.num_purges;
             if wire.rng_state == [0; 4] {
                 return Err(D::Error::custom("invalid all-zero sampler state"));
             }
-            sketch.rng = Xoshiro256StarStar::from_state(wire.rng_state);
-            Ok(sketch)
+            engine.rng = Xoshiro256StarStar::from_state(wire.rng_state);
+            Ok(FreqSketch { engine })
         }
     }
 }
@@ -394,6 +387,15 @@ mod tests {
             let d = FreqSketch::deserialize_from_bytes(&s.serialize_to_bytes()).unwrap();
             assert_eq!(d.policy(), policy);
         }
+    }
+
+    #[test]
+    fn engine_and_sketch_wire_bytes_are_identical() {
+        // A ShardedSketch shard (a bare engine) and a FreqSketch with the
+        // same state must produce the same bytes: the codec lives on the
+        // engine, the wrapper adds nothing.
+        let s = loaded_sketch();
+        assert_eq!(s.serialize_to_bytes(), s.engine().serialize_to_bytes());
     }
 
     #[test]

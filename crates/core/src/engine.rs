@@ -1,0 +1,779 @@
+//! The generic sketch engine: one implementation of the paper's algorithm
+//! (Algorithm 4 + the §2.3 production refinements) shared by every public
+//! sketch variant.
+//!
+//! [`SketchEngine<K>`] owns the linear-probing counter table
+//! ([`crate::table::LpTable`]), the scalar and batched update paths with
+//! software prefetching, the grow-then-purge capacity discipline, the
+//! fused single-pass purge, the §2.3.1 offset estimator, Algorithm-5
+//! merging, and the saturating stream-weight policy. The public variants
+//! are thin layers over it:
+//!
+//! * [`crate::FreqSketch`] = `SketchEngine<u64>` with by-value `u64`
+//!   queries and the versioned wire format of [`crate::codec`];
+//! * [`crate::ItemsSketch<T>`] = `SketchEngine<T>` for arbitrary item
+//!   types, with the [`crate::item_codec`] wire format;
+//! * [`crate::SignedSketch<K>`] = two engines (one per sign, §1.3's
+//!   reduction);
+//! * [`crate::ShardedSketch<K>`] = a hash-partitioned bank of engines with
+//!   multi-core ingestion.
+//!
+//! Keys are abstracted by [`SketchKey`], which is blanket-implemented for
+//! every [`Hash64`] type. The `u64` instantiation compiles to exactly the
+//! code the specialized sketch had before this engine existed: the hash is
+//! the inlined SplitMix64 finalizer, keys are stored in a dense `Vec<u64>`
+//! (vacancy lives in the state array — no `Option` tag), and the wire
+//! format and update-by-update state are pinned byte-identical by the
+//! codec tests and differential proptests.
+
+use core::marker::PhantomData;
+
+use crate::error::Error;
+use crate::hashing::Hash64;
+use crate::purge::PurgePolicy;
+use crate::result::{sort_rows_descending, ErrorType, Row};
+use crate::rng::Xoshiro256StarStar;
+use crate::table::LpTable;
+
+/// Key types storable in a [`SketchEngine`].
+///
+/// Requirements: equality and cloning (keys move between table slots and
+/// into result rows), a [`Default`] value to fill vacant slots (vacancy is
+/// tracked by the table's state array, so the default value carries no
+/// meaning and may collide with real keys), and a deterministic 64-bit
+/// hash.
+///
+/// The trait is blanket-implemented for every type implementing
+/// [`Hash64`] — all primitive integers, `String`, `&str`, `Vec<u8>`, and
+/// pairs of such types. To use a custom key type, implement [`Hash64`]
+/// (the [`crate::hashing::hash64_of`] helper hashes any `std::hash::Hash`
+/// type deterministically) plus `Default`, and the blanket impl does the
+/// rest.
+pub trait SketchKey: Clone + Eq + Default {
+    /// The key's stable 64-bit hash; the table probes with its low bits
+    /// and shard routing uses its high bits.
+    fn hash_key(&self) -> u64;
+}
+
+impl<T: Hash64 + Clone + Eq + Default> SketchKey for T {
+    #[inline]
+    fn hash_key(&self) -> u64 {
+        self.hash64()
+    }
+}
+
+/// Default seed for the purge-sampling generator: behaviour is
+/// deterministic unless a seed is chosen explicitly via the builder.
+pub const DEFAULT_SEED: u64 = 0x5745_4948_4854_4544; // "WEIGHTED"
+
+/// Smallest table the growing sketch starts from (8 slots).
+const LG_MIN_TABLE: u32 = 3;
+
+/// Design load factor: the table is never filled past 3/4, giving the
+/// `L ≈ 4k/3` sizing of §2.3.3.
+const LOAD_NUM: usize = 3;
+const LOAD_DEN: usize = 4;
+
+/// Upper bound on one batch chunk, bounding transient scratch work per
+/// capacity check regardless of `k`.
+const MAX_CHUNK: usize = 1 << 20;
+
+/// Smallest `lg` such that a `2^lg`-slot table holds `k` counters at 3/4
+/// load, i.e. `2^lg ≥ 4k/3` (§2.3.3). `None` if `lg` would exceed 31
+/// (including absurd `k` from corrupted encodings).
+pub(crate) fn lg_table_len_for(k: usize) -> Option<u32> {
+    let min_len = k.checked_mul(LOAD_DEN)?.div_ceil(LOAD_NUM);
+    if min_len > 1 << 31 {
+        return None;
+    }
+    let lg = min_len
+        .next_power_of_two()
+        .trailing_zeros()
+        .max(LG_MIN_TABLE);
+    if lg <= 31 {
+        Some(lg)
+    } else {
+        None
+    }
+}
+
+/// The generic frequent-items engine: Algorithm 4 with the §2.3
+/// refinements, over any [`SketchKey`] item type.
+///
+/// All query methods take items by reference (`&K`), the natural calling
+/// convention for possibly-heap-backed keys; the `u64`-specialized
+/// [`crate::FreqSketch`] wrapper restores the by-value convention.
+#[derive(Clone, Debug)]
+pub struct SketchEngine<K: SketchKey> {
+    pub(crate) table: LpTable<K>,
+    pub(crate) lg_cur: u32,
+    pub(crate) lg_max: u32,
+    pub(crate) max_counters: usize,
+    pub(crate) policy: PurgePolicy,
+    pub(crate) rng: Xoshiro256StarStar,
+    pub(crate) seed: u64,
+    pub(crate) offset: u64,
+    pub(crate) stream_weight: u64,
+    pub(crate) weight_saturated: bool,
+    pub(crate) num_updates: u64,
+    pub(crate) num_purges: u64,
+    pub(crate) scratch: Vec<i64>,
+    pub(crate) pair_scratch: Vec<(K, i64)>,
+}
+
+/// Configures and constructs a [`SketchEngine`]. The public sketch
+/// builders ([`crate::FreqSketchBuilder`], [`crate::ItemsSketchBuilder`])
+/// wrap this type, so every variant exposes the same `policy` / `seed` /
+/// `grow_from_small` surface.
+#[derive(Clone, Debug)]
+pub struct SketchEngineBuilder<K: SketchKey> {
+    max_counters: usize,
+    policy: PurgePolicy,
+    seed: u64,
+    grow_from_small: bool,
+    _key: PhantomData<K>,
+}
+
+impl<K: SketchKey> SketchEngineBuilder<K> {
+    /// Starts a builder for an engine maintaining at most `max_counters`
+    /// assigned counters (the paper's `k`).
+    pub fn new(max_counters: usize) -> Self {
+        Self {
+            max_counters,
+            policy: PurgePolicy::default(),
+            seed: DEFAULT_SEED,
+            grow_from_small: true,
+            _key: PhantomData,
+        }
+    }
+
+    /// Selects the purge policy (default: SMED, the paper's recommendation).
+    pub fn policy(mut self, policy: PurgePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Seeds the purge-sampling generator (default: [`DEFAULT_SEED`]).
+    /// Two engines built with equal configuration and seed process any
+    /// stream identically.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// If `false`, allocates the maximum-size table up front instead of
+    /// growing from 8 slots. Pre-allocation avoids rehashing churn in
+    /// benchmarks; growth minimizes footprint for underfilled sketches.
+    pub fn grow_from_small(mut self, grow: bool) -> Self {
+        self.grow_from_small = grow;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if `max_counters` is zero or so
+    /// large the table would exceed 2³¹ slots, or if the policy parameters
+    /// are out of range.
+    pub fn build(self) -> Result<SketchEngine<K>, Error> {
+        if self.max_counters == 0 {
+            return Err(Error::InvalidConfig("max_counters must be positive".into()));
+        }
+        self.policy.validate().map_err(Error::InvalidConfig)?;
+        let lg_max = lg_table_len_for(self.max_counters).ok_or_else(|| {
+            Error::InvalidConfig(format!(
+                "max_counters {} needs a table larger than 2^31 slots",
+                self.max_counters
+            ))
+        })?;
+        let lg_cur = if self.grow_from_small {
+            LG_MIN_TABLE.min(lg_max)
+        } else {
+            lg_max
+        };
+        Ok(SketchEngine {
+            table: LpTable::with_lg_len(lg_cur),
+            lg_cur,
+            lg_max,
+            max_counters: self.max_counters,
+            policy: self.policy,
+            rng: Xoshiro256StarStar::from_seed(self.seed),
+            seed: self.seed,
+            offset: 0,
+            stream_weight: 0,
+            weight_saturated: false,
+            num_updates: 0,
+            num_purges: 0,
+            scratch: Vec::new(),
+            pair_scratch: Vec::new(),
+        })
+    }
+}
+
+impl<K: SketchKey> Default for SketchEngineBuilder<K> {
+    /// A builder for a 1024-counter engine with default policy and seed.
+    fn default() -> Self {
+        Self::new(1024)
+    }
+}
+
+impl<K: SketchKey> SketchEngine<K> {
+    /// Starts a [`SketchEngineBuilder`] for at most `max_counters`
+    /// counters.
+    pub fn builder(max_counters: usize) -> SketchEngineBuilder<K> {
+        SketchEngineBuilder::new(max_counters)
+    }
+
+    /// Number of counters currently assigned.
+    #[inline]
+    pub fn num_counters(&self) -> usize {
+        self.table.num_active()
+    }
+
+    /// Maximum number of counters this engine maintains (the paper's `k`).
+    #[inline]
+    pub fn max_counters(&self) -> usize {
+        self.max_counters
+    }
+
+    /// True if the engine has processed no updates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_updates == 0
+    }
+
+    /// Total weighted stream length `N = Σ Δⱼ` processed so far
+    /// (including merged-in streams).
+    ///
+    /// Saturates at `u64::MAX` instead of panicking if the true total
+    /// exceeds `u64` (beyond the paper's `N ≤ 10²⁰` deployment regime);
+    /// [`Self::stream_weight_saturated`] reports when that happened. A
+    /// saturated `N` only makes [`Self::heavy_hitters`] thresholds
+    /// conservative (too low), so the no-false-negatives contract is
+    /// preserved; counter bounds are unaffected.
+    #[inline]
+    pub fn stream_weight(&self) -> u64 {
+        self.stream_weight
+    }
+
+    /// True if the total stream weight ever exceeded `u64::MAX` and
+    /// [`Self::stream_weight`] is pinned at the saturation point.
+    #[inline]
+    pub fn stream_weight_saturated(&self) -> bool {
+        self.weight_saturated
+    }
+
+    /// Folds `total` new stream weight into the running `N` under the
+    /// documented saturating policy. Shared by the scalar update, the
+    /// batch update, and the merge paths.
+    #[inline]
+    pub(crate) fn absorb_stream_weight(&mut self, total: u128) {
+        let new_total = self.stream_weight as u128 + total;
+        if new_total > u64::MAX as u128 {
+            self.stream_weight = u64::MAX;
+            self.weight_saturated = true;
+        } else {
+            self.stream_weight = new_total as u64;
+        }
+    }
+
+    /// Number of update operations `n` processed so far.
+    #[inline]
+    pub fn num_updates(&self) -> u64 {
+        self.num_updates
+    }
+
+    /// Number of purge (DecrementCounters) operations performed.
+    #[inline]
+    pub fn num_purges(&self) -> u64 {
+        self.num_purges
+    }
+
+    /// The purge policy in effect.
+    #[inline]
+    pub fn policy(&self) -> PurgePolicy {
+        self.policy
+    }
+
+    /// The seed the purge sampler was initialized with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Bytes of heap memory held by the counter table. For `u64` keys at
+    /// the maximum table size this is `18 · 2^lg_max ≈ 24k` bytes
+    /// (§2.3.3); see [`LpTable::memory_bytes`] for other key types.
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.table.memory_bytes()
+    }
+
+    /// The current purge capacity: at the maximum table size, exactly
+    /// `max_counters`; while growing, 3/4 of the current table length.
+    #[inline]
+    fn capacity_now(&self) -> usize {
+        if self.lg_cur == self.lg_max {
+            self.max_counters
+        } else {
+            (self.table.len() * LOAD_NUM) / LOAD_DEN
+        }
+    }
+
+    /// Processes the weighted update `(item, weight)` in amortized O(1).
+    ///
+    /// Zero weights are ignored (they carry no frequency mass). If the
+    /// total stream weight exceeds `u64::MAX`, `N` saturates rather than
+    /// panicking — see [`Self::stream_weight`] for the policy.
+    ///
+    /// # Panics
+    /// Panics if `weight` exceeds `i64::MAX` (counters are signed 64-bit,
+    /// matching the paper's deployment).
+    pub fn update(&mut self, item: K, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        assert!(
+            weight <= i64::MAX as u64,
+            "update weight {weight} exceeds supported range"
+        );
+        self.absorb_stream_weight(weight as u128);
+        self.num_updates += 1;
+        self.feed(item, weight as i64);
+    }
+
+    /// Processes a unit update `(item, 1)`.
+    #[inline]
+    pub fn update_one(&mut self, item: K) {
+        self.update(item, 1);
+    }
+
+    /// Processes a slice of weighted updates, **state-identically** to
+    /// calling [`Self::update`] on each pair in order, but substantially
+    /// faster on large tables:
+    ///
+    /// * probe homes are precomputed a chunk at a time and the table
+    ///   slots software-prefetched ahead of the probe cursor
+    ///   ([`LpTable::adjust_or_insert_batch`]), hiding DRAM latency that
+    ///   dominates once the table outgrows L2;
+    /// * the `stream_weight` / `num_updates` bookkeeping is folded into
+    ///   one accumulation per chunk instead of one per update.
+    ///
+    /// Equivalence with the scalar path (same estimates, same purge
+    /// points, same table layout, same sampler state) is maintained by
+    /// sizing each chunk to the purge headroom: a chunk never inserts
+    /// more counters than `capacity − num_active`, so no purge or growth
+    /// decision can fall *inside* a chunk, and the items at capacity
+    /// boundaries take the scalar path exactly as `update` would.
+    pub fn update_batch(&mut self, batch: &[(K, u64)]) {
+        let mut rest = batch;
+        while !rest.is_empty() {
+            let headroom = self.capacity_now().saturating_sub(self.table.num_active());
+            if headroom == 0 {
+                // At capacity: the next update may trigger growth or a
+                // purge, whose timing must match the scalar path.
+                let (item, weight) = &rest[0];
+                let (item, weight) = (item.clone(), *weight);
+                rest = &rest[1..];
+                self.update(item, weight);
+                continue;
+            }
+            let take = headroom.min(rest.len()).min(MAX_CHUNK);
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            // The chunk goes to the table untouched — no copy — with
+            // validation and weight/count accounting folded into the same
+            // single pass. Within-chunk inserts cannot exceed capacity
+            // (chunk size is bounded by headroom), so no purge/grow check
+            // is needed until the chunk completes.
+            let (total, applied) = self.table.adjust_or_insert_batch_weighted(chunk);
+            self.absorb_stream_weight(total);
+            self.num_updates += applied;
+            // A headroom-sized chunk cannot push past capacity, so no
+            // purge or growth can be due here — they all route through
+            // the scalar fallback above, preserving scalar timing.
+            debug_assert!(self.table.num_active() <= self.capacity_now());
+        }
+    }
+
+    /// Core insertion path shared by updates and merges: adjust the counter,
+    /// then grow or purge if the capacity discipline is violated.
+    pub(crate) fn feed(&mut self, item: K, weight: i64) {
+        self.table.adjust_or_insert(item, weight);
+        while self.table.num_active() > self.capacity_now() {
+            if self.lg_cur < self.lg_max {
+                self.grow();
+            } else {
+                self.purge();
+            }
+        }
+    }
+
+    /// Decode-path insertion for the wire codecs: inserts a counter,
+    /// growing but never purging, and rejects duplicate items (each may
+    /// appear once in an encoding). The caller guarantees the total
+    /// counter count stays within `max_counters`, so the capacity loop
+    /// can only grow.
+    pub(crate) fn feed_for_decode(&mut self, item: K, count: i64) -> Result<(), Error> {
+        use crate::table::Upsert;
+        if self.table.get(&item).is_some() {
+            return Err(Error::Corrupt("duplicate item in encoding".into()));
+        }
+        let outcome = self.table.adjust_or_insert(item, count);
+        debug_assert_eq!(outcome, Upsert::Inserted);
+        while self.table.num_active() > self.capacity_now() {
+            debug_assert!(self.lg_cur < self.lg_max, "decode path cannot purge");
+            self.grow();
+        }
+        Ok(())
+    }
+
+    /// Doubles the table, rehashing all counters through the prefetching
+    /// batch path (rehash is pure random access over the new table, the
+    /// best case for prefetching).
+    fn grow(&mut self) {
+        let new_lg = self.lg_cur + 1;
+        let mut bigger = LpTable::with_lg_len(new_lg);
+        let mut pairs = core::mem::take(&mut self.pair_scratch);
+        pairs.clear();
+        pairs.extend(self.table.iter().map(|(k, v)| (k.clone(), v)));
+        bigger.adjust_or_insert_batch(&pairs);
+        pairs.clear();
+        self.pair_scratch = pairs;
+        self.table = bigger;
+        self.lg_cur = new_lg;
+    }
+
+    /// One DecrementCounters() operation: compute `c*` per the policy,
+    /// subtract it from every counter, drop the non-positive ones, and fold
+    /// `c*` into the estimate offset (§2.3.1).
+    fn purge(&mut self) {
+        let cstar = self
+            .policy
+            .compute_cstar(&self.table, &mut self.rng, &mut self.scratch);
+        debug_assert!(cstar > 0, "counters are positive, so c* must be");
+        self.table.purge_decrement(cstar);
+        self.offset += cstar as u64;
+        self.num_purges += 1;
+    }
+
+    /// Estimate `f̂ᵢ` of the item's weighted frequency: `c(i) + offset` for
+    /// tracked items, `0` for untracked items (§2.3.1's MG/SS hybrid).
+    /// Always satisfies `estimate − maximum_error ≤ fᵢ ≤ estimate` for
+    /// tracked items and `0 ≤ fᵢ ≤ maximum_error` for untracked ones.
+    #[inline]
+    pub fn estimate(&self, item: &K) -> u64 {
+        match self.table.get(item) {
+            Some(c) => c as u64 + self.offset,
+            None => 0,
+        }
+    }
+
+    /// Certified lower bound on the item's frequency: `c(i)`, or `0` if the
+    /// item is not tracked. Never exceeds the true frequency.
+    #[inline]
+    pub fn lower_bound(&self, item: &K) -> u64 {
+        self.table.get(item).map_or(0, |c| c as u64)
+    }
+
+    /// Certified upper bound on the item's frequency: `c(i) + offset`, or
+    /// `offset` alone if the item is not tracked. Never below the true
+    /// frequency.
+    #[inline]
+    pub fn upper_bound(&self, item: &K) -> u64 {
+        self.table
+            .get(item)
+            .map_or(self.offset, |c| c as u64 + self.offset)
+    }
+
+    /// The a-posteriori maximum error: any estimate is within this of the
+    /// true frequency. Equal to the cumulative purge decrement (`offset`).
+    #[inline]
+    pub fn maximum_error(&self) -> u64 {
+        self.offset
+    }
+
+    /// A-priori bound on `maximum_error` after processing weight `n_total`:
+    /// `n_total / (k*_eff · k)` per Lemma 4 / Theorems 2 & 4, where
+    /// `k*_eff` comes from [`PurgePolicy::effective_kstar_fraction`].
+    pub fn a_priori_error(&self, n_total: u64) -> u64 {
+        let kstar = self.policy.effective_kstar_fraction() * self.max_counters as f64;
+        (n_total as f64 / kstar).ceil() as u64
+    }
+
+    /// Iterates over the tracked `(&item, lower_bound)` pairs in table
+    /// order.
+    pub fn counters(&self) -> impl Iterator<Item = (&K, u64)> + '_ {
+        self.table.iter().map(|(k, v)| (k, v as u64))
+    }
+
+    /// Builds the result row for a tracked item.
+    fn row_for(&self, item: &K, count: i64) -> Row<K> {
+        Row {
+            item: item.clone(),
+            estimate: count as u64 + self.offset,
+            lower_bound: count as u64,
+            upper_bound: count as u64 + self.offset,
+        }
+    }
+
+    /// Returns every item whose frequency may exceed `threshold`, under the
+    /// chosen reporting contract, sorted by descending estimate:
+    ///
+    /// * [`ErrorType::NoFalsePositives`]: items with
+    ///   `lower_bound > threshold` — all genuinely above the threshold.
+    /// * [`ErrorType::NoFalseNegatives`]: items with
+    ///   `upper_bound > threshold` — misses nothing above the threshold.
+    ///
+    /// A threshold below [`Self::maximum_error`] is raised to it (as in
+    /// the deployed DataSketches API): the summary cannot enumerate items
+    /// whose entire frequency fits inside its error band, so thresholds
+    /// below that level cannot honour either contract.
+    pub fn frequent_items_with_threshold(
+        &self,
+        threshold: u64,
+        error_type: ErrorType,
+    ) -> Vec<Row<K>>
+    where
+        K: Ord,
+    {
+        let threshold = threshold.max(self.maximum_error());
+        let mut rows: Vec<Row<K>> = self
+            .table
+            .iter()
+            .filter_map(|(item, count)| {
+                let row = self.row_for(item, count);
+                let include = match error_type {
+                    ErrorType::NoFalsePositives => row.lower_bound > threshold,
+                    ErrorType::NoFalseNegatives => row.upper_bound > threshold,
+                };
+                include.then_some(row)
+            })
+            .collect();
+        sort_rows_descending(&mut rows);
+        rows
+    }
+
+    /// [`Self::frequent_items_with_threshold`] with the engine's own
+    /// `maximum_error` as the threshold — the finest distinction the
+    /// summary can certify.
+    pub fn frequent_items(&self, error_type: ErrorType) -> Vec<Row<K>>
+    where
+        K: Ord,
+    {
+        self.frequent_items_with_threshold(self.maximum_error(), error_type)
+    }
+
+    /// The (φ, ε)-heavy-hitters query of §1.2: items whose frequency may
+    /// exceed `max(phi · N, maximum_error)`, under the chosen reporting
+    /// contract (see [`Self::frequent_items_with_threshold`] for why the
+    /// threshold cannot usefully go below the summary's error level).
+    ///
+    /// # Panics
+    /// Panics if `phi` is outside `[0, 1]`.
+    pub fn heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<Row<K>>
+    where
+        K: Ord,
+    {
+        assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
+        let threshold = (phi * self.stream_weight as f64) as u64;
+        self.frequent_items_with_threshold(threshold, error_type)
+    }
+
+    /// The `k` tracked items with the largest estimates.
+    pub fn top_k(&self, k: usize) -> Vec<Row<K>>
+    where
+        K: Ord,
+    {
+        let mut rows: Vec<Row<K>> = self
+            .table
+            .iter()
+            .map(|(item, count)| self.row_for(item, count))
+            .collect();
+        sort_rows_descending(&mut rows);
+        rows.truncate(k);
+        rows
+    }
+
+    /// Merges `other` into `self` (Algorithm 5): every counter of `other`
+    /// is replayed into `self` as a weighted update, and the offsets add.
+    /// After the merge, `self` summarizes the concatenation of both input
+    /// streams with error bounded by Theorem 5; `other` is unchanged and
+    /// can be discarded.
+    ///
+    /// Counters are replayed in randomized order so that merging summaries
+    /// that share the hash function cannot overpopulate probe runs (§3.2,
+    /// Note). The implementation collects the counters with one sequential
+    /// scan and Fisher-Yates-shuffles the compact pair array — cheaper
+    /// than visiting the source table in a strided random order, which
+    /// costs a cache miss per slot.
+    pub fn merge(&mut self, other: &SketchEngine<K>) {
+        let mut pairs: Vec<(K, i64)> = other.table.iter().map(|(k, v)| (k.clone(), v)).collect();
+        // Fisher-Yates with the engine's own sampler.
+        for i in (1..pairs.len()).rev() {
+            let j = self.rng.next_below(i as u64 + 1) as usize;
+            pairs.swap(i, j);
+        }
+        for (item, count) in pairs {
+            self.feed(item, count);
+        }
+        self.offset += other.offset;
+        self.absorb_stream_weight(other.stream_weight as u128);
+        self.weight_saturated |= other.weight_saturated;
+        self.num_updates += other.num_updates;
+    }
+
+    /// Replays an arbitrary counter list into the engine as weighted
+    /// updates. This is Algorithm 5's generic form: the source can be any
+    /// counter-based summary (§3.2 "applies generically to any
+    /// counter-based algorithm"). `source_stream_weight` is the weighted
+    /// length of the stream the source summarized (its `N`), and
+    /// `source_max_error` the summary's maximum estimation error (0 for an
+    /// exact counter list).
+    pub fn absorb_counters<I>(
+        &mut self,
+        counters: I,
+        source_stream_weight: u64,
+        source_max_error: u64,
+    ) where
+        I: IntoIterator<Item = (K, u64)>,
+    {
+        for (item, count) in counters {
+            if count == 0 {
+                continue;
+            }
+            assert!(count <= i64::MAX as u64, "counter {count} exceeds range");
+            self.feed(item, count as i64);
+        }
+        self.offset += source_max_error;
+        self.absorb_stream_weight(source_stream_weight as u128);
+    }
+
+    /// Test/debug aid: verifies the internal table invariants.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.table.check_invariants();
+        assert!(self.table.num_active() <= self.capacity_now().max(self.max_counters));
+    }
+
+    /// Test/debug aid: a byte string capturing the engine's complete
+    /// observable state — scalar bookkeeping, sampler state, and the
+    /// table layout slot by slot (keys are folded in by hash). Two
+    /// engines with equal fingerprints will process any future stream
+    /// identically. Used by the differential proptests to pin
+    /// `ItemsSketch<u64>` to `FreqSketch` state-for-state.
+    #[doc(hidden)]
+    pub fn state_fingerprint(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.lg_cur.to_le_bytes());
+        out.extend_from_slice(&(self.max_counters as u64).to_le_bytes());
+        // The policy participates in future purge decisions, so it is
+        // part of "will behave identically from here on".
+        out.push(crate::codec::policy_tag(&self.policy));
+        let (policy_a, policy_b) = crate::codec::policy_params(&self.policy);
+        out.extend_from_slice(&policy_a.to_le_bytes());
+        out.extend_from_slice(&policy_b.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.stream_weight.to_le_bytes());
+        out.push(u8::from(self.weight_saturated));
+        out.extend_from_slice(&self.num_updates.to_le_bytes());
+        out.extend_from_slice(&self.num_purges.to_le_bytes());
+        for word in self.rng.state() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        for (slot, (key, value)) in self.slots().enumerate() {
+            out.extend_from_slice(&(slot as u64).to_le_bytes());
+            out.extend_from_slice(&key.hash_key().to_le_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        out
+    }
+
+    /// Occupied `(key, value)` slots in slot order (decoupled from
+    /// `counters` so fingerprinting sees raw counter values).
+    fn slots(&self) -> impl Iterator<Item = (&K, i64)> + '_ {
+        self.table.iter()
+    }
+}
+
+/// Streaming ingestion through the batch path: buffers the iterator into
+/// chunks and forwards them to [`SketchEngine::update_batch`], so
+/// `engine.extend(stream)` gets the prefetching fast path without the
+/// caller materializing a slice.
+impl<K: SketchKey> Extend<(K, u64)> for SketchEngine<K> {
+    fn extend<I: IntoIterator<Item = (K, u64)>>(&mut self, iter: I) {
+        /// Buffered pairs per `update_batch` call; large enough to
+        /// amortize the call, small enough to stay cache-resident.
+        const EXTEND_BUF: usize = 4096;
+        let mut buf: Vec<(K, u64)> = Vec::with_capacity(EXTEND_BUF);
+        for pair in iter {
+            buf.push(pair);
+            if buf.len() == EXTEND_BUF {
+                self.update_batch(&buf);
+                buf.clear();
+            }
+        }
+        self.update_batch(&buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lg_sizing_matches_paper() {
+        // k = 24576 → 4k/3 = 32768 = 2^15 (§4.1's largest configuration).
+        assert_eq!(lg_table_len_for(24_576), Some(15));
+        // k = 0.75 * 2^lg boundary cases
+        assert_eq!(lg_table_len_for(6), Some(3));
+        assert_eq!(lg_table_len_for(7), Some(4));
+        // tiny k still gets the minimum table
+        assert_eq!(lg_table_len_for(1), Some(3));
+    }
+
+    #[test]
+    fn u64_hash_is_the_splitmix_finalizer() {
+        // The zero-overhead contract: SketchKey for u64 must be exactly
+        // the inline SplitMix64 finalizer the specialized sketch used, so
+        // table layouts (and hence wire bytes) cannot move.
+        for x in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(SketchKey::hash_key(&x), crate::rng::split_mix64_mix(x));
+        }
+    }
+
+    #[test]
+    fn engine_is_usable_directly() {
+        let mut e: SketchEngine<String> = SketchEngine::builder(16).build().unwrap();
+        e.update("hot".into(), 100);
+        e.update("cold".into(), 1);
+        assert_eq!(e.estimate(&"hot".to_string()), 100);
+        assert_eq!(e.num_counters(), 2);
+        let rows = e.top_k(1);
+        assert_eq!(rows[0].item, "hot");
+    }
+
+    #[test]
+    fn fingerprints_diverge_on_different_state() {
+        let mut a: SketchEngine<u64> = SketchEngine::builder(8).build().unwrap();
+        let mut b: SketchEngine<u64> = SketchEngine::builder(8).build().unwrap();
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        a.update(1, 5);
+        assert_ne!(a.state_fingerprint(), b.state_fingerprint());
+        b.update(1, 5);
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        // Same counters, different policy: future purges diverge, so
+        // fingerprints must too.
+        let c: SketchEngine<u64> = SketchEngine::builder(8)
+            .policy(PurgePolicy::GlobalMin)
+            .build()
+            .unwrap();
+        assert_ne!(
+            c.state_fingerprint(),
+            SketchEngine::<u64>::builder(8)
+                .build()
+                .unwrap()
+                .state_fingerprint()
+        );
+    }
+}

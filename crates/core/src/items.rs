@@ -8,13 +8,23 @@
 //!
 //! Items are stored **by value** in the counter table (not by 64-bit hash),
 //! so the certified bounds hold unconditionally — no birthday-bound
-//! caveats. The cost is `Option<T>` slots instead of the paper's packed
-//! 8-byte keys; use [`crate::FreqSketch`] when items fit in a `u64` and the
-//! §2.3.3 memory formula matters.
+//! caveats. The cost is `size_of::<T>()`-wide slots instead of the paper's
+//! packed 8-byte keys; use [`crate::FreqSketch`] when items fit in a `u64`
+//! and the §2.3.3 memory formula matters.
 //!
-//! The update, purge, estimate, and merge logic is identical to
+//! `ItemsSketch<T>` is a thin layer over the shared
+//! [`SketchEngine`]: the update, batch,
+//! purge, estimate, and merge logic is *the same code* that runs under
 //! [`crate::FreqSketch`] — same policies, same offset bookkeeping, same
-//! guarantees (Theorems 3–5).
+//! guarantees (Theorems 3–5), same prefetching batch pipeline. In
+//! particular `ItemsSketch<u64>` is state-for-state identical to
+//! `FreqSketch` on any stream (pinned by differential proptests): same
+//! estimates, same purge decisions, same table layout.
+//!
+//! Item types implement [`SketchKey`], which is
+//! blanket-provided for every [`crate::hashing::Hash64`] type (integers,
+//! `String`, `&str`, `Vec<u8>`, pairs). For custom types, implement
+//! `Hash64` (e.g. via [`crate::hashing::hash64_of`]) plus `Default`.
 //!
 //! # Example
 //!
@@ -30,278 +40,85 @@
 //! assert_eq!(top[0].item, "the");
 //! ```
 
-use core::hash::Hash;
-
+use crate::engine::{SketchEngine, SketchEngineBuilder, SketchKey};
 use crate::error::Error;
-use crate::hashing::hash64_of;
 use crate::item_codec::ItemCodec;
-use crate::purge::{CounterValues, PurgePolicy};
-use crate::result::{sort_rows_descending, ErrorType, Row};
+use crate::purge::PurgePolicy;
+use crate::result::{ErrorType, Row};
 use crate::rng::Xoshiro256StarStar;
-use crate::sketch::DEFAULT_SEED;
-
-/// Item types storable in an [`ItemsSketch`]: hashable, comparable, and
-/// clonable (cloned only when reporting rows and when tables grow).
-pub trait SketchItem: Hash + Eq + Clone {}
-impl<T: Hash + Eq + Clone> SketchItem for T {}
-
-const LG_MIN_TABLE: u32 = 3;
-
-/// Linear-probing counter table storing items by value. Same layout and
-/// deletion discipline as [`crate::table::LpTable`]; see that module for
-/// the algorithmic commentary.
-#[derive(Clone, Debug)]
-struct ItemTable<T> {
-    keys: Vec<Option<T>>,
-    values: Vec<i64>,
-    states: Vec<u16>,
-    mask: usize,
-    num_active: usize,
-}
-
-impl<T: SketchItem> ItemTable<T> {
-    fn with_lg_len(lg_len: u32) -> Self {
-        assert!((1..=31).contains(&lg_len));
-        let len = 1usize << lg_len;
-        Self {
-            keys: (0..len).map(|_| None).collect(),
-            values: vec![0; len],
-            states: vec![0; len],
-            mask: len - 1,
-            num_active: 0,
-        }
-    }
-
-    #[inline]
-    fn len(&self) -> usize {
-        self.values.len()
-    }
-
-    #[inline]
-    fn home(&self, item: &T) -> usize {
-        (hash64_of(item) as usize) & self.mask
-    }
-
-    fn get(&self, item: &T) -> Option<i64> {
-        let mut i = self.home(item);
-        loop {
-            if self.states[i] == 0 {
-                return None;
-            }
-            if self.keys[i].as_ref() == Some(item) {
-                return Some(self.values[i]);
-            }
-            i = (i + 1) & self.mask;
-        }
-    }
-
-    fn adjust_or_insert(&mut self, item: T, delta: i64) {
-        assert!(self.num_active < self.len(), "ItemTable overflow");
-        let home = self.home(&item);
-        self.upsert_at(home, item, delta);
-    }
-
-    /// Probe loop shared by the scalar and batch paths; `home` is the
-    /// item's precomputed preferred slot.
-    #[inline]
-    fn upsert_at(&mut self, home: usize, item: T, delta: i64) {
-        debug_assert_eq!(home, self.home(&item));
-        let mut i = home;
-        let mut dist: usize = 0;
-        loop {
-            if self.states[i] == 0 {
-                assert!(
-                    dist < u16::MAX as usize,
-                    "probe distance exceeds state range"
-                );
-                self.keys[i] = Some(item);
-                self.values[i] = delta;
-                self.states[i] = (dist + 1) as u16;
-                self.num_active += 1;
-                return;
-            }
-            if self.keys[i].as_ref() == Some(&item) {
-                self.values[i] += delta;
-                return;
-            }
-            i = (i + 1) & self.mask;
-            dist += 1;
-        }
-    }
-
-    /// Batched [`Self::adjust_or_insert`], cloning items out of `batch` in
-    /// order. Same chunked home-precompute + prefetch scheme as
-    /// [`crate::table::LpTable::adjust_or_insert_batch`]; see there for the
-    /// memory-latency rationale. The caller must leave `batch.len()` free
-    /// slots per chunk (the sketch's capacity discipline guarantees this).
-    fn adjust_or_insert_batch(&mut self, batch: &[(T, i64)]) {
-        use crate::table::{prefetch_read, BATCH_CHUNK};
-        const PREFETCH_AHEAD: usize = 8;
-        for chunk in batch.chunks(BATCH_CHUNK) {
-            assert!(
-                self.num_active + chunk.len() < self.len(),
-                "ItemTable overflow: batch of {} cannot keep load below 100%",
-                chunk.len()
-            );
-            let mut homes = [0usize; BATCH_CHUNK];
-            for (j, (item, _)) in chunk.iter().enumerate() {
-                homes[j] = self.home(item);
-            }
-            let n = chunk.len();
-            for &home in homes.iter().take(PREFETCH_AHEAD.min(n)) {
-                prefetch_read(&self.states, home);
-                prefetch_read(&self.keys, home);
-                prefetch_read(&self.values, home);
-            }
-            for j in 0..n {
-                if j + PREFETCH_AHEAD < n {
-                    let ahead = homes[j + PREFETCH_AHEAD];
-                    prefetch_read(&self.states, ahead);
-                    prefetch_read(&self.keys, ahead);
-                    prefetch_read(&self.values, ahead);
-                }
-                let (item, delta) = &chunk[j];
-                self.upsert_at(homes[j], item.clone(), *delta);
-            }
-        }
-    }
-
-    /// Fused purge: decrement by `cstar`, delete the non-positive, and
-    /// compact runs, in one sequential pass. Mirror of
-    /// [`crate::table::LpTable::purge_decrement`]; see there for the
-    /// algorithm and why it replaces per-deletion backward shifting.
-    fn purge_decrement(&mut self, cstar: i64) -> usize {
-        debug_assert!(cstar > 0);
-        if self.num_active == 0 {
-            return 0;
-        }
-        let len = self.len();
-        let mask = self.mask;
-        let first_empty = (0..len)
-            .find(|&i| self.states[i] == 0)
-            .expect("table is never 100% full");
-        let rank = |p: usize| p.wrapping_sub(first_empty) & mask;
-        let mut removed = 0usize;
-        let mut gaps: Vec<usize> = Vec::new();
-        let mut i = (first_empty + 1) & mask;
-        for _ in 0..len - 1 {
-            let state = self.states[i];
-            if state == 0 {
-                gaps.clear();
-            } else if self.values[i] <= cstar {
-                self.states[i] = 0;
-                self.keys[i] = None;
-                gaps.push(i);
-                removed += 1;
-            } else {
-                let home = i.wrapping_sub(state as usize - 1) & mask;
-                let pos = gaps.partition_point(|&g| rank(g) < rank(home));
-                if pos < gaps.len() {
-                    let dest = gaps.remove(pos);
-                    self.keys[dest] = self.keys[i].take();
-                    self.values[dest] = self.values[i] - cstar;
-                    self.states[dest] = ((dest.wrapping_sub(home) & mask) + 1) as u16;
-                    self.states[i] = 0;
-                    gaps.push(i);
-                } else {
-                    self.values[i] -= cstar;
-                }
-            }
-            i = (i + 1) & mask;
-        }
-        self.num_active -= removed;
-        removed
-    }
-
-    fn iter(&self) -> impl Iterator<Item = (&T, i64)> + '_ {
-        (0..self.len()).filter_map(move |i| {
-            if self.states[i] != 0 {
-                Some((
-                    self.keys[i].as_ref().expect("occupied slot has key"),
-                    self.values[i],
-                ))
-            } else {
-                None
-            }
-        })
-    }
-}
-
-impl<T: SketchItem> CounterValues for ItemTable<T> {
-    fn is_empty(&self) -> bool {
-        self.num_active == 0
-    }
-
-    fn sample_values(&self, rng: &mut Xoshiro256StarStar, sample_size: usize, out: &mut Vec<i64>) {
-        if self.num_active <= sample_size {
-            self.values_into(out);
-            return;
-        }
-        out.clear();
-        out.reserve(sample_size);
-        let len = self.len() as u64;
-        while out.len() < sample_size {
-            let i = rng.next_below(len) as usize;
-            if self.states[i] != 0 {
-                out.push(self.values[i]);
-            }
-        }
-    }
-
-    fn values_into(&self, out: &mut Vec<i64>) {
-        out.clear();
-        out.reserve(self.num_active);
-        for i in 0..self.len() {
-            if self.states[i] != 0 {
-                out.push(self.values[i]);
-            }
-        }
-    }
-
-    fn min_value(&self) -> Option<i64> {
-        let mut min = None;
-        for i in 0..self.len() {
-            if self.states[i] != 0 {
-                min = Some(match min {
-                    None => self.values[i],
-                    Some(m) if self.values[i] < m => self.values[i],
-                    Some(m) => m,
-                });
-            }
-        }
-        min
-    }
-}
 
 /// A weighted frequent-items sketch over arbitrary item types.
 ///
 /// See the [module docs](self) and [`crate::FreqSketch`] (whose API this
 /// mirrors, with `&T` queries and `Row<T>` results).
 #[derive(Clone, Debug)]
-pub struct ItemsSketch<T: SketchItem> {
-    table: ItemTable<T>,
-    lg_cur: u32,
-    lg_max: u32,
-    max_counters: usize,
-    policy: PurgePolicy,
-    rng: Xoshiro256StarStar,
-    offset: u64,
-    stream_weight: u64,
-    weight_saturated: bool,
-    num_updates: u64,
-    num_purges: u64,
-    scratch: Vec<i64>,
-    pair_scratch: Vec<(T, i64)>,
+pub struct ItemsSketch<T: SketchKey> {
+    engine: SketchEngine<T>,
 }
 
-impl<T: SketchItem> ItemsSketch<T> {
+/// Configures and constructs an [`ItemsSketch`] — the same builder
+/// surface as [`crate::FreqSketchBuilder`] (`policy` / `seed` /
+/// `grow_from_small`), falling out of the shared engine.
+#[derive(Clone, Debug)]
+pub struct ItemsSketchBuilder<T: SketchKey> {
+    inner: SketchEngineBuilder<T>,
+}
+
+impl<T: SketchKey> ItemsSketchBuilder<T> {
+    /// Starts a builder for a sketch maintaining at most `max_counters`
+    /// assigned counters (the paper's `k`).
+    pub fn new(max_counters: usize) -> Self {
+        Self {
+            inner: SketchEngineBuilder::new(max_counters),
+        }
+    }
+
+    /// Selects the purge policy (default: SMED, the paper's recommendation).
+    pub fn policy(mut self, policy: PurgePolicy) -> Self {
+        self.inner = self.inner.policy(policy);
+        self
+    }
+
+    /// Seeds the purge-sampling generator (default:
+    /// [`crate::sketch::DEFAULT_SEED`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner = self.inner.seed(seed);
+        self
+    }
+
+    /// If `false`, allocates the maximum-size table up front instead of
+    /// growing from 8 slots.
+    pub fn grow_from_small(mut self, grow: bool) -> Self {
+        self.inner = self.inner.grow_from_small(grow);
+        self
+    }
+
+    /// Builds the sketch.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] for a zero capacity, an oversized
+    /// capacity, or invalid policy parameters.
+    pub fn build(self) -> Result<ItemsSketch<T>, Error> {
+        Ok(ItemsSketch {
+            engine: self.inner.build()?,
+        })
+    }
+}
+
+impl<T: SketchKey> ItemsSketch<T> {
     /// Creates a SMED sketch maintaining at most `max_counters` counters.
     ///
     /// # Panics
     /// Panics if `max_counters` is zero or needs a table beyond 2³¹ slots.
     pub fn with_max_counters(max_counters: usize) -> Self {
-        Self::try_new(max_counters, PurgePolicy::default(), DEFAULT_SEED)
+        Self::builder(max_counters)
+            .build()
             .expect("invalid max_counters")
+    }
+
+    /// Starts an [`ItemsSketchBuilder`] for custom configuration.
+    pub fn builder(max_counters: usize) -> ItemsSketchBuilder<T> {
+        ItemsSketchBuilder::new(max_counters)
     }
 
     /// Creates a sketch with an explicit policy and seed.
@@ -310,105 +127,75 @@ impl<T: SketchItem> ItemsSketch<T> {
     /// Returns [`Error::InvalidConfig`] for a zero capacity, an oversized
     /// capacity, or invalid policy parameters.
     pub fn try_new(max_counters: usize, policy: PurgePolicy, seed: u64) -> Result<Self, Error> {
-        if max_counters == 0 {
-            return Err(Error::InvalidConfig("max_counters must be positive".into()));
-        }
-        policy.validate().map_err(Error::InvalidConfig)?;
-        let min_len = (max_counters * 4).div_ceil(3);
-        let lg_max = min_len
-            .next_power_of_two()
-            .trailing_zeros()
-            .max(LG_MIN_TABLE);
-        if lg_max > 31 {
-            return Err(Error::InvalidConfig(format!(
-                "max_counters {max_counters} needs a table larger than 2^31 slots"
-            )));
-        }
-        let lg_cur = LG_MIN_TABLE.min(lg_max);
-        Ok(Self {
-            table: ItemTable::with_lg_len(lg_cur),
-            lg_cur,
-            lg_max,
-            max_counters,
-            policy,
-            rng: Xoshiro256StarStar::from_seed(seed),
-            offset: 0,
-            stream_weight: 0,
-            weight_saturated: false,
-            num_updates: 0,
-            num_purges: 0,
-            scratch: Vec::new(),
-            pair_scratch: Vec::new(),
-        })
+        Self::builder(max_counters)
+            .policy(policy)
+            .seed(seed)
+            .build()
+    }
+
+    /// Read access to the underlying generic engine.
+    #[inline]
+    pub fn engine(&self) -> &SketchEngine<T> {
+        &self.engine
     }
 
     /// Number of counters currently assigned.
     pub fn num_counters(&self) -> usize {
-        self.table.num_active
+        self.engine.num_counters()
     }
 
     /// Maximum number of counters maintained (the paper's `k`).
     pub fn max_counters(&self) -> usize {
-        self.max_counters
+        self.engine.max_counters()
     }
 
     /// True if no updates have been processed.
     pub fn is_empty(&self) -> bool {
-        self.num_updates == 0
+        self.engine.is_empty()
     }
 
     /// Total weighted stream length processed (including merges).
     /// Saturates at `u64::MAX` instead of panicking — see
-    /// [`crate::FreqSketch::stream_weight`] for the shared policy.
+    /// [`SketchEngine::stream_weight`] for the shared policy.
     pub fn stream_weight(&self) -> u64 {
-        self.stream_weight
+        self.engine.stream_weight()
     }
 
     /// True if the total stream weight exceeded `u64::MAX` and
     /// [`Self::stream_weight`] is pinned at the saturation point.
     pub fn stream_weight_saturated(&self) -> bool {
-        self.weight_saturated
-    }
-
-    /// Saturating stream-weight accounting shared by the scalar, batch,
-    /// and merge paths (the policy of [`crate::FreqSketch`]).
-    #[inline]
-    fn absorb_stream_weight(&mut self, total: u128) {
-        let new_total = self.stream_weight as u128 + total;
-        if new_total > u64::MAX as u128 {
-            self.stream_weight = u64::MAX;
-            self.weight_saturated = true;
-        } else {
-            self.stream_weight = new_total as u64;
-        }
+        self.engine.stream_weight_saturated()
     }
 
     /// Number of update operations processed.
     pub fn num_updates(&self) -> u64 {
-        self.num_updates
+        self.engine.num_updates()
     }
 
     /// Number of purge operations performed.
     pub fn num_purges(&self) -> u64 {
-        self.num_purges
+        self.engine.num_purges()
     }
 
     /// The purge policy in effect.
     pub fn policy(&self) -> PurgePolicy {
-        self.policy
+        self.engine.policy()
+    }
+
+    /// The seed the purge sampler was initialized with.
+    pub fn seed(&self) -> u64 {
+        self.engine.seed()
+    }
+
+    /// Bytes of heap memory held by the counter table's parallel arrays
+    /// (heap storage inside items is not counted).
+    pub fn memory_bytes(&self) -> usize {
+        self.engine.memory_bytes()
     }
 
     /// A-posteriori maximum estimation error (the cumulative decrement).
     pub fn maximum_error(&self) -> u64 {
-        self.offset
-    }
-
-    fn capacity_now(&self) -> usize {
-        if self.lg_cur == self.lg_max {
-            self.max_counters
-        } else {
-            (self.table.len() * 3) / 4
-        }
+        self.engine.maximum_error()
     }
 
     /// Processes the weighted update `(item, weight)` in amortized O(1).
@@ -418,142 +205,46 @@ impl<T: SketchItem> ItemsSketch<T> {
     /// # Panics
     /// Panics if `weight` exceeds `i64::MAX`.
     pub fn update(&mut self, item: T, weight: u64) {
-        if weight == 0 {
-            return;
-        }
-        assert!(
-            weight <= i64::MAX as u64,
-            "update weight {weight} exceeds supported range"
-        );
-        self.absorb_stream_weight(weight as u128);
-        self.num_updates += 1;
-        self.feed(item, weight as i64);
+        self.engine.update(item, weight);
     }
 
     /// Processes a unit update.
     pub fn update_one(&mut self, item: T) {
-        self.update(item, 1);
+        self.engine.update_one(item);
     }
 
     /// Processes a slice of weighted updates (items cloned out of the
     /// slice), state-identically to scalar [`Self::update`] calls in
-    /// order, via the chunked, prefetching table path. Chunks are sized
-    /// to the purge headroom so growth/purge timing matches the scalar
-    /// path exactly — see [`crate::FreqSketch::update_batch`] for the
-    /// scheme.
+    /// order, via the chunked, prefetching table path — see
+    /// [`SketchEngine::update_batch`] for the scheme.
     pub fn update_batch(&mut self, batch: &[(T, u64)]) {
-        let mut rest = batch;
-        while !rest.is_empty() {
-            let headroom = self.capacity_now().saturating_sub(self.table.num_active);
-            if headroom == 0 {
-                let (item, weight) = &rest[0];
-                rest = &rest[1..];
-                self.update(item.clone(), *weight);
-                continue;
-            }
-            let take = headroom.min(rest.len());
-            let (chunk, tail) = rest.split_at(take);
-            rest = tail;
-            let mut total: u128 = 0;
-            let mut count = 0u64;
-            self.pair_scratch.clear();
-            for (item, weight) in chunk {
-                if *weight == 0 {
-                    continue;
-                }
-                assert!(
-                    *weight <= i64::MAX as u64,
-                    "update weight {weight} exceeds supported range"
-                );
-                total += *weight as u128;
-                count += 1;
-                self.pair_scratch.push((item.clone(), *weight as i64));
-            }
-            self.absorb_stream_weight(total);
-            self.num_updates += count;
-            let pairs = core::mem::take(&mut self.pair_scratch);
-            self.table.adjust_or_insert_batch(&pairs);
-            self.pair_scratch = pairs;
-            // A headroom-sized chunk cannot push past capacity; growth
-            // and purges all route through the scalar fallback above.
-            debug_assert!(self.table.num_active <= self.capacity_now());
-        }
-    }
-
-    fn feed(&mut self, item: T, weight: i64) {
-        self.table.adjust_or_insert(item, weight);
-        while self.table.num_active > self.capacity_now() {
-            if self.lg_cur < self.lg_max {
-                self.grow();
-            } else {
-                self.purge();
-            }
-        }
-    }
-
-    fn grow(&mut self) {
-        let new_lg = self.lg_cur + 1;
-        let mut bigger = ItemTable::with_lg_len(new_lg);
-        let old = core::mem::replace(&mut self.table, ItemTable::with_lg_len(1));
-        for (i, slot) in old.keys.into_iter().enumerate() {
-            if let Some(item) = slot {
-                if old.states[i] != 0 {
-                    bigger.adjust_or_insert(item, old.values[i]);
-                }
-            }
-        }
-        self.table = bigger;
-        self.lg_cur = new_lg;
-    }
-
-    fn purge(&mut self) {
-        let cstar = self
-            .policy
-            .compute_cstar(&self.table, &mut self.rng, &mut self.scratch);
-        debug_assert!(cstar > 0);
-        self.table.purge_decrement(cstar);
-        self.offset += cstar as u64;
-        self.num_purges += 1;
+        self.engine.update_batch(batch);
     }
 
     /// Estimate of the item's weighted frequency (§2.3.1 offset variant).
     pub fn estimate(&self, item: &T) -> u64 {
-        match self.table.get(item) {
-            Some(c) => c as u64 + self.offset,
-            None => 0,
-        }
+        self.engine.estimate(item)
     }
 
     /// Certified lower bound on the item's frequency.
     pub fn lower_bound(&self, item: &T) -> u64 {
-        self.table.get(item).map_or(0, |c| c as u64)
+        self.engine.lower_bound(item)
     }
 
     /// Certified upper bound on the item's frequency.
     pub fn upper_bound(&self, item: &T) -> u64 {
-        self.table
-            .get(item)
-            .map_or(self.offset, |c| c as u64 + self.offset)
+        self.engine.upper_bound(item)
     }
 
     /// Iterates over tracked `(item, lower_bound)` pairs.
     pub fn counters(&self) -> impl Iterator<Item = (&T, u64)> + '_ {
-        self.table.iter().map(|(item, c)| (item, c as u64))
-    }
-
-    fn row_for(&self, item: &T, count: i64) -> Row<T> {
-        Row {
-            item: item.clone(),
-            estimate: count as u64 + self.offset,
-            lower_bound: count as u64,
-            upper_bound: count as u64 + self.offset,
-        }
+        self.engine.counters()
     }
 
     /// Items whose frequency may exceed `threshold` under the chosen
     /// contract, sorted by descending estimate. A threshold below
     /// [`Self::maximum_error`] is raised to it — see
-    /// [`crate::FreqSketch::frequent_items_with_threshold`].
+    /// [`SketchEngine::frequent_items_with_threshold`].
     pub fn frequent_items_with_threshold(
         &self,
         threshold: u64,
@@ -562,21 +253,8 @@ impl<T: SketchItem> ItemsSketch<T> {
     where
         T: Ord,
     {
-        let threshold = threshold.max(self.maximum_error());
-        let mut rows: Vec<Row<T>> = self
-            .table
-            .iter()
-            .filter_map(|(item, count)| {
-                let row = self.row_for(item, count);
-                let include = match error_type {
-                    ErrorType::NoFalsePositives => row.lower_bound > threshold,
-                    ErrorType::NoFalseNegatives => row.upper_bound > threshold,
-                };
-                include.then_some(row)
-            })
-            .collect();
-        sort_rows_descending(&mut rows);
-        rows
+        self.engine
+            .frequent_items_with_threshold(threshold, error_type)
     }
 
     /// [`Self::frequent_items_with_threshold`] at the sketch's own
@@ -585,7 +263,7 @@ impl<T: SketchItem> ItemsSketch<T> {
     where
         T: Ord,
     {
-        self.frequent_items_with_threshold(self.maximum_error(), error_type)
+        self.engine.frequent_items(error_type)
     }
 
     /// (φ, ε)-heavy hitters: items whose frequency may exceed `phi · N`.
@@ -596,43 +274,35 @@ impl<T: SketchItem> ItemsSketch<T> {
     where
         T: Ord,
     {
-        assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
-        let threshold = (phi * self.stream_weight as f64) as u64;
-        self.frequent_items_with_threshold(threshold, error_type)
+        self.engine.heavy_hitters(phi, error_type)
+    }
+
+    /// The `k` tracked items with the largest estimates.
+    pub fn top_k(&self, k: usize) -> Vec<Row<T>>
+    where
+        T: Ord,
+    {
+        self.engine.top_k(k)
     }
 
     /// Merges `other` into `self` (Algorithm 5, randomized replay order —
-    /// see [`crate::FreqSketch::merge`] for the §3.2 rationale).
+    /// see [`SketchEngine::merge`] for the §3.2 rationale).
     pub fn merge(&mut self, other: &ItemsSketch<T>) {
-        let mut pairs: Vec<(&T, i64)> = other.table.iter().collect();
-        for i in (1..pairs.len()).rev() {
-            let j = self.rng.next_below(i as u64 + 1) as usize;
-            pairs.swap(i, j);
-        }
-        for (item, count) in pairs {
-            self.feed(item.clone(), count);
-        }
-        self.offset += other.offset;
-        self.absorb_stream_weight(other.stream_weight as u128);
-        self.weight_saturated |= other.weight_saturated;
-        self.num_updates += other.num_updates;
+        self.engine.merge(&other.engine);
+    }
+
+    /// Test/debug aid: verifies the internal table invariants.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.engine.check_invariants();
     }
 }
 
 /// Streaming ingestion through the batch path — the generic-item
 /// counterpart of `FreqSketch`'s `Extend` impl.
-impl<T: SketchItem> Extend<(T, u64)> for ItemsSketch<T> {
+impl<T: SketchKey> Extend<(T, u64)> for ItemsSketch<T> {
     fn extend<I: IntoIterator<Item = (T, u64)>>(&mut self, iter: I) {
-        const EXTEND_BUF: usize = 4096;
-        let mut buf: Vec<(T, u64)> = Vec::with_capacity(EXTEND_BUF);
-        for pair in iter {
-            buf.push(pair);
-            if buf.len() == EXTEND_BUF {
-                self.update_batch(&buf);
-                buf.clear();
-            }
-        }
-        self.update_batch(&buf);
+        self.engine.extend(iter);
     }
 }
 
@@ -641,29 +311,30 @@ impl<T: SketchItem> Extend<(T, u64)> for ItemsSketch<T> {
 /// by `(item, count)` entries where items use their [`ItemCodec`]
 /// encoding. Round-tripped sketches behave bit-identically, including
 /// future purges (the sampler state travels along).
-impl<T: SketchItem + ItemCodec> ItemsSketch<T> {
+impl<T: SketchKey + ItemCodec> ItemsSketch<T> {
     /// Serializes the sketch into a fresh byte vector.
     pub fn serialize_to_bytes(&self) -> Vec<u8> {
         use crate::codec::{policy_params, policy_tag};
+        let engine = &self.engine;
         let mut out = Vec::new();
         out.extend_from_slice(b"SFQI");
         out.push(1u8); // version
-        out.push(policy_tag(&self.policy));
+        out.push(policy_tag(&engine.policy));
         // flags (bit 0: stream weight saturated; rest reserved, zero)
-        out.extend_from_slice(&[u8::from(self.weight_saturated), 0]);
-        (self.max_counters as u64).encode(&mut out);
-        self.offset.encode(&mut out);
-        self.stream_weight.encode(&mut out);
-        self.num_updates.encode(&mut out);
-        self.num_purges.encode(&mut out);
-        let (a, b) = policy_params(&self.policy);
+        out.extend_from_slice(&[u8::from(engine.weight_saturated), 0]);
+        (engine.max_counters as u64).encode(&mut out);
+        engine.offset.encode(&mut out);
+        engine.stream_weight.encode(&mut out);
+        engine.num_updates.encode(&mut out);
+        engine.num_purges.encode(&mut out);
+        let (a, b) = policy_params(&engine.policy);
         a.encode(&mut out);
         b.encode(&mut out);
-        for word in self.rng.state() {
+        for word in engine.rng.state() {
             word.encode(&mut out);
         }
-        (self.table.num_active as u32).encode(&mut out);
-        for (item, count) in self.table.iter() {
+        (engine.table.num_active() as u32).encode(&mut out);
+        for (item, count) in engine.table.iter() {
             item.encode(&mut out);
             (count as u64).encode(&mut out);
         }
@@ -729,22 +400,19 @@ impl<T: SketchItem + ItemCodec> ItemsSketch<T> {
                     "counter value {count} out of range"
                 )));
             }
-            if sketch.table.get(&item).is_some() {
-                return Err(Error::Corrupt("duplicate item in encoding".into()));
-            }
             // Growth-only insertion: num_active ≤ max_counters guarantees
-            // no purge can trigger.
-            sketch.feed(item, count as i64);
+            // no purge can trigger; duplicates are rejected.
+            sketch.engine.feed_for_decode(item, count as i64)?;
         }
         if !buf.is_empty() {
             return Err(Error::Corrupt("trailing bytes after counters".into()));
         }
-        sketch.offset = offset;
-        sketch.stream_weight = stream_weight;
-        sketch.weight_saturated = flags & 1 != 0;
-        sketch.num_updates = num_updates;
-        sketch.num_purges = num_purges;
-        sketch.rng = Xoshiro256StarStar::from_state(state);
+        sketch.engine.offset = offset;
+        sketch.engine.stream_weight = stream_weight;
+        sketch.engine.weight_saturated = flags & 1 != 0;
+        sketch.engine.num_updates = num_updates;
+        sketch.engine.num_purges = num_purges;
+        sketch.engine.rng = Xoshiro256StarStar::from_state(state);
         Ok(sketch)
     }
 }
@@ -827,6 +495,45 @@ mod tests {
         let mut b: ItemsSketch<String> = ItemsSketch::with_max_counters(32);
         b.extend(stream.iter().cloned());
         assert_eq!(a.serialize_to_bytes(), b.serialize_to_bytes());
+    }
+
+    #[test]
+    fn builder_surface_matches_freq_sketch() {
+        // API parity: policy / seed / grow_from_small all configurable,
+        // and the configuration is observable.
+        let s: ItemsSketch<String> = ItemsSketch::builder(64)
+            .policy(PurgePolicy::smin())
+            .seed(42)
+            .grow_from_small(false)
+            .build()
+            .unwrap();
+        assert_eq!(s.policy(), PurgePolicy::smin());
+        assert_eq!(s.seed(), 42);
+        // Preallocated: the table is already at its maximum size, so the
+        // memory footprint matches the design formula for the slot width.
+        let per_slot = core::mem::size_of::<String>() + 8 + 2;
+        assert_eq!(s.memory_bytes(), 128 * per_slot, "4k/3 of 64 → 128 slots");
+    }
+
+    #[test]
+    fn grow_from_small_matches_preallocated_estimates() {
+        let stream: Vec<(u32, u64)> = (0..20_000u64)
+            .map(|i| ((i % 500) as u32, i % 13 + 1))
+            .collect();
+        let mut grown: ItemsSketch<u32> = ItemsSketch::builder(64).seed(7).build().unwrap();
+        let mut fixed: ItemsSketch<u32> = ItemsSketch::builder(64)
+            .seed(7)
+            .grow_from_small(false)
+            .build()
+            .unwrap();
+        for &(item, w) in &stream {
+            grown.update(item, w);
+            fixed.update(item, w);
+        }
+        for item in 0..500u32 {
+            assert_eq!(grown.estimate(&item), fixed.estimate(&item), "item {item}");
+        }
+        assert_eq!(grown.maximum_error(), fixed.maximum_error());
     }
 
     #[test]

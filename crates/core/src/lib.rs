@@ -42,18 +42,22 @@
 //!
 //! ## Module map
 //!
+//! One generic engine sits under every public sketch variant:
+//!
 //! | module | contents |
 //! |---|---|
-//! | [`sketch`] | [`FreqSketch`] — the u64-item sketch (Algorithm 4 + §2.3) |
-//! | [`items`] | [`ItemsSketch`] — the same engine for arbitrary item types |
-//! | [`sharded`] | [`ShardedSketch`] — hash-partitioned multi-core ingestion |
-//! | [`signed`] | [`SignedFreqSketch`] — deletions via §1.3's two-instance reduction |
+//! | [`engine`] | [`SketchEngine<K>`](engine::SketchEngine) — the one generic core: updates, batching, purge, merge, bounds |
+//! | [`sketch`] | [`FreqSketch`] = `SketchEngine<u64>` — the paper's sketch with by-value `u64` queries |
+//! | [`items`] | [`ItemsSketch<T>`](ItemsSketch) = `SketchEngine<T>` for arbitrary item types |
+//! | [`sharded`] | [`ShardedSketch<K>`](ShardedSketch) — hash-partitioned multi-core ingestion over engine shards |
+//! | [`signed`] | [`SignedSketch<K>`](SignedSketch) — deletions via §1.3's two-instance reduction |
 //! | [`purge`] | decrement policies: SMED / SMIN / quantile sweep / MED / global-min |
-//! | [`table`] | the §2.3.3 linear-probing counter table |
+//! | [`table`] | the §2.3.3 linear-probing counter table, generic over [`engine::SketchKey`] |
 //! | [`select`] | Hoare's quickselect (Algorithm 65: FIND) |
 //! | [`bounds`] | a-priori error arithmetic (Lemmas 1–4, Theorems 2/4/5) |
 //! | [`result`] | heavy-hitter rows and reporting contracts |
-//! | [`codec`] | versioned binary wire format |
+//! | [`codec`] | versioned binary wire format (on `SketchEngine<u64>`) |
+//! | [`item_codec`] | per-type wire encodings for [`ItemsSketch`] |
 //! | [`hashing`], [`rng`] | deterministic hashing and sampling substrate |
 //!
 //! ## Guarantees
@@ -89,6 +93,7 @@
 
 pub mod bounds;
 pub mod codec;
+pub mod engine;
 pub mod error;
 pub mod hashing;
 pub mod item_codec;
@@ -103,11 +108,12 @@ pub mod sketch;
 pub mod table;
 pub mod traits;
 
+pub use engine::{SketchEngine, SketchEngineBuilder, SketchKey};
 pub use error::Error;
-pub use items::ItemsSketch;
+pub use items::{ItemsSketch, ItemsSketchBuilder};
 pub use purge::PurgePolicy;
 pub use result::{ErrorType, Row};
 pub use sharded::{ShardedSketch, ShardedSketchBuilder};
-pub use signed::SignedFreqSketch;
+pub use signed::{SignedFreqSketch, SignedSketch};
 pub use sketch::{FreqSketch, FreqSketchBuilder};
 pub use traits::{CounterSummary, FrequencyEstimator};

@@ -18,8 +18,8 @@ use crate::rng::Xoshiro256StarStar;
 use crate::select::{select_nth_largest, select_quantile};
 
 /// Read access to a table's counter values, as needed by the purge
-/// policies. Implemented by the `u64`-keyed [`crate::table::LpTable`] and
-/// by the generic item table behind [`crate::ItemsSketch`].
+/// policies. Implemented by the generic [`crate::table::LpTable`], so one
+/// policy implementation serves every key type.
 pub trait CounterValues {
     /// True when no counters are assigned.
     fn is_empty(&self) -> bool;
@@ -324,7 +324,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no counters")]
     fn purge_on_empty_table_panics() {
-        let t = LpTable::with_lg_len(4);
+        let t: LpTable = LpTable::with_lg_len(4);
         let mut rng = Xoshiro256StarStar::from_seed(1);
         let mut scratch = Vec::new();
         PurgePolicy::smed().compute_cstar(&t, &mut rng, &mut scratch);

@@ -1,5 +1,5 @@
 //! [`ShardedSketch`]: hash-partitioned, multi-core ingestion over a bank
-//! of independent [`FreqSketch`] shards.
+//! of independent sketch engines, generic over the item type.
 //!
 //! The paper's summary is single-threaded by construction; what makes it
 //! *deployable* at line rate is that it merges (Algorithm 5, Theorem 5),
@@ -13,9 +13,15 @@
 //! when a single exportable summary is needed; its error adds across
 //! shards exactly as Theorem 5 prescribes.
 //!
+//! Since the engine is generic, so is the bank: `ShardedSketch<String>`
+//! gives multi-core ingestion for arbitrary item types — the FDCMSS-style
+//! deployments over flow tuples and string keys get the same pipeline as
+//! `u64` telemetry.
+//!
 //! Shard routing uses the upper 32 bits of the same 64-bit hash the
-//! counter tables probe with ([`crate::hashing::Hash64`]); the tables use
-//! the low `lg ≤ 31` bits, so routing and probing stay independent.
+//! counter tables probe with ([`crate::engine::SketchKey::hash_key`]);
+//! the tables use the low `lg ≤ 31` bits, so routing and probing stay
+//! independent.
 //!
 //! Ingestion from multiple threads uses scoped threads and needs no
 //! locks: each thread owns a disjoint set of shards outright and scans
@@ -23,7 +29,7 @@
 //! shard therefore sees its items in stream order, which makes the final
 //! state **independent of the thread count** — byte-identical to a
 //! sequential run — because the batch path is state-identical to scalar
-//! updates under any chunking (see [`FreqSketch::update_batch`]).
+//! updates under any chunking (see [`SketchEngine::update_batch`]).
 //!
 //! # Example
 //!
@@ -40,39 +46,41 @@
 //! assert_eq!(top[0].item, 7);
 //! ```
 
+use core::marker::PhantomData;
+
+use crate::engine::{SketchEngine, SketchEngineBuilder, SketchKey, DEFAULT_SEED};
 use crate::error::Error;
-use crate::hashing::Hash64;
 use crate::purge::PurgePolicy;
 use crate::result::{sort_rows_descending, ErrorType, Row};
-use crate::sketch::{FreqSketch, FreqSketchBuilder, DEFAULT_SEED};
 
 /// Items buffered per shard before flushing into its batch path during
 /// parallel ingestion: big enough to amortize routing, small enough that
 /// per-shard buffers stay cache-friendly.
 const INGEST_BUF: usize = 4096;
 
-/// A bank of hash-partitioned [`FreqSketch`] shards that can ingest one
+/// A bank of hash-partitioned [`SketchEngine`] shards that can ingest one
 /// logical stream from many threads and answer the same queries.
 ///
 /// See the [module docs](self) for the partitioning and threading model.
 #[derive(Clone, Debug)]
-pub struct ShardedSketch {
-    shards: Vec<FreqSketch>,
+pub struct ShardedSketch<K: SketchKey = u64> {
+    shards: Vec<SketchEngine<K>>,
     /// Per-shard buffers reused by [`Self::update_batch`].
-    route_bufs: Vec<Vec<(u64, u64)>>,
+    route_bufs: Vec<Vec<(K, u64)>>,
 }
 
 /// Configures and constructs a [`ShardedSketch`].
 #[derive(Clone, Debug)]
-pub struct ShardedSketchBuilder {
+pub struct ShardedSketchBuilder<K: SketchKey = u64> {
     num_shards: usize,
     counters_per_shard: usize,
     policy: PurgePolicy,
     seed: u64,
     grow_from_small: bool,
+    _key: PhantomData<K>,
 }
 
-impl ShardedSketchBuilder {
+impl<K: SketchKey> ShardedSketchBuilder<K> {
     /// Starts a builder for `num_shards` shards of `counters_per_shard`
     /// counters each.
     pub fn new(num_shards: usize, counters_per_shard: usize) -> Self {
@@ -82,6 +90,7 @@ impl ShardedSketchBuilder {
             policy: PurgePolicy::default(),
             seed: DEFAULT_SEED,
             grow_from_small: true,
+            _key: PhantomData,
         }
     }
 
@@ -108,14 +117,14 @@ impl ShardedSketchBuilder {
     ///
     /// # Errors
     /// Returns [`Error::InvalidConfig`] if `num_shards` is zero or any
-    /// per-shard configuration is invalid (see [`FreqSketchBuilder`]).
-    pub fn build(self) -> Result<ShardedSketch, Error> {
+    /// per-shard configuration is invalid (see [`SketchEngineBuilder`]).
+    pub fn build(self) -> Result<ShardedSketch<K>, Error> {
         if self.num_shards == 0 {
             return Err(Error::InvalidConfig("num_shards must be positive".into()));
         }
         let shards = (0..self.num_shards)
             .map(|s| {
-                FreqSketchBuilder::new(self.counters_per_shard)
+                SketchEngineBuilder::new(self.counters_per_shard)
                     .policy(self.policy)
                     .seed(self.seed.wrapping_add(s as u64))
                     .grow_from_small(self.grow_from_small)
@@ -127,7 +136,7 @@ impl ShardedSketchBuilder {
     }
 }
 
-impl ShardedSketch {
+impl<K: SketchKey> ShardedSketch<K> {
     /// Creates a SMED bank of `num_shards` shards with
     /// `counters_per_shard` counters each and default seeding.
     ///
@@ -141,7 +150,7 @@ impl ShardedSketch {
     }
 
     /// Starts a [`ShardedSketchBuilder`].
-    pub fn builder(num_shards: usize, counters_per_shard: usize) -> ShardedSketchBuilder {
+    pub fn builder(num_shards: usize, counters_per_shard: usize) -> ShardedSketchBuilder<K> {
         ShardedSketchBuilder::new(num_shards, counters_per_shard)
     }
 
@@ -154,17 +163,17 @@ impl ShardedSketch {
     /// The shard index `item` routes to: a Lemire reduction of the upper
     /// 32 hash bits, leaving the low bits for table probing.
     #[inline]
-    pub fn shard_of(&self, item: u64) -> usize {
+    pub fn shard_of(&self, item: &K) -> usize {
         shard_of(item, self.shards.len())
     }
 
     /// Read access to the underlying shards (for inspection/metrics).
-    pub fn shards(&self) -> &[FreqSketch] {
+    pub fn shards(&self) -> &[SketchEngine<K>] {
         &self.shards
     }
 
     /// Total weighted stream length across all shards, saturating like
-    /// [`FreqSketch::stream_weight`].
+    /// [`SketchEngine::stream_weight`].
     pub fn stream_weight(&self) -> u64 {
         let total: u128 = self.shards.iter().map(|s| s.stream_weight() as u128).sum();
         total.min(u64::MAX as u128) as u64
@@ -212,21 +221,21 @@ impl ShardedSketch {
 
     /// Routes one weighted update to its shard.
     #[inline]
-    pub fn update(&mut self, item: u64, weight: u64) {
-        let s = self.shard_of(item);
+    pub fn update(&mut self, item: K, weight: u64) {
+        let s = self.shard_of(&item);
         self.shards[s].update(item, weight);
     }
 
     /// Routes a unit update to its shard.
     #[inline]
-    pub fn update_one(&mut self, item: u64) {
+    pub fn update_one(&mut self, item: K) {
         self.update(item, 1);
     }
 
     /// Batched single-threaded ingestion: partitions the slice into
     /// per-shard runs (preserving stream order within each shard), then
     /// drives every shard's prefetching batch path.
-    pub fn update_batch(&mut self, batch: &[(u64, u64)]) {
+    pub fn update_batch(&mut self, batch: &[(K, u64)]) {
         let n = self.shards.len();
         if n == 1 {
             self.shards[0].update_batch(batch);
@@ -235,8 +244,8 @@ impl ShardedSketch {
         for buf in &mut self.route_bufs {
             buf.clear();
         }
-        for &(item, weight) in batch {
-            self.route_bufs[shard_of(item, n)].push((item, weight));
+        for (item, weight) in batch {
+            self.route_bufs[shard_of(item, n)].push((item.clone(), *weight));
         }
         for (s, shard) in self.shards.iter_mut().enumerate() {
             shard.update_batch(&self.route_bufs[s]);
@@ -254,7 +263,10 @@ impl ShardedSketch {
     /// The resulting state is **identical for every `num_threads`**,
     /// including `1`: each shard always consumes exactly its items in
     /// stream order through the batch path.
-    pub fn ingest_parallel(&mut self, stream: &[(u64, u64)], num_threads: usize) {
+    pub fn ingest_parallel(&mut self, stream: &[(K, u64)], num_threads: usize)
+    where
+        K: Send + Sync,
+    {
         let num_shards = self.shards.len();
         let num_threads = num_threads.clamp(1, num_shards);
         let shards_per_thread = num_shards.div_ceil(num_threads);
@@ -268,16 +280,16 @@ impl ShardedSketch {
                     // empty Vec drops its capacity, which would make
                     // every buffer but the last reallocate on the hot
                     // ingestion path.
-                    let mut bufs: Vec<Vec<(u64, u64)>> = (0..group_len)
+                    let mut bufs: Vec<Vec<(K, u64)>> = (0..group_len)
                         .map(|_| Vec::with_capacity(INGEST_BUF))
                         .collect();
-                    for &(item, weight) in stream {
+                    for (item, weight) in stream {
                         let s = shard_of(item, num_shards);
                         if s < first_shard || s >= first_shard + group_len {
                             continue;
                         }
                         let local = s - first_shard;
-                        bufs[local].push((item, weight));
+                        bufs[local].push((item.clone(), *weight));
                         if bufs[local].len() == INGEST_BUF {
                             shard_group[local].update_batch(&bufs[local]);
                             bufs[local].clear();
@@ -295,27 +307,34 @@ impl ShardedSketch {
     /// is by item hash, this is exactly the estimate a per-shard stream
     /// would produce — the error band is the owning shard's offset.
     #[inline]
-    pub fn estimate(&self, item: u64) -> u64 {
+    pub fn estimate(&self, item: &K) -> u64 {
         self.shards[self.shard_of(item)].estimate(item)
     }
 
     /// Certified lower bound on `item`'s global frequency.
     #[inline]
-    pub fn lower_bound(&self, item: u64) -> u64 {
+    pub fn lower_bound(&self, item: &K) -> u64 {
         self.shards[self.shard_of(item)].lower_bound(item)
     }
 
     /// Certified upper bound on `item`'s global frequency.
     #[inline]
-    pub fn upper_bound(&self, item: u64) -> u64 {
+    pub fn upper_bound(&self, item: &K) -> u64 {
         self.shards[self.shard_of(item)].upper_bound(item)
     }
 
     /// Union of every shard's reported rows above `threshold`, sorted by
     /// descending estimate. Each shard applies its own error clamp, which
     /// is at most (and usually far below) a merged summary's.
-    pub fn frequent_items_with_threshold(&self, threshold: u64, error_type: ErrorType) -> Vec<Row> {
-        let mut rows: Vec<Row> = self
+    pub fn frequent_items_with_threshold(
+        &self,
+        threshold: u64,
+        error_type: ErrorType,
+    ) -> Vec<Row<K>>
+    where
+        K: Ord,
+    {
+        let mut rows: Vec<Row<K>> = self
             .shards
             .iter()
             .flat_map(|s| s.frequent_items_with_threshold(threshold, error_type))
@@ -326,7 +345,10 @@ impl ShardedSketch {
 
     /// [`Self::frequent_items_with_threshold`] at the bank's
     /// [`Self::maximum_error`].
-    pub fn frequent_items(&self, error_type: ErrorType) -> Vec<Row> {
+    pub fn frequent_items(&self, error_type: ErrorType) -> Vec<Row<K>>
+    where
+        K: Ord,
+    {
         self.frequent_items_with_threshold(self.maximum_error(), error_type)
     }
 
@@ -334,19 +356,30 @@ impl ShardedSketch {
     ///
     /// # Panics
     /// Panics if `phi` is outside `[0, 1]`.
-    pub fn heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<Row> {
+    pub fn heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<Row<K>>
+    where
+        K: Ord,
+    {
         assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
         let threshold = (phi * self.stream_weight() as f64) as u64;
         self.frequent_items_with_threshold(threshold, error_type)
     }
 
-    /// Collapses the bank into one [`FreqSketch`] of `max_counters`
-    /// counters via Algorithm 5: every shard is merged in, offsets (and
-    /// hence the error budget) adding exactly as Theorem 5 prescribes.
-    /// Use this when a single summary must leave the process — for
-    /// queries against the live bank, the direct methods are tighter.
-    pub fn merged_with_capacity(&self, max_counters: usize) -> FreqSketch {
-        let mut out = FreqSketch::with_max_counters(max_counters);
+    /// Collapses the bank into one engine of `max_counters` counters via
+    /// Algorithm 5: every shard is merged in, offsets (and hence the
+    /// error budget) adding exactly as Theorem 5 prescribes. The export
+    /// inherits the bank's policy and base seed. Use this when a single
+    /// summary must leave the process — for queries against the live
+    /// bank, the direct methods are tighter.
+    ///
+    /// For `u64` banks the result serializes with [`crate::codec`]'s
+    /// wire format (or wrap it: `FreqSketch::from(bank.merged())`).
+    pub fn merged_with_capacity(&self, max_counters: usize) -> SketchEngine<K> {
+        let mut out = SketchEngineBuilder::new(max_counters)
+            .policy(self.shards[0].policy())
+            .seed(self.shards[0].seed())
+            .build()
+            .expect("shard configuration already validated");
         for shard in &self.shards {
             out.merge(shard);
         }
@@ -354,7 +387,7 @@ impl ShardedSketch {
     }
 
     /// [`Self::merged_with_capacity`] at the per-shard counter budget.
-    pub fn merged(&self) -> FreqSketch {
+    pub fn merged(&self) -> SketchEngine<K> {
         let k = self.shards[0].max_counters();
         self.merged_with_capacity(k)
     }
@@ -369,7 +402,7 @@ impl ShardedSketch {
                 assert_eq!(
                     self.shard_of(item),
                     s,
-                    "item {item} tracked by shard {s} but routes elsewhere"
+                    "an item tracked by shard {s} routes elsewhere"
                 );
             }
         }
@@ -380,8 +413,8 @@ impl ShardedSketch {
 /// table hash onto `[0, num_shards)`. Free function so ingestion threads
 /// can route without borrowing the bank.
 #[inline]
-fn shard_of(item: u64, num_shards: usize) -> usize {
-    let high = item.hash64() >> 32;
+fn shard_of<K: SketchKey>(item: &K, num_shards: usize) -> usize {
+    let high = item.hash_key() >> 32;
     ((high * num_shards as u64) >> 32) as usize
 }
 
@@ -402,22 +435,22 @@ mod tests {
 
     #[test]
     fn routing_is_total_and_stable() {
-        let bank = ShardedSketch::new(8, 64);
+        let bank: ShardedSketch = ShardedSketch::new(8, 64);
         for item in 0..10_000u64 {
-            let s = bank.shard_of(item);
+            let s = bank.shard_of(&item);
             assert!(s < 8);
-            assert_eq!(s, bank.shard_of(item), "routing must be pure");
+            assert_eq!(s, bank.shard_of(&item), "routing must be pure");
         }
     }
 
     #[test]
     fn single_threaded_matches_scalar_routing() {
         let stream = skewed_stream(30_000);
-        let mut scalar = ShardedSketch::new(4, 128);
+        let mut scalar: ShardedSketch = ShardedSketch::new(4, 128);
         for &(item, w) in &stream {
             scalar.update(item, w);
         }
-        let mut batched = ShardedSketch::new(4, 128);
+        let mut batched: ShardedSketch = ShardedSketch::new(4, 128);
         batched.update_batch(&stream);
         batched.check_invariants();
         for s in 0..4 {
@@ -433,12 +466,12 @@ mod tests {
     fn thread_count_does_not_change_state() {
         let stream = skewed_stream(40_000);
         let reference = {
-            let mut bank = ShardedSketch::new(8, 96);
+            let mut bank: ShardedSketch = ShardedSketch::new(8, 96);
             bank.ingest_parallel(&stream, 1);
             bank
         };
         for threads in [2usize, 3, 4, 8, 64] {
-            let mut bank = ShardedSketch::new(8, 96);
+            let mut bank: ShardedSketch = ShardedSketch::new(8, 96);
             bank.ingest_parallel(&stream, threads);
             for s in 0..8 {
                 assert_eq!(
@@ -453,7 +486,7 @@ mod tests {
     #[test]
     fn bounds_bracket_truth_across_shards() {
         let stream = skewed_stream(60_000);
-        let mut bank = ShardedSketch::new(4, 64);
+        let mut bank: ShardedSketch = ShardedSketch::new(4, 64);
         bank.ingest_parallel(&stream, 4);
         bank.check_invariants();
         let mut truth: HashMap<u64, u64> = HashMap::new();
@@ -462,14 +495,14 @@ mod tests {
         }
         assert_eq!(bank.stream_weight(), truth.values().sum::<u64>());
         for (&item, &f) in &truth {
-            assert!(bank.lower_bound(item) <= f, "lb violated for {item}");
-            assert!(bank.upper_bound(item) >= f, "ub violated for {item}");
+            assert!(bank.lower_bound(&item) <= f, "lb violated for {item}");
+            assert!(bank.upper_bound(&item) >= f, "ub violated for {item}");
         }
     }
 
     #[test]
     fn heavy_hitters_across_shards() {
-        let mut bank = ShardedSketch::new(4, 64);
+        let mut bank: ShardedSketch = ShardedSketch::new(4, 64);
         let mut stream: Vec<(u64, u64)> = Vec::new();
         for i in 0..20_000u64 {
             stream.push((42, 100));
@@ -482,9 +515,41 @@ mod tests {
     }
 
     #[test]
+    fn generic_string_bank_ingests_in_parallel() {
+        // The sharded pipeline is no longer u64-only: string keys route,
+        // ingest from threads, and answer bounded queries.
+        let stream: Vec<(String, u64)> = (0..30_000u64)
+            .map(|i| {
+                let item = format!("flow-{}", (i * 2_654_435_761) % 700);
+                (item, i % 9 + 1)
+            })
+            .collect();
+        let mut bank: ShardedSketch<String> = ShardedSketch::new(4, 96);
+        bank.ingest_parallel(&stream, 4);
+        bank.check_invariants();
+        let mut reference: ShardedSketch<String> = ShardedSketch::new(4, 96);
+        for (item, w) in &stream {
+            reference.update(item.clone(), *w);
+        }
+        let mut truth: HashMap<&String, u64> = HashMap::new();
+        for (item, w) in &stream {
+            *truth.entry(item).or_insert(0) += w;
+        }
+        for (item, &f) in &truth {
+            assert!(bank.lower_bound(item) <= f);
+            assert!(bank.upper_bound(item) >= f);
+            assert_eq!(bank.estimate(item), reference.estimate(item));
+        }
+        // State equality shard by shard, via the engine fingerprint.
+        for (a, b) in bank.shards().iter().zip(reference.shards()) {
+            assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        }
+    }
+
+    #[test]
     fn merged_obeys_theorem5_bound() {
         let stream = skewed_stream(80_000);
-        let mut bank = ShardedSketch::builder(4, 64).seed(11).build().unwrap();
+        let mut bank: ShardedSketch = ShardedSketch::builder(4, 64).seed(11).build().unwrap();
         bank.ingest_parallel(&stream, 4);
         let merged = bank.merged();
         let mut truth: HashMap<u64, u64> = HashMap::new();
@@ -492,8 +557,8 @@ mod tests {
             *truth.entry(item).or_insert(0) += w;
         }
         for (&item, &f) in &truth {
-            assert!(merged.lower_bound(item) <= f, "merged lb violated");
-            assert!(merged.upper_bound(item) >= f, "merged ub violated");
+            assert!(merged.lower_bound(&item) <= f, "merged lb violated");
+            assert!(merged.upper_bound(&item) >= f, "merged ub violated");
         }
         // Theorem 5: merged error within the a-priori budget for the
         // combined stream.
@@ -501,12 +566,15 @@ mod tests {
         assert!(merged.maximum_error() <= bound);
         // The live bank's per-item error is never worse than merged.
         assert!(bank.maximum_error() <= merged.maximum_error());
+        // The export inherits the bank's configuration.
+        assert_eq!(merged.policy(), bank.shards()[0].policy());
+        assert_eq!(merged.seed(), 11);
     }
 
     #[test]
     fn builder_rejects_zero_shards() {
         assert!(matches!(
-            ShardedSketch::builder(0, 16).build(),
+            ShardedSketch::<u64>::builder(0, 16).build(),
             Err(Error::InvalidConfig(_))
         ));
     }
@@ -514,9 +582,9 @@ mod tests {
     #[test]
     fn thread_clamp_handles_extremes() {
         let stream = skewed_stream(5_000);
-        let mut bank = ShardedSketch::new(2, 32);
+        let mut bank: ShardedSketch = ShardedSketch::new(2, 32);
         bank.ingest_parallel(&stream, 0); // clamps to 1
-        let mut more_threads_than_shards = ShardedSketch::new(2, 32);
+        let mut more_threads_than_shards: ShardedSketch = ShardedSketch::new(2, 32);
         more_threads_than_shards.ingest_parallel(&stream, 16); // clamps to 2
         assert_eq!(
             bank.stream_weight(),

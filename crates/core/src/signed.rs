@@ -1,5 +1,5 @@
 //! Signed (turnstile) streams via the two-instance reduction of §1.3's
-//! Note.
+//! Note, generic over the item type.
 //!
 //! Counter-based summaries target insertion streams, but the paper points
 //! out that deletions can be handled "easily ... at the cost of having
@@ -9,19 +9,25 @@
 //! inequality the error of the difference is at most the sum of the two
 //! summaries' errors.
 //!
+//! [`SignedSketch<K>`] runs two [`SketchEngine`]s, one per sign, over any
+//! [`SketchKey`] item type — the deletion workloads of Bhattacharyya, Dey
+//! & Woodruff's ℓ₁-heavy-hitters setting are not `u64`-only, and neither
+//! is this. [`SignedFreqSketch`] is the `u64` alias. Both sides ride the
+//! engine's prefetching batch pipeline via [`SignedSketch::update_batch`].
+//!
 //! This is the right tool when deletions are a small fraction of traffic
 //! (retractions, corrections, cancelled orders); if `Σ|Δⱼ| ≫ ΣΔⱼ`, a
 //! linear sketch (see `streamfreq-baselines::count_min` /
 //! [`count_sketch`](https://en.wikipedia.org/wiki/Count_sketch)) is the
 //! better fit — exactly the trade-off §1.3 describes.
 
+use crate::engine::{SketchEngine, SketchEngineBuilder, SketchKey};
 use crate::purge::PurgePolicy;
-use crate::sketch::{FreqSketch, FreqSketchBuilder};
 use crate::Error;
 
 /// A frequent-items summary for streams with deletions (strict turnstile:
 /// final frequencies must be non-negative for the bounds to be
-/// meaningful).
+/// meaningful), generic over the item type.
 ///
 /// # Example
 ///
@@ -31,23 +37,30 @@ use crate::Error;
 /// let mut net = SignedFreqSketch::with_max_counters(32);
 /// net.update(1, 500);   // order placed
 /// net.update(1, -120);  // partial cancellation
-/// assert_eq!(net.estimate(1), 380);
-/// let (lo, hi) = net.bounds(1);
+/// assert_eq!(net.estimate(&1), 380);
+/// let (lo, hi) = net.bounds(&1);
 /// assert!(lo <= 380 && 380 <= hi);
 /// ```
 #[derive(Clone, Debug)]
-pub struct SignedFreqSketch {
+pub struct SignedSketch<K: SketchKey = u64> {
     /// Summary of all positive-weight updates.
-    additions: FreqSketch,
+    additions: SketchEngine<K>,
     /// Summary of the magnitudes of all negative-weight updates.
-    deletions: FreqSketch,
+    deletions: SketchEngine<K>,
+    /// Reusable per-sign buffers for [`Self::update_batch`].
+    positive_buf: Vec<(K, u64)>,
+    negative_buf: Vec<(K, u64)>,
 }
 
-impl SignedFreqSketch {
+/// The `u64`-keyed signed sketch (the original name of this type, kept
+/// as the idiomatic spelling for numeric identifiers).
+pub type SignedFreqSketch = SignedSketch<u64>;
+
+impl<K: SketchKey> SignedSketch<K> {
     /// Creates a signed sketch: two `k`-counter instances (one per sign).
     ///
     /// # Panics
-    /// Panics if `k` is invalid; use [`SignedFreqSketch::try_new`] to
+    /// Panics if `k` is invalid; use [`SignedSketch::try_new`] to
     /// handle configuration errors.
     pub fn with_max_counters(k: usize) -> Self {
         Self::try_new(k, PurgePolicy::default(), 0).expect("invalid k")
@@ -59,14 +72,16 @@ impl SignedFreqSketch {
     /// Returns [`Error::InvalidConfig`] for invalid parameters.
     pub fn try_new(k: usize, policy: PurgePolicy, seed: u64) -> Result<Self, Error> {
         Ok(Self {
-            additions: FreqSketchBuilder::new(k)
+            additions: SketchEngineBuilder::new(k)
                 .policy(policy)
                 .seed(seed)
                 .build()?,
-            deletions: FreqSketchBuilder::new(k)
+            deletions: SketchEngineBuilder::new(k)
                 .policy(policy)
                 .seed(seed ^ 0x0DE1_E7E5)
                 .build()?,
+            positive_buf: Vec::new(),
+            negative_buf: Vec::new(),
         })
     }
 
@@ -74,8 +89,8 @@ impl SignedFreqSketch {
     ///
     /// # Panics
     /// Panics if `|delta|` exceeds `i64::MAX as u64` conversions or total
-    /// weights overflow (same limits as [`FreqSketch::update`]).
-    pub fn update(&mut self, item: u64, delta: i64) {
+    /// weights overflow (same limits as [`SketchEngine::update`]).
+    pub fn update(&mut self, item: K, delta: i64) {
         match delta.cmp(&0) {
             core::cmp::Ordering::Greater => self.additions.update(item, delta as u64),
             core::cmp::Ordering::Less => {
@@ -85,15 +100,38 @@ impl SignedFreqSketch {
         }
     }
 
+    /// Processes a slice of signed updates through both engines' batched,
+    /// prefetching ingestion paths — state-identical to calling
+    /// [`Self::update`] on each pair in order (each sign's subsequence is
+    /// preserved, and the per-sign batch path is state-identical to its
+    /// scalar path under any chunking).
+    pub fn update_batch(&mut self, batch: &[(K, i64)]) {
+        self.positive_buf.clear();
+        self.negative_buf.clear();
+        for (item, delta) in batch {
+            match delta.cmp(&0) {
+                core::cmp::Ordering::Greater => {
+                    self.positive_buf.push((item.clone(), *delta as u64));
+                }
+                core::cmp::Ordering::Less => {
+                    self.negative_buf.push((item.clone(), delta.unsigned_abs()));
+                }
+                core::cmp::Ordering::Equal => {}
+            }
+        }
+        self.additions.update_batch(&self.positive_buf);
+        self.deletions.update_batch(&self.negative_buf);
+    }
+
     /// Estimated net frequency `f̂ᵢ = f̂ᵢ⁺ − f̂ᵢ⁻` (may be negative due to
     /// approximation even in strict turnstile streams).
-    pub fn estimate(&self, item: u64) -> i64 {
+    pub fn estimate(&self, item: &K) -> i64 {
         self.additions.estimate(item) as i64 - self.deletions.estimate(item) as i64
     }
 
     /// Certified bounds on the net frequency:
     /// `lower = lb⁺ − ub⁻`, `upper = ub⁺ − lb⁻`.
-    pub fn bounds(&self, item: u64) -> (i64, i64) {
+    pub fn bounds(&self, item: &K) -> (i64, i64) {
         let lower =
             self.additions.lower_bound(item) as i64 - self.deletions.upper_bound(item) as i64;
         let upper =
@@ -112,41 +150,71 @@ impl SignedFreqSketch {
         self.additions.stream_weight() + self.deletions.stream_weight()
     }
 
-    /// Net weight `ΣΔⱼ` processed (saturating at zero if deletions
-    /// exceed additions).
+    /// Net weight `ΣΔⱼ` processed (negative if deletions exceed
+    /// additions).
     pub fn net_weight(&self) -> i64 {
         self.additions.stream_weight() as i64 - self.deletions.stream_weight() as i64
     }
 
     /// The positive-side summary.
-    pub fn additions(&self) -> &FreqSketch {
+    pub fn additions(&self) -> &SketchEngine<K> {
         &self.additions
     }
 
     /// The negative-side summary.
-    pub fn deletions(&self) -> &FreqSketch {
+    pub fn deletions(&self) -> &SketchEngine<K> {
         &self.deletions
     }
 
     /// Merges another signed sketch (Algorithm 5, applied per sign).
-    pub fn merge(&mut self, other: &SignedFreqSketch) {
+    pub fn merge(&mut self, other: &SignedSketch<K>) {
         self.additions.merge(&other.additions);
         self.deletions.merge(&other.deletions);
     }
 
     /// Items whose net frequency may exceed `threshold`, by upper bound,
-    /// sorted descending (a no-false-negatives style report).
-    pub fn frequent_items_above(&self, threshold: i64) -> Vec<(u64, i64)> {
-        let mut rows: Vec<(u64, i64)> = self
+    /// sorted descending by estimate (a no-false-negatives style report).
+    pub fn frequent_items_above(&self, threshold: i64) -> Vec<(K, i64)>
+    where
+        K: Ord,
+    {
+        let mut rows: Vec<(K, i64)> = self
             .additions
             .counters()
             .filter_map(|(item, _)| {
                 let (_, ub) = self.bounds(item);
-                (ub > threshold).then_some((item, self.estimate(item)))
+                (ub > threshold).then(|| (item.clone(), self.estimate(item)))
             })
             .collect();
         rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         rows
+    }
+
+    /// [`Self::frequent_items_above`] at the sketch's own
+    /// [`Self::maximum_error`] — the finest net-frequency distinction the
+    /// two-instance reduction can certify.
+    pub fn frequent_items(&self) -> Vec<(K, i64)>
+    where
+        K: Ord,
+    {
+        self.frequent_items_above(self.maximum_error() as i64)
+    }
+
+    /// The (φ, ε)-heavy-hitters query over the *net* stream: items whose
+    /// net frequency may exceed `max(phi · max(ΣΔⱼ, 0), maximum_error)`.
+    /// No false negatives: reporting is by net upper bound, so any item
+    /// genuinely above the threshold is returned.
+    ///
+    /// # Panics
+    /// Panics if `phi` is outside `[0, 1]`.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(K, i64)>
+    where
+        K: Ord,
+    {
+        assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
+        let net = self.net_weight().max(0);
+        let threshold = (phi * net as f64) as i64;
+        self.frequent_items_above(threshold.max(self.maximum_error() as i64))
     }
 }
 
@@ -162,9 +230,9 @@ mod tests {
         s.update(1, -30);
         s.update(2, 50);
         s.update(3, -5);
-        assert_eq!(s.estimate(1), 70);
-        assert_eq!(s.estimate(2), 50);
-        assert_eq!(s.estimate(3), -5);
+        assert_eq!(s.estimate(&1), 70);
+        assert_eq!(s.estimate(&2), 50);
+        assert_eq!(s.estimate(&3), -5);
         assert_eq!(s.gross_weight(), 185);
         assert_eq!(s.net_weight(), 115);
         assert_eq!(s.maximum_error(), 0);
@@ -193,10 +261,10 @@ mod tests {
         }
         assert!(s.additions().num_purges() > 0, "must exercise purging");
         for (&item, &f) in &truth {
-            let (lo, hi) = s.bounds(item);
+            let (lo, hi) = s.bounds(&item);
             assert!(lo <= f && f <= hi, "item {item}: {f} outside [{lo}, {hi}]");
             assert!(
-                s.estimate(item).abs_diff(f) <= s.maximum_error(),
+                s.estimate(&item).abs_diff(f) <= s.maximum_error(),
                 "estimate error beyond certified maximum"
             );
         }
@@ -211,10 +279,94 @@ mod tests {
             s.update(i % 500 + 100, 10);
         }
         let net = 5_000i64 * 150;
-        let (lo, hi) = s.bounds(42);
+        let (lo, hi) = s.bounds(&42);
         assert!(lo <= net && net <= hi);
         let top = s.frequent_items_above(net / 2);
         assert_eq!(top.first().map(|&(i, _)| i), Some(42));
+    }
+
+    #[test]
+    fn update_batch_is_state_identical_to_scalar() {
+        let stream: Vec<(u64, i64)> = (0..40_000u64)
+            .map(|i| {
+                let item = (i * 2_654_435_761) % 400;
+                let mag = (i % 60 + 1) as i64;
+                (item, if i % 9 == 0 { -mag } else { mag })
+            })
+            .collect();
+        let mut scalar = SignedFreqSketch::try_new(64, PurgePolicy::smed(), 5).unwrap();
+        for &(item, delta) in &stream {
+            scalar.update(item, delta);
+        }
+        let mut batched = SignedFreqSketch::try_new(64, PurgePolicy::smed(), 5).unwrap();
+        // Arbitrary re-chunking must not matter.
+        for chunk in stream.chunks(777) {
+            batched.update_batch(chunk);
+        }
+        assert!(scalar.additions().num_purges() > 0, "must exercise purging");
+        assert_eq!(
+            batched.additions().state_fingerprint(),
+            scalar.additions().state_fingerprint()
+        );
+        assert_eq!(
+            batched.deletions().state_fingerprint(),
+            scalar.deletions().state_fingerprint()
+        );
+    }
+
+    #[test]
+    fn update_batch_skips_zero_deltas() {
+        let mut s = SignedFreqSketch::with_max_counters(8);
+        s.update_batch(&[(1, 5), (2, 0), (3, -7)]);
+        assert_eq!(s.gross_weight(), 12);
+        assert_eq!(s.estimate(&2), 0);
+    }
+
+    #[test]
+    fn heavy_hitters_reports_net_heavy_items() {
+        let mut s = SignedFreqSketch::with_max_counters(64);
+        for i in 0..5_000u64 {
+            s.update(7, 100);
+            s.update(7, -40); // net +60 per round → 300k net
+            s.update(i % 800 + 100, 2);
+        }
+        let hh = s.heavy_hitters(0.2);
+        assert!(!hh.is_empty(), "the 30%-net item must be reported");
+        assert_eq!(hh[0].0, 7);
+        // No-false-negatives side: everything reported has ub above the
+        // requested threshold.
+        let net = s.net_weight().max(0);
+        let threshold = (0.2 * net as f64) as i64;
+        for (item, _) in &hh {
+            let (_, ub) = s.bounds(item);
+            assert!(ub > threshold);
+        }
+    }
+
+    #[test]
+    fn frequent_items_at_certified_error_level() {
+        let mut s = SignedFreqSketch::with_max_counters(16);
+        for i in 0..20_000u64 {
+            s.update(1, 50);
+            s.update(i % 300 + 10, 3);
+            if i % 10 == 0 {
+                s.update(1, -5);
+            }
+        }
+        let rows = s.frequent_items();
+        assert_eq!(rows.first().map(|&(i, _)| i), Some(1));
+    }
+
+    #[test]
+    fn generic_string_items_work() {
+        let mut s: SignedSketch<String> = SignedSketch::with_max_counters(16);
+        s.update("order-1".into(), 500);
+        s.update("order-1".into(), -120);
+        s.update("order-2".into(), 80);
+        assert_eq!(s.estimate(&"order-1".to_string()), 380);
+        assert_eq!(s.net_weight(), 460);
+        let top = s.frequent_items_above(100);
+        assert_eq!(top[0].0, "order-1");
     }
 
     #[test]
@@ -225,8 +377,8 @@ mod tests {
         b.update(1, -40);
         b.update(2, 7);
         a.merge(&b);
-        assert_eq!(a.estimate(1), 60);
-        assert_eq!(a.estimate(2), 7);
+        assert_eq!(a.estimate(&1), 60);
+        assert_eq!(a.estimate(&2), 7);
         assert_eq!(a.gross_weight(), 147);
     }
 }

@@ -19,6 +19,14 @@
 //! under-filled sketch costs memory proportional to its content, matching
 //! the DataSketches deployment the paper describes.
 //!
+//! All of the algorithmic machinery lives in the generic
+//! [`SketchEngine`]; `FreqSketch` is the
+//! `u64`-keyed instantiation with by-value query ergonomics and the
+//! versioned wire format of [`crate::codec`]. The instantiation is
+//! zero-overhead: the `u64` hash inlines to the SplitMix64 finalizer and
+//! keys are stored in a dense `Vec<u64>`, exactly as the pre-engine
+//! specialized implementation stored them.
+//!
 //! # Example
 //!
 //! ```
@@ -35,27 +43,12 @@
 //! assert!(sketch.lower_bound(7) <= 1_000_000 && 1_000_000 <= sketch.upper_bound(7));
 //! ```
 
+use crate::engine::{SketchEngine, SketchEngineBuilder};
 use crate::error::Error;
 use crate::purge::PurgePolicy;
-use crate::result::{sort_rows_descending, ErrorType, Row};
-use crate::rng::Xoshiro256StarStar;
-use crate::table::LpTable;
+use crate::result::{ErrorType, Row};
 
-/// Default seed for the purge-sampling generator: behaviour is
-/// deterministic unless a seed is chosen explicitly via the builder.
-pub const DEFAULT_SEED: u64 = 0x5745_4948_4854_4544; // "WEIGHTED"
-
-/// Smallest table the growing sketch starts from (8 slots).
-const LG_MIN_TABLE: u32 = 3;
-
-/// Design load factor: the table is never filled past 3/4, giving the
-/// `L ≈ 4k/3` sizing of §2.3.3.
-const LOAD_NUM: usize = 3;
-const LOAD_DEN: usize = 4;
-
-/// Upper bound on one batch chunk, bounding transient scratch work per
-/// capacity check regardless of `k`.
-const MAX_CHUNK: usize = 1 << 20;
+pub use crate::engine::DEFAULT_SEED;
 
 /// A weighted frequent-items sketch over `u64` item identifiers.
 ///
@@ -63,29 +56,13 @@ const MAX_CHUNK: usize = 1 << 20;
 /// crate docs for the full API tour.
 #[derive(Clone, Debug)]
 pub struct FreqSketch {
-    pub(crate) table: LpTable,
-    pub(crate) lg_cur: u32,
-    pub(crate) lg_max: u32,
-    pub(crate) max_counters: usize,
-    pub(crate) policy: PurgePolicy,
-    pub(crate) rng: Xoshiro256StarStar,
-    pub(crate) seed: u64,
-    pub(crate) offset: u64,
-    pub(crate) stream_weight: u64,
-    pub(crate) weight_saturated: bool,
-    pub(crate) num_updates: u64,
-    pub(crate) num_purges: u64,
-    pub(crate) scratch: Vec<i64>,
-    pub(crate) pair_scratch: Vec<(u64, i64)>,
+    pub(crate) engine: SketchEngine<u64>,
 }
 
 /// Configures and constructs a [`FreqSketch`].
 #[derive(Clone, Debug)]
 pub struct FreqSketchBuilder {
-    max_counters: usize,
-    policy: PurgePolicy,
-    seed: u64,
-    grow_from_small: bool,
+    inner: SketchEngineBuilder<u64>,
 }
 
 impl FreqSketchBuilder {
@@ -93,16 +70,13 @@ impl FreqSketchBuilder {
     /// assigned counters (the paper's `k`).
     pub fn new(max_counters: usize) -> Self {
         Self {
-            max_counters,
-            policy: PurgePolicy::default(),
-            seed: DEFAULT_SEED,
-            grow_from_small: true,
+            inner: SketchEngineBuilder::new(max_counters),
         }
     }
 
     /// Selects the purge policy (default: SMED, the paper's recommendation).
     pub fn policy(mut self, policy: PurgePolicy) -> Self {
-        self.policy = policy;
+        self.inner = self.inner.policy(policy);
         self
     }
 
@@ -110,7 +84,7 @@ impl FreqSketchBuilder {
     /// Two sketches built with equal configuration and seed process any
     /// stream identically.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.inner = self.inner.seed(seed);
         self
     }
 
@@ -118,7 +92,7 @@ impl FreqSketchBuilder {
     /// growing from 8 slots. Pre-allocation avoids rehashing churn in
     /// benchmarks; growth minimizes footprint for underfilled sketches.
     pub fn grow_from_small(mut self, grow: bool) -> Self {
-        self.grow_from_small = grow;
+        self.inner = self.inner.grow_from_small(grow);
         self
     }
 
@@ -129,56 +103,17 @@ impl FreqSketchBuilder {
     /// large the table would exceed 2³¹ slots, or if the policy parameters
     /// are out of range.
     pub fn build(self) -> Result<FreqSketch, Error> {
-        if self.max_counters == 0 {
-            return Err(Error::InvalidConfig("max_counters must be positive".into()));
-        }
-        self.policy.validate().map_err(Error::InvalidConfig)?;
-        let lg_max = lg_table_len_for(self.max_counters).ok_or_else(|| {
-            Error::InvalidConfig(format!(
-                "max_counters {} needs a table larger than 2^31 slots",
-                self.max_counters
-            ))
-        })?;
-        let lg_cur = if self.grow_from_small {
-            LG_MIN_TABLE.min(lg_max)
-        } else {
-            lg_max
-        };
         Ok(FreqSketch {
-            table: LpTable::with_lg_len(lg_cur),
-            lg_cur,
-            lg_max,
-            max_counters: self.max_counters,
-            policy: self.policy,
-            rng: Xoshiro256StarStar::from_seed(self.seed),
-            seed: self.seed,
-            offset: 0,
-            stream_weight: 0,
-            weight_saturated: false,
-            num_updates: 0,
-            num_purges: 0,
-            scratch: Vec::new(),
-            pair_scratch: Vec::new(),
+            engine: self.inner.build()?,
         })
     }
 }
 
-/// Smallest `lg` such that a `2^lg`-slot table holds `k` counters at 3/4
-/// load, i.e. `2^lg ≥ 4k/3` (§2.3.3). `None` if `lg` would exceed 31
-/// (including absurd `k` from corrupted encodings).
-fn lg_table_len_for(k: usize) -> Option<u32> {
-    let min_len = k.checked_mul(LOAD_DEN)?.div_ceil(LOAD_NUM);
-    if min_len > 1 << 31 {
-        return None;
-    }
-    let lg = min_len
-        .next_power_of_two()
-        .trailing_zeros()
-        .max(LG_MIN_TABLE);
-    if lg <= 31 {
-        Some(lg)
-    } else {
-        None
+impl From<SketchEngine<u64>> for FreqSketch {
+    /// Wraps a `u64`-keyed engine (e.g. a [`crate::ShardedSketch`] merge
+    /// export) in the `FreqSketch` API.
+    fn from(engine: SketchEngine<u64>) -> Self {
+        FreqSketch { engine }
     }
 }
 
@@ -200,99 +135,74 @@ impl FreqSketch {
         FreqSketchBuilder::new(max_counters)
     }
 
+    /// Read access to the underlying generic engine.
+    #[inline]
+    pub fn engine(&self) -> &SketchEngine<u64> {
+        &self.engine
+    }
+
     /// Number of counters currently assigned.
     #[inline]
     pub fn num_counters(&self) -> usize {
-        self.table.num_active()
+        self.engine.num_counters()
     }
 
     /// Maximum number of counters this sketch maintains (the paper's `k`).
     #[inline]
     pub fn max_counters(&self) -> usize {
-        self.max_counters
+        self.engine.max_counters()
     }
 
     /// True if the sketch has processed no updates.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.num_updates == 0
+        self.engine.is_empty()
     }
 
     /// Total weighted stream length `N = Σ Δⱼ` processed so far
-    /// (including merged-in streams).
-    ///
-    /// Saturates at `u64::MAX` instead of panicking if the true total
-    /// exceeds `u64` (beyond the paper's `N ≤ 10²⁰` deployment regime);
-    /// [`Self::stream_weight_saturated`] reports when that happened. A
-    /// saturated `N` only makes [`Self::heavy_hitters`] thresholds
-    /// conservative (too low), so the no-false-negatives contract is
-    /// preserved; counter bounds are unaffected.
+    /// (including merged-in streams). Saturates at `u64::MAX` instead of
+    /// panicking — see [`SketchEngine::stream_weight`] for the policy.
     #[inline]
     pub fn stream_weight(&self) -> u64 {
-        self.stream_weight
+        self.engine.stream_weight()
     }
 
     /// True if the total stream weight ever exceeded `u64::MAX` and
     /// [`Self::stream_weight`] is pinned at the saturation point.
     #[inline]
     pub fn stream_weight_saturated(&self) -> bool {
-        self.weight_saturated
-    }
-
-    /// Folds `total` new stream weight into the running `N` under the
-    /// documented saturating policy. Shared by the scalar update, the
-    /// batch update, and the merge paths.
-    #[inline]
-    pub(crate) fn absorb_stream_weight(&mut self, total: u128) {
-        let new_total = self.stream_weight as u128 + total;
-        if new_total > u64::MAX as u128 {
-            self.stream_weight = u64::MAX;
-            self.weight_saturated = true;
-        } else {
-            self.stream_weight = new_total as u64;
-        }
+        self.engine.stream_weight_saturated()
     }
 
     /// Number of update operations `n` processed so far.
     #[inline]
     pub fn num_updates(&self) -> u64 {
-        self.num_updates
+        self.engine.num_updates()
     }
 
     /// Number of purge (DecrementCounters) operations performed.
     #[inline]
     pub fn num_purges(&self) -> u64 {
-        self.num_purges
+        self.engine.num_purges()
     }
 
     /// The purge policy in effect.
     #[inline]
     pub fn policy(&self) -> PurgePolicy {
-        self.policy
+        self.engine.policy()
     }
 
     /// The seed the purge sampler was initialized with.
     #[inline]
     pub fn seed(&self) -> u64 {
-        self.seed
+        self.engine.seed()
     }
 
     /// Bytes of heap memory held by the counter table. At the maximum table
     /// size this is `18 · 2^lg_max ≈ 24k` bytes (§2.3.3).
     #[inline]
     pub fn memory_bytes(&self) -> usize {
-        self.table.memory_bytes()
-    }
-
-    /// The current purge capacity: at the maximum table size, exactly
-    /// `max_counters`; while growing, 3/4 of the current table length.
-    #[inline]
-    fn capacity_now(&self) -> usize {
-        if self.lg_cur == self.lg_max {
-            self.max_counters
-        } else {
-            (self.table.len() * LOAD_NUM) / LOAD_DEN
-        }
+        self.engine.memory_bytes()
     }
 
     /// Processes the weighted update `(item, weight)` in amortized O(1).
@@ -304,111 +214,23 @@ impl FreqSketch {
     /// # Panics
     /// Panics if `weight` exceeds `i64::MAX` (counters are signed 64-bit,
     /// matching the paper's deployment).
+    #[inline]
     pub fn update(&mut self, item: u64, weight: u64) {
-        if weight == 0 {
-            return;
-        }
-        assert!(
-            weight <= i64::MAX as u64,
-            "update weight {weight} exceeds supported range"
-        );
-        self.absorb_stream_weight(weight as u128);
-        self.num_updates += 1;
-        self.feed(item, weight as i64);
+        self.engine.update(item, weight);
     }
 
     /// Processes a unit update `(item, 1)`.
     #[inline]
     pub fn update_one(&mut self, item: u64) {
-        self.update(item, 1);
+        self.engine.update_one(item);
     }
 
     /// Processes a slice of weighted updates, **state-identically** to
     /// calling [`Self::update`] on each pair in order, but substantially
-    /// faster on large tables:
-    ///
-    /// * probe homes are precomputed a chunk at a time and the table
-    ///   slots software-prefetched ahead of the probe cursor
-    ///   ([`LpTable::adjust_or_insert_batch`]), hiding DRAM latency that
-    ///   dominates once the table outgrows L2;
-    /// * the `stream_weight` / `num_updates` bookkeeping is folded into
-    ///   one accumulation per chunk instead of one per update.
-    ///
-    /// Equivalence with the scalar path (same estimates, same purge
-    /// points, same table layout, same sampler state) is maintained by
-    /// sizing each chunk to the purge headroom: a chunk never inserts
-    /// more counters than `capacity − num_active`, so no purge or growth
-    /// decision can fall *inside* a chunk, and the items at capacity
-    /// boundaries take the scalar path exactly as `update` would.
+    /// faster on large tables — see [`SketchEngine::update_batch`] for
+    /// the chunking and prefetching scheme.
     pub fn update_batch(&mut self, batch: &[(u64, u64)]) {
-        let mut rest = batch;
-        while !rest.is_empty() {
-            let headroom = self.capacity_now().saturating_sub(self.table.num_active());
-            if headroom == 0 {
-                // At capacity: the next update may trigger growth or a
-                // purge, whose timing must match the scalar path.
-                let (item, weight) = rest[0];
-                rest = &rest[1..];
-                self.update(item, weight);
-                continue;
-            }
-            let take = headroom.min(rest.len()).min(MAX_CHUNK);
-            let (chunk, tail) = rest.split_at(take);
-            rest = tail;
-            // The chunk goes to the table untouched — no copy — with
-            // validation and weight/count accounting folded into the same
-            // single pass. Within-chunk inserts cannot exceed capacity
-            // (chunk size is bounded by headroom), so no purge/grow check
-            // is needed until the chunk completes.
-            let (total, applied) = self.table.adjust_or_insert_batch_weighted(chunk);
-            self.absorb_stream_weight(total);
-            self.num_updates += applied;
-            // A headroom-sized chunk cannot push past capacity, so no
-            // purge or growth can be due here — they all route through
-            // the scalar fallback above, preserving scalar timing.
-            debug_assert!(self.table.num_active() <= self.capacity_now());
-        }
-    }
-
-    /// Core insertion path shared by updates and merges: adjust the counter,
-    /// then grow or purge if the capacity discipline is violated.
-    fn feed(&mut self, item: u64, weight: i64) {
-        self.table.adjust_or_insert(item, weight);
-        while self.table.num_active() > self.capacity_now() {
-            if self.lg_cur < self.lg_max {
-                self.grow();
-            } else {
-                self.purge();
-            }
-        }
-    }
-
-    /// Doubles the table, rehashing all counters through the prefetching
-    /// batch path (rehash is pure random access over the new table, the
-    /// best case for prefetching).
-    fn grow(&mut self) {
-        let new_lg = self.lg_cur + 1;
-        let mut bigger = LpTable::with_lg_len(new_lg);
-        let mut pairs = core::mem::take(&mut self.pair_scratch);
-        pairs.clear();
-        pairs.extend(self.table.iter());
-        bigger.adjust_or_insert_batch(&pairs);
-        self.pair_scratch = pairs;
-        self.table = bigger;
-        self.lg_cur = new_lg;
-    }
-
-    /// One DecrementCounters() operation: compute `c*` per the policy,
-    /// subtract it from every counter, drop the non-positive ones, and fold
-    /// `c*` into the estimate offset (§2.3.1).
-    fn purge(&mut self) {
-        let cstar = self
-            .policy
-            .compute_cstar(&self.table, &mut self.rng, &mut self.scratch);
-        debug_assert!(cstar > 0, "counters are positive, so c* must be");
-        self.table.purge_decrement(cstar);
-        self.offset += cstar as u64;
-        self.num_purges += 1;
+        self.engine.update_batch(batch);
     }
 
     /// Estimate `f̂ᵢ` of the item's weighted frequency: `c(i) + offset` for
@@ -417,17 +239,14 @@ impl FreqSketch {
     /// tracked items and `0 ≤ fᵢ ≤ maximum_error` for untracked ones.
     #[inline]
     pub fn estimate(&self, item: u64) -> u64 {
-        match self.table.get(item) {
-            Some(c) => c as u64 + self.offset,
-            None => 0,
-        }
+        self.engine.estimate(&item)
     }
 
     /// Certified lower bound on the item's frequency: `c(i)`, or `0` if the
     /// item is not tracked. Never exceeds the true frequency.
     #[inline]
     pub fn lower_bound(&self, item: u64) -> u64 {
-        self.table.get(item).map_or(0, |c| c as u64)
+        self.engine.lower_bound(&item)
     }
 
     /// Certified upper bound on the item's frequency: `c(i) + offset`, or
@@ -435,138 +254,69 @@ impl FreqSketch {
     /// frequency.
     #[inline]
     pub fn upper_bound(&self, item: u64) -> u64 {
-        self.table
-            .get(item)
-            .map_or(self.offset, |c| c as u64 + self.offset)
+        self.engine.upper_bound(&item)
     }
 
     /// The a-posteriori maximum error: any estimate is within this of the
     /// true frequency. Equal to the cumulative purge decrement (`offset`).
     #[inline]
     pub fn maximum_error(&self) -> u64 {
-        self.offset
+        self.engine.maximum_error()
     }
 
     /// A-priori bound on `maximum_error` after processing weight `n_total`:
     /// `n_total / (k*_eff · k)` per Lemma 4 / Theorems 2 & 4, where
     /// `k*_eff` comes from [`PurgePolicy::effective_kstar_fraction`].
     pub fn a_priori_error(&self, n_total: u64) -> u64 {
-        let kstar = self.policy.effective_kstar_fraction() * self.max_counters as f64;
-        (n_total as f64 / kstar).ceil() as u64
+        self.engine.a_priori_error(n_total)
     }
 
     /// Iterates over the tracked `(item, lower_bound)` pairs in table order.
     pub fn counters(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.table.iter().map(|(k, v)| (k, v as u64))
-    }
-
-    /// Builds the result row for a tracked item.
-    fn row_for(&self, item: u64, count: i64) -> Row {
-        Row {
-            item,
-            estimate: count as u64 + self.offset,
-            lower_bound: count as u64,
-            upper_bound: count as u64 + self.offset,
-        }
+        self.engine.counters().map(|(&item, lb)| (item, lb))
     }
 
     /// Returns every item whose frequency may exceed `threshold`, under the
-    /// chosen reporting contract, sorted by descending estimate:
-    ///
-    /// * [`ErrorType::NoFalsePositives`]: items with
-    ///   `lower_bound > threshold` — all genuinely above the threshold.
-    /// * [`ErrorType::NoFalseNegatives`]: items with
-    ///   `upper_bound > threshold` — misses nothing above the threshold.
-    ///
-    /// A threshold below [`Self::maximum_error`] is raised to it (as in
-    /// the deployed DataSketches API): the summary cannot enumerate items
-    /// whose entire frequency fits inside its error band, so thresholds
-    /// below that level cannot honour either contract.
+    /// chosen reporting contract, sorted by descending estimate — see
+    /// [`SketchEngine::frequent_items_with_threshold`] for the contract
+    /// details and the threshold clamp.
     pub fn frequent_items_with_threshold(&self, threshold: u64, error_type: ErrorType) -> Vec<Row> {
-        let threshold = threshold.max(self.maximum_error());
-        let mut rows: Vec<Row> = self
-            .table
-            .iter()
-            .filter_map(|(item, count)| {
-                let row = self.row_for(item, count);
-                let include = match error_type {
-                    ErrorType::NoFalsePositives => row.lower_bound > threshold,
-                    ErrorType::NoFalseNegatives => row.upper_bound > threshold,
-                };
-                include.then_some(row)
-            })
-            .collect();
-        sort_rows_descending(&mut rows);
-        rows
+        self.engine
+            .frequent_items_with_threshold(threshold, error_type)
     }
 
     /// [`Self::frequent_items_with_threshold`] with the sketch's own
     /// `maximum_error` as the threshold — the finest distinction the
     /// summary can certify.
     pub fn frequent_items(&self, error_type: ErrorType) -> Vec<Row> {
-        self.frequent_items_with_threshold(self.maximum_error(), error_type)
+        self.engine.frequent_items(error_type)
     }
 
     /// The (φ, ε)-heavy-hitters query of §1.2: items whose frequency may
     /// exceed `max(phi · N, maximum_error)`, under the chosen reporting
-    /// contract (see [`Self::frequent_items_with_threshold`] for why the
-    /// threshold cannot usefully go below the summary's error level).
+    /// contract.
     ///
     /// # Panics
     /// Panics if `phi` is outside `[0, 1]`.
     pub fn heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<Row> {
-        assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
-        let threshold = (phi * self.stream_weight as f64) as u64;
-        self.frequent_items_with_threshold(threshold, error_type)
+        self.engine.heavy_hitters(phi, error_type)
     }
 
     /// The `k` tracked items with the largest estimates.
     pub fn top_k(&self, k: usize) -> Vec<Row> {
-        let mut rows: Vec<Row> = self
-            .table
-            .iter()
-            .map(|(item, count)| self.row_for(item, count))
-            .collect();
-        sort_rows_descending(&mut rows);
-        rows.truncate(k);
-        rows
+        self.engine.top_k(k)
     }
 
     /// Merges `other` into `self` (Algorithm 5): every counter of `other`
-    /// is replayed into `self` as a weighted update, and the offsets add.
-    /// After the merge, `self` summarizes the concatenation of both input
-    /// streams with error bounded by Theorem 5; `other` is unchanged and
-    /// can be discarded.
-    ///
-    /// Counters are replayed in randomized order so that merging summaries
-    /// that share the hash function cannot overpopulate probe runs (§3.2,
-    /// Note). The implementation collects the counters with one sequential
-    /// scan and Fisher-Yates-shuffles the compact pair array — cheaper
-    /// than visiting the source table in a strided random order, which
-    /// costs a cache miss per slot.
+    /// is replayed into `self` as a weighted update, in randomized order,
+    /// and the offsets add — see [`SketchEngine::merge`].
     pub fn merge(&mut self, other: &FreqSketch) {
-        let mut pairs: Vec<(u64, i64)> = other.table.iter().collect();
-        // Fisher-Yates with the sketch's own sampler.
-        for i in (1..pairs.len()).rev() {
-            let j = self.rng.next_below(i as u64 + 1) as usize;
-            pairs.swap(i, j);
-        }
-        for (item, count) in pairs {
-            self.feed(item, count);
-        }
-        self.offset += other.offset;
-        self.absorb_stream_weight(other.stream_weight as u128);
-        self.weight_saturated |= other.weight_saturated;
-        self.num_updates += other.num_updates;
+        self.engine.merge(&other.engine);
     }
 
     /// Replays an arbitrary counter list into the sketch as weighted
-    /// updates. This is Algorithm 5's generic form: the source can be any
-    /// counter-based summary (§3.2 "applies generically to any
-    /// counter-based algorithm"). `source_stream_weight` is the weighted
-    /// length of the stream the source summarized (its `N`), and
-    /// `source_max_error` the summary's maximum estimation error (0 for an
-    /// exact counter list).
+    /// updates (Algorithm 5's generic form) — see
+    /// [`SketchEngine::absorb_counters`].
     pub fn absorb_counters<I>(
         &mut self,
         counters: I,
@@ -575,22 +325,14 @@ impl FreqSketch {
     ) where
         I: IntoIterator<Item = (u64, u64)>,
     {
-        for (item, count) in counters {
-            if count == 0 {
-                continue;
-            }
-            assert!(count <= i64::MAX as u64, "counter {count} exceeds range");
-            self.feed(item, count as i64);
-        }
-        self.offset += source_max_error;
-        self.absorb_stream_weight(source_stream_weight as u128);
+        self.engine
+            .absorb_counters(counters, source_stream_weight, source_max_error);
     }
 
     /// Test/debug aid: verifies the internal table invariants.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        self.table.check_invariants();
-        assert!(self.table.num_active() <= self.capacity_now().max(self.max_counters));
+        self.engine.check_invariants();
     }
 }
 
@@ -600,18 +342,7 @@ impl FreqSketch {
 /// caller materializing a slice.
 impl Extend<(u64, u64)> for FreqSketch {
     fn extend<I: IntoIterator<Item = (u64, u64)>>(&mut self, iter: I) {
-        /// Buffered pairs per `update_batch` call; large enough to
-        /// amortize the call, small enough to stay cache-resident.
-        const EXTEND_BUF: usize = 4096;
-        let mut buf: Vec<(u64, u64)> = Vec::with_capacity(EXTEND_BUF);
-        for pair in iter {
-            buf.push(pair);
-            if buf.len() == EXTEND_BUF {
-                self.update_batch(&buf);
-                buf.clear();
-            }
-        }
-        self.update_batch(&buf);
+        self.engine.extend(iter);
     }
 }
 
@@ -898,17 +629,6 @@ mod tests {
                 .build(),
             Err(Error::InvalidConfig(_))
         ));
-    }
-
-    #[test]
-    fn lg_sizing_matches_paper() {
-        // k = 24576 → 4k/3 = 32768 = 2^15 (§4.1's largest configuration).
-        assert_eq!(lg_table_len_for(24_576), Some(15));
-        // k = 0.75 * 2^lg boundary cases
-        assert_eq!(lg_table_len_for(6), Some(3));
-        assert_eq!(lg_table_len_for(7), Some(4));
-        // tiny k still gets the minimum table
-        assert_eq!(lg_table_len_for(1), Some(3));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The linear-probing counter table of §2.3.3.
+//! The linear-probing counter table of §2.3.3, generic over the key type.
 //!
 //! Keys and values live in two parallel arrays whose length `L` is a power
 //! of two (so index arithmetic is a mask). A third parallel array of 2-byte
@@ -6,8 +6,15 @@
 //! key from its preferred cell plus one; state 0 marks an empty cell. The
 //! paper's numerical analysis shows 2 bytes suffice for any realistic table
 //! (for k ≤ 2³² and L = 4k/3 the probability a state ever exceeds 2¹⁴ is
-//! below 10⁻²⁵⁰), giving 18 bytes per slot and `18·(4/3)·k = 24k` bytes per
-//! sketch at the 3/4 design load factor.
+//! below 10⁻²⁵⁰). With `u64` keys that is 18 bytes per slot and
+//! `18·(4/3)·k = 24k` bytes per sketch at the 3/4 design load factor.
+//!
+//! The table is generic over [`SketchKey`]:
+//! `LpTable<u64>` is bit-for-bit the paper's layout (dense `Vec<u64>` keys,
+//! inline SplitMix64 hashing, no `Option` overhead — vacancy lives in the
+//! state array, so empty slots just hold `K::default()`), while
+//! `LpTable<String>` or any other key type gets the same probing, batching,
+//! and purge machinery with by-value key storage.
 //!
 //! The operation that distinguishes this table from a stock hash map is the
 //! purge: *decrement every counter by `c*` and delete the non-positive ones,
@@ -30,9 +37,8 @@
 //! operations the sketch needs, and its capacity discipline (the sketch
 //! never fills it past 3/4) is what keeps probe sequences short.
 
+use crate::engine::SketchKey;
 use crate::rng::Xoshiro256StarStar;
-
-use crate::hashing::Hash64;
 
 /// Items per internal batch chunk: homes for a whole chunk are computed
 /// up front so the key hashing vectorizes and the slot accesses can be
@@ -78,17 +84,17 @@ pub enum Upsert {
 }
 
 /// Open-addressing counter table with linear probing and parallel
-/// key/value/state arrays (§2.3.3).
+/// key/value/state arrays (§2.3.3), generic over the key type.
 #[derive(Clone, Debug)]
-pub struct LpTable {
-    keys: Vec<u64>,
+pub struct LpTable<K: SketchKey = u64> {
+    keys: Vec<K>,
     values: Vec<i64>,
     states: Vec<u16>,
     mask: usize,
     num_active: usize,
 }
 
-impl LpTable {
+impl<K: SketchKey> LpTable<K> {
     /// Creates a table with `2^lg_len` slots.
     ///
     /// # Panics
@@ -102,7 +108,7 @@ impl LpTable {
         );
         let len = 1usize << lg_len;
         Self {
-            keys: vec![0; len],
+            keys: vec![K::default(); len],
             values: vec![0; len],
             states: vec![0; len],
             mask: len - 1,
@@ -128,26 +134,28 @@ impl LpTable {
         self.num_active
     }
 
-    /// Bytes of heap memory held by the three parallel arrays: 18 bytes per
-    /// slot (8 key + 8 value + 2 state), matching the §2.3.3 accounting.
+    /// Bytes of heap memory held by the three parallel arrays:
+    /// `size_of::<K>() + 8 + 2` per slot — 18 bytes for `u64` keys,
+    /// matching the §2.3.3 accounting. Heap storage *inside* keys (e.g.
+    /// `String` buffers) is not counted.
     #[inline]
     pub fn memory_bytes(&self) -> usize {
-        self.len() * (8 + 8 + 2)
+        self.len() * (core::mem::size_of::<K>() + 8 + 2)
     }
 
     #[inline]
-    fn home(&self, key: u64) -> usize {
-        (key.hash64() as usize) & self.mask
+    fn home(&self, key: &K) -> usize {
+        (key.hash_key() as usize) & self.mask
     }
 
     /// Looks up `key`, returning its counter value if assigned.
-    pub fn get(&self, key: u64) -> Option<i64> {
+    pub fn get(&self, key: &K) -> Option<i64> {
         let mut i = self.home(key);
         loop {
             if self.states[i] == 0 {
                 return None;
             }
-            if self.keys[i] == key {
+            if self.keys[i] == *key {
                 return Some(self.values[i]);
             }
             i = (i + 1) & self.mask;
@@ -162,20 +170,20 @@ impl LpTable {
     /// Panics if the table is completely full, or if the probe distance of a
     /// new insertion would exceed the 2-byte state range (never observed at
     /// the design load factor; see the module docs).
-    pub fn adjust_or_insert(&mut self, key: u64, delta: i64) -> Upsert {
+    pub fn adjust_or_insert(&mut self, key: K, delta: i64) -> Upsert {
         assert!(
             self.num_active < self.len(),
             "LpTable overflow: caller must keep load below 100%"
         );
-        let home = self.home(key);
+        let home = self.home(&key);
         self.upsert_at(home, key, delta)
     }
 
     /// Probe loop shared by the scalar and batch paths; `home` is the
     /// key's precomputed preferred slot.
     #[inline]
-    fn upsert_at(&mut self, home: usize, key: u64, delta: i64) -> Upsert {
-        debug_assert_eq!(home, self.home(key));
+    fn upsert_at(&mut self, home: usize, key: K, delta: i64) -> Upsert {
+        debug_assert_eq!(home, self.home(&key));
         let mut i = home;
         let mut dist: usize = 0;
         loop {
@@ -212,7 +220,7 @@ impl LpTable {
     /// Panics if a weight exceeds `i64::MAX`, with updates before the
     /// offending pair already applied — byte-identical to what a scalar
     /// update loop would have done before panicking at the same pair.
-    pub fn adjust_or_insert_batch_weighted(&mut self, batch: &[(u64, u64)]) -> (u128, u64) {
+    pub fn adjust_or_insert_batch_weighted(&mut self, batch: &[(K, u64)]) -> (u128, u64) {
         let mut total: u128 = 0;
         let mut applied: u64 = 0;
         for chunk in batch.chunks(BATCH_CHUNK) {
@@ -222,7 +230,7 @@ impl LpTable {
                 chunk.len()
             );
             let mut homes = [0usize; BATCH_CHUNK];
-            for (j, &(key, _)) in chunk.iter().enumerate() {
+            for (j, (key, _)) in chunk.iter().enumerate() {
                 homes[j] = self.home(key);
             }
             let n = chunk.len();
@@ -233,7 +241,8 @@ impl LpTable {
                 if j + PREFETCH_AHEAD < n {
                     self.prefetch_slot(homes[j + PREFETCH_AHEAD]);
                 }
-                let (key, weight) = chunk[j];
+                let (key, weight) = &chunk[j];
+                let weight = *weight;
                 if weight == 0 {
                     continue;
                 }
@@ -243,7 +252,7 @@ impl LpTable {
                 );
                 total += weight as u128;
                 applied += 1;
-                self.upsert_at(homes[j], key, weight as i64);
+                self.upsert_at(homes[j], key.clone(), weight as i64);
             }
         }
         (total, applied)
@@ -262,7 +271,7 @@ impl LpTable {
     /// pair **in order**, producing exactly the state a scalar loop would.
     ///
     /// The throughput win comes from working a chunk at a time: the probe
-    /// homes for [`BATCH_CHUNK`] keys are precomputed in one pass (letting
+    /// homes for a 64-key chunk are precomputed in one pass (letting
     /// the hash pipeline), and each home is software-prefetched a fixed
     /// distance ahead of the probe cursor, so a table bigger than cache
     /// pays DRAM latency once per chunk wave instead of once per update.
@@ -271,7 +280,7 @@ impl LpTable {
     /// Panics if the pending insertions could fill the table completely;
     /// the caller must keep `num_active + batch.len() < len` per chunk
     /// (the sketch's capacity discipline guarantees this).
-    pub fn adjust_or_insert_batch(&mut self, batch: &[(u64, i64)]) {
+    pub fn adjust_or_insert_batch(&mut self, batch: &[(K, i64)]) {
         for chunk in batch.chunks(BATCH_CHUNK) {
             assert!(
                 self.num_active + chunk.len() < self.len(),
@@ -279,7 +288,7 @@ impl LpTable {
                 chunk.len()
             );
             let mut homes = [0usize; BATCH_CHUNK];
-            for (j, &(key, _)) in chunk.iter().enumerate() {
+            for (j, (key, _)) in chunk.iter().enumerate() {
                 homes[j] = self.home(key);
             }
             let n = chunk.len();
@@ -290,8 +299,8 @@ impl LpTable {
                 if j + PREFETCH_AHEAD < n {
                     self.prefetch_slot(homes[j + PREFETCH_AHEAD]);
                 }
-                let (key, delta) = chunk[j];
-                self.upsert_at(homes[j], key, delta);
+                let (key, delta) = &chunk[j];
+                self.upsert_at(homes[j], key.clone(), *delta);
             }
         }
     }
@@ -351,6 +360,7 @@ impl LpTable {
                 gaps.clear();
             } else if self.values[i] <= cstar {
                 self.states[i] = 0;
+                self.keys[i] = K::default();
                 gaps.push(i);
                 removed += 1;
             } else {
@@ -362,7 +372,7 @@ impl LpTable {
                 let pos = gaps.partition_point(|&g| rank(g) < rank(home));
                 if pos < gaps.len() {
                     let dest = gaps.remove(pos);
-                    self.keys[dest] = self.keys[i];
+                    self.keys.swap(dest, i);
                     self.values[dest] = self.values[i] - cstar;
                     self.states[dest] = ((dest.wrapping_sub(home) & mask) + 1) as u16;
                     self.states[i] = 0;
@@ -412,6 +422,9 @@ impl LpTable {
             loop {
                 j = (j + 1) & mask;
                 if self.states[j] == 0 {
+                    // The deleted key has migrated (via the swaps below)
+                    // into the final hole; drop it.
+                    self.keys[hole] = K::default();
                     return;
                 }
                 let dist = (self.states[j] - 1) as usize;
@@ -420,7 +433,7 @@ impl LpTable {
                 // its probe path, i.e. strictly closer to its home cell.
                 let new_dist = hole.wrapping_sub(home) & mask;
                 if new_dist < dist {
-                    self.keys[hole] = self.keys[j];
+                    self.keys.swap(hole, j);
                     self.values[hole] = self.values[j];
                     self.states[hole] = (new_dist + 1) as u16;
                     hole = j;
@@ -430,18 +443,19 @@ impl LpTable {
         }
     }
 
-    /// Iterates over `(key, value)` pairs of assigned counters in slot order.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+    /// Iterates over `(&key, value)` pairs of assigned counters in slot
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, i64)> + '_ {
         (0..self.len()).filter_map(move |i| {
             if self.states[i] != 0 {
-                Some((self.keys[i], self.values[i]))
+                Some((&self.keys[i], self.values[i]))
             } else {
                 None
             }
         })
     }
 
-    /// Iterates over `(key, value)` pairs in a *randomized* slot order:
+    /// Iterates over `(&key, value)` pairs in a *randomized* slot order:
     /// a random start offset and a random odd stride (a permutation of the
     /// power-of-two slot space). Used by the merge procedure to avoid the
     /// probe-clustering pathology of §3.2's Note when both summaries share
@@ -449,7 +463,7 @@ impl LpTable {
     pub fn iter_randomized<'a>(
         &'a self,
         rng: &mut Xoshiro256StarStar,
-    ) -> impl Iterator<Item = (u64, i64)> + 'a {
+    ) -> impl Iterator<Item = (&'a K, i64)> + 'a {
         let len = self.len();
         let start = rng.next_below(len as u64) as usize;
         let stride = (rng.next_u64() as usize | 1) & self.mask;
@@ -457,7 +471,7 @@ impl LpTable {
         (0..len).filter_map(move |t| {
             let i = start.wrapping_add(t.wrapping_mul(stride)) & mask;
             if self.states[i] != 0 {
-                Some((self.keys[i], self.values[i]))
+                Some((&self.keys[i], self.values[i]))
             } else {
                 None
             }
@@ -523,6 +537,9 @@ impl LpTable {
     /// Removes all counters.
     pub fn clear(&mut self) {
         self.states.fill(0);
+        for key in &mut self.keys {
+            *key = K::default();
+        }
         self.num_active = 0;
     }
 
@@ -543,7 +560,7 @@ impl LpTable {
             let home = i.wrapping_sub(dist) & self.mask;
             assert_eq!(
                 home,
-                self.home(self.keys[i]),
+                self.home(&self.keys[i]),
                 "slot {i}: state does not encode the key's home cell"
             );
             // Every cell on the probe path from home to i must be occupied,
@@ -557,7 +574,7 @@ impl LpTable {
                 j = (j + 1) & self.mask;
             }
             assert_eq!(
-                self.get(self.keys[i]),
+                self.get(&self.keys[i]),
                 Some(self.values[i]),
                 "slot {i}: key not findable by lookup"
             );
@@ -566,7 +583,7 @@ impl LpTable {
     }
 }
 
-impl crate::purge::CounterValues for LpTable {
+impl<K: SketchKey> crate::purge::CounterValues for LpTable<K> {
     fn is_empty(&self) -> bool {
         LpTable::is_empty(self)
     }
@@ -587,18 +604,23 @@ impl crate::purge::CounterValues for LpTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hashing::Hash64;
     use std::collections::HashMap;
 
     fn table() -> LpTable {
         LpTable::with_lg_len(8) // 256 slots
     }
 
+    fn pairs_of(t: &LpTable) -> Vec<(u64, i64)> {
+        t.iter().map(|(&k, v)| (k, v)).collect()
+    }
+
     #[test]
     fn insert_then_get() {
         let mut t = table();
         assert_eq!(t.adjust_or_insert(42, 7), Upsert::Inserted);
-        assert_eq!(t.get(42), Some(7));
-        assert_eq!(t.get(43), None);
+        assert_eq!(t.get(&42), Some(7));
+        assert_eq!(t.get(&43), None);
         assert_eq!(t.num_active(), 1);
     }
 
@@ -607,7 +629,7 @@ mod tests {
         let mut t = table();
         t.adjust_or_insert(5, 10);
         assert_eq!(t.adjust_or_insert(5, 32), Upsert::Updated);
-        assert_eq!(t.get(5), Some(42));
+        assert_eq!(t.get(&5), Some(42));
         assert_eq!(t.num_active(), 1);
     }
 
@@ -621,7 +643,7 @@ mod tests {
         assert_eq!(t.num_active(), cap);
         t.check_invariants();
         for k in 0..cap as u64 {
-            assert_eq!(t.get(k), Some((k + 1) as i64), "key {k}");
+            assert_eq!(t.get(&k), Some((k + 1) as i64), "key {k}");
         }
     }
 
@@ -640,9 +662,11 @@ mod tests {
         batched.adjust_or_insert_batch(&pairs);
         batched.check_invariants();
         assert_eq!(batched.num_active(), scalar.num_active());
-        let a: Vec<(u64, i64)> = scalar.iter().collect();
-        let b: Vec<(u64, i64)> = batched.iter().collect();
-        assert_eq!(a, b, "slot layouts diverged");
+        assert_eq!(
+            pairs_of(&scalar),
+            pairs_of(&batched),
+            "slot layouts diverged"
+        );
     }
 
     #[test]
@@ -656,7 +680,7 @@ mod tests {
             t.check_invariants();
             assert_eq!(t.num_active(), len);
             for i in 0..len as u64 {
-                assert_eq!(t.get(i), Some(1), "key {i} of {len}");
+                assert_eq!(t.get(&i), Some(1), "key {i} of {len}");
             }
         }
     }
@@ -664,7 +688,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "LpTable overflow")]
     fn batch_upsert_rejects_overfill() {
-        let mut t = LpTable::with_lg_len(4); // 16 slots
+        let mut t: LpTable = LpTable::with_lg_len(4); // 16 slots
         let pairs: Vec<(u64, i64)> = (0..16u64).map(|i| (i, 1)).collect();
         t.adjust_or_insert_batch(&pairs);
     }
@@ -677,7 +701,7 @@ mod tests {
         }
         t.adjust_all(-20);
         for k in 0..100u64 {
-            assert_eq!(t.get(k), Some(30));
+            assert_eq!(t.get(&k), Some(30));
         }
     }
 
@@ -694,10 +718,10 @@ mod tests {
         assert_eq!(t.num_active(), 50);
         t.check_invariants();
         for k in 0..50u64 {
-            assert_eq!(t.get(k), None, "key {k} should be purged");
+            assert_eq!(t.get(&k), None, "key {k} should be purged");
         }
         for k in 50..100u64 {
-            assert_eq!(t.get(k), Some((k + 1) as i64 - 50), "key {k}");
+            assert_eq!(t.get(&k), Some((k + 1) as i64 - 50), "key {k}");
         }
     }
 
@@ -707,13 +731,13 @@ mod tests {
         // two-step purge (adjust_all + retain_positive) on contents.
         let mut rng = Xoshiro256StarStar::from_seed(77);
         for round in 0..50u64 {
-            let mut a = LpTable::with_lg_len(8);
-            let mut b = LpTable::with_lg_len(8);
+            let mut a: LpTable = LpTable::with_lg_len(8);
+            let mut b: LpTable = LpTable::with_lg_len(8);
             let n = 1 + rng.next_below(192) as usize;
             for _ in 0..n {
                 let key = rng.next_below(400);
                 let v = rng.next_below(100) as i64 + 1;
-                if a.num_active() < 192 || a.get(key).is_some() {
+                if a.num_active() < 192 || a.get(&key).is_some() {
                     a.adjust_or_insert(key, v);
                     b.adjust_or_insert(key, v);
                 }
@@ -724,8 +748,8 @@ mod tests {
             let removed_b = b.retain_positive();
             assert_eq!(removed_a, removed_b, "round {round}");
             a.check_invariants();
-            let mut ca: Vec<(u64, i64)> = a.iter().collect();
-            let mut cb: Vec<(u64, i64)> = b.iter().collect();
+            let mut ca = pairs_of(&a);
+            let mut cb = pairs_of(&b);
             ca.sort_unstable();
             cb.sort_unstable();
             assert_eq!(ca, cb, "round {round}");
@@ -734,7 +758,7 @@ mod tests {
 
     #[test]
     fn purge_decrement_handles_wrapping_runs() {
-        let mut t = LpTable::with_lg_len(4); // 16 slots
+        let mut t: LpTable = LpTable::with_lg_len(4); // 16 slots
         let len = t.len();
         // Keys homing to the last two slots build a run wrapping 15 → 0.
         let mut picked = Vec::new();
@@ -752,7 +776,7 @@ mod tests {
         let removed = t.purge_decrement(1);
         assert_eq!(removed, 3);
         t.check_invariants();
-        for (idx, &k) in picked.iter().enumerate() {
+        for (idx, k) in picked.iter().enumerate() {
             if idx % 2 == 0 {
                 assert_eq!(t.get(k), None);
             } else {
@@ -763,13 +787,13 @@ mod tests {
 
     #[test]
     fn purge_decrement_all_and_none() {
-        let mut t = LpTable::with_lg_len(6);
+        let mut t: LpTable = LpTable::with_lg_len(6);
         for k in 0..40u64 {
             t.adjust_or_insert(k, 5);
         }
         assert_eq!(t.purge_decrement(1), 0, "no counter at or below 1 dies");
         for k in 0..40u64 {
-            assert_eq!(t.get(k), Some(4));
+            assert_eq!(t.get(&k), Some(4));
         }
         assert_eq!(t.purge_decrement(10), 40, "everyone dies");
         assert!(t.is_empty());
@@ -802,7 +826,7 @@ mod tests {
         t.check_invariants();
         assert_eq!(t.num_active(), 64);
         for k in 100..164u64 {
-            assert_eq!(t.get(k), Some(2));
+            assert_eq!(t.get(&k), Some(2));
         }
     }
 
@@ -814,7 +838,7 @@ mod tests {
             t.adjust_or_insert(k * 977, (k + 1) as i64);
             expect.insert(k * 977, (k + 1) as i64);
         }
-        let got: HashMap<u64, i64> = t.iter().collect();
+        let got: HashMap<u64, i64> = t.iter().map(|(&k, v)| (k, v)).collect();
         assert_eq!(got, expect);
     }
 
@@ -825,8 +849,8 @@ mod tests {
             t.adjust_or_insert(k, (k + 1) as i64);
         }
         let mut rng = Xoshiro256StarStar::from_seed(99);
-        let mut a: Vec<(u64, i64)> = t.iter_randomized(&mut rng).collect();
-        let mut b: Vec<(u64, i64)> = t.iter().collect();
+        let mut a: Vec<(u64, i64)> = t.iter_randomized(&mut rng).map(|(&k, v)| (k, v)).collect();
+        let mut b = pairs_of(&t);
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
@@ -840,8 +864,8 @@ mod tests {
         }
         let mut r1 = Xoshiro256StarStar::from_seed(1);
         let mut r2 = Xoshiro256StarStar::from_seed(2);
-        let a: Vec<u64> = t.iter_randomized(&mut r1).map(|(k, _)| k).collect();
-        let b: Vec<u64> = t.iter_randomized(&mut r2).map(|(k, _)| k).collect();
+        let a: Vec<u64> = t.iter_randomized(&mut r1).map(|(&k, _)| k).collect();
+        let b: Vec<u64> = t.iter_randomized(&mut r2).map(|(&k, _)| k).collect();
         assert_ne!(a, b, "different seeds should visit in different orders");
     }
 
@@ -904,27 +928,48 @@ mod tests {
         }
         t.clear();
         assert!(t.is_empty());
-        assert_eq!(t.get(3), None);
+        assert_eq!(t.get(&3), None);
         t.check_invariants();
     }
 
     #[test]
     fn memory_bytes_is_18_per_slot() {
-        let t = LpTable::with_lg_len(10);
+        let t: LpTable = LpTable::with_lg_len(10);
         assert_eq!(t.memory_bytes(), 1024 * 18);
+    }
+
+    #[test]
+    fn string_keys_purge_and_probe() {
+        // The same machinery must work for by-value keys: build clusters,
+        // purge through them, and verify lookups and invariants.
+        let mut t: LpTable<String> = LpTable::with_lg_len(8);
+        for i in 0..150u64 {
+            t.adjust_or_insert(format!("key-{i}"), (i % 20 + 1) as i64);
+        }
+        t.check_invariants();
+        let removed = t.purge_decrement(10);
+        t.check_invariants();
+        assert!(removed > 0, "some keys must die at c* = 10");
+        for i in 0..150u64 {
+            let key = format!("key-{i}");
+            match t.get(&key) {
+                Some(v) => assert_eq!(v, (i % 20 + 1) as i64 - 10, "{key}"),
+                None => assert!(i % 20 < 10, "{key} should have survived"),
+            }
+        }
     }
 
     #[test]
     #[should_panic(expected = "lg_len")]
     fn zero_lg_len_panics() {
-        LpTable::with_lg_len(0);
+        let _: LpTable = LpTable::with_lg_len(0);
     }
 
     /// Deletion stress: interleave inserts, purges and lookups, mirroring
     /// into a std HashMap, verifying invariants after every purge.
     #[test]
     fn model_based_stress() {
-        let mut t = LpTable::with_lg_len(10);
+        let mut t: LpTable = LpTable::with_lg_len(10);
         let cap = t.len() * 3 / 4;
         let mut model: HashMap<u64, i64> = HashMap::new();
         let mut rng = Xoshiro256StarStar::from_seed(2024);
@@ -946,7 +991,7 @@ mod tests {
                 t.check_invariants();
             }
         }
-        let got: HashMap<u64, i64> = t.iter().collect();
+        let got: HashMap<u64, i64> = t.iter().map(|(&k, v)| (k, v)).collect();
         assert_eq!(got, model);
     }
 
@@ -980,7 +1025,7 @@ mod tests {
             /// invariants survive every purge.
             #[test]
             fn equivalent_to_reference_map(ops in arb_ops()) {
-                let mut table = LpTable::with_lg_len(10);
+                let mut table: LpTable = LpTable::with_lg_len(10);
                 let cap = table.len() * 3 / 4;
                 let mut model: HashMap<u64, i64> = HashMap::new();
                 for op in ops {
@@ -1005,7 +1050,7 @@ mod tests {
                         }
                     }
                 }
-                let got: HashMap<u64, i64> = table.iter().collect();
+                let got: HashMap<u64, i64> = table.iter().map(|(&k, v)| (k, v)).collect();
                 prop_assert_eq!(got, model);
             }
         }
@@ -1015,7 +1060,7 @@ mod tests {
     /// array by brute-force key search, then purge through the wrapped run.
     #[test]
     fn wrapping_run_purge() {
-        let mut t = LpTable::with_lg_len(4); // 16 slots
+        let mut t: LpTable = LpTable::with_lg_len(4); // 16 slots
         let len = t.len();
         // Find keys hashing to the last two slots to build a wrapping run.
         let mut picked = Vec::new();
@@ -1036,7 +1081,7 @@ mod tests {
         let removed = t.retain_positive();
         assert_eq!(removed, 3);
         t.check_invariants();
-        for (idx, &k) in picked.iter().enumerate() {
+        for (idx, k) in picked.iter().enumerate() {
             if idx % 2 == 0 {
                 assert_eq!(t.get(k), None);
             } else {

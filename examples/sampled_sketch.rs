@@ -50,7 +50,7 @@ fn main() {
         "source", "full est", "sampled est", "rel"
     );
     for row in full.top_k(8) {
-        let s = sampled.estimate(row.item);
+        let s = sampled.estimate(&row.item);
         let rel = (s as f64 - row.estimate as f64).abs() / row.estimate as f64;
         println!(
             "{:>14} {:>16} {:>16} {:>7.2}%",

@@ -38,9 +38,9 @@ fn main() {
     // Queries against the live bank carry only the owning shard's error.
     println!(
         "flow 7: estimate {} in [{}, {}]",
-        bank.estimate(7),
-        bank.lower_bound(7),
-        bank.upper_bound(7)
+        bank.estimate(&7),
+        bank.lower_bound(&7),
+        bank.upper_bound(&7)
     );
     for row in bank.heavy_hitters(0.2, ErrorType::NoFalsePositives) {
         println!("heavy hitter {} ≥ {}", row.item, row.lower_bound);

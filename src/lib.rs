@@ -45,8 +45,10 @@
 pub use streamfreq_apps as apps;
 pub use streamfreq_baselines as baselines;
 pub use streamfreq_core::{
-    bounds, codec, hashing, item_codec, purge, result, rng, select, sharded, signed, sketch, table,
-    traits, CounterSummary, Error, ErrorType, FreqSketch, FreqSketchBuilder, FrequencyEstimator,
-    ItemsSketch, PurgePolicy, Row, ShardedSketch, ShardedSketchBuilder, SignedFreqSketch,
+    bounds, codec, engine, hashing, item_codec, purge, result, rng, select, sharded, signed,
+    sketch, table, traits, CounterSummary, Error, ErrorType, FreqSketch, FreqSketchBuilder,
+    FrequencyEstimator, ItemsSketch, ItemsSketchBuilder, PurgePolicy, Row, ShardedSketch,
+    ShardedSketchBuilder, SignedFreqSketch, SignedSketch, SketchEngine, SketchEngineBuilder,
+    SketchKey,
 };
 pub use streamfreq_workloads as workloads;

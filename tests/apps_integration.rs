@@ -147,7 +147,7 @@ fn sampled_estimates_concentrate() {
         for &(ip, bits) in &stream {
             s.update(ip, bits);
         }
-        let est = s.estimate(top_item);
+        let est = s.estimate(&top_item);
         rels.push(est.abs_diff(top_f) as f64 / top_f as f64);
     }
     let mean_rel = rels.iter().sum::<f64>() / rels.len() as f64;

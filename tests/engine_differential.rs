@@ -1,0 +1,158 @@
+//! Differential proptests for the unified engine core: `ItemsSketch<u64>`
+//! and `FreqSketch` are two thin wrappers over the same
+//! `SketchEngine<u64>`, so for any update sequence they must produce
+//! **identical** estimates, purge counts, and engine state — the contract
+//! that lets every later optimization land once, in the engine, for all
+//! sketch variants.
+//!
+//! State identity is checked via the engine's `state_fingerprint()`: the
+//! scalar bookkeeping, the sampler state, and the table layout slot by
+//! slot. Matching fingerprints mean the two sketches will also process
+//! any *future* stream identically.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use streamfreq::{FreqSketch, ItemsSketch, PurgePolicy, SignedFreqSketch, SignedSketch};
+
+fn arb_policy() -> impl Strategy<Value = PurgePolicy> {
+    prop_oneof![
+        Just(PurgePolicy::smed()),
+        Just(PurgePolicy::smin()),
+        (0.0f64..=0.98).prop_map(PurgePolicy::sample_quantile),
+        (0.05f64..=1.0).prop_map(|fraction| PurgePolicy::ExactKStar { fraction }),
+        Just(PurgePolicy::GlobalMin),
+    ]
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..200, 1u64..5_000), 1..2_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scalar updates: ItemsSketch<u64> is state-for-state FreqSketch.
+    #[test]
+    fn items_u64_matches_freq_sketch_scalar(
+        stream in arb_stream(),
+        policy in arb_policy(),
+        k in 4usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut freq = FreqSketch::builder(k)
+            .policy(policy)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut items: ItemsSketch<u64> = ItemsSketch::builder(k)
+            .policy(policy)
+            .seed(seed)
+            .build()
+            .unwrap();
+        for &(item, w) in &stream {
+            freq.update(item, w);
+            items.update(item, w);
+        }
+        prop_assert_eq!(items.num_purges(), freq.num_purges());
+        prop_assert_eq!(items.maximum_error(), freq.maximum_error());
+        prop_assert_eq!(items.stream_weight(), freq.stream_weight());
+        prop_assert_eq!(items.num_counters(), freq.num_counters());
+        for item in 0..200u64 {
+            prop_assert_eq!(items.estimate(&item), freq.estimate(item), "item {}", item);
+            prop_assert_eq!(items.lower_bound(&item), freq.lower_bound(item));
+            prop_assert_eq!(items.upper_bound(&item), freq.upper_bound(item));
+        }
+        // The full engine state — table layout, sampler, bookkeeping —
+        // is identical, so all future behaviour is too.
+        prop_assert_eq!(
+            items.engine().state_fingerprint(),
+            freq.engine().state_fingerprint()
+        );
+    }
+
+    /// Batched updates under arbitrary splits: still identical, and the
+    /// fingerprint also matches the scalar-fed FreqSketch (batch is
+    /// state-identical to scalar across the whole engine family).
+    #[test]
+    fn items_u64_matches_freq_sketch_batched(
+        stream in arb_stream(),
+        policy in arb_policy(),
+        k in 4usize..64,
+        split in 1usize..500,
+    ) {
+        let mut freq = FreqSketch::builder(k).policy(policy).build().unwrap();
+        for &(item, w) in &stream {
+            freq.update(item, w);
+        }
+        let mut items: ItemsSketch<u64> = ItemsSketch::builder(k).policy(policy).build().unwrap();
+        for chunk in stream.chunks(split) {
+            items.update_batch(chunk);
+        }
+        prop_assert_eq!(items.num_purges(), freq.num_purges());
+        prop_assert_eq!(
+            items.engine().state_fingerprint(),
+            freq.engine().state_fingerprint()
+        );
+    }
+
+    /// Merging: two ItemsSketch<u64> merge exactly as two FreqSketch do
+    /// (same Fisher-Yates draws, same replay, same offsets).
+    #[test]
+    fn items_u64_merge_matches_freq_sketch_merge(
+        left in arb_stream(),
+        right in arb_stream(),
+        k in 8usize..48,
+    ) {
+        let mut fa = FreqSketch::builder(k).seed(1).build().unwrap();
+        let mut fb = FreqSketch::builder(k).seed(2).build().unwrap();
+        let mut ia: ItemsSketch<u64> = ItemsSketch::builder(k).seed(1).build().unwrap();
+        let mut ib: ItemsSketch<u64> = ItemsSketch::builder(k).seed(2).build().unwrap();
+        for &(item, w) in &left {
+            fa.update(item, w);
+            ia.update(item, w);
+        }
+        for &(item, w) in &right {
+            fb.update(item, w);
+            ib.update(item, w);
+        }
+        fa.merge(&fb);
+        ia.merge(&ib);
+        prop_assert_eq!(
+            ia.engine().state_fingerprint(),
+            fa.engine().state_fingerprint()
+        );
+    }
+
+    /// The signed sketch built on the generic engine brackets the net
+    /// truth and its batch path is state-identical to scalar feeding.
+    #[test]
+    fn signed_generic_batch_matches_scalar(
+        stream in proptest::collection::vec((0u64..80, -300i64..300), 1..800),
+        k in 8usize..48,
+        split in 1usize..300,
+    ) {
+        let mut scalar = SignedFreqSketch::with_max_counters(k);
+        let mut batched: SignedSketch<u64> = SignedSketch::with_max_counters(k);
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        for &(item, delta) in &stream {
+            scalar.update(item, delta);
+            *truth.entry(item).or_insert(0) += delta;
+        }
+        for chunk in stream.chunks(split) {
+            batched.update_batch(chunk);
+        }
+        prop_assert_eq!(
+            batched.additions().state_fingerprint(),
+            scalar.additions().state_fingerprint()
+        );
+        prop_assert_eq!(
+            batched.deletions().state_fingerprint(),
+            scalar.deletions().state_fingerprint()
+        );
+        for (&item, &f) in &truth {
+            let (lo, hi) = batched.bounds(&item);
+            prop_assert!(lo <= f && f <= hi, "item {}: {} outside [{}, {}]", item, f, lo, hi);
+        }
+    }
+}

@@ -72,10 +72,10 @@ proptest! {
             *truth.entry(item).or_insert(0) += delta;
         }
         for (&item, &f) in &truth {
-            let (lo, hi) = sketch.bounds(item);
+            let (lo, hi) = sketch.bounds(&item);
             prop_assert!(lo <= f && f <= hi, "item {item}: {f} outside [{lo}, {hi}]");
             prop_assert!(
-                sketch.estimate(item).abs_diff(f) <= sketch.maximum_error(),
+                sketch.estimate(&item).abs_diff(f) <= sketch.maximum_error(),
                 "estimate outside certified error"
             );
         }

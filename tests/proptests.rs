@@ -244,15 +244,15 @@ proptest! {
         }
         // The live bank brackets the truth per item.
         for (&item, &f) in &truth {
-            prop_assert!(bank.lower_bound(item) <= f);
-            prop_assert!(bank.upper_bound(item) >= f);
+            prop_assert!(bank.lower_bound(&item) <= f);
+            prop_assert!(bank.upper_bound(&item) >= f);
         }
         // And the single merged export obeys Theorem 5.
         let merged = bank.merged();
         prop_assert_eq!(merged.stream_weight(), bank.stream_weight());
         for (&item, &f) in &truth {
-            prop_assert!(merged.lower_bound(item) <= f);
-            prop_assert!(merged.upper_bound(item) >= f);
+            prop_assert!(merged.lower_bound(&item) <= f);
+            prop_assert!(merged.upper_bound(&item) >= f);
         }
         prop_assert!(merged.maximum_error() <= merged.a_priori_error(merged.stream_weight()));
     }
