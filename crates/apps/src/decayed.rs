@@ -1,0 +1,447 @@
+//! Time-fading frequent items: the exponential-decay model of Cafaro,
+//! Pulimeno & Epicoco (FDCMSS, arXiv:1601.03892) on the unified sketch
+//! engine.
+//!
+//! In the time-fading model an update of weight `w` made `e` epochs ago
+//! contributes `w · λᵉ` (0 < λ ≤ 1) to an item's *decayed frequency*, so
+//! recent traffic outweighs stale traffic and a "heavy hitter" means
+//! *heavy now*. [`DecayedSketch`] implements it with the one hook the
+//! engine grew for the purpose:
+//! [`SketchEngine::scale_counters`] multiplies
+//! every counter by λ in one fused compaction pass (dropping the
+//! counters that decay to nothing) each time the epoch clock ticks.
+//! Between ticks it is an ordinary engine: the scalar and batched
+//! ingestion paths, the purge machinery, and the reporting surface are
+//! the same code every other variant runs.
+//!
+//! ## Guarantees (adjusted for decay)
+//!
+//! Let `fᵢ(t)` be the real-valued decayed frequency of item `i` at the
+//! current epoch. The engine's certified bounds survive scaling:
+//!
+//! * `lower_bound(i) ≤ fᵢ(t) ≤ upper_bound(i)` for tracked items, and
+//! * `fᵢ(t) ≤ maximum_error()` for untracked items.
+//!
+//! The price of decaying integer counters is one extra unit of error
+//! band per tick (counters floor; the offset rounds up and adds 1 —
+//! see [`SketchEngine::scale_counters`]), on
+//! top of the λ-scaled purge error. Both are folded into
+//! [`DecayedSketch::maximum_error`], so every reported bound remains
+//! certified.
+//!
+//! The decayed stream weight `N(t) = Σⱼ Δⱼ·λ^{eⱼ}` (within the same
+//! flooring slack) backs the φ-heavy-hitters threshold: a query asks for
+//! items above `φ · N(t)`, i.e. a fraction of *recent* mass, which is
+//! exactly what the time-fading model is for.
+
+use streamfreq_core::engine::{SketchEngine, SketchEngineBuilder, SketchKey};
+use streamfreq_core::{Error, ErrorType, PurgePolicy, Row};
+
+/// A frequent-items sketch under exponential time fading: counters decay
+/// by a factor λ = `decay_num / decay_den` every `epoch_len` time units.
+///
+/// # Example
+///
+/// ```
+/// use streamfreq_apps::DecayedSketch;
+///
+/// // Hourly epochs, λ = 1/2: last hour counts full, the hour before
+/// // half, and so on.
+/// let mut sketch: DecayedSketch<u64> = DecayedSketch::new(64, 3600, (1, 2));
+/// sketch.record(0, 7, 1000);        // stale burst
+/// sketch.record(4 * 3600, 9, 200);  // recent traffic
+/// // After 4 epochs, item 7's decayed mass is 1000/16 = 62; item 9's is
+/// // 200 — the recent item now dominates.
+/// assert!(sketch.estimate(&9) > sketch.estimate(&7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DecayedSketch<K: SketchKey> {
+    engine: SketchEngine<K>,
+    decay_num: u64,
+    decay_den: u64,
+    epoch_len: u64,
+    /// Epoch index of the open epoch (`None` until the first record).
+    epoch: Option<u64>,
+    num_ticks: u64,
+}
+
+impl<K: SketchKey> DecayedSketch<K> {
+    /// Creates a decayed sketch with `max_counters` counters, epochs of
+    /// `epoch_len` time units, and decay factor `λ = decay.0 / decay.1`
+    /// applied at every epoch boundary.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration; use [`Self::try_new`] to handle
+    /// errors.
+    pub fn new(max_counters: usize, epoch_len: u64, decay: (u64, u64)) -> Self {
+        Self::try_new(
+            max_counters,
+            epoch_len,
+            decay,
+            PurgePolicy::default(),
+            streamfreq_core::sketch::DEFAULT_SEED,
+        )
+        .expect("invalid decayed-sketch configuration")
+    }
+
+    /// [`Self::new`] with an explicit purge policy and sampler seed.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if `epoch_len` is zero, the decay
+    /// factor is not in `(0, 1]` (`0 < num ≤ den`), or the engine
+    /// configuration is invalid.
+    pub fn try_new(
+        max_counters: usize,
+        epoch_len: u64,
+        decay: (u64, u64),
+        policy: PurgePolicy,
+        seed: u64,
+    ) -> Result<Self, Error> {
+        let (decay_num, decay_den) = decay;
+        if epoch_len == 0 {
+            return Err(Error::InvalidConfig("epoch_len must be positive".into()));
+        }
+        if decay_den == 0 || decay_num == 0 || decay_num > decay_den {
+            return Err(Error::InvalidConfig(format!(
+                "decay factor {decay_num}/{decay_den} outside (0, 1]"
+            )));
+        }
+        Ok(Self {
+            engine: SketchEngineBuilder::new(max_counters)
+                .policy(policy)
+                .seed(seed)
+                .build()?,
+            decay_num,
+            decay_den,
+            epoch_len,
+            epoch: None,
+            num_ticks: 0,
+        })
+    }
+
+    /// The decay factor `(num, den)` applied per epoch tick.
+    pub fn decay(&self) -> (u64, u64) {
+        (self.decay_num, self.decay_den)
+    }
+
+    /// Time units per epoch.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// Number of decay ticks applied so far.
+    pub fn num_ticks(&self) -> u64 {
+        self.num_ticks
+    }
+
+    /// The epoch index the sketch currently sits in (`None` before the
+    /// first record).
+    pub fn current_epoch(&self) -> Option<u64> {
+        self.epoch
+    }
+
+    /// Read access to the underlying engine (estimates there are decayed
+    /// values as of the current epoch).
+    pub fn engine(&self) -> &SketchEngine<K> {
+        &self.engine
+    }
+
+    /// Applies one decay tick by hand: every counter scales by λ through
+    /// the fused compaction path, and the clock advances one epoch.
+    pub fn tick(&mut self) {
+        self.engine.scale_counters(self.decay_num, self.decay_den);
+        self.epoch = Some(self.epoch.map_or(0, |e| e + 1));
+        self.num_ticks += 1;
+    }
+
+    /// Advances the epoch clock to `timestamp`, applying one decay tick
+    /// per crossed epoch boundary. Ticking stops early once a tick
+    /// leaves the whole observable state unchanged — the drained steady
+    /// state (no counters, no stream weight, error band at its floor),
+    /// or any λ = 1 configuration — since every further tick would be
+    /// the same no-op.
+    ///
+    /// # Panics
+    /// Panics if `timestamp` precedes the current epoch (the stream must
+    /// be delivered in non-decreasing time order, same as
+    /// [`crate::WindowedStore`]).
+    pub fn advance_to(&mut self, timestamp: u64) {
+        let target = timestamp / self.epoch_len;
+        let current = match self.epoch {
+            None => {
+                self.epoch = Some(target);
+                return;
+            }
+            Some(e) => e,
+        };
+        assert!(
+            target >= current,
+            "timestamp {timestamp} (epoch {target}) precedes the open epoch {current}"
+        );
+        for _ in current..target {
+            let before = (
+                self.engine.num_counters(),
+                self.engine.stream_weight(),
+                self.engine.maximum_error(),
+            );
+            self.engine.scale_counters(self.decay_num, self.decay_den);
+            self.num_ticks += 1;
+            let after = (
+                self.engine.num_counters(),
+                self.engine.stream_weight(),
+                self.engine.maximum_error(),
+            );
+            if before == after {
+                // Fixed point: scaling changed nothing (drained engine,
+                // or λ = 1), so all remaining ticks are no-ops. With
+                // λ < 1 a non-empty table always strictly shrinks, so
+                // this can only fire when it is correct to.
+                break;
+            }
+        }
+        self.epoch = Some(target);
+    }
+
+    /// Records `(item, weight)` at `timestamp`: decays across any crossed
+    /// epoch boundaries, then updates through the engine's scalar path.
+    ///
+    /// # Panics
+    /// Panics if `timestamp` precedes the current epoch, or `weight`
+    /// exceeds `i64::MAX`.
+    pub fn record(&mut self, timestamp: u64, item: K, weight: u64) {
+        self.advance_to(timestamp);
+        self.engine.update(item, weight);
+    }
+
+    /// Records a slice of `(item, weight)` updates sharing one
+    /// `timestamp` through the engine's batched, prefetching ingestion
+    /// path — state-identical to calling [`Self::record`] per pair.
+    ///
+    /// # Panics
+    /// Panics if `timestamp` precedes the current epoch.
+    pub fn record_batch(&mut self, timestamp: u64, batch: &[(K, u64)]) {
+        if batch.is_empty() {
+            return;
+        }
+        self.advance_to(timestamp);
+        self.engine.update_batch(batch);
+    }
+
+    /// Estimate of the item's decayed frequency as of the current epoch.
+    pub fn estimate(&self, item: &K) -> u64 {
+        self.engine.estimate(item)
+    }
+
+    /// Certified lower bound on the decayed frequency.
+    pub fn lower_bound(&self, item: &K) -> u64 {
+        self.engine.lower_bound(item)
+    }
+
+    /// Certified upper bound on the decayed frequency.
+    pub fn upper_bound(&self, item: &K) -> u64 {
+        self.engine.upper_bound(item)
+    }
+
+    /// Maximum estimation error against the real-valued decayed
+    /// frequencies: λ-scaled purge error plus one unit per tick of
+    /// flooring slack (see the [module docs](self)).
+    pub fn maximum_error(&self) -> u64 {
+        self.engine.maximum_error()
+    }
+
+    /// The decayed stream weight `N(t) ≈ Σⱼ Δⱼ·λ^{eⱼ}` — total *recent*
+    /// mass, the denominator of [`Self::heavy_hitters`].
+    pub fn decayed_weight(&self) -> u64 {
+        self.engine.stream_weight()
+    }
+
+    /// Items whose decayed frequency may exceed `phi · N(t)` under the
+    /// chosen reporting contract, sorted by descending estimate — the
+    /// time-fading heavy hitters.
+    ///
+    /// # Panics
+    /// Panics if `phi` is outside `[0, 1]`.
+    pub fn heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<Row<K>>
+    where
+        K: Ord,
+    {
+        self.engine.heavy_hitters(phi, error_type)
+    }
+
+    /// The `k` items with the largest decayed estimates.
+    pub fn top_k(&self, k: usize) -> Vec<Row<K>>
+    where
+        K: Ord,
+    {
+        self.engine.top_k(k)
+    }
+
+    /// Test/debug aid: verifies the internal table invariants.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.engine.check_invariants();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_halves_counters_per_epoch() {
+        let mut s: DecayedSketch<u64> = DecayedSketch::new(32, 100, (1, 2));
+        s.record(0, 1, 800);
+        s.record(350, 2, 10); // three epoch boundaries crossed
+        assert_eq!(s.num_ticks(), 3);
+        assert_eq!(s.lower_bound(&1), 100, "800 / 2³");
+        assert_eq!(s.lower_bound(&2), 10);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn recent_item_outranks_stale_heavyweight() {
+        // Exact counting ranks the stale item higher; the decayed sketch
+        // must rank the recent one higher.
+        let mut s: DecayedSketch<u64> = DecayedSketch::new(64, 10, (1, 2));
+        s.record(0, 111, 1_000); // epoch 0: one big stale burst
+        for epoch in 8..11u64 {
+            s.record(epoch * 10, 222, 150); // recent steady traffic
+        }
+        // Exact totals: 111 → 1000, 222 → 450. Decayed (λ = 1/2 at epoch
+        // 10): 111 ≈ 1000/1024 < 1, 222 ≈ 150 + 75 + 37.
+        let top = s.top_k(2);
+        assert_eq!(top[0].item, 222, "recent item must rank first");
+        assert!(s.estimate(&222) > s.estimate(&111));
+    }
+
+    #[test]
+    fn batch_matches_scalar_records() {
+        let per_tick: Vec<(u64, u64)> = (0..4_000u64).map(|i| (i % 250, i % 7 + 1)).collect();
+        let mut scalar: DecayedSketch<u64> = DecayedSketch::new(64, 100, (3, 4));
+        let mut batched: DecayedSketch<u64> = DecayedSketch::new(64, 100, (3, 4));
+        for tick in 0..6u64 {
+            for &(item, w) in &per_tick {
+                scalar.record(tick * 100, item, w);
+            }
+            batched.record_batch(tick * 100, &per_tick);
+        }
+        assert!(scalar.engine().num_purges() > 0, "must exercise purging");
+        assert_eq!(
+            scalar.engine().state_fingerprint(),
+            batched.engine().state_fingerprint()
+        );
+    }
+
+    #[test]
+    fn bounds_bracket_real_valued_decayed_truth() {
+        let mut s: DecayedSketch<u64> = DecayedSketch::new(48, 10, (9, 10));
+        let mut truth = vec![0.0f64; 150];
+        let mut x = 3u64;
+        let mut now = 0u64;
+        for round in 0..40u64 {
+            now = round * 10;
+            let mut batch = Vec::new();
+            for _ in 0..1_500 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                batch.push(((x >> 33) % 150, x % 25 + 1));
+            }
+            s.record_batch(now, &batch);
+            // Decay the truth for the *next* round's boundary crossing.
+            for &(item, w) in &batch {
+                truth[item as usize] += w as f64;
+            }
+            for t in &mut truth {
+                *t *= 0.9;
+            }
+        }
+        // Align: truth was decayed one step beyond the sketch's clock.
+        s.advance_to(now + 10);
+        assert!(s.engine().num_purges() > 0, "must exercise purging");
+        for item in 0..150u64 {
+            let f = truth[item as usize];
+            assert!(
+                s.lower_bound(&item) as f64 <= f + 1e-6,
+                "item {item}: lb {} above decayed truth {f:.2}",
+                s.lower_bound(&item)
+            );
+            assert!(
+                s.upper_bound(&item) as f64 >= f - 1e-6,
+                "item {item}: ub {} below decayed truth {f:.2}",
+                s.upper_bound(&item)
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_reflect_recent_mass() {
+        let mut s: DecayedSketch<u64> = DecayedSketch::new(32, 10, (1, 10));
+        // Stale epoch-0 flood, then a recent modest item.
+        s.record(0, 1, 100_000);
+        s.record(50, 2, 500);
+        let hh = s.heavy_hitters(0.3, ErrorType::NoFalseNegatives);
+        assert!(
+            hh.iter().any(|r| r.item == 2),
+            "recent item above 30% of decayed N must be reported"
+        );
+        assert!(
+            hh.iter().all(|r| r.item != 1),
+            "stale flood decayed to {} of N {} and must not dominate",
+            s.estimate(&1),
+            s.decayed_weight()
+        );
+    }
+
+    #[test]
+    fn generic_string_items() {
+        let mut s: DecayedSketch<String> = DecayedSketch::new(16, 100, (1, 2));
+        s.record(0, "old".into(), 600);
+        s.record(250, "new".into(), 200);
+        assert_eq!(s.lower_bound(&"old".to_string()), 150);
+        assert_eq!(s.lower_bound(&"new".to_string()), 200);
+        let top = s.top_k(1);
+        assert_eq!(top[0].item, "new");
+    }
+
+    #[test]
+    fn drained_sketch_fast_forwards() {
+        let mut s: DecayedSketch<u64> = DecayedSketch::new(8, 1, (1, 2));
+        s.record(0, 1, 100);
+        // A huge time jump must terminate quickly (steady-state break)
+        // and leave a drained engine.
+        s.advance_to(u64::MAX);
+        assert_eq!(s.engine().num_counters(), 0);
+        assert_eq!(s.decayed_weight(), 0);
+        assert!(s.maximum_error() <= 1, "error band settles at ≤ 1");
+        // The clock really is at the far epoch: recording "now" works.
+        s.record(u64::MAX, 2, 7);
+        assert_eq!(s.estimate(&2), 7 + s.maximum_error());
+    }
+
+    #[test]
+    fn identity_decay_fast_forwards() {
+        // λ = 1 is a legal "no fading" configuration; huge time jumps
+        // must not iterate once per crossed epoch.
+        let mut s = DecayedSketch::<u64>::try_new(8, 1, (1, 1), PurgePolicy::default(), 0).unwrap();
+        s.record(0, 1, 5);
+        s.record(u64::MAX, 2, 3);
+        assert_eq!(s.estimate(&1), 5, "identity decay preserves counters");
+        assert_eq!(s.estimate(&2), 3);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(DecayedSketch::<u64>::try_new(8, 0, (1, 2), PurgePolicy::default(), 0).is_err());
+        assert!(DecayedSketch::<u64>::try_new(8, 10, (0, 2), PurgePolicy::default(), 0).is_err());
+        assert!(DecayedSketch::<u64>::try_new(8, 10, (3, 2), PurgePolicy::default(), 0).is_err());
+        assert!(DecayedSketch::<u64>::try_new(8, 10, (1, 0), PurgePolicy::default(), 0).is_err());
+        assert!(DecayedSketch::<u64>::try_new(8, 10, (1, 1), PurgePolicy::default(), 0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the open epoch")]
+    fn rejects_time_regression() {
+        let mut s: DecayedSketch<u64> = DecayedSketch::new(8, 10, (1, 2));
+        s.record(100, 1, 1);
+        s.record(50, 2, 1);
+    }
+}

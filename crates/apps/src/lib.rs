@@ -8,7 +8,13 @@
 //! | [`hhh`] | hierarchical heavy hitters over IPv4 prefixes | Mitzenmacher, Steinke & Thaler \[18\] |
 //! | [`entropy`] | streaming empirical-entropy estimation | Chakrabarti, Cormode & McGregor \[5\] |
 //! | [`sampled`] | sampled feeding (weighted Bhattacharyya et al. adaptation) | §5, reference \[3\] |
-//! | [`window`] | per-period summaries with range-merge queries | §3's first motivating scenario |
+//! | [`window`] | per-period summaries with range-merge queries, retention-bounded | §3's first motivating scenario |
+//! | [`decayed`] | exponential time fading (recent traffic outweighs stale) | Cafaro et al., arXiv:1601.03892 |
+//!
+//! The temporal layer ([`window`] + [`decayed`]) is generic over the
+//! engine's [`SketchKey`](streamfreq_core::SketchKey) item types and
+//! rides the batched ingestion paths — see DESIGN.md's "temporal layer"
+//! section.
 //!
 //! Each module documents its algorithm and the substitution of our sketch
 //! for the subroutine the original work used.
@@ -17,11 +23,13 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod decayed;
 pub mod entropy;
 pub mod hhh;
 pub mod sampled;
 pub mod window;
 
+pub use decayed::DecayedSketch;
 pub use entropy::{exact_entropy, EntropyEstimator};
 pub use hhh::{HhhRow, HhhSketch};
 pub use sampled::SampledSketch;

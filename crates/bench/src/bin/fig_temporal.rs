@@ -1,0 +1,240 @@
+//! Temporal-layer ingest throughput: decayed and windowed sketches over
+//! the drifting-hot-set workload, recorded into `BENCH_temporal.json`.
+//!
+//! The temporal layer (`streamfreq-apps`' `DecayedSketch` and
+//! `WindowedStore<K>`) rides the same engine core as every other
+//! variant, so its ingest cost should be the engine's batch-path cost
+//! plus the temporal bookkeeping: one `scale_counters` compaction per
+//! epoch tick (decayed) or one serialize-and-reopen per bucket roll
+//! (windowed). This bench measures exactly that overhead against the
+//! plain `FreqSketch` batch path on the identical update sequence
+//! (timestamps ignored), and records the rows so future engine changes
+//! can be checked for temporal-path regressions.
+//!
+//! ```text
+//! cargo run --release -p streamfreq-bench --bin fig_temporal -- \
+//!     [--updates N] [--epochs E] [--json PATH] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks to one small configuration with a single
+//! repetition — the CI guard that the temporal binaries still run.
+
+use std::time::Instant;
+
+use streamfreq_apps::{DecayedSketch, WindowedStore};
+use streamfreq_bench::{parse_flag, print_header};
+use streamfreq_core::FreqSketch;
+use streamfreq_workloads::{materialize_drifting_zipf, tick_runs, DriftConfig, TimedUpdate};
+
+/// Counter budgets: the paper's largest configuration and a larger
+/// DRAM-resident table (the prefetching batch path's target regime).
+const TEMPORAL_KS: [usize; 2] = [24_576, 262_144];
+
+/// Median-of-N repetitions per measurement.
+const TEMPORAL_REPS: usize = 3;
+
+/// One measured temporal-ingest row.
+struct TemporalResult {
+    mode: &'static str,
+    k: usize,
+    epochs: u64,
+    updates: usize,
+    seconds: f64,
+    updates_per_sec: f64,
+    checksum: u64,
+}
+
+/// Runs one ingestion pass of `mode` and returns the measured row.
+fn run_mode(
+    mode: &'static str,
+    k: usize,
+    epochs: u64,
+    stream: &[TimedUpdate],
+    runs: &[(u64, std::ops::Range<usize>)],
+    batch: &[(u64, u64)],
+) -> TemporalResult {
+    // Probe the stream's tail: the temporal modes deliberately forget the
+    // early epochs, so only recent items make a meaningful checksum.
+    let probe: Vec<u64> = stream
+        .iter()
+        .rev()
+        .take(64)
+        .map(|&(_, item, _)| item)
+        .collect();
+    let epoch_len = 1_000u64;
+    let (seconds, checksum) = match mode {
+        "decayed_batch" => {
+            let mut s: DecayedSketch<u64> = DecayedSketch::new(k, epoch_len, (1, 2));
+            let start = Instant::now();
+            for (t, range) in runs {
+                s.record_batch(*t, &batch[range.clone()]);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            (secs, probe.iter().map(|i| s.lower_bound(i)).sum())
+        }
+        "decayed_scalar" => {
+            let mut s: DecayedSketch<u64> = DecayedSketch::new(k, epoch_len, (1, 2));
+            let start = Instant::now();
+            for &(t, item, w) in stream {
+                s.record(t, item, w);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            (secs, probe.iter().map(|i| s.lower_bound(i)).sum())
+        }
+        "windowed_batch" => {
+            let mut s: WindowedStore<u64> = WindowedStore::new(epoch_len, k);
+            let start = Instant::now();
+            for (t, range) in runs {
+                s.record_batch(*t, &batch[range.clone()]);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let open = s
+                .query_range(stream.last().map_or(0, |&(t, _, _)| t), u64::MAX)
+                .expect("stored buckets are valid")
+                .expect("open window exists");
+            (secs, probe.iter().map(|i| open.lower_bound(i)).sum())
+        }
+        "freq_batch" => {
+            // Baseline: the same updates through the plain engine batch
+            // path, timestamps ignored — the cost floor.
+            let mut s = FreqSketch::builder(k)
+                .grow_from_small(false)
+                .build()
+                .expect("invalid k");
+            let start = Instant::now();
+            s.update_batch(batch);
+            let secs = start.elapsed().as_secs_f64();
+            (secs, probe.iter().map(|&i| s.lower_bound(i)).sum())
+        }
+        other => unreachable!("unknown mode {other}"),
+    };
+    TemporalResult {
+        mode,
+        k,
+        epochs,
+        updates: stream.len(),
+        seconds,
+        updates_per_sec: stream.len() as f64 / seconds,
+        checksum,
+    }
+}
+
+/// [`run_mode`] repeated `reps` times, keeping the median-throughput run.
+fn run_mode_median(
+    mode: &'static str,
+    k: usize,
+    epochs: u64,
+    stream: &[TimedUpdate],
+    runs: &[(u64, std::ops::Range<usize>)],
+    batch: &[(u64, u64)],
+    reps: usize,
+) -> TemporalResult {
+    assert!(reps > 0);
+    let mut results: Vec<TemporalResult> = (0..reps)
+        .map(|_| run_mode(mode, k, epochs, stream, runs, batch))
+        .collect();
+    results.sort_by(|a, b| {
+        a.updates_per_sec
+            .partial_cmp(&b.updates_per_sec)
+            .expect("throughput is never NaN")
+    });
+    results.swap_remove(results.len() / 2)
+}
+
+fn results_to_json(updates: usize, results: &[TemporalResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"fig_temporal_ingest\",\n");
+    out.push_str(&format!("  \"updates\": {updates},\n"));
+    out.push_str("  \"workload\": \"drifting_zipf\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"k\": {}, \"epochs\": {}, \"updates\": {}, \
+             \"seconds\": {:.6}, \"updates_per_sec\": {:.1}, \"checksum\": {}}}{}\n",
+            r.mode,
+            r.k,
+            r.epochs,
+            r.updates,
+            r.seconds,
+            r.updates_per_sec,
+            r.checksum,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let updates = if smoke {
+        200_000
+    } else {
+        parse_flag("--updates", 2_000_000)
+    };
+    let epochs = parse_flag("--epochs", 16) as u64;
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|p| args.get(p + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_temporal.json".to_string());
+    let (ks, reps): (Vec<usize>, usize) = if smoke {
+        (vec![4_096], 1)
+    } else {
+        (TEMPORAL_KS.to_vec(), TEMPORAL_REPS)
+    };
+
+    eprintln!("generating drifting Zipf stream: {updates} updates, {epochs} epochs ...");
+    let config = DriftConfig {
+        updates,
+        epochs,
+        epoch_len: 1_000,
+        ..DriftConfig::default()
+    };
+    let stream = materialize_drifting_zipf(&config);
+    let runs = tick_runs(&stream);
+    let batch: Vec<(u64, u64)> = stream.iter().map(|&(_, item, w)| (item, w)).collect();
+
+    println!("# Temporal-layer ingest: decayed + windowed vs plain batch");
+    print_header(&[
+        "mode",
+        "k",
+        "epochs",
+        "seconds",
+        "updates_per_sec",
+        "vs_freq",
+    ]);
+    let mut results: Vec<TemporalResult> = Vec::new();
+    for &k in &ks {
+        let mut freq_rate = 0.0f64;
+        for mode in [
+            "freq_batch",
+            "decayed_batch",
+            "decayed_scalar",
+            "windowed_batch",
+        ] {
+            let r = run_mode_median(mode, k, epochs, &stream, &runs, &batch, reps);
+            if mode == "freq_batch" {
+                freq_rate = r.updates_per_sec;
+            }
+            println!(
+                "{}\t{}\t{}\t{:.3}\t{:.3e}\t{:.2}x",
+                r.mode,
+                r.k,
+                r.epochs,
+                r.seconds,
+                r.updates_per_sec,
+                r.updates_per_sec / freq_rate
+            );
+            results.push(r);
+        }
+    }
+
+    let json = results_to_json(updates, &results);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+}

@@ -15,6 +15,7 @@
 //! | `sketch_vs_counters` | §1.3's "counter-based beats sketches" |
 //! | `adversarial_ablation` | §1.3.4's RBMC worst case vs SMED |
 //! | `merge_clustering` | §3.2 Note — randomized vs sequential merge order |
+//! | `fig_temporal` | temporal-layer ingest (decayed + windowed) vs plain batch, → `BENCH_temporal.json` |
 //!
 //! All binaries accept `--updates N` (stream length; default 10 M for the
 //! trace experiments), `--quick` (1 M), and `--full` (the paper's 126.2 M)

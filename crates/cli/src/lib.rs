@@ -9,8 +9,12 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use streamfreq_core::{ErrorType, FreqSketch, PurgePolicy, ShardedSketch};
-use streamfreq_workloads::{load_binary, save_binary, CaidaConfig, SyntheticCaida};
+use streamfreq_apps::WindowedStore;
+use streamfreq_core::{ErrorType, FreqSketch, PurgePolicy, Row, ShardedSketch};
+use streamfreq_workloads::{
+    load_binary, load_timed_binary, materialize_drifting_zipf, save_binary, save_timed_binary,
+    tick_runs, CaidaConfig, DriftConfig, SyntheticCaida,
+};
 
 /// Usage text for `streamfreq help`.
 pub const USAGE: &str = "\
@@ -22,15 +26,23 @@ USAGE:
                    [--threads N] [--shards S]
   streamfreq info  <sketch.sk>
   streamfreq top   <sketch.sk> [-n <rows>]
-  streamfreq query <sketch.sk> <item> [<item> ...]
+  streamfreq query <sketch.sk> [<item> ...] [--top N]
   streamfreq heavy <sketch.sk> --phi <fraction> [--contract nfp|nfn]
   streamfreq merge <a.sk> <b.sk> [<c.sk> ...] --output <merged.sk>
   streamfreq synth --updates <n> --output <stream.bin> [--flows N] [--seed N]
+  streamfreq window synth --updates <n> --output <stream.tbin>
+                   [--epochs E] [--width W] [--seed N]
+  streamfreq window build --width <time-units> -k <counters>
+                   --input <stream.tbin> --output <store.wsk>
+                   [--retention R] [--policy ...]
+  streamfreq window query <store.wsk> --from <t0> --to <t1> [--top N]
   streamfreq help
 
 FILES:
-  stream.bin  16-byte little-endian (item u64, weight u64) records
-  sketch.sk   streamfreq-core versioned wire format
+  stream.bin   16-byte little-endian (item u64, weight u64) records
+  stream.tbin  24-byte little-endian (timestamp, item, weight) records
+  sketch.sk    streamfreq-core versioned wire format
+  store.wsk    windowed bucket store (one summary per time bucket)
 
 MULTI-CORE BUILD:
   --threads N > 1 ingests through a hash-partitioned ShardedSketch bank
@@ -41,6 +53,14 @@ MULTI-CORE BUILD:
   given --shards value, independent of --threads. The merged export's
   error band is the sum of the shard offsets (Theorem 5), typically
   wider than a single-threaded build's.
+
+TEMPORAL STORES:
+  window build ingests a timestamped stream into one summary per
+  --width-sized time bucket (batched per tick through the engine's
+  prefetching path) and persists the bucket store; --retention R keeps
+  only the most recent R closed buckets (oldest evicted). window query
+  merges exactly the buckets overlapping [--from, --to) via Algorithm 5
+  and reports the merged summary.
 ";
 
 /// A parsed command line.
@@ -72,12 +92,14 @@ pub enum Command {
         /// Number of rows.
         n: usize,
     },
-    /// Point-query one or more items.
+    /// Point-query one or more items and/or report the top-k rows.
     Query {
         /// Sketch path.
         path: PathBuf,
         /// Items to query.
         items: Vec<u64>,
+        /// If set, also print the `n` largest-estimate rows.
+        top: Option<usize>,
     },
     /// Heavy hitters at a φ threshold.
     Heavy {
@@ -105,6 +127,45 @@ pub enum Command {
         seed: u64,
         /// Output path.
         output: PathBuf,
+    },
+    /// Generate a timestamped drifting-hot-set stream file.
+    WindowSynth {
+        /// Number of updates.
+        updates: usize,
+        /// Number of epochs the stream spans.
+        epochs: u64,
+        /// Time units per epoch (the natural `window build --width`).
+        width: u64,
+        /// Seed.
+        seed: u64,
+        /// Output path.
+        output: PathBuf,
+    },
+    /// Build a windowed bucket store from a timestamped stream file.
+    WindowBuild {
+        /// Bucket width in time units.
+        width: u64,
+        /// Counters `k` per bucket summary.
+        k: usize,
+        /// Purge policy for every bucket.
+        policy: PurgePolicy,
+        /// Closed buckets retained (0 = unbounded).
+        retention: usize,
+        /// Input timestamped stream path.
+        input: PathBuf,
+        /// Output store path.
+        output: PathBuf,
+    },
+    /// Range-merge query over a windowed bucket store.
+    WindowQuery {
+        /// Store path.
+        path: PathBuf,
+        /// Range start (inclusive).
+        from: u64,
+        /// Range end (exclusive).
+        to: u64,
+        /// Rows of the merged summary to print.
+        top: usize,
     },
     /// Print usage.
     Help,
@@ -247,17 +308,41 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "query" => {
             let path = rest
                 .first()
+                .filter(|p| !p.starts_with('-'))
                 .ok_or_else(|| CliError::Usage("query requires a sketch path".into()))?;
-            let items = rest[1..]
-                .iter()
-                .map(|s| parse_u64(s, "item"))
-                .collect::<Result<Vec<u64>, _>>()?;
-            if items.is_empty() {
-                return Err(CliError::Usage("query requires at least one item".into()));
+            // One pass over the arguments: `--top N` pairs and item
+            // queries share the argument list, so parsing them together
+            // keeps every token accounted for (a repeated --top is an
+            // error, not a silently dropped argument).
+            let mut top: Option<usize> = None;
+            let mut items = Vec::new();
+            let mut iter = rest[1..].iter();
+            while let Some(arg) = iter.next() {
+                if arg == "--top" {
+                    if top.is_some() {
+                        return Err(CliError::Usage("--top given more than once".into()));
+                    }
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| CliError::Usage("--top requires a row count".into()))?;
+                    let n = parse_u64(value, "row count")? as usize;
+                    if n == 0 {
+                        return Err(CliError::Usage("--top must be positive".into()));
+                    }
+                    top = Some(n);
+                    continue;
+                }
+                items.push(parse_u64(arg, "item")?);
+            }
+            if items.is_empty() && top.is_none() {
+                return Err(CliError::Usage(
+                    "query requires at least one item or --top N".into(),
+                ));
             }
             Ok(Command::Query {
                 path: PathBuf::from(path),
                 items,
+                top,
             })
         }
         "heavy" => {
@@ -319,8 +404,132 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 output,
             })
         }
+        "window" => {
+            let Some(sub) = rest.first() else {
+                return Err(CliError::Usage(
+                    "window requires a subcommand (synth|build|query)".into(),
+                ));
+            };
+            let rest = &rest[1..];
+            match sub.as_str() {
+                "synth" => {
+                    let updates =
+                        parse_u64(required(rest, "--updates", "window synth")?, "count")? as usize;
+                    let output = PathBuf::from(required(rest, "--output", "window synth")?);
+                    let epochs = match flag_value(rest, "--epochs") {
+                        Some(s) => {
+                            let e = parse_u64(s, "epoch count")?;
+                            if e == 0 {
+                                return Err(CliError::Usage("--epochs must be positive".into()));
+                            }
+                            e
+                        }
+                        None => 16,
+                    };
+                    let width = match flag_value(rest, "--width") {
+                        Some(s) => {
+                            let w = parse_u64(s, "width")?;
+                            if w == 0 {
+                                return Err(CliError::Usage("--width must be positive".into()));
+                            }
+                            w
+                        }
+                        None => 1_000,
+                    };
+                    let seed = match flag_value(rest, "--seed") {
+                        Some(s) => parse_u64(s, "seed")?,
+                        None => 0x7E4D0,
+                    };
+                    Ok(Command::WindowSynth {
+                        updates,
+                        epochs,
+                        width,
+                        seed,
+                        output,
+                    })
+                }
+                "build" => {
+                    let width = parse_u64(required(rest, "--width", "window build")?, "width")?;
+                    if width == 0 {
+                        return Err(CliError::Usage("--width must be positive".into()));
+                    }
+                    let k =
+                        parse_u64(required(rest, "-k", "window build")?, "counter count")? as usize;
+                    let input = PathBuf::from(required(rest, "--input", "window build")?);
+                    let output = PathBuf::from(required(rest, "--output", "window build")?);
+                    let policy = match flag_value(rest, "--policy") {
+                        Some(p) => parse_policy(p)?,
+                        None => PurgePolicy::smed(),
+                    };
+                    let retention = match flag_value(rest, "--retention") {
+                        Some(s) => {
+                            let r = parse_u64(s, "retention")? as usize;
+                            if r == 0 {
+                                return Err(CliError::Usage(
+                                    "--retention must be positive (omit it for unbounded)".into(),
+                                ));
+                            }
+                            r
+                        }
+                        None => 0,
+                    };
+                    Ok(Command::WindowBuild {
+                        width,
+                        k,
+                        policy,
+                        retention,
+                        input,
+                        output,
+                    })
+                }
+                "query" => {
+                    let path = rest
+                        .first()
+                        .filter(|p| !p.starts_with('-'))
+                        .ok_or_else(|| {
+                            CliError::Usage("window query requires a store path".into())
+                        })?;
+                    let from = parse_u64(required(rest, "--from", "window query")?, "--from")?;
+                    let to = parse_u64(required(rest, "--to", "window query")?, "--to")?;
+                    if to <= from {
+                        return Err(CliError::Usage(format!(
+                            "empty range: --to {to} must exceed --from {from}"
+                        )));
+                    }
+                    let top = match flag_value(rest, "--top") {
+                        Some(s) => parse_u64(s, "row count")? as usize,
+                        None => 10,
+                    };
+                    Ok(Command::WindowQuery {
+                        path: PathBuf::from(path),
+                        from,
+                        to,
+                        top,
+                    })
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown window subcommand `{other}` (want synth|build|query)"
+                ))),
+            }
+        }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// Formats a header plus `rows` as the aligned table used by `top`,
+/// `query --top`, and `window query`.
+fn format_rows<T: std::fmt::Display>(rows: &[Row<T>]) -> String {
+    let mut out = format!(
+        "{:>20} {:>16} {:>16} {:>16}\n",
+        "item", "estimate", "lower", "upper"
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:>20} {:>16} {:>16} {:>16}\n",
+            row.item, row.estimate, row.lower_bound, row.upper_bound
+        ));
+    }
+    out
 }
 
 fn read_sketch(path: &Path) -> Result<FreqSketch, CliError> {
@@ -419,19 +628,9 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         }
         Command::Top { path, n } => {
             let s = read_sketch(path)?;
-            let mut out = format!(
-                "{:>20} {:>16} {:>16} {:>16}\n",
-                "item", "estimate", "lower", "upper"
-            );
-            for row in s.top_k(*n) {
-                out.push_str(&format!(
-                    "{:>20} {:>16} {:>16} {:>16}\n",
-                    row.item, row.estimate, row.lower_bound, row.upper_bound
-                ));
-            }
-            Ok(out)
+            Ok(format_rows(&s.top_k(*n)))
         }
-        Command::Query { path, items } => {
+        Command::Query { path, items, top } => {
             let s = read_sketch(path)?;
             let mut out = String::new();
             for &item in items {
@@ -441,6 +640,13 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                     s.lower_bound(item),
                     s.upper_bound(item)
                 ));
+            }
+            if let Some(n) = top {
+                if !items.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str(&format!("top {n} of {} tracked items:\n", s.num_counters()));
+                out.push_str(&format_rows(&s.top_k(*n)));
             }
             Ok(out)
         }
@@ -503,6 +709,104 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 stream.len(),
                 config.num_flows
             ))
+        }
+        Command::WindowSynth {
+            updates,
+            epochs,
+            width,
+            seed,
+            output,
+        } => {
+            let config = DriftConfig {
+                updates: *updates,
+                epochs: *epochs,
+                epoch_len: *width,
+                seed: *seed,
+                ..DriftConfig::default()
+            };
+            let stream = materialize_drifting_zipf(&config);
+            save_timed_binary(&stream, output).map_err(|e| CliError::Io(output.clone(), e))?;
+            Ok(format!(
+                "wrote {}: {} timestamped updates over {} epochs of width {}\n",
+                output.display(),
+                stream.len(),
+                epochs,
+                width
+            ))
+        }
+        Command::WindowBuild {
+            width,
+            k,
+            policy,
+            retention,
+            input,
+            output,
+        } => {
+            let stream = load_timed_binary(input).map_err(|e| CliError::Io(input.clone(), e))?;
+            // Timestamps must be non-decreasing (streaming ingestion);
+            // user-supplied files get a CLI error, not a store panic.
+            if let Some(pos) = stream.windows(2).position(|w| w[1].0 < w[0].0) {
+                return Err(CliError::Usage(format!(
+                    "{}: timestamps must be non-decreasing (record {} has {} after {})",
+                    input.display(),
+                    pos + 1,
+                    stream[pos + 1].0,
+                    stream[pos].0
+                )));
+            }
+            let mut store: WindowedStore<u64> = WindowedStore::try_with_policy(*width, *k, *policy)
+                .map_err(|e| CliError::Sketch(output.clone(), e))?;
+            if *retention > 0 {
+                store = store.with_retention(*retention);
+            }
+            // Feed contiguous equal-timestamp runs through the engine's
+            // batched ingestion path; a run of one falls back to the
+            // scalar path automatically.
+            let mut batch: Vec<(u64, u64)> = Vec::new();
+            for (t, range) in tick_runs(&stream) {
+                batch.clear();
+                batch.extend(stream[range].iter().map(|&(_, item, w)| (item, w)));
+                store.record_batch(t, &batch);
+            }
+            std::fs::write(output, store.serialize_to_bytes())
+                .map_err(|e| CliError::Io(output.clone(), e))?;
+            Ok(format!(
+                "built {}: {} updates into {} closed + 1 open windows of width {} \
+                 ({} evicted), {} stored bytes\n",
+                output.display(),
+                stream.len(),
+                store.num_closed_windows(),
+                width,
+                store.evicted_windows(),
+                store.stored_bytes()
+            ))
+        }
+        Command::WindowQuery {
+            path,
+            from,
+            to,
+            top,
+        } => {
+            let bytes = std::fs::read(path).map_err(|e| CliError::Io(path.clone(), e))?;
+            let store = WindowedStore::<u64>::deserialize_from_bytes(&bytes)
+                .map_err(|e| CliError::Sketch(path.clone(), e))?;
+            match store
+                .query_range(*from, *to)
+                .map_err(|e| CliError::Sketch(path.clone(), e))?
+            {
+                None => Ok(format!("no windows overlap [{from}, {to})\n")),
+                Some(merged) => {
+                    let mut out = format!(
+                        "merged summary of [{from}, {to}): N = {}, {} counters, \
+                         max error ±{}\n",
+                        merged.stream_weight(),
+                        merged.num_counters(),
+                        merged.maximum_error()
+                    );
+                    out.push_str(&format_rows(&merged.top_k(*top)));
+                    Ok(out)
+                }
+            }
         }
     }
 }
@@ -616,6 +920,7 @@ mod tests {
         let q = run(&Command::Query {
             path: sk_a.clone(),
             items: vec![heavy_item],
+            top: None,
         })
         .unwrap();
         assert!(q.contains("estimate"));
@@ -642,6 +947,289 @@ mod tests {
 
         for p in [stream_path, sk_a, sk_b, merged] {
             let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn parses_query_top_flag() {
+        let cmd = parse_args(&args("query s.sk 7 9 --top 5")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                path: PathBuf::from("s.sk"),
+                items: vec![7, 9],
+                top: Some(5),
+            }
+        );
+        // --top alone is a valid query (pure top-k report).
+        let cmd = parse_args(&args("query s.sk --top 3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                path: PathBuf::from("s.sk"),
+                items: vec![],
+                top: Some(3),
+            }
+        );
+        assert!(parse_args(&args("query s.sk --top 0")).is_err());
+        assert!(parse_args(&args("query s.sk")).is_err(), "no items, no top");
+        assert!(
+            parse_args(&args("query s.sk --top 3 --top 7")).is_err(),
+            "a repeated --top must be rejected, not silently dropped"
+        );
+        assert!(
+            parse_args(&args("query s.sk --top")).is_err(),
+            "missing value"
+        );
+    }
+
+    #[test]
+    fn window_build_reports_bad_inputs_as_errors() {
+        // Invalid k: a CliError, not a constructor panic.
+        let stream_path = tmp("window-bad.tbin");
+        streamfreq_workloads::save_timed_binary(&[(0, 1, 1), (100, 2, 1)], &stream_path).unwrap();
+        let err = run(&Command::WindowBuild {
+            width: 100,
+            k: 0,
+            policy: PurgePolicy::smed(),
+            retention: 0,
+            input: stream_path.clone(),
+            output: tmp("window-bad.wsk"),
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Sketch(..)), "{err:?}");
+
+        // Out-of-order timestamps in a user file: a CliError, not a
+        // store assertion panic.
+        let disordered = tmp("window-disorder.tbin");
+        streamfreq_workloads::save_timed_binary(&[(200, 1, 1), (0, 2, 1)], &disordered).unwrap();
+        let err = run(&Command::WindowBuild {
+            width: 100,
+            k: 16,
+            policy: PurgePolicy::smed(),
+            retention: 0,
+            input: disordered.clone(),
+            output: tmp("window-disorder.wsk"),
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("non-decreasing"), "{msg}");
+        for p in [stream_path, disordered] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn parses_window_subcommands() {
+        let cmd = parse_args(&args(
+            "window build --width 100 -k 64 --input s.tbin --output s.wsk --retention 12",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::WindowBuild {
+                width: 100,
+                k: 64,
+                policy: PurgePolicy::smed(),
+                retention: 12,
+                input: PathBuf::from("s.tbin"),
+                output: PathBuf::from("s.wsk"),
+            }
+        );
+        let cmd = parse_args(&args("window query s.wsk --from 0 --to 500 --top 4")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::WindowQuery {
+                path: PathBuf::from("s.wsk"),
+                from: 0,
+                to: 500,
+                top: 4,
+            }
+        );
+        let cmd = parse_args(&args(
+            "window synth --updates 1000 --output s.tbin --epochs 4",
+        ))
+        .unwrap();
+        match cmd {
+            Command::WindowSynth {
+                updates, epochs, ..
+            } => {
+                assert_eq!(updates, 1000);
+                assert_eq!(epochs, 4);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse_args(&args("window")).is_err());
+        assert!(parse_args(&args("window frobnicate")).is_err());
+        assert!(parse_args(&args("window build -k 8 --input a --output b")).is_err());
+        assert!(parse_args(&args("window query s.wsk --from 9 --to 9")).is_err());
+        assert!(parse_args(&args("window build --width 0 -k 8 --input a --output b")).is_err());
+    }
+
+    #[test]
+    fn query_top_reports_largest_rows() {
+        let stream_path = tmp("query-top.bin");
+        let sk = tmp("query-top.sk");
+        run(&Command::Synth {
+            updates: 30_000,
+            flows: 1_000,
+            seed: 11,
+            output: stream_path.clone(),
+        })
+        .unwrap();
+        run(&Command::Build {
+            k: 256,
+            policy: PurgePolicy::smed(),
+            seed: 1,
+            threads: 1,
+            shards: 0,
+            input: stream_path.clone(),
+            output: sk.clone(),
+        })
+        .unwrap();
+        // Pure top-k report.
+        let out = run(&Command::Query {
+            path: sk.clone(),
+            items: vec![],
+            top: Some(5),
+        })
+        .unwrap();
+        assert!(out.contains("top 5 of"), "{out}");
+        let rows: Vec<&str> = out.lines().skip(2).collect();
+        assert_eq!(rows.len(), 5, "{out}");
+        // The report agrees with the standalone `top` command.
+        let top = run(&Command::Top {
+            path: sk.clone(),
+            n: 5,
+        })
+        .unwrap();
+        for line in &rows {
+            assert!(top.contains(line), "row {line} missing from `top` output");
+        }
+        // Combined: point estimates first, then the table.
+        let first_item: u64 = rows[0].split_whitespace().next().unwrap().parse().unwrap();
+        let combined = run(&Command::Query {
+            path: sk.clone(),
+            items: vec![first_item],
+            top: Some(2),
+        })
+        .unwrap();
+        assert!(
+            combined.contains(&format!("{first_item}: estimate")),
+            "{combined}"
+        );
+        assert!(combined.contains("top 2 of"), "{combined}");
+        for p in [stream_path, sk] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn window_synth_build_query_end_to_end() {
+        let stream_path = tmp("window-e2e.tbin");
+        let store_path = tmp("window-e2e.wsk");
+        let synth_report = run(&Command::WindowSynth {
+            updates: 40_000,
+            epochs: 8,
+            width: 100,
+            seed: 5,
+            output: stream_path.clone(),
+        })
+        .unwrap();
+        assert!(synth_report.contains("8 epochs"), "{synth_report}");
+
+        let build_report = run(&Command::WindowBuild {
+            width: 100,
+            k: 128,
+            policy: PurgePolicy::smed(),
+            retention: 0,
+            input: stream_path.clone(),
+            output: store_path.clone(),
+        })
+        .unwrap();
+        assert!(build_report.contains("7 closed + 1 open"), "{build_report}");
+
+        // Full-range query sees the whole stream's weight.
+        let full = run(&Command::WindowQuery {
+            path: store_path.clone(),
+            from: 0,
+            to: 800,
+            top: 3,
+        })
+        .unwrap();
+        assert!(full.contains("merged summary of [0, 800)"), "{full}");
+        assert_eq!(full.lines().count(), 1 + 1 + 3, "summary + header + rows");
+
+        // A sub-range query carries strictly less mass.
+        let n_of = |report: &str| -> u64 {
+            report
+                .split("N = ")
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let part = run(&Command::WindowQuery {
+            path: store_path.clone(),
+            from: 200,
+            to: 400,
+            top: 3,
+        })
+        .unwrap();
+        assert!(n_of(&part) < n_of(&full), "{part}\n{full}");
+
+        // Outside the data: no overlap.
+        let empty = run(&Command::WindowQuery {
+            path: store_path.clone(),
+            from: 10_000,
+            to: 20_000,
+            top: 3,
+        })
+        .unwrap();
+        assert!(empty.contains("no windows overlap"), "{empty}");
+
+        for p in [stream_path, store_path] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn window_build_retention_evicts() {
+        let stream_path = tmp("window-ret.tbin");
+        let store_path = tmp("window-ret.wsk");
+        run(&Command::WindowSynth {
+            updates: 20_000,
+            epochs: 10,
+            width: 50,
+            seed: 6,
+            output: stream_path.clone(),
+        })
+        .unwrap();
+        let report = run(&Command::WindowBuild {
+            width: 50,
+            k: 64,
+            policy: PurgePolicy::smed(),
+            retention: 3,
+            input: stream_path.clone(),
+            output: store_path.clone(),
+        })
+        .unwrap();
+        assert!(report.contains("3 closed + 1 open"), "{report}");
+        assert!(report.contains("(6 evicted)"), "{report}");
+        // Evicted history is really gone from the persisted store.
+        let gone = run(&Command::WindowQuery {
+            path: store_path.clone(),
+            from: 0,
+            to: 300,
+            top: 3,
+        })
+        .unwrap();
+        assert!(gone.contains("no windows overlap"), "{gone}");
+        for p in [stream_path, store_path] {
+            std::fs::remove_file(p).unwrap();
         }
     }
 

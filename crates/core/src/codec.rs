@@ -51,7 +51,10 @@ const MAGIC: &[u8; 4] = b"SFQ1";
 const VERSION: u8 = 1;
 const HEADER_LEN: usize = 108;
 
-pub(crate) fn policy_tag(policy: &PurgePolicy) -> u8 {
+/// Wire tag of a [`PurgePolicy`] (shared by every streamfreq encoding:
+/// the `u64` sketch format, the items format, and downstream container
+/// formats such as the apps crate's windowed bucket store).
+pub fn policy_tag(policy: &PurgePolicy) -> u8 {
     match policy {
         PurgePolicy::SampleQuantile { .. } => 0,
         PurgePolicy::ExactKStar { .. } => 1,
@@ -59,7 +62,9 @@ pub(crate) fn policy_tag(policy: &PurgePolicy) -> u8 {
     }
 }
 
-pub(crate) fn policy_params(policy: &PurgePolicy) -> (u64, u64) {
+/// The two wire parameter words accompanying a policy tag — see
+/// [`policy_tag`]; the meaning of each word depends on the variant.
+pub fn policy_params(policy: &PurgePolicy) -> (u64, u64) {
     match *policy {
         PurgePolicy::SampleQuantile {
             sample_size,
@@ -70,7 +75,12 @@ pub(crate) fn policy_params(policy: &PurgePolicy) -> (u64, u64) {
     }
 }
 
-pub(crate) fn policy_from_wire(tag: u8, a: u64, b: u64) -> Result<PurgePolicy, Error> {
+/// Reconstructs a validated [`PurgePolicy`] from its wire tag and
+/// parameter words (inverse of [`policy_tag`] / [`policy_params`]).
+///
+/// # Errors
+/// Returns [`Error::Corrupt`] for unknown tags or invalid parameters.
+pub fn policy_from_wire(tag: u8, a: u64, b: u64) -> Result<PurgePolicy, Error> {
     let policy = match tag {
         0 => PurgePolicy::SampleQuantile {
             sample_size: usize::try_from(a)

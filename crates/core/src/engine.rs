@@ -457,6 +457,50 @@ impl<K: SketchKey> SketchEngine<K> {
         self.num_purges += 1;
     }
 
+    /// Scales every counter in place to `⌊c · num / den⌋`, dropping the
+    /// counters that scale to zero through the fused-purge compaction
+    /// path ([`LpTable::scale_values`]) — the table keeps its canonical
+    /// layout and all probing invariants. This is the one hook the
+    /// time-fading model needs (`crates/apps`' `DecayedSketch` calls it
+    /// once per epoch tick with the decay factor λ = `num/den`).
+    ///
+    /// Bounds accounting: the stream weight `N` scales to `⌊λN⌋` (the
+    /// decayed stream mass), and the error offset scales to
+    /// `⌈λ·offset⌉ + 1` whenever counters were present — the `+1` covers
+    /// the sub-integer mass each counter loses to flooring, so the
+    /// certified contract survives scaling against the *real-valued*
+    /// decayed frequencies `λ·fᵢ`:
+    ///
+    /// * tracked items: `c'(i) = ⌊λ·c(i)⌋ ≤ λ·fᵢ ≤ c'(i) + offset'`;
+    /// * dropped and untracked items: `λ·fᵢ ≤ offset'`.
+    ///
+    /// `num_updates` / `num_purges` are operation counts and do not
+    /// scale; a saturated stream weight stays flagged (`N` was already a
+    /// lower bound and remains one after scaling).
+    ///
+    /// # Panics
+    /// Panics if `den` is zero or `num > den`: the engine only decays.
+    /// `num == den` is the identity and `num == 0` empties the engine
+    /// (counters, offset, and stream weight all go to zero).
+    pub fn scale_counters(&mut self, num: u64, den: u64) {
+        assert!(den > 0, "scale denominator must be positive");
+        assert!(num <= den, "scale_counters only scales down ({num}/{den})");
+        if num == den {
+            return;
+        }
+        if num == 0 {
+            self.table.clear();
+            self.offset = 0;
+            self.stream_weight = 0;
+            return;
+        }
+        let had_counters = !self.table.is_empty();
+        self.table.scale_values(num, den);
+        let scaled_offset = (self.offset as u128 * num as u128).div_ceil(den as u128) as u64;
+        self.offset = scaled_offset + u64::from(had_counters);
+        self.stream_weight = (self.stream_weight as u128 * num as u128 / den as u128) as u64;
+    }
+
     /// Estimate `f̂ᵢ` of the item's weighted frequency: `c(i) + offset` for
     /// tracked items, `0` for untracked items (§2.3.1's MG/SS hybrid).
     /// Always satisfies `estimate − maximum_error ≤ fᵢ ≤ estimate` for
@@ -694,6 +738,14 @@ impl<K: SketchKey> SketchEngine<K> {
     fn slots(&self) -> impl Iterator<Item = (&K, i64)> + '_ {
         self.table.iter()
     }
+
+    /// Test/debug aid: the counter table's exact slot layout — see
+    /// [`LpTable::layout_fingerprint`]. Used by the scale/purge
+    /// layout-canonicality proptests.
+    #[doc(hidden)]
+    pub fn table_layout_fingerprint(&self) -> Vec<u8> {
+        self.table.layout_fingerprint()
+    }
 }
 
 /// Streaming ingestion through the batch path: buffers the iterator into
@@ -751,6 +803,76 @@ mod tests {
         assert_eq!(e.num_counters(), 2);
         let rows = e.top_k(1);
         assert_eq!(rows[0].item, "hot");
+    }
+
+    #[test]
+    fn scale_counters_halves_and_drops() {
+        let mut e: SketchEngine<u64> = SketchEngine::builder(16).build().unwrap();
+        e.update(1, 100);
+        e.update(2, 1);
+        e.update(3, 7);
+        e.scale_counters(1, 2);
+        assert_eq!(e.lower_bound(&1), 50);
+        assert_eq!(e.lower_bound(&2), 0, "1/2 floors to zero and is dropped");
+        assert_eq!(e.lower_bound(&3), 3);
+        assert_eq!(e.num_counters(), 2);
+        assert_eq!(e.stream_weight(), 54, "N decays with the counters");
+        // offset was 0; the +1 covers flooring loss, so the upper bound
+        // still brackets the real-valued decayed frequencies.
+        assert_eq!(e.maximum_error(), 1);
+        assert!(e.upper_bound(&3) as f64 >= 3.5);
+        e.check_invariants();
+    }
+
+    #[test]
+    fn scale_counters_identity_and_zero() {
+        let mut e: SketchEngine<u64> = SketchEngine::builder(16).build().unwrap();
+        e.update(1, 10);
+        let before = e.state_fingerprint();
+        e.scale_counters(5, 5);
+        assert_eq!(e.state_fingerprint(), before, "identity is a no-op");
+        e.scale_counters(0, 3);
+        assert_eq!(e.num_counters(), 0);
+        assert_eq!(e.stream_weight(), 0);
+        assert_eq!(e.maximum_error(), 0);
+    }
+
+    #[test]
+    fn scale_counters_bounds_survive_purging_and_scaling() {
+        // Interleave heavy traffic (forcing purges, offset > 0) with decay
+        // ticks; the certified bounds must bracket the real-valued decayed
+        // truth throughout.
+        let mut e: SketchEngine<u64> = SketchEngine::builder(16).build().unwrap();
+        let mut truth = vec![0.0f64; 100];
+        let mut x = 5u64;
+        for round in 0..10 {
+            for _ in 0..2_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let item = (x >> 33) % 100;
+                let w = x % 30 + 1;
+                e.update(item, w);
+                truth[item as usize] += w as f64;
+            }
+            e.scale_counters(3, 4);
+            for t in &mut truth {
+                *t *= 0.75;
+            }
+            for item in 0..100u64 {
+                let f = truth[item as usize];
+                assert!(
+                    e.lower_bound(&item) as f64 <= f + 1e-6,
+                    "round {round} item {item}: lb {} above decayed truth {f}",
+                    e.lower_bound(&item)
+                );
+                assert!(
+                    e.upper_bound(&item) as f64 >= f - 1e-6,
+                    "round {round} item {item}: ub {} below decayed truth {f}",
+                    e.upper_bound(&item)
+                );
+            }
+        }
+        assert!(e.num_purges() > 0, "test must exercise purging");
+        e.check_invariants();
     }
 
     #[test]

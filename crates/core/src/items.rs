@@ -117,6 +117,21 @@ impl<T: SketchKey> ItemsSketch<T> {
     }
 
     /// Starts an [`ItemsSketchBuilder`] for custom configuration.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use streamfreq_core::{ItemsSketch, PurgePolicy};
+    ///
+    /// let sketch: ItemsSketch<&str> = ItemsSketch::builder(64)
+    ///     .policy(PurgePolicy::smin())
+    ///     .seed(7)
+    ///     .grow_from_small(false)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(sketch.max_counters(), 64);
+    /// assert_eq!(sketch.policy(), PurgePolicy::smin());
+    /// ```
     pub fn builder(max_counters: usize) -> ItemsSketchBuilder<T> {
         ItemsSketchBuilder::new(max_counters)
     }
@@ -217,6 +232,17 @@ impl<T: SketchKey> ItemsSketch<T> {
     /// slice), state-identically to scalar [`Self::update`] calls in
     /// order, via the chunked, prefetching table path — see
     /// [`SketchEngine::update_batch`] for the scheme.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use streamfreq_core::ItemsSketch;
+    ///
+    /// let mut sketch: ItemsSketch<&str> = ItemsSketch::with_max_counters(32);
+    /// sketch.update_batch(&[("get", 120), ("put", 40), ("get", 80)]);
+    /// assert_eq!(sketch.estimate(&"get"), 200);
+    /// assert_eq!(sketch.stream_weight(), 240);
+    /// ```
     pub fn update_batch(&mut self, batch: &[(T, u64)]) {
         self.engine.update_batch(batch);
     }
@@ -268,6 +294,21 @@ impl<T: SketchKey> ItemsSketch<T> {
 
     /// (φ, ε)-heavy hitters: items whose frequency may exceed `phi · N`.
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use streamfreq_core::{ErrorType, ItemsSketch};
+    ///
+    /// let mut sketch: ItemsSketch<&str> = ItemsSketch::with_max_counters(32);
+    /// sketch.update_batch(&[("hot", 900), ("warm", 80), ("cold", 20)]);
+    ///
+    /// // Items that may hold over half the total weight N = 1000:
+    /// let heavy = sketch.heavy_hitters(0.5, ErrorType::NoFalsePositives);
+    /// assert_eq!(heavy.len(), 1);
+    /// assert_eq!(heavy[0].item, "hot");
+    /// assert_eq!(heavy[0].estimate, 900);
+    /// ```
+    ///
     /// # Panics
     /// Panics if `phi` is outside `[0, 1]`.
     pub fn heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<Row<T>>
@@ -289,6 +330,16 @@ impl<T: SketchKey> ItemsSketch<T> {
     /// see [`SketchEngine::merge`] for the §3.2 rationale).
     pub fn merge(&mut self, other: &ItemsSketch<T>) {
         self.engine.merge(&other.engine);
+    }
+
+    /// Scales every counter to `⌊c · num / den⌋` in place, dropping the
+    /// counters that reach zero — the time-fading hook; see
+    /// [`SketchEngine::scale_counters`] for the bounds accounting.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero or `num > den`.
+    pub fn scale_counters(&mut self, num: u64, den: u64) {
+        self.engine.scale_counters(num, den);
     }
 
     /// Test/debug aid: verifies the internal table invariants.

@@ -314,6 +314,16 @@ impl FreqSketch {
         self.engine.merge(&other.engine);
     }
 
+    /// Scales every counter to `⌊c · num / den⌋` in place, dropping the
+    /// counters that reach zero — the time-fading hook; see
+    /// [`SketchEngine::scale_counters`] for the bounds accounting.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero or `num > den`.
+    pub fn scale_counters(&mut self, num: u64, den: u64) {
+        self.engine.scale_counters(num, den);
+    }
+
     /// Replays an arbitrary counter list into the sketch as weighted
     /// updates (Algorithm 5's generic form) — see
     /// [`SketchEngine::absorb_counters`].

@@ -320,10 +320,8 @@ impl<K: SketchKey> LpTable<K> {
     /// the non-positive ones, and returns how many were removed.
     ///
     /// Single sequential pass, in place: decrement, delete, and
-    /// run-compaction are fused. Each survivor's home cell is recovered
-    /// from its probe-distance state (no hashing, no random access), and
-    /// survivors slide left to the first free slot of their run — the
-    /// canonical FCFS linear-probing layout. This replaces the
+    /// run-compaction are fused (one compaction pass, shared with
+    /// [`Self::scale_values`]). This replaces the
     /// per-deletion backward-shift sweep (`adjust_all` +
     /// [`Self::retain_positive`]), whose cost degrades to O(cluster²) per
     /// run exactly when purges kill large fractions of the table — the
@@ -331,6 +329,42 @@ impl<K: SketchKey> LpTable<K> {
     /// counters per purge.
     pub fn purge_decrement(&mut self, cstar: i64) -> usize {
         debug_assert!(cstar > 0);
+        self.compact_filter_map(|v| v - cstar)
+    }
+
+    /// Scales every counter to `⌊value · num / den⌋` in place, removing
+    /// the counters that scale to zero, and returns how many were
+    /// removed. This is the table-level primitive behind the engine's
+    /// [`crate::SketchEngine::scale_counters`] time-fading hook: one
+    /// fused sweep through the same compaction path as the purge, so the
+    /// post-scale layout obeys exactly the same canonical-FCFS
+    /// discipline.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero or `num > den` (the sketch only decays —
+    /// scaling counters up could overflow and certifies nothing).
+    pub fn scale_values(&mut self, num: u64, den: u64) -> usize {
+        assert!(den > 0, "scale denominator must be positive");
+        assert!(num <= den, "scale_values only scales down ({num}/{den})");
+        if num == den {
+            return 0;
+        }
+        // Counters are positive i64, so the u128 product cannot overflow
+        // and the floored quotient fits back into i64.
+        self.compact_filter_map(|v| (v as u128 * num as u128 / den as u128) as i64)
+    }
+
+    /// The fused compaction pass shared by [`Self::purge_decrement`] and
+    /// [`Self::scale_values`]: maps every counter through `f` in one
+    /// sequential sweep, deletes entries whose mapped value is
+    /// non-positive, and compacts the survivors in place. Each survivor's
+    /// home cell is recovered from its probe-distance state (no hashing,
+    /// no random access), and it slides to the first free slot of its run
+    /// at-or-after its home — the canonical FCFS linear-probing layout,
+    /// identical to what a fresh build over the surviving counters
+    /// produces. `f` must not increase any value (mapped ≤ original), so
+    /// shrunken probe runs can only tighten.
+    fn compact_filter_map(&mut self, f: impl Fn(i64) -> i64) -> usize {
         if self.num_active == 0 {
             return 0;
         }
@@ -358,7 +392,12 @@ impl<K: SketchKey> LpTable<K> {
             if state == 0 {
                 // Run boundary: holes cannot be used across it.
                 gaps.clear();
-            } else if self.values[i] <= cstar {
+                i = (i + 1) & mask;
+                continue;
+            }
+            let mapped = f(self.values[i]);
+            debug_assert!(mapped <= self.values[i], "compaction must not grow values");
+            if mapped <= 0 {
                 self.states[i] = 0;
                 self.keys[i] = K::default();
                 gaps.push(i);
@@ -373,12 +412,12 @@ impl<K: SketchKey> LpTable<K> {
                 if pos < gaps.len() {
                     let dest = gaps.remove(pos);
                     self.keys.swap(dest, i);
-                    self.values[dest] = self.values[i] - cstar;
+                    self.values[dest] = mapped;
                     self.states[dest] = ((dest.wrapping_sub(home) & mask) + 1) as u16;
                     self.states[i] = 0;
                     gaps.push(i);
                 } else {
-                    self.values[i] -= cstar;
+                    self.values[i] = mapped;
                 }
             }
             i = (i + 1) & mask;
@@ -541,6 +580,39 @@ impl<K: SketchKey> LpTable<K> {
             *key = K::default();
         }
         self.num_active = 0;
+    }
+
+    /// Test/debug aid: like [`Self::iter`], but yielding the slot index
+    /// alongside each `(key, value)` pair, so layout-canonicality tests
+    /// can reconstruct ring scan orders.
+    #[doc(hidden)]
+    pub fn iter_with_slots(&self) -> impl Iterator<Item = (usize, &K, i64)> + '_ {
+        (0..self.len()).filter_map(move |i| {
+            if self.states[i] != 0 {
+                Some((i, &self.keys[i], self.values[i]))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Test/debug aid: a byte string capturing the exact slot layout —
+    /// `(slot, key hash, value)` for every occupied slot in slot order.
+    /// Two tables with equal fingerprints hold the same counters in the
+    /// same cells with the same probe distances. Used by the
+    /// layout-canonicality proptests for the fused compaction paths.
+    #[doc(hidden)]
+    pub fn layout_fingerprint(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            if self.states[i] == 0 {
+                continue;
+            }
+            out.extend_from_slice(&(i as u64).to_le_bytes());
+            out.extend_from_slice(&self.keys[i].hash_key().to_le_bytes());
+            out.extend_from_slice(&self.values[i].to_le_bytes());
+        }
+        out
     }
 
     /// Verifies the structural invariants (test/debug aid):
@@ -783,6 +855,106 @@ mod tests {
                 assert_eq!(t.get(k), Some(9));
             }
         }
+    }
+
+    #[test]
+    fn scale_values_matches_reference_map() {
+        // The fused scaling compaction must agree with an element-wise
+        // reference (floor(v·num/den), drop zeros) on contents and keep
+        // the structural invariants, across random fills and factors.
+        let mut rng = Xoshiro256StarStar::from_seed(321);
+        for round in 0..50u64 {
+            let mut t: LpTable = LpTable::with_lg_len(8);
+            let mut model: HashMap<u64, i64> = HashMap::new();
+            let n = 1 + rng.next_below(192) as usize;
+            for _ in 0..n {
+                let key = rng.next_below(400);
+                let v = rng.next_below(1000) as i64 + 1;
+                if t.num_active() < 192 || t.get(&key).is_some() {
+                    t.adjust_or_insert(key, v);
+                    *model.entry(key).or_insert(0) += v;
+                }
+            }
+            let den = rng.next_below(16) + 1;
+            let num = rng.next_below(den + 1);
+            let removed = t.scale_values(num, den);
+            t.check_invariants();
+            let expect: HashMap<u64, i64> = model
+                .iter()
+                .filter_map(|(&k, &v)| {
+                    let scaled = (v as u128 * num as u128 / den as u128) as i64;
+                    (scaled > 0).then_some((k, scaled))
+                })
+                .collect();
+            if num < den {
+                assert_eq!(removed, model.len() - expect.len(), "round {round}");
+            }
+            let got: HashMap<u64, i64> = t.iter().map(|(&k, v)| (k, v)).collect();
+            assert_eq!(got, expect, "round {round} (x{num}/{den})");
+        }
+    }
+
+    #[test]
+    fn scale_values_identity_and_zero() {
+        let mut t = table();
+        for k in 0..40u64 {
+            t.adjust_or_insert(k, (k + 1) as i64);
+        }
+        assert_eq!(t.scale_values(7, 7), 0, "identity never removes");
+        assert_eq!(t.get(&10), Some(11));
+        assert_eq!(t.scale_values(0, 3), 40, "zero factor clears all");
+        assert!(t.is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn scale_values_handles_wrapping_runs() {
+        let mut t: LpTable = LpTable::with_lg_len(4); // 16 slots
+        let len = t.len();
+        let mut picked = Vec::new();
+        let mut candidate = 0u64;
+        while picked.len() < 6 {
+            let home = (candidate.hash64() as usize) & (len - 1);
+            if home >= len - 2 {
+                picked.push(candidate);
+            }
+            candidate += 1;
+        }
+        for (idx, &k) in picked.iter().enumerate() {
+            // Alternate values that die (1 → 0) and survive (10 → 5).
+            t.adjust_or_insert(k, if idx % 2 == 0 { 1 } else { 10 });
+        }
+        let removed = t.scale_values(1, 2);
+        assert_eq!(removed, 3);
+        t.check_invariants();
+        for (idx, k) in picked.iter().enumerate() {
+            if idx % 2 == 0 {
+                assert_eq!(t.get(k), None);
+            } else {
+                assert_eq!(t.get(k), Some(5));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scales down")]
+    fn scale_values_rejects_upscaling() {
+        let mut t = table();
+        t.adjust_or_insert(1, 1);
+        t.scale_values(3, 2);
+    }
+
+    #[test]
+    fn layout_fingerprint_sees_slot_moves() {
+        let mut a = table();
+        let mut b = table();
+        for k in 0..50u64 {
+            a.adjust_or_insert(k, 10);
+            b.adjust_or_insert(k, 10);
+        }
+        assert_eq!(a.layout_fingerprint(), b.layout_fingerprint());
+        b.adjust_or_insert(50, 1);
+        assert_ne!(a.layout_fingerprint(), b.layout_fingerprint());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | [`caida`] | synthetic packet trace (skewed IPs × IMIX packet sizes in bits) | the CAIDA 2016 trace of §4.1 (Figs 1–3) |
 //! | [`merge_workload`] | Zipf(1.05) ids × uniform [1, 10 000] weights | the §4.5 merge-fill streams (Fig 4) |
 //! | [`adversarial`] | the §1.3.4 RBMC worst-case stream | adversarial ablation |
+//! | [`temporal`] | timestamped Zipf with a drifting hot set | the temporal layer (decayed/windowed sketches) |
 //! | [`stream`] | update type, composition helpers, binary persistence | everywhere |
 //!
 //! Every generator is seeded and fully reproducible: the same config
@@ -24,13 +25,17 @@ pub mod adversarial;
 pub mod caida;
 pub mod merge_workload;
 pub mod stream;
+pub mod temporal;
 pub mod zipf;
 
 pub use adversarial::{heavy_light_interleave, rbmc_killer, AdversarialConfig};
 pub use caida::{CaidaConfig, SyntheticCaida};
 pub use merge_workload::{fill_stream, MergeWorkloadConfig};
 pub use stream::{
-    concat, load_binary, num_distinct, partition_round_robin, save_binary, shuffle, total_weight,
-    WeightedUpdate,
+    concat, load_binary, load_timed_binary, num_distinct, partition_round_robin, save_binary,
+    save_timed_binary, shuffle, total_weight, WeightedUpdate,
+};
+pub use temporal::{
+    drifting_item_id, materialize_drifting_zipf, tick_runs, DriftConfig, TimedUpdate,
 };
 pub use zipf::{materialize_zipf, Zipf};

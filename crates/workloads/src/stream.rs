@@ -54,6 +54,47 @@ pub fn partition_round_robin(stream: &[WeightedUpdate], n: usize) -> Vec<Vec<Wei
     parts
 }
 
+/// Writes a timestamped stream as little-endian
+/// `(timestamp u64, item u64, weight u64)` records — the 24-byte format
+/// the CLI's `window build` ingests.
+///
+/// # Errors
+/// Propagates I/O errors from the filesystem.
+pub fn save_timed_binary(stream: &[crate::temporal::TimedUpdate], path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for &(timestamp, item, weight) in stream {
+        w.write_all(&timestamp.to_le_bytes())?;
+        w.write_all(&item.to_le_bytes())?;
+        w.write_all(&weight.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a timestamped stream written by [`save_timed_binary`].
+///
+/// # Errors
+/// Fails on I/O errors or if the file length is not a multiple of 24.
+pub fn load_timed_binary(path: &Path) -> io::Result<Vec<crate::temporal::TimedUpdate>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() % 24 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("file length {} is not a multiple of 24", bytes.len()),
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(24)
+        .map(|c| {
+            let timestamp = u64::from_le_bytes(c[..8].try_into().expect("8-byte chunk"));
+            let item = u64::from_le_bytes(c[8..16].try_into().expect("8-byte chunk"));
+            let weight = u64::from_le_bytes(c[16..].try_into().expect("8-byte chunk"));
+            (timestamp, item, weight)
+        })
+        .collect())
+}
+
 /// Writes a stream as little-endian `(u64, u64)` records.
 ///
 /// # Errors
@@ -144,6 +185,27 @@ mod tests {
         save_binary(&s, &path).unwrap();
         let loaded = load_binary(&path).unwrap();
         assert_eq!(loaded, s);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn timed_binary_roundtrip() {
+        let dir = std::env::temp_dir().join("streamfreq-test-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("timed.tbin");
+        let s: Vec<(u64, u64, u64)> = vec![(0, 1, 10), (100, 2, 20), (100, 1, 5)];
+        save_timed_binary(&s, &path).unwrap();
+        assert_eq!(load_timed_binary(&path).unwrap(), s);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn timed_load_rejects_torn_file() {
+        let dir = std::env::temp_dir().join("streamfreq-test-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.tbin");
+        std::fs::write(&path, [0u8; 25]).unwrap();
+        assert!(load_timed_binary(&path).is_err());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -1,0 +1,229 @@
+//! Timestamped streams with a drifting hot set — the workload where
+//! *recency* matters.
+//!
+//! The paper's §3 motivating scenario is temporal (per-period summaries,
+//! merged at query time), and the time-fading model of Cafaro et al.
+//! (FDCMSS, arXiv:1601.03892) privileges recent items. Neither can be
+//! exercised by a stationary Zipf stream: if the hot set never moves, a
+//! plain frequency sketch and a decayed one rank items identically. This
+//! module generates Zipf-distributed traffic whose *identity* of the hot
+//! items rotates from epoch to epoch, so time-aware summaries
+//! (`streamfreq-apps`' `DecayedSketch` and `WindowedStore`) have
+//! something real to be right about and exact global counting is
+//! genuinely misleading about the present.
+//!
+//! Timestamps advance monotonically: update `i` of `n` lands in epoch
+//! `⌊i · epochs / n⌋` and carries the timestamp of that epoch's window,
+//! so per-epoch batches arrive as contiguous runs — the shape a
+//! telemetry pipeline delivers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// One timestamped weighted update `(timestamp, item, Δ)`.
+pub type TimedUpdate = (u64, u64, u64);
+
+/// Configuration for [`materialize_drifting_zipf`].
+#[derive(Clone, Debug)]
+pub struct DriftConfig {
+    /// Total updates to generate.
+    pub updates: usize,
+    /// Universe size `m` of the per-epoch Zipf distribution.
+    pub universe: u64,
+    /// Zipf exponent α (> 0).
+    pub alpha: f64,
+    /// Number of epochs the stream spans (≥ 1).
+    pub epochs: u64,
+    /// Time units per epoch; update timestamps are
+    /// `epoch · epoch_len + offset` with `offset < epoch_len`.
+    pub epoch_len: u64,
+    /// How many ranks the hot set shifts per epoch. With a shift of `s`,
+    /// epoch `e` maps Zipf rank `r` to scrambled id `(r + e·s) mod m` —
+    /// a shift larger than the number of meaningful heavy ranks makes
+    /// consecutive epochs' hot sets disjoint.
+    pub hot_shift: u64,
+    /// Maximum per-update weight (weights are uniform in `1..=max_weight`).
+    pub max_weight: u64,
+    /// Generator seed; equal configs produce equal streams.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    /// One million updates over 16 epochs of width 1000, Zipf(1.0) on a
+    /// 2²⁰ universe, hot set fully displaced each epoch.
+    fn default() -> Self {
+        Self {
+            updates: 1_000_000,
+            universe: 1 << 20,
+            alpha: 1.0,
+            epochs: 16,
+            epoch_len: 1_000,
+            hot_shift: 10_000,
+            max_weight: 100,
+            seed: 0x7E4D_012A,
+        }
+    }
+}
+
+/// Materializes a timestamped Zipf stream whose hot set drifts across
+/// epochs (see the [module docs](self)). Timestamps are non-decreasing:
+/// every update carries its epoch's base timestamp
+/// (`epoch · epoch_len`), so one epoch's updates form one contiguous
+/// equal-timestamp run — ready for batched per-tick ingestion.
+///
+/// # Panics
+/// Panics on a zero `updates`, `epochs`, `epoch_len`, or `max_weight`,
+/// or an invalid Zipf configuration.
+pub fn materialize_drifting_zipf(config: &DriftConfig) -> Vec<TimedUpdate> {
+    assert!(config.updates > 0, "updates must be positive");
+    assert!(config.epochs > 0, "epochs must be positive");
+    assert!(config.epoch_len > 0, "epoch_len must be positive");
+    assert!(config.max_weight > 0, "max_weight must be positive");
+    let zipf = Zipf::new(config.universe, config.alpha);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.updates;
+    (0..n)
+        .map(|i| {
+            let epoch = (i as u64 * config.epochs) / n as u64;
+            let timestamp = epoch * config.epoch_len;
+            let rank = zipf.sample(&mut rng);
+            // Rotate the rank→item mapping by the epoch's drift, then
+            // scramble bijectively so hot items are not small integers.
+            let rotated = (rank - 1 + epoch * config.hot_shift) % config.universe;
+            let item = (rotated + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let w = rng.gen_range(1..=config.max_weight);
+            (timestamp, item, w)
+        })
+        .collect()
+}
+
+/// Splits a timestamp-ordered stream into its contiguous
+/// equal-timestamp runs, as `(timestamp, index range)` — the per-tick
+/// batches temporal consumers (`DecayedSketch::record_batch`,
+/// `WindowedStore::record_batch`) ingest. Shared by the CLI's
+/// `window build` and the `fig_temporal` bench.
+pub fn tick_runs(stream: &[TimedUpdate]) -> Vec<(u64, core::ops::Range<usize>)> {
+    let mut runs = Vec::new();
+    let mut i = 0usize;
+    while i < stream.len() {
+        let t = stream[i].0;
+        let start = i;
+        while i < stream.len() && stream[i].0 == t {
+            i += 1;
+        }
+        runs.push((t, start..i));
+    }
+    runs
+}
+
+/// The scrambled item id the generator assigns to Zipf rank `rank`
+/// (1-based) in `epoch` — lets tests and benches ask "what was epoch e's
+/// hottest item?" without re-deriving the mapping.
+pub fn drifting_item_id(config: &DriftConfig, epoch: u64, rank: u64) -> u64 {
+    assert!(rank >= 1 && rank <= config.universe, "rank out of range");
+    let rotated = (rank - 1 + epoch * config.hot_shift) % config.universe;
+    (rotated + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small_config() -> DriftConfig {
+        DriftConfig {
+            updates: 60_000,
+            universe: 1 << 16,
+            alpha: 1.1,
+            epochs: 6,
+            epoch_len: 100,
+            hot_shift: 5_000,
+            max_weight: 10,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_span_epochs() {
+        let config = small_config();
+        let stream = materialize_drifting_zipf(&config);
+        assert_eq!(stream.len(), config.updates);
+        let mut last = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        for &(t, _, w) in &stream {
+            assert!(t >= last, "timestamps must be non-decreasing");
+            assert_eq!(t % config.epoch_len, 0, "epoch-aligned timestamps");
+            assert!((1..=config.max_weight).contains(&w));
+            last = t;
+            seen.insert(t / config.epoch_len);
+        }
+        assert_eq!(seen.len() as u64, config.epochs, "every epoch populated");
+    }
+
+    #[test]
+    fn hot_set_actually_drifts() {
+        // The heaviest item of the first epoch must not be the heaviest
+        // item of the last epoch — otherwise recency experiments are
+        // meaningless.
+        let config = small_config();
+        let stream = materialize_drifting_zipf(&config);
+        let top_of = |epoch: u64| -> u64 {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for &(t, item, w) in &stream {
+                if t / config.epoch_len == epoch {
+                    *counts.entry(item).or_insert(0) += w;
+                }
+            }
+            counts
+                .into_iter()
+                .max_by_key(|&(_, w)| w)
+                .expect("epoch has traffic")
+                .0
+        };
+        let first = top_of(0);
+        let last = top_of(config.epochs - 1);
+        assert_ne!(first, last, "hot set failed to drift");
+        assert_eq!(first, drifting_item_id(&config, 0, 1));
+        assert_eq!(last, drifting_item_id(&config, config.epochs - 1, 1));
+    }
+
+    #[test]
+    fn tick_runs_cover_the_stream_contiguously() {
+        let stream: Vec<TimedUpdate> = vec![
+            (0, 1, 1),
+            (0, 2, 1),
+            (5, 3, 1),
+            (7, 4, 1),
+            (7, 5, 1),
+            (7, 6, 1),
+        ];
+        let runs = tick_runs(&stream);
+        assert_eq!(runs, vec![(0, 0..2), (5, 2..3), (7, 3..6)]);
+        assert_eq!(tick_runs(&[]), vec![]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = small_config();
+        assert_eq!(
+            materialize_drifting_zipf(&config),
+            materialize_drifting_zipf(&config)
+        );
+        let reseeded = DriftConfig { seed: 10, ..config };
+        assert_ne!(
+            materialize_drifting_zipf(&reseeded),
+            materialize_drifting_zipf(&small_config())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epochs")]
+    fn zero_epochs_panics() {
+        materialize_drifting_zipf(&DriftConfig {
+            epochs: 0,
+            ..small_config()
+        });
+    }
+}

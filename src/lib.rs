@@ -20,7 +20,8 @@
 //! * [`workloads`] — Zipf, synthetic CAIDA-like traces, adversarial
 //!   streams.
 //! * [`apps`] — hierarchical heavy hitters, entropy estimation, sampled
-//!   feeding.
+//!   feeding, and the temporal layer (time-fading `DecayedSketch`,
+//!   generic retention-bounded `WindowedStore`).
 //!
 //! See the `examples/` directory for runnable walkthroughs, DESIGN.md for
 //! the system inventory, and EXPERIMENTS.md for the reproduced evaluation.

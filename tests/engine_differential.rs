@@ -124,6 +124,59 @@ proptest! {
         );
     }
 
+    /// Batched deletions on a *generic-key* signed sketch: a
+    /// deletion-heavy mixed-sign stream over String items, re-chunked
+    /// arbitrarily through `update_batch`, is pinned state-for-state
+    /// (both engines' fingerprints) against scalar updates, and the net
+    /// bounds bracket the truth. The deletion-heavy mix matters: the
+    /// negative-side engine purges too, so its sampler state and purge
+    /// clock must survive the per-sign batch split exactly.
+    #[test]
+    fn signed_string_batched_deletions_match_scalar(
+        stream in proptest::collection::vec(
+            (0u64..60, 1i64..400, 0u32..100),
+            1..900,
+        ),
+        k in 8usize..40,
+        split in 1usize..250,
+        seed in any::<u64>(),
+    ) {
+        let updates: Vec<(String, i64)> = stream
+            .iter()
+            // 45% deletions: enough pressure to purge the negative side.
+            .map(|&(id, mag, roll)| {
+                (format!("sku-{id}"), if roll < 45 { -mag } else { mag })
+            })
+            .collect();
+        let mut scalar: SignedSketch<String> =
+            SignedSketch::try_new(k, PurgePolicy::smed(), seed).unwrap();
+        let mut batched: SignedSketch<String> =
+            SignedSketch::try_new(k, PurgePolicy::smed(), seed).unwrap();
+        let mut truth: HashMap<String, i64> = HashMap::new();
+        for (item, delta) in &updates {
+            scalar.update(item.clone(), *delta);
+            *truth.entry(item.clone()).or_insert(0) += delta;
+        }
+        for chunk in updates.chunks(split) {
+            batched.update_batch(chunk);
+        }
+        prop_assert_eq!(
+            batched.additions().state_fingerprint(),
+            scalar.additions().state_fingerprint()
+        );
+        prop_assert_eq!(
+            batched.deletions().state_fingerprint(),
+            scalar.deletions().state_fingerprint()
+        );
+        for (item, &net) in &truth {
+            let (lo, hi) = batched.bounds(item);
+            prop_assert!(
+                lo <= net && net <= hi,
+                "item {}: net {} outside [{}, {}]", item, net, lo, hi
+            );
+        }
+    }
+
     /// The signed sketch built on the generic engine brackets the net
     /// truth and its batch path is state-identical to scalar feeding.
     #[test]

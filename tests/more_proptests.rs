@@ -129,8 +129,8 @@ proptest! {
             .expect("data present");
         prop_assert_eq!(merged.stream_weight(), truth.values().sum::<u64>());
         for (&item, &f) in &truth {
-            prop_assert!(merged.lower_bound(item) <= f);
-            prop_assert!(merged.upper_bound(item) >= f);
+            prop_assert!(merged.lower_bound(&item) <= f);
+            prop_assert!(merged.upper_bound(&item) >= f);
         }
     }
 
