@@ -204,8 +204,7 @@ impl HhhSketch {
     /// # Panics
     /// Panics if `phi` is outside `[0, 1]`.
     pub fn hierarchical_heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<HhhRow> {
-        assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
-        let threshold = (phi * self.stream_weight as f64) as u64;
+        let threshold = streamfreq_core::bounds::phi_threshold(phi, self.stream_weight);
         let mut result: Vec<HhhRow> = Vec::new();
         // reported descendants' estimates, folded upward level by level:
         // maps ancestor prefix (at the level being processed) to the total

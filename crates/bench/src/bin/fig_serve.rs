@@ -1,0 +1,255 @@
+//! Serving-layer throughput: sustained `ConcurrentSketch` ingest with
+//! and without a concurrent query load, recorded into `BENCH_serve.json`.
+//!
+//! The serving layer adds two costs on top of the sharded ingest
+//! pipeline it wraps: the bounded channels between writers and shard
+//! workers, and the periodic Algorithm-5 snapshot merges. This bench
+//! quantifies both, then adds a query thread hammering the published
+//! snapshots to confirm the design property that matters — **queries do
+//! not slow ingestion down** (they only clone an `Arc` out of an
+//! `RwLock`; the shards never see them).
+//!
+//! Modes, all over the identical synthetic CAIDA-like stream:
+//!
+//! * `sharded_direct` — `ShardedSketch::ingest_parallel`, no channels,
+//!   no serving: the cost floor of the existing ingest pipeline.
+//! * `serve_ingest` — `ConcurrentSketch` ingest + drain, no snapshot
+//!   publishing: isolates the channel hop.
+//! * `serve_publish` — plus a 20 ms periodic snapshot publisher:
+//!   isolates the snapshot merges.
+//! * `serve_query` — plus a query thread running `TOPK`-shaped snapshot
+//!   reads in a closed loop for the whole ingest: the headline
+//!   "sustained ingest under query fire" row.
+//!
+//! ```text
+//! cargo run --release -p streamfreq-bench --bin fig_serve -- \
+//!     [--updates N] [--json PATH] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks to one small configuration with a single
+//! repetition — the CI guard that the serving binary still runs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use streamfreq_bench::{parse_flag, print_header};
+use streamfreq_core::{ConcurrentSketch, ShardedSketch};
+use streamfreq_workloads::{CaidaConfig, SyntheticCaida};
+
+/// The paper's largest counter configuration (§4.1).
+const SERVE_K: usize = 24_576;
+
+/// Shard-bank width: wide enough to exercise routing and merging, and
+/// the same per-shard budget convention as `streamfreq serve`.
+const SERVE_SHARDS: usize = 8;
+
+/// Periodic snapshot interval for the publishing modes.
+const PUBLISH_MS: u64 = 20;
+
+/// Median-of-N repetitions per measurement.
+const SERVE_REPS: usize = 3;
+
+/// One measured serving row.
+struct ServeResult {
+    mode: &'static str,
+    writers: usize,
+    shards: usize,
+    k: usize,
+    updates: usize,
+    seconds: f64,
+    updates_per_sec: f64,
+    queries: u64,
+    queries_per_sec: f64,
+    snapshots: u64,
+    checksum: u64,
+}
+
+/// Runs one ingestion pass of `mode` and returns the measured row.
+fn run_mode(mode: &'static str, writers: usize, k: usize, stream: &[(u64, u64)]) -> ServeResult {
+    let k_per_shard = (k / SERVE_SHARDS).max(1);
+    let probe: Vec<u64> = stream
+        .iter()
+        .rev()
+        .take(64)
+        .map(|&(item, _)| item)
+        .collect();
+    let (seconds, queries, snapshots, checksum) = match mode {
+        "sharded_direct" => {
+            let mut bank: ShardedSketch<u64> = ShardedSketch::builder(SERVE_SHARDS, k_per_shard)
+                .grow_from_small(false)
+                .build()
+                .expect("invalid bank configuration");
+            let start = Instant::now();
+            bank.ingest_parallel(stream, writers);
+            let secs = start.elapsed().as_secs_f64();
+            let checksum = probe.iter().map(|i| bank.lower_bound(i)).sum();
+            (secs, 0u64, 0u64, checksum)
+        }
+        "serve_ingest" | "serve_publish" | "serve_query" => {
+            let mut builder = ConcurrentSketch::<u64>::builder(SERVE_SHARDS, k_per_shard)
+                .grow_from_small(false)
+                .merged_capacity(k);
+            if mode != "serve_ingest" {
+                builder = builder.publish_every(Duration::from_millis(PUBLISH_MS));
+            }
+            let mut sketch = builder.build().expect("invalid serve configuration");
+            let reader = sketch.reader();
+            let done = Arc::new(AtomicBool::new(false));
+            let query_thread = (mode == "serve_query").then(|| {
+                let reader = reader.clone();
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let mut queries = 0u64;
+                    let mut sink = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        let snap = reader.snapshot();
+                        for row in snap.top_k(10) {
+                            sink ^= row.item;
+                        }
+                        queries += 1;
+                    }
+                    (queries, sink)
+                })
+            });
+            let start = Instant::now();
+            sketch.ingest_slice_parallel(stream, writers);
+            sketch.drain();
+            let secs = start.elapsed().as_secs_f64();
+            done.store(true, Ordering::Relaxed);
+            let queries = query_thread.map_or(0, |t| t.join().expect("query thread panicked").0);
+            let snap = sketch.snapshot();
+            let checksum = probe.iter().map(|i| snap.lower_bound(i)).sum();
+            (secs, queries, snap.epoch(), checksum)
+        }
+        other => unreachable!("unknown mode {other}"),
+    };
+    ServeResult {
+        mode,
+        writers,
+        shards: SERVE_SHARDS,
+        k,
+        updates: stream.len(),
+        seconds,
+        updates_per_sec: stream.len() as f64 / seconds,
+        queries,
+        queries_per_sec: queries as f64 / seconds,
+        snapshots,
+        checksum,
+    }
+}
+
+/// [`run_mode`] repeated `reps` times, keeping the median-throughput run.
+fn run_mode_median(
+    mode: &'static str,
+    writers: usize,
+    k: usize,
+    stream: &[(u64, u64)],
+    reps: usize,
+) -> ServeResult {
+    assert!(reps > 0);
+    let mut results: Vec<ServeResult> = (0..reps)
+        .map(|_| run_mode(mode, writers, k, stream))
+        .collect();
+    results.sort_by(|a, b| {
+        a.updates_per_sec
+            .partial_cmp(&b.updates_per_sec)
+            .expect("throughput is never NaN")
+    });
+    results.swap_remove(results.len() / 2)
+}
+
+fn results_to_json(updates: usize, results: &[ServeResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"fig_serve_throughput\",\n");
+    out.push_str(&format!("  \"updates\": {updates},\n"));
+    out.push_str("  \"workload\": \"synthetic_caida\",\n");
+    out.push_str(&format!("  \"publish_interval_ms\": {PUBLISH_MS},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"writers\": {}, \"shards\": {}, \"k\": {}, \
+             \"updates\": {}, \"seconds\": {:.6}, \"updates_per_sec\": {:.1}, \
+             \"queries\": {}, \"queries_per_sec\": {:.1}, \"snapshots\": {}, \
+             \"checksum\": {}}}{}\n",
+            r.mode,
+            r.writers,
+            r.shards,
+            r.k,
+            r.updates,
+            r.seconds,
+            r.updates_per_sec,
+            r.queries,
+            r.queries_per_sec,
+            r.snapshots,
+            r.checksum,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let updates = if smoke {
+        200_000
+    } else {
+        parse_flag("--updates", 4_000_000)
+    };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|p| args.get(p + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let (k, reps, writer_counts): (usize, usize, Vec<usize>) = if smoke {
+        (4_096, 1, vec![1])
+    } else {
+        (SERVE_K, SERVE_REPS, vec![1, 2])
+    };
+
+    eprintln!("generating synthetic CAIDA stream: {updates} updates ...");
+    let config = CaidaConfig::scaled(updates);
+    let stream: Vec<(u64, u64)> = SyntheticCaida::new(&config).collect();
+
+    println!("# Serving-layer ingest: channels, snapshots, query load");
+    print_header(&[
+        "mode",
+        "writers",
+        "k",
+        "seconds",
+        "updates_per_sec",
+        "queries_per_sec",
+        "snapshots",
+    ]);
+    let mut results: Vec<ServeResult> = Vec::new();
+    for &writers in &writer_counts {
+        for mode in [
+            "sharded_direct",
+            "serve_ingest",
+            "serve_publish",
+            "serve_query",
+        ] {
+            let r = run_mode_median(mode, writers, k, &stream, reps);
+            println!(
+                "{}\t{}\t{}\t{:.3}\t{:.3e}\t{:.3e}\t{}",
+                r.mode,
+                r.writers,
+                r.k,
+                r.seconds,
+                r.updates_per_sec,
+                r.queries_per_sec,
+                r.snapshots
+            );
+            results.push(r);
+        }
+    }
+
+    let json = results_to_json(updates, &results);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+}

@@ -9,6 +9,8 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod serve;
+
 use streamfreq_apps::WindowedStore;
 use streamfreq_core::{ErrorType, FreqSketch, PurgePolicy, Row, ShardedSketch};
 use streamfreq_workloads::{
@@ -36,6 +38,11 @@ USAGE:
                    --input <stream.tbin> --output <store.wsk>
                    [--retention R] [--policy ...]
   streamfreq window query <store.wsk> --from <t0> --to <t1> [--top N]
+  streamfreq serve -k <counters> --input <stream.bin> [--port P]
+                   [--port-file PATH] [--threads T] [--shards S]
+                   [--passes R] [--snapshot-ms M] [--policy ...] [--seed N]
+  streamfreq query-remote --port P <EST item | TOPK n | HH phi [nfp|nfn]
+                   | STATS | QUIT>
   streamfreq help
 
 FILES:
@@ -61,6 +68,18 @@ TEMPORAL STORES:
   only the most recent R closed buckets (oldest evicted). window query
   merges exactly the buckets overlapping [--from, --to) via Algorithm 5
   and reports the merged summary.
+
+SERVING:
+  serve ingests the input stream --passes times from --threads writer
+  threads into a ConcurrentSketch bank while answering a newline-
+  delimited text protocol (EST item | TOPK n | HH phi [nfp|nfn] |
+  STATS | QUIT) on loopback TCP. Queries read immutable Algorithm-5
+  merged snapshots republished every --snapshot-ms milliseconds
+  (default 50), so they never block ingestion and observe a bounded-
+  staleness view with certified error bounds. --port 0 picks an
+  ephemeral port; --port-file writes the bound address for scripts.
+  QUIT drains ingestion (final sealed snapshot) and stops the server.
+  query-remote sends one protocol request and prints the response.
 ";
 
 /// A parsed command line.
@@ -156,6 +175,15 @@ pub enum Command {
         /// Output store path.
         output: PathBuf,
     },
+    /// Serve queries over loopback TCP while ingesting a stream file.
+    Serve(serve::ServeOptions),
+    /// Send one protocol request to a running `serve` instance.
+    QueryRemote {
+        /// Loopback port the server listens on.
+        port: u16,
+        /// The protocol request tokens (e.g. `["EST", "42"]`).
+        request: Vec<String>,
+    },
     /// Range-merge query over a windowed bucket store.
     WindowQuery {
         /// Store path.
@@ -180,6 +208,8 @@ pub enum CliError {
     Io(PathBuf, std::io::Error),
     /// Malformed sketch file.
     Sketch(PathBuf, streamfreq_core::Error),
+    /// Socket failure against an address.
+    Net(String, std::io::Error),
 }
 
 impl fmt::Display for CliError {
@@ -188,6 +218,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Io(path, e) => write!(f, "{}: {e}", path.display()),
             CliError::Sketch(path, e) => write!(f, "{}: {e}", path.display()),
+            CliError::Net(addr, e) => write!(f, "{addr}: {e}"),
         }
     }
 }
@@ -403,6 +434,96 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 output,
             })
+        }
+        "serve" => {
+            let k = parse_u64(required(rest, "-k", "serve")?, "counter count")? as usize;
+            let input = PathBuf::from(required(rest, "--input", "serve")?);
+            let port = match flag_value(rest, "--port") {
+                Some(s) => {
+                    let p = parse_u64(s, "port")?;
+                    u16::try_from(p).map_err(|_| CliError::Usage(format!("port {p} > 65535")))?
+                }
+                None => 0,
+            };
+            let port_file = flag_value(rest, "--port-file").map(PathBuf::from);
+            let policy = match flag_value(rest, "--policy") {
+                Some(p) => parse_policy(p)?,
+                None => PurgePolicy::smed(),
+            };
+            let seed = match flag_value(rest, "--seed") {
+                Some(s) => parse_u64(s, "seed")?,
+                None => streamfreq_core::sketch::DEFAULT_SEED,
+            };
+            let threads = match flag_value(rest, "--threads") {
+                Some(s) => {
+                    let t = parse_u64(s, "thread count")? as usize;
+                    if t == 0 {
+                        return Err(CliError::Usage("--threads must be positive".into()));
+                    }
+                    t
+                }
+                None => 1,
+            };
+            let shards = match flag_value(rest, "--shards") {
+                Some(s) => {
+                    let n = parse_u64(s, "shard count")? as usize;
+                    if n == 0 {
+                        return Err(CliError::Usage("--shards must be positive".into()));
+                    }
+                    n
+                }
+                None => 0,
+            };
+            let passes = match flag_value(rest, "--passes") {
+                Some(s) => {
+                    let r = parse_u64(s, "pass count")?;
+                    if r == 0 {
+                        return Err(CliError::Usage("--passes must be positive".into()));
+                    }
+                    r
+                }
+                None => 1,
+            };
+            let snapshot_ms = match flag_value(rest, "--snapshot-ms") {
+                Some(s) => parse_u64(s, "snapshot interval")?,
+                None => 50,
+            };
+            Ok(Command::Serve(serve::ServeOptions {
+                port,
+                port_file,
+                k,
+                policy,
+                seed,
+                threads,
+                shards,
+                passes,
+                snapshot_ms,
+                input,
+            }))
+        }
+        "query-remote" => {
+            let port_value = required(rest, "--port", "query-remote")?;
+            let port = {
+                let p = parse_u64(port_value, "port")?;
+                u16::try_from(p).map_err(|_| CliError::Usage(format!("port {p} > 65535")))?
+            };
+            // Everything except the --port pair is the protocol request.
+            let mut request = Vec::new();
+            let mut iter = rest.iter();
+            while let Some(arg) = iter.next() {
+                if arg == "--port" {
+                    iter.next();
+                    continue;
+                }
+                request.push(arg.clone());
+            }
+            if request.is_empty() {
+                return Err(CliError::Usage(
+                    "query-remote requires a request (EST item | TOPK n | HH phi | STATS | QUIT)"
+                        .into(),
+                ));
+            }
+            Ok(Command::QueryRemote { port, request })
         }
         "window" => {
             let Some(sub) = rest.first() else {
@@ -781,6 +902,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 store.stored_bytes()
             ))
         }
+        Command::Serve(options) => serve::run_serve(options),
+        Command::QueryRemote { port, request } => serve::run_query_remote(*port, request),
         Command::WindowQuery {
             path,
             from,
@@ -1285,6 +1408,317 @@ mod tests {
         assert_eq!(outputs[0], outputs[1], "2 threads diverged from 1");
         assert_eq!(outputs[0], outputs[2], "4 threads diverged from 1");
         std::fs::remove_file(stream_path).unwrap();
+    }
+
+    #[test]
+    fn parses_serve_and_query_remote() {
+        let cmd = parse_args(&args(
+            "serve -k 512 --input s.bin --port 7070 --threads 2 --shards 4 \
+             --passes 3 --snapshot-ms 25 --seed 9 --port-file p.txt",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(serve::ServeOptions {
+                port: 7070,
+                port_file: Some(PathBuf::from("p.txt")),
+                k: 512,
+                policy: PurgePolicy::smed(),
+                seed: 9,
+                threads: 2,
+                shards: 4,
+                passes: 3,
+                snapshot_ms: 25,
+                input: PathBuf::from("s.bin"),
+            })
+        );
+        let cmd = parse_args(&args("query-remote --port 7070 EST 42")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::QueryRemote {
+                port: 7070,
+                request: vec!["EST".into(), "42".into()],
+            }
+        );
+        assert!(parse_args(&args("serve --input s.bin")).is_err(), "no -k");
+        assert!(parse_args(&args("serve -k 8")).is_err(), "no --input");
+        assert!(parse_args(&args("serve -k 8 --input s.bin --port 70000")).is_err());
+        assert!(parse_args(&args("serve -k 8 --input s.bin --passes 0")).is_err());
+        assert!(
+            parse_args(&args("query-remote --port 7070")).is_err(),
+            "no request"
+        );
+        assert!(parse_args(&args("query-remote STATS")).is_err(), "no port");
+    }
+
+    /// One protocol exchange over an established connection: sends the
+    /// request line and reads the full response (count-prefixed rows
+    /// included).
+    fn protocol_request(conn: &mut std::net::TcpStream, request: &str) -> Vec<String> {
+        use std::io::{BufRead, BufReader, Write};
+        conn.write_all(format!("{request}\n").as_bytes()).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        let mut lines = vec![first.trim().to_string()];
+        let multi_row = matches!(
+            request
+                .split_whitespace()
+                .next()
+                .map(str::to_ascii_uppercase)
+                .as_deref(),
+            Some("TOPK" | "HH")
+        );
+        if multi_row {
+            if let Some(rows) = lines[0]
+                .strip_prefix("OK ")
+                .and_then(|m| m.parse::<usize>().ok())
+            {
+                for _ in 0..rows {
+                    let mut row = String::new();
+                    reader.read_line(&mut row).unwrap();
+                    lines.push(row.trim().to_string());
+                }
+            }
+        }
+        lines
+    }
+
+    /// Parses a `STATS` response line into its key=value fields.
+    fn stats_field(line: &str, key: &str) -> u64 {
+        line.split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("missing {key} in `{line}`"))
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric {key} in `{line}`"))
+    }
+
+    #[test]
+    fn serve_answers_queries_during_ingest_and_drains_exactly() {
+        use std::net::TcpStream;
+        use std::time::{Duration, Instant};
+
+        let stream_path = tmp("serve-e2e.bin");
+        run(&Command::Synth {
+            updates: 100_000,
+            flows: 3_000,
+            seed: 21,
+            output: stream_path.clone(),
+        })
+        .unwrap();
+        let pass_weight: u64 = streamfreq_workloads::load_binary(&stream_path)
+            .unwrap()
+            .iter()
+            .map(|&(_, w)| w)
+            .sum();
+        let passes = 40u64;
+
+        let port_file = tmp("serve-e2e.port");
+        let _ = std::fs::remove_file(&port_file);
+        let options = serve::ServeOptions {
+            port: 0,
+            port_file: Some(port_file.clone()),
+            k: 512,
+            policy: PurgePolicy::smed(),
+            seed: 7,
+            threads: 2,
+            shards: 4,
+            passes,
+            snapshot_ms: 10,
+            input: stream_path.clone(),
+        };
+        let server = std::thread::spawn(move || run(&Command::Serve(options)).unwrap());
+
+        // Wait for the listener handshake.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server never wrote the port file"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let port: u16 = addr.rsplit(':').next().unwrap().parse().unwrap();
+        let mut conn = TcpStream::connect(&addr).unwrap();
+
+        // Queries answered while ingestion is still running: the first
+        // STATS must land mid-ingest (20 passes of 100k updates), and
+        // repeated STATS see monotonically advancing epochs and stream
+        // weight — the bounded-staleness view.
+        let first = protocol_request(&mut conn, "STATS");
+        assert!(first[0].starts_with("OK "), "{first:?}");
+        assert_eq!(
+            stats_field(&first[0], "ingest_done"),
+            0,
+            "first STATS should land during ingestion: {first:?}"
+        );
+        let mut last_epoch = stats_field(&first[0], "epoch");
+        let mut last_n = stats_field(&first[0], "n");
+        let final_stats = loop {
+            let stats = protocol_request(&mut conn, "STATS");
+            let epoch = stats_field(&stats[0], "epoch");
+            let n = stats_field(&stats[0], "n");
+            assert!(epoch >= last_epoch, "epoch went backwards: {stats:?}");
+            assert!(n >= last_n, "stream weight shrank: {stats:?}");
+            last_epoch = epoch;
+            last_n = n;
+            // Mid-ingest queries on the other verbs must answer too.
+            let top = protocol_request(&mut conn, "TOPK 3");
+            assert!(top[0].starts_with("OK "), "{top:?}");
+            let hh = protocol_request(&mut conn, "HH 0.5");
+            assert!(hh[0].starts_with("OK "), "{hh:?}");
+            if stats_field(&stats[0], "ingest_done") == 1 {
+                break stats;
+            }
+            assert!(Instant::now() < deadline, "ingestion never finished");
+        };
+
+        // The sealed view is exact: every pass of the file is in.
+        assert_eq!(stats_field(&final_stats[0], "n"), pass_weight * passes);
+        assert_eq!(stats_field(&final_stats[0], "shards"), 4);
+
+        // TOPK rows are well-formed and estimable via EST.
+        let top = protocol_request(&mut conn, "TOPK 5");
+        assert_eq!(top.len(), 6, "{top:?}");
+        let heaviest: u64 = top[1].split_whitespace().next().unwrap().parse().unwrap();
+        let est = protocol_request(&mut conn, &format!("EST {heaviest}"));
+        let fields: Vec<u64> = est[0]
+            .strip_prefix("OK ")
+            .unwrap()
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert_eq!(fields.len(), 3, "{est:?}");
+        assert!(fields[1] <= fields[0] && fields[0] <= fields[2].max(fields[0]));
+
+        // Heavy hitters with both contracts, and protocol errors.
+        assert!(protocol_request(&mut conn, "HH 0.01 nfp")[0].starts_with("OK "));
+        assert!(protocol_request(&mut conn, "frobnicate")[0].starts_with("ERR "));
+        assert!(protocol_request(&mut conn, "EST notanumber")[0].starts_with("ERR "));
+        assert!(protocol_request(&mut conn, "HH 1.5")[0].starts_with("ERR "));
+
+        // The query-remote client speaks the same protocol.
+        let remote = run(&Command::QueryRemote {
+            port,
+            request: vec!["STATS".into()],
+        })
+        .unwrap();
+        assert_eq!(stats_field(remote.trim(), "ingest_done"), 1);
+        let remote_top = run(&Command::QueryRemote {
+            port,
+            request: vec!["TOPK".into(), "2".into()],
+        })
+        .unwrap();
+        assert_eq!(remote_top.lines().count(), 3, "{remote_top}");
+
+        // QUIT shuts the whole server down; run() returns the report.
+        let bye = run(&Command::QueryRemote {
+            port,
+            request: vec!["QUIT".into()],
+        })
+        .unwrap();
+        assert!(bye.starts_with("OK bye"), "{bye}");
+        let report = server.join().unwrap();
+        assert!(report.contains("queries over"), "{report}");
+        assert!(
+            report.contains(&format!("N = {}", pass_weight * passes)),
+            "{report}"
+        );
+
+        for p in [stream_path, port_file] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn serve_drained_state_matches_sequential_bank() {
+        use std::net::TcpStream;
+        use std::time::{Duration, Instant};
+
+        // The served sealed snapshot must equal the Algorithm-5 merged
+        // export of a sequential ShardedSketch ingest of the same
+        // configuration — the CLI-level face of the drain-equivalence
+        // contract.
+        let stream_path = tmp("serve-det.bin");
+        run(&Command::Synth {
+            updates: 30_000,
+            flows: 1_000,
+            seed: 4,
+            output: stream_path.clone(),
+        })
+        .unwrap();
+        let stream = streamfreq_workloads::load_binary(&stream_path).unwrap();
+        let mut reference: streamfreq_core::ShardedSketch<u64> =
+            streamfreq_core::ShardedSketch::builder(4, 128)
+                .seed(11)
+                .build()
+                .unwrap();
+        reference.update_batch(&stream);
+        let merged = streamfreq_core::FreqSketch::from(reference.merged_with_capacity(512));
+
+        let port_file = tmp("serve-det.port");
+        let _ = std::fs::remove_file(&port_file);
+        let options = serve::ServeOptions {
+            port: 0,
+            port_file: Some(port_file.clone()),
+            k: 512,
+            policy: PurgePolicy::smed(),
+            seed: 11,
+            threads: 3,
+            shards: 4,
+            passes: 1,
+            snapshot_ms: 0,
+            input: stream_path.clone(),
+        };
+        let server = std::thread::spawn(move || run(&Command::Serve(options)).unwrap());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(Instant::now() < deadline, "no port file");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let mut conn = TcpStream::connect(addr.trim()).unwrap();
+        loop {
+            let stats = protocol_request(&mut conn, "STATS");
+            if stats_field(&stats[0], "ingest_done") == 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "ingestion never finished");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for row in merged.top_k(10) {
+            let est = protocol_request(&mut conn, &format!("EST {}", row.item));
+            assert_eq!(
+                est[0],
+                format!(
+                    "OK {} {} {}",
+                    row.estimate, row.lower_bound, row.upper_bound
+                ),
+                "served estimate diverged from sequential merge for {}",
+                row.item
+            );
+        }
+        let stats = protocol_request(&mut conn, "STATS");
+        assert_eq!(stats_field(&stats[0], "n"), merged.stream_weight());
+        assert_eq!(
+            stats_field(&stats[0], "max_error"),
+            merged.maximum_error(),
+            "served error band must match Theorem 5 merged export"
+        );
+        protocol_request(&mut conn, "QUIT");
+        server.join().unwrap();
+        for p in [stream_path, port_file] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

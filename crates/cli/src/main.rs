@@ -11,6 +11,8 @@
 //! streamfreq query  day1.sk 192168001001 424242
 //! streamfreq merge  day1.sk day2.sk --output week.sk
 //! streamfreq synth  --updates 1000000 --output demo.bin      # demo stream
+//! streamfreq serve  -k 4096 --input demo.bin --port 7070     # live queries
+//! streamfreq query-remote --port 7070 TOPK 10
 //! ```
 //!
 //! Stream files are the 16-byte little-endian `(item, weight)` records of

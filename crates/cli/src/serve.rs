@@ -1,0 +1,370 @@
+//! `streamfreq serve`: a loopback TCP server answering frequency
+//! queries from [`streamfreq_core::ConcurrentSketch`] snapshots while
+//! ingestion runs, plus the matching `query-remote` client.
+//!
+//! ## Protocol
+//!
+//! Newline-delimited text over TCP, one request per line, case-
+//! insensitive command word:
+//!
+//! | request | response |
+//! |---|---|
+//! | `EST <item>` | `OK <estimate> <lower> <upper>` |
+//! | `TOPK <n>` | `OK <m>` then `m` lines `<item> <estimate> <lower> <upper>` |
+//! | `HH <phi> [nfp\|nfn]` | `OK <m>` then `m` rows (contract default `nfn`) |
+//! | `STATS` | `OK epoch=<e> n=<N> counters=<c> max_error=<err> enqueued=<w> ingest_done=<0\|1> shards=<s>` |
+//! | `QUIT` | `OK bye`, then the whole server shuts down gracefully |
+//! | anything else | `ERR <reason>` |
+//!
+//! Every query answers from the most recent published snapshot: a
+//! bounded-stale, Algorithm-5-merged view with the same certified error
+//! bounds as `ShardedSketch::merged()`. `STATS` exposes the snapshot
+//! epoch and the live enqueued weight so clients can observe staleness
+//! directly. Queries never block ingestion (the snapshot swap is the
+//! only synchronization point).
+//!
+//! The server binds `127.0.0.1` only: this is an operational inspection
+//! port, not an internet-facing service.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use streamfreq_core::{ConcurrentSketch, ErrorType, PurgePolicy, SnapshotReader};
+use streamfreq_workloads::load_binary;
+
+use crate::CliError;
+
+/// How long the accept loop sleeps when no connection is pending, and
+/// the per-connection read timeout used to poll the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Upper bound on `TOPK n` so a typo cannot ask for a gigabyte of rows.
+const MAX_TOPK: usize = 100_000;
+
+/// Configuration of one `streamfreq serve` run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeOptions {
+    /// Loopback port to bind (0 = ephemeral, see `port_file`).
+    pub port: u16,
+    /// If set, the actual bound address (`127.0.0.1:PORT`) is written
+    /// here once the listener is ready — the handshake that lets
+    /// scripts (and the e2e tests) use `--port 0`.
+    pub port_file: Option<PathBuf>,
+    /// Total counter budget `k` (split across shards; the served merged
+    /// snapshot gets the full `k`, like `build --threads`).
+    pub k: usize,
+    /// Purge policy for every shard.
+    pub policy: PurgePolicy,
+    /// Base sampler seed (shard `s` uses `seed + s`).
+    pub seed: u64,
+    /// Writer threads for ingestion.
+    pub threads: usize,
+    /// Shard-bank width (0 = match `threads`).
+    pub shards: usize,
+    /// How many times the input stream is ingested end to end: the
+    /// serving analogue of replaying a day of traffic. The drained
+    /// total weight is `passes ×` the file's weight.
+    pub passes: u64,
+    /// Periodic snapshot publish interval in milliseconds (0 = publish
+    /// only at drain).
+    pub snapshot_ms: u64,
+    /// Input stream file (16-byte `(item, weight)` records).
+    pub input: PathBuf,
+}
+
+/// Shared context each connection handler needs.
+struct ServeCtx {
+    reader: SnapshotReader<u64>,
+    stop: Arc<AtomicBool>,
+    queries: AtomicU64,
+    num_shards: usize,
+}
+
+/// Runs the server until a client sends `QUIT`; returns the final text
+/// report. See the [module docs](self) for the protocol.
+///
+/// # Errors
+/// Returns [`CliError`] for unreadable inputs, invalid sketch
+/// configuration, or socket failures.
+pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
+    let stream = load_binary(&opts.input).map_err(|e| CliError::Io(opts.input.clone(), e))?;
+    let threads = opts.threads.max(1);
+    let num_shards = if opts.shards > 0 {
+        opts.shards
+    } else {
+        threads
+    };
+    let k_per_shard = (opts.k / num_shards).max(1);
+    let mut builder = ConcurrentSketch::<u64>::builder(num_shards, k_per_shard)
+        .policy(opts.policy)
+        .seed(opts.seed)
+        .merged_capacity(opts.k);
+    if opts.snapshot_ms > 0 {
+        builder = builder.publish_every(Duration::from_millis(opts.snapshot_ms));
+    }
+    let sketch = builder
+        .build()
+        .map_err(|e| CliError::Sketch(opts.input.clone(), e))?;
+    let snapshot_reader = sketch.reader();
+
+    let listener = TcpListener::bind(("127.0.0.1", opts.port))
+        .map_err(|e| CliError::Net("127.0.0.1".into(), e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError::Net("127.0.0.1".into(), e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::Net("127.0.0.1".into(), e))?;
+    if let Some(port_file) = &opts.port_file {
+        std::fs::write(port_file, addr.to_string())
+            .map_err(|e| CliError::Io(port_file.clone(), e))?;
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ctx = Arc::new(ServeCtx {
+        reader: snapshot_reader,
+        stop: Arc::clone(&stop),
+        queries: AtomicU64::new(0),
+        num_shards,
+    });
+
+    // Ingestion runs beside the accept loop; queries observe its
+    // progress through snapshots. QUIT aborts between passes.
+    let ingest = {
+        let stop = Arc::clone(&stop);
+        let passes = opts.passes.max(1);
+        std::thread::spawn(move || {
+            let mut sketch = sketch;
+            for _ in 0..passes {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                sketch.ingest_slice_parallel(&stream, threads);
+            }
+            sketch.drain();
+        })
+    };
+
+    let mut connections: u64 = 0;
+    let mut handlers = Vec::new();
+    let mut accept_error: Option<CliError> = None;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                connections += 1;
+                let ctx = Arc::clone(&ctx);
+                handlers.push(std::thread::spawn(move || handle_connection(conn, &ctx)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) => {
+                // A fatal accept failure must still shut the server
+                // down gracefully: stop the handlers and the ingest
+                // thread before surfacing the error, or they would
+                // outlive this call.
+                accept_error = Some(CliError::Net(addr.to_string(), e));
+                stop.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    ingest.join().expect("ingest thread panicked");
+    if let Some(error) = accept_error {
+        return Err(error);
+    }
+
+    let snapshot = ctx.reader.snapshot();
+    Ok(format!(
+        "served {} queries over {} connections on {}\n\
+         final snapshot: epoch {}, N = {}, {} counters, max error ±{}\n",
+        ctx.queries.load(Ordering::SeqCst),
+        connections,
+        addr,
+        snapshot.epoch(),
+        snapshot.stream_weight(),
+        snapshot.num_counters(),
+        snapshot.maximum_error()
+    ))
+}
+
+/// Serves one client connection until EOF, a fatal I/O error, or QUIT
+/// (which also stops the whole server).
+fn handle_connection(conn: TcpStream, ctx: &ServeCtx) {
+    // A finite read timeout lets the handler notice a server-wide stop
+    // even when its client sits idle.
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match conn.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut lines = BufReader::new(conn);
+    let mut line = String::new();
+    loop {
+        match lines.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let (reply, quit) = handle_request(line.trim(), ctx);
+                line.clear();
+                if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
+                    return;
+                }
+                if quit {
+                    ctx.stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // A timeout can strike mid-line with a partial request
+                // already appended to `line`; keep it and resume reading
+                // unless the server is stopping.
+                if ctx.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Formats one result row of the text protocol.
+fn protocol_row(row: &streamfreq_core::Row<u64>) -> String {
+    format!(
+        "{} {} {} {}\n",
+        row.item, row.estimate, row.lower_bound, row.upper_bound
+    )
+}
+
+/// Answers one request line. Returns the reply text and whether the
+/// server should shut down.
+fn handle_request(request: &str, ctx: &ServeCtx) -> (String, bool) {
+    let tokens: Vec<&str> = request.split_whitespace().collect();
+    let Some(command) = tokens.first() else {
+        return ("ERR empty request\n".into(), false);
+    };
+    match command.to_ascii_uppercase().as_str() {
+        "EST" => {
+            ctx.queries.fetch_add(1, Ordering::SeqCst);
+            let [_, item] = tokens[..] else {
+                return ("ERR usage: EST <item>\n".into(), false);
+            };
+            let Ok(item) = item.parse::<u64>() else {
+                return (format!("ERR bad item `{item}`\n"), false);
+            };
+            let snap = ctx.reader.snapshot();
+            (
+                format!(
+                    "OK {} {} {}\n",
+                    snap.estimate(&item),
+                    snap.lower_bound(&item),
+                    snap.upper_bound(&item)
+                ),
+                false,
+            )
+        }
+        "TOPK" => {
+            ctx.queries.fetch_add(1, Ordering::SeqCst);
+            let [_, n] = tokens[..] else {
+                return ("ERR usage: TOPK <n>\n".into(), false);
+            };
+            let Ok(n) = n.parse::<usize>() else {
+                return (format!("ERR bad row count `{n}`\n"), false);
+            };
+            if n == 0 || n > MAX_TOPK {
+                return (format!("ERR row count {n} outside 1..={MAX_TOPK}\n"), false);
+            }
+            let rows = ctx.reader.snapshot().top_k(n);
+            let mut reply = format!("OK {}\n", rows.len());
+            for row in &rows {
+                reply.push_str(&protocol_row(row));
+            }
+            (reply, false)
+        }
+        "HH" => {
+            ctx.queries.fetch_add(1, Ordering::SeqCst);
+            let (phi, contract) = match tokens[..] {
+                [_, phi] => (phi, ErrorType::NoFalseNegatives),
+                [_, phi, "nfp"] => (phi, ErrorType::NoFalsePositives),
+                [_, phi, "nfn"] => (phi, ErrorType::NoFalseNegatives),
+                _ => return ("ERR usage: HH <phi> [nfp|nfn]\n".into(), false),
+            };
+            let Ok(phi) = phi.parse::<f64>() else {
+                return (format!("ERR bad phi `{phi}`\n"), false);
+            };
+            if !(0.0..=1.0).contains(&phi) {
+                return (format!("ERR phi {phi} outside [0, 1]\n"), false);
+            }
+            let rows = ctx.reader.snapshot().heavy_hitters(phi, contract);
+            let mut reply = format!("OK {}\n", rows.len());
+            for row in &rows {
+                reply.push_str(&protocol_row(row));
+            }
+            (reply, false)
+        }
+        "STATS" => {
+            ctx.queries.fetch_add(1, Ordering::SeqCst);
+            let snap = ctx.reader.snapshot();
+            (
+                format!(
+                    "OK epoch={} n={} counters={} max_error={} enqueued={} \
+                     ingest_done={} shards={}\n",
+                    snap.epoch(),
+                    snap.stream_weight(),
+                    snap.num_counters(),
+                    snap.maximum_error(),
+                    ctx.reader.enqueued_weight(),
+                    u8::from(ctx.reader.is_sealed()),
+                    ctx.num_shards
+                ),
+                false,
+            )
+        }
+        "QUIT" => ("OK bye\n".into(), true),
+        other => (format!("ERR unknown command `{other}`\n"), false),
+    }
+}
+
+/// Sends one protocol request to a local `streamfreq serve` instance
+/// and returns the full response (header plus any rows).
+///
+/// # Errors
+/// Returns [`CliError::Net`] if the connection or the exchange fails.
+pub fn run_query_remote(port: u16, request: &[String]) -> Result<String, CliError> {
+    let addr = format!("127.0.0.1:{port}");
+    let net = |e: std::io::Error| CliError::Net(addr.clone(), e);
+    let mut conn = TcpStream::connect(&addr).map_err(net)?;
+    let line = request.join(" ");
+    conn.write_all(format!("{line}\n").as_bytes())
+        .map_err(net)?;
+    let mut reader = BufReader::new(conn.try_clone().map_err(net)?);
+    let mut first = String::new();
+    reader.read_line(&mut first).map_err(net)?;
+    let mut out = first.clone();
+    // Multi-row responses announce their row count in the header.
+    let is_multi_row = matches!(
+        request.first().map(|c| c.to_ascii_uppercase()).as_deref(),
+        Some("TOPK" | "HH")
+    );
+    if is_multi_row {
+        if let Some(rows) = first
+            .strip_prefix("OK ")
+            .and_then(|rest| rest.trim().parse::<usize>().ok())
+        {
+            for _ in 0..rows {
+                let mut row = String::new();
+                reader.read_line(&mut row).map_err(net)?;
+                out.push_str(&row);
+            }
+        }
+    }
+    Ok(out)
+}

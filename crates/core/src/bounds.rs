@@ -12,6 +12,53 @@ pub fn mg_error_bound(k: usize, n: u64) -> u64 {
     n / (k as u64 + 1)
 }
 
+/// The exact (φ, ε)-heavy-hitter threshold `⌊φ · n⌋`, computed in integer
+/// arithmetic.
+///
+/// The heavy-hitter contract of §1.2 compares frequencies against the
+/// *real* product `φ · N` with a strict `>`, which for integer
+/// frequencies is equivalent to comparing against `⌊φ · n⌋` — where `φ`
+/// is the exact rational value the `f64` argument denotes. Computing the
+/// product in `f64` (`(phi * n as f64) as u64`) silently rounds `n` to 53
+/// bits of precision once `n ≥ 2⁵³` and can round the product either way,
+/// so the truncated threshold could land one above the true value (false
+/// negatives at the contract boundary) or far below it (spurious rows).
+/// This helper decomposes `φ` into its mantissa and exponent and forms
+/// `mantissa · n` in `u128` (at most 117 bits), then shifts — no rounding
+/// at any step, for every `n` up to `u64::MAX`.
+///
+/// Every query entry point in the workspace funnels its φ-threshold
+/// through here, so the reporting contracts stay exact beyond the paper's
+/// `N ≤ 10²⁰` regime.
+///
+/// # Panics
+/// Panics if `phi` is not in `[0, 1]` (NaN included).
+#[inline]
+pub fn phi_threshold(phi: f64, n: u64) -> u64 {
+    assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
+    if phi == 0.0 || n == 0 {
+        return 0;
+    }
+    let bits = phi.to_bits();
+    let exponent_field = (bits >> 52) & 0x7ff;
+    let fraction = bits & ((1u64 << 52) - 1);
+    // phi = mantissa · 2^(-shift), exactly. phi ≤ 1 keeps shift ≥ 52 for
+    // normals (phi = 1.0 has mantissa 2^52, shift 52) and 1074 for
+    // subnormals.
+    let (mantissa, shift) = if exponent_field == 0 {
+        (fraction, 1074u32)
+    } else {
+        (fraction | (1 << 52), (1075 - exponent_field) as u32)
+    };
+    let product = mantissa as u128 * n as u128; // ≤ 2^53 · 2^64 = 2^117
+    if shift >= 128 {
+        0
+    } else {
+        // phi ≤ 1 bounds the result by n, so the narrowing cast is exact.
+        (product >> shift) as u64
+    }
+}
+
 /// Theorem 2 / Theorem 4 tail form: with effective `k*` and residual weight
 /// `n_res_j = N^res(j)` (total weight minus the top-`j` items), the error is
 /// at most `N^res(j)/(k* − j)`. Returns `None` when `j ≥ k*` (the bound is
@@ -111,5 +158,92 @@ mod tests {
     #[should_panic(expected = "eps")]
     fn counters_for_epsilon_rejects_zero() {
         counters_for_epsilon(0.0, 0.33);
+    }
+
+    #[test]
+    fn phi_threshold_matches_exact_rationals() {
+        // Dyadic φ values are exact in f64, so the threshold must be the
+        // exact rational product, floored — at any magnitude.
+        assert_eq!(phi_threshold(0.0, u64::MAX), 0);
+        assert_eq!(phi_threshold(1.0, u64::MAX), u64::MAX);
+        assert_eq!(phi_threshold(0.5, 7), 3);
+        assert_eq!(phi_threshold(0.25, 1001), 250);
+        assert_eq!(phi_threshold(0.5, (1 << 60) + 1), 1 << 59);
+        assert_eq!(phi_threshold(0.125, u64::MAX), u64::MAX / 8);
+        // Smallest positive subnormal: φ·n < 1 for every u64 n.
+        assert_eq!(phi_threshold(f64::from_bits(1), u64::MAX), 0);
+    }
+
+    #[test]
+    fn phi_threshold_agrees_with_f64_in_its_safe_regime() {
+        // Below 2^53 with dyadic φ the float product is exact, so both
+        // paths must agree — the helper changes nothing where the old
+        // code was correct.
+        for phi in [0.5, 0.25, 0.0625, 1.0] {
+            for n in [0u64, 1, 17, 1_000_003, (1 << 52) - 1] {
+                assert_eq!(
+                    phi_threshold(phi, n),
+                    (phi * n as f64) as u64,
+                    "phi {phi} n {n}"
+                );
+            }
+        }
+        // Non-dyadic φ at small n: the float product may round across an
+        // integer; the exact floor is never above it by more than the
+        // rounding the float path already commits to.
+        for phi in [0.1, 0.3, 1.0 / 3.0, 0.9] {
+            for n in [10u64, 100, 12_345, 99_999_999] {
+                let exact = phi_threshold(phi, n);
+                let float = (phi * n as f64) as u64;
+                assert!(exact.abs_diff(float) <= 1, "phi {phi} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn phi_threshold_regression_beyond_2_53() {
+        // The float path rounds n = 2^60 + 1 to 2^60 before multiplying:
+        // at φ = 1 the threshold silently loses the +1 — an item with the
+        // whole stream's weight would be reported as exceeding φ·N even
+        // though nothing can exceed 1.0·N. The exact helper keeps every
+        // bit of n.
+        let n = (1u64 << 60) + 1;
+        let float_path = (1.0f64 * n as f64) as u64;
+        assert_eq!(float_path, 1 << 60, "f64 provably drops the low bit");
+        assert_eq!(phi_threshold(1.0, n), n);
+        assert_ne!(phi_threshold(1.0, n), float_path);
+
+        // And the float product can also round *up* past the exact
+        // threshold, which would make the NoFalseNegatives contract miss
+        // a boundary item. Scan a band of φ values at this n and pin the
+        // exact results against the u128 reference the helper implements.
+        for mantissa_step in 0..64u64 {
+            let phi = f64::from_bits(0.9f64.to_bits() + mantissa_step);
+            let exact = phi_threshold(phi, n);
+            // Reference: the same decomposition, done longhand.
+            let bits = phi.to_bits();
+            let m = (bits & ((1u64 << 52) - 1)) | (1 << 52);
+            let shift = 1075 - ((bits >> 52) & 0x7ff);
+            let want = ((m as u128 * n as u128) >> shift) as u64;
+            assert_eq!(exact, want, "phi bits {bits:#x}");
+            // Exactness sanity: threshold within 1 of n·phi computed in
+            // greater precision would be vacuous — instead check the
+            // defining Euclidean property m·n = q·2^shift + r, r < 2^shift.
+            let q = exact as u128;
+            let r = m as u128 * n as u128 - (q << shift);
+            assert!(r < (1u128 << shift));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn phi_threshold_rejects_out_of_range() {
+        phi_threshold(1.5, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn phi_threshold_rejects_nan() {
+        phi_threshold(f64::NAN, 10);
     }
 }

@@ -20,7 +20,7 @@
 //! | 0      | 4    | magic `"SFQ1"` |
 //! | 4      | 1    | format version (`1`) |
 //! | 5      | 1    | policy tag (0 = SampleQuantile, 1 = ExactKStar, 2 = GlobalMin) |
-//! | 6      | 2    | flags (bit 0: stream weight saturated; rest reserved, zero) |
+//! | 6      | 2    | flags (bit 0: stream weight saturated; bit 1: error offset saturated; rest reserved, zero) |
 //! | 8      | 8    | `max_counters` |
 //! | 16     | 8    | `seed` |
 //! | 24     | 8    | `offset` (cumulative decrement) |
@@ -105,7 +105,7 @@ impl SketchEngine<u64> {
         out.put_slice(MAGIC);
         out.put_u8(VERSION);
         out.put_u8(policy_tag(&self.policy));
-        out.put_u16_le(u16::from(self.weight_saturated));
+        out.put_u16_le(u16::from(self.weight_saturated) | u16::from(self.offset_saturated) << 1);
         out.put_u64_le(self.max_counters as u64);
         out.put_u64_le(self.seed);
         out.put_u64_le(self.offset);
@@ -151,10 +151,11 @@ impl SketchEngine<u64> {
         }
         let tag = buf.get_u8();
         let flags = buf.get_u16_le();
-        if flags > 1 {
+        if flags > 3 {
             return Err(Error::Corrupt("nonzero reserved flag bits".into()));
         }
         let weight_saturated = flags & 1 != 0;
+        let offset_saturated = flags & 2 != 0;
         let max_counters = usize::try_from(buf.get_u64_le())
             .map_err(|_| Error::Corrupt("max_counters exceeds usize".into()))?;
         let seed = buf.get_u64_le();
@@ -203,6 +204,7 @@ impl SketchEngine<u64> {
             engine.feed_for_decode(item, count as i64)?;
         }
         engine.offset = offset;
+        engine.offset_saturated = offset_saturated;
         engine.stream_weight = stream_weight;
         engine.weight_saturated = weight_saturated;
         engine.num_updates = num_updates;
@@ -406,6 +408,34 @@ mod tests {
         // engine, the wrapper adds nothing.
         let s = loaded_sketch();
         assert_eq!(s.serialize_to_bytes(), s.engine().serialize_to_bytes());
+    }
+
+    #[test]
+    fn saturated_offset_flag_roundtrips() {
+        let mut a = FreqSketch::with_max_counters(16);
+        a.update(1, 5);
+        let mut b = FreqSketch::with_max_counters(16);
+        b.engine.offset = u64::MAX - 1;
+        a.merge(&b);
+        a.merge(&b);
+        assert!(a.engine().maximum_error_saturated());
+        let d = FreqSketch::deserialize_from_bytes(&a.serialize_to_bytes()).unwrap();
+        assert!(d.engine().maximum_error_saturated());
+        assert_eq!(d.maximum_error(), u64::MAX);
+        assert_eq!(
+            d.engine().state_fingerprint(),
+            a.engine().state_fingerprint()
+        );
+    }
+
+    #[test]
+    fn rejects_reserved_flag_bits() {
+        let mut bytes = loaded_sketch().serialize_to_bytes();
+        bytes[6] = 4; // bit 2 is reserved
+        assert!(matches!(
+            FreqSketch::deserialize_from_bytes(&bytes),
+            Err(Error::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,895 @@
+//! [`ConcurrentSketch`]: a long-lived serving layer that ingests from
+//! many writer threads while answering queries from immutable merged
+//! snapshots — the deployment shape §3 of the paper motivates (summaries
+//! that are aggregated *and served* while data keeps arriving).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  writer threads            shard workers               queries
+//!  ┌─────────┐  bounded mpsc ┌──────────────┐
+//!  │ writer 0 │──────────────▶ SketchEngine 0│─┐ probe
+//!  │ writer 1 │──────────────▶ SketchEngine 1│─┼──▶ Algorithm-5 merge
+//!  │   ...    │──────────────▶     ...       │─┘      │ publish
+//!  └─────────┘               └──────────────┘         ▼
+//!                                        RwLock<Arc<Snapshot>> ◀─ readers
+//! ```
+//!
+//! * **Shard workers.** One thread per shard owns a [`SketchEngine<K>`]
+//!   outright and drains a bounded [`std::sync::mpsc`] channel of item
+//!   batches — no locks on the ingest hot path, and the bounded channel
+//!   is the backpressure: writers block when a shard's backlog is full.
+//! * **Snapshots.** Periodically (or on demand) a probe message visits
+//!   every shard channel; each worker replies with a clone of its
+//!   engine, and the clones are merged per Algorithm 5 into one
+//!   immutable [`Snapshot`] installed by swapping an
+//!   `Arc` under an [`std::sync::RwLock`]. Queries clone the `Arc` out
+//!   and never touch the shards, so **queries never block ingestion**
+//!   and ingestion never blocks queries. The merged engine carries the
+//!   same certified Theorem-5 error bounds as
+//!   [`crate::ShardedSketch::merged`].
+//! * **Bounded staleness.** Channels are FIFO, so a snapshot reflects
+//!   *every* batch whose enqueue completed before the probe was sent;
+//!   what it can miss is bounded by the channel capacity plus one
+//!   writer-side buffer per shard. With a periodic publisher the served
+//!   view lags live ingestion by at most the publish interval plus the
+//!   time to drain that bounded backlog.
+//! * **Graceful shutdown.** [`ConcurrentSketch::drain`] stops the
+//!   publisher, closes the channels, joins every worker (each returns
+//!   its engine after draining its queue), publishes a final sealed
+//!   snapshot, and exposes the per-shard engines for inspection.
+//!
+//! ## Determinism
+//!
+//! The deterministic entry point is
+//! [`ConcurrentSketch::ingest_slice_parallel`]: writer `w` owns a
+//! disjoint contiguous group of shards and scans the whole input slice,
+//! claiming the items that route to its group — exactly
+//! [`crate::ShardedSketch::ingest_parallel`]'s partitioning, decoupled
+//! from the shard workers by the channels. Every shard therefore
+//! receives its items in stream order through exactly one channel, so
+//! the **drained final state is byte-identical for every writer count**,
+//! and equal to a sequential [`crate::ShardedSketch::update_batch`] run
+//! of the same bank configuration (pinned by the differential tests in
+//! `tests/concurrent.rs`). Free-form [`ConcurrentWriter`] handles make
+//! no cross-writer ordering promise — two writers racing the same shard
+//! interleave arbitrarily — but the certified per-item bounds hold
+//! regardless, because they hold for any arrival order.
+//!
+//! # Example
+//!
+//! ```
+//! use streamfreq_core::ConcurrentSketch;
+//!
+//! let sketch: ConcurrentSketch<u64> = ConcurrentSketch::builder(4, 256).build().unwrap();
+//! let stream: Vec<(u64, u64)> = (0..50_000).map(|i| (i % 1000, 1)).collect();
+//! sketch.ingest_slice_parallel(&stream, 2);
+//! sketch.publish_now();
+//! let snap = sketch.snapshot();
+//! assert!(snap.stream_weight() <= 50_000);
+//! let mut sketch = sketch;
+//! sketch.drain();
+//! assert_eq!(sketch.snapshot().stream_weight(), 50_000);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::{SketchEngine, SketchEngineBuilder, SketchKey, DEFAULT_SEED};
+use crate::error::Error;
+use crate::purge::PurgePolicy;
+use crate::result::{ErrorType, Row};
+use crate::sharded::shard_of;
+
+/// Items buffered per shard on the writer side before a batch message is
+/// sent: the same amortization constant as the sharded ingest path.
+const WRITER_BUF: usize = 4096;
+
+/// How often the periodic publisher re-checks the stop flag while
+/// waiting out the publish interval.
+const PUBLISHER_TICK: Duration = Duration::from_millis(2);
+
+/// A message on a shard worker's channel.
+enum Msg<K: SketchKey> {
+    /// A batch of weighted updates, all routed to this shard.
+    Batch(Vec<(K, u64)>),
+    /// Snapshot probe: reply with a clone of the shard engine. FIFO
+    /// ordering makes the reply reflect every batch enqueued earlier.
+    Probe(SyncSender<SketchEngine<K>>),
+}
+
+/// An immutable point-in-time merged view of a [`ConcurrentSketch`],
+/// produced by an Algorithm-5 merge of every shard and served lock-free
+/// behind an `Arc`. All the usual queries are available and answer with
+/// the same certified bounds as [`crate::ShardedSketch::merged`]
+/// (Theorem 5: shard offsets add).
+#[derive(Clone, Debug)]
+pub struct Snapshot<K: SketchKey> {
+    engine: SketchEngine<K>,
+    epoch: u64,
+    sealed: bool,
+}
+
+impl<K: SketchKey> Snapshot<K> {
+    /// The snapshot's publish epoch: 0 for the initial empty snapshot,
+    /// then strictly increasing with each publish.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True for the final snapshot published by
+    /// [`ConcurrentSketch::drain`]: ingestion has stopped and this view
+    /// is complete, not merely bounded-stale.
+    #[inline]
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// The merged engine backing this snapshot.
+    #[inline]
+    pub fn engine(&self) -> &SketchEngine<K> {
+        &self.engine
+    }
+
+    /// Estimate of the item's weighted frequency as of this snapshot.
+    #[inline]
+    pub fn estimate(&self, item: &K) -> u64 {
+        self.engine.estimate(item)
+    }
+
+    /// Certified lower bound on the item's frequency in the snapshotted
+    /// prefix of the stream.
+    #[inline]
+    pub fn lower_bound(&self, item: &K) -> u64 {
+        self.engine.lower_bound(item)
+    }
+
+    /// Certified upper bound on the item's frequency in the snapshotted
+    /// prefix of the stream.
+    #[inline]
+    pub fn upper_bound(&self, item: &K) -> u64 {
+        self.engine.upper_bound(item)
+    }
+
+    /// Total weighted stream length the snapshot covers.
+    #[inline]
+    pub fn stream_weight(&self) -> u64 {
+        self.engine.stream_weight()
+    }
+
+    /// Maximum estimation error of the merged view (Theorem 5).
+    #[inline]
+    pub fn maximum_error(&self) -> u64 {
+        self.engine.maximum_error()
+    }
+
+    /// Counters assigned in the merged view.
+    #[inline]
+    pub fn num_counters(&self) -> usize {
+        self.engine.num_counters()
+    }
+
+    /// The `k` largest-estimate rows of the snapshot.
+    pub fn top_k(&self, k: usize) -> Vec<Row<K>>
+    where
+        K: Ord,
+    {
+        self.engine.top_k(k)
+    }
+
+    /// (φ, ε)-heavy hitters of the snapshotted stream prefix, at the
+    /// exact `⌊phi · N⌋` threshold.
+    ///
+    /// # Panics
+    /// Panics if `phi` is outside `[0, 1]`.
+    pub fn heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<Row<K>>
+    where
+        K: Ord,
+    {
+        self.engine.heavy_hitters(phi, error_type)
+    }
+}
+
+/// State shared between the sketch, its writers, its readers, and the
+/// publisher thread.
+struct Shared<K: SketchKey> {
+    snapshot: RwLock<Arc<Snapshot<K>>>,
+    /// Published snapshot count; the installed snapshot's epoch.
+    epoch: AtomicU64,
+    /// Total weight successfully enqueued to shard channels — the live
+    /// high-water mark queries can compare a snapshot against.
+    enqueued_weight: AtomicU64,
+    /// Set once the final drained snapshot is installed.
+    sealed: AtomicBool,
+    /// Serializes publishes so epochs and snapshots advance together.
+    publish_lock: Mutex<()>,
+}
+
+/// Everything a merge needs to rebuild an export engine: the bank's
+/// policy/seed (inherited exactly like [`crate::ShardedSketch::merged`])
+/// and the export capacity.
+#[derive(Clone, Copy)]
+struct MergeConfig {
+    capacity: usize,
+    policy: PurgePolicy,
+    seed: u64,
+}
+
+impl MergeConfig {
+    fn fresh_engine<K: SketchKey>(&self) -> SketchEngine<K> {
+        SketchEngineBuilder::new(self.capacity)
+            .policy(self.policy)
+            .seed(self.seed)
+            .build()
+            .expect("merge configuration validated at build time")
+    }
+}
+
+/// Installs `engine` as the new current snapshot. Caller holds the
+/// publish lock (or has exclusive access during drain), which
+/// serializes epoch assignment.
+fn install_snapshot<K: SketchKey>(shared: &Shared<K>, engine: SketchEngine<K>, sealed: bool) {
+    let mut slot = shared.snapshot.write().expect("snapshot lock poisoned");
+    let epoch = slot.epoch + 1;
+    *slot = Arc::new(Snapshot {
+        engine,
+        epoch,
+        sealed,
+    });
+    drop(slot);
+    // The counter trails the install: once `epoch()` reports N, the
+    // epoch-N snapshot is already visible to `snapshot()`.
+    shared.epoch.store(epoch, Ordering::SeqCst);
+    if sealed {
+        shared.sealed.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Probes every shard for a clone of its engine, merges the clones per
+/// Algorithm 5, and installs the result. Returns `false` if the workers
+/// are gone (post-drain).
+fn publish_from_probes<K: SketchKey>(
+    shared: &Shared<K>,
+    senders: &[SyncSender<Msg<K>>],
+    config: MergeConfig,
+) -> bool {
+    let _guard = shared.publish_lock.lock().expect("publish lock poisoned");
+    if shared.sealed.load(Ordering::SeqCst) {
+        // A sealed (drained) view is already complete and final.
+        return false;
+    }
+    // Send every probe before collecting any reply so the shards
+    // snapshot concurrently; replies are collected in shard order so the
+    // merge order (and hence the merged engine) is deterministic in the
+    // shard states.
+    let mut replies: Vec<Receiver<SketchEngine<K>>> = Vec::with_capacity(senders.len());
+    for sender in senders {
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        if sender.send(Msg::Probe(reply_tx)).is_err() {
+            return false;
+        }
+        replies.push(reply_rx);
+    }
+    let mut merged = config.fresh_engine();
+    for reply in replies {
+        let Ok(shard) = reply.recv() else {
+            return false;
+        };
+        merged.merge(&shard);
+    }
+    install_snapshot(shared, merged, false);
+    true
+}
+
+/// A handle for pushing weighted updates into a [`ConcurrentSketch`]
+/// from any thread. Routes items to their shard, buffers up to a few
+/// thousand per shard, and sends batches over the bounded channels —
+/// blocking (backpressure) when a shard's backlog is full.
+///
+/// Dropping the writer flushes its buffers. All writers must be dropped
+/// before [`ConcurrentSketch::drain`] can complete.
+pub struct ConcurrentWriter<K: SketchKey> {
+    senders: Vec<SyncSender<Msg<K>>>,
+    shared: Arc<Shared<K>>,
+    bufs: Vec<Vec<(K, u64)>>,
+}
+
+impl<K: SketchKey> ConcurrentWriter<K> {
+    fn new(senders: Vec<SyncSender<Msg<K>>>, shared: Arc<Shared<K>>) -> Self {
+        let bufs = senders.iter().map(|_| Vec::new()).collect();
+        Self {
+            senders,
+            shared,
+            bufs,
+        }
+    }
+
+    /// Queues one weighted update. Zero weights are ignored, mirroring
+    /// [`SketchEngine::update`].
+    pub fn write(&mut self, item: K, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        let s = shard_of(&item, self.senders.len());
+        self.bufs[s].push((item, weight));
+        if self.bufs[s].len() >= WRITER_BUF {
+            self.flush_shard(s);
+        }
+    }
+
+    /// Queues a slice of weighted updates.
+    pub fn write_batch(&mut self, batch: &[(K, u64)]) {
+        for (item, weight) in batch {
+            self.write(item.clone(), *weight);
+        }
+    }
+
+    /// Sends every buffered item to its shard worker. On return, all of
+    /// this writer's previous updates are enqueued and will be visible
+    /// to the next snapshot probe (channel FIFO).
+    pub fn flush(&mut self) {
+        for s in 0..self.bufs.len() {
+            if !self.bufs[s].is_empty() {
+                self.flush_shard(s);
+            }
+        }
+    }
+
+    fn flush_shard(&mut self, s: usize) {
+        let batch = std::mem::take(&mut self.bufs[s]);
+        let weight: u64 = batch.iter().map(|&(_, w)| w).sum();
+        // A send error means the sketch was drained under us; the items
+        // have nowhere to go and accounting them would overstate the
+        // enqueued mass.
+        if self.senders[s].send(Msg::Batch(batch)).is_ok() {
+            self.shared
+                .enqueued_weight
+                .fetch_add(weight, Ordering::SeqCst);
+        }
+    }
+}
+
+impl<K: SketchKey> Drop for ConcurrentWriter<K> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A cheap cloneable read-side handle: lets query threads (and, in the
+/// CLI, TCP connection handlers) fetch the current snapshot after the
+/// owning [`ConcurrentSketch`] has moved elsewhere.
+pub struct SnapshotReader<K: SketchKey> {
+    shared: Arc<Shared<K>>,
+}
+
+impl<K: SketchKey> Clone for SnapshotReader<K> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<K: SketchKey> SnapshotReader<K> {
+    /// The current snapshot. Lock-free apart from a momentary read lock
+    /// around the `Arc` clone; never blocks ingestion.
+    pub fn snapshot(&self) -> Arc<Snapshot<K>> {
+        Arc::clone(&self.shared.snapshot.read().expect("snapshot lock poisoned"))
+    }
+
+    /// The epoch of the most recently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Total weight enqueued to the shard channels so far — an upper
+    /// bound on what the *next* snapshot will cover, and the live mark
+    /// to measure a snapshot's staleness against.
+    pub fn enqueued_weight(&self) -> u64 {
+        self.shared.enqueued_weight.load(Ordering::SeqCst)
+    }
+
+    /// True once the final drained snapshot has been published.
+    pub fn is_sealed(&self) -> bool {
+        self.shared.sealed.load(Ordering::SeqCst)
+    }
+}
+
+/// Configures and constructs a [`ConcurrentSketch`].
+#[derive(Clone, Debug)]
+pub struct ConcurrentSketchBuilder<K: SketchKey> {
+    num_shards: usize,
+    counters_per_shard: usize,
+    policy: PurgePolicy,
+    seed: u64,
+    grow_from_small: bool,
+    channel_capacity: usize,
+    merged_capacity: usize,
+    publish_interval: Option<Duration>,
+    _key: std::marker::PhantomData<K>,
+}
+
+impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketchBuilder<K> {
+    /// Starts a builder for `num_shards` shard workers of
+    /// `counters_per_shard` counters each.
+    pub fn new(num_shards: usize, counters_per_shard: usize) -> Self {
+        Self {
+            num_shards,
+            counters_per_shard,
+            policy: PurgePolicy::default(),
+            seed: DEFAULT_SEED,
+            grow_from_small: true,
+            channel_capacity: 4,
+            merged_capacity: counters_per_shard,
+            publish_interval: None,
+            _key: std::marker::PhantomData,
+        }
+    }
+
+    /// Selects the purge policy for every shard (default: SMED).
+    pub fn policy(mut self, policy: PurgePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Seeds the shards' purge samplers; shard `s` uses `seed + s`,
+    /// matching [`crate::ShardedSketchBuilder::seed`] so the drained
+    /// state is comparable bank-for-bank.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// If `false`, every shard preallocates its maximum table up front.
+    pub fn grow_from_small(mut self, grow: bool) -> Self {
+        self.grow_from_small = grow;
+        self
+    }
+
+    /// Bounds each shard's channel to `capacity` in-flight batch
+    /// messages (default 4). Smaller values tighten the snapshot
+    /// staleness bound; larger values absorb burstier writers before
+    /// backpressure engages.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity.max(1);
+        self
+    }
+
+    /// Counter budget of the merged snapshot engine (default: the
+    /// per-shard budget, matching [`crate::ShardedSketch::merged`]).
+    pub fn merged_capacity(mut self, capacity: usize) -> Self {
+        self.merged_capacity = capacity;
+        self
+    }
+
+    /// Publishes a fresh merged snapshot every `interval` from a
+    /// background thread. Without this, snapshots are published only by
+    /// explicit [`ConcurrentSketch::publish_now`] calls and at drain.
+    pub fn publish_every(mut self, interval: Duration) -> Self {
+        self.publish_interval = Some(interval);
+        self
+    }
+
+    /// Builds the sketch and spawns its shard workers (and the periodic
+    /// publisher, if configured).
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if `num_shards` is zero or any
+    /// engine configuration is invalid.
+    pub fn build(self) -> Result<ConcurrentSketch<K>, Error> {
+        if self.num_shards == 0 {
+            return Err(Error::InvalidConfig("num_shards must be positive".into()));
+        }
+        let merge_config = MergeConfig {
+            capacity: self.merged_capacity,
+            policy: self.policy,
+            seed: self.seed,
+        };
+        // Validate the merged-export configuration before spawning
+        // anything: `fresh_engine`'s expect is only sound after this.
+        let initial_snapshot_engine = SketchEngineBuilder::<K>::new(self.merged_capacity)
+            .policy(self.policy)
+            .seed(self.seed)
+            .build()?;
+        let engines: Vec<SketchEngine<K>> = (0..self.num_shards)
+            .map(|s| {
+                SketchEngineBuilder::new(self.counters_per_shard)
+                    .policy(self.policy)
+                    .seed(self.seed.wrapping_add(s as u64))
+                    .grow_from_small(self.grow_from_small)
+                    .build()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let shared = Arc::new(Shared {
+            snapshot: RwLock::new(Arc::new(Snapshot {
+                engine: initial_snapshot_engine,
+                epoch: 0,
+                sealed: false,
+            })),
+            epoch: AtomicU64::new(0),
+            enqueued_weight: AtomicU64::new(0),
+            sealed: AtomicBool::new(false),
+            publish_lock: Mutex::new(()),
+        });
+        let mut senders = Vec::with_capacity(self.num_shards);
+        let mut workers = Vec::with_capacity(self.num_shards);
+        for (s, engine) in engines.into_iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel::<Msg<K>>(self.channel_capacity);
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("streamfreq-shard-{s}"))
+                .spawn(move || shard_worker(engine, rx))
+                .expect("failed to spawn shard worker");
+            workers.push(handle);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = self.publish_interval.map(|interval| {
+            let shared = Arc::clone(&shared);
+            let senders = senders.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("streamfreq-publisher".into())
+                .spawn(move || {
+                    let mut last = Instant::now();
+                    while !stop.load(Ordering::SeqCst) {
+                        if last.elapsed() >= interval {
+                            publish_from_probes(&shared, &senders, merge_config);
+                            last = Instant::now();
+                        }
+                        std::thread::sleep(PUBLISHER_TICK.min(interval));
+                    }
+                })
+                .expect("failed to spawn publisher")
+        });
+        Ok(ConcurrentSketch {
+            senders,
+            workers,
+            publisher,
+            stop,
+            shared,
+            merge_config,
+            drained_shards: None,
+        })
+    }
+}
+
+/// The shard worker loop: drain the channel into the owned engine;
+/// answer snapshot probes with a clone. Returns the engine when every
+/// sender is gone (drain).
+fn shard_worker<K: SketchKey>(
+    mut engine: SketchEngine<K>,
+    rx: Receiver<Msg<K>>,
+) -> SketchEngine<K> {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Batch(batch) => engine.update_batch(&batch),
+            Msg::Probe(reply) => {
+                // A dropped reply receiver (publisher raced shutdown)
+                // must not kill the worker.
+                let _ = reply.send(engine.clone());
+            }
+        }
+    }
+    engine
+}
+
+/// A bank of sketch shards ingesting concurrently behind bounded
+/// channels, serving queries from periodically merged immutable
+/// snapshots. See the [module docs](self) for the architecture,
+/// staleness, and determinism contracts.
+pub struct ConcurrentSketch<K: SketchKey + Send + Sync + 'static> {
+    senders: Vec<SyncSender<Msg<K>>>,
+    workers: Vec<JoinHandle<SketchEngine<K>>>,
+    publisher: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    shared: Arc<Shared<K>>,
+    merge_config: MergeConfig,
+    drained_shards: Option<Vec<SketchEngine<K>>>,
+}
+
+impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketch<K> {
+    /// Starts a [`ConcurrentSketchBuilder`] for `num_shards` shards of
+    /// `counters_per_shard` counters each.
+    pub fn builder(num_shards: usize, counters_per_shard: usize) -> ConcurrentSketchBuilder<K> {
+        ConcurrentSketchBuilder::new(num_shards, counters_per_shard)
+    }
+
+    /// Number of shard workers.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.workers.len().max(
+            self.drained_shards
+                .as_ref()
+                .map_or(self.senders.len(), Vec::len),
+        )
+    }
+
+    /// A new writer handle. Any number may exist across threads; their
+    /// updates interleave arbitrarily (see the module docs for the
+    /// determinism story).
+    ///
+    /// # Panics
+    /// Panics if the sketch has been drained.
+    pub fn writer(&self) -> ConcurrentWriter<K> {
+        assert!(
+            self.drained_shards.is_none(),
+            "cannot create a writer after drain()"
+        );
+        ConcurrentWriter::new(self.senders.clone(), Arc::clone(&self.shared))
+    }
+
+    /// A cloneable read-side handle that outlives moves of `self`.
+    pub fn reader(&self) -> SnapshotReader<K> {
+        SnapshotReader {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The current published snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot<K>> {
+        self.reader().snapshot()
+    }
+
+    /// Ingests one logical stream deterministically from up to
+    /// `num_writers` scoped writer threads (clamped to the shard
+    /// count): writer `w` owns a contiguous group of shards, scans the
+    /// whole slice, and enqueues the items routing to its group, so each
+    /// shard sees its items in stream order through a single producer.
+    /// The drained final state is **identical for every `num_writers`**
+    /// and equal to a sequential [`crate::ShardedSketch::update_batch`]
+    /// ingest of the same bank configuration.
+    ///
+    /// Runs concurrently with snapshot publishing and queries; returns
+    /// when every item is enqueued and the scoped writers have exited
+    /// (items may still be in flight in the channels — publish or drain
+    /// to observe them all).
+    pub fn ingest_slice_parallel(&self, stream: &[(K, u64)], num_writers: usize)
+    where
+        K: Sync,
+    {
+        let num_shards = self.senders.len();
+        assert!(num_shards > 0, "cannot ingest after drain()");
+        let num_writers = num_writers.clamp(1, num_shards);
+        let shards_per_writer = num_shards.div_ceil(num_writers);
+        std::thread::scope(|scope| {
+            for (group, senders) in self.senders.chunks(shards_per_writer).enumerate() {
+                let first_shard = group * shards_per_writer;
+                let shared = &self.shared;
+                scope.spawn(move || {
+                    let group_len = senders.len();
+                    let mut bufs: Vec<Vec<(K, u64)>> = (0..group_len)
+                        .map(|_| Vec::with_capacity(WRITER_BUF))
+                        .collect();
+                    let flush = |buf: &mut Vec<(K, u64)>, local: usize| {
+                        let batch = std::mem::replace(buf, Vec::with_capacity(WRITER_BUF));
+                        let weight: u64 = batch.iter().map(|&(_, w)| w).sum();
+                        senders[local]
+                            .send(Msg::Batch(batch))
+                            .expect("shard worker alive while senders exist");
+                        shared.enqueued_weight.fetch_add(weight, Ordering::SeqCst);
+                    };
+                    for (item, weight) in stream {
+                        let s = shard_of(item, num_shards);
+                        if s < first_shard || s >= first_shard + group_len {
+                            continue;
+                        }
+                        let local = s - first_shard;
+                        bufs[local].push((item.clone(), *weight));
+                        if bufs[local].len() == WRITER_BUF {
+                            flush(&mut bufs[local], local);
+                        }
+                    }
+                    for (local, buf) in bufs.iter_mut().enumerate() {
+                        if !buf.is_empty() {
+                            flush(buf, local);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Synchronously publishes a fresh merged snapshot covering every
+    /// update whose enqueue completed before this call. Returns the
+    /// published snapshot (or the sealed final snapshot post-drain).
+    pub fn publish_now(&self) -> Arc<Snapshot<K>> {
+        publish_from_probes(&self.shared, &self.senders, self.merge_config);
+        self.snapshot()
+    }
+
+    /// Graceful shutdown of ingestion: stops the periodic publisher,
+    /// closes the shard channels, joins every worker after it drains its
+    /// backlog, publishes the final **sealed** merged snapshot, and
+    /// returns the per-shard engines. Queries through
+    /// [`Self::snapshot`] / [`SnapshotReader`] keep working against the
+    /// final view.
+    ///
+    /// Outstanding [`ConcurrentWriter`] handles keep their channels
+    /// open, so they must all be dropped before `drain` can join the
+    /// workers; `drain` blocks until then. Idempotent.
+    pub fn drain(&mut self) -> &[SketchEngine<K>] {
+        if self.drained_shards.is_none() {
+            self.stop.store(true, Ordering::SeqCst);
+            if let Some(publisher) = self.publisher.take() {
+                publisher.join().expect("publisher thread panicked");
+            }
+            self.senders.clear();
+            let shards: Vec<SketchEngine<K>> = self
+                .workers
+                .drain(..)
+                .map(|w| w.join().expect("shard worker panicked"))
+                .collect();
+            let _guard = self
+                .shared
+                .publish_lock
+                .lock()
+                .expect("publish lock poisoned");
+            let mut merged = self.merge_config.fresh_engine();
+            for shard in &shards {
+                merged.merge(shard);
+            }
+            install_snapshot(&self.shared, merged, true);
+            self.drained_shards = Some(shards);
+        }
+        self.drained_shards
+            .as_deref()
+            .expect("drained state just installed")
+    }
+
+    /// The per-shard engines of a drained sketch, if [`Self::drain`]
+    /// has run.
+    pub fn drained_shards(&self) -> Option<&[SketchEngine<K>]> {
+        self.drained_shards.as_deref()
+    }
+}
+
+impl<K: SketchKey + Send + Sync + 'static> Drop for ConcurrentSketch<K> {
+    /// Best-effort shutdown so dropping a live sketch does not leak
+    /// threads: equivalent to [`Self::drain`] minus the final publish
+    /// if one already happened. Blocks until outstanding writers drop,
+    /// like `drain`.
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(publisher) = self.publisher.take() {
+            let _ = publisher.join();
+        }
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_stream(len: u64) -> Vec<(u64, u64)> {
+        (0..len)
+            .map(|i| {
+                let item = (i * 2_654_435_761) % 3_000;
+                let w = if item < 4 { 500 } else { i % 11 + 1 };
+                (item, w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_snapshot_is_empty_epoch_zero() {
+        let sketch: ConcurrentSketch<u64> = ConcurrentSketch::builder(2, 32).build().unwrap();
+        let snap = sketch.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.stream_weight(), 0);
+        assert!(!snap.is_sealed());
+    }
+
+    #[test]
+    fn publish_now_observes_flushed_writer() {
+        let sketch: ConcurrentSketch<u64> = ConcurrentSketch::builder(4, 64).build().unwrap();
+        let mut writer = sketch.writer();
+        for (item, w) in test_stream(10_000) {
+            writer.write(item, w);
+        }
+        writer.flush();
+        let enqueued = sketch.reader().enqueued_weight();
+        let snap = sketch.publish_now();
+        assert_eq!(snap.epoch(), 1);
+        assert!(
+            snap.stream_weight() >= enqueued,
+            "snapshot {} misses enqueued weight {}",
+            snap.stream_weight(),
+            enqueued
+        );
+        drop(writer);
+    }
+
+    #[test]
+    fn drain_publishes_sealed_complete_snapshot() {
+        let stream = test_stream(30_000);
+        let total: u64 = stream.iter().map(|&(_, w)| w).sum();
+        let mut sketch: ConcurrentSketch<u64> = ConcurrentSketch::builder(4, 64).build().unwrap();
+        sketch.ingest_slice_parallel(&stream, 2);
+        let reader = sketch.reader();
+        let shards = sketch.drain();
+        assert_eq!(shards.len(), 4);
+        let snap = reader.snapshot();
+        assert!(snap.is_sealed());
+        assert!(reader.is_sealed());
+        assert_eq!(snap.stream_weight(), total);
+        // Drain is idempotent and queries keep working.
+        sketch.drain();
+        assert_eq!(sketch.snapshot().stream_weight(), total);
+    }
+
+    #[test]
+    fn epochs_strictly_increase() {
+        let sketch: ConcurrentSketch<u64> = ConcurrentSketch::builder(2, 32).build().unwrap();
+        let mut writer = sketch.writer();
+        writer.write(7, 100);
+        writer.flush();
+        let a = sketch.publish_now().epoch();
+        let b = sketch.publish_now().epoch();
+        assert!(b > a);
+        drop(writer);
+    }
+
+    #[test]
+    fn periodic_publisher_advances_epochs() {
+        let sketch: ConcurrentSketch<u64> = ConcurrentSketch::builder(2, 32)
+            .publish_every(Duration::from_millis(5))
+            .build()
+            .unwrap();
+        let mut writer = sketch.writer();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while sketch.reader().epoch() < 3 {
+            writer.write(1, 1);
+            writer.flush();
+            assert!(Instant::now() < deadline, "publisher made no progress");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drop(writer);
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards() {
+        assert!(matches!(
+            ConcurrentSketch::<u64>::builder(0, 16).build(),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_merged_capacity() {
+        // An invalid merged-export configuration must surface as Err,
+        // not a panic deep inside the first publish.
+        assert!(matches!(
+            ConcurrentSketch::<u64>::builder(2, 16)
+                .merged_capacity(0)
+                .build(),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn string_keys_serve_concurrently() {
+        let mut sketch: ConcurrentSketch<String> =
+            ConcurrentSketch::builder(2, 64).seed(9).build().unwrap();
+        let mut writer = sketch.writer();
+        // 30 distinct flows fit the 64-counter merged view outright, so
+        // every flow stays tracked with an exact estimate.
+        for i in 0..5_000u64 {
+            writer.write(format!("flow-{}", i % 30), i % 7 + 1);
+        }
+        drop(writer); // flush via Drop
+        let snap = sketch.publish_now();
+        assert!(snap.stream_weight() > 0);
+        sketch.drain();
+        let sealed = sketch.snapshot();
+        assert!(sealed.is_sealed());
+        assert!(sealed.estimate(&"flow-1".to_string()) > 0);
+    }
+}

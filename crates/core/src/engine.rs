@@ -113,6 +113,7 @@ pub struct SketchEngine<K: SketchKey> {
     pub(crate) rng: Xoshiro256StarStar,
     pub(crate) seed: u64,
     pub(crate) offset: u64,
+    pub(crate) offset_saturated: bool,
     pub(crate) stream_weight: u64,
     pub(crate) weight_saturated: bool,
     pub(crate) num_updates: u64,
@@ -200,6 +201,7 @@ impl<K: SketchKey> SketchEngineBuilder<K> {
             rng: Xoshiro256StarStar::from_seed(self.seed),
             seed: self.seed,
             offset: 0,
+            offset_saturated: false,
             stream_weight: 0,
             weight_saturated: false,
             num_updates: 0,
@@ -277,7 +279,25 @@ impl<K: SketchKey> SketchEngine<K> {
         }
     }
 
-    /// Number of update operations `n` processed so far.
+    /// Folds `add` more cumulative decrement into the error offset under
+    /// the same saturating policy as the stream weight: pin at `u64::MAX`
+    /// instead of wrapping (silently *shrinking* the certified error band
+    /// in release) or panicking (debug). Shared by purging, merging, and
+    /// counter absorption.
+    #[inline]
+    pub(crate) fn absorb_offset(&mut self, add: u64) {
+        let (sum, overflowed) = self.offset.overflowing_add(add);
+        if overflowed {
+            self.offset = u64::MAX;
+            self.offset_saturated = true;
+        } else {
+            self.offset = sum;
+        }
+    }
+
+    /// Number of update operations `n` processed so far. Saturates at
+    /// `u64::MAX` when merges accumulate more operations than `u64`
+    /// holds.
     #[inline]
     pub fn num_updates(&self) -> u64 {
         self.num_updates
@@ -453,7 +473,7 @@ impl<K: SketchKey> SketchEngine<K> {
             .compute_cstar(&self.table, &mut self.rng, &mut self.scratch);
         debug_assert!(cstar > 0, "counters are positive, so c* must be");
         self.table.purge_decrement(cstar);
-        self.offset += cstar as u64;
+        self.absorb_offset(cstar as u64);
         self.num_purges += 1;
     }
 
@@ -497,7 +517,7 @@ impl<K: SketchKey> SketchEngine<K> {
         let had_counters = !self.table.is_empty();
         self.table.scale_values(num, den);
         let scaled_offset = (self.offset as u128 * num as u128).div_ceil(den as u128) as u64;
-        self.offset = scaled_offset + u64::from(had_counters);
+        self.offset = scaled_offset.saturating_add(u64::from(had_counters));
         self.stream_weight = (self.stream_weight as u128 * num as u128 / den as u128) as u64;
     }
 
@@ -505,10 +525,12 @@ impl<K: SketchKey> SketchEngine<K> {
     /// tracked items, `0` for untracked items (§2.3.1's MG/SS hybrid).
     /// Always satisfies `estimate − maximum_error ≤ fᵢ ≤ estimate` for
     /// tracked items and `0 ≤ fᵢ ≤ maximum_error` for untracked ones.
+    /// Saturates at `u64::MAX` if the sum overflows (possible only after
+    /// the offset itself saturated — see [`Self::maximum_error`]).
     #[inline]
     pub fn estimate(&self, item: &K) -> u64 {
         match self.table.get(item) {
-            Some(c) => c as u64 + self.offset,
+            Some(c) => (c as u64).saturating_add(self.offset),
             None => 0,
         }
     }
@@ -522,19 +544,35 @@ impl<K: SketchKey> SketchEngine<K> {
 
     /// Certified upper bound on the item's frequency: `c(i) + offset`, or
     /// `offset` alone if the item is not tracked. Never below the true
-    /// frequency.
+    /// frequency (a saturated sum clamps to `u64::MAX`, which is still an
+    /// upper bound for any in-range frequency).
     #[inline]
     pub fn upper_bound(&self, item: &K) -> u64 {
         self.table
             .get(item)
-            .map_or(self.offset, |c| c as u64 + self.offset)
+            .map_or(self.offset, |c| (c as u64).saturating_add(self.offset))
     }
 
     /// The a-posteriori maximum error: any estimate is within this of the
     /// true frequency. Equal to the cumulative purge decrement (`offset`).
+    ///
+    /// Saturates at `u64::MAX` instead of panicking (debug) or wrapping
+    /// (release) if repeated merging pushes the cumulative decrement past
+    /// `u64` — a wrapped offset would silently *understate* the certified
+    /// error band, the one direction the contract cannot tolerate.
+    /// [`Self::maximum_error_saturated`] reports when that happened;
+    /// upper bounds then pin at `u64::MAX` (vacuously correct) while
+    /// lower bounds stay exact.
     #[inline]
     pub fn maximum_error(&self) -> u64 {
         self.offset
+    }
+
+    /// True if the cumulative error offset ever exceeded `u64::MAX` and
+    /// [`Self::maximum_error`] is pinned at the saturation point.
+    #[inline]
+    pub fn maximum_error_saturated(&self) -> bool {
+        self.offset_saturated
     }
 
     /// A-priori bound on `maximum_error` after processing weight `n_total`:
@@ -553,11 +591,12 @@ impl<K: SketchKey> SketchEngine<K> {
 
     /// Builds the result row for a tracked item.
     fn row_for(&self, item: &K, count: i64) -> Row<K> {
+        let upper = (count as u64).saturating_add(self.offset);
         Row {
             item: item.clone(),
-            estimate: count as u64 + self.offset,
+            estimate: upper,
             lower_bound: count as u64,
-            upper_bound: count as u64 + self.offset,
+            upper_bound: upper,
         }
     }
 
@@ -613,14 +652,17 @@ impl<K: SketchKey> SketchEngine<K> {
     /// contract (see [`Self::frequent_items_with_threshold`] for why the
     /// threshold cannot usefully go below the summary's error level).
     ///
+    /// The threshold is the exact `⌊phi · N⌋` of
+    /// [`crate::bounds::phi_threshold`] — correct even when `N ≥ 2⁵³`,
+    /// where a floating-point product would silently round.
+    ///
     /// # Panics
     /// Panics if `phi` is outside `[0, 1]`.
     pub fn heavy_hitters(&self, phi: f64, error_type: ErrorType) -> Vec<Row<K>>
     where
         K: Ord,
     {
-        assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
-        let threshold = (phi * self.stream_weight as f64) as u64;
+        let threshold = crate::bounds::phi_threshold(phi, self.stream_weight);
         self.frequent_items_with_threshold(threshold, error_type)
     }
 
@@ -661,10 +703,15 @@ impl<K: SketchKey> SketchEngine<K> {
         for (item, count) in pairs {
             self.feed(item, count);
         }
-        self.offset += other.offset;
+        // The offsets and operation counts add saturating, mirroring the
+        // stream-weight policy: beyond-u64 totals pin at the maximum
+        // rather than panicking (debug) or wrapping the certified error
+        // band (release).
+        self.absorb_offset(other.offset);
+        self.offset_saturated |= other.offset_saturated;
         self.absorb_stream_weight(other.stream_weight as u128);
         self.weight_saturated |= other.weight_saturated;
-        self.num_updates += other.num_updates;
+        self.num_updates = self.num_updates.saturating_add(other.num_updates);
     }
 
     /// Replays an arbitrary counter list into the engine as weighted
@@ -689,7 +736,7 @@ impl<K: SketchKey> SketchEngine<K> {
             assert!(count <= i64::MAX as u64, "counter {count} exceeds range");
             self.feed(item, count as i64);
         }
-        self.offset += source_max_error;
+        self.absorb_offset(source_max_error);
         self.absorb_stream_weight(source_stream_weight as u128);
     }
 
@@ -718,6 +765,7 @@ impl<K: SketchKey> SketchEngine<K> {
         out.extend_from_slice(&policy_a.to_le_bytes());
         out.extend_from_slice(&policy_b.to_le_bytes());
         out.extend_from_slice(&self.offset.to_le_bytes());
+        out.push(u8::from(self.offset_saturated));
         out.extend_from_slice(&self.stream_weight.to_le_bytes());
         out.push(u8::from(self.weight_saturated));
         out.extend_from_slice(&self.num_updates.to_le_bytes());
@@ -873,6 +921,49 @@ mod tests {
         }
         assert!(e.num_purges() > 0, "test must exercise purging");
         e.check_invariants();
+    }
+
+    #[test]
+    fn merge_saturates_offset_and_num_updates() {
+        // Offsets near u64::MAX arise from chains of merges; before the
+        // saturating policy, `merge` panicked in debug builds and wrapped
+        // (shrinking the certified error band) in release.
+        let mut a: SketchEngine<u64> = SketchEngine::builder(16).build().unwrap();
+        a.update(1, 5);
+        a.offset = u64::MAX - 10;
+        a.num_updates = u64::MAX - 3;
+        let mut b: SketchEngine<u64> = SketchEngine::builder(16).build().unwrap();
+        b.update(2, 7);
+        b.offset = 100;
+        b.num_updates = 50;
+        a.merge(&b);
+        assert_eq!(a.maximum_error(), u64::MAX, "offset pinned, not wrapped");
+        assert!(a.maximum_error_saturated());
+        assert_eq!(a.num_updates(), u64::MAX, "update count pinned");
+        // Query paths stay total: sums involving the pinned offset clamp.
+        assert_eq!(a.estimate(&1), u64::MAX);
+        assert_eq!(a.upper_bound(&2), u64::MAX);
+        assert_eq!(a.upper_bound(&999), u64::MAX, "untracked ub = offset");
+        assert_eq!(a.lower_bound(&1), 5, "lower bounds unaffected");
+        let rows = a.top_k(2);
+        assert!(rows.iter().all(|r| r.upper_bound == u64::MAX));
+        // Saturation is sticky across further merges.
+        let mut c: SketchEngine<u64> = SketchEngine::builder(16).build().unwrap();
+        c.merge(&a);
+        assert!(c.maximum_error_saturated());
+        assert_eq!(c.maximum_error(), u64::MAX);
+    }
+
+    #[test]
+    fn absorb_counters_saturates_source_error() {
+        // The generic Algorithm-5 absorption path shares the policy: a
+        // source summary's error budget folds in saturating.
+        let mut e: SketchEngine<u64> = SketchEngine::builder(8).build().unwrap();
+        e.absorb_counters([(1u64, 10u64)], 10, u64::MAX - 1);
+        assert!(!e.maximum_error_saturated());
+        e.absorb_counters(core::iter::empty(), 0, 5);
+        assert_eq!(e.maximum_error(), u64::MAX);
+        assert!(e.maximum_error_saturated());
     }
 
     #[test]

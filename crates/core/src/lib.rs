@@ -50,6 +50,7 @@
 //! | [`sketch`] | [`FreqSketch`] = `SketchEngine<u64>` — the paper's sketch with by-value `u64` queries |
 //! | [`items`] | [`ItemsSketch<T>`](ItemsSketch) = `SketchEngine<T>` for arbitrary item types |
 //! | [`sharded`] | [`ShardedSketch<K>`](ShardedSketch) — hash-partitioned multi-core ingestion over engine shards |
+//! | [`concurrent`] | [`ConcurrentSketch<K>`](ConcurrentSketch) — long-lived serving layer: channel-fed shard workers, immutable merged snapshots |
 //! | [`signed`] | [`SignedSketch<K>`](SignedSketch) — deletions via §1.3's two-instance reduction |
 //! | [`purge`] | decrement policies: SMED / SMIN / quantile sweep / MED / global-min |
 //! | [`table`] | the §2.3.3 linear-probing counter table, generic over [`engine::SketchKey`] |
@@ -93,6 +94,7 @@
 
 pub mod bounds;
 pub mod codec;
+pub mod concurrent;
 pub mod engine;
 pub mod error;
 pub mod hashing;
@@ -108,6 +110,10 @@ pub mod sketch;
 pub mod table;
 pub mod traits;
 
+pub use bounds::phi_threshold;
+pub use concurrent::{
+    ConcurrentSketch, ConcurrentSketchBuilder, ConcurrentWriter, Snapshot, SnapshotReader,
+};
 pub use engine::{SketchEngine, SketchEngineBuilder, SketchKey};
 pub use error::Error;
 pub use items::{ItemsSketch, ItemsSketchBuilder};

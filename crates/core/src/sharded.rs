@@ -352,7 +352,8 @@ impl<K: SketchKey> ShardedSketch<K> {
         self.frequent_items_with_threshold(self.maximum_error(), error_type)
     }
 
-    /// (φ, ε)-heavy hitters over the combined stream.
+    /// (φ, ε)-heavy hitters over the combined stream, at the exact
+    /// `⌊phi · N⌋` threshold of [`crate::bounds::phi_threshold`].
     ///
     /// # Panics
     /// Panics if `phi` is outside `[0, 1]`.
@@ -360,8 +361,7 @@ impl<K: SketchKey> ShardedSketch<K> {
     where
         K: Ord,
     {
-        assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
-        let threshold = (phi * self.stream_weight() as f64) as u64;
+        let threshold = crate::bounds::phi_threshold(phi, self.stream_weight());
         self.frequent_items_with_threshold(threshold, error_type)
     }
 
@@ -411,9 +411,10 @@ impl<K: SketchKey> ShardedSketch<K> {
 
 /// Routes `item` to a shard: Lemire-reduces the upper 32 bits of the
 /// table hash onto `[0, num_shards)`. Free function so ingestion threads
-/// can route without borrowing the bank.
+/// can route without borrowing the bank; shared with
+/// [`crate::concurrent`] so the serving layer partitions identically.
 #[inline]
-fn shard_of<K: SketchKey>(item: &K, num_shards: usize) -> usize {
+pub(crate) fn shard_of<K: SketchKey>(item: &K, num_shards: usize) -> usize {
     let high = item.hash_key() >> 32;
     ((high * num_shards as u64) >> 32) as usize
 }

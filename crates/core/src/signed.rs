@@ -203,7 +203,8 @@ impl<K: SketchKey> SignedSketch<K> {
     /// The (φ, ε)-heavy-hitters query over the *net* stream: items whose
     /// net frequency may exceed `max(phi · max(ΣΔⱼ, 0), maximum_error)`.
     /// No false negatives: reporting is by net upper bound, so any item
-    /// genuinely above the threshold is returned.
+    /// genuinely above the threshold is returned. The threshold is the
+    /// exact `⌊phi · N⌋` of [`crate::bounds::phi_threshold`].
     ///
     /// # Panics
     /// Panics if `phi` is outside `[0, 1]`.
@@ -211,9 +212,9 @@ impl<K: SketchKey> SignedSketch<K> {
     where
         K: Ord,
     {
-        assert!((0.0..=1.0).contains(&phi), "phi {phi} outside [0, 1]");
         let net = self.net_weight().max(0);
-        let threshold = (phi * net as f64) as i64;
+        // net ≤ i64::MAX and phi ≤ 1, so the exact threshold fits in i64.
+        let threshold = crate::bounds::phi_threshold(phi, net as u64) as i64;
         self.frequent_items_above(threshold.max(self.maximum_error() as i64))
     }
 }
@@ -336,7 +337,7 @@ mod tests {
         // No-false-negatives side: everything reported has ub above the
         // requested threshold.
         let net = s.net_weight().max(0);
-        let threshold = (0.2 * net as f64) as i64;
+        let threshold = crate::bounds::phi_threshold(0.2, net as u64) as i64;
         for (item, _) in &hh {
             let (_, ub) = s.bounds(item);
             assert!(ub > threshold);

@@ -481,7 +481,7 @@ mod tests {
             .map(|r| r.item)
             .collect();
         for (&item, &f) in &truth {
-            if f as f64 > phi * n as f64 {
+            if f > crate::bounds::phi_threshold(phi, n) {
                 assert!(reported.contains(&item), "missed heavy hitter {item}");
             }
         }

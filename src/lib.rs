@@ -46,10 +46,11 @@
 pub use streamfreq_apps as apps;
 pub use streamfreq_baselines as baselines;
 pub use streamfreq_core::{
-    bounds, codec, engine, hashing, item_codec, purge, result, rng, select, sharded, signed,
-    sketch, table, traits, CounterSummary, Error, ErrorType, FreqSketch, FreqSketchBuilder,
+    bounds, codec, concurrent, engine, hashing, item_codec, phi_threshold, purge, result, rng,
+    select, sharded, signed, sketch, table, traits, ConcurrentSketch, ConcurrentSketchBuilder,
+    ConcurrentWriter, CounterSummary, Error, ErrorType, FreqSketch, FreqSketchBuilder,
     FrequencyEstimator, ItemsSketch, ItemsSketchBuilder, PurgePolicy, Row, ShardedSketch,
     ShardedSketchBuilder, SignedFreqSketch, SignedSketch, SketchEngine, SketchEngineBuilder,
-    SketchKey,
+    SketchKey, Snapshot, SnapshotReader,
 };
 pub use streamfreq_workloads as workloads;

@@ -1,0 +1,228 @@
+//! Differential and concurrency tests for the serving layer
+//! (`ConcurrentSketch`): the channel-fed concurrent pipeline must leave
+//! **exactly** the state a sequential ingest leaves — for every writer
+//! count — and its snapshots must honour the bounded-staleness and
+//! certified-bounds contracts while ingestion is running.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use streamfreq::{ConcurrentSketch, ErrorType, PurgePolicy, ShardedSketch};
+
+fn arb_policy() -> impl Strategy<Value = PurgePolicy> {
+    prop_oneof![
+        Just(PurgePolicy::smed()),
+        Just(PurgePolicy::smin()),
+        (0.0f64..=0.98).prop_map(PurgePolicy::sample_quantile),
+        Just(PurgePolicy::GlobalMin),
+    ]
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..400, 1u64..2_000), 1..3_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The drain-equivalence contract: after a full drain, every shard
+    /// engine is fingerprint-identical to a **sequential**
+    /// `ShardedSketch::update_batch` ingest of the same bank
+    /// configuration — independent of the writer thread count — and the
+    /// sealed merged snapshot equals `ShardedSketch::merged()`.
+    #[test]
+    fn drained_state_is_writer_count_invariant(
+        stream in arb_stream(),
+        policy in arb_policy(),
+        num_shards in 1usize..5,
+        k in 8usize..48,
+        seed in any::<u64>(),
+    ) {
+        let mut reference: ShardedSketch<u64> = ShardedSketch::builder(num_shards, k)
+            .policy(policy)
+            .seed(seed)
+            .build()
+            .unwrap();
+        reference.update_batch(&stream);
+        let reference_merged = reference.merged();
+
+        for writers in [1usize, 2, 8] {
+            let mut concurrent: ConcurrentSketch<u64> =
+                ConcurrentSketch::builder(num_shards, k)
+                    .policy(policy)
+                    .seed(seed)
+                    .build()
+                    .unwrap();
+            concurrent.ingest_slice_parallel(&stream, writers);
+            let shards = concurrent.drain();
+            prop_assert_eq!(shards.len(), num_shards);
+            for (s, (concurrent_shard, sequential_shard)) in
+                shards.iter().zip(reference.shards()).enumerate()
+            {
+                prop_assert_eq!(
+                    concurrent_shard.state_fingerprint(),
+                    sequential_shard.state_fingerprint(),
+                    "shard {} diverged at {} writers", s, writers
+                );
+            }
+            let sealed = concurrent.snapshot();
+            prop_assert!(sealed.is_sealed());
+            prop_assert_eq!(
+                sealed.engine().state_fingerprint(),
+                reference_merged.state_fingerprint(),
+                "sealed merged snapshot diverged at {} writers", writers
+            );
+        }
+    }
+
+    /// Mid-stream snapshots cover a prefix of the logical stream, so
+    /// their certified lower bounds can never exceed an item's final
+    /// true frequency, and the snapshot stream weight never exceeds the
+    /// true total.
+    #[test]
+    fn snapshot_bounds_are_prefix_certified(
+        stream in arb_stream(),
+        num_shards in 1usize..4,
+    ) {
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(item, w) in &stream {
+            *truth.entry(item).or_insert(0) += w;
+        }
+        let total: u64 = truth.values().sum();
+
+        let mut sketch: ConcurrentSketch<u64> =
+            ConcurrentSketch::builder(num_shards, 32).build().unwrap();
+        // Ingest from a scoped writer while the main thread publishes
+        // and queries snapshots.
+        std::thread::scope(|scope| {
+            let sketch_ref = &sketch;
+            let done = scope.spawn(move || {
+                sketch_ref.ingest_slice_parallel(&stream, 2);
+            });
+            for _ in 0..4 {
+                let snap = sketch_ref.publish_now();
+                assert!(snap.stream_weight() <= total);
+                for row in snap.top_k(8) {
+                    let f = truth.get(&row.item).copied().unwrap_or(0);
+                    assert!(
+                        row.lower_bound <= f,
+                        "snapshot lower bound {} exceeds final truth {f}",
+                        row.lower_bound
+                    );
+                }
+            }
+            done.join().unwrap();
+        });
+        let shards = sketch.drain();
+        let drained_total: u64 = shards.iter().map(|s| s.stream_weight()).sum();
+        prop_assert_eq!(drained_total, total);
+        prop_assert_eq!(sketch.snapshot().stream_weight(), total);
+    }
+}
+
+/// The bounded-staleness assertion: a snapshot published after a
+/// writer's `flush` returned covers at least everything enqueued at
+/// that point — even while another thread keeps writing.
+#[test]
+fn snapshots_cover_all_weight_enqueued_before_publish() {
+    let sketch: ConcurrentSketch<u64> = ConcurrentSketch::builder(4, 128).build().unwrap();
+    let reader = sketch.reader();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let sketch_ref = &sketch;
+        let stop_writer = Arc::clone(&stop);
+        scope.spawn(move || {
+            let mut writer = sketch_ref.writer();
+            let mut i = 0u64;
+            while !stop_writer.load(Ordering::SeqCst) {
+                writer.write(i % 500, 3);
+                i += 1;
+                if i.is_multiple_of(257) {
+                    writer.flush();
+                }
+            }
+        });
+
+        let mut last_epoch = 0;
+        for _ in 0..20 {
+            // `enqueued_weight` is sampled *before* the probe round, so
+            // the resulting snapshot must dominate it.
+            let enqueued = reader.enqueued_weight();
+            let snap = sketch.publish_now();
+            assert!(
+                snap.stream_weight() >= enqueued,
+                "snapshot N {} < weight {} enqueued before publish",
+                snap.stream_weight(),
+                enqueued
+            );
+            assert!(snap.epoch() > last_epoch, "epochs must advance");
+            last_epoch = snap.epoch();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+}
+
+/// Free-form writers from many threads: no ordering contract, but the
+/// drained totals and certified bounds must still hold against the
+/// multiset of updates.
+#[test]
+fn racing_writers_keep_certified_bounds() {
+    let mut sketch: ConcurrentSketch<u64> = ConcurrentSketch::builder(3, 64)
+        .channel_capacity(2)
+        .build()
+        .unwrap();
+    let writers = 4u64;
+    let per_writer = 20_000u64;
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let mut writer = sketch.writer();
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    // Each thread hammers a shared hot set plus its own
+                    // cold tail, racing the same shards.
+                    let item = if i % 3 == 0 {
+                        w
+                    } else {
+                        100 + (i * writers + w) % 900
+                    };
+                    writer.write(item, 2);
+                }
+            });
+        }
+    });
+    let shards = sketch.drain();
+    let total: u64 = shards.iter().map(|s| s.stream_weight()).sum();
+    assert_eq!(total, writers * per_writer * 2);
+    let snap = sketch.snapshot();
+    assert!(snap.is_sealed());
+    assert_eq!(snap.stream_weight(), total);
+    // Hot items (each w in 0..writers has ≥ per_writer/3 · 2 weight)
+    // must be bracketed.
+    for w in 0..writers {
+        let f = per_writer.div_ceil(3) * 2;
+        assert!(snap.upper_bound(&w) >= f, "ub for hot item {w}");
+    }
+    let hh = snap.heavy_hitters(0.05, ErrorType::NoFalseNegatives);
+    for w in 0..writers {
+        assert!(
+            hh.iter().any(|r| r.item == w),
+            "hot item {w} missing from snapshot heavy hitters"
+        );
+    }
+}
+
+/// Queries served from snapshots keep working (on the sealed view)
+/// after a graceful drain, and writer creation is refused.
+#[test]
+#[should_panic(expected = "after drain")]
+fn writer_after_drain_is_refused() {
+    let mut sketch: ConcurrentSketch<u64> = ConcurrentSketch::builder(2, 16).build().unwrap();
+    sketch.drain();
+    let _ = sketch.writer();
+}
