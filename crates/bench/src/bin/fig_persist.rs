@@ -1,0 +1,279 @@
+//! Durability cost and recovery speed, recorded into
+//! `BENCH_persist.json`.
+//!
+//! Two questions the persistence subsystem must answer with numbers:
+//!
+//! 1. **What does the WAL cost on the ingest path?** Every batch is
+//!    CRC-framed and appended before it is applied, so the overhead is
+//!    encode + write + (per `FsyncPolicy`) flush. Modes, identical
+//!    synthetic CAIDA stream, identical batching:
+//!    * `memory_floor` — bare `SketchEngine::update_batch`: the
+//!      in-memory cost floor;
+//!    * `wal_off` — `DurableSketch` with `FsyncPolicy::Off` (OS flushes);
+//!    * `wal_8mib` — `FsyncPolicy::EveryBytes(8 MiB)`, the default
+//!      bounded-loss-window policy;
+//!    * `wal_always` — `FsyncPolicy::Always`, one flush per batch: the
+//!      no-acknowledged-loss ceiling.
+//! 2. **How fast is recovery, as a function of the WAL tail?** Stores
+//!    are written with growing un-checkpointed tails and recovered
+//!    read-only (`checkpoint ⊕ replay`); replay drives the same batched
+//!    ingest path, so this measures the real restart-latency curve that
+//!    checkpoint frequency trades against.
+//!
+//! ```text
+//! cargo run --release -p streamfreq-bench --bin fig_persist -- \
+//!     [--updates N] [--json PATH] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks to one small configuration with a single
+//! repetition — the CI guard that the persistence binary still runs.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use streamfreq_bench::{parse_flag, print_header};
+use streamfreq_core::persist::recover::recover_engine_readonly;
+use streamfreq_core::{DurabilityOptions, DurableSketch, EngineConfig, FsyncPolicy, SketchEngine};
+use streamfreq_workloads::{CaidaConfig, SyntheticCaida};
+
+/// The paper's largest counter configuration (§4.1).
+const PERSIST_K: usize = 24_576;
+
+/// Updates per logged batch: the serving layer's writer-buffer size.
+const BATCH: usize = 4_096;
+
+/// Median-of-N repetitions per ingest measurement.
+const PERSIST_REPS: usize = 3;
+
+struct IngestRow {
+    mode: &'static str,
+    k: usize,
+    updates: usize,
+    seconds: f64,
+    updates_per_sec: f64,
+    wal_bytes: u64,
+    checksum: u64,
+}
+
+struct RecoveryRow {
+    tail_records: u64,
+    tail_updates: u64,
+    wal_bytes: u64,
+    seconds: f64,
+    updates_per_sec: f64,
+}
+
+/// A scratch store directory (fresh per call).
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("streamfreq-fig-persist")
+        .join(format!("{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn probe_items(stream: &[(u64, u64)]) -> Vec<u64> {
+    stream
+        .iter()
+        .rev()
+        .take(64)
+        .map(|&(item, _)| item)
+        .collect()
+}
+
+/// One ingest pass of `mode` over the stream.
+fn run_ingest_mode(mode: &'static str, k: usize, stream: &[(u64, u64)]) -> IngestRow {
+    let probe = probe_items(stream);
+    let config = EngineConfig::new(k).grow_from_small(false);
+    let fsync = match mode {
+        "wal_off" => Some(FsyncPolicy::Off),
+        "wal_8mib" => Some(FsyncPolicy::EveryBytes(8 << 20)),
+        "wal_always" => Some(FsyncPolicy::Always),
+        "memory_floor" => None,
+        other => unreachable!("unknown mode {other}"),
+    };
+    let (seconds, wal_bytes, checksum) = match fsync {
+        None => {
+            let mut engine: SketchEngine<u64> = config.build_engine().expect("valid config");
+            let start = Instant::now();
+            for chunk in stream.chunks(BATCH) {
+                engine.update_batch(chunk);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let checksum = probe.iter().map(|i| engine.lower_bound(i)).sum();
+            (secs, 0, checksum)
+        }
+        Some(fsync) => {
+            let dir = scratch_dir(mode);
+            let opts = DurabilityOptions {
+                fsync,
+                ..DurabilityOptions::default()
+            };
+            let (mut store, _) = DurableSketch::<u64>::open(&dir, config, opts)
+                .expect("fresh store in a scratch directory");
+            let start = Instant::now();
+            for chunk in stream.chunks(BATCH) {
+                store.update_batch(chunk).expect("WAL append");
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let wal_bytes = store.wal_bytes();
+            let checksum = probe.iter().map(|i| store.engine().lower_bound(i)).sum();
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+            (secs, wal_bytes, checksum)
+        }
+    };
+    IngestRow {
+        mode,
+        k,
+        updates: stream.len(),
+        seconds,
+        updates_per_sec: stream.len() as f64 / seconds,
+        wal_bytes,
+        checksum,
+    }
+}
+
+/// [`run_ingest_mode`] repeated, keeping the median-throughput run.
+fn run_ingest_median(
+    mode: &'static str,
+    k: usize,
+    stream: &[(u64, u64)],
+    reps: usize,
+) -> IngestRow {
+    assert!(reps > 0);
+    let mut rows: Vec<IngestRow> = (0..reps)
+        .map(|_| run_ingest_mode(mode, k, stream))
+        .collect();
+    rows.sort_by(|a, b| {
+        a.updates_per_sec
+            .partial_cmp(&b.updates_per_sec)
+            .expect("throughput is never NaN")
+    });
+    rows.swap_remove(rows.len() / 2)
+}
+
+/// Writes an un-checkpointed store holding `prefix` of the stream, then
+/// measures a read-only recovery (fresh engine + full WAL replay).
+fn run_recovery(k: usize, stream: &[(u64, u64)], frac: f64) -> RecoveryRow {
+    let dir = scratch_dir("recovery");
+    let config = EngineConfig::new(k).grow_from_small(false);
+    let prefix = &stream[..((stream.len() as f64 * frac) as usize).max(BATCH.min(stream.len()))];
+    let opts = DurabilityOptions {
+        fsync: FsyncPolicy::Off,
+        ..DurabilityOptions::default()
+    };
+    let (mut store, _) =
+        DurableSketch::<u64>::open(&dir, config, opts).expect("fresh recovery store");
+    for chunk in prefix.chunks(BATCH) {
+        store.update_batch(chunk).expect("WAL append");
+    }
+    let wal_bytes = store.wal_bytes();
+    drop(store);
+    let start = Instant::now();
+    let (engine, _, report) = recover_engine_readonly::<u64>(&dir).expect("recovery");
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(report.updates_replayed as usize, prefix.len());
+    assert!(engine.stream_weight() > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryRow {
+        tail_records: report.records_replayed,
+        tail_updates: report.updates_replayed,
+        wal_bytes,
+        seconds,
+        updates_per_sec: report.updates_replayed as f64 / seconds,
+    }
+}
+
+fn results_to_json(updates: usize, ingest: &[IngestRow], recovery: &[RecoveryRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"fig_persist\",\n");
+    out.push_str(&format!("  \"updates\": {updates},\n"));
+    out.push_str("  \"workload\": \"synthetic_caida\",\n");
+    out.push_str(&format!("  \"batch\": {BATCH},\n"));
+    out.push_str("  \"ingest\": [\n");
+    for (i, r) in ingest.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"k\": {}, \"updates\": {}, \"seconds\": {:.6}, \
+             \"updates_per_sec\": {:.1}, \"wal_bytes\": {}, \"checksum\": {}}}{}\n",
+            r.mode,
+            r.k,
+            r.updates,
+            r.seconds,
+            r.updates_per_sec,
+            r.wal_bytes,
+            r.checksum,
+            if i + 1 < ingest.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"recovery\": [\n");
+    for (i, r) in recovery.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"tail_records\": {}, \"tail_updates\": {}, \"wal_bytes\": {}, \
+             \"seconds\": {:.6}, \"updates_per_sec\": {:.1}}}{}\n",
+            r.tail_records,
+            r.tail_updates,
+            r.wal_bytes,
+            r.seconds,
+            r.updates_per_sec,
+            if i + 1 < recovery.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let updates = if smoke {
+        200_000
+    } else {
+        parse_flag("--updates", 4_000_000)
+    };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|p| args.get(p + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_persist.json".to_string());
+    let (k, reps) = if smoke {
+        (4_096, 1)
+    } else {
+        (PERSIST_K, PERSIST_REPS)
+    };
+
+    eprintln!("generating synthetic CAIDA stream: {updates} updates ...");
+    let config = CaidaConfig::scaled(updates);
+    let stream: Vec<(u64, u64)> = SyntheticCaida::new(&config).collect();
+
+    println!("# Durable ingest: WAL cost by fsync policy");
+    print_header(&["mode", "k", "seconds", "updates_per_sec", "wal_bytes"]);
+    let mut ingest = Vec::new();
+    for mode in ["memory_floor", "wal_off", "wal_8mib", "wal_always"] {
+        let row = run_ingest_median(mode, k, &stream, reps);
+        println!(
+            "{}\t{}\t{:.3}\t{:.3e}\t{}",
+            row.mode, row.k, row.seconds, row.updates_per_sec, row.wal_bytes
+        );
+        ingest.push(row);
+    }
+
+    println!("# Recovery time vs WAL tail length");
+    print_header(&["tail_updates", "wal_bytes", "seconds", "updates_per_sec"]);
+    let mut recovery = Vec::new();
+    for frac in [0.25, 0.5, 1.0] {
+        let row = run_recovery(k, &stream, frac);
+        println!(
+            "{}\t{}\t{:.3}\t{:.3e}",
+            row.tail_updates, row.wal_bytes, row.seconds, row.updates_per_sec
+        );
+        recovery.push(row);
+    }
+
+    let json = results_to_json(updates, &ingest, &recovery);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+}

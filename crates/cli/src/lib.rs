@@ -12,7 +12,14 @@ use std::path::{Path, PathBuf};
 pub mod serve;
 
 use streamfreq_apps::WindowedStore;
-use streamfreq_core::{ErrorType, FreqSketch, PurgePolicy, Row, ShardedSketch};
+use streamfreq_core::persist::checkpoint::checkpoint_info;
+use streamfreq_core::persist::recover::recover_engine_readonly;
+use streamfreq_core::persist::store::{
+    read_manifest, read_store_meta, shard_dir, Manifest, StoreMeta,
+};
+use streamfreq_core::{
+    DurabilityOptions, DurableSketch, ErrorType, FreqSketch, PurgePolicy, Row, ShardedSketch,
+};
 use streamfreq_workloads::{
     load_binary, load_timed_binary, materialize_drifting_zipf, save_binary, save_timed_binary,
     tick_runs, CaidaConfig, DriftConfig, SyntheticCaida,
@@ -41,8 +48,12 @@ USAGE:
   streamfreq serve -k <counters> --input <stream.bin> [--port P]
                    [--port-file PATH] [--threads T] [--shards S]
                    [--passes R] [--snapshot-ms M] [--policy ...] [--seed N]
+                   [--data-dir DIR] [--fsync always|off|bytes:N]
+                   [--checkpoint-ms M]
   streamfreq query-remote --port P <EST item | TOPK n | HH phi [nfp|nfn]
-                   | STATS | QUIT>
+                   | STATS | CKPT | QUIT>
+  streamfreq checkpoint --data-dir DIR
+  streamfreq recover --data-dir DIR --output <sketch.sk>
   streamfreq help
 
 FILES:
@@ -50,6 +61,11 @@ FILES:
   stream.tbin  24-byte little-endian (timestamp, item, weight) records
   sketch.sk    streamfreq-core versioned wire format
   store.wsk    windowed bucket store (one summary per time bucket)
+  data dir     durable store: MANIFEST + ckpt-*.ck + wal-*.seg (per
+               shard under shard-NNNN/ for served banks, plus STORE)
+
+  `info` decodes any of: sketch files, checkpoint files, MANIFEST /
+  STORE files, or a whole durable store directory.
 
 MULTI-CORE BUILD:
   --threads N > 1 ingests through a hash-partitioned ShardedSketch bank
@@ -73,13 +89,26 @@ SERVING:
   serve ingests the input stream --passes times from --threads writer
   threads into a ConcurrentSketch bank while answering a newline-
   delimited text protocol (EST item | TOPK n | HH phi [nfp|nfn] |
-  STATS | QUIT) on loopback TCP. Queries read immutable Algorithm-5
-  merged snapshots republished every --snapshot-ms milliseconds
-  (default 50), so they never block ingestion and observe a bounded-
-  staleness view with certified error bounds. --port 0 picks an
-  ephemeral port; --port-file writes the bound address for scripts.
+  STATS | CKPT | QUIT) on loopback TCP. Queries read immutable
+  Algorithm-5 merged snapshots republished every --snapshot-ms
+  milliseconds (default 50), so they never block ingestion and observe
+  a bounded-staleness view with certified error bounds. --port 0 picks
+  an ephemeral port; --port-file writes the bound address for scripts.
   QUIT drains ingestion (final sealed snapshot) and stops the server.
   query-remote sends one protocol request and prints the response.
+
+DURABILITY:
+  serve --data-dir DIR write-ahead-logs every shard's ingest (CRC-
+  framed segments, fsync per --fsync: always | off | bytes:N, default
+  bytes:8388608) and checkpoints shards atomically — periodically with
+  --checkpoint-ms, on the CKPT verb, and at graceful drain. Restarting
+  against the same DIR recovers the state exactly: checkpoint + WAL
+  replay per shard (torn tail records are CRC-detected and dropped),
+  Algorithm-5 merge across shards. STATS then also reports wal_bytes,
+  last_checkpoint_epoch, and fsync_policy.
+  checkpoint compacts an offline store: recover, write a fresh
+  checkpoint, truncate the WAL. recover exports a store's merged state
+  as an ordinary sketch file.
 ";
 
 /// A parsed command line.
@@ -177,6 +206,18 @@ pub enum Command {
     },
     /// Serve queries over loopback TCP while ingesting a stream file.
     Serve(serve::ServeOptions),
+    /// Compact an offline durable store: recover, checkpoint, truncate.
+    Checkpoint {
+        /// The store directory.
+        data_dir: PathBuf,
+    },
+    /// Export a durable store's merged state as an ordinary sketch file.
+    Recover {
+        /// The store directory.
+        data_dir: PathBuf,
+        /// Output sketch path.
+        output: PathBuf,
+    },
     /// Send one protocol request to a running `serve` instance.
     QueryRemote {
         /// Loopback port the server listens on.
@@ -210,6 +251,8 @@ pub enum CliError {
     Sketch(PathBuf, streamfreq_core::Error),
     /// Socket failure against an address.
     Net(String, std::io::Error),
+    /// Durable-store failure against a data directory.
+    Persist(PathBuf, streamfreq_core::PersistError),
 }
 
 impl fmt::Display for CliError {
@@ -219,6 +262,8 @@ impl fmt::Display for CliError {
             CliError::Io(path, e) => write!(f, "{}: {e}", path.display()),
             CliError::Sketch(path, e) => write!(f, "{}: {e}", path.display()),
             CliError::Net(addr, e) => write!(f, "{addr}: {e}"),
+            // PersistError carries its own path context.
+            CliError::Persist(_, e) => write!(f, "{e}"),
         }
     }
 }
@@ -488,6 +533,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 Some(s) => parse_u64(s, "snapshot interval")?,
                 None => 50,
             };
+            let data_dir = flag_value(rest, "--data-dir").map(PathBuf::from);
+            let fsync = match flag_value(rest, "--fsync") {
+                Some(s) => {
+                    if data_dir.is_none() {
+                        return Err(CliError::Usage("--fsync requires --data-dir".into()));
+                    }
+                    streamfreq_core::FsyncPolicy::parse(s).map_err(CliError::Usage)?
+                }
+                None => streamfreq_core::FsyncPolicy::default(),
+            };
+            let checkpoint_ms = match flag_value(rest, "--checkpoint-ms") {
+                Some(s) => {
+                    if data_dir.is_none() {
+                        return Err(CliError::Usage(
+                            "--checkpoint-ms requires --data-dir".into(),
+                        ));
+                    }
+                    parse_u64(s, "checkpoint interval")?
+                }
+                None => 0,
+            };
             Ok(Command::Serve(serve::ServeOptions {
                 port,
                 port_file,
@@ -499,7 +565,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 passes,
                 snapshot_ms,
                 input,
+                data_dir,
+                fsync,
+                checkpoint_ms,
             }))
+        }
+        "checkpoint" => {
+            let data_dir = PathBuf::from(required(rest, "--data-dir", "checkpoint")?);
+            Ok(Command::Checkpoint { data_dir })
+        }
+        "recover" => {
+            let data_dir = PathBuf::from(required(rest, "--data-dir", "recover")?);
+            let output = PathBuf::from(required(rest, "--output", "recover")?);
+            Ok(Command::Recover { data_dir, output })
         }
         "query-remote" => {
             let port_value = required(rest, "--port", "query-remote")?;
@@ -653,6 +731,297 @@ fn format_rows<T: std::fmt::Display>(rows: &[Row<T>]) -> String {
     out
 }
 
+/// Saturation marker appended to `info` rows.
+fn saturated_marker(saturated: bool) -> &'static str {
+    if saturated {
+        " (saturated)"
+    } else {
+        ""
+    }
+}
+
+/// `streamfreq info`: decode whatever the path holds — a sketch file, a
+/// checkpoint, a MANIFEST / STORE file, or a durable store directory —
+/// and print its metadata.
+fn run_info(path: &Path) -> Result<String, CliError> {
+    let file_meta = std::fs::metadata(path).map_err(|e| CliError::Io(path.to_path_buf(), e))?;
+    if file_meta.is_dir() {
+        return info_store_dir(path);
+    }
+    let bytes = std::fs::read(path).map_err(|e| CliError::Io(path.to_path_buf(), e))?;
+    match bytes.get(..4) {
+        Some(b"SFCK") => {
+            let info =
+                checkpoint_info(&bytes).map_err(|e| CliError::Sketch(path.to_path_buf(), e))?;
+            Ok(format!(
+                "checkpoint {}\n\
+                 \x20 epoch:             {}\n\
+                 \x20 key type:          {}\n\
+                 \x20 capacity (k):      {}\n\
+                 \x20 counters in use:   {}\n\
+                 \x20 policy:            {:?}\n\
+                 \x20 seed:              {}\n\
+                 \x20 stream weight N:   {}{}\n\
+                 \x20 max error:         {}{}\n\
+                 \x20 updates n:         {}\n\
+                 \x20 purges:            {}\n",
+                path.display(),
+                info.epoch,
+                info.key_type,
+                info.max_counters,
+                info.num_counters,
+                info.policy,
+                info.seed,
+                info.stream_weight,
+                saturated_marker(info.weight_saturated),
+                info.offset,
+                saturated_marker(info.offset_saturated),
+                info.num_updates,
+                info.num_purges,
+            ))
+        }
+        Some(b"SFMF") => {
+            let manifest = Manifest::from_bytes(&bytes)
+                .map_err(|e| CliError::Sketch(path.to_path_buf(), e))?;
+            Ok(format!(
+                "store manifest {}\n\
+                 \x20 checkpoint epoch:  {}\n\
+                 \x20 checkpoint file:   {}\n\
+                 \x20 WAL replay start:  segment {}, offset {}\n\
+                 \x20 capacity (k):      {}\n\
+                 \x20 policy:            {:?}\n\
+                 \x20 seed:              {}\n",
+                path.display(),
+                manifest.epoch,
+                manifest.checkpoint.as_deref().unwrap_or("(none yet)"),
+                manifest.wal_start.segment,
+                manifest.wal_start.offset,
+                manifest.config.max_counters,
+                manifest.config.policy,
+                manifest.config.seed,
+            ))
+        }
+        Some(b"SFST") => {
+            let meta = StoreMeta::from_bytes(&bytes)
+                .map_err(|e| CliError::Sketch(path.to_path_buf(), e))?;
+            Ok(format!(
+                "sharded store metadata {}\n\
+                 \x20 shards:            {}\n\
+                 \x20 counters/shard:    {}\n\
+                 \x20 merged capacity:   {}\n\
+                 \x20 policy:            {:?}\n\
+                 \x20 base seed:         {}\n",
+                path.display(),
+                meta.num_shards,
+                meta.counters_per_shard,
+                meta.merged_capacity,
+                meta.policy,
+                meta.seed,
+            ))
+        }
+        Some(b"SFQI") => Ok(format!(
+            "items sketch {} (generic key type; decode with the \
+             ItemsSketch API for full details)\n",
+            path.display()
+        )),
+        Some(b"SFWS") => Ok(format!(
+            "windowed bucket store {} — query with `streamfreq window query`\n",
+            path.display()
+        )),
+        _ => {
+            let s = read_sketch(path)?;
+            let engine = s.engine();
+            Ok(format!(
+                "sketch {}\n\
+                 \x20 key type:          u64\n\
+                 \x20 capacity (k):      {}\n\
+                 \x20 counters in use:   {}\n\
+                 \x20 policy:            {:?}\n\
+                 \x20 stream weight N:   {}{}\n\
+                 \x20 updates n:         {}\n\
+                 \x20 purges:            {}\n\
+                 \x20 max error:         {}{}\n\
+                 \x20 table memory:      {} bytes\n",
+                path.display(),
+                s.max_counters(),
+                s.num_counters(),
+                s.policy(),
+                s.stream_weight(),
+                saturated_marker(engine.stream_weight_saturated()),
+                s.num_updates(),
+                s.num_purges(),
+                s.maximum_error(),
+                saturated_marker(engine.maximum_error_saturated()),
+                s.memory_bytes()
+            ))
+        }
+    }
+}
+
+/// Total bytes of WAL segments directly inside `dir`.
+fn wal_bytes_in(dir: &Path) -> Result<u64, CliError> {
+    let mut total = 0;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(CliError::Io(dir.to_path_buf(), e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| CliError::Io(dir.to_path_buf(), e))?;
+        if let Some(name) = entry.file_name().to_str() {
+            if name.starts_with("wal-") && name.ends_with(".seg") {
+                total += entry
+                    .metadata()
+                    .map_err(|e| CliError::Io(entry.path(), e))?
+                    .len();
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// One manifest's summary line for `info` on a store directory.
+fn manifest_summary(dir: &Path) -> Result<String, CliError> {
+    let persist_err = |e| CliError::Persist(dir.to_path_buf(), e);
+    match read_manifest(dir).map_err(persist_err)? {
+        None => Ok("no MANIFEST".into()),
+        Some(m) => {
+            let mut n = 0;
+            if let Some(name) = &m.checkpoint {
+                let ckpt_path = dir.join(name);
+                let bytes =
+                    std::fs::read(&ckpt_path).map_err(|e| CliError::Io(ckpt_path.clone(), e))?;
+                n = checkpoint_info(&bytes)
+                    .map_err(|e| CliError::Sketch(ckpt_path, e))?
+                    .stream_weight;
+            }
+            Ok(format!(
+                "checkpoint epoch {}, checkpointed N = {n}, wal bytes {}",
+                m.epoch,
+                wal_bytes_in(dir)?
+            ))
+        }
+    }
+}
+
+/// `info` on a durable store directory: bank metadata plus one line per
+/// shard (or the single manifest for a non-sharded store).
+fn info_store_dir(dir: &Path) -> Result<String, CliError> {
+    let persist_err = |e| CliError::Persist(dir.to_path_buf(), e);
+    if let Some(meta) = read_store_meta(dir).map_err(persist_err)? {
+        let mut out = format!(
+            "durable store {}\n\
+             \x20 shards:            {}\n\
+             \x20 counters/shard:    {}\n\
+             \x20 merged capacity:   {}\n\
+             \x20 policy:            {:?}\n\
+             \x20 base seed:         {}\n",
+            dir.display(),
+            meta.num_shards,
+            meta.counters_per_shard,
+            meta.merged_capacity,
+            meta.policy,
+            meta.seed,
+        );
+        for s in 0..meta.num_shards {
+            let sdir = shard_dir(dir, s);
+            out.push_str(&format!("  shard {s}: {}\n", manifest_summary(&sdir)?));
+        }
+        return Ok(out);
+    }
+    if read_manifest(dir).map_err(persist_err)?.is_some() {
+        return Ok(format!(
+            "durable store {} (single sketch)\n  {}\n",
+            dir.display(),
+            manifest_summary(dir)?
+        ));
+    }
+    Err(CliError::Usage(format!(
+        "{}: not a durable store (no STORE or MANIFEST)",
+        dir.display()
+    )))
+}
+
+/// `streamfreq checkpoint`: recover an offline store read-write, write a
+/// fresh checkpoint per shard, truncate the WALs.
+fn run_store_checkpoint(data_dir: &Path) -> Result<String, CliError> {
+    let persist_err = |e| CliError::Persist(data_dir.to_path_buf(), e);
+    let shard_dirs: Vec<(String, PathBuf)> = match read_store_meta(data_dir).map_err(persist_err)? {
+        Some(meta) => (0..meta.num_shards)
+            .map(|s| (format!("shard {s}"), shard_dir(data_dir, s)))
+            .collect(),
+        None => vec![("sketch".to_string(), data_dir.to_path_buf())],
+    };
+    let mut out = format!("checkpointing {}\n", data_dir.display());
+    for (label, dir) in shard_dirs {
+        let (mut store, report) =
+            DurableSketch::<u64>::open_existing(&dir, DurabilityOptions::default())
+                .map_err(|e| CliError::Persist(dir.clone(), e))?;
+        let wal_before = store.wal_bytes();
+        let epoch = store
+            .checkpoint()
+            .map_err(|e| CliError::Persist(dir.clone(), e))?;
+        out.push_str(&format!(
+            "  {label}: epoch {epoch}, replayed {} records ({} updates), \
+             N = {}, wal {} -> {} bytes\n",
+            report.records_replayed,
+            report.updates_replayed,
+            store.engine().stream_weight(),
+            wal_before,
+            store.wal_bytes(),
+        ));
+    }
+    Ok(out)
+}
+
+/// `streamfreq recover`: rebuild a store's state read-only and export
+/// the (Algorithm-5 merged, for sharded banks) sketch file.
+fn run_store_recover(data_dir: &Path, output: &Path) -> Result<String, CliError> {
+    let persist_err = |e| CliError::Persist(data_dir.to_path_buf(), e);
+    let mut out = format!("recovering {}\n", data_dir.display());
+    let merged = match read_store_meta(data_dir).map_err(persist_err)? {
+        Some(meta) => {
+            let mut merged = FreqSketch::builder(meta.merged_capacity)
+                .policy(meta.policy)
+                .seed(meta.seed)
+                .build()
+                .map_err(|e| CliError::Sketch(output.to_path_buf(), e))?;
+            for s in 0..meta.num_shards {
+                let sdir = shard_dir(data_dir, s);
+                let (engine, epoch, report) = recover_engine_readonly::<u64>(&sdir)
+                    .map_err(|e| CliError::Persist(sdir.clone(), e))?;
+                out.push_str(&format!(
+                    "  shard {s}: {:?}, checkpoint epoch {epoch}, \
+                     replayed {} records, N = {}\n",
+                    report.source,
+                    report.records_replayed,
+                    engine.stream_weight(),
+                ));
+                merged.merge(&FreqSketch::from(engine));
+            }
+            merged
+        }
+        None => {
+            let (engine, epoch, report) =
+                recover_engine_readonly::<u64>(data_dir).map_err(persist_err)?;
+            out.push_str(&format!(
+                "  {:?}, checkpoint epoch {epoch}, replayed {} records\n",
+                report.source, report.records_replayed,
+            ));
+            FreqSketch::from(engine)
+        }
+    };
+    write_sketch(output, &merged)?;
+    out.push_str(&format!(
+        "wrote {}: N = {}, {} counters, max error ±{}\n",
+        output.display(),
+        merged.stream_weight(),
+        merged.num_counters(),
+        merged.maximum_error()
+    ));
+    Ok(out)
+}
+
 fn read_sketch(path: &Path) -> Result<FreqSketch, CliError> {
     let bytes = std::fs::read(path).map_err(|e| CliError::Io(path.to_path_buf(), e))?;
     FreqSketch::deserialize_from_bytes(&bytes).map_err(|e| CliError::Sketch(path.to_path_buf(), e))
@@ -724,29 +1093,7 @@ pub fn run(command: &Command) -> Result<String, CliError> {
                 sketch.maximum_error()
             ))
         }
-        Command::Info(path) => {
-            let s = read_sketch(path)?;
-            Ok(format!(
-                "sketch {}\n\
-                 \x20 capacity (k):      {}\n\
-                 \x20 counters in use:   {}\n\
-                 \x20 policy:            {:?}\n\
-                 \x20 stream weight N:   {}\n\
-                 \x20 updates n:         {}\n\
-                 \x20 purges:            {}\n\
-                 \x20 max error:         {}\n\
-                 \x20 table memory:      {} bytes\n",
-                path.display(),
-                s.max_counters(),
-                s.num_counters(),
-                s.policy(),
-                s.stream_weight(),
-                s.num_updates(),
-                s.num_purges(),
-                s.maximum_error(),
-                s.memory_bytes()
-            ))
-        }
+        Command::Info(path) => run_info(path),
         Command::Top { path, n } => {
             let s = read_sketch(path)?;
             Ok(format_rows(&s.top_k(*n)))
@@ -904,6 +1251,8 @@ pub fn run(command: &Command) -> Result<String, CliError> {
         }
         Command::Serve(options) => serve::run_serve(options),
         Command::QueryRemote { port, request } => serve::run_query_remote(*port, request),
+        Command::Checkpoint { data_dir } => run_store_checkpoint(data_dir),
+        Command::Recover { data_dir, output } => run_store_recover(data_dir, output),
         Command::WindowQuery {
             path,
             from,
@@ -1430,6 +1779,9 @@ mod tests {
                 passes: 3,
                 snapshot_ms: 25,
                 input: PathBuf::from("s.bin"),
+                data_dir: None,
+                fsync: streamfreq_core::FsyncPolicy::default(),
+                checkpoint_ms: 0,
             })
         );
         let cmd = parse_args(&args("query-remote --port 7070 EST 42")).unwrap();
@@ -1526,6 +1878,9 @@ mod tests {
             passes,
             snapshot_ms: 10,
             input: stream_path.clone(),
+            data_dir: None,
+            fsync: streamfreq_core::FsyncPolicy::default(),
+            checkpoint_ms: 0,
         };
         let server = std::thread::spawn(move || run(&Command::Serve(options)).unwrap());
 
@@ -1674,6 +2029,9 @@ mod tests {
             passes: 1,
             snapshot_ms: 0,
             input: stream_path.clone(),
+            data_dir: None,
+            fsync: streamfreq_core::FsyncPolicy::default(),
+            checkpoint_ms: 0,
         };
         let server = std::thread::spawn(move || run(&Command::Serve(options)).unwrap());
         let deadline = Instant::now() + Duration::from_secs(30);
@@ -1719,6 +2077,278 @@ mod tests {
         for p in [stream_path, port_file] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn parses_serve_durability_and_store_commands() {
+        let cmd = parse_args(&args(
+            "serve -k 64 --input s.bin --data-dir /tmp/d --fsync bytes:1024 --checkpoint-ms 200",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve(opts) => {
+                assert_eq!(opts.data_dir, Some(PathBuf::from("/tmp/d")));
+                assert_eq!(opts.fsync, streamfreq_core::FsyncPolicy::EveryBytes(1024));
+                assert_eq!(opts.checkpoint_ms, 200);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse_args(&args("serve -k 64 --input s.bin --fsync always")).is_err());
+        assert!(parse_args(&args("serve -k 64 --input s.bin --checkpoint-ms 5")).is_err());
+        assert!(parse_args(&args(
+            "serve -k 64 --input s.bin --data-dir d --fsync sometimes"
+        ))
+        .is_err());
+        assert_eq!(
+            parse_args(&args("checkpoint --data-dir /tmp/d")).unwrap(),
+            Command::Checkpoint {
+                data_dir: PathBuf::from("/tmp/d")
+            }
+        );
+        assert_eq!(
+            parse_args(&args("recover --data-dir /tmp/d --output out.sk")).unwrap(),
+            Command::Recover {
+                data_dir: PathBuf::from("/tmp/d"),
+                output: PathBuf::from("out.sk"),
+            }
+        );
+        assert!(parse_args(&args("checkpoint")).is_err());
+        assert!(parse_args(&args("recover --data-dir d")).is_err());
+    }
+
+    /// Extracts `N = <n>` from a serve report.
+    fn report_n(report: &str) -> u64 {
+        report
+            .split("N = ")
+            .nth(1)
+            .unwrap()
+            .split([',', ' '])
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    }
+
+    /// Starts a durable server thread and waits for the port handshake.
+    fn start_durable_server(
+        stream_path: &Path,
+        data_dir: &Path,
+        port_file: &Path,
+        passes: u64,
+    ) -> (std::thread::JoinHandle<String>, String, u16) {
+        use std::time::{Duration, Instant};
+        let _ = std::fs::remove_file(port_file);
+        let options = serve::ServeOptions {
+            port: 0,
+            port_file: Some(port_file.to_path_buf()),
+            k: 512,
+            policy: PurgePolicy::smed(),
+            seed: 9,
+            threads: 2,
+            shards: 4,
+            passes,
+            snapshot_ms: 10,
+            input: stream_path.to_path_buf(),
+            data_dir: Some(data_dir.to_path_buf()),
+            fsync: streamfreq_core::FsyncPolicy::Off,
+            checkpoint_ms: 25,
+        };
+        let server = std::thread::spawn(move || run(&Command::Serve(options)).unwrap());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(port_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server never wrote the port file"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let port: u16 = addr.rsplit(':').next().unwrap().parse().unwrap();
+        (server, addr, port)
+    }
+
+    #[test]
+    fn durable_serve_survives_restart_with_exact_n() {
+        use std::net::TcpStream;
+        use std::time::{Duration, Instant};
+
+        let stream_path = tmp("durable-serve.bin");
+        let data_dir = tmp("durable-serve-store");
+        let port_file = tmp("durable-serve.port");
+        let _ = std::fs::remove_dir_all(&data_dir);
+        run(&Command::Synth {
+            updates: 60_000,
+            flows: 2_000,
+            seed: 31,
+            output: stream_path.clone(),
+        })
+        .unwrap();
+        let pass_weight: u64 = streamfreq_workloads::load_binary(&stream_path)
+            .unwrap()
+            .iter()
+            .map(|&(_, w)| w)
+            .sum();
+
+        // First run: many passes; we kill it mid-ingest via QUIT.
+        let (server, addr, _) = start_durable_server(&stream_path, &data_dir, &port_file, 50);
+        let mut conn = TcpStream::connect(addr.trim()).unwrap();
+        let stats = protocol_request(&mut conn, "STATS");
+        assert_eq!(
+            stats_field(&stats[0], "ingest_done"),
+            0,
+            "first STATS should land mid-ingest: {stats:?}"
+        );
+        // Durable STATS reports the persistence gauges.
+        assert!(stats[0].contains("wal_bytes="), "{stats:?}");
+        assert!(stats[0].contains("last_checkpoint_epoch="), "{stats:?}");
+        assert!(stats[0].contains("fsync_policy=off"), "{stats:?}");
+        // An explicit CKPT round succeeds and reports an epoch.
+        let ckpt = protocol_request(&mut conn, "CKPT");
+        assert!(ckpt[0].starts_with("OK epoch="), "{ckpt:?}");
+        // Kill mid-ingest.
+        let bye = protocol_request(&mut conn, "QUIT");
+        assert_eq!(bye[0], "OK bye");
+        let report = server.join().unwrap();
+        assert!(report.contains("durable:"), "{report}");
+        let sealed_n = report_n(&report);
+        assert!(
+            sealed_n > 0 && sealed_n.is_multiple_of(pass_weight),
+            "{report}"
+        );
+        assert!(
+            sealed_n < 50 * pass_weight,
+            "QUIT should abort remaining passes: {report}"
+        );
+
+        // Second run against the same store: recovery + one more pass.
+        let (server, addr, port) = start_durable_server(&stream_path, &data_dir, &port_file, 1);
+        let mut conn = TcpStream::connect(addr.trim()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let final_stats = loop {
+            let stats = protocol_request(&mut conn, "STATS");
+            assert!(
+                stats_field(&stats[0], "n") >= sealed_n,
+                "recovered N regressed: {stats:?}"
+            );
+            if stats_field(&stats[0], "ingest_done") == 1 {
+                break stats;
+            }
+            assert!(Instant::now() < deadline, "ingestion never finished");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        // The restart carried the first run's sealed N exactly.
+        assert_eq!(
+            stats_field(&final_stats[0], "n"),
+            sealed_n + pass_weight,
+            "exact N across restart: {final_stats:?}"
+        );
+        run(&Command::QueryRemote {
+            port,
+            request: vec!["QUIT".into()],
+        })
+        .unwrap();
+        let report = server.join().unwrap();
+        let final_n = report_n(&report);
+        assert_eq!(final_n, sealed_n + pass_weight);
+
+        // Offline tooling against the store the server left behind.
+        let info = run(&Command::Info(data_dir.clone())).unwrap();
+        assert!(info.contains("durable store"), "{info}");
+        assert!(info.contains("shards:            4"), "{info}");
+        let ckpt_report = run(&Command::Checkpoint {
+            data_dir: data_dir.clone(),
+        })
+        .unwrap();
+        assert!(ckpt_report.contains("shard 3:"), "{ckpt_report}");
+        let recovered_path = tmp("durable-serve-recovered.sk");
+        let recover_report = run(&Command::Recover {
+            data_dir: data_dir.clone(),
+            output: recovered_path.clone(),
+        })
+        .unwrap();
+        assert!(recover_report.contains("wrote"), "{recover_report}");
+        let recovered = read_sketch(&recovered_path).unwrap();
+        assert_eq!(recovered.stream_weight(), final_n);
+
+        // `info` decodes the pieces of the store too.
+        let shard0 = data_dir.join("shard-0000");
+        let manifest_info = run(&Command::Info(shard0.join("MANIFEST"))).unwrap();
+        assert!(
+            manifest_info.contains("checkpoint epoch"),
+            "{manifest_info}"
+        );
+        let ckpt_file = std::fs::read_dir(&shard0)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().starts_with("ckpt-"))
+            .expect("checkpoint file exists");
+        let ckpt_info = run(&Command::Info(ckpt_file.path())).unwrap();
+        assert!(ckpt_info.contains("key type:          u64"), "{ckpt_info}");
+        assert!(ckpt_info.contains("epoch:"), "{ckpt_info}");
+        let store_info = run(&Command::Info(data_dir.join("STORE"))).unwrap();
+        assert!(
+            store_info.contains("sharded store metadata"),
+            "{store_info}"
+        );
+
+        let _ = std::fs::remove_dir_all(&data_dir);
+        for p in [stream_path, port_file, recovered_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn checkpoint_and_recover_on_single_sketch_store() {
+        use streamfreq_core::{DurabilityOptions, DurableSketch, EngineConfig};
+        let data_dir = tmp("single-store");
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let (mut store, _) = DurableSketch::<u64>::open(
+            &data_dir,
+            EngineConfig::new(128).seed(4),
+            DurabilityOptions::default(),
+        )
+        .unwrap();
+        for i in 0..5_000u64 {
+            store.update(i % 300, i % 11 + 1).unwrap();
+        }
+        let n = store.engine().stream_weight();
+        drop(store); // crash: WAL only, no checkpoint
+
+        let info = run(&Command::Info(data_dir.clone())).unwrap();
+        assert!(info.contains("single sketch"), "{info}");
+
+        let report = run(&Command::Checkpoint {
+            data_dir: data_dir.clone(),
+        })
+        .unwrap();
+        assert!(report.contains("epoch 1"), "{report}");
+
+        let out = tmp("single-store.sk");
+        let report = run(&Command::Recover {
+            data_dir: data_dir.clone(),
+            output: out.clone(),
+        })
+        .unwrap();
+        assert!(report.contains("CheckpointOnly"), "{report}");
+        assert_eq!(read_sketch(&out).unwrap().stream_weight(), n);
+
+        // Recovering a non-store directory is a clean error.
+        let empty = tmp("not-a-store");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&Command::Recover {
+            data_dir: empty.clone(),
+            output: out.clone(),
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Persist(..)), "{err:?}");
+
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let _ = std::fs::remove_dir_all(&empty);
+        let _ = std::fs::remove_file(out);
     }
 
     #[test]

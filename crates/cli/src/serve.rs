@@ -13,6 +13,7 @@
 //! | `TOPK <n>` | `OK <m>` then `m` lines `<item> <estimate> <lower> <upper>` |
 //! | `HH <phi> [nfp\|nfn]` | `OK <m>` then `m` rows (contract default `nfn`) |
 //! | `STATS` | `OK epoch=<e> n=<N> counters=<c> max_error=<err> enqueued=<w> ingest_done=<0\|1> shards=<s>` |
+//! | `CKPT` | `OK epoch=<e>` after a coordinated checkpoint round (durable servers) |
 //! | `QUIT` | `OK bye`, then the whole server shuts down gracefully |
 //! | anything else | `ERR <reason>` |
 //!
@@ -22,6 +23,17 @@
 //! epoch and the live enqueued weight so clients can observe staleness
 //! directly. Queries never block ingestion (the snapshot swap is the
 //! only synchronization point).
+//!
+//! ## Durable serving
+//!
+//! With `--data-dir`, the bank runs on per-shard write-ahead logs and
+//! checkpoints (`streamfreq_core::persist`): starting against a
+//! directory holding prior state **recovers it** (checkpoint ⊕ WAL
+//! replay per shard, Algorithm-5 merge across shards) before ingestion
+//! begins, `CKPT` triggers a synchronous checkpoint round, and `STATS`
+//! additionally reports `wal_bytes=<b> last_checkpoint_epoch=<e>
+//! fsync_policy=<p>`. `QUIT`'s graceful drain ends with a final
+//! per-shard checkpoint, so a clean shutdown restarts without replay.
 //!
 //! The server binds `127.0.0.1` only: this is an operational inspection
 //! port, not an internet-facing service.
@@ -33,6 +45,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use streamfreq_core::persist::{DurabilityOptions, FsyncPolicy};
 use streamfreq_core::{ConcurrentSketch, ErrorType, PurgePolicy, SnapshotReader};
 use streamfreq_workloads::load_binary;
 
@@ -74,6 +87,14 @@ pub struct ServeOptions {
     pub snapshot_ms: u64,
     /// Input stream file (16-byte `(item, weight)` records).
     pub input: PathBuf,
+    /// Durable store directory: per-shard WALs + checkpoints, recovered
+    /// on startup. `None` = in-memory serving (the pre-durability mode).
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync policy when `data_dir` is set.
+    pub fsync: FsyncPolicy,
+    /// Periodic checkpoint interval in milliseconds when `data_dir` is
+    /// set (0 = checkpoint only on `CKPT` and at drain).
+    pub checkpoint_ms: u64,
 }
 
 /// Shared context each connection handler needs.
@@ -82,6 +103,8 @@ struct ServeCtx {
     stop: Arc<AtomicBool>,
     queries: AtomicU64,
     num_shards: usize,
+    /// The fsync-policy label when serving durably (`--data-dir`).
+    fsync_label: Option<String>,
 }
 
 /// Runs the server until a client sends `QUIT`; returns the final text
@@ -106,9 +129,27 @@ pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
     if opts.snapshot_ms > 0 {
         builder = builder.publish_every(Duration::from_millis(opts.snapshot_ms));
     }
-    let sketch = builder
-        .build()
-        .map_err(|e| CliError::Sketch(opts.input.clone(), e))?;
+    let (sketch, recovered_weight) = match &opts.data_dir {
+        None => {
+            let sketch = builder
+                .build()
+                .map_err(|e| CliError::Sketch(opts.input.clone(), e))?;
+            (sketch, 0)
+        }
+        Some(dir) => {
+            let durability = DurabilityOptions {
+                fsync: opts.fsync,
+                ..DurabilityOptions::default()
+            };
+            let interval =
+                (opts.checkpoint_ms > 0).then(|| Duration::from_millis(opts.checkpoint_ms));
+            let (sketch, _reports) = builder
+                .build_durable(dir, durability, interval)
+                .map_err(|e| CliError::Persist(dir.clone(), e))?;
+            let recovered = sketch.snapshot().stream_weight();
+            (sketch, recovered)
+        }
+    };
     let snapshot_reader = sketch.reader();
 
     let listener = TcpListener::bind(("127.0.0.1", opts.port))
@@ -130,6 +171,7 @@ pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
         stop: Arc::clone(&stop),
         queries: AtomicU64::new(0),
         num_shards,
+        fsync_label: opts.data_dir.is_some().then(|| opts.fsync.label()),
     });
 
     // Ingestion runs beside the accept loop; queries observe its
@@ -181,7 +223,7 @@ pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
     }
 
     let snapshot = ctx.reader.snapshot();
-    Ok(format!(
+    let mut report = format!(
         "served {} queries over {} connections on {}\n\
          final snapshot: epoch {}, N = {}, {} counters, max error ±{}\n",
         ctx.queries.load(Ordering::SeqCst),
@@ -191,7 +233,17 @@ pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
         snapshot.stream_weight(),
         snapshot.num_counters(),
         snapshot.maximum_error()
-    ))
+    );
+    if let Some(dir) = &opts.data_dir {
+        report.push_str(&format!(
+            "durable: {} (recovered N = {recovered_weight}, \
+             last checkpoint epoch {}, fsync {})\n",
+            dir.display(),
+            ctx.reader.last_checkpoint_epoch(),
+            opts.fsync.label()
+        ));
+    }
+    Ok(report)
 }
 
 /// Serves one client connection until EOF, a fatal I/O error, or QUIT
@@ -313,20 +365,39 @@ fn handle_request(request: &str, ctx: &ServeCtx) -> (String, bool) {
         "STATS" => {
             ctx.queries.fetch_add(1, Ordering::SeqCst);
             let snap = ctx.reader.snapshot();
-            (
-                format!(
-                    "OK epoch={} n={} counters={} max_error={} enqueued={} \
-                     ingest_done={} shards={}\n",
-                    snap.epoch(),
-                    snap.stream_weight(),
-                    snap.num_counters(),
-                    snap.maximum_error(),
-                    ctx.reader.enqueued_weight(),
-                    u8::from(ctx.reader.is_sealed()),
-                    ctx.num_shards
-                ),
-                false,
-            )
+            let mut reply = format!(
+                "OK epoch={} n={} counters={} max_error={} enqueued={} \
+                 ingest_done={} shards={}",
+                snap.epoch(),
+                snap.stream_weight(),
+                snap.num_counters(),
+                snap.maximum_error(),
+                ctx.reader.enqueued_weight(),
+                u8::from(ctx.reader.is_sealed()),
+                ctx.num_shards
+            );
+            if let Some(fsync) = &ctx.fsync_label {
+                reply.push_str(&format!(
+                    " wal_bytes={} last_checkpoint_epoch={} fsync_policy={fsync}",
+                    ctx.reader.wal_bytes(),
+                    ctx.reader.last_checkpoint_epoch()
+                ));
+            }
+            reply.push('\n');
+            (reply, false)
+        }
+        "CKPT" => {
+            ctx.queries.fetch_add(1, Ordering::SeqCst);
+            if ctx.fsync_label.is_none() {
+                return (
+                    "ERR server is not durable (start with --data-dir)\n".into(),
+                    false,
+                );
+            }
+            match ctx.reader.request_checkpoint(Duration::from_secs(30)) {
+                Some(epoch) => (format!("OK epoch={epoch}\n"), false),
+                None => ("ERR checkpoint unavailable (draining?)\n".into(), false),
+            }
         }
         "QUIT" => ("OK bye\n".into(), true),
         other => (format!("ERR unknown command `{other}`\n"), false),

@@ -169,6 +169,11 @@ impl SketchEngine<u64> {
         for word in &mut state {
             *word = buf.get_u64_le();
         }
+        if state == [0; 4] {
+            // `Xoshiro256StarStar::from_state` asserts on this; hostile
+            // bytes must surface as an error, not a panic.
+            return Err(Error::Corrupt("invalid all-zero sampler state".into()));
+        }
         let num_active = buf.get_u32_le() as usize;
         if buf.remaining() != num_active * 16 {
             return if buf.remaining() < num_active * 16 {
@@ -488,6 +493,18 @@ mod tests {
         // zero out the count of the single counter (last 8 bytes)
         let n = bytes.len();
         bytes[n - 8..].fill(0);
+        assert!(matches!(
+            FreqSketch::deserialize_from_bytes(&bytes),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_all_zero_sampler_state() {
+        // Regression: this used to reach `Xoshiro256StarStar::from_state`
+        // and panic instead of returning a decode error.
+        let mut bytes = loaded_sketch().serialize_to_bytes();
+        bytes[72..104].fill(0); // the four sampler state words
         assert!(matches!(
             FreqSketch::deserialize_from_bytes(&bytes),
             Err(Error::Corrupt(_))

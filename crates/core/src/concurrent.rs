@@ -38,6 +38,16 @@
 //!   publisher, closes the channels, joins every worker (each returns
 //!   its engine after draining its queue), publishes a final sealed
 //!   snapshot, and exposes the per-shard engines for inspection.
+//! * **Durability (optional).**
+//!   [`ConcurrentSketchBuilder::build_durable`] gives every shard worker
+//!   a write-ahead-logged [`DurableSketch`] in its own subdirectory of a
+//!   store directory: batches are logged before they are applied, a
+//!   checkpointer thread takes coordinated checkpoint rounds (on demand
+//!   via [`SnapshotReader::request_checkpoint`] and/or periodically),
+//!   and reopening the same directory recovers each shard as
+//!   `checkpoint ⊕ replayed WAL tail` — then merges the recovered
+//!   shards per Algorithm 5 into the initial served snapshot. See
+//!   [`crate::persist`] for the on-disk formats and guarantees.
 //!
 //! ## Determinism
 //!
@@ -72,6 +82,7 @@
 //! assert_eq!(sketch.snapshot().stream_weight(), 50_000);
 //! ```
 
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
@@ -80,6 +91,11 @@ use std::time::{Duration, Instant};
 
 use crate::engine::{SketchEngine, SketchEngineBuilder, SketchKey, DEFAULT_SEED};
 use crate::error::Error;
+use crate::item_codec::ItemCodec;
+use crate::persist::store::{read_store_meta, shard_dir, write_store_meta, StoreMeta};
+use crate::persist::{
+    DurabilityOptions, DurableSketch, EngineConfig, PersistError, RecoveryReport,
+};
 use crate::purge::PurgePolicy;
 use crate::result::{ErrorType, Row};
 use crate::sharded::shard_of;
@@ -99,6 +115,10 @@ enum Msg<K: SketchKey> {
     /// Snapshot probe: reply with a clone of the shard engine. FIFO
     /// ordering makes the reply reflect every batch enqueued earlier.
     Probe(SyncSender<SketchEngine<K>>),
+    /// Checkpoint probe (durable banks only): persist a checkpoint of
+    /// everything received so far and reply with the new epoch. FIFO
+    /// ordering makes the checkpoint cover every batch enqueued earlier.
+    Checkpoint(SyncSender<u64>),
 }
 
 /// An immutable point-in-time merged view of a [`ConcurrentSketch`],
@@ -207,6 +227,43 @@ struct Shared<K: SketchKey> {
     sealed: AtomicBool,
     /// Serializes publishes so epochs and snapshots advance together.
     publish_lock: Mutex<()>,
+    /// True if the bank runs with per-shard WALs and checkpoints.
+    durable: bool,
+    /// Live bytes held by all shard WALs (durable banks).
+    wal_bytes: AtomicU64,
+    /// Newest coordinated checkpoint round every shard has completed
+    /// (written only by the checkpointer's round minimum).
+    last_checkpoint_epoch: AtomicU64,
+    /// Reply channels of pending on-demand checkpoint requests,
+    /// serviced by the checkpointer thread.
+    ckpt_requests: Mutex<Vec<SyncSender<u64>>>,
+}
+
+impl<K: SketchKey> Shared<K> {
+    fn new(initial: Snapshot<K>, durable: bool, enqueued: u64, last_ckpt: u64) -> Arc<Self> {
+        let epoch = initial.epoch;
+        Arc::new(Shared {
+            snapshot: RwLock::new(Arc::new(initial)),
+            epoch: AtomicU64::new(epoch),
+            enqueued_weight: AtomicU64::new(enqueued),
+            sealed: AtomicBool::new(false),
+            publish_lock: Mutex::new(()),
+            durable,
+            wal_bytes: AtomicU64::new(0),
+            last_checkpoint_epoch: AtomicU64::new(last_ckpt),
+            ckpt_requests: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Folds a shard's new WAL size into the bank-wide byte gauge.
+    fn adjust_wal_bytes(&self, known: &mut u64, now: u64) {
+        if now >= *known {
+            self.wal_bytes.fetch_add(now - *known, Ordering::SeqCst);
+        } else {
+            self.wal_bytes.fetch_sub(*known - now, Ordering::SeqCst);
+        }
+        *known = now;
+    }
 }
 
 /// Everything a merge needs to rebuild an export engine: the bank's
@@ -397,6 +454,45 @@ impl<K: SketchKey> SnapshotReader<K> {
     pub fn is_sealed(&self) -> bool {
         self.shared.sealed.load(Ordering::SeqCst)
     }
+
+    /// True if the bank persists per-shard WALs and checkpoints
+    /// ([`ConcurrentSketchBuilder::build_durable`]).
+    pub fn is_durable(&self) -> bool {
+        self.shared.durable
+    }
+
+    /// Live bytes held by all shard write-ahead logs (0 for volatile
+    /// banks). Shrinks when checkpoints truncate the logs.
+    pub fn wal_bytes(&self) -> u64 {
+        self.shared.wal_bytes.load(Ordering::SeqCst)
+    }
+
+    /// The newest *coordinated* checkpoint round every shard has
+    /// completed (0 before the first round, or for volatile banks).
+    /// Written only when a round finishes, so it never reports an epoch
+    /// some shard has not reached; the per-shard drain checkpoints may
+    /// be one round newer than this gauge.
+    pub fn last_checkpoint_epoch(&self) -> u64 {
+        self.shared.last_checkpoint_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Requests a coordinated checkpoint round across every shard and
+    /// waits up to `timeout` for it to complete, returning the epoch all
+    /// shards reached. Returns `None` for volatile banks, after a drain,
+    /// or on timeout. Any number of threads may request concurrently;
+    /// the checkpointer coalesces pending requests into one round.
+    pub fn request_checkpoint(&self, timeout: Duration) -> Option<u64> {
+        if !self.shared.durable || self.shared.sealed.load(Ordering::SeqCst) {
+            return None;
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.shared
+            .ckpt_requests
+            .lock()
+            .expect("ckpt queue poisoned")
+            .push(tx);
+        rx.recv_timeout(timeout).ok()
+    }
 }
 
 /// Configures and constructs a [`ConcurrentSketch`].
@@ -474,13 +570,9 @@ impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketchBuilder<K> {
         self
     }
 
-    /// Builds the sketch and spawns its shard workers (and the periodic
-    /// publisher, if configured).
-    ///
-    /// # Errors
-    /// Returns [`Error::InvalidConfig`] if `num_shards` is zero or any
-    /// engine configuration is invalid.
-    pub fn build(self) -> Result<ConcurrentSketch<K>, Error> {
+    /// Validates the configuration and builds the merge config plus the
+    /// engine the initial (pre-publish) snapshot serves from.
+    fn validated_parts(&self) -> Result<(MergeConfig, SketchEngine<K>), Error> {
         if self.num_shards == 0 {
             return Err(Error::InvalidConfig("num_shards must be positive".into()));
         }
@@ -495,34 +587,37 @@ impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketchBuilder<K> {
             .policy(self.policy)
             .seed(self.seed)
             .build()?;
-        let engines: Vec<SketchEngine<K>> = (0..self.num_shards)
-            .map(|s| {
-                SketchEngineBuilder::new(self.counters_per_shard)
-                    .policy(self.policy)
-                    .seed(self.seed.wrapping_add(s as u64))
-                    .grow_from_small(self.grow_from_small)
-                    .build()
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        let shared = Arc::new(Shared {
-            snapshot: RwLock::new(Arc::new(Snapshot {
-                engine: initial_snapshot_engine,
-                epoch: 0,
-                sealed: false,
-            })),
-            epoch: AtomicU64::new(0),
-            enqueued_weight: AtomicU64::new(0),
-            sealed: AtomicBool::new(false),
-            publish_lock: Mutex::new(()),
-        });
-        let mut senders = Vec::with_capacity(self.num_shards);
-        let mut workers = Vec::with_capacity(self.num_shards);
-        for (s, engine) in engines.into_iter().enumerate() {
+        Ok((merge_config, initial_snapshot_engine))
+    }
+
+    /// The per-shard engine configuration (shard `s` seeds at `seed + s`).
+    fn shard_config(&self, s: usize) -> EngineConfig {
+        EngineConfig {
+            max_counters: self.counters_per_shard,
+            policy: self.policy,
+            seed: self.seed.wrapping_add(s as u64),
+            grow_from_small: self.grow_from_small,
+        }
+    }
+
+    /// Spawns the shard workers over arbitrary backends and assembles
+    /// the sketch (plus its publisher and, for durable banks, its
+    /// checkpointer).
+    fn assemble<B: ShardBackend<K>>(
+        &self,
+        backends: Vec<B>,
+        shared: Arc<Shared<K>>,
+        merge_config: MergeConfig,
+        checkpoint_interval: Option<Duration>,
+    ) -> ConcurrentSketch<K> {
+        let mut senders = Vec::with_capacity(backends.len());
+        let mut workers = Vec::with_capacity(backends.len());
+        for (s, backend) in backends.into_iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel::<Msg<K>>(self.channel_capacity);
             senders.push(tx);
             let handle = std::thread::Builder::new()
                 .name(format!("streamfreq-shard-{s}"))
-                .spawn(move || shard_worker(engine, rx))
+                .spawn(move || shard_worker(backend, rx))
                 .expect("failed to spawn shard worker");
             workers.push(handle);
         }
@@ -545,36 +640,309 @@ impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketchBuilder<K> {
                 })
                 .expect("failed to spawn publisher")
         });
-        Ok(ConcurrentSketch {
+        let checkpointer = shared.durable.then(|| {
+            let shared = Arc::clone(&shared);
+            let senders = senders.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("streamfreq-checkpointer".into())
+                .spawn(move || checkpointer_loop(&shared, &senders, checkpoint_interval, &stop))
+                .expect("failed to spawn checkpointer")
+        });
+        ConcurrentSketch {
             senders,
             workers,
             publisher,
+            checkpointer,
             stop,
             shared,
             merge_config,
             drained_shards: None,
-        })
+        }
+    }
+
+    /// Builds the sketch and spawns its shard workers (and the periodic
+    /// publisher, if configured).
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] if `num_shards` is zero or any
+    /// engine configuration is invalid.
+    pub fn build(self) -> Result<ConcurrentSketch<K>, Error> {
+        let (merge_config, initial_snapshot_engine) = self.validated_parts()?;
+        let backends: Vec<VolatileShard<K>> = (0..self.num_shards)
+            .map(|s| self.shard_config(s).build_engine().map(VolatileShard))
+            .collect::<Result<Vec<_>, _>>()?;
+        let shared = Shared::new(
+            Snapshot {
+                engine: initial_snapshot_engine,
+                epoch: 0,
+                sealed: false,
+            },
+            false,
+            0,
+            0,
+        );
+        Ok(self.assemble(backends, shared, merge_config, None))
+    }
+
+    /// Builds a **durable** bank over the store directory `dir`: every
+    /// shard gets its own write-ahead-logged [`DurableSketch`] in
+    /// `dir/shard-<s>/`, any existing state is recovered first
+    /// (per-shard `checkpoint ⊕ replay`, then an Algorithm-5 merge of
+    /// the recovered shards is installed as the initial snapshot), and a
+    /// checkpointer thread services on-demand checkpoint requests
+    /// ([`SnapshotReader::request_checkpoint`]) plus the optional
+    /// periodic `checkpoint_interval`.
+    ///
+    /// Returns the sketch and the per-shard recovery reports.
+    ///
+    /// Persistence I/O failures on the hot path are fatal for the
+    /// affected shard worker (it panics; [`ConcurrentSketch::drain`]
+    /// surfaces the panic) — silently continuing without a log would
+    /// break the recovery contract.
+    ///
+    /// # Errors
+    /// [`PersistError::ConfigMismatch`] if `dir` holds a store built
+    /// with a different bank configuration; [`PersistError::Corrupt`]
+    /// for damaged on-disk state; I/O and configuration errors
+    /// otherwise.
+    pub fn build_durable(
+        self,
+        dir: &Path,
+        durability: DurabilityOptions,
+        checkpoint_interval: Option<Duration>,
+    ) -> Result<(ConcurrentSketch<K>, Vec<RecoveryReport>), PersistError>
+    where
+        K: ItemCodec,
+    {
+        let (merge_config, _) = self.validated_parts()?;
+        std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, e))?;
+        let meta = StoreMeta {
+            num_shards: self.num_shards,
+            counters_per_shard: self.counters_per_shard,
+            merged_capacity: self.merged_capacity,
+            policy: self.policy,
+            seed: self.seed,
+        };
+        match read_store_meta(dir)? {
+            Some(existing) if existing != meta => {
+                return Err(PersistError::ConfigMismatch(format!(
+                    "store in {} was created as {existing:?}, requested {meta:?}",
+                    dir.display()
+                )));
+            }
+            Some(_) => {}
+            None => write_store_meta(dir, &meta)?,
+        }
+        let mut stores = Vec::with_capacity(self.num_shards);
+        let mut reports = Vec::with_capacity(self.num_shards);
+        for s in 0..self.num_shards {
+            let (store, report) =
+                DurableSketch::<K>::open(&shard_dir(dir, s), self.shard_config(s), durability)?;
+            stores.push(store);
+            reports.push(report);
+        }
+        // Recovery merges the shards exactly as live snapshot publishes
+        // do (Algorithm 5, shard order), so queries see the recovered
+        // state before the first post-restart publish.
+        let recovered = reports
+            .iter()
+            .any(|r| !matches!(r.source, crate::persist::RecoverySource::Fresh));
+        let mut initial = merge_config.fresh_engine::<K>();
+        let mut enqueued = 0u64;
+        let mut last_ckpt = u64::MAX;
+        for store in &stores {
+            initial.merge(store.engine());
+            enqueued += store.engine().stream_weight();
+            last_ckpt = last_ckpt.min(store.last_checkpoint_epoch());
+        }
+        let shared = Shared::new(
+            Snapshot {
+                engine: initial,
+                epoch: u64::from(recovered),
+                sealed: false,
+            },
+            true,
+            enqueued,
+            if last_ckpt == u64::MAX { 0 } else { last_ckpt },
+        );
+        let backends: Vec<DurableShard<K>> = stores
+            .into_iter()
+            .map(|store| DurableShard {
+                // The gauge below is seeded with the recovered sizes;
+                // starting the delta baseline anywhere else would
+                // double-count them on the first append.
+                known_wal_bytes: store.wal_bytes(),
+                store,
+                shared: Arc::clone(&shared),
+            })
+            .collect();
+        // Seed the WAL byte gauge with the recovered on-disk sizes.
+        for backend in &backends {
+            shared
+                .wal_bytes
+                .fetch_add(backend.store.wal_bytes(), Ordering::SeqCst);
+        }
+        let sketch = self.assemble(backends, shared, merge_config, checkpoint_interval);
+        Ok((sketch, reports))
     }
 }
 
-/// The shard worker loop: drain the channel into the owned engine;
-/// answer snapshot probes with a clone. Returns the engine when every
+/// The checkpointer thread: services on-demand checkpoint requests and
+/// the optional periodic interval with coordinated rounds — one
+/// [`Msg::Checkpoint`] probe per shard, replies collected in shard
+/// order. Reports the *minimum* epoch across shards (the round every
+/// shard has completed).
+fn checkpointer_loop<K: SketchKey>(
+    shared: &Shared<K>,
+    senders: &[SyncSender<Msg<K>>],
+    interval: Option<Duration>,
+    stop: &AtomicBool,
+) {
+    let mut last = Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        let pending: Vec<SyncSender<u64>> = {
+            let mut queue = shared.ckpt_requests.lock().expect("ckpt queue poisoned");
+            queue.drain(..).collect()
+        };
+        let due = interval.is_some_and(|iv| last.elapsed() >= iv);
+        if pending.is_empty() && !due {
+            std::thread::sleep(PUBLISHER_TICK);
+            continue;
+        }
+        let mut replies = Vec::with_capacity(senders.len());
+        let mut alive = true;
+        for sender in senders {
+            let (tx, rx) = mpsc::sync_channel(1);
+            if sender.send(Msg::Checkpoint(tx)).is_err() {
+                alive = false;
+                break;
+            }
+            replies.push(rx);
+        }
+        let mut round = u64::MAX;
+        if alive {
+            for reply in replies {
+                match reply.recv() {
+                    Ok(epoch) => round = round.min(epoch),
+                    Err(_) => {
+                        alive = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !alive {
+            break;
+        }
+        shared.last_checkpoint_epoch.store(round, Ordering::SeqCst);
+        for requester in pending {
+            let _ = requester.send(round);
+        }
+        last = Instant::now();
+    }
+    // Unanswered requesters observe the disconnect and report failure.
+    shared
+        .ckpt_requests
+        .lock()
+        .expect("ckpt queue poisoned")
+        .clear();
+}
+
+/// What a shard worker drives: either a bare engine (volatile, the
+/// original behaviour) or a [`DurableSketch`] that logs every batch
+/// before applying it. Abstracting the storage keeps one worker loop —
+/// and one set of ordering/determinism guarantees — for both modes.
+trait ShardBackend<K: SketchKey>: Send + 'static {
+    /// Applies one batch (logging it first, if durable).
+    fn apply_batch(&mut self, batch: &[(K, u64)]);
+    /// The live engine, for snapshot probes.
+    fn engine(&self) -> &SketchEngine<K>;
+    /// Persists a checkpoint and returns its epoch (0 if volatile).
+    fn checkpoint(&mut self) -> u64;
+    /// Final teardown at drain: persists a last checkpoint (if durable)
+    /// and releases the engine.
+    fn finish(self) -> SketchEngine<K>;
+}
+
+/// The volatile backend: exactly the pre-durability worker state.
+struct VolatileShard<K: SketchKey>(SketchEngine<K>);
+
+impl<K: SketchKey + Send + 'static> ShardBackend<K> for VolatileShard<K> {
+    fn apply_batch(&mut self, batch: &[(K, u64)]) {
+        self.0.update_batch(batch);
+    }
+    fn engine(&self) -> &SketchEngine<K> {
+        &self.0
+    }
+    fn checkpoint(&mut self) -> u64 {
+        0
+    }
+    fn finish(self) -> SketchEngine<K> {
+        self.0
+    }
+}
+
+/// The durable backend: every batch goes through the shard's WAL, and
+/// checkpoint probes persist + truncate. Persistence failures are
+/// treated as fatal for the shard (the worker panics with context and
+/// [`ConcurrentSketch::drain`] surfaces it): continuing to ingest while
+/// silently not logging would break the recovery contract.
+struct DurableShard<K: SketchKey + ItemCodec> {
+    store: DurableSketch<K>,
+    shared: Arc<Shared<K>>,
+    known_wal_bytes: u64,
+}
+
+impl<K: SketchKey + ItemCodec + Send + Sync + 'static> ShardBackend<K> for DurableShard<K> {
+    fn apply_batch(&mut self, batch: &[(K, u64)]) {
+        self.store
+            .update_batch(batch)
+            .expect("shard WAL append failed");
+        self.shared
+            .adjust_wal_bytes(&mut self.known_wal_bytes, self.store.wal_bytes());
+    }
+    fn engine(&self) -> &SketchEngine<K> {
+        self.store.engine()
+    }
+    fn checkpoint(&mut self) -> u64 {
+        let epoch = self.store.checkpoint().expect("shard checkpoint failed");
+        self.shared
+            .adjust_wal_bytes(&mut self.known_wal_bytes, self.store.wal_bytes());
+        // The epoch gauge is written only by the checkpointer's
+        // round-minimum: a per-shard update here would transiently
+        // report an epoch other shards have not completed yet.
+        epoch
+    }
+    fn finish(mut self) -> SketchEngine<K> {
+        // Drain seals the bank; one last checkpoint makes the sealed
+        // state instantly recoverable without any WAL replay.
+        self.checkpoint();
+        self.store.into_engine()
+    }
+}
+
+/// The shard worker loop: drain the channel into the owned backend;
+/// answer snapshot and checkpoint probes. Returns the engine when every
 /// sender is gone (drain).
-fn shard_worker<K: SketchKey>(
-    mut engine: SketchEngine<K>,
+fn shard_worker<K: SketchKey, B: ShardBackend<K>>(
+    mut backend: B,
     rx: Receiver<Msg<K>>,
 ) -> SketchEngine<K> {
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Batch(batch) => engine.update_batch(&batch),
+            Msg::Batch(batch) => backend.apply_batch(&batch),
             Msg::Probe(reply) => {
                 // A dropped reply receiver (publisher raced shutdown)
                 // must not kill the worker.
-                let _ = reply.send(engine.clone());
+                let _ = reply.send(backend.engine().clone());
+            }
+            Msg::Checkpoint(reply) => {
+                let _ = reply.send(backend.checkpoint());
             }
         }
     }
-    engine
+    backend.finish()
 }
 
 /// A bank of sketch shards ingesting concurrently behind bounded
@@ -585,6 +953,7 @@ pub struct ConcurrentSketch<K: SketchKey + Send + Sync + 'static> {
     senders: Vec<SyncSender<Msg<K>>>,
     workers: Vec<JoinHandle<SketchEngine<K>>>,
     publisher: Option<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     shared: Arc<Shared<K>>,
     merge_config: MergeConfig,
@@ -701,6 +1070,14 @@ impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketch<K> {
         self.snapshot()
     }
 
+    /// Synchronously checkpoints every shard (durable banks only): a
+    /// coordinated round covering every update whose enqueue completed
+    /// before this call. Returns the epoch all shards reached, or `None`
+    /// for volatile banks / after drain / on timeout (30 s).
+    pub fn checkpoint_now(&self) -> Option<u64> {
+        self.reader().request_checkpoint(Duration::from_secs(30))
+    }
+
     /// Graceful shutdown of ingestion: stops the periodic publisher,
     /// closes the shard channels, joins every worker after it drains its
     /// backlog, publishes the final **sealed** merged snapshot, and
@@ -716,6 +1093,9 @@ impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketch<K> {
             self.stop.store(true, Ordering::SeqCst);
             if let Some(publisher) = self.publisher.take() {
                 publisher.join().expect("publisher thread panicked");
+            }
+            if let Some(checkpointer) = self.checkpointer.take() {
+                checkpointer.join().expect("checkpointer thread panicked");
             }
             self.senders.clear();
             let shards: Vec<SketchEngine<K>> = self
@@ -756,6 +1136,9 @@ impl<K: SketchKey + Send + Sync + 'static> Drop for ConcurrentSketch<K> {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(publisher) = self.publisher.take() {
             let _ = publisher.join();
+        }
+        if let Some(checkpointer) = self.checkpointer.take() {
+            let _ = checkpointer.join();
         }
         self.senders.clear();
         for worker in self.workers.drain(..) {
@@ -872,6 +1255,126 @@ mod tests {
                 .build(),
             Err(Error::InvalidConfig(_))
         ));
+    }
+
+    fn tmp_store(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("streamfreq-concurrent-durable")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durability() -> DurabilityOptions {
+        DurabilityOptions {
+            fsync: crate::persist::FsyncPolicy::Off,
+            segment_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn durable_bank_survives_reopen_with_exact_state() {
+        let dir = tmp_store("reopen");
+        let stream = test_stream(25_000);
+        let total: u64 = stream.iter().map(|&(_, w)| w).sum();
+
+        let (mut sketch, reports) = ConcurrentSketch::<u64>::builder(4, 64)
+            .seed(3)
+            .build_durable(&dir, durability(), None)
+            .unwrap();
+        assert!(reports
+            .iter()
+            .all(|r| matches!(r.source, crate::persist::RecoverySource::Fresh)));
+        assert!(sketch.reader().is_durable());
+        sketch.ingest_slice_parallel(&stream, 2);
+        let epoch = sketch.checkpoint_now().expect("checkpoint round");
+        assert!(epoch >= 1);
+        assert_eq!(sketch.reader().last_checkpoint_epoch(), epoch);
+        sketch.drain();
+        let sealed_fp = sketch.snapshot().engine().state_fingerprint();
+        assert_eq!(sketch.snapshot().stream_weight(), total);
+        drop(sketch);
+
+        // Reopen: the recovered initial snapshot equals the sealed one,
+        // before any new ingestion or publish.
+        let (mut sketch, reports) = ConcurrentSketch::<u64>::builder(4, 64)
+            .seed(3)
+            .build_durable(&dir, durability(), None)
+            .unwrap();
+        assert!(reports
+            .iter()
+            .all(|r| matches!(r.source, crate::persist::RecoverySource::CheckpointOnly)));
+        let snap = sketch.snapshot();
+        assert_eq!(snap.epoch(), 1, "recovered state published at epoch 1");
+        assert_eq!(snap.stream_weight(), total);
+        assert_eq!(snap.engine().state_fingerprint(), sealed_fp);
+        assert_eq!(sketch.reader().enqueued_weight(), total);
+
+        // And the bank keeps ingesting where it left off.
+        sketch.ingest_slice_parallel(&stream, 1);
+        sketch.drain();
+        assert_eq!(sketch.snapshot().stream_weight(), 2 * total);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal() {
+        let dir = tmp_store("truncate");
+        let (mut sketch, _) = ConcurrentSketch::<u64>::builder(2, 64)
+            .build_durable(&dir, durability(), None)
+            .unwrap();
+        sketch.ingest_slice_parallel(&test_stream(20_000), 1);
+        sketch.publish_now(); // barrier: all batches applied (FIFO)
+        let before = sketch.reader().wal_bytes();
+        assert!(before > 0);
+        sketch.checkpoint_now().unwrap();
+        let after = sketch.reader().wal_bytes();
+        assert!(after < before, "WAL not truncated: {before} -> {after}");
+        sketch.drain();
+    }
+
+    #[test]
+    fn periodic_checkpointer_advances_epochs() {
+        let dir = tmp_store("periodic");
+        let (sketch, _) = ConcurrentSketch::<u64>::builder(2, 32)
+            .build_durable(&dir, durability(), Some(Duration::from_millis(5)))
+            .unwrap();
+        let mut writer = sketch.writer();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while sketch.reader().last_checkpoint_epoch() < 2 {
+            writer.write(1, 1);
+            writer.flush();
+            assert!(Instant::now() < deadline, "checkpointer made no progress");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drop(writer);
+    }
+
+    #[test]
+    fn volatile_bank_reports_no_durability() {
+        let sketch: ConcurrentSketch<u64> = ConcurrentSketch::builder(2, 32).build().unwrap();
+        assert!(!sketch.reader().is_durable());
+        assert_eq!(sketch.reader().wal_bytes(), 0);
+        assert_eq!(sketch.checkpoint_now(), None);
+        assert_eq!(
+            sketch
+                .reader()
+                .request_checkpoint(Duration::from_millis(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn durable_rejects_reconfigured_store() {
+        let dir = tmp_store("reconfigure");
+        let (sketch, _) = ConcurrentSketch::<u64>::builder(2, 32)
+            .build_durable(&dir, durability(), None)
+            .unwrap();
+        drop(sketch);
+        match ConcurrentSketch::<u64>::builder(4, 32).build_durable(&dir, durability(), None) {
+            Err(PersistError::ConfigMismatch(_)) => {}
+            Err(other) => panic!("wrong error: {other:?}"),
+            Ok(_) => panic!("reconfigured store accepted"),
+        }
     }
 
     #[test]

@@ -331,8 +331,10 @@ impl<K: SketchKey> SketchEngine<K> {
 
     /// The current purge capacity: at the maximum table size, exactly
     /// `max_counters`; while growing, 3/4 of the current table length.
+    /// Crate-visible so the persistence layer can validate that a
+    /// checkpointed counter count respects the capacity discipline.
     #[inline]
-    fn capacity_now(&self) -> usize {
+    pub(crate) fn capacity_now(&self) -> usize {
         if self.lg_cur == self.lg_max {
             self.max_counters
         } else {

@@ -59,6 +59,7 @@
 //! | [`result`] | heavy-hitter rows and reporting contracts |
 //! | [`codec`] | versioned binary wire format (on `SketchEngine<u64>`) |
 //! | [`item_codec`] | per-type wire encodings for [`ItemsSketch`] |
+//! | [`persist`] | durability: CRC-framed WAL, atomic checkpoints, crash recovery ([`DurableSketch`]) |
 //! | [`hashing`], [`rng`] | deterministic hashing and sampling substrate |
 //!
 //! ## Guarantees
@@ -100,6 +101,7 @@ pub mod error;
 pub mod hashing;
 pub mod item_codec;
 pub mod items;
+pub mod persist;
 pub mod purge;
 pub mod result;
 pub mod rng;
@@ -117,6 +119,7 @@ pub use concurrent::{
 pub use engine::{SketchEngine, SketchEngineBuilder, SketchKey};
 pub use error::Error;
 pub use items::{ItemsSketch, ItemsSketchBuilder};
+pub use persist::{DurabilityOptions, DurableSketch, EngineConfig, FsyncPolicy, PersistError};
 pub use purge::PurgePolicy;
 pub use result::{ErrorType, Row};
 pub use sharded::{ShardedSketch, ShardedSketchBuilder};

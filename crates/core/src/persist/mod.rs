@@ -1,0 +1,373 @@
+//! Durable sketch storage: write-ahead logging, atomic checkpoints, and
+//! crash recovery.
+//!
+//! The serving layer ([`crate::ConcurrentSketch`]) answers queries during
+//! live ingestion, but a process crash loses the stream — and every ε·N
+//! guarantee with it. This module makes sketch state survive restarts
+//! with the cheapest durability story a mergeable summary allows: because
+//! the sketch is a *small* state machine driven by weighted batches, a
+//! recovered sketch is just
+//!
+//! ```text
+//! recovered = checkpoint ⊕ replay(WAL tail)
+//! ```
+//!
+//! and Algorithm 5's mergeability extends the same recipe to a bank of
+//! shards (each shard recovers independently; queries merge the
+//! recovered shards exactly as live snapshots do).
+//!
+//! ## Pieces
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`wal`] | segmented, CRC-framed write-ahead log of update batches |
+//! | [`checkpoint`] | atomic (temp-file + rename) full-state snapshots, **slot-exact** |
+//! | [`store`] | [`DurableSketch<K>`](store::DurableSketch): engine + WAL + manifest; log truncation after checkpoints |
+//! | [`recover`] | manifest-driven recovery: load checkpoint, replay tail, drop torn records |
+//!
+//! ## Guarantees
+//!
+//! * **Exactness.** Recovery reproduces the engine state
+//!   *fingerprint-identically* to an uninterrupted run over the durably
+//!   logged prefix of the stream: the checkpoint records the counter
+//!   table slot-for-slot (re-feeding counters through the normal insert
+//!   path cannot reproduce wrap-around probe clusters, so a refeed-based
+//!   rebuild could diverge from the original layout and change future
+//!   purge sampling), and WAL replay drives the same
+//!   [`update_batch`](crate::SketchEngine::update_batch) path ingestion
+//!   used. Pinned by the kill-point proptests in `tests/persist.rs`.
+//! * **Torn writes are dropped, never misdecoded.** Every WAL frame and
+//!   every checkpoint carries a CRC-32C; a truncated or bit-flipped
+//!   final record fails its checksum and recovery cleanly ends the
+//!   replay there.
+//! * **Atomic progress.** Checkpoints and the manifest are published via
+//!   temp-file + rename (with directory fsync); a crash at any point
+//!   leaves either the old or the new state reachable, never a mix.
+//!
+//! What is durable depends on [`FsyncPolicy`]: `Always` makes every
+//! acknowledged batch crash-proof, `EveryBytes` bounds the data-loss
+//! window, `Off` leaves flushing to the OS (process crashes are still
+//! safe; power loss may drop the un-flushed tail — which recovery then
+//! detects and drops cleanly).
+
+pub mod checkpoint;
+pub mod recover;
+pub mod store;
+pub mod wal;
+
+pub use recover::{RecoveryReport, RecoverySource};
+pub use store::{DurabilityOptions, DurableSketch, Manifest, StoreMeta};
+pub use wal::{WalPosition, WalRecord};
+
+use std::path::PathBuf;
+
+use crate::error::Error;
+use crate::purge::PurgePolicy;
+
+/// When the write-ahead log forces its buffered bytes to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended batch: no acknowledged update is ever
+    /// lost, at the cost of one synchronous disk flush per batch.
+    Always,
+    /// `fsync` once at least this many bytes have been appended since the
+    /// last flush: bounds the crash-loss window to the given byte budget.
+    EveryBytes(u64),
+    /// Never `fsync` from the hot path: the OS flushes at its leisure.
+    /// Process crashes lose nothing (the page cache survives); power loss
+    /// may drop the unflushed tail, which recovery detects and drops.
+    Off,
+}
+
+impl FsyncPolicy {
+    /// The policy's stable textual label, as accepted by
+    /// [`FsyncPolicy::parse`] and reported by the `serve` STATS verb:
+    /// `always`, `off`, or `bytes:N`.
+    pub fn label(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".into(),
+            FsyncPolicy::Off => "off".into(),
+            FsyncPolicy::EveryBytes(n) => format!("bytes:{n}"),
+        }
+    }
+
+    /// Parses a [`Self::label`]-format policy string.
+    ///
+    /// # Errors
+    /// Returns a description of the expected grammar on bad input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "off" => Ok(FsyncPolicy::Off),
+            other => {
+                if let Some(n) = other.strip_prefix("bytes:") {
+                    let n: u64 = n
+                        .parse()
+                        .map_err(|_| format!("bad fsync byte budget `{n}`"))?;
+                    if n == 0 {
+                        return Err("fsync byte budget must be positive (use `always`)".into());
+                    }
+                    Ok(FsyncPolicy::EveryBytes(n))
+                } else {
+                    Err(format!(
+                        "unknown fsync policy `{other}` (want always|off|bytes:N)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl Default for FsyncPolicy {
+    /// Flush every 8 MiB: a bounded loss window without per-batch flushes.
+    fn default() -> Self {
+        FsyncPolicy::EveryBytes(8 << 20)
+    }
+}
+
+/// Errors reported by the persistence layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// A filesystem operation failed on a path.
+    Io {
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// On-disk bytes failed validation (checksum mismatch, bad framing,
+    /// impossible field values, references to missing files).
+    Corrupt {
+        /// The file (or directory) the corruption was found in.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The store on disk was created with a different configuration than
+    /// the one requested.
+    ConfigMismatch(String),
+    /// A sketch-level error (invalid configuration or codec failure)
+    /// surfaced while rebuilding state.
+    Sketch(Error),
+}
+
+impl PersistError {
+    pub(crate) fn io(path: &std::path::Path, source: std::io::Error) -> Self {
+        PersistError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(path: &std::path::Path, detail: impl Into<String>) -> Self {
+        PersistError::Corrupt {
+            path: path.to_path_buf(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            PersistError::Corrupt { path, detail } => {
+                write!(f, "{}: corrupt store: {detail}", path.display())
+            }
+            PersistError::ConfigMismatch(msg) => write!(f, "store configuration mismatch: {msg}"),
+            PersistError::Sketch(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Sketch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Error> for PersistError {
+    fn from(e: Error) -> Self {
+        PersistError::Sketch(e)
+    }
+}
+
+/// The construction parameters of a [`crate::SketchEngine`], as recorded
+/// in store manifests: recovery without a checkpoint (a crash before the
+/// first one) must rebuild the engine *exactly* as the original run
+/// started it, including the initial table size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Maximum assigned counters (the paper's `k`).
+    pub max_counters: usize,
+    /// Purge policy.
+    pub policy: PurgePolicy,
+    /// Purge-sampler seed.
+    pub seed: u64,
+    /// Whether the table grows from 8 slots or preallocates.
+    pub grow_from_small: bool,
+}
+
+impl EngineConfig {
+    /// A default-policy, default-seed configuration for `max_counters`
+    /// counters (the [`crate::SketchEngineBuilder`] defaults).
+    pub fn new(max_counters: usize) -> Self {
+        EngineConfig {
+            max_counters,
+            policy: PurgePolicy::default(),
+            seed: crate::engine::DEFAULT_SEED,
+            grow_from_small: true,
+        }
+    }
+
+    /// Sets the purge policy.
+    pub fn policy(mut self, policy: PurgePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the sampler seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the table-growth mode.
+    pub fn grow_from_small(mut self, grow: bool) -> Self {
+        self.grow_from_small = grow;
+        self
+    }
+
+    /// Builds a fresh engine with this configuration.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] exactly as the builder would.
+    pub fn build_engine<K: crate::engine::SketchKey>(
+        &self,
+    ) -> Result<crate::engine::SketchEngine<K>, Error> {
+        crate::engine::SketchEngineBuilder::new(self.max_counters)
+            .policy(self.policy)
+            .seed(self.seed)
+            .grow_from_small(self.grow_from_small)
+            .build()
+    }
+}
+
+/// Publishes `bytes` at `path` atomically: write to a sibling `.tmp`
+/// file, fsync it, rename over `path`, fsync the parent directory. A
+/// crash at any point leaves either the old file or the new one, never
+/// a torn mix. One implementation for every self-validating file the
+/// store writes (checkpoints, MANIFEST, STORE).
+pub(crate) fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| PersistError::io(&tmp, e))?;
+        std::io::Write::write_all(&mut file, bytes).map_err(|e| PersistError::io(&tmp, e))?;
+        file.sync_all().map_err(|e| PersistError::io(&tmp, e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| PersistError::io(path, e))?;
+    if let Some(parent) = path.parent() {
+        wal::fsync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// Verifies the trailing CRC-32C of a self-validating file and returns
+/// the covered bytes — the shared decode gate for checkpoints, the
+/// manifest, and the store metadata.
+pub(crate) fn verify_trailing_crc(bytes: &[u8]) -> Result<&[u8], Error> {
+    if bytes.len() < 4 {
+        return Err(Error::Truncated {
+            needed: 4 - bytes.len(),
+            remaining: bytes.len(),
+        });
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("sized split"));
+    if crc32c(body) != stored {
+        return Err(Error::Corrupt("checksum mismatch".into()));
+    }
+    Ok(body)
+}
+
+/// CRC-32C (Castagnoli) of `bytes` — the checksum guarding every WAL
+/// frame, checkpoint, and manifest. Table-driven software implementation;
+/// the polynomial matches iSCSI/ext4 so external tooling can verify the
+/// files.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    const POLY: u32 = 0x82F6_3B78; // reversed Castagnoli polynomial
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_matches_known_vectors() {
+        // RFC 3720 §B.4 test vectors.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn fsync_policy_labels_roundtrip() {
+        for policy in [
+            FsyncPolicy::Always,
+            FsyncPolicy::Off,
+            FsyncPolicy::EveryBytes(8 << 20),
+            FsyncPolicy::EveryBytes(1),
+        ] {
+            assert_eq!(FsyncPolicy::parse(&policy.label()).unwrap(), policy);
+        }
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert!(FsyncPolicy::parse("bytes:0").is_err());
+        assert!(FsyncPolicy::parse("bytes:lots").is_err());
+    }
+
+    #[test]
+    fn engine_config_builds_equivalently_to_builder() {
+        let config = EngineConfig::new(64).seed(9).grow_from_small(false);
+        let from_config: crate::SketchEngine<u64> = config.build_engine().unwrap();
+        let from_builder = crate::SketchEngineBuilder::<u64>::new(64)
+            .seed(9)
+            .grow_from_small(false)
+            .build()
+            .unwrap();
+        assert_eq!(
+            from_config.state_fingerprint(),
+            from_builder.state_fingerprint()
+        );
+    }
+}

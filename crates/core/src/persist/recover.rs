@@ -1,0 +1,447 @@
+//! Crash recovery: turn a store directory back into a live engine.
+//!
+//! Recovery is manifest-driven:
+//!
+//! 1. read `MANIFEST` (its CRC protects the pointer itself);
+//! 2. load the checkpoint it names, if any — slot-exact, so the engine
+//!    resumes in the precise state it was checkpointed in;
+//! 3. replay the WAL from the manifest's position through the normal
+//!    [`update_batch`](crate::SketchEngine::update_batch) path, stopping
+//!    cleanly at a torn tail (detected by CRC, dropped, never
+//!    misdecoded);
+//! 4. truncate the torn bytes and reopen the log for appending.
+//!
+//! Every degenerate layout recovers deliberately:
+//!
+//! | on disk | outcome |
+//! |---|---|
+//! | nothing | fresh store (manifest written, WAL segment 1 created) |
+//! | manifest, no checkpoint, empty WAL | fresh engine from the recorded config |
+//! | manifest, no checkpoint, WAL records | **WAL-only**: fresh engine + full replay |
+//! | manifest + checkpoint, empty tail | checkpoint state verbatim |
+//! | manifest + checkpoint + tail | checkpoint ⊕ replay |
+//! | WAL segments but no manifest | tolerant full replay from the oldest segment |
+//! | manifest → missing checkpoint/segment | clean [`PersistError::Corrupt`], never a panic |
+
+use std::path::Path;
+
+use crate::engine::{SketchEngine, SketchKey};
+use crate::item_codec::ItemCodec;
+
+use super::store::{read_manifest, write_manifest, DurabilityOptions, DurableSketch, Manifest};
+use super::wal::{self, WalPosition, WalWriter, SEGMENT_HEADER_LEN};
+use super::{EngineConfig, PersistError};
+
+/// Where a recovered engine's state came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// No prior state: a new store was created.
+    Fresh,
+    /// No checkpoint yet; the whole WAL was replayed into a fresh engine.
+    WalOnly,
+    /// A checkpoint with an empty WAL tail.
+    CheckpointOnly,
+    /// A checkpoint plus a replayed WAL tail.
+    CheckpointAndWal,
+}
+
+/// What recovery did, for reporting and tests.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryReport {
+    /// Which of the recovery paths ran.
+    pub source: RecoverySource,
+    /// Epoch of the loaded checkpoint (0 if none).
+    pub checkpoint_epoch: u64,
+    /// WAL records (batches) replayed.
+    pub records_replayed: u64,
+    /// Individual weighted updates replayed.
+    pub updates_replayed: u64,
+    /// Torn/corrupt tail bytes dropped from the last segment.
+    pub dropped_tail_bytes: u64,
+}
+
+impl RecoveryReport {
+    fn fresh() -> Self {
+        RecoveryReport {
+            source: RecoverySource::Fresh,
+            checkpoint_epoch: 0,
+            records_replayed: 0,
+            updates_replayed: 0,
+            dropped_tail_bytes: 0,
+        }
+    }
+}
+
+/// Recovered state plus the log position appending should resume at.
+struct LoadedState<K: SketchKey> {
+    engine: SketchEngine<K>,
+    config: EngineConfig,
+    epoch: u64,
+    wal_end: WalPosition,
+    report: RecoveryReport,
+}
+
+/// Core recovery: rebuilds the engine from an existing store directory
+/// without mutating anything on disk.
+fn load_state<K: SketchKey + ItemCodec>(
+    dir: &Path,
+    manifest: Option<Manifest>,
+) -> Result<LoadedState<K>, PersistError> {
+    let manifest = match manifest {
+        Some(m) => m,
+        None => {
+            // No manifest: tolerate a store that lost it (or predates
+            // it) by replaying whatever segments exist — but only if the
+            // caller-supplied config path provides one, which
+            // `open_sketch` handles; reaching here without a manifest is
+            // a bug, so fail cleanly.
+            return Err(PersistError::corrupt(dir, "store has no manifest"));
+        }
+    };
+    let (mut engine, ckpt_epoch) = match &manifest.checkpoint {
+        Some(name) => {
+            let (engine, epoch) = super::checkpoint::read_checkpoint::<K>(&dir.join(name))?;
+            if epoch != manifest.epoch {
+                return Err(PersistError::corrupt(
+                    dir,
+                    format!(
+                        "manifest epoch {} disagrees with checkpoint epoch {epoch}",
+                        manifest.epoch
+                    ),
+                ));
+            }
+            (engine, epoch)
+        }
+        None => (manifest.config.build_engine::<K>()?, 0),
+    };
+    let outcome = wal::read_from::<K>(dir, manifest.wal_start)?;
+    let mut records = 0u64;
+    let mut updates = 0u64;
+    for record in &outcome.records {
+        records += 1;
+        updates += record.batch.len() as u64;
+        engine.update_batch(&record.batch);
+    }
+    let source = match (manifest.checkpoint.is_some(), records > 0) {
+        (false, false) => RecoverySource::Fresh,
+        (false, true) => RecoverySource::WalOnly,
+        (true, false) => RecoverySource::CheckpointOnly,
+        (true, true) => RecoverySource::CheckpointAndWal,
+    };
+    Ok(LoadedState {
+        engine,
+        config: manifest.config,
+        epoch: manifest.epoch,
+        wal_end: outcome.end,
+        report: RecoveryReport {
+            source,
+            checkpoint_epoch: ckpt_epoch,
+            records_replayed: records,
+            updates_replayed: updates,
+            dropped_tail_bytes: outcome.dropped_tail_bytes,
+        },
+    })
+}
+
+/// Opens (recovering) or creates the durable sketch in `dir`. Backs
+/// [`DurableSketch::open`]; see there for the error contract.
+pub(crate) fn open_sketch<K: SketchKey + ItemCodec>(
+    dir: &Path,
+    config: EngineConfig,
+    opts: DurabilityOptions,
+) -> Result<(DurableSketch<K>, RecoveryReport), PersistError> {
+    std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, e))?;
+    let manifest = read_manifest(dir)?;
+    let has_segments = !wal::list_segments(dir)?.is_empty();
+    if manifest.is_none() && !has_segments {
+        // Brand-new store.
+        let engine = config.build_engine::<K>()?;
+        let wal = WalWriter::create(dir, opts.fsync, opts.segment_bytes)?;
+        write_manifest(
+            dir,
+            &Manifest {
+                epoch: 0,
+                config,
+                checkpoint: None,
+                wal_start: wal.position(),
+            },
+        )?;
+        return Ok((
+            DurableSketch {
+                engine,
+                wal,
+                dir: dir.to_path_buf(),
+                epoch: 0,
+                config,
+            },
+            RecoveryReport::fresh(),
+        ));
+    }
+    // A store missing only its manifest (deleted out-of-band) still
+    // recovers: synthesize a manifest replaying every segment from the
+    // oldest with the caller's config.
+    let manifest = match manifest {
+        Some(m) => {
+            if m.config != config {
+                return Err(PersistError::ConfigMismatch(format!(
+                    "store in {} was created with {:?}, requested {:?}",
+                    dir.display(),
+                    m.config,
+                    config
+                )));
+            }
+            m
+        }
+        None => {
+            // Tolerating a lost manifest is only safe when the WAL is
+            // the complete history. A checkpoint file on disk means the
+            // WAL prefix it covers was truncated — replaying the tail
+            // alone would silently reconstruct (and then persist) a
+            // fraction of the stream, so refuse loudly instead.
+            if let Some(ckpt) = std::fs::read_dir(dir)
+                .map_err(|e| PersistError::io(dir, e))?
+                .filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .find(|name| name.starts_with("ckpt-") && name.ends_with(".ck"))
+            {
+                return Err(PersistError::corrupt(
+                    dir,
+                    format!(
+                        "manifest is missing but checkpoint {ckpt} exists; \
+                         recovering from the WAL alone would lose the \
+                         checkpointed prefix (restore or rebuild MANIFEST)"
+                    ),
+                ));
+            }
+            let oldest = wal::list_segments(dir)?
+                .first()
+                .map(|&(seq, _)| seq)
+                .expect("has_segments checked above");
+            Manifest {
+                epoch: 0,
+                config,
+                checkpoint: None,
+                wal_start: WalPosition {
+                    segment: oldest,
+                    offset: SEGMENT_HEADER_LEN,
+                },
+            }
+        }
+    };
+    let state = load_state::<K>(dir, Some(manifest.clone()))?;
+    let wal = WalWriter::open_at(dir, state.wal_end, opts.fsync, opts.segment_bytes)?;
+    if read_manifest(dir)?.is_none() {
+        write_manifest(dir, &manifest)?;
+    }
+    Ok((
+        DurableSketch {
+            engine: state.engine,
+            wal,
+            dir: dir.to_path_buf(),
+            epoch: state.epoch,
+            config: state.config,
+        },
+        state.report,
+    ))
+}
+
+/// Read-only recovery: rebuilds the engine state from `dir` using the
+/// configuration recorded in its manifest, touching nothing on disk.
+/// This is what offline tooling (`streamfreq recover`, `streamfreq
+/// info`) uses — no caller-supplied configuration needed.
+///
+/// # Errors
+/// [`PersistError::Corrupt`] for a missing/invalid manifest or damaged
+/// state; I/O errors otherwise.
+pub fn recover_engine_readonly<K: SketchKey + ItemCodec>(
+    dir: &Path,
+) -> Result<(SketchEngine<K>, u64, RecoveryReport), PersistError> {
+    let manifest = read_manifest(dir)?;
+    if manifest.is_none() {
+        return Err(PersistError::corrupt(dir, "no MANIFEST in store directory"));
+    }
+    let state = load_state::<K>(dir, manifest)?;
+    Ok((state.engine, state.epoch, state.report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("streamfreq-recover-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn opts() -> DurabilityOptions {
+        DurabilityOptions {
+            fsync: super::super::FsyncPolicy::Off,
+            segment_bytes: 1 << 16,
+        }
+    }
+
+    /// Reference: an uninterrupted engine over the same updates.
+    fn reference(config: EngineConfig, stream: &[(u64, u64)], batch: usize) -> SketchEngine<u64> {
+        let mut engine = config.build_engine::<u64>().unwrap();
+        for chunk in stream.chunks(batch) {
+            engine.update_batch(chunk);
+        }
+        engine
+    }
+
+    fn stream(len: u64) -> Vec<(u64, u64)> {
+        (0..len)
+            .map(|i| ((i * 2_654_435_761) % 500, i % 9 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn recovery_equals_uninterrupted_run_across_checkpoints() {
+        let dir = tmp_dir("equals-uninterrupted");
+        let config = EngineConfig::new(64).seed(5);
+        let stream = stream(30_000);
+        let (mut store, _) = DurableSketch::<u64>::open(&dir, config, opts()).unwrap();
+        for (i, chunk) in stream.chunks(512).enumerate() {
+            store.update_batch(chunk).unwrap();
+            if i % 17 == 16 {
+                store.checkpoint().unwrap();
+            }
+        }
+        let live_fp = store.engine().state_fingerprint();
+        drop(store); // "crash": no final checkpoint, no drain
+        let (engine, _, report) = recover_engine_readonly::<u64>(&dir).unwrap();
+        assert_eq!(engine.state_fingerprint(), live_fp);
+        assert_eq!(
+            engine.state_fingerprint(),
+            reference(config, &stream, 512).state_fingerprint()
+        );
+        assert!(report.records_replayed > 0);
+        assert!(report.checkpoint_epoch > 0);
+        assert_eq!(report.source, RecoverySource::CheckpointAndWal);
+    }
+
+    #[test]
+    fn empty_wal_checkpoint_only_and_wal_only() {
+        // Checkpoint-only: tail is empty after a checkpoint.
+        let dir = tmp_dir("ckpt-only");
+        let config = EngineConfig::new(32);
+        let (mut store, _) = DurableSketch::<u64>::open(&dir, config, opts()).unwrap();
+        store.update_batch(&[(1, 10), (2, 20)]).unwrap();
+        store.checkpoint().unwrap();
+        drop(store);
+        let (engine, epoch, report) = recover_engine_readonly::<u64>(&dir).unwrap();
+        assert_eq!(report.source, RecoverySource::CheckpointOnly);
+        assert_eq!(epoch, 1);
+        assert_eq!(engine.stream_weight(), 30);
+
+        // WAL-only: crash before the first checkpoint.
+        let dir = tmp_dir("wal-only");
+        let (mut store, _) = DurableSketch::<u64>::open(&dir, config, opts()).unwrap();
+        store.update_batch(&[(1, 10), (2, 20)]).unwrap();
+        drop(store);
+        let (engine, epoch, report) = recover_engine_readonly::<u64>(&dir).unwrap();
+        assert_eq!(report.source, RecoverySource::WalOnly);
+        assert_eq!(epoch, 0);
+        assert_eq!(engine.stream_weight(), 30);
+
+        // Empty store: fresh manifest, no records.
+        let dir = tmp_dir("empty");
+        let (store, _) = DurableSketch::<u64>::open(&dir, config, opts()).unwrap();
+        drop(store);
+        let (engine, _, report) = recover_engine_readonly::<u64>(&dir).unwrap();
+        assert_eq!(report.source, RecoverySource::Fresh);
+        assert!(engine.is_empty());
+    }
+
+    #[test]
+    fn missing_segment_and_missing_checkpoint_are_clean_errors() {
+        let dir = tmp_dir("missing-pieces");
+        let config = EngineConfig::new(32);
+        let (mut store, _) = DurableSketch::<u64>::open(&dir, config, opts()).unwrap();
+        store.update_batch(&[(1, 1)]).unwrap();
+        store.checkpoint().unwrap();
+        store.update_batch(&[(2, 2)]).unwrap();
+        drop(store);
+
+        // Delete the WAL segment the manifest points at.
+        let manifest = read_manifest(&dir).unwrap().unwrap();
+        let seg = wal::segment_path(&dir, manifest.wal_start.segment);
+        let seg_bytes = std::fs::read(&seg).unwrap();
+        std::fs::remove_file(&seg).unwrap();
+        let err = recover_engine_readonly::<u64>(&dir).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }), "{err:?}");
+        assert!(err.to_string().contains("missing WAL segment"), "{err}");
+        std::fs::write(&seg, seg_bytes).unwrap();
+
+        // Delete the checkpoint file.
+        let ckpt = dir.join(manifest.checkpoint.unwrap());
+        std::fs::remove_file(&ckpt).unwrap();
+        let err = recover_engine_readonly::<u64>(&dir).unwrap_err();
+        assert!(err.to_string().contains("missing checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn lost_manifest_recovers_via_open() {
+        let dir = tmp_dir("lost-manifest");
+        let config = EngineConfig::new(32).seed(2);
+        let (mut store, _) = DurableSketch::<u64>::open(&dir, config, opts()).unwrap();
+        store.update_batch(&[(1, 10), (2, 20), (3, 30)]).unwrap();
+        drop(store);
+        std::fs::remove_file(dir.join(super::super::store::MANIFEST_FILE)).unwrap();
+        let (store, report) = DurableSketch::<u64>::open(&dir, config, opts()).unwrap();
+        assert_eq!(report.source, RecoverySource::WalOnly);
+        assert_eq!(store.engine().stream_weight(), 60);
+        // readonly recovery requires the manifest, which open re-wrote.
+        let (engine, _, _) = recover_engine_readonly::<u64>(&dir).unwrap();
+        assert_eq!(engine.stream_weight(), 60);
+    }
+
+    #[test]
+    fn lost_manifest_with_checkpoint_refuses_lossy_recovery() {
+        // The WAL tail alone is NOT the full history once a checkpoint
+        // truncated the log; a lost manifest must not silently rebuild
+        // (and persist) the truncated fraction.
+        let dir = tmp_dir("lost-manifest-ckpt");
+        let config = EngineConfig::new(32).seed(2);
+        let (mut store, _) = DurableSketch::<u64>::open(&dir, config, opts()).unwrap();
+        store.update_batch(&[(1, 10), (2, 20)]).unwrap();
+        store.checkpoint().unwrap();
+        store.update_batch(&[(3, 30)]).unwrap();
+        drop(store);
+        std::fs::remove_file(dir.join(super::super::store::MANIFEST_FILE)).unwrap();
+        let err = match DurableSketch::<u64>::open(&dir, config, opts()) {
+            Err(e) => e,
+            Ok(_) => panic!("lossy lost-manifest recovery accepted"),
+        };
+        assert!(err.to_string().contains("checkpointed prefix"), "{err}");
+    }
+
+    #[test]
+    fn resumed_store_continues_identically() {
+        // Crash, recover, continue: the continued run must be
+        // fingerprint-identical to one that never crashed.
+        let dir = tmp_dir("resume-continue");
+        let config = EngineConfig::new(48).seed(8);
+        let full = stream(24_000);
+        let (first_half, second_half) = full.split_at(12_000);
+        let (mut store, _) = DurableSketch::<u64>::open(&dir, config, opts()).unwrap();
+        for chunk in first_half.chunks(256) {
+            store.update_batch(chunk).unwrap();
+        }
+        store.checkpoint().unwrap();
+        drop(store);
+        let (mut store, report) = DurableSketch::<u64>::open(&dir, config, opts()).unwrap();
+        assert_eq!(report.source, RecoverySource::CheckpointOnly);
+        for chunk in second_half.chunks(256) {
+            store.update_batch(chunk).unwrap();
+        }
+        assert_eq!(
+            store.engine().state_fingerprint(),
+            reference(config, &full, 256).state_fingerprint()
+        );
+    }
+}

@@ -1,0 +1,605 @@
+//! The durable store: a manifest tying a checkpoint to a WAL position,
+//! and [`DurableSketch`] — a [`SketchEngine`] whose updates are logged
+//! before they are applied.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/MANIFEST            what to recover from (atomic, CRC'd)
+//! <dir>/ckpt-<epoch>.ck     the newest checkpoint (older ones deleted)
+//! <dir>/wal-<seq>.seg       WAL segments ≥ the manifest's replay start
+//! ```
+//!
+//! A multi-shard store (the [`crate::ConcurrentSketch`] durability hook)
+//! nests one such directory per shard under `shard-<i>/`, plus a
+//! top-level `STORE` file recording the bank configuration.
+//!
+//! ## The checkpoint protocol
+//!
+//! [`DurableSketch::checkpoint`] makes durability incremental:
+//!
+//! 1. rotate the WAL to a fresh segment (future records land there);
+//! 2. write `ckpt-<epoch+1>.ck` atomically;
+//! 3. publish a new MANIFEST pointing at (new checkpoint, new segment);
+//! 4. only then delete the older segments and checkpoints.
+//!
+//! A crash between any two steps leaves the *previous* manifest's
+//! checkpoint and segments fully intact, so recovery always has a
+//! consistent pair to start from. Leftover files from a torn checkpoint
+//! (a stale `.tmp`, an unreferenced newer segment) are ignored or
+//! cleaned on the next successful checkpoint.
+
+use std::path::{Path, PathBuf};
+
+use crate::engine::{SketchEngine, SketchKey};
+use crate::error::Error;
+use crate::item_codec::ItemCodec;
+use crate::purge::PurgePolicy;
+
+use super::checkpoint::write_checkpoint;
+use super::recover::RecoveryReport;
+use super::wal::{WalPosition, WalWriter, SEGMENT_HEADER_LEN};
+use super::{crc32c, EngineConfig, FsyncPolicy, PersistError};
+
+const MANIFEST_MAGIC: &[u8; 4] = b"SFMF";
+const MANIFEST_VERSION: u8 = 1;
+const STORE_MAGIC: &[u8; 4] = b"SFST";
+const STORE_VERSION: u8 = 1;
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// File name of the bank-level metadata of a sharded store.
+pub const STORE_FILE: &str = "STORE";
+
+/// Runtime knobs of a durable store (what is *not* recorded on disk:
+/// these may change between runs without invalidating the data).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// When WAL bytes are forced to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Segment size at which the WAL rotates to a new file.
+    pub segment_bytes: u64,
+}
+
+impl Default for DurabilityOptions {
+    /// 8 MiB fsync budget, 64 MiB segments.
+    fn default() -> Self {
+        DurabilityOptions {
+            fsync: FsyncPolicy::default(),
+            segment_bytes: 64 << 20,
+        }
+    }
+}
+
+/// The recovery pointer: which checkpoint to load and where in the WAL
+/// to start replaying. Also records the engine configuration so a store
+/// that crashed before its first checkpoint can rebuild the engine
+/// exactly as the original run started it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Manifest {
+    /// Checkpoint epoch (0 until the first checkpoint).
+    pub epoch: u64,
+    /// Engine construction parameters.
+    pub config: EngineConfig,
+    /// File name of the checkpoint to load, if one exists.
+    pub checkpoint: Option<String>,
+    /// First WAL position to replay.
+    pub wal_start: WalPosition,
+}
+
+impl Manifest {
+    /// Decodes a manifest from its file bytes (CRC-verified) — the
+    /// introspection hook behind `streamfreq info`.
+    ///
+    /// # Errors
+    /// Returns [`Error`] for bad checksums, framing, or field values.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Manifest, Error> {
+        Manifest::decode(bytes)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.push(MANIFEST_VERSION);
+        out.push(u8::from(self.config.grow_from_small));
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.config.max_counters as u64).to_le_bytes());
+        out.push(crate::codec::policy_tag(&self.config.policy));
+        let (a, b) = crate::codec::policy_params(&self.config.policy);
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+        out.extend_from_slice(&self.config.seed.to_le_bytes());
+        let name = self.checkpoint.as_deref().unwrap_or("");
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&self.wal_start.segment.to_le_bytes());
+        out.extend_from_slice(&self.wal_start.offset.to_le_bytes());
+        let crc = crc32c(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Manifest, Error> {
+        let mut buf = super::verify_trailing_crc(bytes)?;
+        let magic = u32::decode(&mut buf)?.to_le_bytes();
+        if &magic != MANIFEST_MAGIC {
+            return Err(Error::Corrupt(format!("bad manifest magic {magic:02x?}")));
+        }
+        let version = u8::decode(&mut buf)?;
+        if version != MANIFEST_VERSION {
+            return Err(Error::UnsupportedVersion(version));
+        }
+        let grow_flag = u8::decode(&mut buf)?;
+        if grow_flag > 1 {
+            return Err(Error::Corrupt("bad grow_from_small flag".into()));
+        }
+        let epoch = u64::decode(&mut buf)?;
+        let max_counters = usize::try_from(u64::decode(&mut buf)?)
+            .map_err(|_| Error::Corrupt("max_counters exceeds usize".into()))?;
+        let tag = u8::decode(&mut buf)?;
+        let a = u64::decode(&mut buf)?;
+        let b = u64::decode(&mut buf)?;
+        let policy = crate::codec::policy_from_wire(tag, a, b)?;
+        let seed = u64::decode(&mut buf)?;
+        let name_len = u16::decode(&mut buf)? as usize;
+        if buf.len() < name_len {
+            return Err(Error::Truncated {
+                needed: name_len - buf.len(),
+                remaining: buf.len(),
+            });
+        }
+        let (name, rest) = buf.split_at(name_len);
+        buf = rest;
+        let name = std::str::from_utf8(name)
+            .map_err(|_| Error::Corrupt("checkpoint name is not UTF-8".into()))?;
+        if name.contains(['/', '\\']) {
+            return Err(Error::Corrupt("checkpoint name escapes the store".into()));
+        }
+        let segment = u64::decode(&mut buf)?;
+        let offset = u64::decode(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(Error::Corrupt("trailing bytes after manifest".into()));
+        }
+        if segment == 0 || offset < SEGMENT_HEADER_LEN {
+            return Err(Error::Corrupt("impossible WAL position".into()));
+        }
+        Ok(Manifest {
+            epoch,
+            config: EngineConfig {
+                max_counters,
+                policy,
+                seed,
+                grow_from_small: grow_flag == 1,
+            },
+            checkpoint: (!name.is_empty()).then(|| name.to_string()),
+            wal_start: WalPosition { segment, offset },
+        })
+    }
+}
+
+/// Atomically publishes `manifest` in `dir` (temp + rename + dir fsync).
+pub fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), PersistError> {
+    super::atomic_write(&dir.join(MANIFEST_FILE), &manifest.encode())
+}
+
+/// Reads the manifest in `dir`, or `None` if no store was created there.
+pub fn read_manifest(dir: &Path) -> Result<Option<Manifest>, PersistError> {
+    let path = dir.join(MANIFEST_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PersistError::io(&path, e)),
+    };
+    Manifest::decode(&bytes)
+        .map(Some)
+        .map_err(|e| PersistError::corrupt(&path, e.to_string()))
+}
+
+/// Bank-level metadata of a sharded durable store: enough for offline
+/// tooling (`streamfreq recover` / `checkpoint`) to rebuild the bank
+/// without being told the serve-time flags.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreMeta {
+    /// Number of shard subdirectories.
+    pub num_shards: usize,
+    /// Counters per shard engine.
+    pub counters_per_shard: usize,
+    /// Counter budget of the merged (Algorithm 5) export.
+    pub merged_capacity: usize,
+    /// Purge policy of every shard.
+    pub policy: PurgePolicy,
+    /// Base sampler seed (shard `s` uses `seed + s`).
+    pub seed: u64,
+}
+
+impl StoreMeta {
+    /// Decodes bank metadata from its file bytes (CRC-verified) — the
+    /// introspection hook behind `streamfreq info`.
+    ///
+    /// # Errors
+    /// Returns [`Error`] for bad checksums, framing, or field values.
+    pub fn from_bytes(bytes: &[u8]) -> Result<StoreMeta, Error> {
+        StoreMeta::decode(bytes)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(STORE_MAGIC);
+        out.push(STORE_VERSION);
+        out.extend_from_slice(&(self.num_shards as u32).to_le_bytes());
+        out.extend_from_slice(&(self.counters_per_shard as u64).to_le_bytes());
+        out.extend_from_slice(&(self.merged_capacity as u64).to_le_bytes());
+        out.push(crate::codec::policy_tag(&self.policy));
+        let (a, b) = crate::codec::policy_params(&self.policy);
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        let crc = crc32c(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<StoreMeta, Error> {
+        let mut buf = super::verify_trailing_crc(bytes)?;
+        let magic = u32::decode(&mut buf)?.to_le_bytes();
+        if &magic != STORE_MAGIC {
+            return Err(Error::Corrupt(format!("bad store magic {magic:02x?}")));
+        }
+        let version = u8::decode(&mut buf)?;
+        if version != STORE_VERSION {
+            return Err(Error::UnsupportedVersion(version));
+        }
+        let num_shards = u32::decode(&mut buf)? as usize;
+        if num_shards == 0 {
+            return Err(Error::Corrupt("store has zero shards".into()));
+        }
+        let counters_per_shard = usize::try_from(u64::decode(&mut buf)?)
+            .map_err(|_| Error::Corrupt("counters_per_shard exceeds usize".into()))?;
+        let merged_capacity = usize::try_from(u64::decode(&mut buf)?)
+            .map_err(|_| Error::Corrupt("merged_capacity exceeds usize".into()))?;
+        let tag = u8::decode(&mut buf)?;
+        let a = u64::decode(&mut buf)?;
+        let b = u64::decode(&mut buf)?;
+        let policy = crate::codec::policy_from_wire(tag, a, b)?;
+        let seed = u64::decode(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(Error::Corrupt("trailing bytes after store metadata".into()));
+        }
+        Ok(StoreMeta {
+            num_shards,
+            counters_per_shard,
+            merged_capacity,
+            policy,
+            seed,
+        })
+    }
+}
+
+/// Atomically publishes the bank metadata in `dir`.
+pub fn write_store_meta(dir: &Path, meta: &StoreMeta) -> Result<(), PersistError> {
+    super::atomic_write(&dir.join(STORE_FILE), &meta.encode())
+}
+
+/// Reads the bank metadata in `dir`, or `None` if absent.
+pub fn read_store_meta(dir: &Path) -> Result<Option<StoreMeta>, PersistError> {
+    let path = dir.join(STORE_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PersistError::io(&path, e)),
+    };
+    StoreMeta::decode(&bytes)
+        .map(Some)
+        .map_err(|e| PersistError::corrupt(&path, e.to_string()))
+}
+
+/// The shard subdirectory of a sharded store.
+pub fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:04}"))
+}
+
+/// File name of the checkpoint written at `epoch`.
+pub(crate) fn checkpoint_file_name(epoch: u64) -> String {
+    format!("ckpt-{epoch:016}.ck")
+}
+
+/// A [`SketchEngine`] with a write-ahead log in front of it and periodic
+/// checkpoints behind it. Every update batch is appended to the WAL
+/// *before* it is applied, so the engine's state is always recoverable
+/// as `checkpoint ⊕ replay` — see the [module docs](self) for the
+/// checkpoint protocol and [`crate::persist`] for the guarantees.
+#[derive(Debug)]
+pub struct DurableSketch<K: SketchKey + ItemCodec> {
+    pub(crate) engine: SketchEngine<K>,
+    pub(crate) wal: WalWriter,
+    pub(crate) dir: PathBuf,
+    pub(crate) epoch: u64,
+    pub(crate) config: EngineConfig,
+}
+
+impl<K: SketchKey + ItemCodec> DurableSketch<K> {
+    /// Opens the store in `dir`, recovering any existing state (creating
+    /// the directory and a fresh store if none exists). The requested
+    /// `config` must match a pre-existing store's recorded configuration.
+    ///
+    /// # Errors
+    /// [`PersistError::ConfigMismatch`] if `dir` holds a store built with
+    /// different parameters; [`PersistError::Corrupt`] for damaged state
+    /// (bad checksums, missing files a manifest references); I/O errors
+    /// otherwise.
+    pub fn open(
+        dir: &Path,
+        config: EngineConfig,
+        opts: DurabilityOptions,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        super::recover::open_sketch(dir, config, opts)
+    }
+
+    /// Opens an existing store using the configuration recorded in its
+    /// manifest — what offline tooling (`streamfreq checkpoint`) uses,
+    /// since it has no serve-time flags to supply.
+    ///
+    /// # Errors
+    /// [`PersistError::Corrupt`] if `dir` holds no manifest; otherwise
+    /// as [`Self::open`].
+    pub fn open_existing(
+        dir: &Path,
+        opts: DurabilityOptions,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let manifest = read_manifest(dir)?
+            .ok_or_else(|| PersistError::corrupt(dir, "no MANIFEST in store directory"))?;
+        Self::open(dir, manifest.config, opts)
+    }
+
+    /// The engine holding the live state.
+    #[inline]
+    pub fn engine(&self) -> &SketchEngine<K> {
+        &self.engine
+    }
+
+    /// The store directory.
+    #[inline]
+    pub fn data_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The epoch of the newest durable checkpoint (0 before the first).
+    #[inline]
+    pub fn last_checkpoint_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Bytes currently held by WAL segments on disk.
+    #[inline]
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.total_bytes()
+    }
+
+    /// Logs and applies one weighted update.
+    ///
+    /// # Errors
+    /// On a WAL I/O failure the update is **not** applied to the engine
+    /// (the log never lags the state).
+    pub fn update(&mut self, item: K, weight: u64) -> Result<(), PersistError> {
+        if weight == 0 {
+            return Ok(());
+        }
+        self.update_batch(std::slice::from_ref(&(item, weight)))
+    }
+
+    /// Logs and applies a batch of weighted updates, state-identically
+    /// to [`SketchEngine::update_batch`].
+    ///
+    /// # Errors
+    /// On a WAL I/O failure the batch is **not** applied to the engine.
+    pub fn update_batch(&mut self, batch: &[(K, u64)]) -> Result<(), PersistError> {
+        self.wal.append(self.epoch, batch)?;
+        self.engine.update_batch(batch);
+        Ok(())
+    }
+
+    /// Forces all logged bytes to stable storage regardless of the
+    /// configured [`FsyncPolicy`].
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.wal.sync()
+    }
+
+    /// Takes a checkpoint: writes the full engine state atomically,
+    /// repoints the manifest at it, and truncates the now-redundant WAL
+    /// prefix. Returns the new checkpoint epoch.
+    ///
+    /// # Errors
+    /// On failure the store is left on its previous (still consistent)
+    /// checkpoint+WAL pair.
+    pub fn checkpoint(&mut self) -> Result<u64, PersistError> {
+        let new_epoch = self.epoch + 1;
+        let replay_start = self.wal.rotate()?;
+        let name = checkpoint_file_name(new_epoch);
+        write_checkpoint(&self.dir.join(&name), &self.engine, new_epoch)?;
+        write_manifest(
+            &self.dir,
+            &Manifest {
+                epoch: new_epoch,
+                config: self.config,
+                checkpoint: Some(name.clone()),
+                wal_start: replay_start,
+            },
+        )?;
+        // Only after the new manifest is durable may the old state go.
+        self.wal.remove_segments_below(replay_start.segment)?;
+        for entry in std::fs::read_dir(&self.dir).map_err(|e| PersistError::io(&self.dir, e))? {
+            let entry = entry.map_err(|e| PersistError::io(&self.dir, e))?;
+            let file_name = entry.file_name();
+            let Some(file_name) = file_name.to_str() else {
+                continue;
+            };
+            if file_name.starts_with("ckpt-")
+                && file_name.ends_with(".ck")
+                && file_name != name.as_str()
+            {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        self.epoch = new_epoch;
+        Ok(new_epoch)
+    }
+
+    /// Consumes the store, returning the engine (the on-disk state stays
+    /// as-is and remains recoverable).
+    pub fn into_engine(self) -> SketchEngine<K> {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("streamfreq-store-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        for manifest in [
+            Manifest {
+                epoch: 0,
+                config: EngineConfig::new(64),
+                checkpoint: None,
+                wal_start: WalPosition {
+                    segment: 1,
+                    offset: SEGMENT_HEADER_LEN,
+                },
+            },
+            Manifest {
+                epoch: 12,
+                config: EngineConfig::new(4096)
+                    .policy(PurgePolicy::GlobalMin)
+                    .seed(99)
+                    .grow_from_small(false),
+                checkpoint: Some(checkpoint_file_name(12)),
+                wal_start: WalPosition {
+                    segment: 40,
+                    offset: 12_345,
+                },
+            },
+        ] {
+            let decoded = Manifest::decode(&manifest.encode()).unwrap();
+            assert_eq!(decoded, manifest);
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_corruption_and_traversal() {
+        let manifest = Manifest {
+            epoch: 3,
+            config: EngineConfig::new(64),
+            checkpoint: Some("ckpt-x.ck".into()),
+            wal_start: WalPosition {
+                segment: 2,
+                offset: 8,
+            },
+        };
+        let bytes = manifest.encode();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x10;
+            assert!(Manifest::decode(&corrupt).is_err(), "flip at {i} accepted");
+        }
+        let traversal = Manifest {
+            checkpoint: Some("../evil.ck".into()),
+            ..manifest
+        };
+        assert!(Manifest::decode(&traversal.encode()).is_err());
+    }
+
+    #[test]
+    fn store_meta_roundtrip_and_corruption() {
+        let meta = StoreMeta {
+            num_shards: 4,
+            counters_per_shard: 128,
+            merged_capacity: 512,
+            policy: PurgePolicy::smed(),
+            seed: 7,
+        };
+        let bytes = meta.encode();
+        assert_eq!(StoreMeta::decode(&bytes).unwrap(), meta);
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x04;
+            assert!(StoreMeta::decode(&corrupt).is_err(), "flip at {i} accepted");
+        }
+    }
+
+    #[test]
+    fn manifest_file_roundtrip() {
+        let dir = tmp_dir("manifest-file");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(read_manifest(&dir).unwrap().is_none());
+        let manifest = Manifest {
+            epoch: 5,
+            config: EngineConfig::new(32),
+            checkpoint: Some(checkpoint_file_name(5)),
+            wal_start: WalPosition {
+                segment: 6,
+                offset: 8,
+            },
+        };
+        write_manifest(&dir, &manifest).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().unwrap(), manifest);
+    }
+
+    #[test]
+    fn durable_updates_checkpoint_and_truncate() {
+        let dir = tmp_dir("durable-basic");
+        let config = EngineConfig::new(64).seed(3);
+        let (mut store, report) =
+            DurableSketch::<u64>::open(&dir, config, DurabilityOptions::default()).unwrap();
+        assert_eq!(report.records_replayed, 0);
+        for i in 0..2_000u64 {
+            store.update(i % 50, i % 7 + 1).unwrap();
+        }
+        let wal_before = store.wal_bytes();
+        assert!(wal_before > SEGMENT_HEADER_LEN);
+        assert_eq!(store.last_checkpoint_epoch(), 0);
+        let epoch = store.checkpoint().unwrap();
+        assert_eq!(epoch, 1);
+        assert!(
+            store.wal_bytes() < wal_before,
+            "checkpoint must truncate the log ({} -> {})",
+            wal_before,
+            store.wal_bytes()
+        );
+        // A second checkpoint removes the first's file.
+        store.update_batch(&[(1, 5), (2, 5)]).unwrap();
+        store.checkpoint().unwrap();
+        assert!(dir.join(checkpoint_file_name(2)).exists());
+        assert!(!dir.join(checkpoint_file_name(1)).exists());
+        let n = store.engine().stream_weight();
+        drop(store);
+        // Reopen: state is intact.
+        let (store, report) =
+            DurableSketch::<u64>::open(&dir, config, DurabilityOptions::default()).unwrap();
+        assert_eq!(store.engine().stream_weight(), n);
+        assert_eq!(report.checkpoint_epoch, 2);
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let dir = tmp_dir("mismatch");
+        let config = EngineConfig::new(64);
+        let (store, _) =
+            DurableSketch::<u64>::open(&dir, config, DurabilityOptions::default()).unwrap();
+        drop(store);
+        let other = EngineConfig::new(128);
+        assert!(matches!(
+            DurableSketch::<u64>::open(&dir, other, DurabilityOptions::default()),
+            Err(PersistError::ConfigMismatch(_))
+        ));
+    }
+}

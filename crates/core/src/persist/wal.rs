@@ -1,0 +1,784 @@
+//! Segmented, CRC-framed write-ahead log of weighted update batches.
+//!
+//! ## On-disk layout
+//!
+//! The log is a sequence of segment files `wal-<seq>.seg` (16-digit
+//! decimal `seq`, starting at 1) in the store directory. Each segment is:
+//!
+//! ```text
+//! [ magic "SFWL" | version u8 | reserved ×3 ]          8-byte header
+//! [ frame ]*
+//! ```
+//!
+//! and each frame is:
+//!
+//! ```text
+//! [ payload_len u32le | crc32c(payload) u32le | payload ]
+//! ```
+//!
+//! with payload
+//!
+//! ```text
+//! [ epoch u64le | count u32le | count × (item ItemCodec | weight u64le) ]
+//! ```
+//!
+//! `epoch` is the checkpoint epoch current when the batch was appended —
+//! a diagnostic tag recovery reports but does not need (the manifest's
+//! byte position, not the epoch, delimits the replay tail).
+//!
+//! ## Torn-write contract
+//!
+//! An append interrupted by a crash leaves a frame with a short or
+//! corrupt payload at the *physical end* of the log. The reader stops
+//! replay at the first frame that fails its length or CRC check: if that
+//! frame sits in the last segment, the tail is **dropped** (reported, not
+//! an error — this is the expected crash signature); a bad frame with
+//! more log after it cannot come from a torn append and is reported as
+//! corruption. [`WalWriter::open_at`] truncates the dropped tail before
+//! appending again, so the log never accumulates garbage mid-stream.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::item_codec::ItemCodec;
+
+use super::{FsyncPolicy, PersistError};
+
+const SEG_MAGIC: &[u8; 4] = b"SFWL";
+const SEG_VERSION: u8 = 1;
+
+/// Bytes of a segment file's header (`magic`, version, reserved).
+pub const SEGMENT_HEADER_LEN: u64 = 8;
+
+/// Bytes of a frame header (`payload_len`, `crc32c`).
+const FRAME_HEADER_LEN: u64 = 8;
+
+/// Sanity cap on one frame's payload: anything larger is corruption,
+/// not a batch (writers buffer a few thousand updates per batch).
+const MAX_FRAME_PAYLOAD: u32 = 1 << 30;
+
+/// A byte position in the log: the first replayable byte of `segment`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalPosition {
+    /// Segment sequence number (1-based).
+    pub segment: u64,
+    /// Byte offset within the segment (≥ [`SEGMENT_HEADER_LEN`]).
+    pub offset: u64,
+}
+
+/// One decoded WAL record: a weighted batch tagged with the checkpoint
+/// epoch current when it was appended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord<K> {
+    /// Checkpoint epoch at append time (diagnostic).
+    pub epoch: u64,
+    /// The weighted update batch, in append order.
+    pub batch: Vec<(K, u64)>,
+}
+
+/// Everything a log scan recovers.
+#[derive(Debug)]
+pub struct WalReadOutcome<K> {
+    /// Valid records from the start position to the end of the log.
+    pub records: Vec<WalRecord<K>>,
+    /// Position immediately after the last valid record — where a
+    /// resumed writer continues (after truncating any torn tail).
+    pub end: WalPosition,
+    /// Bytes of torn/corrupt tail dropped from the last segment.
+    pub dropped_tail_bytes: u64,
+}
+
+/// Path of segment `seq` under `dir`.
+pub(crate) fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:016}.seg"))
+}
+
+/// The `(seq, path)` of every WAL segment in `dir`, ascending.
+pub(crate) fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, PersistError> {
+    let mut segments = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(segments),
+        Err(e) => return Err(PersistError::io(dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| PersistError::io(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".seg"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(segments)
+}
+
+/// Flushes a directory so a just-created/renamed entry survives a crash.
+pub(crate) fn fsync_dir(dir: &Path) -> Result<(), PersistError> {
+    // Directory fsync is a Unix-ism; opening the directory read-only and
+    // syncing it is the portable-enough idiom (a failure to open it is
+    // not fatal on filesystems that do not support it).
+    if let Ok(handle) = File::open(dir) {
+        handle.sync_all().map_err(|e| PersistError::io(dir, e))?;
+    }
+    Ok(())
+}
+
+/// Appender half of the log. Owns the current (last) segment; earlier
+/// segments are immutable history until a checkpoint truncates them.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    segment_bytes: u64,
+    seq: u64,
+    file: File,
+    offset: u64,
+    unsynced: u64,
+    /// Total on-disk bytes across all retained segments.
+    live_bytes: u64,
+    frame_buf: Vec<u8>,
+}
+
+impl WalWriter {
+    /// Creates a fresh log in `dir` (segment 1, header only). `dir` must
+    /// exist; the segment file must not.
+    pub fn create(
+        dir: &Path,
+        fsync: FsyncPolicy,
+        segment_bytes: u64,
+    ) -> Result<Self, PersistError> {
+        let seq = 1;
+        let file = new_segment(dir, seq)?;
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            fsync,
+            segment_bytes,
+            seq,
+            file,
+            offset: SEGMENT_HEADER_LEN,
+            unsynced: 0,
+            live_bytes: SEGMENT_HEADER_LEN,
+            frame_buf: Vec::new(),
+        })
+    }
+
+    /// Re-opens an existing log for appending at `pos` — the end
+    /// position a [`read_from`] scan returned. The target segment must be
+    /// the newest one on disk; any torn tail past `pos.offset` is
+    /// truncated away first.
+    pub fn open_at(
+        dir: &Path,
+        pos: WalPosition,
+        fsync: FsyncPolicy,
+        segment_bytes: u64,
+    ) -> Result<Self, PersistError> {
+        let mut segments = list_segments(dir)?;
+        // Segments newer than the append position can only be the
+        // husk of a crash during rotation: a directory entry whose
+        // 8-byte header never became durable (`read_from` ends the
+        // replay before such a segment). Remove the husks; anything
+        // with a *valid* header past the append position would mean
+        // the caller is about to orphan real data — refuse.
+        while segments.last().is_some_and(|&(seq, _)| seq > pos.segment) {
+            let (_, husk) = segments.pop().expect("non-empty by loop condition");
+            let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+            let intact = File::open(&husk)
+                .and_then(|mut f| f.read_exact(&mut header))
+                .is_ok()
+                && &header[..4] == SEG_MAGIC
+                && header[4] == SEG_VERSION;
+            if intact {
+                return Err(PersistError::corrupt(
+                    &husk,
+                    format!("intact segment newer than append position {}", pos.segment),
+                ));
+            }
+            std::fs::remove_file(&husk).map_err(|e| PersistError::io(&husk, e))?;
+            fsync_dir(dir)?;
+        }
+        let newest = segments.last().map(|&(seq, _)| seq);
+        if newest != Some(pos.segment) {
+            return Err(PersistError::corrupt(
+                dir,
+                format!(
+                    "append position in segment {} but newest on disk is {:?}",
+                    pos.segment, newest
+                ),
+            ));
+        }
+        let path = segment_path(dir, pos.segment);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| PersistError::io(&path, e))?;
+        let disk_len = file
+            .metadata()
+            .map_err(|e| PersistError::io(&path, e))?
+            .len();
+        if disk_len < pos.offset {
+            return Err(PersistError::corrupt(
+                &path,
+                format!(
+                    "append offset {} beyond file of {disk_len} bytes",
+                    pos.offset
+                ),
+            ));
+        }
+        if disk_len > pos.offset {
+            file.set_len(pos.offset)
+                .map_err(|e| PersistError::io(&path, e))?;
+            file.sync_data().map_err(|e| PersistError::io(&path, e))?;
+        }
+        let mut live_bytes = pos.offset;
+        for &(seq, ref seg_path) in &segments {
+            if seq == pos.segment {
+                continue;
+            }
+            live_bytes += std::fs::metadata(seg_path)
+                .map_err(|e| PersistError::io(seg_path, e))?
+                .len();
+        }
+        let mut writer = WalWriter {
+            dir: dir.to_path_buf(),
+            fsync,
+            segment_bytes,
+            seq: pos.segment,
+            file,
+            offset: pos.offset,
+            unsynced: 0,
+            live_bytes,
+            frame_buf: Vec::new(),
+        };
+        writer
+            .file
+            .seek(SeekFrom::Start(pos.offset))
+            .map_err(|e| PersistError::io(&path, e))?;
+        Ok(writer)
+    }
+
+    /// The position the next record will be appended at.
+    pub fn position(&self) -> WalPosition {
+        WalPosition {
+            segment: self.seq,
+            offset: self.offset,
+        }
+    }
+
+    /// Total on-disk bytes across every retained segment.
+    pub fn total_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Appends one weighted batch tagged with `epoch`. Empty batches are
+    /// a no-op. The bytes are durable per the writer's [`FsyncPolicy`];
+    /// rotation to a new segment happens once the current one exceeds the
+    /// configured size.
+    pub fn append<K: ItemCodec>(
+        &mut self,
+        epoch: u64,
+        batch: &[(K, u64)],
+    ) -> Result<(), PersistError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut frame = std::mem::take(&mut self.frame_buf);
+        frame.clear();
+        // Frame header placeholder, then payload.
+        frame.extend_from_slice(&[0u8; FRAME_HEADER_LEN as usize]);
+        frame.extend_from_slice(&epoch.to_le_bytes());
+        frame.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+        for (item, weight) in batch {
+            item.encode(&mut frame);
+            frame.extend_from_slice(&weight.to_le_bytes());
+        }
+        let payload_len = (frame.len() as u64 - FRAME_HEADER_LEN) as u32;
+        let crc = super::crc32c(&frame[FRAME_HEADER_LEN as usize..]);
+        frame[0..4].copy_from_slice(&payload_len.to_le_bytes());
+        frame[4..8].copy_from_slice(&crc.to_le_bytes());
+
+        let path = segment_path(&self.dir, self.seq);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| PersistError::io(&path, e))?;
+        self.offset += frame.len() as u64;
+        self.live_bytes += frame.len() as u64;
+        self.unsynced += frame.len() as u64;
+        self.frame_buf = frame;
+        match self.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryBytes(budget) => {
+                if self.unsynced >= budget {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Off => {}
+        }
+        if self.offset >= self.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Forces all appended bytes to stable storage regardless of policy.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        let path = segment_path(&self.dir, self.seq);
+        self.file
+            .sync_data()
+            .map_err(|e| PersistError::io(&path, e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Closes the current segment (fsyncing it) and starts the next one.
+    /// Returns the position of the new segment's first record — what a
+    /// checkpoint manifest records as the replay start.
+    pub fn rotate(&mut self) -> Result<WalPosition, PersistError> {
+        self.sync()?;
+        self.seq += 1;
+        self.file = new_segment(&self.dir, self.seq)?;
+        self.offset = SEGMENT_HEADER_LEN;
+        self.live_bytes += SEGMENT_HEADER_LEN;
+        self.unsynced = 0;
+        Ok(self.position())
+    }
+
+    /// Deletes every segment with sequence number below `seq` (log
+    /// truncation after a checkpoint). Returns the bytes freed.
+    pub fn remove_segments_below(&mut self, seq: u64) -> Result<u64, PersistError> {
+        let mut freed = 0;
+        for (old_seq, path) in list_segments(&self.dir)? {
+            if old_seq >= seq {
+                continue;
+            }
+            freed += std::fs::metadata(&path)
+                .map_err(|e| PersistError::io(&path, e))?
+                .len();
+            std::fs::remove_file(&path).map_err(|e| PersistError::io(&path, e))?;
+        }
+        fsync_dir(&self.dir)?;
+        self.live_bytes -= freed;
+        Ok(freed)
+    }
+}
+
+/// Creates segment `seq` with its header written and the directory entry
+/// flushed.
+fn new_segment(dir: &Path, seq: u64) -> Result<File, PersistError> {
+    let path = segment_path(dir, seq);
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .read(true)
+        .open(&path)
+        .map_err(|e| PersistError::io(&path, e))?;
+    let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+    header[..4].copy_from_slice(SEG_MAGIC);
+    header[4] = SEG_VERSION;
+    file.write_all(&header)
+        .map_err(|e| PersistError::io(&path, e))?;
+    file.sync_data().map_err(|e| PersistError::io(&path, e))?;
+    fsync_dir(dir)?;
+    Ok(file)
+}
+
+/// Scans the log from `start` to its physical end, decoding every valid
+/// frame. See the module docs for the torn-write contract; a bad frame
+/// anywhere except the last segment's tail is an error.
+///
+/// # Errors
+/// Returns [`PersistError`] for missing segments between `start` and the
+/// newest one, unreadable files, or mid-log corruption.
+pub fn read_from<K: ItemCodec>(
+    dir: &Path,
+    start: WalPosition,
+) -> Result<WalReadOutcome<K>, PersistError> {
+    let segments = list_segments(dir)?;
+    let relevant: Vec<&(u64, PathBuf)> = segments
+        .iter()
+        .filter(|&&(seq, _)| seq >= start.segment)
+        .collect();
+    if relevant.is_empty() {
+        return Err(PersistError::corrupt(
+            dir,
+            format!("manifest points at missing WAL segment {}", start.segment),
+        ));
+    }
+    // The replay range must be contiguous: a hole means a segment the
+    // manifest still depends on was deleted.
+    for (i, &&(seq, _)) in relevant.iter().enumerate() {
+        let expected = start.segment + i as u64;
+        if seq != expected {
+            return Err(PersistError::corrupt(
+                dir,
+                format!("WAL segment {expected} missing (next present is {seq})"),
+            ));
+        }
+    }
+    let mut records = Vec::new();
+    let mut end = start;
+    let mut dropped = 0u64;
+    let last_index = relevant.len() - 1;
+    for (i, &&(seq, ref path)) in relevant.iter().enumerate() {
+        let is_last = i == last_index;
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| PersistError::io(path, e))?;
+        if bytes.len() < SEGMENT_HEADER_LEN as usize
+            || &bytes[..4] != SEG_MAGIC
+            || bytes[4] != SEG_VERSION
+        {
+            // A bad header on the newest, not-yet-referenced segment is
+            // the signature of a crash during rotation (the directory
+            // entry committed before the header bytes were durable): a
+            // torn tail, not corruption. The manifest's own start
+            // segment always has a durable header — `new_segment` syncs
+            // it before any manifest can reference it — so a bad header
+            // there is real damage.
+            if is_last && seq != start.segment {
+                return Ok(WalReadOutcome {
+                    records,
+                    end,
+                    dropped_tail_bytes: bytes.len() as u64,
+                });
+            }
+            return Err(PersistError::corrupt(path, "bad segment header"));
+        }
+        let mut cursor = if seq == start.segment {
+            if start.offset < SEGMENT_HEADER_LEN || start.offset > bytes.len() as u64 {
+                return Err(PersistError::corrupt(
+                    path,
+                    format!("replay offset {} outside segment", start.offset),
+                ));
+            }
+            start.offset as usize
+        } else {
+            SEGMENT_HEADER_LEN as usize
+        };
+        end = WalPosition {
+            segment: seq,
+            offset: cursor as u64,
+        };
+        loop {
+            match decode_frame::<K>(&bytes[cursor..]) {
+                FrameOutcome::Record(record, consumed) => {
+                    records.push(record);
+                    cursor += consumed;
+                    end.offset = cursor as u64;
+                }
+                FrameOutcome::End => break,
+                FrameOutcome::Torn(detail) => {
+                    if is_last {
+                        dropped = (bytes.len() - cursor) as u64;
+                        return Ok(WalReadOutcome {
+                            records,
+                            end,
+                            dropped_tail_bytes: dropped,
+                        });
+                    }
+                    return Err(PersistError::corrupt(
+                        path,
+                        format!("mid-log frame at offset {cursor}: {detail}"),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(WalReadOutcome {
+        records,
+        end,
+        dropped_tail_bytes: dropped,
+    })
+}
+
+enum FrameOutcome<K> {
+    /// A valid frame: the record and the bytes it consumed.
+    Record(WalRecord<K>, usize),
+    /// Clean end of segment (zero bytes remain).
+    End,
+    /// A short, corrupt, or undecodable frame.
+    Torn(String),
+}
+
+/// Decodes the frame at the front of `bytes`.
+fn decode_frame<K: ItemCodec>(bytes: &[u8]) -> FrameOutcome<K> {
+    if bytes.is_empty() {
+        return FrameOutcome::End;
+    }
+    if bytes.len() < FRAME_HEADER_LEN as usize {
+        return FrameOutcome::Torn(format!("{}-byte partial frame header", bytes.len()));
+    }
+    let payload_len = u32::from_le_bytes(bytes[0..4].try_into().expect("sized"));
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("sized"));
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return FrameOutcome::Torn(format!("implausible payload length {payload_len}"));
+    }
+    let total = FRAME_HEADER_LEN as usize + payload_len as usize;
+    if bytes.len() < total {
+        return FrameOutcome::Torn(format!(
+            "payload truncated ({} of {payload_len} bytes)",
+            bytes.len() - FRAME_HEADER_LEN as usize
+        ));
+    }
+    let payload = &bytes[FRAME_HEADER_LEN as usize..total];
+    if super::crc32c(payload) != crc {
+        return FrameOutcome::Torn("CRC mismatch".into());
+    }
+    // Past the CRC the payload is trusted framing-wise, but the decode
+    // stays total: a CRC collision on garbage must fail cleanly.
+    let mut view = payload;
+    let mut decode = || -> Result<WalRecord<K>, crate::error::Error> {
+        let epoch = u64::decode(&mut view)?;
+        let count = u32::decode(&mut view)? as usize;
+        let mut batch = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let item = K::decode(&mut view)?;
+            let weight = u64::decode(&mut view)?;
+            batch.push((item, weight));
+        }
+        if !view.is_empty() {
+            return Err(crate::error::Error::Corrupt(
+                "trailing bytes in WAL payload".into(),
+            ));
+        }
+        Ok(WalRecord { epoch, batch })
+    };
+    match decode() {
+        Ok(record) => FrameOutcome::Record(record, total),
+        Err(e) => FrameOutcome::Torn(format!("undecodable payload: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("streamfreq-wal-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn start() -> WalPosition {
+        WalPosition {
+            segment: 1,
+            offset: SEGMENT_HEADER_LEN,
+        }
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 1 << 20).unwrap();
+        w.append(0, &[(1u64, 10u64), (2, 20)]).unwrap();
+        w.append(0, &[(3u64, 30u64)]).unwrap();
+        w.append(1, &[(4u64, 40u64)]).unwrap();
+        w.append::<u64>(1, &[]).unwrap(); // no-op
+        let out = read_from::<u64>(&dir, start()).unwrap();
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(out.records[0].batch, vec![(1, 10), (2, 20)]);
+        assert_eq!(out.records[2].epoch, 1);
+        assert_eq!(out.dropped_tail_bytes, 0);
+        assert_eq!(out.end, w.position());
+        assert_eq!(w.total_bytes(), out.end.offset);
+    }
+
+    #[test]
+    fn string_items_roundtrip() {
+        let dir = tmp_dir("strings");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Always, 1 << 20).unwrap();
+        let batch = vec![("alpha".to_string(), 5u64), ("β".to_string(), 7)];
+        w.append(3, &batch).unwrap();
+        let out = read_from::<String>(&dir, start()).unwrap();
+        assert_eq!(out.records[0].batch, batch);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replays_across() {
+        let dir = tmp_dir("rotate");
+        // Tiny segment budget: every append rotates.
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 32).unwrap();
+        for i in 0..5u64 {
+            w.append(0, &[(i, i + 1)]).unwrap();
+        }
+        assert!(list_segments(&dir).unwrap().len() >= 5);
+        let out = read_from::<u64>(&dir, start()).unwrap();
+        assert_eq!(out.records.len(), 5);
+        assert_eq!(out.records[4].batch, vec![(4, 5)]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_at_every_cut_point() {
+        let dir = tmp_dir("torn");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 1 << 20).unwrap();
+        w.append(0, &[(1u64, 1u64)]).unwrap();
+        let keep = w.position().offset;
+        w.append(0, &[(2u64, 2u64), (3, 3)]).unwrap();
+        let full = w.position().offset;
+        drop(w);
+        let path = segment_path(&dir, 1);
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in keep..full {
+            std::fs::write(&path, &bytes[..cut as usize]).unwrap();
+            let out = read_from::<u64>(&dir, start()).unwrap();
+            assert_eq!(out.records.len(), 1, "cut at {cut}");
+            assert_eq!(out.end.offset, keep);
+            assert_eq!(out.dropped_tail_bytes, cut - keep);
+        }
+    }
+
+    #[test]
+    fn flipped_tail_byte_is_dropped_not_misdecoded() {
+        let dir = tmp_dir("flip");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 1 << 20).unwrap();
+        w.append(0, &[(1u64, 1u64)]).unwrap();
+        let keep = w.position().offset;
+        w.append(0, &[(2u64, 2u64)]).unwrap();
+        drop(w);
+        let path = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        for flip in keep as usize..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[flip] ^= 0x40;
+            std::fs::write(&path, &corrupted).unwrap();
+            let out = read_from::<u64>(&dir, start()).unwrap();
+            assert_eq!(out.records.len(), 1, "flip at {flip}");
+            assert_eq!(out.records[0].batch, vec![(1, 1)]);
+        }
+        // Restore and confirm both records decode again.
+        bytes[0] = b'S';
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_from::<u64>(&dir, start()).unwrap().records.len(), 2);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error() {
+        let dir = tmp_dir("midlog");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 64).unwrap();
+        for i in 0..4u64 {
+            w.append(0, &[(i, 1u64)]).unwrap(); // rotates per append
+        }
+        drop(w);
+        // Corrupt a frame in the FIRST segment: later segments exist, so
+        // this cannot be a torn tail.
+        let path = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_from::<u64>(&dir, start()),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_segment_is_a_clean_error() {
+        let dir = tmp_dir("hole");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 32).unwrap();
+        for i in 0..3u64 {
+            w.append(0, &[(i, 1u64)]).unwrap();
+        }
+        drop(w);
+        std::fs::remove_file(segment_path(&dir, 2)).unwrap();
+        let err = read_from::<u64>(&dir, start()).unwrap_err();
+        assert!(err.to_string().contains("segment 2 missing"), "{err}");
+        // A start position past the newest segment is also clean.
+        let err = read_from::<u64>(
+            &dir,
+            WalPosition {
+                segment: 99,
+                offset: SEGMENT_HEADER_LEN,
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("missing WAL segment 99"), "{err}");
+    }
+
+    #[test]
+    fn open_at_truncates_torn_tail_and_resumes() {
+        let dir = tmp_dir("resume");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 1 << 20).unwrap();
+        w.append(0, &[(1u64, 1u64)]).unwrap();
+        w.append(0, &[(2u64, 2u64)]).unwrap();
+        drop(w);
+        // Tear the second record.
+        let path = segment_path(&dir, 1);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let out = read_from::<u64>(&dir, start()).unwrap();
+        assert_eq!(out.records.len(), 1);
+        let mut w = WalWriter::open_at(&dir, out.end, FsyncPolicy::Off, 1 << 20).unwrap();
+        w.append(0, &[(9u64, 9u64)]).unwrap();
+        drop(w);
+        let out = read_from::<u64>(&dir, start()).unwrap();
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.records[1].batch, vec![(9, 9)]);
+        assert_eq!(out.dropped_tail_bytes, 0, "torn bytes were truncated away");
+    }
+
+    #[test]
+    fn headerless_rotation_husk_is_dropped_and_cleaned() {
+        // Crash during rotation: the new segment's directory entry
+        // committed but its header never became durable. Replay must
+        // treat the husk as a torn tail, and a resumed writer must
+        // clean it up and continue in the previous segment.
+        let dir = tmp_dir("husk");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 1 << 20).unwrap();
+        w.append(0, &[(1u64, 1u64)]).unwrap();
+        let keep = w.position();
+        drop(w);
+        for husk_bytes in [&b""[..], &b"SF"[..], &b"garbage!"[..]] {
+            std::fs::write(segment_path(&dir, 2), husk_bytes).unwrap();
+            let out = read_from::<u64>(&dir, start()).unwrap();
+            assert_eq!(out.records.len(), 1, "husk {husk_bytes:?}");
+            assert_eq!(out.end, keep);
+            assert_eq!(out.dropped_tail_bytes, husk_bytes.len() as u64);
+            let mut w = WalWriter::open_at(&dir, out.end, FsyncPolicy::Off, 1 << 20).unwrap();
+            assert!(!segment_path(&dir, 2).exists(), "husk removed");
+            w.append(0, &[(2u64, 2u64)]).unwrap();
+            drop(w);
+            let out = read_from::<u64>(&dir, start()).unwrap();
+            assert_eq!(out.records.len(), 2);
+            // Reset for the next husk shape.
+            let mut w = WalWriter::open_at(&dir, keep, FsyncPolicy::Off, 1 << 20).unwrap();
+            w.sync().unwrap();
+            drop(w);
+        }
+        // An *intact* newer segment must never be silently deleted.
+        let mut w = WalWriter::open_at(&dir, keep, FsyncPolicy::Off, 1 << 20).unwrap();
+        let pos2 = w.rotate().unwrap();
+        w.append(0, &[(3u64, 3u64)]).unwrap();
+        drop(w);
+        assert!(matches!(
+            WalWriter::open_at(&dir, keep, FsyncPolicy::Off, 1 << 20),
+            Err(PersistError::Corrupt { .. })
+        ));
+        assert!(segment_path(&dir, pos2.segment).exists());
+    }
+
+    #[test]
+    fn truncation_removes_old_segments() {
+        let dir = tmp_dir("truncate");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 32).unwrap();
+        for i in 0..4u64 {
+            w.append(0, &[(i, 1u64)]).unwrap();
+        }
+        let pos = w.rotate().unwrap();
+        let before = w.total_bytes();
+        let freed = w.remove_segments_below(pos.segment).unwrap();
+        assert!(freed > 0);
+        assert_eq!(w.total_bytes(), before - freed);
+        assert_eq!(w.total_bytes(), SEGMENT_HEADER_LEN);
+        let out = read_from::<u64>(&dir, pos).unwrap();
+        assert!(out.records.is_empty());
+    }
+}

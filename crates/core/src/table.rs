@@ -615,6 +615,71 @@ impl<K: SketchKey> LpTable<K> {
         out
     }
 
+    /// Re-occupies `slot` with `(key, value)` exactly as recorded by a
+    /// checkpoint: the state encodes the probe distance from the key's
+    /// home cell to `slot`. Used by the persistence layer to rebuild a
+    /// table **layout-identically** — re-inserting keys through the
+    /// normal upsert path does not reproduce wrap-around probe clusters,
+    /// so a refeed-based rebuild can diverge slot-for-slot from the
+    /// original (and thus from an uninterrupted run).
+    ///
+    /// The caller must finish with [`Self::validate_layout`]: this method
+    /// checks only per-slot facts (vacancy, probe distance range), not
+    /// the global probing invariants.
+    pub(crate) fn restore_slot(&mut self, slot: usize, key: K, value: i64) -> Result<(), String> {
+        if slot >= self.len() {
+            return Err(format!("slot {slot} outside table of {} cells", self.len()));
+        }
+        if self.states[slot] != 0 {
+            return Err(format!("slot {slot} restored twice"));
+        }
+        if value <= 0 {
+            return Err(format!("non-positive counter {value} at slot {slot}"));
+        }
+        let home = self.home(&key);
+        let dist = slot.wrapping_sub(home) & self.mask;
+        if dist >= u16::MAX as usize {
+            return Err(format!(
+                "probe distance {dist} at slot {slot} exceeds state range"
+            ));
+        }
+        self.keys[slot] = key;
+        self.values[slot] = value;
+        self.states[slot] = dist as u16 + 1;
+        self.num_active += 1;
+        Ok(())
+    }
+
+    /// Non-panicking counterpart of [`Self::check_invariants`] for
+    /// validating untrusted (deserialized) layouts: probe paths must be
+    /// gap-free and every lookup must land on the slot that claims the
+    /// key. The landing-slot check (not merely a value comparison)
+    /// also rejects duplicate keys: a second copy of a key can never be
+    /// the first probe match, so it fails here even when both copies
+    /// carry equal values.
+    pub(crate) fn validate_layout(&self) -> Result<(), String> {
+        for i in 0..self.len() {
+            if self.states[i] == 0 {
+                continue;
+            }
+            let dist = (self.states[i] - 1) as usize;
+            let home = i.wrapping_sub(dist) & self.mask;
+            let mut j = home;
+            while j != i {
+                if self.states[j] == 0 {
+                    return Err(format!("empty cell {j} interrupts probe path to slot {i}"));
+                }
+                if self.keys[j] == self.keys[i] {
+                    return Err(format!(
+                        "key at slot {i} is shadowed by a duplicate at slot {j}"
+                    ));
+                }
+                j = (j + 1) & self.mask;
+            }
+        }
+        Ok(())
+    }
+
     /// Verifies the structural invariants (test/debug aid):
     /// states encode exact probe distances, probe paths are gap-free, the
     /// active count is consistent, and every stored key is findable.

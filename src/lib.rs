@@ -46,11 +46,12 @@
 pub use streamfreq_apps as apps;
 pub use streamfreq_baselines as baselines;
 pub use streamfreq_core::{
-    bounds, codec, concurrent, engine, hashing, item_codec, phi_threshold, purge, result, rng,
-    select, sharded, signed, sketch, table, traits, ConcurrentSketch, ConcurrentSketchBuilder,
-    ConcurrentWriter, CounterSummary, Error, ErrorType, FreqSketch, FreqSketchBuilder,
-    FrequencyEstimator, ItemsSketch, ItemsSketchBuilder, PurgePolicy, Row, ShardedSketch,
-    ShardedSketchBuilder, SignedFreqSketch, SignedSketch, SketchEngine, SketchEngineBuilder,
-    SketchKey, Snapshot, SnapshotReader,
+    bounds, codec, concurrent, engine, hashing, item_codec, persist, phi_threshold, purge, result,
+    rng, select, sharded, signed, sketch, table, traits, ConcurrentSketch, ConcurrentSketchBuilder,
+    ConcurrentWriter, CounterSummary, DurabilityOptions, DurableSketch, EngineConfig, Error,
+    ErrorType, FreqSketch, FreqSketchBuilder, FrequencyEstimator, FsyncPolicy, ItemsSketch,
+    ItemsSketchBuilder, PersistError, PurgePolicy, Row, ShardedSketch, ShardedSketchBuilder,
+    SignedFreqSketch, SignedSketch, SketchEngine, SketchEngineBuilder, SketchKey, Snapshot,
+    SnapshotReader,
 };
 pub use streamfreq_workloads as workloads;

@@ -291,3 +291,99 @@ proptest! {
         }
     }
 }
+
+/// Hostile-input hardening: corrupting an encoded sketch must never
+/// panic the decoder, truncation must always be rejected, and the
+/// CRC-framed checkpoint format (the WAL/persistence safety net) must
+/// reject *every* corruption — a flipped byte cannot silently decode
+/// into a plausible-but-wrong state.
+mod corruption {
+    use proptest::prelude::*;
+    use streamfreq::persist::checkpoint::{decode_checkpoint, encode_checkpoint};
+    use streamfreq::{FreqSketch, ItemsSketch, PurgePolicy};
+
+    fn arb_policy() -> impl Strategy<Value = PurgePolicy> {
+        prop_oneof![
+            Just(PurgePolicy::smed()),
+            Just(PurgePolicy::smin()),
+            Just(PurgePolicy::GlobalMin),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn mutated_sketch_bytes_never_panic_and_tears_always_err(
+            stream in proptest::collection::vec((0u64..300, 1u64..500), 1..800),
+            policy in arb_policy(),
+            k in 4usize..48,
+            seed in any::<u64>(),
+            cut_frac in 0.0f64..=1.0,
+            flip_frac in 0.0f64..=1.0,
+            flip_bit in 0u8..8,
+        ) {
+            let mut sketch = FreqSketch::builder(k).policy(policy).seed(seed).build().unwrap();
+            sketch.update_batch(&stream);
+            let bytes = sketch.serialize_to_bytes();
+
+            // Truncation at any interior point is always an error.
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(
+                FreqSketch::deserialize_from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes accepted", bytes.len()
+            );
+
+            // A bit flip anywhere must not panic; if it still decodes
+            // (the bare format has no checksum), the result must be a
+            // structurally sound sketch, never a broken one.
+            let mut flipped = bytes.clone();
+            let at = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+            flipped[at] ^= 1 << flip_bit;
+            match FreqSketch::deserialize_from_bytes(&flipped) {
+                Err(_) => {}
+                Ok(decoded) => decoded.engine().check_invariants(),
+            }
+
+            // The CRC-framed checkpoint format rejects the same flip
+            // outright — this is the WAL-frame decoder's safety net.
+            let ckpt = encode_checkpoint(sketch.engine(), 7);
+            let ckpt_cut = ((ckpt.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(decode_checkpoint::<u64>(&ckpt[..ckpt_cut]).is_err());
+            let mut ckpt_flipped = ckpt.clone();
+            let at = ((ckpt.len() - 1) as f64 * flip_frac) as usize;
+            ckpt_flipped[at] ^= 1 << flip_bit;
+            prop_assert!(
+                decode_checkpoint::<u64>(&ckpt_flipped).is_err(),
+                "checkpoint with byte {at} flipped decoded silently"
+            );
+            // Untouched bytes still decode, so the rejections above are
+            // about the corruption, not the encoding.
+            prop_assert!(decode_checkpoint::<u64>(&ckpt).is_ok());
+        }
+
+        #[test]
+        fn mutated_items_sketch_bytes_never_panic(
+            stream in proptest::collection::vec((".*", 1u64..200), 1..200),
+            k in 4usize..32,
+            cut_frac in 0.0f64..=1.0,
+            flip_frac in 0.0f64..=1.0,
+            flip_bit in 0u8..8,
+        ) {
+            let mut sketch: ItemsSketch<String> = ItemsSketch::with_max_counters(k);
+            for (item, w) in &stream {
+                sketch.update(item.clone(), *w);
+            }
+            let bytes = sketch.serialize_to_bytes();
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(ItemsSketch::<String>::deserialize_from_bytes(&bytes[..cut]).is_err());
+            let mut flipped = bytes.clone();
+            let at = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+            flipped[at] ^= 1 << flip_bit;
+            match ItemsSketch::<String>::deserialize_from_bytes(&flipped) {
+                Err(_) => {}
+                Ok(decoded) => decoded.check_invariants(),
+            }
+        }
+    }
+}
