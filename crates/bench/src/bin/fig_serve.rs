@@ -21,21 +21,31 @@
 //!   reads in a closed loop for the whole ingest: the headline
 //!   "sustained ingest under query fire" row.
 //!
+//! A second table measures the **wire protocols** end to end: a real
+//! `streamfreq serve` event loop on loopback TCP, hammered with
+//! pipelined `EST` requests — `proto_text` (newline protocol) against
+//! `proto_binary` (`SFBP` length-prefixed frames). Same server, same
+//! socket, same event loop; the delta is pure framing and parsing.
+//!
 //! ```text
 //! cargo run --release -p streamfreq-bench --bin fig_serve -- \
 //!     [--updates N] [--json PATH] [--smoke]
 //! ```
 //!
 //! `--smoke` shrinks to one small configuration with a single
-//! repetition — the CI guard that the serving binary still runs.
+//! repetition, and runs the protocol servers durably (group-commit WAL
+//! on) — the CI guard that the serving binary still runs end to end.
 
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use streamfreq_bench::{parse_flag, print_header};
-use streamfreq_core::{ConcurrentSketch, ShardedSketch};
-use streamfreq_workloads::{CaidaConfig, SyntheticCaida};
+use streamfreq_cli::serve::{encode_binary_request, run_serve, ServeOptions, BINARY_MAGIC};
+use streamfreq_core::{ConcurrentSketch, FsyncPolicy, PurgePolicy, ShardedSketch};
+use streamfreq_workloads::{save_binary, CaidaConfig, SyntheticCaida};
 
 /// The paper's largest counter configuration (§4.1).
 const SERVE_K: usize = 24_576;
@@ -159,7 +169,183 @@ fn run_mode_median(
     results.swap_remove(results.len() / 2)
 }
 
-fn results_to_json(updates: usize, results: &[ServeResult]) -> String {
+/// One measured wire-protocol row.
+struct ProtocolRow {
+    mode: &'static str,
+    pipeline: usize,
+    queries: u64,
+    seconds: f64,
+    queries_per_sec: f64,
+    durable: bool,
+}
+
+/// Requests in flight per write: deep enough that syscalls amortize,
+/// shallow enough that both sides stay within one socket buffer.
+const PIPELINE: usize = 512;
+
+/// Byte length of one framed binary `EST` reply:
+/// `len u32le + status u8 + 3 × u64le`.
+const BINARY_EST_REPLY: usize = 4 + 1 + 24;
+
+/// Measures pipelined `EST` throughput against a real `streamfreq
+/// serve` event loop over loopback TCP, in `proto` wire format.
+fn run_protocol(
+    mode: &'static str,
+    binary: bool,
+    stream: &[(u64, u64)],
+    total_queries: u64,
+    durable: bool,
+) -> ProtocolRow {
+    let tmp = std::env::temp_dir().join(format!("streamfreq-fig-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create scratch dir");
+    let input = tmp.join(format!("{mode}.bin"));
+    save_binary(stream, &input).expect("write stream file");
+    let port_file = tmp.join(format!("{mode}.port"));
+    let _ = std::fs::remove_file(&port_file);
+    let data_dir = durable.then(|| {
+        let d = tmp.join(format!("{mode}-store"));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    });
+    let opts = ServeOptions {
+        port: 0,
+        port_file: Some(port_file.clone()),
+        k: 4_096,
+        policy: PurgePolicy::smed(),
+        seed: 7,
+        threads: 2,
+        shards: 4,
+        passes: 1,
+        snapshot_ms: 20,
+        input: input.clone(),
+        data_dir,
+        fsync: FsyncPolicy::Off,
+        checkpoint_ms: 0,
+    };
+    let server = std::thread::spawn(move || run_serve(&opts).expect("serve run"));
+
+    // Handshake: wait for the bound address, then poll STATS on a text
+    // control connection until the ingest pass has drained — protocol
+    // throughput is measured against a quiescent, fully-published
+    // sketch, not a moving one.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            if !s.trim().is_empty() {
+                break s.trim().to_string();
+            }
+        }
+        assert!(Instant::now() < deadline, "serve never wrote its port file");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let mut control = TcpStream::connect(&addr).expect("connect control");
+    control.set_nodelay(true).expect("nodelay");
+    let mut control_rd = BufReader::new(control.try_clone().expect("clone control"));
+    loop {
+        control.write_all(b"STATS\n").expect("control STATS");
+        let mut line = String::new();
+        control_rd.read_line(&mut line).expect("control reply");
+        if line.contains("ingest_done=1") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "ingest never finished");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // A hot item: answered from the merged snapshot like any other, but
+    // guaranteed present so replies exercise the full three-field path.
+    let probe = stream[stream.len() / 2].0;
+    let rounds = (total_queries / PIPELINE as u64).max(1);
+
+    let mut conn = TcpStream::connect(&addr).expect("connect bench");
+    conn.set_nodelay(true).expect("nodelay");
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    // A true pipelined client: a writer thread floods request blocks
+    // back to back while this thread drains replies, so the socket
+    // never runs dry and in-flight depth is bounded by the kernel
+    // socket buffers plus the server's write high-water mark.
+    let request = vec!["EST".to_string(), probe.to_string()];
+    let queries = rounds * PIPELINE as u64;
+    let seconds = if binary {
+        let mut block = Vec::new();
+        for _ in 0..PIPELINE {
+            encode_binary_request(&request, &mut block).expect("encode EST frame");
+        }
+        conn.write_all(BINARY_MAGIC).expect("send magic");
+        let start = Instant::now();
+        let writer = {
+            let mut wconn = conn.try_clone().expect("clone for writer");
+            std::thread::spawn(move || {
+                for _ in 0..rounds {
+                    wconn.write_all(&block).expect("send frames");
+                }
+            })
+        };
+        let total = queries as usize * BINARY_EST_REPLY;
+        let mut buf = vec![0u8; 1 << 20];
+        let mut got = 0usize;
+        let mut first = [0u8; BINARY_EST_REPLY];
+        while got < total {
+            let n = conn.read(&mut buf).expect("read frames");
+            assert!(n > 0, "server closed mid-benchmark");
+            if got < BINARY_EST_REPLY {
+                let take = (BINARY_EST_REPLY - got).min(n);
+                first[got..got + take].copy_from_slice(&buf[..take]);
+            }
+            got += n;
+        }
+        assert_eq!(got, total, "reply byte count must match frame math");
+        assert_eq!(
+            u32::from_le_bytes(first[..4].try_into().unwrap()),
+            1 + 24,
+            "EST reply frame length"
+        );
+        assert_eq!(first[4], 0, "EST reply status must be OK");
+        writer.join().expect("writer thread panicked");
+        start.elapsed().as_secs_f64()
+    } else {
+        let block = format!("EST {probe}\n").repeat(PIPELINE).into_bytes();
+        let mut reader = BufReader::with_capacity(1 << 20, conn.try_clone().expect("clone bench"));
+        let start = Instant::now();
+        let writer = {
+            let mut wconn = conn.try_clone().expect("clone for writer");
+            std::thread::spawn(move || {
+                for _ in 0..rounds {
+                    wconn.write_all(&block).expect("send lines");
+                }
+            })
+        };
+        let mut reply = String::new();
+        for i in 0..queries {
+            reply.clear();
+            reader.read_line(&mut reply).expect("read line");
+            assert!(reply.ends_with('\n'), "server closed mid-benchmark");
+            if i == 0 {
+                assert!(reply.starts_with("OK "), "EST reply must be OK");
+            }
+        }
+        writer.join().expect("writer thread panicked");
+        start.elapsed().as_secs_f64()
+    };
+
+    control.write_all(b"QUIT\n").expect("send QUIT");
+    drop(conn);
+    drop(control);
+    server.join().expect("server thread panicked");
+    let _ = std::fs::remove_file(&input);
+    let _ = std::fs::remove_file(&port_file);
+    ProtocolRow {
+        mode,
+        pipeline: PIPELINE,
+        queries,
+        seconds,
+        queries_per_sec: queries as f64 / seconds,
+        durable,
+    }
+}
+
+fn results_to_json(updates: usize, results: &[ServeResult], protocol: &[ProtocolRow]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"fig_serve_throughput\",\n");
     out.push_str(&format!("  \"updates\": {updates},\n"));
@@ -184,6 +370,20 @@ fn results_to_json(updates: usize, results: &[ServeResult]) -> String {
             r.snapshots,
             r.checksum,
             if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"protocol\": [\n");
+    for (i, r) in protocol.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"pipeline\": {}, \"queries\": {}, \
+             \"seconds\": {:.6}, \"queries_per_sec\": {:.1}, \"durable\": {}}}{}\n",
+            r.mode,
+            r.pipeline,
+            r.queries,
+            r.seconds,
+            r.queries_per_sec,
+            r.durable,
+            if i + 1 < protocol.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -247,7 +447,27 @@ fn main() {
         }
     }
 
-    let json = results_to_json(updates, &results);
+    println!("# Wire-protocol throughput: pipelined EST over loopback TCP");
+    print_header(&["mode", "pipeline", "queries", "seconds", "queries_per_sec"]);
+    let proto_queries: u64 = if smoke { 50_000 } else { 2_000_000 };
+    let proto_stream: &[(u64, u64)] = if smoke {
+        &stream
+    } else {
+        // Protocol rows measure the wire, not ingest: a short stream
+        // keeps server startup out of the benchmark's wall clock.
+        &stream[..stream.len().min(500_000)]
+    };
+    let mut protocol: Vec<ProtocolRow> = Vec::new();
+    for (mode, binary) in [("proto_text", false), ("proto_binary", true)] {
+        let row = run_protocol(mode, binary, proto_stream, proto_queries, smoke);
+        println!(
+            "{}\t{}\t{}\t{:.3}\t{:.3e}",
+            row.mode, row.pipeline, row.queries, row.seconds, row.queries_per_sec
+        );
+        protocol.push(row);
+    }
+
+    let json = results_to_json(updates, &results, &protocol);
     match std::fs::write(&json_path, &json) {
         Ok(()) => eprintln!("wrote {json_path}"),
         Err(e) => eprintln!("could not write {json_path}: {e}"),

@@ -13,9 +13,11 @@ pub mod serve;
 
 use streamfreq_apps::WindowedStore;
 use streamfreq_core::persist::checkpoint::checkpoint_info;
-use streamfreq_core::persist::recover::recover_engine_readonly;
+use streamfreq_core::persist::recover::{
+    open_bank_existing, recover_bank_readonly, recover_engine_readonly,
+};
 use streamfreq_core::persist::store::{
-    read_manifest, read_store_meta, shard_dir, Manifest, StoreMeta,
+    checkpoint_bank, read_manifest, read_store_meta, shard_dir, Manifest, StoreMeta,
 };
 use streamfreq_core::{
     DurabilityOptions, DurableSketch, ErrorType, FreqSketch, PurgePolicy, Row, ShardedSketch,
@@ -50,8 +52,8 @@ USAGE:
                    [--passes R] [--snapshot-ms M] [--policy ...] [--seed N]
                    [--data-dir DIR] [--fsync always|off|bytes:N]
                    [--checkpoint-ms M]
-  streamfreq query-remote --port P <EST item | TOPK n | HH phi [nfp|nfn]
-                   | STATS | CKPT | QUIT>
+  streamfreq query-remote --port P [--binary] <EST item | TOPK n
+                   | HH phi [nfp|nfn] | STATS | CKPT | QUIT>
   streamfreq checkpoint --data-dir DIR
   streamfreq recover --data-dir DIR --output <sketch.sk>
   streamfreq help
@@ -61,8 +63,9 @@ FILES:
   stream.tbin  24-byte little-endian (timestamp, item, weight) records
   sketch.sk    streamfreq-core versioned wire format
   store.wsk    windowed bucket store (one summary per time bucket)
-  data dir     durable store: MANIFEST + ckpt-*.ck + wal-*.seg (per
-               shard under shard-NNNN/ for served banks, plus STORE)
+  data dir     durable store: MANIFEST + ckpt-*.ck + wal-*.seg; served
+               banks keep one shared wal at the top level plus STORE,
+               with MANIFEST + checkpoints under shard-NNNN/
 
   `info` decodes any of: sketch files, checkpoint files, MANIFEST /
   STORE files, or a whole durable store directory.
@@ -95,17 +98,26 @@ SERVING:
   a bounded-staleness view with certified error bounds. --port 0 picks
   an ephemeral port; --port-file writes the bound address for scripts.
   QUIT drains ingestion (final sealed snapshot) and stops the server.
-  query-remote sends one protocol request and prints the response.
+  The same port also speaks a pipelined length-prefixed binary protocol
+  (connections opening with the 4-byte magic `SFBP`); both formats are
+  served by one poll-based event loop. query-remote sends one protocol
+  request and prints the response; --binary uses the framed protocol
+  and prints the identical text rendering.
 
 DURABILITY:
-  serve --data-dir DIR write-ahead-logs every shard's ingest (CRC-
-  framed segments, fsync per --fsync: always | off | bytes:N, default
-  bytes:8388608) and checkpoints shards atomically — periodically with
-  --checkpoint-ms, on the CKPT verb, and at graceful drain. Restarting
-  against the same DIR recovers the state exactly: checkpoint + WAL
-  replay per shard (torn tail records are CRC-detected and dropped),
-  Algorithm-5 merge across shards. STATS then also reports wal_bytes,
-  last_checkpoint_epoch, and fsync_policy.
+  serve --data-dir DIR write-ahead-logs every shard's ingest into one
+  shared group-commit log (CRC-framed segments of stream-tagged
+  delta/varint records, staged off-thread and coalesced into one write
+  + fsync per flush window; fsync per --fsync: always | off | bytes:N,
+  default bytes:8388608) and checkpoints shards in coordinated rounds —
+  periodically with --checkpoint-ms, on the CKPT verb, and at graceful
+  drain. Restarting against the same DIR recovers the state exactly:
+  checkpoint + one shared-log replay routed by stream tag (torn tail
+  records are CRC-detected and dropped), Algorithm-5 merge across
+  shards. Stores written by older per-shard-WAL builds migrate onto the
+  shared log on first open. STATS then also reports wal_bytes,
+  last_checkpoint_epoch, fsync_policy, wal_flush_count,
+  wal_group_commit_batches, and avg_frames_per_fsync.
   checkpoint compacts an offline store: recover, write a fresh
   checkpoint, truncate the WAL. recover exports a store's merged state
   as an ordinary sketch file.
@@ -224,6 +236,9 @@ pub enum Command {
         port: u16,
         /// The protocol request tokens (e.g. `["EST", "42"]`).
         request: Vec<String>,
+        /// Speak the framed `SFBP` binary protocol instead of newline
+        /// text (the reply prints identically either way).
+        binary: bool,
     },
     /// Range-merge query over a windowed bucket store.
     WindowQuery {
@@ -585,12 +600,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 let p = parse_u64(port_value, "port")?;
                 u16::try_from(p).map_err(|_| CliError::Usage(format!("port {p} > 65535")))?
             };
-            // Everything except the --port pair is the protocol request.
+            // Everything except the --port pair and --binary flag is
+            // the protocol request.
             let mut request = Vec::new();
+            let mut binary = false;
             let mut iter = rest.iter();
             while let Some(arg) = iter.next() {
                 if arg == "--port" {
                     iter.next();
+                    continue;
+                }
+                if arg == "--binary" {
+                    binary = true;
                     continue;
                 }
                 request.push(arg.clone());
@@ -601,7 +622,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .into(),
                 ));
             }
-            Ok(Command::QueryRemote { port, request })
+            Ok(Command::QueryRemote {
+                port,
+                request,
+                binary,
+            })
         }
         "window" => {
             let Some(sub) = rest.first() else {
@@ -895,10 +920,14 @@ fn manifest_summary(dir: &Path) -> Result<String, CliError> {
                     .map_err(|e| CliError::Sketch(ckpt_path, e))?
                     .stream_weight;
             }
+            let log = if m.shared_log {
+                format!("shared log stream {}", m.stream)
+            } else {
+                format!("wal bytes {}", wal_bytes_in(dir)?)
+            };
             Ok(format!(
-                "checkpoint epoch {}, checkpointed N = {n}, wal bytes {}",
+                "checkpoint epoch {}, checkpointed N = {n}, {log}",
                 m.epoch,
-                wal_bytes_in(dir)?
             ))
         }
     }
@@ -923,6 +952,7 @@ fn info_store_dir(dir: &Path) -> Result<String, CliError> {
             meta.policy,
             meta.seed,
         );
+        out.push_str(&format!("\x20 shared wal bytes:  {}\n", wal_bytes_in(dir)?));
         for s in 0..meta.num_shards {
             let sdir = shard_dir(dir, s);
             out.push_str(&format!("  shard {s}: {}\n", manifest_summary(&sdir)?));
@@ -943,42 +973,62 @@ fn info_store_dir(dir: &Path) -> Result<String, CliError> {
 }
 
 /// `streamfreq checkpoint`: recover an offline store read-write, write a
-/// fresh checkpoint per shard, truncate the WALs.
+/// fresh checkpoint per shard in one coordinated round, truncate the
+/// shared log (legacy per-shard layouts migrate onto it on open).
 fn run_store_checkpoint(data_dir: &Path) -> Result<String, CliError> {
     let persist_err = |e| CliError::Persist(data_dir.to_path_buf(), e);
-    let shard_dirs: Vec<(String, PathBuf)> = match read_store_meta(data_dir).map_err(persist_err)? {
-        Some(meta) => (0..meta.num_shards)
-            .map(|s| (format!("shard {s}"), shard_dir(data_dir, s)))
-            .collect(),
-        None => vec![("sketch".to_string(), data_dir.to_path_buf())],
-    };
     let mut out = format!("checkpointing {}\n", data_dir.display());
-    for (label, dir) in shard_dirs {
-        let (mut store, report) =
-            DurableSketch::<u64>::open_existing(&dir, DurabilityOptions::default())
-                .map_err(|e| CliError::Persist(dir.clone(), e))?;
-        let wal_before = store.wal_bytes();
-        let epoch = store
-            .checkpoint()
-            .map_err(|e| CliError::Persist(dir.clone(), e))?;
+    if read_store_meta(data_dir).map_err(persist_err)?.is_some() {
+        let (mut stores, reports): (Vec<DurableSketch<u64>>, Vec<_>) =
+            open_bank_existing::<u64>(data_dir, DurabilityOptions::default())
+                .map_err(persist_err)?
+                .into_iter()
+                .unzip();
+        let wal_before = stores[0].wal_bytes();
+        checkpoint_bank(&mut stores).map_err(persist_err)?;
+        for (s, (store, report)) in stores.iter().zip(&reports).enumerate() {
+            out.push_str(&format!(
+                "  shard {s}: epoch {}, replayed {} records ({} updates), N = {}\n",
+                store.last_checkpoint_epoch(),
+                report.records_replayed,
+                report.updates_replayed,
+                store.engine().stream_weight(),
+            ));
+        }
         out.push_str(&format!(
-            "  {label}: epoch {epoch}, replayed {} records ({} updates), \
-             N = {}, wal {} -> {} bytes\n",
-            report.records_replayed,
-            report.updates_replayed,
-            store.engine().stream_weight(),
+            "  shared wal {} -> {} bytes\n",
             wal_before,
-            store.wal_bytes(),
+            stores[0].wal_bytes(),
         ));
+        return Ok(out);
     }
+    let (mut store, report) =
+        DurableSketch::<u64>::open_existing(data_dir, DurabilityOptions::default())
+            .map_err(persist_err)?;
+    let wal_before = store.wal_bytes();
+    let epoch = store.checkpoint().map_err(persist_err)?;
+    out.push_str(&format!(
+        "  sketch: epoch {epoch}, replayed {} records ({} updates), \
+         N = {}, wal {} -> {} bytes\n",
+        report.records_replayed,
+        report.updates_replayed,
+        store.engine().stream_weight(),
+        wal_before,
+        store.wal_bytes(),
+    ));
     Ok(out)
 }
 
 /// `streamfreq recover`: rebuild a store's state read-only and export
-/// the (Algorithm-5 merged, for sharded banks) sketch file.
+/// the (Algorithm-5 merged, for sharded banks) sketch file. Reports
+/// replay throughput: batch-coalesced WAL replay is the recovery fast
+/// path and the figure worth watching when a store grows.
 fn run_store_recover(data_dir: &Path, output: &Path) -> Result<String, CliError> {
     let persist_err = |e| CliError::Persist(data_dir.to_path_buf(), e);
     let mut out = format!("recovering {}\n", data_dir.display());
+    let started = std::time::Instant::now();
+    let mut replayed_records: u64 = 0;
+    let mut replayed_updates: u64 = 0;
     let merged = match read_store_meta(data_dir).map_err(persist_err)? {
         Some(meta) => {
             let mut merged = FreqSketch::builder(meta.merged_capacity)
@@ -986,10 +1036,8 @@ fn run_store_recover(data_dir: &Path, output: &Path) -> Result<String, CliError>
                 .seed(meta.seed)
                 .build()
                 .map_err(|e| CliError::Sketch(output.to_path_buf(), e))?;
-            for s in 0..meta.num_shards {
-                let sdir = shard_dir(data_dir, s);
-                let (engine, epoch, report) = recover_engine_readonly::<u64>(&sdir)
-                    .map_err(|e| CliError::Persist(sdir.clone(), e))?;
+            let shards = recover_bank_readonly::<u64>(data_dir).map_err(persist_err)?;
+            for (s, (engine, epoch, report)) in shards.into_iter().enumerate() {
                 out.push_str(&format!(
                     "  shard {s}: {:?}, checkpoint epoch {epoch}, \
                      replayed {} records, N = {}\n",
@@ -997,6 +1045,8 @@ fn run_store_recover(data_dir: &Path, output: &Path) -> Result<String, CliError>
                     report.records_replayed,
                     engine.stream_weight(),
                 ));
+                replayed_records += report.records_replayed;
+                replayed_updates += report.updates_replayed;
                 merged.merge(&FreqSketch::from(engine));
             }
             merged
@@ -1008,9 +1058,18 @@ fn run_store_recover(data_dir: &Path, output: &Path) -> Result<String, CliError>
                 "  {:?}, checkpoint epoch {epoch}, replayed {} records\n",
                 report.source, report.records_replayed,
             ));
+            replayed_records = report.records_replayed;
+            replayed_updates = report.updates_replayed;
             FreqSketch::from(engine)
         }
     };
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    out.push_str(&format!(
+        "replayed {replayed_records} records ({replayed_updates} updates) \
+         in {:.1} ms — {:.1}M updates/s\n",
+        secs * 1e3,
+        replayed_updates as f64 / secs / 1e6,
+    ));
     write_sketch(output, &merged)?;
     out.push_str(&format!(
         "wrote {}: N = {}, {} counters, max error ±{}\n",
@@ -1250,7 +1309,11 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             ))
         }
         Command::Serve(options) => serve::run_serve(options),
-        Command::QueryRemote { port, request } => serve::run_query_remote(*port, request),
+        Command::QueryRemote {
+            port,
+            request,
+            binary,
+        } => serve::run_query_remote(*port, request, *binary),
         Command::Checkpoint { data_dir } => run_store_checkpoint(data_dir),
         Command::Recover { data_dir, output } => run_store_recover(data_dir, output),
         Command::WindowQuery {
@@ -1790,6 +1853,7 @@ mod tests {
             Command::QueryRemote {
                 port: 7070,
                 request: vec!["EST".into(), "42".into()],
+                binary: false,
             }
         );
         assert!(parse_args(&args("serve --input s.bin")).is_err(), "no -k");
@@ -1961,12 +2025,14 @@ mod tests {
         let remote = run(&Command::QueryRemote {
             port,
             request: vec!["STATS".into()],
+            binary: false,
         })
         .unwrap();
         assert_eq!(stats_field(remote.trim(), "ingest_done"), 1);
         let remote_top = run(&Command::QueryRemote {
             port,
             request: vec!["TOPK".into(), "2".into()],
+            binary: false,
         })
         .unwrap();
         assert_eq!(remote_top.lines().count(), 3, "{remote_top}");
@@ -1975,6 +2041,7 @@ mod tests {
         let bye = run(&Command::QueryRemote {
             port,
             request: vec!["QUIT".into()],
+            binary: false,
         })
         .unwrap();
         assert!(bye.starts_with("OK bye"), "{bye}");
@@ -1985,6 +2052,166 @@ mod tests {
             "{report}"
         );
 
+        for p in [stream_path, port_file] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    /// Reads one binary response frame `[len u32le | status | payload]`.
+    fn read_frame(conn: &mut std::net::TcpStream) -> (u8, Vec<u8>) {
+        use std::io::Read;
+        let mut header = [0u8; 4];
+        conn.read_exact(&mut header).unwrap();
+        let len = u32::from_le_bytes(header) as usize;
+        assert!(len > 0, "empty response frame");
+        let mut frame = vec![0u8; len];
+        conn.read_exact(&mut frame).unwrap();
+        let payload = frame.split_off(1);
+        (frame[0], payload)
+    }
+
+    #[test]
+    fn serve_binary_protocol_pipelines_and_matches_text() {
+        use std::io::Write;
+        use std::net::TcpStream;
+        use std::time::{Duration, Instant};
+
+        let stream_path = tmp("serve-bin.bin");
+        run(&Command::Synth {
+            updates: 50_000,
+            flows: 2_000,
+            seed: 33,
+            output: stream_path.clone(),
+        })
+        .unwrap();
+        let port_file = tmp("serve-bin.port");
+        let _ = std::fs::remove_file(&port_file);
+        let options = serve::ServeOptions {
+            port: 0,
+            port_file: Some(port_file.clone()),
+            k: 256,
+            policy: PurgePolicy::smed(),
+            seed: 5,
+            threads: 2,
+            shards: 2,
+            passes: 1,
+            snapshot_ms: 10,
+            input: stream_path.clone(),
+            data_dir: None,
+            fsync: streamfreq_core::FsyncPolicy::default(),
+            checkpoint_ms: 0,
+        };
+        let server = std::thread::spawn(move || run(&Command::Serve(options)).unwrap());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server never wrote the port file"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let port: u16 = addr.rsplit(':').next().unwrap().parse().unwrap();
+
+        // Wait for ingest to finish over the text protocol so both
+        // protocols then read the same sealed snapshot.
+        let mut text = TcpStream::connect(addr.trim()).unwrap();
+        loop {
+            let stats = protocol_request(&mut text, "STATS");
+            if stats_field(&stats[0], "ingest_done") == 1 {
+                assert!(stats[0].contains("protocol=text"), "{stats:?}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "ingestion never finished");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // One pipelined write: magic + many frames back to back. The
+        // replies must come back in order, one frame per request.
+        let mut conn = TcpStream::connect(addr.trim()).unwrap();
+        let top = protocol_request(&mut text, "TOPK 1");
+        let heaviest: u64 = top[1].split_whitespace().next().unwrap().parse().unwrap();
+        let mut wire = serve::BINARY_MAGIC.to_vec();
+        const PIPELINED: usize = 257;
+        for _ in 0..PIPELINED {
+            serve::encode_binary_request(&["EST".into(), heaviest.to_string()], &mut wire).unwrap();
+        }
+        serve::encode_binary_request(&["TOPK".into(), "3".into()], &mut wire).unwrap();
+        serve::encode_binary_request(&["HH".into(), "0.5".into(), "nfp".into()], &mut wire)
+            .unwrap();
+        serve::encode_binary_request(&["STATS".into()], &mut wire).unwrap();
+        conn.write_all(&wire).unwrap();
+
+        // Every EST reply decodes to the text protocol's numbers.
+        let text_est = protocol_request(&mut text, &format!("EST {heaviest}"));
+        let expect: Vec<u64> = text_est[0]
+            .strip_prefix("OK ")
+            .unwrap()
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        for _ in 0..PIPELINED {
+            let (status, payload) = read_frame(&mut conn);
+            assert_eq!(status, 0);
+            assert_eq!(payload.len(), 24);
+            let field =
+                |i: usize| u64::from_le_bytes(payload[i * 8..(i + 1) * 8].try_into().unwrap());
+            assert_eq!([field(0), field(1), field(2)], expect[..]);
+        }
+        let (status, payload) = read_frame(&mut conn);
+        assert_eq!(status, 0);
+        let rows = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+        assert_eq!(payload.len(), 4 + 32 * rows, "row payload size");
+        assert_eq!(
+            u64::from_le_bytes(payload[4..12].try_into().unwrap()),
+            heaviest,
+            "TOPK's heaviest row must match the text protocol's"
+        );
+        let (status, _) = read_frame(&mut conn); // HH
+        assert_eq!(status, 0);
+        let (status, payload) = read_frame(&mut conn); // STATS
+        assert_eq!(status, 0);
+        let stats = String::from_utf8(payload).unwrap();
+        assert!(stats.contains("protocol=binary"), "{stats}");
+        assert!(stats.contains("ingest_done=1"), "{stats}");
+
+        // Malformed requests get ERR frames, not a dropped connection.
+        conn.write_all(&[5, 0, 0, 0, 0x7f, 1, 2, 3, 4]).unwrap();
+        let (status, payload) = read_frame(&mut conn);
+        assert_eq!(status, 1);
+        assert!(String::from_utf8_lossy(&payload).contains("unknown opcode"));
+
+        // The query-remote client's binary mode renders text-identical
+        // output.
+        let remote = run(&Command::QueryRemote {
+            port,
+            request: vec!["EST".into(), heaviest.to_string()],
+            binary: true,
+        })
+        .unwrap();
+        assert_eq!(remote.trim(), text_est[0], "binary EST rendering");
+        let remote_stats = run(&Command::QueryRemote {
+            port,
+            request: vec!["STATS".into()],
+            binary: true,
+        })
+        .unwrap();
+        assert!(remote_stats.contains("protocol=binary"), "{remote_stats}");
+
+        // Binary QUIT shuts the whole server down.
+        let bye = run(&Command::QueryRemote {
+            port,
+            request: vec!["QUIT".into()],
+            binary: true,
+        })
+        .unwrap();
+        assert!(bye.starts_with("OK bye"), "{bye}");
+        let report = server.join().unwrap();
+        assert!(report.contains("queries over"), "{report}");
         for p in [stream_path, port_file] {
             let _ = std::fs::remove_file(p);
         }
@@ -2202,10 +2429,30 @@ mod tests {
             0,
             "first STATS should land mid-ingest: {stats:?}"
         );
-        // Durable STATS reports the persistence gauges.
+        // Durable STATS reports the persistence gauges, including the
+        // group-commit counters of the shared log.
         assert!(stats[0].contains("wal_bytes="), "{stats:?}");
         assert!(stats[0].contains("last_checkpoint_epoch="), "{stats:?}");
         assert!(stats[0].contains("fsync_policy=off"), "{stats:?}");
+        assert!(stats[0].contains("protocol=text"), "{stats:?}");
+        assert!(stats[0].contains("wal_flush_count="), "{stats:?}");
+        assert!(stats[0].contains("wal_group_commit_batches="), "{stats:?}");
+        assert!(stats[0].contains("avg_frames_per_fsync="), "{stats:?}");
+        // The log-writer thread drains asynchronously, so the very first
+        // STATS may race ahead of its first flush window — poll until it
+        // lands rather than asserting on one snapshot.
+        let flush_deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = protocol_request(&mut conn, "STATS");
+            if stats_field(&stats[0], "wal_flush_count") > 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < flush_deadline,
+                "the writer thread never flushed: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
         // An explicit CKPT round succeeds and reports an epoch.
         let ckpt = protocol_request(&mut conn, "CKPT");
         assert!(ckpt[0].starts_with("OK epoch="), "{ckpt:?}");
@@ -2249,6 +2496,7 @@ mod tests {
         run(&Command::QueryRemote {
             port,
             request: vec!["QUIT".into()],
+            binary: false,
         })
         .unwrap();
         let report = server.join().unwrap();

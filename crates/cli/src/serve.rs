@@ -2,20 +2,48 @@
 //! queries from [`streamfreq_core::ConcurrentSketch`] snapshots while
 //! ingestion runs, plus the matching `query-remote` client.
 //!
-//! ## Protocol
+//! ## Protocols
 //!
-//! Newline-delimited text over TCP, one request per line, case-
-//! insensitive command word:
+//! One port, two wire formats, chosen per connection by the first four
+//! bytes the client sends. A connection opening with the magic `SFBP`
+//! speaks the **pipelined binary protocol**; anything else falls back
+//! to the original **newline text protocol** (what the CLI e2e tests
+//! and `nc` use). Both are served by a single poll-based event loop —
+//! no thread per connection — so thousands of pipelined requests in one
+//! read are answered with one write.
+//!
+//! ### Text protocol
+//!
+//! Newline-delimited, one request per line, case-insensitive command
+//! word:
 //!
 //! | request | response |
 //! |---|---|
 //! | `EST <item>` | `OK <estimate> <lower> <upper>` |
 //! | `TOPK <n>` | `OK <m>` then `m` lines `<item> <estimate> <lower> <upper>` |
 //! | `HH <phi> [nfp\|nfn]` | `OK <m>` then `m` rows (contract default `nfn`) |
-//! | `STATS` | `OK epoch=<e> n=<N> counters=<c> max_error=<err> enqueued=<w> ingest_done=<0\|1> shards=<s>` |
+//! | `STATS` | `OK epoch=<e> n=<N> counters=<c> max_error=<err> enqueued=<w> ingest_done=<0\|1> shards=<s> protocol=text` |
 //! | `CKPT` | `OK epoch=<e>` after a coordinated checkpoint round (durable servers) |
 //! | `QUIT` | `OK bye`, then the whole server shuts down gracefully |
 //! | anything else | `ERR <reason>` |
+//!
+//! ### Binary protocol
+//!
+//! After the `SFBP` magic, both directions carry length-prefixed
+//! frames: `[len u32le | tag u8 | payload]`, where `len` counts the tag
+//! byte plus the payload. Request tags are opcodes; response tags are a
+//! status byte (`0` = OK, `1` = ERR with a UTF-8 message payload).
+//! Requests may be pipelined back to back without waiting for replies;
+//! responses come back in request order.
+//!
+//! | opcode | request payload | OK payload |
+//! |---|---|---|
+//! | `0x01` EST | item `u64le` | estimate, lower, upper (`3 × u64le`) |
+//! | `0x02` TOPK | n `u32le` | count `u32le`, then count × (item, est, lower, upper `u64le`) |
+//! | `0x03` HH | phi `f64le`, contract `u8` (0 = nfn, 1 = nfp) | as TOPK |
+//! | `0x04` STATS | empty | the STATS key=value text (with `protocol=binary`) |
+//! | `0x05` CKPT | empty | epoch `u64le` |
+//! | `0x06` QUIT | empty | `bye` |
 //!
 //! Every query answers from the most recent published snapshot: a
 //! bounded-stale, Algorithm-5-merged view with the same certified error
@@ -26,19 +54,21 @@
 //!
 //! ## Durable serving
 //!
-//! With `--data-dir`, the bank runs on per-shard write-ahead logs and
-//! checkpoints (`streamfreq_core::persist`): starting against a
-//! directory holding prior state **recovers it** (checkpoint ⊕ WAL
-//! replay per shard, Algorithm-5 merge across shards) before ingestion
+//! With `--data-dir`, the bank runs on one shared group-commit
+//! write-ahead log plus per-shard checkpoints
+//! (`streamfreq_core::persist`): starting against a directory holding
+//! prior state **recovers it** (checkpoint ⊕ shared-log replay routed
+//! by stream tag, Algorithm-5 merge across shards) before ingestion
 //! begins, `CKPT` triggers a synchronous checkpoint round, and `STATS`
 //! additionally reports `wal_bytes=<b> last_checkpoint_epoch=<e>
-//! fsync_policy=<p>`. `QUIT`'s graceful drain ends with a final
-//! per-shard checkpoint, so a clean shutdown restarts without replay.
+//! fsync_policy=<p> wal_flush_count=<f> wal_group_commit_batches=<g>
+//! avg_frames_per_fsync=<a>`. `QUIT`'s graceful drain ends with a final
+//! checkpoint round, so a clean shutdown restarts without replay.
 //!
 //! The server binds `127.0.0.1` only: this is an operational inspection
 //! port, not an internet-facing service.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,17 +76,41 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use streamfreq_core::persist::{DurabilityOptions, FsyncPolicy};
-use streamfreq_core::{ConcurrentSketch, ErrorType, PurgePolicy, SnapshotReader};
+use streamfreq_core::{ConcurrentSketch, ErrorType, PurgePolicy, Row, SnapshotReader};
 use streamfreq_workloads::load_binary;
 
 use crate::CliError;
 
-/// How long the accept loop sleeps when no connection is pending, and
-/// the per-connection read timeout used to poll the stop flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// How long the event loop sleeps when no connection had bytes to move.
+const POLL_INTERVAL: Duration = Duration::from_millis(1);
 
 /// Upper bound on `TOPK n` so a typo cannot ask for a gigabyte of rows.
 const MAX_TOPK: usize = 100_000;
+
+/// The four bytes a binary-protocol client sends first.
+pub const BINARY_MAGIC: &[u8; 4] = b"SFBP";
+
+/// Sanity cap on one request frame (a request is at most an opcode and
+/// a few scalars; anything bigger is a corrupt or hostile stream).
+const MAX_REQUEST_FRAME: usize = 1 << 16;
+
+/// Stop reading from a connection whose client is not draining replies
+/// once this much output is queued; resume when it drains.
+const WRITE_HIGH_WATER: usize = 8 << 20;
+
+/// Per-tick read quantum per connection, so one firehose client cannot
+/// starve the rest of the loop.
+const READ_QUANTUM: usize = 1 << 20;
+
+/// Binary request opcodes (also the `query-remote --binary` encoding).
+mod opcode {
+    pub const EST: u8 = 0x01;
+    pub const TOPK: u8 = 0x02;
+    pub const HH: u8 = 0x03;
+    pub const STATS: u8 = 0x04;
+    pub const CKPT: u8 = 0x05;
+    pub const QUIT: u8 = 0x06;
+}
 
 /// Configuration of one `streamfreq serve` run.
 #[derive(Clone, Debug, PartialEq)]
@@ -87,8 +141,8 @@ pub struct ServeOptions {
     pub snapshot_ms: u64,
     /// Input stream file (16-byte `(item, weight)` records).
     pub input: PathBuf,
-    /// Durable store directory: per-shard WALs + checkpoints, recovered
-    /// on startup. `None` = in-memory serving (the pre-durability mode).
+    /// Durable store directory: shared group-commit WAL + checkpoints,
+    /// recovered on startup. `None` = in-memory serving.
     pub data_dir: Option<PathBuf>,
     /// WAL fsync policy when `data_dir` is set.
     pub fsync: FsyncPolicy,
@@ -108,7 +162,7 @@ struct ServeCtx {
 }
 
 /// Runs the server until a client sends `QUIT`; returns the final text
-/// report. See the [module docs](self) for the protocol.
+/// report. See the [module docs](self) for the protocols.
 ///
 /// # Errors
 /// Returns [`CliError`] for unreadable inputs, invalid sketch
@@ -166,15 +220,15 @@ pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
     }
 
     let stop = Arc::new(AtomicBool::new(false));
-    let ctx = Arc::new(ServeCtx {
+    let ctx = ServeCtx {
         reader: snapshot_reader,
         stop: Arc::clone(&stop),
         queries: AtomicU64::new(0),
         num_shards,
         fsync_label: opts.data_dir.is_some().then(|| opts.fsync.label()),
-    });
+    };
 
-    // Ingestion runs beside the accept loop; queries observe its
+    // Ingestion runs beside the event loop; queries observe its
     // progress through snapshots. QUIT aborts between passes.
     let ingest = {
         let stop = Arc::clone(&stop);
@@ -192,31 +246,48 @@ pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
     };
 
     let mut connections: u64 = 0;
-    let mut handlers = Vec::new();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
     let mut accept_error: Option<CliError> = None;
     while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((conn, _)) => {
-                connections += 1;
-                let ctx = Arc::clone(&ctx);
-                handlers.push(std::thread::spawn(move || handle_connection(conn, &ctx)));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
-            }
-            Err(e) => {
-                // A fatal accept failure must still shut the server
-                // down gracefully: stop the handlers and the ingest
-                // thread before surfacing the error, or they would
-                // outlive this call.
-                accept_error = Some(CliError::Net(addr.to_string(), e));
-                stop.store(true, Ordering::SeqCst);
+        let mut active = false;
+        loop {
+            match listener.accept() {
+                Ok((sock, _)) => {
+                    connections += 1;
+                    active = true;
+                    if sock.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = sock.set_nodelay(true);
+                    conns.push(Conn::new(sock));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    // A fatal accept failure must still shut the server
+                    // down gracefully: stop the loop and the ingest
+                    // thread before surfacing the error, or they would
+                    // outlive this call.
+                    accept_error = Some(CliError::Net(addr.to_string(), e));
+                    stop.store(true, Ordering::SeqCst);
+                    break;
+                }
             }
         }
+        for conn in &mut conns {
+            active |= conn.pump(&ctx, &mut scratch);
+        }
+        conns.retain(|c| !c.closed);
+        if !active {
+            std::thread::sleep(POLL_INTERVAL);
+        }
     }
-    for handler in handlers {
-        let _ = handler.join();
+    // Final flush so the `OK bye` (and any other queued replies) land
+    // before the sockets drop.
+    for conn in &mut conns {
+        conn.flush_best_effort();
     }
+    drop(conns);
     ingest.join().expect("ingest thread panicked");
     if let Some(error) = accept_error {
         return Err(error);
@@ -246,58 +317,371 @@ pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
     Ok(report)
 }
 
-/// Serves one client connection until EOF, a fatal I/O error, or QUIT
-/// (which also stops the whole server).
-fn handle_connection(conn: TcpStream, ctx: &ServeCtx) {
-    // A finite read timeout lets the handler notice a server-wide stop
-    // even when its client sits idle.
-    let _ = conn.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut writer = match conn.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut lines = BufReader::new(conn);
-    let mut line = String::new();
-    loop {
-        match lines.read_line(&mut line) {
-            Ok(0) => return, // EOF
-            Ok(_) => {
-                let (reply, quit) = handle_request(line.trim(), ctx);
-                line.clear();
-                if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
-                    return;
+/// Which wire format a connection speaks, decided by its first bytes.
+enum Mode {
+    /// Not enough bytes yet to tell.
+    Sniff,
+    /// Newline-delimited text (the original protocol).
+    Text,
+    /// `SFBP` length-prefixed frames.
+    Binary,
+}
+
+/// One client connection in the event loop: buffered input not yet
+/// parsed, buffered output not yet written.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Written prefix of `wbuf` (compacted when fully drained).
+    wpos: usize,
+    mode: Mode,
+    /// Peer sent EOF: process what is buffered, flush, then close.
+    eof: bool,
+    /// Flush the remaining `wbuf` and close (QUIT or protocol error).
+    close_after_flush: bool,
+    closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            mode: Mode::Sniff,
+            eof: false,
+            close_after_flush: false,
+            closed: false,
+        }
+    }
+
+    /// One event-loop turn: write what is pending, read what arrived,
+    /// answer every complete request. Returns true if any bytes moved.
+    fn pump(&mut self, ctx: &ServeCtx, scratch: &mut [u8]) -> bool {
+        if self.closed {
+            return false;
+        }
+        let mut active = self.try_write();
+        if self.closed {
+            return active;
+        }
+        // Read up to a quantum, unless the peer is not draining replies.
+        if !self.eof && !self.close_after_flush && self.pending_write() < WRITE_HIGH_WATER {
+            let mut read = 0usize;
+            while read < READ_QUANTUM {
+                match self.stream.read(scratch) {
+                    Ok(0) => {
+                        self.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.rbuf.extend_from_slice(&scratch[..n]);
+                        read += n;
+                        active = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.closed = true;
+                        return active;
+                    }
                 }
+            }
+        }
+        self.process(ctx);
+        active |= self.try_write();
+        if self.eof && self.pending_write() == 0 {
+            self.closed = true;
+        }
+        active
+    }
+
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Drains as much of `wbuf` as the socket accepts right now.
+    fn try_write(&mut self) -> bool {
+        let mut active = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.closed = true;
+                    return active;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    active = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.closed = true;
+                    return active;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+            if self.close_after_flush {
+                self.closed = true;
+            }
+        }
+        active
+    }
+
+    /// Blocking last-chance flush used at server shutdown.
+    fn flush_best_effort(&mut self) {
+        if self.closed || self.pending_write() == 0 {
+            return;
+        }
+        let _ = self.stream.set_nonblocking(false);
+        let _ = self
+            .stream
+            .set_write_timeout(Some(Duration::from_millis(500)));
+        let _ = self.stream.write_all(&self.wbuf[self.wpos..]);
+        let _ = self.stream.flush();
+    }
+
+    /// Parses and answers every complete request currently buffered.
+    fn process(&mut self, ctx: &ServeCtx) {
+        if matches!(self.mode, Mode::Sniff) {
+            if self.rbuf.len() >= BINARY_MAGIC.len() {
+                if &self.rbuf[..BINARY_MAGIC.len()] == BINARY_MAGIC {
+                    self.rbuf.drain(..BINARY_MAGIC.len());
+                    self.mode = Mode::Binary;
+                } else {
+                    self.mode = Mode::Text;
+                }
+            } else if self.rbuf.contains(&b'\n') || self.eof {
+                // A full (short) line arrived before four bytes did, or
+                // the peer is done sending: this is not the magic.
+                self.mode = Mode::Text;
+            } else {
+                return;
+            }
+        }
+        match self.mode {
+            Mode::Text => self.process_text(ctx),
+            Mode::Binary => self.process_binary(ctx),
+            Mode::Sniff => unreachable!("mode decided above"),
+        }
+    }
+
+    fn process_text(&mut self, ctx: &ServeCtx) {
+        let mut consumed = 0usize;
+        while let Some(nl) = self.rbuf[consumed..].iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&self.rbuf[consumed..consumed + nl]).into_owned();
+            consumed += nl + 1;
+            let (reply, quit) = handle_request(line.trim(), ctx);
+            self.wbuf.extend_from_slice(reply.as_bytes());
+            if quit {
+                ctx.stop.store(true, Ordering::SeqCst);
+                self.close_after_flush = true;
+                break;
+            }
+        }
+        // At EOF a trailing unterminated line still counts as a request
+        // (parity with a client that forgot the final newline).
+        if self.eof && !self.close_after_flush && consumed < self.rbuf.len() {
+            let line = String::from_utf8_lossy(&self.rbuf[consumed..]).into_owned();
+            consumed = self.rbuf.len();
+            if !line.trim().is_empty() {
+                let (reply, quit) = handle_request(line.trim(), ctx);
+                self.wbuf.extend_from_slice(reply.as_bytes());
                 if quit {
                     ctx.stop.store(true, Ordering::SeqCst);
-                    return;
+                    self.close_after_flush = true;
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // A timeout can strike mid-line with a partial request
-                // already appended to `line`; keep it and resume reading
-                // unless the server is stopping.
-                if ctx.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
-            Err(_) => return,
         }
+        self.rbuf.drain(..consumed);
+    }
+
+    fn process_binary(&mut self, ctx: &ServeCtx) {
+        let mut consumed = 0usize;
+        while self.rbuf.len() - consumed >= 4 {
+            let header: [u8; 4] = self.rbuf[consumed..consumed + 4].try_into().unwrap();
+            let len = u32::from_le_bytes(header) as usize;
+            if len == 0 || len > MAX_REQUEST_FRAME {
+                push_err_frame(&mut self.wbuf, &format!("bad frame length {len}"));
+                self.close_after_flush = true;
+                consumed = self.rbuf.len();
+                break;
+            }
+            if self.rbuf.len() - consumed < 4 + len {
+                break;
+            }
+            let frame = &self.rbuf[consumed + 4..consumed + 4 + len];
+            consumed += 4 + len;
+            if handle_binary_request(frame[0], &frame[1..], ctx, &mut self.wbuf) {
+                ctx.stop.store(true, Ordering::SeqCst);
+                self.close_after_flush = true;
+                break;
+            }
+        }
+        self.rbuf.drain(..consumed);
     }
 }
 
+/// Appends a response frame: `[len u32le | status | payload]`, where
+/// `build` writes the payload directly into the output buffer.
+fn push_frame(out: &mut Vec<u8>, status: u8, build: impl FnOnce(&mut Vec<u8>)) {
+    let len_at = out.len();
+    out.extend_from_slice(&[0; 4]);
+    out.push(status);
+    build(out);
+    let len = (out.len() - len_at - 4) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Appends an ERR frame carrying a UTF-8 message.
+fn push_err_frame(out: &mut Vec<u8>, message: &str) {
+    push_frame(out, 1, |p| p.extend_from_slice(message.as_bytes()));
+}
+
+/// Appends one 32-byte result row to a binary payload.
+fn push_row(payload: &mut Vec<u8>, row: &Row<u64>) {
+    payload.extend_from_slice(&row.item.to_le_bytes());
+    payload.extend_from_slice(&row.estimate.to_le_bytes());
+    payload.extend_from_slice(&row.lower_bound.to_le_bytes());
+    payload.extend_from_slice(&row.upper_bound.to_le_bytes());
+}
+
+/// Answers one binary request frame, appending the response frame to
+/// `out`. Returns true when the server should shut down (QUIT).
+fn handle_binary_request(op: u8, payload: &[u8], ctx: &ServeCtx, out: &mut Vec<u8>) -> bool {
+    match op {
+        opcode::EST => {
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
+            let Ok(item) = <[u8; 8]>::try_from(payload) else {
+                push_err_frame(out, "EST payload must be 8 bytes");
+                return false;
+            };
+            let item = u64::from_le_bytes(item);
+            let snap = ctx.reader.snapshot();
+            push_frame(out, 0, |p| {
+                p.extend_from_slice(&snap.estimate(&item).to_le_bytes());
+                p.extend_from_slice(&snap.lower_bound(&item).to_le_bytes());
+                p.extend_from_slice(&snap.upper_bound(&item).to_le_bytes());
+            });
+        }
+        opcode::TOPK => {
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
+            let Ok(n) = <[u8; 4]>::try_from(payload) else {
+                push_err_frame(out, "TOPK payload must be 4 bytes");
+                return false;
+            };
+            let n = u32::from_le_bytes(n) as usize;
+            if n == 0 || n > MAX_TOPK {
+                push_err_frame(out, &format!("row count {n} outside 1..={MAX_TOPK}"));
+                return false;
+            }
+            let rows = ctx.reader.snapshot().top_k(n);
+            push_frame(out, 0, |p| {
+                p.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for row in &rows {
+                    push_row(p, row);
+                }
+            });
+        }
+        opcode::HH => {
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
+            let Ok(raw) = <[u8; 9]>::try_from(payload) else {
+                push_err_frame(out, "HH payload must be 9 bytes");
+                return false;
+            };
+            let phi = f64::from_le_bytes(raw[..8].try_into().unwrap());
+            let contract = match raw[8] {
+                0 => ErrorType::NoFalseNegatives,
+                1 => ErrorType::NoFalsePositives,
+                other => {
+                    push_err_frame(out, &format!("bad HH contract byte {other}"));
+                    return false;
+                }
+            };
+            if !(0.0..=1.0).contains(&phi) {
+                push_err_frame(out, &format!("phi {phi} outside [0, 1]"));
+                return false;
+            }
+            let rows = ctx.reader.snapshot().heavy_hitters(phi, contract);
+            push_frame(out, 0, |p| {
+                p.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for row in &rows {
+                    push_row(p, row);
+                }
+            });
+        }
+        opcode::STATS => {
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
+            let body = stats_body(ctx, "binary");
+            push_frame(out, 0, |p| p.extend_from_slice(body.as_bytes()));
+        }
+        opcode::CKPT => {
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
+            if ctx.fsync_label.is_none() {
+                push_err_frame(out, "server is not durable (start with --data-dir)");
+                return false;
+            }
+            match ctx.reader.request_checkpoint(Duration::from_secs(30)) {
+                Some(epoch) => push_frame(out, 0, |p| p.extend_from_slice(&epoch.to_le_bytes())),
+                None => push_err_frame(out, "checkpoint unavailable (draining?)"),
+            }
+        }
+        opcode::QUIT => {
+            push_frame(out, 0, |p| p.extend_from_slice(b"bye"));
+            return true;
+        }
+        other => push_err_frame(out, &format!("unknown opcode 0x{other:02x}")),
+    }
+    false
+}
+
+/// The `STATS` key=value body shared by both protocols.
+fn stats_body(ctx: &ServeCtx, protocol: &str) -> String {
+    let snap = ctx.reader.snapshot();
+    let mut body = format!(
+        "epoch={} n={} counters={} max_error={} enqueued={} \
+         ingest_done={} shards={} protocol={protocol}",
+        snap.epoch(),
+        snap.stream_weight(),
+        snap.num_counters(),
+        snap.maximum_error(),
+        ctx.reader.enqueued_weight(),
+        u8::from(ctx.reader.is_sealed()),
+        ctx.num_shards
+    );
+    if let Some(fsync) = &ctx.fsync_label {
+        body.push_str(&format!(
+            " wal_bytes={} last_checkpoint_epoch={} fsync_policy={fsync}",
+            ctx.reader.wal_bytes(),
+            ctx.reader.last_checkpoint_epoch()
+        ));
+        if let Some(wal) = ctx.reader.wal_stats() {
+            body.push_str(&format!(
+                " wal_flush_count={} wal_group_commit_batches={} avg_frames_per_fsync={:.1}",
+                wal.flush_count,
+                wal.group_commit_batches,
+                wal.avg_frames_per_fsync()
+            ));
+        }
+    }
+    body
+}
+
 /// Formats one result row of the text protocol.
-fn protocol_row(row: &streamfreq_core::Row<u64>) -> String {
+fn protocol_row(row: &Row<u64>) -> String {
     format!(
         "{} {} {} {}\n",
         row.item, row.estimate, row.lower_bound, row.upper_bound
     )
 }
 
-/// Answers one request line. Returns the reply text and whether the
-/// server should shut down.
+/// Answers one text request line. Returns the reply text and whether
+/// the server should shut down.
 fn handle_request(request: &str, ctx: &ServeCtx) -> (String, bool) {
     let tokens: Vec<&str> = request.split_whitespace().collect();
     let Some(command) = tokens.first() else {
@@ -305,7 +689,7 @@ fn handle_request(request: &str, ctx: &ServeCtx) -> (String, bool) {
     };
     match command.to_ascii_uppercase().as_str() {
         "EST" => {
-            ctx.queries.fetch_add(1, Ordering::SeqCst);
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
             let [_, item] = tokens[..] else {
                 return ("ERR usage: EST <item>\n".into(), false);
             };
@@ -324,7 +708,7 @@ fn handle_request(request: &str, ctx: &ServeCtx) -> (String, bool) {
             )
         }
         "TOPK" => {
-            ctx.queries.fetch_add(1, Ordering::SeqCst);
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
             let [_, n] = tokens[..] else {
                 return ("ERR usage: TOPK <n>\n".into(), false);
             };
@@ -342,7 +726,7 @@ fn handle_request(request: &str, ctx: &ServeCtx) -> (String, bool) {
             (reply, false)
         }
         "HH" => {
-            ctx.queries.fetch_add(1, Ordering::SeqCst);
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
             let (phi, contract) = match tokens[..] {
                 [_, phi] => (phi, ErrorType::NoFalseNegatives),
                 [_, phi, "nfp"] => (phi, ErrorType::NoFalsePositives),
@@ -363,31 +747,11 @@ fn handle_request(request: &str, ctx: &ServeCtx) -> (String, bool) {
             (reply, false)
         }
         "STATS" => {
-            ctx.queries.fetch_add(1, Ordering::SeqCst);
-            let snap = ctx.reader.snapshot();
-            let mut reply = format!(
-                "OK epoch={} n={} counters={} max_error={} enqueued={} \
-                 ingest_done={} shards={}",
-                snap.epoch(),
-                snap.stream_weight(),
-                snap.num_counters(),
-                snap.maximum_error(),
-                ctx.reader.enqueued_weight(),
-                u8::from(ctx.reader.is_sealed()),
-                ctx.num_shards
-            );
-            if let Some(fsync) = &ctx.fsync_label {
-                reply.push_str(&format!(
-                    " wal_bytes={} last_checkpoint_epoch={} fsync_policy={fsync}",
-                    ctx.reader.wal_bytes(),
-                    ctx.reader.last_checkpoint_epoch()
-                ));
-            }
-            reply.push('\n');
-            (reply, false)
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
+            (format!("OK {}\n", stats_body(ctx, "text")), false)
         }
         "CKPT" => {
-            ctx.queries.fetch_add(1, Ordering::SeqCst);
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
             if ctx.fsync_label.is_none() {
                 return (
                     "ERR server is not durable (start with --data-dir)\n".into(),
@@ -404,15 +768,135 @@ fn handle_request(request: &str, ctx: &ServeCtx) -> (String, bool) {
     }
 }
 
+/// Encodes one request (the `query-remote` token form) as a binary
+/// frame appended to `out`.
+///
+/// # Errors
+/// Returns a usage error for malformed tokens.
+pub fn encode_binary_request(tokens: &[String], out: &mut Vec<u8>) -> Result<(), CliError> {
+    let usage = |msg: &str| CliError::Usage(msg.into());
+    let Some(command) = tokens.first() else {
+        return Err(usage("empty request"));
+    };
+    let mut frame: Vec<u8> = Vec::with_capacity(16);
+    match command.to_ascii_uppercase().as_str() {
+        "EST" => {
+            let [_, item] = tokens else {
+                return Err(usage("usage: EST <item>"));
+            };
+            let item: u64 = item.parse().map_err(|_| usage("bad EST item"))?;
+            frame.push(opcode::EST);
+            frame.extend_from_slice(&item.to_le_bytes());
+        }
+        "TOPK" => {
+            let [_, n] = tokens else {
+                return Err(usage("usage: TOPK <n>"));
+            };
+            let n: u32 = n.parse().map_err(|_| usage("bad TOPK row count"))?;
+            frame.push(opcode::TOPK);
+            frame.extend_from_slice(&n.to_le_bytes());
+        }
+        "HH" => {
+            let (phi, contract) = match tokens {
+                [_, phi] => (phi, 0u8),
+                [_, phi, c] if c == "nfp" => (phi, 1),
+                [_, phi, c] if c == "nfn" => (phi, 0),
+                _ => return Err(usage("usage: HH <phi> [nfp|nfn]")),
+            };
+            let phi: f64 = phi.parse().map_err(|_| usage("bad HH phi"))?;
+            frame.push(opcode::HH);
+            frame.extend_from_slice(&phi.to_le_bytes());
+            frame.push(contract);
+        }
+        "STATS" => frame.push(opcode::STATS),
+        "CKPT" => frame.push(opcode::CKPT),
+        "QUIT" => frame.push(opcode::QUIT),
+        other => return Err(usage(&format!("unknown command `{other}`"))),
+    }
+    out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame);
+    Ok(())
+}
+
+/// Reads one response frame `[len u32le | status | payload]`.
+fn read_response_frame(reader: &mut impl Read) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; 4];
+    reader.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            "empty response frame",
+        ));
+    }
+    let mut frame = vec![0u8; len];
+    reader.read_exact(&mut frame)?;
+    let payload = frame.split_off(1);
+    Ok((frame[0], payload))
+}
+
+/// Renders a binary response in the text protocol's shape, so the two
+/// client modes print interchangeably.
+fn format_binary_response(command: &str, status: u8, payload: &[u8]) -> String {
+    if status != 0 {
+        return format!("ERR {}\n", String::from_utf8_lossy(payload));
+    }
+    let rows_text = |payload: &[u8]| -> Option<String> {
+        let count = u32::from_le_bytes(payload.get(..4)?.try_into().ok()?) as usize;
+        let mut text = format!("OK {count}\n");
+        let mut rest = payload.get(4..)?;
+        for _ in 0..count {
+            let row: [u8; 32] = rest.get(..32)?.try_into().ok()?;
+            rest = &rest[32..];
+            let field = |i: usize| u64::from_le_bytes(row[i * 8..(i + 1) * 8].try_into().unwrap());
+            text.push_str(&format!(
+                "{} {} {} {}\n",
+                field(0),
+                field(1),
+                field(2),
+                field(3)
+            ));
+        }
+        Some(text)
+    };
+    let rendered = match command {
+        "EST" => <[u8; 24]>::try_from(payload).ok().map(|raw| {
+            let field = |i: usize| u64::from_le_bytes(raw[i * 8..(i + 1) * 8].try_into().unwrap());
+            format!("OK {} {} {}\n", field(0), field(1), field(2))
+        }),
+        "TOPK" | "HH" => rows_text(payload),
+        "STATS" => Some(format!("OK {}\n", String::from_utf8_lossy(payload))),
+        "CKPT" => <[u8; 8]>::try_from(payload)
+            .ok()
+            .map(|raw| format!("OK epoch={}\n", u64::from_le_bytes(raw))),
+        "QUIT" => Some(format!("OK {}\n", String::from_utf8_lossy(payload))),
+        _ => None,
+    };
+    rendered.unwrap_or_else(|| "ERR malformed response payload\n".into())
+}
+
 /// Sends one protocol request to a local `streamfreq serve` instance
-/// and returns the full response (header plus any rows).
+/// and returns the full response (header plus any rows). With `binary`
+/// set it speaks the `SFBP` framed protocol and renders the reply in
+/// the text shape, so both modes print interchangeably.
 ///
 /// # Errors
 /// Returns [`CliError::Net`] if the connection or the exchange fails.
-pub fn run_query_remote(port: u16, request: &[String]) -> Result<String, CliError> {
+pub fn run_query_remote(port: u16, request: &[String], binary: bool) -> Result<String, CliError> {
     let addr = format!("127.0.0.1:{port}");
     let net = |e: std::io::Error| CliError::Net(addr.clone(), e);
     let mut conn = TcpStream::connect(&addr).map_err(net)?;
+    if binary {
+        let mut wire = BINARY_MAGIC.to_vec();
+        encode_binary_request(request, &mut wire)?;
+        conn.write_all(&wire).map_err(net)?;
+        let (status, payload) = read_response_frame(&mut conn).map_err(net)?;
+        let command = request
+            .first()
+            .map(|c| c.to_ascii_uppercase())
+            .unwrap_or_default();
+        return Ok(format_binary_response(&command, status, &payload));
+    }
     let line = request.join(" ");
     conn.write_all(format!("{line}\n").as_bytes())
         .map_err(net)?;

@@ -92,9 +92,11 @@ use std::time::{Duration, Instant};
 use crate::engine::{SketchEngine, SketchEngineBuilder, SketchKey, DEFAULT_SEED};
 use crate::error::Error;
 use crate::item_codec::ItemCodec;
-use crate::persist::store::{read_store_meta, shard_dir, write_store_meta, StoreMeta};
+use crate::persist::recover::open_bank;
+use crate::persist::store::{read_store_meta, write_store_meta, StoreMeta};
 use crate::persist::{
-    DurabilityOptions, DurableSketch, EngineConfig, PersistError, RecoveryReport,
+    DurabilityOptions, DurableSketch, EngineConfig, GroupCommitWal, GroupWalStats, PersistError,
+    RecoveryReport,
 };
 use crate::purge::PurgePolicy;
 use crate::result::{ErrorType, Row};
@@ -227,10 +229,9 @@ struct Shared<K: SketchKey> {
     sealed: AtomicBool,
     /// Serializes publishes so epochs and snapshots advance together.
     publish_lock: Mutex<()>,
-    /// True if the bank runs with per-shard WALs and checkpoints.
-    durable: bool,
-    /// Live bytes held by all shard WALs (durable banks).
-    wal_bytes: AtomicU64,
+    /// The bank-level shared group-commit log (durable banks only) —
+    /// every shard appends stream-tagged frames to this one file.
+    wal: Option<Arc<GroupCommitWal>>,
     /// Newest coordinated checkpoint round every shard has completed
     /// (written only by the checkpointer's round minimum).
     last_checkpoint_epoch: AtomicU64,
@@ -240,7 +241,12 @@ struct Shared<K: SketchKey> {
 }
 
 impl<K: SketchKey> Shared<K> {
-    fn new(initial: Snapshot<K>, durable: bool, enqueued: u64, last_ckpt: u64) -> Arc<Self> {
+    fn new(
+        initial: Snapshot<K>,
+        wal: Option<Arc<GroupCommitWal>>,
+        enqueued: u64,
+        last_ckpt: u64,
+    ) -> Arc<Self> {
         let epoch = initial.epoch;
         Arc::new(Shared {
             snapshot: RwLock::new(Arc::new(initial)),
@@ -248,21 +254,10 @@ impl<K: SketchKey> Shared<K> {
             enqueued_weight: AtomicU64::new(enqueued),
             sealed: AtomicBool::new(false),
             publish_lock: Mutex::new(()),
-            durable,
-            wal_bytes: AtomicU64::new(0),
+            wal,
             last_checkpoint_epoch: AtomicU64::new(last_ckpt),
             ckpt_requests: Mutex::new(Vec::new()),
         })
-    }
-
-    /// Folds a shard's new WAL size into the bank-wide byte gauge.
-    fn adjust_wal_bytes(&self, known: &mut u64, now: u64) {
-        if now >= *known {
-            self.wal_bytes.fetch_add(now - *known, Ordering::SeqCst);
-        } else {
-            self.wal_bytes.fetch_sub(*known - now, Ordering::SeqCst);
-        }
-        *known = now;
     }
 }
 
@@ -455,16 +450,33 @@ impl<K: SketchKey> SnapshotReader<K> {
         self.shared.sealed.load(Ordering::SeqCst)
     }
 
-    /// True if the bank persists per-shard WALs and checkpoints
+    /// True if the bank persists a write-ahead log and checkpoints
     /// ([`ConcurrentSketchBuilder::build_durable`]).
     pub fn is_durable(&self) -> bool {
-        self.shared.durable
+        self.shared.wal.is_some()
     }
 
-    /// Live bytes held by all shard write-ahead logs (0 for volatile
-    /// banks). Shrinks when checkpoints truncate the logs.
+    /// Live bytes held by the bank's shared write-ahead log (0 for
+    /// volatile banks). Shrinks when checkpoints truncate the log.
     pub fn wal_bytes(&self) -> u64 {
-        self.shared.wal_bytes.load(Ordering::SeqCst)
+        self.shared.wal.as_ref().map_or(0, |wal| wal.total_bytes())
+    }
+
+    /// Group-commit counters of the shared log (`None` for volatile
+    /// banks): flush windows, coalesced batches, frames, fsyncs.
+    pub fn wal_stats(&self) -> Option<GroupWalStats> {
+        self.shared.wal.as_ref().map(|wal| wal.stats())
+    }
+
+    /// Flushes every staged shared-log frame to disk and fsyncs — a
+    /// durability barrier for batches already applied (no-op for
+    /// volatile banks). Pair with [`ConcurrentSketch::publish_now`] to
+    /// make "applied" imply "on disk" under lazy fsync policies.
+    pub fn sync(&self) -> Result<(), PersistError> {
+        match &self.shared.wal {
+            Some(wal) => wal.sync_all(),
+            None => Ok(()),
+        }
     }
 
     /// The newest *coordinated* checkpoint round every shard has
@@ -482,7 +494,7 @@ impl<K: SketchKey> SnapshotReader<K> {
     /// or on timeout. Any number of threads may request concurrently;
     /// the checkpointer coalesces pending requests into one round.
     pub fn request_checkpoint(&self, timeout: Duration) -> Option<u64> {
-        if !self.shared.durable || self.shared.sealed.load(Ordering::SeqCst) {
+        if self.shared.wal.is_none() || self.shared.sealed.load(Ordering::SeqCst) {
             return None;
         }
         let (tx, rx) = mpsc::sync_channel(1);
@@ -640,7 +652,7 @@ impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketchBuilder<K> {
                 })
                 .expect("failed to spawn publisher")
         });
-        let checkpointer = shared.durable.then(|| {
+        let checkpointer = shared.wal.is_some().then(|| {
             let shared = Arc::clone(&shared);
             let senders = senders.clone();
             let stop = Arc::clone(&stop);
@@ -678,18 +690,21 @@ impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketchBuilder<K> {
                 epoch: 0,
                 sealed: false,
             },
-            false,
+            None,
             0,
             0,
         );
         Ok(self.assemble(backends, shared, merge_config, None))
     }
 
-    /// Builds a **durable** bank over the store directory `dir`: every
-    /// shard gets its own write-ahead-logged [`DurableSketch`] in
-    /// `dir/shard-<s>/`, any existing state is recovered first
-    /// (per-shard `checkpoint ⊕ replay`, then an Algorithm-5 merge of
-    /// the recovered shards is installed as the initial snapshot), and a
+    /// Builds a **durable** bank over the store directory `dir`: all
+    /// shards share one bank-level group-commit write-ahead log (each
+    /// shard's frames carry its stream tag), each shard keeps its
+    /// checkpoints and manifest in `dir/shard-<s>/`, any existing state
+    /// is recovered first (per-shard `checkpoint ⊕ replay` off the
+    /// shared log — stores from the previous per-shard-log layout are
+    /// migrated in place — then an Algorithm-5 merge of the recovered
+    /// shards is installed as the initial snapshot), and a
     /// checkpointer thread services on-demand checkpoint requests
     /// ([`SnapshotReader::request_checkpoint`]) plus the optional
     /// periodic `checkpoint_interval`.
@@ -734,14 +749,12 @@ impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketchBuilder<K> {
             Some(_) => {}
             None => write_store_meta(dir, &meta)?,
         }
-        let mut stores = Vec::with_capacity(self.num_shards);
-        let mut reports = Vec::with_capacity(self.num_shards);
-        for s in 0..self.num_shards {
-            let (store, report) =
-                DurableSketch::<K>::open(&shard_dir(dir, s), self.shard_config(s), durability)?;
-            stores.push(store);
-            reports.push(report);
-        }
+        let configs: Vec<EngineConfig> =
+            (0..self.num_shards).map(|s| self.shard_config(s)).collect();
+        let (stores, reports): (Vec<DurableSketch<K>>, Vec<RecoveryReport>) =
+            open_bank::<K>(dir, &configs, durability)?
+                .into_iter()
+                .unzip();
         // Recovery merges the shards exactly as live snapshot publishes
         // do (Algorithm 5, shard order), so queries see the recovered
         // state before the first post-restart publish.
@@ -756,33 +769,21 @@ impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketchBuilder<K> {
             enqueued += store.engine().stream_weight();
             last_ckpt = last_ckpt.min(store.last_checkpoint_epoch());
         }
+        let bank_wal = Arc::clone(&stores[0].wal);
         let shared = Shared::new(
             Snapshot {
                 engine: initial,
                 epoch: u64::from(recovered),
                 sealed: false,
             },
-            true,
+            Some(bank_wal),
             enqueued,
             if last_ckpt == u64::MAX { 0 } else { last_ckpt },
         );
         let backends: Vec<DurableShard<K>> = stores
             .into_iter()
-            .map(|store| DurableShard {
-                // The gauge below is seeded with the recovered sizes;
-                // starting the delta baseline anywhere else would
-                // double-count them on the first append.
-                known_wal_bytes: store.wal_bytes(),
-                store,
-                shared: Arc::clone(&shared),
-            })
+            .map(|store| DurableShard { store })
             .collect();
-        // Seed the WAL byte gauge with the recovered on-disk sizes.
-        for backend in &backends {
-            shared
-                .wal_bytes
-                .fetch_add(backend.store.wal_bytes(), Ordering::SeqCst);
-        }
         let sketch = self.assemble(backends, shared, merge_config, checkpoint_interval);
         Ok((sketch, reports))
     }
@@ -883,15 +884,14 @@ impl<K: SketchKey + Send + 'static> ShardBackend<K> for VolatileShard<K> {
     }
 }
 
-/// The durable backend: every batch goes through the shard's WAL, and
-/// checkpoint probes persist + truncate. Persistence failures are
-/// treated as fatal for the shard (the worker panics with context and
-/// [`ConcurrentSketch::drain`] surfaces it): continuing to ingest while
-/// silently not logging would break the recovery contract.
+/// The durable backend: every batch is encoded with the shard's stream
+/// tag and staged on the bank's shared group-commit log before it is
+/// applied; checkpoint probes run the bank-wide round. Persistence
+/// failures are treated as fatal for the shard (the worker panics with
+/// context and [`ConcurrentSketch::drain`] surfaces it): continuing to
+/// ingest while silently not logging would break the recovery contract.
 struct DurableShard<K: SketchKey + ItemCodec> {
     store: DurableSketch<K>,
-    shared: Arc<Shared<K>>,
-    known_wal_bytes: u64,
 }
 
 impl<K: SketchKey + ItemCodec + Send + Sync + 'static> ShardBackend<K> for DurableShard<K> {
@@ -899,20 +899,18 @@ impl<K: SketchKey + ItemCodec + Send + Sync + 'static> ShardBackend<K> for Durab
         self.store
             .update_batch(batch)
             .expect("shard WAL append failed");
-        self.shared
-            .adjust_wal_bytes(&mut self.known_wal_bytes, self.store.wal_bytes());
     }
     fn engine(&self) -> &SketchEngine<K> {
         self.store.engine()
     }
     fn checkpoint(&mut self) -> u64 {
-        let epoch = self.store.checkpoint().expect("shard checkpoint failed");
-        self.shared
-            .adjust_wal_bytes(&mut self.known_wal_bytes, self.store.wal_bytes());
+        // Blocks until every sibling shard reaches its own checkpoint
+        // probe of this round (the checkpointer broadcasts to all shards
+        // before collecting replies, and drain finishes all workers).
         // The epoch gauge is written only by the checkpointer's
         // round-minimum: a per-shard update here would transiently
         // report an epoch other shards have not completed yet.
-        epoch
+        self.store.checkpoint().expect("shard checkpoint failed")
     }
     fn finish(mut self) -> SketchEngine<K> {
         // Drain seals the bank; one last checkpoint makes the sealed

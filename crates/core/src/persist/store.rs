@@ -30,6 +30,7 @@
 //! cleaned on the next successful checkpoint.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::engine::{SketchEngine, SketchKey};
 use crate::error::Error;
@@ -37,12 +38,16 @@ use crate::item_codec::ItemCodec;
 use crate::purge::PurgePolicy;
 
 use super::checkpoint::write_checkpoint;
+use super::group::{CheckpointRound, GroupCommitWal, GroupWalStats};
 use super::recover::RecoveryReport;
-use super::wal::{WalPosition, WalWriter, SEGMENT_HEADER_LEN};
+use super::wal::{WalPosition, SEGMENT_HEADER_LEN};
 use super::{crc32c, EngineConfig, FsyncPolicy, PersistError};
 
 const MANIFEST_MAGIC: &[u8; 4] = b"SFMF";
-const MANIFEST_VERSION: u8 = 1;
+const MANIFEST_VERSION_V1: u8 = 1;
+/// Version 2 appends the shared-log flag and stream tag; manifests of
+/// single-engine stores still encode as v1 for byte compatibility.
+const MANIFEST_VERSION: u8 = 2;
 const STORE_MAGIC: &[u8; 4] = b"SFST";
 const STORE_VERSION: u8 = 1;
 
@@ -86,6 +91,12 @@ pub struct Manifest {
     pub checkpoint: Option<String>,
     /// First WAL position to replay.
     pub wal_start: WalPosition,
+    /// True when this shard's records live in the bank-level shared log
+    /// (one directory up), tagged with `stream`; false when the log is
+    /// in this directory — the only layout before manifest v2.
+    pub shared_log: bool,
+    /// This shard's stream tag in the shared log.
+    pub stream: u32,
 }
 
 impl Manifest {
@@ -101,7 +112,13 @@ impl Manifest {
     fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(96);
         out.extend_from_slice(MANIFEST_MAGIC);
-        out.push(MANIFEST_VERSION);
+        // Shard-local stores keep the v1 byte layout so their manifests
+        // stay readable by the previous release.
+        out.push(if self.shared_log {
+            MANIFEST_VERSION
+        } else {
+            MANIFEST_VERSION_V1
+        });
         out.push(u8::from(self.config.grow_from_small));
         out.extend_from_slice(&self.epoch.to_le_bytes());
         out.extend_from_slice(&(self.config.max_counters as u64).to_le_bytes());
@@ -115,6 +132,10 @@ impl Manifest {
         out.extend_from_slice(name.as_bytes());
         out.extend_from_slice(&self.wal_start.segment.to_le_bytes());
         out.extend_from_slice(&self.wal_start.offset.to_le_bytes());
+        if self.shared_log {
+            out.push(1);
+            out.extend_from_slice(&self.stream.to_le_bytes());
+        }
         let crc = crc32c(&out);
         out.extend_from_slice(&crc.to_le_bytes());
         out
@@ -127,7 +148,7 @@ impl Manifest {
             return Err(Error::Corrupt(format!("bad manifest magic {magic:02x?}")));
         }
         let version = u8::decode(&mut buf)?;
-        if version != MANIFEST_VERSION {
+        if version != MANIFEST_VERSION_V1 && version != MANIFEST_VERSION {
             return Err(Error::UnsupportedVersion(version));
         }
         let grow_flag = u8::decode(&mut buf)?;
@@ -158,6 +179,15 @@ impl Manifest {
         }
         let segment = u64::decode(&mut buf)?;
         let offset = u64::decode(&mut buf)?;
+        let (shared_log, stream) = if version == MANIFEST_VERSION {
+            let flag = u8::decode(&mut buf)?;
+            if flag != 1 {
+                return Err(Error::Corrupt("bad shared-log flag".into()));
+            }
+            (true, u32::decode(&mut buf)?)
+        } else {
+            (false, 0)
+        };
         if !buf.is_empty() {
             return Err(Error::Corrupt("trailing bytes after manifest".into()));
         }
@@ -174,6 +204,8 @@ impl Manifest {
             },
             checkpoint: (!name.is_empty()).then(|| name.to_string()),
             wal_start: WalPosition { segment, offset },
+            shared_log,
+            stream,
         })
     }
 }
@@ -312,10 +344,20 @@ pub(crate) fn checkpoint_file_name(epoch: u64) -> String {
 #[derive(Debug)]
 pub struct DurableSketch<K: SketchKey + ItemCodec> {
     pub(crate) engine: SketchEngine<K>,
-    pub(crate) wal: WalWriter,
+    /// The group-commit log — shared (`Arc`) across every shard of a
+    /// bank, exclusively owned by a single-engine store.
+    pub(crate) wal: Arc<GroupCommitWal>,
+    /// Checkpoint rendezvous over that log (1 participant when alone).
+    pub(crate) round: Arc<CheckpointRound>,
     pub(crate) dir: PathBuf,
     pub(crate) epoch: u64,
     pub(crate) config: EngineConfig,
+    /// Stream tag on this store's frames (0 unless a bank shard).
+    pub(crate) stream: u32,
+    /// Whether manifests should point at the bank-level shared log.
+    pub(crate) shared_log: bool,
+    /// Reused frame scratch so steady-state appends do not allocate.
+    pub(crate) frame_buf: Vec<u8>,
 }
 
 impl<K: SketchKey + ItemCodec> DurableSketch<K> {
@@ -394,7 +436,12 @@ impl<K: SketchKey + ItemCodec> DurableSketch<K> {
     /// # Errors
     /// On a WAL I/O failure the batch is **not** applied to the engine.
     pub fn update_batch(&mut self, batch: &[(K, u64)]) -> Result<(), PersistError> {
-        self.wal.append(self.epoch, batch)?;
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.frame_buf.clear();
+        super::wal::encode_frame(&mut self.frame_buf, self.stream, self.epoch, batch);
+        self.wal.append_frame(&self.frame_buf)?;
         self.engine.update_batch(batch);
         Ok(())
     }
@@ -402,19 +449,62 @@ impl<K: SketchKey + ItemCodec> DurableSketch<K> {
     /// Forces all logged bytes to stable storage regardless of the
     /// configured [`FsyncPolicy`].
     pub fn sync(&mut self) -> Result<(), PersistError> {
-        self.wal.sync()
+        self.wal.sync_all()
+    }
+
+    /// Group-commit counters of the underlying log (bank-wide when the
+    /// log is shared).
+    pub fn wal_stats(&self) -> GroupWalStats {
+        self.wal.stats()
+    }
+
+    /// Capacity of the reusable frame-encode scratch buffer. Constant
+    /// once warmed up: the encode path allocates O(1) per flush, not
+    /// per batch (`fig_persist` asserts this stays flat).
+    pub fn encode_scratch_capacity(&self) -> usize {
+        self.frame_buf.capacity()
     }
 
     /// Takes a checkpoint: writes the full engine state atomically,
     /// repoints the manifest at it, and truncates the now-redundant WAL
-    /// prefix. Returns the new checkpoint epoch.
+    /// prefix. Over a shared log this is one leg of a bank-wide round —
+    /// the call blocks until every sibling shard checkpoints too, and
+    /// only the round's last finisher truncates. Returns the new
+    /// checkpoint epoch.
     ///
     /// # Errors
     /// On failure the store is left on its previous (still consistent)
-    /// checkpoint+WAL pair.
+    /// checkpoint+WAL pair; a round with any failed shard truncates
+    /// nothing.
     pub fn checkpoint(&mut self) -> Result<u64, PersistError> {
         let new_epoch = self.epoch + 1;
-        let replay_start = self.wal.rotate()?;
+        let wal = Arc::clone(&self.wal);
+        let replay_start = match self.round.arrive(|| wal.rotate_for_checkpoint()) {
+            Ok(pos) => pos,
+            Err(e) => {
+                self.round.depart(false);
+                return Err(e);
+            }
+        };
+        let published = self.publish_checkpoint(new_epoch, replay_start);
+        let truncate = self.round.depart(published.is_ok());
+        published?;
+        if truncate {
+            // Only after every manifest of the round is durable may the
+            // old state go.
+            self.wal.remove_segments_below(replay_start.segment)?;
+        }
+        self.epoch = new_epoch;
+        Ok(new_epoch)
+    }
+
+    /// Writes this store's checkpoint file and manifest for `new_epoch`
+    /// and cleans superseded checkpoint files.
+    fn publish_checkpoint(
+        &self,
+        new_epoch: u64,
+        replay_start: WalPosition,
+    ) -> Result<(), PersistError> {
         let name = checkpoint_file_name(new_epoch);
         write_checkpoint(&self.dir.join(&name), &self.engine, new_epoch)?;
         write_manifest(
@@ -424,10 +514,10 @@ impl<K: SketchKey + ItemCodec> DurableSketch<K> {
                 config: self.config,
                 checkpoint: Some(name.clone()),
                 wal_start: replay_start,
+                shared_log: self.shared_log,
+                stream: self.stream,
             },
         )?;
-        // Only after the new manifest is durable may the old state go.
-        self.wal.remove_segments_below(replay_start.segment)?;
         for entry in std::fs::read_dir(&self.dir).map_err(|e| PersistError::io(&self.dir, e))? {
             let entry = entry.map_err(|e| PersistError::io(&self.dir, e))?;
             let file_name = entry.file_name();
@@ -441,8 +531,7 @@ impl<K: SketchKey + ItemCodec> DurableSketch<K> {
                 let _ = std::fs::remove_file(entry.path());
             }
         }
-        self.epoch = new_epoch;
-        Ok(new_epoch)
+        Ok(())
     }
 
     /// Consumes the store, returning the engine (the on-disk state stays
@@ -450,6 +539,35 @@ impl<K: SketchKey + ItemCodec> DurableSketch<K> {
     pub fn into_engine(self) -> SketchEngine<K> {
         self.engine
     }
+}
+
+/// Checkpoints every shard of a bank from one thread — what offline
+/// tooling (`streamfreq checkpoint`) uses, since [`DurableSketch::
+/// checkpoint`] over a shared log blocks for its sibling shards. One
+/// rotation, all checkpoints and manifests, then one truncation, with
+/// the same crash-consistency as the concurrent round.
+///
+/// All shards must share one log (they do when produced by a bank open).
+///
+/// # Errors
+/// On failure nothing is truncated and every shard stays on a
+/// consistent checkpoint+WAL pair (shards already checkpointed this
+/// call keep their new manifests, which still replay correctly).
+pub fn checkpoint_bank<K: SketchKey + ItemCodec>(
+    shards: &mut [DurableSketch<K>],
+) -> Result<(), PersistError> {
+    let Some(first) = shards.first() else {
+        return Ok(());
+    };
+    let wal = Arc::clone(&first.wal);
+    let replay_start = wal.rotate_for_checkpoint()?;
+    for shard in shards.iter_mut() {
+        let new_epoch = shard.epoch + 1;
+        shard.publish_checkpoint(new_epoch, replay_start)?;
+        shard.epoch = new_epoch;
+    }
+    wal.remove_segments_below(replay_start.segment)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -475,6 +593,8 @@ mod tests {
                     segment: 1,
                     offset: SEGMENT_HEADER_LEN,
                 },
+                shared_log: false,
+                stream: 0,
             },
             Manifest {
                 epoch: 12,
@@ -487,11 +607,51 @@ mod tests {
                     segment: 40,
                     offset: 12_345,
                 },
+                shared_log: false,
+                stream: 0,
+            },
+            Manifest {
+                epoch: 7,
+                config: EngineConfig::new(256),
+                checkpoint: Some(checkpoint_file_name(7)),
+                wal_start: WalPosition {
+                    segment: 3,
+                    offset: 4_242,
+                },
+                shared_log: true,
+                stream: 11,
             },
         ] {
             let decoded = Manifest::decode(&manifest.encode()).unwrap();
             assert_eq!(decoded, manifest);
         }
+    }
+
+    #[test]
+    fn shard_local_manifests_keep_the_v1_byte_layout() {
+        // A non-shared manifest must stay readable by the previous
+        // release: version byte 1, no trailing shared-log fields.
+        let manifest = Manifest {
+            epoch: 2,
+            config: EngineConfig::new(64),
+            checkpoint: None,
+            wal_start: WalPosition {
+                segment: 1,
+                offset: SEGMENT_HEADER_LEN,
+            },
+            shared_log: false,
+            stream: 0,
+        };
+        let bytes = manifest.encode();
+        assert_eq!(bytes[4], MANIFEST_VERSION_V1);
+        let shared = Manifest {
+            shared_log: true,
+            stream: 3,
+            ..manifest
+        };
+        let shared_bytes = shared.encode();
+        assert_eq!(shared_bytes[4], MANIFEST_VERSION);
+        assert_eq!(shared_bytes.len(), bytes.len() + 5);
     }
 
     #[test]
@@ -504,12 +664,23 @@ mod tests {
                 segment: 2,
                 offset: 8,
             },
+            shared_log: false,
+            stream: 0,
         };
-        let bytes = manifest.encode();
-        for i in 0..bytes.len() {
-            let mut corrupt = bytes.clone();
-            corrupt[i] ^= 0x10;
-            assert!(Manifest::decode(&corrupt).is_err(), "flip at {i} accepted");
+        for manifest in [
+            manifest.clone(),
+            Manifest {
+                shared_log: true,
+                stream: 9,
+                ..manifest.clone()
+            },
+        ] {
+            let bytes = manifest.encode();
+            for i in 0..bytes.len() {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 0x10;
+                assert!(Manifest::decode(&corrupt).is_err(), "flip at {i} accepted");
+            }
         }
         let traversal = Manifest {
             checkpoint: Some("../evil.ck".into()),
@@ -549,6 +720,8 @@ mod tests {
                 segment: 6,
                 offset: 8,
             },
+            shared_log: true,
+            stream: 2,
         };
         write_manifest(&dir, &manifest).unwrap();
         assert_eq!(read_manifest(&dir).unwrap().unwrap(), manifest);
@@ -564,6 +737,9 @@ mod tests {
         for i in 0..2_000u64 {
             store.update(i % 50, i % 7 + 1).unwrap();
         }
+        // wal_bytes reports the on-disk log; barrier past the async
+        // log-writer before sampling it.
+        store.sync().unwrap();
         let wal_before = store.wal_bytes();
         assert!(wal_before > SEGMENT_HEADER_LEN);
         assert_eq!(store.last_checkpoint_epoch(), 0);

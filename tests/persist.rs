@@ -165,8 +165,8 @@ proptest! {
     }
 
     /// Multi-shard ConcurrentSketch: ingest deterministically, snapshot
-    /// the store directory as a crash image, tear every shard's active
-    /// segment at an independent kill point, recover the bank, and
+    /// the store directory as a crash image, tear the bank's shared
+    /// group-commit log at a random kill point, recover the bank, and
     /// require each shard — and the Algorithm-5 merged serving view —
     /// to be fingerprint-identical to uninterrupted engines over the
     /// per-shard records that survived.
@@ -176,7 +176,7 @@ proptest! {
         num_shards in 1usize..5,
         writers in 1usize..4,
         seed in any::<u64>(),
-        kill_fracs in proptest::collection::vec(0.0f64..=1.0, 4..5),
+        kill_frac in 0.0f64..=1.0,
         flip in any::<bool>(),
     ) {
         let live_dir = scratch("bank-live");
@@ -188,30 +188,34 @@ proptest! {
             .unwrap();
         sketch.ingest_slice_parallel(&stream, writers);
         // FIFO barrier: once the probe round completes, every enqueued
-        // batch has been applied — and therefore logged.
+        // batch has been applied — and therefore staged for the shared
+        // log. Sync so the staged frames reach the crash image.
         sketch.publish_now();
+        sketch.reader().sync().unwrap();
 
         // Crash image: copy the store while the bank is still live, then
-        // tear each shard's newest segment independently.
+        // tear the newest segment of the bank-level shared log. A single
+        // torn write now clips every shard's tail at once.
         copy_dir(&live_dir, &crash_dir);
-        for s in 0..num_shards {
-            let sdir = crash_dir.join(format!("shard-{s:04}"));
-            tear_newest_segment(&sdir, kill_fracs[s % kill_fracs.len()], flip);
-        }
+        tear_newest_segment(&crash_dir, kill_frac, flip);
         drop(sketch);
 
         // Per-shard reference: an uninterrupted engine over the records
-        // that survived in that shard's WAL (no checkpoints were taken,
-        // so the WAL is the full per-shard history).
+        // that survived in the shared WAL for that shard's stream tag
+        // (no checkpoints were taken, so the log is the full history).
         let mut references: Vec<SketchEngine<u64>> = Vec::new();
         for s in 0..num_shards {
             let sdir = crash_dir.join(format!("shard-{s:04}"));
             let manifest = read_manifest(&sdir).unwrap().unwrap();
             prop_assert!(manifest.checkpoint.is_none());
-            let outcome = wal::read_from::<u64>(&sdir, manifest.wal_start).unwrap();
+            prop_assert!(manifest.shared_log, "bank shards must share one log");
+            prop_assert_eq!(manifest.stream, s as u32);
+            let outcome = wal::read_from::<u64>(&crash_dir, manifest.wal_start).unwrap();
             let mut engine: SketchEngine<u64> = manifest.config.build_engine().unwrap();
             for record in &outcome.records {
-                engine.update_batch(&record.batch);
+                if record.stream == s as u32 && record.at >= manifest.wal_start {
+                    engine.update_batch(&record.batch);
+                }
             }
             references.push(engine);
         }

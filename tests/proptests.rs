@@ -387,3 +387,193 @@ mod corruption {
         }
     }
 }
+
+/// The compact delta/varint WAL record codec introduced with the shared
+/// group-commit log: every encoded stream of values must decode back
+/// byte-exactly, every truncation must be rejected, and a full on-disk
+/// log must survive a bit flip at *every* offset without ever yielding
+/// a record that was not written (the CRC outer frame is the contract).
+mod wal_codec {
+    use proptest::prelude::*;
+    use streamfreq::item_codec::{read_uvarint, write_uvarint, ItemCodec};
+    use streamfreq::persist::store::read_manifest;
+    use streamfreq::persist::wal;
+    use streamfreq::{DurabilityOptions, DurableSketch, EngineConfig, FsyncPolicy};
+
+    /// A unique, empty scratch directory per test case.
+    fn scratch(label: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir()
+            .join("streamfreq-wal-codec")
+            .join(format!(
+                "{label}-{}-{}",
+                std::process::id(),
+                CASE.fetch_add(1, Ordering::SeqCst)
+            ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Writes `batches` through a fresh store's shared-log encoder and
+    /// returns the log's records plus the path of its one segment.
+    fn write_log(
+        dir: &std::path::Path,
+        batches: &[Vec<(u64, u64)>],
+    ) -> (Vec<wal::WalRecord<u64>>, std::path::PathBuf) {
+        let opts = DurabilityOptions {
+            fsync: FsyncPolicy::Off,
+            // One segment, so a bad frame always reads as the log tail.
+            segment_bytes: 1 << 24,
+        };
+        let (mut store, _) =
+            DurableSketch::<u64>::open(dir, EngineConfig::new(16).seed(3), opts).unwrap();
+        for batch in batches {
+            store.update_batch(batch).unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+        let manifest = read_manifest(dir).unwrap().unwrap();
+        let outcome = wal::read_from::<u64>(dir, manifest.wal_start).unwrap();
+        assert_eq!(outcome.dropped_tail_bytes, 0);
+        let segment = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| {
+                let name = p
+                    .file_name()
+                    .unwrap_or_default()
+                    .to_string_lossy()
+                    .into_owned();
+                name.starts_with("wal-") && name.ends_with(".seg")
+            })
+            .expect("log segment exists");
+        (outcome.records, segment)
+    }
+
+    /// True if `records` is a per-record-equal prefix of `reference`.
+    fn is_prefix(records: &[wal::WalRecord<u64>], reference: &[wal::WalRecord<u64>]) -> bool {
+        records.len() <= reference.len()
+            && records
+                .iter()
+                .zip(reference)
+                .all(|(a, b)| a.stream == b.stream && a.epoch == b.epoch && a.batch == b.batch)
+    }
+
+    /// Exhaustive single-bit-flip and truncation sweep over a real log:
+    /// at every byte offset, the reader must return a clean prefix of
+    /// the original records or an error — never invent or skip one.
+    #[test]
+    fn log_survives_bitflip_and_truncation_at_every_offset() {
+        let dir = scratch("flip-sweep");
+        let batches: Vec<Vec<(u64, u64)>> = (0..6)
+            .map(|b| (0..12).map(|i| (b * 100 + i, i * 7 + 1)).collect())
+            .collect();
+        let (reference, segment) = write_log(&dir, &batches);
+        assert_eq!(reference.len(), batches.len());
+        for (record, batch) in reference.iter().zip(&batches) {
+            assert_eq!(record.stream, 0);
+            assert_eq!(&record.batch, batch, "roundtrip must be value-exact");
+        }
+        let start = reference[0].at;
+        let pristine = std::fs::read(&segment).unwrap();
+
+        for offset in 0..pristine.len() {
+            for bit in [0u8, 3, 7] {
+                let mut mutated = pristine.clone();
+                mutated[offset] ^= 1 << bit;
+                std::fs::write(&segment, &mutated).unwrap();
+                match wal::read_from::<u64>(&dir, start) {
+                    Err(_) => {}
+                    Ok(outcome) => assert!(
+                        is_prefix(&outcome.records, &reference),
+                        "bit {bit} flipped at {offset} yielded a non-prefix"
+                    ),
+                }
+            }
+            std::fs::write(&segment, &pristine[..offset]).unwrap();
+            match wal::read_from::<u64>(&dir, start) {
+                Err(_) => {}
+                Ok(outcome) => assert!(
+                    is_prefix(&outcome.records, &reference),
+                    "truncation at {offset} yielded a non-prefix"
+                ),
+            }
+        }
+        std::fs::write(&segment, &pristine).unwrap();
+        let outcome = wal::read_from::<u64>(&dir, start).unwrap();
+        assert!(
+            is_prefix(&outcome.records, &reference) && outcome.records.len() == reference.len(),
+            "pristine log must still read in full after the sweep"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Varint sequences roundtrip byte-exactly and reject every
+        /// truncation point without panicking or over-reading.
+        #[test]
+        fn uvarint_sequences_roundtrip_and_reject_truncation(
+            values in proptest::collection::vec(any::<u64>(), 1..64),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let mut bytes = Vec::new();
+            for &v in &values {
+                write_uvarint(&mut bytes, v);
+            }
+            let mut view = bytes.as_slice();
+            for &v in &values {
+                prop_assert_eq!(read_uvarint(&mut view).unwrap(), v);
+            }
+            prop_assert!(view.is_empty(), "decoder must consume exactly its bytes");
+
+            // Any strict prefix decodes strictly fewer values, then errs.
+            let cut = (bytes.len() as f64 * cut_frac) as usize;
+            let mut view = &bytes[..cut.min(bytes.len() - 1)];
+            let mut decoded = 0usize;
+            while let Ok(v) = read_uvarint(&mut view) {
+                prop_assert_eq!(v, values[decoded]);
+                decoded += 1;
+                prop_assert!(decoded < values.len(), "truncated buffer decoded fully");
+            }
+        }
+
+        /// Compact item encodings roundtrip value-exactly back to back
+        /// in a shared buffer (the WAL frame layout).
+        #[test]
+        fn compact_items_roundtrip_back_to_back(
+            items in proptest::collection::vec(any::<u64>(), 1..128),
+        ) {
+            let mut bytes = Vec::new();
+            for &item in &items {
+                item.encode_compact(&mut bytes);
+            }
+            let mut view = bytes.as_slice();
+            for &item in &items {
+                prop_assert_eq!(u64::decode_compact(&mut view).unwrap(), item);
+            }
+            prop_assert!(view.is_empty());
+        }
+
+        /// Random logs roundtrip value-exactly through the delta/varint
+        /// frame encoder and back off disk.
+        #[test]
+        fn random_logs_roundtrip_value_exactly(
+            stream in proptest::collection::vec((any::<u64>(), 1u64..u64::MAX >> 20), 1..400),
+            batch_size in 1usize..64,
+        ) {
+            let dir = scratch("roundtrip");
+            let batches: Vec<Vec<(u64, u64)>> =
+                stream.chunks(batch_size).map(<[(u64, u64)]>::to_vec).collect();
+            let (records, _) = write_log(&dir, &batches);
+            prop_assert_eq!(records.len(), batches.len());
+            for (record, batch) in records.iter().zip(&batches) {
+                prop_assert_eq!(&record.batch, batch);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
