@@ -63,6 +63,9 @@ pub struct DecayedSketch<K: SketchKey> {
     /// Epoch index of the open epoch (`None` until the first record).
     epoch: Option<u64>,
     num_ticks: u64,
+    /// Lazy decay mode: ticks fold into the engine's pending global
+    /// scale factor (O(1) per tick) instead of sweeping the table.
+    lazy: bool,
 }
 
 impl<K: SketchKey> DecayedSketch<K> {
@@ -116,7 +119,39 @@ impl<K: SketchKey> DecayedSketch<K> {
             epoch_len,
             epoch: None,
             num_ticks: 0,
+            lazy: false,
         })
+    }
+
+    /// Switches the sketch to **lazy decay**: each epoch tick folds λ
+    /// into a pending global scale factor in O(1) instead of sweeping
+    /// every counter, and the sweep is deferred until a boundary needs
+    /// true counter values (capacity pressure, an explicit
+    /// [`Self::materialize`], a merge, or an eager `scale_counters`).
+    /// Incoming updates join forward-inflated by the pending factor and
+    /// all integer arithmetic composes exactly (`⌊⌊c/d⌋/d⌋ = ⌊c/d²⌋`), so
+    /// every query answer matches eager per-tick scaling counter for
+    /// counter.
+    ///
+    /// Only decay factors of the form `1/den` defer (`λ = num/den` with
+    /// `num > 1` does not compose under deferred flooring); other
+    /// configurations silently keep the eager path, so this is always
+    /// safe to request.
+    pub fn lazy(mut self) -> Self {
+        self.lazy = true;
+        self
+    }
+
+    /// True if lazy decay was requested *and* the decay factor supports
+    /// deferral (λ = 1/den, den > 1).
+    pub fn is_lazy(&self) -> bool {
+        self.lazy && self.decay_num == 1 && self.decay_den > 1
+    }
+
+    /// Settles any pending lazy-decay scale into true counter values.
+    /// No-op in eager mode or when nothing is pending.
+    pub fn materialize(&mut self) {
+        self.engine.materialize_decay();
     }
 
     /// The decay factor `(num, den)` applied per epoch tick.
@@ -142,14 +177,25 @@ impl<K: SketchKey> DecayedSketch<K> {
 
     /// Read access to the underlying engine (estimates there are decayed
     /// values as of the current epoch).
+    ///
+    /// **Lazy-mode caveat:** while a lazy scale is pending
+    /// ([`SketchEngine::pending_decay_pow`] > 1) the engine's raw
+    /// counters are forward-inflated by that factor. This sketch's own
+    /// query surface divides it back out; raw engine reads should call
+    /// [`Self::materialize`] first.
     pub fn engine(&self) -> &SketchEngine<K> {
         &self.engine
     }
 
-    /// Applies one decay tick by hand: every counter scales by λ through
-    /// the fused compaction path, and the clock advances one epoch.
+    /// Applies one decay tick by hand: λ folds into the pending lazy
+    /// scale (lazy mode) or every counter scales through the fused
+    /// compaction path (eager), and the clock advances one epoch.
     pub fn tick(&mut self) {
-        self.engine.scale_counters(self.decay_num, self.decay_den);
+        if self.is_lazy() {
+            self.engine.lazy_scale_counters(self.decay_den);
+        } else {
+            self.engine.scale_counters(self.decay_num, self.decay_den);
+        }
         self.epoch = Some(self.epoch.map_or(0, |e| e + 1));
         self.num_ticks += 1;
     }
@@ -178,6 +224,19 @@ impl<K: SketchKey> DecayedSketch<K> {
             target >= current,
             "timestamp {timestamp} (epoch {target}) precedes the open epoch {current}"
         );
+        if self.is_lazy() {
+            for _ in current..target {
+                let drained = self.engine.lazy_scale_counters(self.decay_den);
+                self.num_ticks += 1;
+                if drained {
+                    // Fixed point: no remaining mass can change, so all
+                    // further ticks are no-ops.
+                    break;
+                }
+            }
+            self.epoch = Some(target);
+            return;
+        }
         for _ in current..target {
             let before = (
                 self.engine.num_counters(),
@@ -227,19 +286,32 @@ impl<K: SketchKey> DecayedSketch<K> {
         self.engine.update_batch(batch);
     }
 
+    /// The item's counter value as of the current epoch: the raw stored
+    /// counter deflated by any pending lazy scale (flooring — exactly
+    /// what materializing would store). `None` for untracked items and
+    /// for counters that have faded below one (eager scaling would have
+    /// dropped those).
+    fn scaled_count(&self, item: &K) -> Option<u64> {
+        let v = self.engine.lower_bound(item) / self.engine.pending_decay_pow();
+        (v > 0).then_some(v)
+    }
+
     /// Estimate of the item's decayed frequency as of the current epoch.
     pub fn estimate(&self, item: &K) -> u64 {
-        self.engine.estimate(item)
+        self.scaled_count(item)
+            .map_or(0, |v| v.saturating_add(self.engine.maximum_error()))
     }
 
     /// Certified lower bound on the decayed frequency.
     pub fn lower_bound(&self, item: &K) -> u64 {
-        self.engine.lower_bound(item)
+        self.scaled_count(item).unwrap_or(0)
     }
 
     /// Certified upper bound on the decayed frequency.
     pub fn upper_bound(&self, item: &K) -> u64 {
-        self.engine.upper_bound(item)
+        let offset = self.engine.maximum_error();
+        self.scaled_count(item)
+            .map_or(offset, |v| v.saturating_add(offset))
     }
 
     /// Maximum estimation error against the real-valued decayed
@@ -265,7 +337,21 @@ impl<K: SketchKey> DecayedSketch<K> {
     where
         K: Ord,
     {
-        self.engine.heavy_hitters(phi, error_type)
+        if self.engine.pending_decay_pow() == 1 {
+            return self.engine.heavy_hitters(phi, error_type);
+        }
+        let threshold = streamfreq_core::phi_threshold(phi, self.engine.stream_weight())
+            .max(self.engine.maximum_error());
+        let mut rows: Vec<Row<K>> = self
+            .scaled_rows()
+            .into_iter()
+            .filter(|row| match error_type {
+                ErrorType::NoFalsePositives => row.lower_bound > threshold,
+                ErrorType::NoFalseNegatives => row.upper_bound > threshold,
+            })
+            .collect();
+        streamfreq_core::result::sort_rows_descending(&mut rows);
+        rows
     }
 
     /// The `k` items with the largest decayed estimates.
@@ -273,7 +359,33 @@ impl<K: SketchKey> DecayedSketch<K> {
     where
         K: Ord,
     {
-        self.engine.top_k(k)
+        if self.engine.pending_decay_pow() == 1 {
+            return self.engine.top_k(k);
+        }
+        let mut rows = self.scaled_rows();
+        streamfreq_core::result::sort_rows_descending(&mut rows);
+        rows.truncate(k);
+        rows
+    }
+
+    /// All tracked rows with counters deflated by the pending lazy scale
+    /// (counters that fade below one are dropped, like materialization
+    /// drops them).
+    fn scaled_rows(&self) -> Vec<Row<K>> {
+        let pow = self.engine.pending_decay_pow();
+        let offset = self.engine.maximum_error();
+        self.engine
+            .counters()
+            .filter_map(|(item, raw)| {
+                let v = raw / pow;
+                (v > 0).then(|| Row {
+                    item: item.clone(),
+                    estimate: v.saturating_add(offset),
+                    lower_bound: v,
+                    upper_bound: v.saturating_add(offset),
+                })
+            })
+            .collect()
     }
 
     /// Test/debug aid: verifies the internal table invariants.
@@ -435,6 +547,128 @@ mod tests {
         assert!(DecayedSketch::<u64>::try_new(8, 10, (3, 2), PurgePolicy::default(), 0).is_err());
         assert!(DecayedSketch::<u64>::try_new(8, 10, (1, 0), PurgePolicy::default(), 0).is_err());
         assert!(DecayedSketch::<u64>::try_new(8, 10, (1, 1), PurgePolicy::default(), 0).is_ok());
+    }
+
+    /// Value-level state of a decayed sketch: sorted (item, deflated
+    /// counter) pairs plus the scalar bookkeeping — everything queries
+    /// can observe. Lazy and eager sketches must agree on this at every
+    /// boundary (slot layout may differ across purge/materialize
+    /// orderings, so raw fingerprints are compared only by the purge-free
+    /// proptests).
+    fn value_state(s: &DecayedSketch<u64>) -> (Vec<(u64, u64)>, u64, u64) {
+        let pow = s.engine().pending_decay_pow();
+        let mut counters: Vec<(u64, u64)> = s
+            .engine()
+            .counters()
+            .filter_map(|(k, v)| {
+                let v = v / pow;
+                (v > 0).then_some((*k, v))
+            })
+            .collect();
+        counters.sort_unstable();
+        (counters, s.maximum_error(), s.decayed_weight())
+    }
+
+    #[test]
+    fn lazy_matches_eager_queries_purge_free() {
+        // Small enough stream that no purge fires: lazy must match eager
+        // on every query at every epoch boundary, and the engines must
+        // agree fingerprint-for-fingerprint after materialization.
+        let mut eager: DecayedSketch<u64> = DecayedSketch::new(512, 10, (1, 2));
+        let mut lazy: DecayedSketch<u64> = DecayedSketch::new(512, 10, (1, 2)).lazy();
+        assert!(lazy.is_lazy());
+        for epoch in 0..12u64 {
+            let batch: Vec<(u64, u64)> = (0..200u64).map(|i| (i % 97, i % 13 + 1)).collect();
+            eager.record_batch(epoch * 10, &batch);
+            lazy.record_batch(epoch * 10, &batch);
+            for item in 0..97u64 {
+                assert_eq!(eager.estimate(&item), lazy.estimate(&item), "item {item}");
+                assert_eq!(eager.lower_bound(&item), lazy.lower_bound(&item));
+                assert_eq!(eager.upper_bound(&item), lazy.upper_bound(&item));
+            }
+            assert_eq!(value_state(&eager), value_state(&lazy), "epoch {epoch}");
+            assert_eq!(
+                eager
+                    .top_k(10)
+                    .iter()
+                    .map(|r| r.estimate)
+                    .collect::<Vec<_>>(),
+                lazy.top_k(10)
+                    .iter()
+                    .map(|r| r.estimate)
+                    .collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(eager.engine().num_purges(), 0, "test must stay purge-free");
+        lazy.materialize();
+        assert_eq!(value_state(&eager), value_state(&lazy));
+        lazy.check_invariants();
+    }
+
+    #[test]
+    fn lazy_matches_eager_across_purges() {
+        // Heavy traffic: purges (and capacity materializations) fire.
+        // Value-level state must still agree at every boundary.
+        let mut eager: DecayedSketch<u64> = DecayedSketch::new(32, 10, (1, 2));
+        let mut lazy: DecayedSketch<u64> = DecayedSketch::new(32, 10, (1, 2)).lazy();
+        let mut x = 7u64;
+        for epoch in 0..8u64 {
+            let mut batch = Vec::new();
+            for _ in 0..2_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                batch.push(((x >> 33) % 300, x % 9 + 1));
+            }
+            eager.record_batch(epoch * 10, &batch);
+            lazy.record_batch(epoch * 10, &batch);
+            assert_eq!(eager.maximum_error(), lazy.maximum_error(), "epoch {epoch}");
+            assert_eq!(eager.decayed_weight(), lazy.decayed_weight());
+        }
+        assert!(eager.engine().num_purges() > 0, "must exercise purging");
+        lazy.check_invariants();
+    }
+
+    #[test]
+    fn lazy_drained_sketch_fast_forwards() {
+        let mut s: DecayedSketch<u64> = DecayedSketch::new(8, 1, (1, 2)).lazy();
+        s.record(0, 1, 100);
+        s.advance_to(u64::MAX);
+        assert_eq!(s.engine().num_counters(), 0, "zombies compacted away");
+        assert_eq!(s.engine().pending_decay_pow(), 1, "drained state settles");
+        assert_eq!(s.decayed_weight(), 0);
+        assert!(s.maximum_error() <= 1);
+        s.record(u64::MAX, 2, 7);
+        assert_eq!(s.estimate(&2), 7 + s.maximum_error());
+    }
+
+    #[test]
+    fn lazy_falls_back_to_eager_for_wide_factors() {
+        // λ = 3/4 cannot defer (flooring does not compose); .lazy() must
+        // silently keep the eager path with identical state.
+        let mut plain: DecayedSketch<u64> = DecayedSketch::new(64, 10, (3, 4));
+        let mut requested: DecayedSketch<u64> = DecayedSketch::new(64, 10, (3, 4)).lazy();
+        assert!(!requested.is_lazy());
+        for epoch in 0..5u64 {
+            let batch: Vec<(u64, u64)> = (0..500u64).map(|i| (i % 80, 3)).collect();
+            plain.record_batch(epoch * 10, &batch);
+            requested.record_batch(epoch * 10, &batch);
+        }
+        assert_eq!(
+            plain.engine().state_fingerprint(),
+            requested.engine().state_fingerprint()
+        );
+    }
+
+    #[test]
+    fn lazy_generic_string_items() {
+        let mut s: DecayedSketch<String> = DecayedSketch::new(16, 100, (1, 2)).lazy();
+        s.record(0, "old".into(), 600);
+        s.record(250, "new".into(), 200);
+        assert_eq!(s.lower_bound(&"old".to_string()), 150);
+        assert_eq!(s.lower_bound(&"new".to_string()), 200);
+        let top = s.top_k(1);
+        assert_eq!(top[0].item, "new");
+        s.materialize();
+        assert_eq!(s.lower_bound(&"old".to_string()), 150);
     }
 
     #[test]

@@ -15,12 +15,17 @@
 //! ```text
 //! cargo run --release -p streamfreq-bench --bin fig1_runtime \
 //!     [--quick|--full|--updates N] [--json PATH] [--pipeline-only]
-//!     [--smoke]
+//!     [--smoke] [--profile]
 //! ```
 //!
 //! `--smoke` shrinks the panel to one small counter budget with a single
 //! repetition — a seconds-long CI guard that the bench binaries still
 //! build and run end to end.
+//!
+//! `--profile` runs only the batch-mode Zipf ingest with the engine's
+//! per-phase timers enabled and prints where the seconds go (aggregation
+//! / probe / purge / grow), so a throughput regression localizes without
+//! an external profiler.
 
 use std::collections::HashMap;
 
@@ -117,6 +122,11 @@ fn main() {
         (PIPELINE_KS.to_vec(), PIPELINE_REPS)
     };
 
+    if args.iter().any(|a| a == "--profile") {
+        profile_breakdown(updates, &ks);
+        return;
+    }
+
     if !pipeline_only {
         figure1_panels(updates);
     }
@@ -157,6 +167,125 @@ fn main() {
     match std::fs::write(&json_path, &json) {
         Ok(()) => eprintln!("wrote {json_path}"),
         Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+
+    if smoke {
+        smoke_tripwire(&results);
+    }
+}
+
+/// `--smoke` CI tripwire over the pipeline panel: the unsharded modes
+/// must agree on every answer (the batch kernel and the generic engine
+/// are pinned state-identical to the scalar path, so a checksum drift
+/// is a correctness bug, not noise), and the batch path must not be
+/// catastrophically slower than scalar. The rate bound is deliberately
+/// loose (0.5×) because shared CI runners easily show 2× timing noise
+/// at smoke scale — it exists to catch an accidental O(n²) or a
+/// disabled kernel, not to benchmark.
+fn smoke_tripwire(results: &[IngestResult]) {
+    let mut workloads: Vec<&str> = results.iter().map(|r| r.workload.as_str()).collect();
+    workloads.dedup();
+    for workload in workloads {
+        let row = |mode: &str| {
+            results
+                .iter()
+                .find(|r| r.workload == workload && r.mode == mode)
+                .unwrap_or_else(|| panic!("missing {workload}/{mode} row"))
+        };
+        let scalar = row("scalar");
+        for mode in ["batch", "items_u64"] {
+            let r = row(mode);
+            assert_eq!(
+                r.checksum, scalar.checksum,
+                "{workload}: {mode} checksum diverged from scalar"
+            );
+        }
+        let batch = row("batch");
+        assert!(
+            batch.updates_per_sec >= 0.5 * scalar.updates_per_sec,
+            "{workload}: batch path catastrophically slow \
+             ({:.3e}/s vs scalar {:.3e}/s)",
+            batch.updates_per_sec,
+            scalar.updates_per_sec
+        );
+    }
+    eprintln!("smoke tripwire passed: checksums identical, batch rate sane");
+}
+
+/// `--profile`: batch-mode Zipf ingest with the engine's per-phase
+/// timers on. The phase columns sum to slightly less than `total_s`
+/// (chunking, bookkeeping, and timer overhead land in `other_s`).
+fn profile_breakdown(updates: usize, ks: &[usize]) {
+    use streamfreq_core::FreqSketch;
+    println!("# Ingest profile: batch mode, Zipf(0.8), per-phase seconds");
+    print_header(&[
+        "k",
+        "total_s",
+        "aggregate_s",
+        "probe_s",
+        "purge_s",
+        "grow_s",
+        "other_s",
+        "updates_per_sec",
+    ]);
+    eprintln!("generating Zipf(0.8) stream: {updates} updates ...");
+    let zipf = materialize_zipf(updates, 1 << 27, 0.8, 1_500, 42);
+    for &k in ks {
+        let mut s = FreqSketch::builder(k)
+            .grow_from_small(false)
+            .build()
+            .expect("invalid k");
+        s.engine_mut().enable_ingest_profile();
+        // Warm up on a prefix so every scratch buffer (batch staging,
+        // aggregation, dedup cache, purge sampler, compaction) reaches
+        // its steady-state capacity, then require the rest of the run
+        // to allocate nothing: steady-state ingest is O(1)-alloc. The
+        // purge-path buffers only exist once the table first fills, so
+        // the warmup must cover at least a couple of purges (or half
+        // the stream, if k is large enough that purges never come).
+        let mut warmup = 0usize;
+        while warmup < zipf.len() / 2 && (s.num_purges() < 2 || warmup < 200_000) {
+            let take = (zipf.len() / 2 - warmup).min(100_000);
+            s.update_batch(&zipf[warmup..warmup + take]);
+            warmup += take;
+        }
+        let caps_after_warmup = s.engine().ingest_scratch_capacities();
+        s.engine_mut().take_ingest_profile(); // drop warmup phases
+        let start = std::time::Instant::now();
+        s.update_batch(&zipf[warmup..]);
+        let total = start.elapsed().as_secs_f64();
+        // The per-batch buffers (staging, aggregation, hashes, dedup
+        // cache, purge sampler) must be exactly stable — the hot path
+        // allocates nothing after warmup. The purge compaction gap
+        // buffer is amortized instead: it doubles geometrically toward
+        // the worst gap count actually seen, so it may still take a
+        // final doubling after warmup, but can never pass table length.
+        let caps = s.engine().ingest_scratch_capacities();
+        assert_eq!(
+            caps[..5],
+            caps_after_warmup[..5],
+            "steady-state ingest reallocated per-batch scratch (k = {k})"
+        );
+        assert!(
+            caps[5] <= s.num_counters().next_power_of_two() * 2,
+            "compaction scratch outgrew the table (k = {k}, cap {})",
+            caps[5]
+        );
+        let p = s
+            .engine_mut()
+            .take_ingest_profile()
+            .expect("profiling enabled above");
+        let (agg, probe, purge, grow) = (
+            p.aggregate.as_secs_f64(),
+            p.probe.as_secs_f64(),
+            p.purge.as_secs_f64(),
+            p.grow.as_secs_f64(),
+        );
+        println!(
+            "{k}\t{total:.3}\t{agg:.3}\t{probe:.3}\t{purge:.3}\t{grow:.3}\t{:.3}\t{:.3e}",
+            (total - agg - probe - purge - grow).max(0.0),
+            (zipf.len() - warmup) as f64 / total
+        );
     }
 }
 

@@ -53,12 +53,30 @@ pub trait SketchKey: Clone + Eq + Default {
     /// The key's stable 64-bit hash; the table probes with its low bits
     /// and shard routing uses its high bits.
     fn hash_key(&self) -> u64;
+
+    /// Views a slice of keys as raw `u64` words when the key type is
+    /// `u64` (the paper's layout), `None` otherwise. Forwarded from
+    /// [`Hash64::keys_as_u64`]; the ingest kernel uses it to select the
+    /// wide (unrolled / SIMD) slot-scan without unsafe transmutes.
+    #[inline]
+    fn key_slice_as_u64(keys: &[Self]) -> Option<&[u64]>
+    where
+        Self: Sized,
+    {
+        let _ = keys;
+        None
+    }
 }
 
 impl<T: Hash64 + Clone + Eq + Default> SketchKey for T {
     #[inline]
     fn hash_key(&self) -> u64 {
         self.hash64()
+    }
+
+    #[inline]
+    fn key_slice_as_u64(keys: &[Self]) -> Option<&[u64]> {
+        T::keys_as_u64(keys)
     }
 }
 
@@ -77,6 +95,49 @@ const LOAD_DEN: usize = 4;
 /// Upper bound on one batch chunk, bounding transient scratch work per
 /// capacity check regardless of `k`.
 const MAX_CHUNK: usize = 1 << 20;
+
+/// Upper bound on one aggregation pass: sized so the aggregation
+/// scratch (entries + hashes, ≤ 24 bytes each) stays cache-resident —
+/// the kernel re-reads every surviving entry right after the pass, and
+/// a DRAM round-trip for the scratch would cost more than the
+/// deduplication saves.
+const AGG_CHUNK: usize = 1 << 14;
+
+/// Aggregation pays for itself only when it removes at least this
+/// fraction of the pairs (one dedup-cache probe + scratch copy per pair
+/// vs one table probe saved per duplicate). Below it, the engine
+/// bypasses aggregation and streams pairs straight into the kernel.
+const AGG_MIN_DUP_NUM: usize = 1;
+const AGG_MIN_DUP_DEN: usize = 8;
+
+/// While bypassing, re-run one aggregation pass every this many direct
+/// sub-chunks to re-measure the duplicate ratio (streams change phase).
+const AGG_REPROBE_EVERY: u32 = 64;
+
+/// Updates accumulated (possibly across many small aggregation passes —
+/// callers like the temporal layer feed per-tick runs of ~100 pairs)
+/// before the duplicate ratio is considered measured and the dispatch
+/// decision is re-taken. Single small passes are far too noisy to steer
+/// on.
+const AGG_DECIDE_FLOOR: u64 = 4096;
+
+/// Why an aggregation pass stopped before consuming its whole input.
+enum AggStop {
+    /// Everything consumed.
+    Done,
+    /// Next weight exceeds `i64::MAX`: apply the prefix, then panic with
+    /// the scalar path's message.
+    Oversized(u64),
+    /// Next weight cannot be forward-inflated by the pending decay scale
+    /// without overflowing: apply the prefix, materialize, retry.
+    Inflate,
+}
+
+/// Cap on the pending lazy-decay scale factor `d^p`: beyond this the
+/// pending ticks are settled into the table eagerly. 2³¹ leaves every
+/// counter headroom to absorb ≥ 2³¹-weight updates without per-update
+/// materialization thrash.
+const LAZY_POW_CAP: u64 = 1 << 31;
 
 /// Smallest `lg` such that a `2^lg`-slot table holds `k` counters at 3/4
 /// load, i.e. `2^lg ≥ 4k/3` (§2.3.3). `None` if `lg` would exceed 31
@@ -120,6 +181,60 @@ pub struct SketchEngine<K: SketchKey> {
     pub(crate) num_purges: u64,
     pub(crate) scratch: Vec<i64>,
     pub(crate) pair_scratch: Vec<(K, i64)>,
+    /// In-batch aggregation scratch: unique keys of the current ingest
+    /// chunk with their combined (inflation-scaled) deltas, in
+    /// first-occurrence order.
+    agg_scratch: Vec<(K, i64)>,
+    /// Hashes of `agg_scratch` entries (parallel vector): aggregation
+    /// already hashes every key for its dedup cache, and the kernel
+    /// derives home slots from the same hash — keys are hashed once per
+    /// ingested pair, not twice.
+    hash_scratch: Vec<u64>,
+    /// Direct-mapped dedup cache over `agg_scratch`: maps a key-hash slot
+    /// to the candidate entry index, `u32::MAX` = vacant.
+    dedup_cache: Vec<u32>,
+    /// True while the measured in-chunk duplicate ratio is too low for
+    /// aggregation to pay (the ingest then streams pairs straight into
+    /// the kernel); re-measured every [`AGG_REPROBE_EVERY`] sub-chunks.
+    agg_bypass: bool,
+    /// Direct sub-chunks left before the next aggregation re-measure.
+    agg_reprobe_in: u32,
+    /// Updates and unique entries accumulated by aggregation passes
+    /// since the last dispatch decision; the ratio is only trusted (and
+    /// the pair reset) once the update side reaches [`AGG_DECIDE_FLOOR`].
+    agg_applied_win: u64,
+    agg_entries_win: u64,
+    /// Lazy-decay denominator `d` (λ = 1/d); 0 while lazy fading has
+    /// never been activated on this engine.
+    lazy_den: u64,
+    /// `d^p` for `p` pending (unmaterialized) decay ticks; 1 = fully
+    /// materialized. Counters are stored forward-inflated by this factor.
+    lazy_pow: u64,
+    /// Number of pending decay ticks `p`.
+    lazy_ticks: u32,
+    /// Exact maximum stored counter value, maintained while lazy fading
+    /// is active: `max_stored >= lazy_pow` decides whether the table
+    /// still holds a counter that materializes to ≥ 1 (the eager path's
+    /// `had_counters`), without touching the table.
+    max_stored: i64,
+    /// Per-phase ingest timing, populated only when profiling is enabled
+    /// (`fig1_runtime --profile`).
+    profile: Option<IngestProfile>,
+}
+
+/// Per-phase wall-clock breakdown of the ingest path, collected when
+/// [`SketchEngine::enable_ingest_profile`] is on: where the update
+/// seconds go, without an external profiler.
+#[derive(Clone, Debug, Default)]
+pub struct IngestProfile {
+    /// In-batch aggregation (dedup + weight combining) time.
+    pub aggregate: std::time::Duration,
+    /// Multi-lane probe/commit (table kernel) time.
+    pub probe: std::time::Duration,
+    /// Purge (DecrementCounters) time, including `c*` selection.
+    pub purge: std::time::Duration,
+    /// Table growth/rehash time.
+    pub grow: std::time::Duration,
 }
 
 /// Configures and constructs a [`SketchEngine`]. The public sketch
@@ -208,6 +323,18 @@ impl<K: SketchKey> SketchEngineBuilder<K> {
             num_purges: 0,
             scratch: Vec::new(),
             pair_scratch: Vec::new(),
+            agg_scratch: Vec::new(),
+            hash_scratch: Vec::new(),
+            dedup_cache: Vec::new(),
+            agg_bypass: false,
+            agg_reprobe_in: 0,
+            agg_applied_win: 0,
+            agg_entries_win: 0,
+            lazy_den: 0,
+            lazy_pow: 1,
+            lazy_ticks: 0,
+            max_stored: 0,
+            profile: None,
         })
     }
 }
@@ -359,9 +486,17 @@ impl<K: SketchKey> SketchEngine<K> {
             weight <= i64::MAX as u64,
             "update weight {weight} exceeds supported range"
         );
+        // Under pending lazy decay, counters are stored forward-inflated
+        // by `lazy_pow`; the incoming weight joins at the same scale. If
+        // the inflated weight would overflow an i64 counter, settle the
+        // pending scale first (after which the plain weight fits).
+        if self.lazy_pow > 1 && weight > (i64::MAX as u64) / self.lazy_pow {
+            self.materialize_decay();
+        }
+        let delta = (weight * self.lazy_pow) as i64;
         self.absorb_stream_weight(weight as u128);
         self.num_updates += 1;
-        self.feed(item, weight as i64);
+        self.feed(item, delta);
     }
 
     /// Processes a unit update `(item, 1)`.
@@ -403,30 +538,212 @@ impl<K: SketchKey> SketchEngine<K> {
             let take = headroom.min(rest.len()).min(MAX_CHUNK);
             let (chunk, tail) = rest.split_at(take);
             rest = tail;
-            // The chunk goes to the table untouched — no copy — with
-            // validation and weight/count accounting folded into the same
-            // single pass. Within-chunk inserts cannot exceed capacity
-            // (chunk size is bounded by headroom), so no purge/grow check
-            // is needed until the chunk completes.
-            let (total, applied) = self.table.adjust_or_insert_batch_weighted(chunk);
-            self.absorb_stream_weight(total);
-            self.num_updates += applied;
-            // A headroom-sized chunk cannot push past capacity, so no
-            // purge or growth can be due here — they all route through
-            // the scalar fallback above, preserving scalar timing.
+            // Within-chunk inserts cannot exceed capacity (chunk size is
+            // bounded by headroom), so no purge or growth decision can
+            // fall inside the chunk — items at capacity boundaries take
+            // the scalar path above, preserving scalar timing.
+            self.ingest_chunk(chunk);
             debug_assert!(self.table.num_active() <= self.capacity_now());
         }
     }
 
+    /// Ingests one headroom-bounded chunk through the aggregating kernel
+    /// (u64 keys, or any key type under pending lazy decay) or the legacy
+    /// zero-copy weighted pass (other key types — aggregation would clone
+    /// every unique heap-backed key for no probe-width win).
+    fn ingest_chunk(&mut self, chunk: &[(K, u64)]) {
+        let wide = K::key_slice_as_u64(&[]).is_some();
+        if !wide && self.lazy_den == 0 {
+            let t = self.profile_start();
+            let (total, applied) = self.table.adjust_or_insert_batch_weighted(chunk);
+            self.profile_add(t, |p| &mut p.probe);
+            self.absorb_stream_weight(total);
+            self.num_updates += applied;
+            return;
+        }
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            let take = rest.len().min(AGG_CHUNK);
+            // Low-duplication fast path: stream the pairs straight into
+            // the prefetched sequential sweep, skipping the aggregation
+            // copy that would not pay for itself. (The sequential sweep
+            // also beats the lane kernel here — see the
+            // `weighted_paths_bench` micro-benchmark — because
+            // undeduplicated probes are short and match-heavy, so the
+            // lane machinery is pure overhead.) Both paths produce
+            // identical state; the dispatch is invisible to everything
+            // but the clock.
+            // (Reaching this loop with `lazy_den == 0` implies a wide
+            // key — the generic non-lazy case returned above — so the
+            // plain arm below never clones heap-backed keys twice.)
+            if self.agg_bypass && self.agg_reprobe_in > 0 {
+                self.agg_reprobe_in -= 1;
+                let t = self.profile_start();
+                let (consumed, total, applied, max_value) = if self.lazy_den == 0 {
+                    let (total, applied) =
+                        self.table.adjust_or_insert_batch_weighted(&rest[..take]);
+                    (take, total, applied, i64::MIN)
+                } else {
+                    // Pending decay: deltas join inflated by `lazy_pow`
+                    // and the running max feeds the overflow guard —
+                    // same contract as the aggregated passes.
+                    self.table
+                        .adjust_or_insert_batch_weighted_scaled(&rest[..take], self.lazy_pow as i64)
+                };
+                self.profile_add(t, |p| &mut p.probe);
+                if max_value > self.max_stored {
+                    self.max_stored = max_value;
+                }
+                self.absorb_stream_weight(total);
+                self.num_updates += applied;
+                rest = &rest[consumed..];
+                if consumed < take {
+                    // Next weight is representable but not at the current
+                    // inflation scale; settle the pending decay and let
+                    // the loop retry the remainder at scale 1.
+                    self.materialize_decay();
+                }
+                continue;
+            }
+            let t = self.profile_start();
+            let (consumed, total, applied, stop) = self.aggregate_chunk(&rest[..take]);
+            self.profile_add(t, |p| &mut p.aggregate);
+            // Re-decide the bypass from the measured duplicate ratio.
+            // The measurement accumulates across passes until it covers
+            // AGG_DECIDE_FLOOR updates — callers like the temporal layer
+            // feed runs of ~100 pairs per tick, and no single pass that
+            // small is trustworthy.
+            self.agg_applied_win += applied;
+            self.agg_entries_win += self.agg_scratch.len() as u64;
+            if self.agg_applied_win >= AGG_DECIDE_FLOOR {
+                self.agg_bypass = self.agg_entries_win * AGG_MIN_DUP_DEN as u64
+                    > self.agg_applied_win * (AGG_MIN_DUP_DEN - AGG_MIN_DUP_NUM) as u64;
+                self.agg_reprobe_in = AGG_REPROBE_EVERY;
+                self.agg_applied_win = 0;
+                self.agg_entries_win = 0;
+            }
+            let t = self.profile_start();
+            let agg = core::mem::take(&mut self.agg_scratch);
+            let hashes = core::mem::take(&mut self.hash_scratch);
+            let track_max = self.lazy_den != 0;
+            let max_value = self
+                .table
+                .upsert_batch_kernel_hashed(&agg, &hashes, track_max);
+            self.agg_scratch = agg;
+            self.hash_scratch = hashes;
+            self.profile_add(t, |p| &mut p.probe);
+            if track_max && max_value > self.max_stored {
+                self.max_stored = max_value;
+            }
+            self.absorb_stream_weight(total);
+            self.num_updates += applied;
+            rest = &rest[consumed..];
+            match stop {
+                AggStop::Done => {}
+                AggStop::Oversized(w) => {
+                    // The valid prefix has been applied, exactly as the
+                    // scalar loop would before hitting the bad pair.
+                    panic!("update weight {w} exceeds supported range");
+                }
+                AggStop::Inflate => {
+                    // The next weight cannot be represented at the current
+                    // inflation scale; settle the pending decay (scale
+                    // becomes 1) and continue with the remainder.
+                    self.materialize_decay();
+                }
+            }
+        }
+    }
+
+    /// One aggregation pass over `pairs`: combines duplicate keys into
+    /// single entries of `agg_scratch` (first-occurrence order, deltas
+    /// pre-scaled by `lazy_pow`), stopping early at a pair that cannot be
+    /// applied. Returns `(pairs consumed, true weight applied, update
+    /// count applied, stop reason)`; the consumed count excludes the
+    /// offending pair on early stops.
+    ///
+    /// Duplicate runs whose combined scaled delta would overflow `i64`
+    /// are split into multiple entries at the overflow point (the kernel
+    /// applies them in order, so intermediate counter values saturate the
+    /// table's own overflow assertion exactly as sequential updates
+    /// would).
+    fn aggregate_chunk(&mut self, pairs: &[(K, u64)]) -> (usize, u128, u64, AggStop) {
+        /// Dedup cache entries are capped at 2^12 (16 KiB of u32) so the
+        /// cache itself stays L1-resident: every ingested pair probes it,
+        /// and hot keys recur often enough that a few thousand slots
+        /// catch nearly the same duplicate mass as a much larger cache —
+        /// without paying an L2 round-trip per pair.
+        const DEDUP_CACHE_MAX: usize = 1 << 12;
+        let scale = self.lazy_pow;
+        let cache_len = pairs.len().next_power_of_two().clamp(64, DEDUP_CACHE_MAX);
+        if self.dedup_cache.len() < cache_len {
+            self.dedup_cache.resize(cache_len, u32::MAX);
+        }
+        self.dedup_cache[..cache_len].fill(u32::MAX);
+        let cmask = (cache_len - 1) as u64;
+        self.agg_scratch.clear();
+        self.hash_scratch.clear();
+        let mut total: u128 = 0;
+        let mut applied: u64 = 0;
+        for (i, (key, weight)) in pairs.iter().enumerate() {
+            let w = *weight;
+            if w == 0 {
+                continue;
+            }
+            if w > i64::MAX as u64 {
+                return (i, total, applied, AggStop::Oversized(w));
+            }
+            if scale > 1 && w > (i64::MAX as u64) / scale {
+                return (i, total, applied, AggStop::Inflate);
+            }
+            let delta = (w * scale) as i64;
+            total += w as u128;
+            applied += 1;
+            let hash = key.hash_key();
+            let slot = (hash & cmask) as usize;
+            let idx = self.dedup_cache[slot];
+            if idx != u32::MAX {
+                let entry = &mut self.agg_scratch[idx as usize];
+                if entry.0 == *key {
+                    if let Some(sum) = entry.1.checked_add(delta) {
+                        entry.1 = sum;
+                        continue;
+                    }
+                    // Combined delta overflows: fall through and start a
+                    // fresh entry for the same key.
+                }
+            }
+            self.dedup_cache[slot] = self.agg_scratch.len() as u32;
+            self.agg_scratch.push((key.clone(), delta));
+            self.hash_scratch.push(hash);
+        }
+        (pairs.len(), total, applied, AggStop::Done)
+    }
+
     /// Core insertion path shared by updates and merges: adjust the counter,
-    /// then grow or purge if the capacity discipline is violated.
+    /// then grow or purge if the capacity discipline is violated. Under
+    /// pending lazy decay the capacity check first settles the pending
+    /// scale — materialization drops counters that fade below one, which
+    /// often restores headroom without a purge, and purge `c*` selection
+    /// must see true counter values anyway.
     pub(crate) fn feed(&mut self, item: K, weight: i64) {
-        self.table.adjust_or_insert(item, weight);
+        let value = self.table.adjust_or_insert_value(item, weight);
+        if self.lazy_den != 0 && value > self.max_stored {
+            self.max_stored = value;
+        }
         while self.table.num_active() > self.capacity_now() {
+            if self.lazy_pow > 1 {
+                self.materialize_decay();
+                continue;
+            }
             if self.lg_cur < self.lg_max {
+                let t = self.profile_start();
                 self.grow();
+                self.profile_add(t, |p| &mut p.grow);
             } else {
+                let t = self.profile_start();
                 self.purge();
+                self.profile_add(t, |p| &mut p.purge);
             }
         }
     }
@@ -474,9 +791,14 @@ impl<K: SketchKey> SketchEngine<K> {
             .policy
             .compute_cstar(&self.table, &mut self.rng, &mut self.scratch);
         debug_assert!(cstar > 0, "counters are positive, so c* must be");
-        self.table.purge_decrement(cstar);
+        let (_, max_kept) = self.table.purge_decrement(cstar);
         self.absorb_offset(cstar as u64);
         self.num_purges += 1;
+        if self.lazy_den != 0 {
+            // Counter values dropped; the purge sweep reports the new
+            // exact maximum for the lazy-decay `had_counters` test.
+            self.max_stored = max_kept.max(0);
+        }
     }
 
     /// Scales every counter in place to `⌊c · num / den⌋`, dropping the
@@ -507,6 +829,7 @@ impl<K: SketchKey> SketchEngine<K> {
     pub fn scale_counters(&mut self, num: u64, den: u64) {
         assert!(den > 0, "scale denominator must be positive");
         assert!(num <= den, "scale_counters only scales down ({num}/{den})");
+        self.materialize_decay();
         if num == den {
             return;
         }
@@ -514,13 +837,164 @@ impl<K: SketchKey> SketchEngine<K> {
             self.table.clear();
             self.offset = 0;
             self.stream_weight = 0;
+            self.max_stored = 0;
             return;
         }
         let had_counters = !self.table.is_empty();
-        self.table.scale_values(num, den);
+        let (_, max_kept) = self.table.scale_values(num, den);
         let scaled_offset = (self.offset as u128 * num as u128).div_ceil(den as u128) as u64;
         self.offset = scaled_offset.saturating_add(u64::from(had_counters));
         self.stream_weight = (self.stream_weight as u128 * num as u128 / den as u128) as u64;
+        if self.lazy_den != 0 {
+            self.max_stored = max_kept.max(0);
+        }
+    }
+
+    /// One **lazy** decay tick with factor `1/den`: equivalent to
+    /// [`Self::scale_counters`]`(1, den)` but O(1) — the table sweep is
+    /// deferred by folding `den` into a pending global scale factor, while
+    /// the scalar bookkeeping (`offset`, `N`) ticks eagerly in true
+    /// units. Incoming updates join forward-inflated by the pending
+    /// factor, so deferred materialization divides every counter by the
+    /// same power and lands on exactly the state eager per-tick scaling
+    /// would produce (counter for counter; see `materialize_decay` for
+    /// the slot-layout caveat).
+    ///
+    /// Returns `true` when the tick was a fixed point — the engine holds
+    /// no mass that further ticks could change (drained). The caller can
+    /// stop fast-forwarding.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn lazy_scale_counters(&mut self, den: u64) -> bool {
+        assert!(den > 0, "scale denominator must be positive");
+        if den == 1 {
+            return true;
+        }
+        if den > LAZY_POW_CAP {
+            // A single tick this harsh cannot usefully defer (any pending
+            // power would immediately overflow the inflation guard).
+            let before = (self.num_counters(), self.offset, self.stream_weight);
+            self.scale_counters(1, den);
+            return before == (self.num_counters(), self.offset, self.stream_weight)
+                && self.num_counters() == 0;
+        }
+        if self.lazy_den == 0 {
+            // First activation: establish the exact stored maximum.
+            self.max_stored = self.table.max_value().unwrap_or(0);
+        } else if self.lazy_den != den {
+            // Factor changed mid-stream: settle the old scale first.
+            self.materialize_decay();
+        }
+        self.lazy_den = den;
+        // `had_counters` of the eager path: does any stored counter
+        // materialize to ≥ 1 at the *current* pending scale? Stored
+        // values are true·pow (plus truncation the eager path would have
+        // applied too), so stored ≥ pow ⟺ true value ≥ 1.
+        let had = self.max_stored >= self.lazy_pow as i64;
+        let new_offset = self.offset.div_ceil(den).saturating_add(u64::from(had));
+        let new_weight = self.stream_weight / den;
+        let fixed_point = !had && new_offset == self.offset && new_weight == self.stream_weight;
+        self.offset = new_offset;
+        self.stream_weight = new_weight;
+        if fixed_point {
+            // Drained: no counter reaches 1 any more and the scalars are
+            // stable. Settle so the zombie counters (all < pow) compact
+            // away and the table empties; every further tick is a no-op.
+            self.materialize_decay();
+            debug_assert!(self.table.is_empty());
+            return true;
+        }
+        if self.lazy_pow > LAZY_POW_CAP / den {
+            self.materialize_decay();
+        }
+        self.lazy_pow *= den;
+        self.lazy_ticks += 1;
+        false
+    }
+
+    /// Settles any pending lazy-decay scale into the table: every counter
+    /// is divided (flooring) by the pending factor through the fused
+    /// compaction path, dropping counters that fade below one. No-op when
+    /// nothing is pending.
+    ///
+    /// Counter values after settling equal what eager per-tick
+    /// [`Self::scale_counters`] would have produced (`⌊⌊c/d⌋…/d⌋ =
+    /// ⌊c/dᵖ⌋` for λ = 1/d). The *slot layout* may differ from the eager
+    /// history's: a counter that eagerly faded to zero mid-interval and
+    /// was later re-inserted sits elsewhere in probe order. Layout
+    /// differences never affect query answers; they only matter to
+    /// byte-level fingerprint comparisons (see DESIGN.md).
+    pub fn materialize_decay(&mut self) {
+        if self.lazy_pow <= 1 {
+            return;
+        }
+        let pow = self.lazy_pow;
+        self.lazy_pow = 1;
+        self.lazy_ticks = 0;
+        let (_, max_kept) = self.table.scale_values(1, pow);
+        self.max_stored = max_kept.max(0);
+    }
+
+    /// The pending lazy-decay scale factor `d^p` (1 = fully
+    /// materialized). While this exceeds 1, raw table counters (and
+    /// therefore [`Self::lower_bound`]-style raw queries) are inflated by
+    /// this factor; the decayed-sketch layer divides it back out.
+    #[inline]
+    pub fn pending_decay_pow(&self) -> u64 {
+        self.lazy_pow
+    }
+
+    /// Number of unmaterialized lazy decay ticks.
+    #[inline]
+    pub fn pending_decay_ticks(&self) -> u32 {
+        self.lazy_ticks
+    }
+
+    /// Turns on per-phase ingest timing (see [`IngestProfile`]).
+    pub fn enable_ingest_profile(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(IngestProfile::default());
+        }
+    }
+
+    /// Takes the accumulated ingest profile, resetting the counters to
+    /// zero (profiling stays enabled). `None` if profiling was never
+    /// enabled.
+    pub fn take_ingest_profile(&mut self) -> Option<IngestProfile> {
+        self.profile.as_mut().map(core::mem::take)
+    }
+
+    #[inline]
+    fn profile_start(&self) -> Option<std::time::Instant> {
+        self.profile.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    #[inline]
+    fn profile_add(
+        &mut self,
+        start: Option<std::time::Instant>,
+        field: fn(&mut IngestProfile) -> &mut std::time::Duration,
+    ) {
+        if let (Some(start), Some(profile)) = (start, self.profile.as_mut()) {
+            *field(profile) += start.elapsed();
+        }
+    }
+
+    /// Test/bench aid: capacities of every reusable ingest scratch buffer
+    /// (purge sampler, rehash pairs, aggregation entries + hashes, dedup
+    /// cache, table compaction gaps). Steady-state ingest must not grow
+    /// any of them — the fig1 harness asserts these stay flat across reps.
+    #[doc(hidden)]
+    pub fn ingest_scratch_capacities(&self) -> [usize; 6] {
+        [
+            self.scratch.capacity(),
+            self.pair_scratch.capacity(),
+            self.agg_scratch.capacity(),
+            self.hash_scratch.capacity(),
+            self.dedup_cache.capacity(),
+            self.table.compaction_scratch_capacity(),
+        ]
     }
 
     /// Estimate `f̂ᵢ` of the item's weighted frequency: `c(i) + offset` for
@@ -696,7 +1170,21 @@ impl<K: SketchKey> SketchEngine<K> {
     /// than visiting the source table in a strided random order, which
     /// costs a cache miss per slot.
     pub fn merge(&mut self, other: &SketchEngine<K>) {
-        let mut pairs: Vec<(K, i64)> = other.table.iter().map(|(k, v)| (k.clone(), v)).collect();
+        // Merging replays true counter values: settle our pending decay
+        // scale, and deflate `other`'s raw counters by its own pending
+        // factor on the fly (flooring division — exactly what
+        // materializing `other` would store; faded-to-zero counters are
+        // skipped like the compaction pass would drop them).
+        self.materialize_decay();
+        let opow = other.lazy_pow.max(1) as i64;
+        let mut pairs: Vec<(K, i64)> = other
+            .table
+            .iter()
+            .filter_map(|(k, v)| {
+                let v = v / opow;
+                (v > 0).then(|| (k.clone(), v))
+            })
+            .collect();
         // Fisher-Yates with the engine's own sampler.
         for i in (1..pairs.len()).rev() {
             let j = self.rng.next_below(i as u64 + 1) as usize;
@@ -731,6 +1219,9 @@ impl<K: SketchKey> SketchEngine<K> {
     ) where
         I: IntoIterator<Item = (K, u64)>,
     {
+        // Absorbed counts are true values; settle any pending decay scale
+        // so `feed` applies them at scale 1.
+        self.materialize_decay();
         for (item, count) in counters {
             if count == 0 {
                 continue;
@@ -779,6 +1270,17 @@ impl<K: SketchKey> SketchEngine<K> {
             out.extend_from_slice(&(slot as u64).to_le_bytes());
             out.extend_from_slice(&key.hash_key().to_le_bytes());
             out.extend_from_slice(&value.to_le_bytes());
+        }
+        // Pending lazy-decay state changes how future updates are scaled,
+        // so it is part of "will behave identically from here on".
+        // Appended only once lazy fading has been activated: engines that
+        // never go lazy keep the fingerprint byte layout pinned by the
+        // PR-5 compat fixtures (length disambiguates the two forms).
+        if self.lazy_den != 0 {
+            out.extend_from_slice(&self.lazy_den.to_le_bytes());
+            out.extend_from_slice(&self.lazy_pow.to_le_bytes());
+            out.extend_from_slice(&self.lazy_ticks.to_le_bytes());
+            out.extend_from_slice(&self.max_stored.to_le_bytes());
         }
         out
     }

@@ -141,6 +141,13 @@ impl FreqSketch {
         &self.engine
     }
 
+    /// Mutable access to the underlying generic engine, for the bench
+    /// harness's ingest-profiling hooks.
+    #[doc(hidden)]
+    pub fn engine_mut(&mut self) -> &mut SketchEngine<u64> {
+        &mut self.engine
+    }
+
     /// Number of counters currently assigned.
     #[inline]
     pub fn num_counters(&self) -> usize {
