@@ -3,6 +3,8 @@
 //! and a large counter budget — plus the ingestion-pipeline comparison
 //! (scalar vs batch vs sharded) on Zipf and adversarial workloads.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use streamfreq_baselines::{Rbmc, SpaceSavingHeap};

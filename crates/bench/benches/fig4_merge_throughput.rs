@@ -1,6 +1,8 @@
 //! Criterion counterpart of Figure 4: time to merge one pair of filled
 //! SMED sketches, ours vs the two Agarwal et al. implementations.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use streamfreq_baselines::{ach_merge_quickselect, ach_merge_sort};

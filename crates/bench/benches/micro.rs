@@ -2,6 +2,8 @@
 //! hashing, and the Zipf sampler. These quantify the §2.3.3 design choices
 //! (linear probing + shift deletion, quickselect on samples).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -8,6 +8,8 @@
 //! cargo run --release -p streamfreq-bench --bin ablation_purge [--quick|--full|--updates N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use streamfreq_bench::{exact_of, parse_scale_args, print_header, run_algo, Algo};
 use streamfreq_core::{FrequencyEstimator, PurgePolicy};
 use streamfreq_workloads::{CaidaConfig, SyntheticCaida};

@@ -9,6 +9,8 @@
 //! cargo run --release -p streamfreq-bench --bin adversarial_ablation [--k N] [--m N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use streamfreq_baselines::Rbmc;

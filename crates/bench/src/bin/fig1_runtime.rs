@@ -27,6 +27,8 @@
 //! / probe / purge / grow), so a throughput regression localizes without
 //! an external profiler.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 
 use streamfreq_baselines::SpaceSavingHeap;

@@ -11,6 +11,8 @@
 //! cargo run --release -p streamfreq-bench --bin fig2_error [--quick|--full|--updates N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 
 use streamfreq_baselines::SpaceSavingHeap;

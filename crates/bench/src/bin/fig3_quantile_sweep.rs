@@ -10,6 +10,8 @@
 //!     [--quick|--full|--updates N] [--kvalues 3072,24576]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use streamfreq_bench::{exact_of, parse_scale_args, print_header, run_algo, Algo};
 use streamfreq_core::FrequencyEstimator;
 use streamfreq_workloads::{CaidaConfig, SyntheticCaida};

@@ -11,6 +11,8 @@
 //! cargo run --release -p streamfreq-bench --bin fig4_merge [--pairs N] [--fill N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use streamfreq_baselines::{ach_merge_quickselect, ach_merge_sort, ExactCounter, MergedCounters};

@@ -35,6 +35,8 @@
 //! `--smoke` shrinks to one small configuration with a single
 //! repetition — the CI guard that the persistence binary still runs.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::time::Instant;
 

@@ -36,6 +36,8 @@
 //! repetition, and runs the protocol servers durably (group-commit WAL
 //! on) — the CI guard that the serving binary still runs end to end.
 
+#![forbid(unsafe_code)]
+
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -21,6 +21,8 @@
 //! `--smoke` shrinks to one small configuration with a single
 //! repetition — the CI guard that the temporal binaries still run.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use streamfreq_apps::{DecayedSketch, WindowedStore};

@@ -10,6 +10,8 @@
 //! cargo run --release -p streamfreq-bench --bin merge_clustering [--pairs N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use streamfreq_bench::{parse_flag, print_header};

@@ -8,6 +8,8 @@
 //! cargo run --release -p streamfreq-bench --bin sketch_vs_counters [--quick|--full|--updates N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use streamfreq_baselines::{CountMinSketch, CountSketch};

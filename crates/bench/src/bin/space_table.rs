@@ -6,6 +6,8 @@
 //! cargo run --release -p streamfreq-bench --bin space_table [--quick|--full|--updates N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use streamfreq_baselines::{ExactCounter, Rbmc, SpaceSavingHeap, StreamSummary};
 use streamfreq_bench::{fmt_bytes, parse_scale_args, print_header, PAPER_K_VALUES};
 use streamfreq_core::{FreqSketch, FrequencyEstimator};

@@ -12,6 +12,8 @@
 //! cargo run --release -p streamfreq-bench --bin unit_stream_survey [--quick|--full|--updates N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use streamfreq_baselines::{ExactCounter, MisraGries, SpaceSavingHeap, StreamSummary};

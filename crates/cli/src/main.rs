@@ -19,6 +19,8 @@
 //! `streamfreq_workloads::save_binary`; sketch files are the versioned
 //! wire format of `streamfreq_core::codec`.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 

@@ -174,11 +174,15 @@ impl SketchEngine<u64> {
             // bytes must surface as an error, not a panic.
             return Err(Error::Corrupt("invalid all-zero sampler state".into()));
         }
-        let num_active = buf.get_u32_le() as usize;
-        if buf.remaining() != num_active * 16 {
-            return if buf.remaining() < num_active * 16 {
+        let num_active = usize::try_from(buf.get_u32_le())
+            .map_err(|_| Error::Corrupt("num_active exceeds usize".into()))?;
+        let counter_bytes = num_active
+            .checked_mul(16)
+            .ok_or_else(|| Error::Corrupt("counter section size overflows".into()))?;
+        if buf.remaining() != counter_bytes {
+            return if buf.remaining() < counter_bytes {
                 Err(Error::Truncated {
-                    needed: num_active * 16 - buf.remaining(),
+                    needed: counter_bytes - buf.remaining(),
                     remaining: buf.remaining(),
                 })
             } else {
@@ -199,14 +203,14 @@ impl SketchEngine<u64> {
         for _ in 0..num_active {
             let item = buf.get_u64_le();
             let count = buf.get_u64_le();
-            if count == 0 || count > i64::MAX as u64 {
-                return Err(Error::Corrupt(format!(
-                    "counter value {count} out of range"
-                )));
+            if count == 0 {
+                return Err(Error::Corrupt("counter value 0 out of range".into()));
             }
+            let count = i64::try_from(count)
+                .map_err(|_| Error::Corrupt(format!("counter value {count} out of range")))?;
             // Direct feed: counts are within capacity, so no purge can fire,
             // only table growth.
-            engine.feed_for_decode(item, count as i64)?;
+            engine.feed_for_decode(item, count)?;
         }
         engine.offset = offset;
         engine.offset_saturated = offset_saturated;
@@ -215,6 +219,10 @@ impl SketchEngine<u64> {
         engine.num_updates = num_updates;
         engine.num_purges = num_purges;
         engine.rng = Xoshiro256StarStar::from_state(state);
+        // Final gate: a payload that passes every field check but breaks
+        // a whole-engine invariant (capacity, mass conservation) is still
+        // corrupt — surface it here, never as a later panic.
+        engine.audit().map_err(Error::Corrupt)?;
         Ok(engine)
     }
 }
@@ -303,11 +311,13 @@ mod serde_impl {
                 return Err(D::Error::custom("more counters than capacity"));
             }
             for (item, count) in wire.counters {
-                if count == 0 || count > i64::MAX as u64 {
+                if count == 0 {
                     return Err(D::Error::custom("counter value out of range"));
                 }
+                let count = i64::try_from(count)
+                    .map_err(|_| D::Error::custom("counter value out of range"))?;
                 engine
-                    .feed_for_decode(item, count as i64)
+                    .feed_for_decode(item, count)
                     .map_err(D::Error::custom)?;
             }
             engine.offset = wire.offset;
@@ -493,6 +503,45 @@ mod tests {
         // zero out the count of the single counter (last 8 bytes)
         let n = bytes.len();
         bytes[n - 8..].fill(0);
+        assert!(matches!(
+            FreqSketch::deserialize_from_bytes(&bytes),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_counter_value_beyond_i64() {
+        // Regression for the formerly unchecked `count as i64`: a wire
+        // count past i64::MAX must surface as a decode error, not a
+        // negative counter smuggled into the table.
+        let s = {
+            let mut s = FreqSketch::with_max_counters(8);
+            s.update(1, 5);
+            s
+        };
+        let mut bytes = s.serialize_to_bytes();
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            FreqSketch::deserialize_from_bytes(&bytes),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_counter_mass_exceeding_stream_weight() {
+        // SFQ1 carries no checksum, so a flipped count byte decodes
+        // cleanly field by field — the whole-engine audit at the end of
+        // decode is what catches the mass-conservation violation
+        // (counter total above the recorded stream weight).
+        let s = {
+            let mut s = FreqSketch::with_max_counters(8);
+            s.update(1, 5);
+            s
+        };
+        let mut bytes = s.serialize_to_bytes();
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&1_000_000u64.to_le_bytes());
         assert!(matches!(
             FreqSketch::deserialize_from_bytes(&bytes),
             Err(Error::Corrupt(_))

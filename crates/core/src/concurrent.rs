@@ -100,6 +100,7 @@ use crate::persist::{
 };
 use crate::purge::PurgePolicy;
 use crate::result::{ErrorType, Row};
+use crate::sanitize;
 use crate::sharded::shard_of;
 
 /// Items buffered per shard on the writer side before a batch message is
@@ -285,14 +286,28 @@ impl MergeConfig {
 /// publish lock (or has exclusive access during drain), which
 /// serializes epoch assignment.
 fn install_snapshot<K: SketchKey>(shared: &Shared<K>, engine: SketchEngine<K>, sealed: bool) {
+    let rank = sanitize::rank_acquire(sanitize::rank::SNAPSHOT, "snapshot rwlock");
     let mut slot = shared.snapshot.write().expect("snapshot lock poisoned");
     let epoch = slot.epoch + 1;
+    // Sanitizer: epochs advance strictly — the about-to-install epoch
+    // must be ahead of everything `epoch()` has ever reported, or a
+    // reader could observe the published counter go backwards.
+    #[cfg(feature = "debug-invariants")]
+    {
+        let published = shared.epoch.load(Ordering::SeqCst);
+        assert!(
+            epoch > published,
+            "debug-invariants: snapshot epoch not monotone — installing \
+             {epoch} over published {published}"
+        );
+    }
     *slot = Arc::new(Snapshot {
         engine,
         epoch,
         sealed,
     });
     drop(slot);
+    drop(rank);
     // The counter trails the install: once `epoch()` reports N, the
     // epoch-N snapshot is already visible to `snapshot()`.
     shared.epoch.store(epoch, Ordering::SeqCst);
@@ -309,6 +324,7 @@ fn publish_from_probes<K: SketchKey>(
     senders: &[SyncSender<Msg<K>>],
     config: MergeConfig,
 ) -> bool {
+    let _rank = sanitize::rank_acquire(sanitize::rank::PUBLISH, "publish lock");
     let _guard = shared.publish_lock.lock().expect("publish lock poisoned");
     if shared.sealed.load(Ordering::SeqCst) {
         // A sealed (drained) view is already complete and final.
@@ -321,6 +337,7 @@ fn publish_from_probes<K: SketchKey>(
     let mut replies: Vec<Receiver<SketchEngine<K>>> = Vec::with_capacity(senders.len());
     for sender in senders {
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        sanitize::check_send(sanitize::rank::SHARD_CHANNEL, "shard channel");
         if sender.send(Msg::Probe(reply_tx)).is_err() {
             return false;
         }
@@ -397,6 +414,7 @@ impl<K: SketchKey> ConcurrentWriter<K> {
         // A send error means the sketch was drained under us; the items
         // have nowhere to go and accounting them would overstate the
         // enqueued mass.
+        sanitize::check_send(sanitize::rank::SHARD_CHANNEL, "shard channel");
         if self.senders[s].send(Msg::Batch(batch)).is_ok() {
             self.shared
                 .enqueued_weight
@@ -430,6 +448,7 @@ impl<K: SketchKey> SnapshotReader<K> {
     /// The current snapshot. Lock-free apart from a momentary read lock
     /// around the `Arc` clone; never blocks ingestion.
     pub fn snapshot(&self) -> Arc<Snapshot<K>> {
+        let _rank = sanitize::rank_acquire(sanitize::rank::SNAPSHOT, "snapshot rwlock");
         Arc::clone(&self.shared.snapshot.read().expect("snapshot lock poisoned"))
     }
 
@@ -498,11 +517,14 @@ impl<K: SketchKey> SnapshotReader<K> {
             return None;
         }
         let (tx, rx) = mpsc::sync_channel(1);
-        self.shared
-            .ckpt_requests
-            .lock()
-            .expect("ckpt queue poisoned")
-            .push(tx);
+        {
+            let _rank = sanitize::rank_acquire(sanitize::rank::CKPT_REQUESTS, "ckpt requests");
+            self.shared
+                .ckpt_requests
+                .lock()
+                .expect("ckpt queue poisoned")
+                .push(tx);
+        }
         rx.recv_timeout(timeout).ok()
     }
 }
@@ -803,6 +825,7 @@ fn checkpointer_loop<K: SketchKey>(
     let mut last = Instant::now();
     while !stop.load(Ordering::SeqCst) {
         let pending: Vec<SyncSender<u64>> = {
+            let _rank = sanitize::rank_acquire(sanitize::rank::CKPT_REQUESTS, "ckpt requests");
             let mut queue = shared.ckpt_requests.lock().expect("ckpt queue poisoned");
             queue.drain(..).collect()
         };
@@ -815,6 +838,7 @@ fn checkpointer_loop<K: SketchKey>(
         let mut alive = true;
         for sender in senders {
             let (tx, rx) = mpsc::sync_channel(1);
+            sanitize::check_send(sanitize::rank::SHARD_CHANNEL, "shard channel");
             if sender.send(Msg::Checkpoint(tx)).is_err() {
                 alive = false;
                 break;
@@ -843,6 +867,7 @@ fn checkpointer_loop<K: SketchKey>(
         last = Instant::now();
     }
     // Unanswered requesters observe the disconnect and report failure.
+    let _rank = sanitize::rank_acquire(sanitize::rank::CKPT_REQUESTS, "ckpt requests");
     shared
         .ckpt_requests
         .lock()
@@ -1034,6 +1059,7 @@ impl<K: SketchKey + Send + Sync + 'static> ConcurrentSketch<K> {
                     let flush = |buf: &mut Vec<(K, u64)>, local: usize| {
                         let batch = std::mem::replace(buf, Vec::with_capacity(WRITER_BUF));
                         let weight: u64 = batch.iter().map(|&(_, w)| w).sum();
+                        sanitize::check_send(sanitize::rank::SHARD_CHANNEL, "shard channel");
                         senders[local]
                             .send(Msg::Batch(batch))
                             .expect("shard worker alive while senders exist");

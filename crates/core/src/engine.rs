@@ -545,6 +545,7 @@ impl<K: SketchKey> SketchEngine<K> {
             self.ingest_chunk(chunk);
             debug_assert!(self.table.num_active() <= self.capacity_now());
         }
+        self.debug_audit();
     }
 
     /// Ingests one headroom-bounded chunk through the aggregating kernel
@@ -781,6 +782,7 @@ impl<K: SketchKey> SketchEngine<K> {
         self.pair_scratch = pairs;
         self.table = bigger;
         self.lg_cur = new_lg;
+        self.debug_audit_mid();
     }
 
     /// One DecrementCounters() operation: compute `c*` per the policy,
@@ -799,6 +801,7 @@ impl<K: SketchKey> SketchEngine<K> {
             // exact maximum for the lazy-decay `had_counters` test.
             self.max_stored = max_kept.max(0);
         }
+        self.debug_audit_mid();
     }
 
     /// Scales every counter in place to `⌊c · num / den⌋`, dropping the
@@ -831,6 +834,7 @@ impl<K: SketchKey> SketchEngine<K> {
         assert!(num <= den, "scale_counters only scales down ({num}/{den})");
         self.materialize_decay();
         if num == den {
+            self.debug_audit();
             return;
         }
         if num == 0 {
@@ -838,6 +842,7 @@ impl<K: SketchKey> SketchEngine<K> {
             self.offset = 0;
             self.stream_weight = 0;
             self.max_stored = 0;
+            self.debug_audit();
             return;
         }
         let had_counters = !self.table.is_empty();
@@ -848,6 +853,7 @@ impl<K: SketchKey> SketchEngine<K> {
         if self.lazy_den != 0 {
             self.max_stored = max_kept.max(0);
         }
+        self.debug_audit();
     }
 
     /// One **lazy** decay tick with factor `1/den`: equivalent to
@@ -903,6 +909,7 @@ impl<K: SketchKey> SketchEngine<K> {
             // away and the table empties; every further tick is a no-op.
             self.materialize_decay();
             debug_assert!(self.table.is_empty());
+            self.debug_audit();
             return true;
         }
         if self.lazy_pow > LAZY_POW_CAP / den {
@@ -910,6 +917,7 @@ impl<K: SketchKey> SketchEngine<K> {
         }
         self.lazy_pow *= den;
         self.lazy_ticks += 1;
+        self.debug_audit();
         false
     }
 
@@ -934,6 +942,10 @@ impl<K: SketchKey> SketchEngine<K> {
         self.lazy_ticks = 0;
         let (_, max_kept) = self.table.scale_values(1, pow);
         self.max_stored = max_kept.max(0);
+        // Mid-variant: the lazy tick that triggers an overflow-guard
+        // materialization has already advanced `offset`/`N` one tick,
+        // so the mass check belongs to the caller's end-of-tick audit.
+        self.debug_audit_mid();
     }
 
     /// The pending lazy-decay scale factor `d^p` (1 = fully
@@ -1202,6 +1214,7 @@ impl<K: SketchKey> SketchEngine<K> {
         self.absorb_stream_weight(other.stream_weight as u128);
         self.weight_saturated |= other.weight_saturated;
         self.num_updates = self.num_updates.saturating_add(other.num_updates);
+        self.debug_audit();
     }
 
     /// Replays an arbitrary counter list into the engine as weighted
@@ -1231,6 +1244,7 @@ impl<K: SketchKey> SketchEngine<K> {
         }
         self.absorb_offset(source_max_error);
         self.absorb_stream_weight(source_stream_weight as u128);
+        self.debug_audit();
     }
 
     /// Test/debug aid: verifies the internal table invariants.
@@ -1239,6 +1253,110 @@ impl<K: SketchKey> SketchEngine<K> {
         self.table.check_invariants();
         assert!(self.table.num_active() <= self.capacity_now().max(self.max_counters));
     }
+
+    /// Non-panicking structural audit of the whole engine — the
+    /// `debug-invariants` sanitizer's entry point, and the final gate of
+    /// the decode paths (a corrupt-but-CRC-valid payload that violates an
+    /// engine invariant must surface as `Err`, never as a later panic).
+    ///
+    /// Checks, in order: the table audit ([`LpTable::audit`]), the
+    /// capacity discipline, lazy-decay bookkeeping consistency
+    /// (`lazy_pow`/`lazy_ticks`/`max_stored`), and mass conservation —
+    /// the deflated counter total never exceeds the stream weight `N`
+    /// (each update adds at most its weight to one counter, purges and
+    /// decay only subtract, and sum-of-floors ≤ floor-of-sum keeps the
+    /// bound through pending decay scales).
+    ///
+    /// # Errors
+    /// Describes the first violated invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        self.audit_inner(true)
+    }
+
+    /// [`Self::audit`] minus the mass-conservation check, for hooks that
+    /// fire mid-operation (`grow`/`purge` run inside `merge` and the
+    /// decode replay loops, where counters are ahead of the not-yet
+    /// absorbed stream weight).
+    fn audit_inner(&self, check_mass: bool) -> Result<(), String> {
+        self.table.audit()?;
+        let active = self.table.num_active();
+        let cap = self.capacity_now().max(self.max_counters);
+        if active > cap {
+            return Err(format!("{active} active counters exceed capacity {cap}"));
+        }
+        if self.lazy_pow == 0 {
+            return Err("lazy_pow must be at least 1".into());
+        }
+        if self.lazy_pow > LAZY_POW_CAP {
+            return Err(format!(
+                "lazy_pow {} exceeds the inflation cap {LAZY_POW_CAP}",
+                self.lazy_pow
+            ));
+        }
+        if self.lazy_den == 0 && (self.lazy_pow != 1 || self.lazy_ticks != 0) {
+            return Err(format!(
+                "pending decay ({} ticks, pow {}) without an active factor",
+                self.lazy_ticks, self.lazy_pow
+            ));
+        }
+        if self.lazy_ticks == 0 && self.lazy_pow != 1 {
+            return Err(format!(
+                "lazy_pow {} with zero pending ticks",
+                self.lazy_pow
+            ));
+        }
+        if self.lazy_den != 0 {
+            let table_max = self.table.max_value().unwrap_or(0);
+            if self.max_stored != table_max {
+                return Err(format!(
+                    "max_stored {} drifted from the table maximum {table_max}",
+                    self.max_stored
+                ));
+            }
+        }
+        if check_mass && !self.weight_saturated {
+            let pow = u128::from(self.lazy_pow);
+            let deflated: u128 = self
+                .table
+                .iter()
+                .map(|(_, v)| (v.max(0) as u128) / pow)
+                .sum();
+            if deflated > u128::from(self.stream_weight) {
+                return Err(format!(
+                    "stored mass {deflated} exceeds stream weight {}",
+                    self.stream_weight
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Full-audit hook: compiles to nothing without `debug-invariants`.
+    #[cfg(feature = "debug-invariants")]
+    #[inline]
+    fn debug_audit(&self) {
+        if let Err(msg) = self.audit() {
+            panic!("debug-invariants: {msg}");
+        }
+    }
+
+    #[cfg(not(feature = "debug-invariants"))]
+    #[inline(always)]
+    fn debug_audit(&self) {}
+
+    /// Mid-operation hook (no mass check): compiles to nothing without
+    /// `debug-invariants`.
+    #[cfg(feature = "debug-invariants")]
+    #[inline]
+    fn debug_audit_mid(&self) {
+        if let Err(msg) = self.audit_inner(false) {
+            panic!("debug-invariants: {msg}");
+        }
+    }
+
+    #[cfg(not(feature = "debug-invariants"))]
+    #[inline(always)]
+    fn debug_audit_mid(&self) {}
 
     /// Test/debug aid: a byte string capturing the engine's complete
     /// observable state — scalar bookkeeping, sampler state, and the

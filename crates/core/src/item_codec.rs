@@ -49,7 +49,7 @@ pub fn read_uvarint(buf: &mut &[u8]) -> Result<u64, Error> {
             if byte == 0 && i > 0 {
                 return Err(Error::Corrupt("non-minimal varint encoding".into()));
             }
-            *buf = &buf[i + 1..];
+            *buf = buf.get(i + 1..).unwrap_or_default();
             return Ok(value);
         }
     }
@@ -138,6 +138,15 @@ fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], Error> {
     Ok(head)
 }
 
+/// [`take`], but returning a fixed-size array for `from_le_bytes`.
+/// Infallible once `take` succeeds, but surfaced as `Corrupt` rather
+/// than a panic: decode paths must never panic on untrusted input.
+fn take_array<const N: usize>(buf: &mut &[u8]) -> Result<[u8; N], Error> {
+    let head = take(buf, N)?;
+    head.try_into()
+        .map_err(|_| Error::Corrupt("sized take mismatch".into()))
+}
+
 macro_rules! impl_item_codec_int {
     ($($t:ty),*) => {
         $(impl ItemCodec for $t {
@@ -146,8 +155,7 @@ macro_rules! impl_item_codec_int {
             }
 
             fn decode(buf: &mut &[u8]) -> Result<Self, Error> {
-                let bytes = take(buf, std::mem::size_of::<$t>())?;
-                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+                Ok(<$t>::from_le_bytes(take_array(buf)?))
             }
         })*
     };
@@ -163,8 +171,7 @@ macro_rules! impl_item_codec_varint {
             }
 
             fn decode(buf: &mut &[u8]) -> Result<Self, Error> {
-                let bytes = take(buf, std::mem::size_of::<$u>())?;
-                Ok(<$u>::from_le_bytes(bytes.try_into().expect("sized take")))
+                Ok(<$u>::from_le_bytes(take_array(buf)?))
             }
 
             fn encode_compact(&self, out: &mut Vec<u8>) {
@@ -189,8 +196,7 @@ macro_rules! impl_item_codec_varint {
             }
 
             fn decode(buf: &mut &[u8]) -> Result<Self, Error> {
-                let bytes = take(buf, std::mem::size_of::<$s>())?;
-                Ok(<$s>::from_le_bytes(bytes.try_into().expect("sized take")))
+                Ok(<$s>::from_le_bytes(take_array(buf)?))
             }
 
             fn encode_compact(&self, out: &mut Vec<u8>) {
@@ -222,7 +228,8 @@ impl ItemCodec for String {
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, Error> {
-        let len = u32::decode(buf)? as usize;
+        let len = usize::try_from(u32::decode(buf)?)
+            .map_err(|_| Error::Corrupt("string length overflows usize".into()))?;
         let bytes = take(buf, len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| Error::Corrupt(format!("invalid UTF-8 item: {e}")))
@@ -249,7 +256,8 @@ impl ItemCodec for Vec<u8> {
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, Error> {
-        let len = u32::decode(buf)? as usize;
+        let len = usize::try_from(u32::decode(buf)?)
+            .map_err(|_| Error::Corrupt("vector length overflows usize".into()))?;
         Ok(take(buf, len)?.to_vec())
     }
 
@@ -345,6 +353,53 @@ mod tests {
         vec![0xFFu8, 0xFE, 0xFD].encode(&mut bytes);
         let mut view = bytes.as_slice();
         assert!(matches!(String::decode(&mut view), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_fixed_width_decode_is_an_error() {
+        // take_array surfaces short reads as Err, never a slice panic.
+        let mut view = &[1u8, 2, 3][..];
+        assert!(matches!(
+            u64::decode(&mut view),
+            Err(Error::Truncated { .. })
+        ));
+        let mut view = &[0u8; 15][..];
+        assert!(matches!(
+            u128::decode(&mut view),
+            Err(Error::Truncated { .. })
+        ));
+        let mut view = &[][..];
+        assert!(matches!(
+            i64::decode(&mut view),
+            Err(Error::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_an_error() {
+        // A length prefix far beyond the remaining bytes must come back as
+        // Err — never an allocation attempt or an out-of-bounds slice.
+        let mut bytes = Vec::new();
+        write_uvarint(&mut bytes, u64::MAX);
+        bytes.extend_from_slice(b"abc");
+        let mut view = bytes.as_slice();
+        assert!(String::decode_compact(&mut view).is_err());
+        let mut view = bytes.as_slice();
+        assert!(<Vec<u8>>::decode_compact(&mut view).is_err());
+
+        let mut bytes = Vec::new();
+        u32::MAX.encode(&mut bytes);
+        bytes.extend_from_slice(b"abc");
+        let mut view = bytes.as_slice();
+        assert!(matches!(
+            String::decode(&mut view),
+            Err(Error::Truncated { .. })
+        ));
+        let mut view = bytes.as_slice();
+        assert!(matches!(
+            <Vec<u8>>::decode(&mut view),
+            Err(Error::Truncated { .. })
+        ));
     }
 
     fn roundtrip_compact<T: ItemCodec + PartialEq + std::fmt::Debug>(value: T) {

@@ -464,6 +464,9 @@ impl<T: SketchKey + ItemCodec> ItemsSketch<T> {
         sketch.engine.num_updates = num_updates;
         sketch.engine.num_purges = num_purges;
         sketch.engine.rng = Xoshiro256StarStar::from_state(state);
+        // Final gate: whole-engine invariants (capacity, mass
+        // conservation) must hold for the decoded state.
+        sketch.engine.audit().map_err(Error::Corrupt)?;
         Ok(sketch)
     }
 }

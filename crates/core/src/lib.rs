@@ -90,6 +90,9 @@
 // bounds-checked software-prefetch helper in `table`, which must call the
 // `_mm_prefetch` intrinsic on x86-64 (see `table::prefetch_read`).
 #![deny(unsafe_code)]
+// Inside the sanctioned `unsafe fn`s, every unsafe operation still needs
+// its own `unsafe {}` block — no blanket-unsafe function bodies.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
@@ -105,6 +108,7 @@ pub mod persist;
 pub mod purge;
 pub mod result;
 pub mod rng;
+pub mod sanitize;
 pub mod select;
 pub mod sharded;
 pub mod signed;

@@ -161,7 +161,7 @@ fn decode_header(body: &[u8]) -> Result<(CheckpointInfo, u32, [u64; 4], &[u8]), 
         return Err(Error::Corrupt("nonzero reserved header bytes".into()));
     }
     let epoch = u64::decode(&mut buf)?;
-    let label_len = u16::decode(&mut buf)? as usize;
+    let label_len = usize::from(u16::decode(&mut buf)?);
     let label = take(&mut buf, label_len)?;
     let key_type = std::str::from_utf8(label)
         .map_err(|_| Error::Corrupt("key-type label is not UTF-8".into()))?
@@ -245,7 +245,8 @@ pub fn decode_checkpoint<K: SketchKey + ItemCodec>(
     }
     engine.lg_cur = lg_cur;
     engine.table = LpTable::with_lg_len(lg_cur);
-    let num_active = info.num_counters as usize;
+    let num_active = usize::try_from(info.num_counters)
+        .map_err(|_| Error::Corrupt("num_counters overflows usize".into()))?;
     // The capacity discipline must hold at the recorded table size, and
     // at least one slot must stay vacant for the probe loops.
     if num_active > engine.capacity_now() || num_active >= engine.table.len() {
@@ -264,14 +265,16 @@ pub fn decode_checkpoint<K: SketchKey + ItemCodec>(
         last_slot = Some(slot);
         let item = K::decode(&mut buf)?;
         let count = u64::decode(&mut buf)?;
-        if count == 0 || count > i64::MAX as u64 {
-            return Err(Error::Corrupt(format!(
-                "counter value {count} out of range"
-            )));
+        if count == 0 {
+            return Err(Error::Corrupt("counter value 0 out of range".into()));
         }
+        let count = i64::try_from(count)
+            .map_err(|_| Error::Corrupt(format!("counter value {count} out of range")))?;
+        let slot = usize::try_from(slot)
+            .map_err(|_| Error::Corrupt("counter slot overflows usize".into()))?;
         engine
             .table
-            .restore_slot(slot as usize, item, count as i64)
+            .restore_slot(slot, item, count)
             .map_err(Error::Corrupt)?;
     }
     if !buf.is_empty() {
@@ -288,6 +291,10 @@ pub fn decode_checkpoint<K: SketchKey + ItemCodec>(
     engine.num_updates = info.num_updates;
     engine.num_purges = info.num_purges;
     engine.rng = Xoshiro256StarStar::from_state(rng_state);
+    // Final gate: whole-engine invariants (capacity discipline, mass
+    // conservation) must hold for the restored state; a CRC-valid frame
+    // that violates them is corrupt, not panic-worthy.
+    engine.audit().map_err(Error::Corrupt)?;
     Ok((engine, info.epoch))
 }
 
@@ -471,6 +478,25 @@ mod tests {
         forged.extend_from_slice(&crc.to_le_bytes());
         let err = decode_checkpoint::<u64>(&forged).unwrap_err();
         assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn crafted_mass_violation_is_rejected() {
+        // A hostile checkpoint with a valid CRC whose single counter
+        // claims more mass than the recorded stream weight. Every field
+        // decodes individually; only the whole-engine audit at the end of
+        // decode_checkpoint can see the inconsistency.
+        let mut e: SketchEngine<u64> = SketchEngine::builder(16).build().unwrap();
+        e.update(42, 7);
+        let bytes = encode_checkpoint(&e, 1);
+        let n = bytes.len();
+        // Layout from the end: [.. slot u32, key u64, count u64 | crc u32].
+        let mut forged = bytes[..n - 4].to_vec();
+        forged[n - 12..n - 4].copy_from_slice(&1_000_000u64.to_le_bytes());
+        let crc = super::super::crc32c(&forged);
+        forged.extend_from_slice(&crc.to_le_bytes());
+        let err = decode_checkpoint::<u64>(&forged).unwrap_err();
+        assert!(err.to_string().contains("mass"), "{err}");
     }
 
     #[test]

@@ -45,6 +45,7 @@ use std::time::Duration;
 
 use super::wal::{WalPosition, WalWriter};
 use super::{FsyncPolicy, PersistError};
+use crate::sanitize;
 
 /// Backpressure threshold: producers stall once this many staged bytes
 /// are waiting for the writer thread. This bounds memory, not
@@ -189,6 +190,7 @@ impl GroupCommitWal {
     pub fn append_frame(&self, frame: &[u8]) -> Result<(), PersistError> {
         debug_assert!(!frame.is_empty());
         let inner = &*self.inner;
+        let _rank = sanitize::rank_acquire(sanitize::rank::WAL_QUEUE, "wal staging queue");
         let mut queue = inner.queue.lock().expect("wal queue poisoned");
         while queue.failed.is_none() && !queue.stop && queue.staging.len() >= STAGING_HIGH_WATER {
             queue = inner.done.wait(queue).expect("wal queue poisoned");
@@ -224,6 +226,7 @@ impl GroupCommitWal {
     /// New appends are held off for the (short) duration of the rotate.
     pub fn rotate_for_checkpoint(&self) -> Result<WalPosition, PersistError> {
         let inner = &*self.inner;
+        let _q_rank = sanitize::rank_acquire(sanitize::rank::WAL_QUEUE, "wal staging queue");
         let mut queue = inner.queue.lock().expect("wal queue poisoned");
         while queue.failed.is_none() && queue.flushed < queue.enqueued {
             queue = inner.done.wait(queue).expect("wal queue poisoned");
@@ -233,6 +236,7 @@ impl GroupCommitWal {
         }
         // Holding the queue lock here keeps producers out while the
         // rotation point is fixed.
+        let _s_rank = sanitize::rank_acquire(sanitize::rank::WAL_SINK, "wal sink");
         let mut sink = inner.sink.lock().expect("wal sink poisoned");
         let pos = match sink.rotate() {
             Ok(pos) => pos,
@@ -254,6 +258,7 @@ impl GroupCommitWal {
     /// Forces everything appended so far onto stable storage.
     pub fn sync_all(&self) -> Result<(), PersistError> {
         let inner = &*self.inner;
+        let _q_rank = sanitize::rank_acquire(sanitize::rank::WAL_QUEUE, "wal staging queue");
         let mut queue = inner.queue.lock().expect("wal queue poisoned");
         while queue.failed.is_none() && queue.flushed < queue.enqueued {
             queue = inner.done.wait(queue).expect("wal queue poisoned");
@@ -261,6 +266,7 @@ impl GroupCommitWal {
         if let Some(err) = Inner::failed_err(&queue) {
             return Err(err);
         }
+        let _s_rank = sanitize::rank_acquire(sanitize::rank::WAL_SINK, "wal sink");
         let mut sink = inner.sink.lock().expect("wal sink poisoned");
         match sink.sync() {
             Ok(()) => {
@@ -279,6 +285,7 @@ impl GroupCommitWal {
 
     /// Deletes every segment below `seq` (checkpoint truncation).
     pub fn remove_segments_below(&self, seq: u64) -> Result<u64, PersistError> {
+        let _rank = sanitize::rank_acquire(sanitize::rank::WAL_SINK, "wal sink");
         let mut sink = self.inner.sink.lock().expect("wal sink poisoned");
         let freed = sink.remove_segments_below(seq)?;
         self.inner
@@ -290,6 +297,7 @@ impl GroupCommitWal {
     /// The position the next flushed frame lands at. Only meaningful
     /// when nothing is staged (e.g. right after open or a rotation).
     pub fn position(&self) -> WalPosition {
+        let _rank = sanitize::rank_acquire(sanitize::rank::WAL_SINK, "wal sink");
         self.inner
             .sink
             .lock()
@@ -333,6 +341,7 @@ impl Drop for GroupCommitWal {
 
 fn writer_loop(inner: &Inner) {
     let mut scratch: Vec<u8> = Vec::new();
+    let mut q_rank = sanitize::rank_acquire(sanitize::rank::WAL_QUEUE, "wal staging queue");
     let mut queue = inner.queue.lock().expect("wal queue poisoned");
     loop {
         if queue.failed.is_some() {
@@ -358,14 +367,18 @@ fn writer_loop(inner: &Inner) {
         let frames = queue.staging_frames;
         queue.staging_frames = 0;
         drop(queue);
+        drop(q_rank);
         inner.done.notify_all();
 
+        let s_rank = sanitize::rank_acquire(sanitize::rank::WAL_SINK, "wal sink");
         let mut sink = inner.sink.lock().expect("wal sink poisoned");
         let result = sink.append_encoded(&scratch);
         let live = sink.total_bytes();
         drop(sink);
+        drop(s_rank);
         scratch.clear();
 
+        q_rank = sanitize::rank_acquire(sanitize::rank::WAL_QUEUE, "wal staging queue");
         queue = inner.queue.lock().expect("wal queue poisoned");
         match result {
             Ok(synced) => {
@@ -388,10 +401,19 @@ fn writer_loop(inner: &Inner) {
         inner.done.notify_all();
     }
     // Clean stop with everything flushed: make the tail durable so a
-    // graceful close behaves like an explicit sync.
+    // graceful close behaves like an explicit sync. The sink is released
+    // before retaking the queue: taking the queue (rank 40) while
+    // holding the sink (rank 50) would invert the lock order every
+    // other path follows.
     drop(queue);
-    let mut sink = inner.sink.lock().expect("wal sink poisoned");
-    if sink.sync().is_ok() {
+    drop(q_rank);
+    let sync_ok = {
+        let _s_rank = sanitize::rank_acquire(sanitize::rank::WAL_SINK, "wal sink");
+        let mut sink = inner.sink.lock().expect("wal sink poisoned");
+        sink.sync().is_ok()
+    };
+    if sync_ok {
+        let _q_rank = sanitize::rank_acquire(sanitize::rank::WAL_QUEUE, "wal staging queue");
         let mut queue = inner.queue.lock().expect("wal queue poisoned");
         queue.synced = queue.flushed;
         inner.fsync_count.fetch_add(1, Ordering::Relaxed);
@@ -441,6 +463,7 @@ impl CheckpointRound {
         &self,
         rotate: impl FnOnce() -> Result<WalPosition, PersistError>,
     ) -> Result<WalPosition, PersistError> {
+        let _rank = sanitize::rank_acquire(sanitize::rank::ROUND, "checkpoint round");
         let mut state = self.state.lock().expect("round poisoned");
         let generation = state.generation;
         state.arrived += 1;
@@ -479,6 +502,7 @@ impl CheckpointRound {
     /// round with any failure truncates nothing, because the failed
     /// shard's manifest still points into the pre-rotation log.
     pub fn depart(&self, success: bool) -> bool {
+        let _rank = sanitize::rank_acquire(sanitize::rank::ROUND, "checkpoint round");
         let mut state = self.state.lock().expect("round poisoned");
         if !success {
             state.failures += 1;

@@ -289,7 +289,10 @@ pub(crate) fn verify_trailing_crc(bytes: &[u8]) -> Result<&[u8], Error> {
         });
     }
     let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("sized split"));
+    let stored = crc_bytes
+        .try_into()
+        .map(u32::from_le_bytes)
+        .map_err(|_| Error::Corrupt("checksum trailer missing".into()))?;
     if crc32c(body) != stored {
         return Err(Error::Corrupt("checksum mismatch".into()));
     }

@@ -314,7 +314,9 @@ pub(crate) fn open_sketch<K: SketchKey + ItemCodec>(
             let oldest = wal::list_segments(dir)?
                 .first()
                 .map(|&(seq, _)| seq)
-                .expect("has_segments checked above");
+                .ok_or_else(|| {
+                    PersistError::corrupt(dir, "WAL segments vanished during recovery")
+                })?;
             Manifest {
                 epoch: 0,
                 config,
@@ -404,7 +406,7 @@ fn replay_shared<K: SketchKey + ItemCodec>(
         .iter()
         .map(|(_, m)| m.wal_start)
         .min()
-        .expect("replay_shared needs at least one shard");
+        .ok_or_else(|| PersistError::corrupt(dir, "replay_shared invoked with no shards"))?;
     let outcome = wal::read_from::<K>(dir, start)?;
     let mut slots: Vec<Option<(Manifest, u64, Replayer<K>)>> =
         (0..num_shards).map(|_| None).collect();
@@ -514,7 +516,11 @@ pub(crate) fn open_bank<K: SketchKey + ItemCodec>(
     configs: &[EngineConfig],
     opts: DurabilityOptions,
 ) -> Result<Vec<(DurableSketch<K>, RecoveryReport)>, PersistError> {
-    assert!(!configs.is_empty(), "a bank needs at least one shard");
+    if configs.is_empty() {
+        return Err(PersistError::ConfigMismatch(
+            "a bank needs at least one shard".into(),
+        ));
+    }
     std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, e))?;
     let shared_segments = wal::list_segments(dir)?;
     let oldest_shared = shared_segments.first().map(|&(seq, _)| seq);
@@ -725,7 +731,12 @@ pub(crate) fn open_bank<K: SketchKey + ItemCodec>(
                 out.push((sketch(state.engine, new_epoch), state.report));
             }
             ShardPlan::Shared { rewrite, .. } => {
-                let (engine, epoch, report) = shared_done[s].take().expect("replayed above");
+                let (engine, epoch, report) = shared_done
+                    .get_mut(s)
+                    .and_then(Option::take)
+                    .ok_or_else(|| {
+                        PersistError::corrupt(dir, format!("shared replay lost shard {s}"))
+                    })?;
                 if rewrite {
                     write_manifest(
                         &sdir,
@@ -734,7 +745,12 @@ pub(crate) fn open_bank<K: SketchKey + ItemCodec>(
                             config,
                             checkpoint: None,
                             wal_start: WalPosition {
-                                segment: oldest_shared.expect("synthesized from it"),
+                                segment: oldest_shared.ok_or_else(|| {
+                                    PersistError::corrupt(
+                                        dir,
+                                        "shared-log shard without a shared WAL segment",
+                                    )
+                                })?,
                                 offset: SEGMENT_HEADER_LEN,
                             },
                             shared_log: true,
@@ -798,10 +814,13 @@ pub fn recover_bank_readonly<K: SketchKey + ItemCodec>(
             results[s] = Some((engine, epoch, report));
         }
     }
-    Ok(results
+    results
         .into_iter()
-        .map(|slot| slot.expect("every shard recovered"))
-        .collect())
+        .enumerate()
+        .map(|(s, slot)| {
+            slot.ok_or_else(|| PersistError::corrupt(dir, format!("shard {s} never recovered")))
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -163,7 +163,7 @@ impl Manifest {
         let b = u64::decode(&mut buf)?;
         let policy = crate::codec::policy_from_wire(tag, a, b)?;
         let seed = u64::decode(&mut buf)?;
-        let name_len = u16::decode(&mut buf)? as usize;
+        let name_len = usize::from(u16::decode(&mut buf)?);
         if buf.len() < name_len {
             return Err(Error::Truncated {
                 needed: name_len - buf.len(),
@@ -282,7 +282,8 @@ impl StoreMeta {
         if version != STORE_VERSION {
             return Err(Error::UnsupportedVersion(version));
         }
-        let num_shards = u32::decode(&mut buf)? as usize;
+        let num_shards = usize::try_from(u32::decode(&mut buf)?)
+            .map_err(|_| Error::Corrupt("num_shards exceeds usize".into()))?;
         if num_shards == 0 {
             return Err(Error::Corrupt("store has zero shards".into()));
         }
@@ -495,6 +496,14 @@ impl<K: SketchKey + ItemCodec> DurableSketch<K> {
             self.wal.remove_segments_below(replay_start.segment)?;
         }
         self.epoch = new_epoch;
+        if !self.shared_log {
+            // A shared log cannot be audited from one shard of a live
+            // bank: sibling checkpoints truncate, and sibling appends
+            // rotate, concurrently with the re-read. The bank-wide audit
+            // runs in checkpoint_bank, where shard access is exclusive
+            // and the group-commit queue has drained.
+            self.debug_audit_wal_chain();
+        }
         Ok(new_epoch)
     }
 
@@ -539,6 +548,30 @@ impl<K: SketchKey + ItemCodec> DurableSketch<K> {
     pub fn into_engine(self) -> SketchEngine<K> {
         self.engine
     }
+
+    /// `debug-invariants` hook: re-audits the on-disk WAL frame chain
+    /// after structural log changes (rotation and truncation). A full
+    /// log re-read, so it runs only on the checkpoint path — never per
+    /// append — and only where no other thread can mutate the log
+    /// mid-read (per-store checkpoints and the single-threaded bank
+    /// round). Compiles to nothing without the feature.
+    #[cfg(feature = "debug-invariants")]
+    fn debug_audit_wal_chain(&self) {
+        // A bank shard's shared log lives in the bank root, one level
+        // above the shard directory its manifests live in.
+        let wal_dir = if self.shared_log {
+            self.dir.parent().unwrap_or(&self.dir)
+        } else {
+            &self.dir
+        };
+        if let Err(e) = super::wal::audit_chain::<K>(wal_dir) {
+            panic!("debug-invariants: WAL chain audit failed: {e}");
+        }
+    }
+
+    #[cfg(not(feature = "debug-invariants"))]
+    #[inline(always)]
+    fn debug_audit_wal_chain(&self) {}
 }
 
 /// Checkpoints every shard of a bank from one thread — what offline
@@ -567,6 +600,9 @@ pub fn checkpoint_bank<K: SketchKey + ItemCodec>(
         shard.epoch = new_epoch;
     }
     wal.remove_segments_below(replay_start.segment)?;
+    if let Some(first) = shards.first() {
+        first.debug_audit_wal_chain();
+    }
     Ok(())
 }
 

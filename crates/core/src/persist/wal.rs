@@ -71,11 +71,28 @@ fn known_version(version: u8) -> bool {
     version == SEG_VERSION_V1 || version == SEG_VERSION
 }
 
+/// Checks a segment header prefix — magic then a known version byte —
+/// and returns the version. `None` covers short, wrong-magic, and
+/// unknown-version prefixes alike; callers decide torn versus corrupt.
+fn parse_segment_header(bytes: &[u8]) -> Option<u8> {
+    let magic = bytes.get(..4)?;
+    let version = *bytes.get(4)?;
+    (magic == SEG_MAGIC && known_version(version)).then_some(version)
+}
+
 /// Bytes of a segment file's header (`magic`, version, reserved).
 pub const SEGMENT_HEADER_LEN: u64 = 8;
 
+/// [`SEGMENT_HEADER_LEN`] for slice math, converted once outside the
+/// decode paths.
+const SEG_HEADER_USIZE: usize = SEGMENT_HEADER_LEN as usize;
+
 /// Bytes of a frame header (`payload_len`, `crc32c`).
 const FRAME_HEADER_LEN: u64 = 8;
+
+/// [`FRAME_HEADER_LEN`] for slice math, converted once outside the
+/// decode paths.
+const FRAME_HEADER_USIZE: usize = FRAME_HEADER_LEN as usize;
 
 /// Sanity cap on one frame's payload: anything larger is corruption,
 /// not a batch (writers buffer a few thousand updates per batch).
@@ -216,13 +233,14 @@ impl WalWriter {
         // with a *valid* header past the append position would mean
         // the caller is about to orphan real data — refuse.
         while segments.last().is_some_and(|&(seq, _)| seq > pos.segment) {
-            let (_, husk) = segments.pop().expect("non-empty by loop condition");
-            let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+            let Some((_, husk)) = segments.pop() else {
+                break;
+            };
+            let mut header = [0u8; SEG_HEADER_USIZE];
             let intact = File::open(&husk)
                 .and_then(|mut f| f.read_exact(&mut header))
                 .is_ok()
-                && &header[..4] == SEG_MAGIC
-                && known_version(header[4]);
+                && parse_segment_header(&header).is_some();
             if intact {
                 return Err(PersistError::corrupt(
                     &husk,
@@ -286,20 +304,20 @@ impl WalWriter {
             live_bytes,
             frame_buf: Vec::new(),
         };
-        let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+        let mut header = [0u8; SEG_HEADER_USIZE];
         writer
             .file
             .seek(SeekFrom::Start(0))
             .and_then(|_| writer.file.read_exact(&mut header))
             .map_err(|e| PersistError::io(&path, e))?;
-        if &header[..4] != SEG_MAGIC || !known_version(header[4]) {
+        let Some(header_version) = parse_segment_header(&header) else {
             return Err(PersistError::corrupt(&path, "bad segment header"));
-        }
+        };
         writer
             .file
             .seek(SeekFrom::Start(pos.offset))
             .map_err(|e| PersistError::io(&path, e))?;
-        if header[4] != SEG_VERSION {
+        if header_version != SEG_VERSION {
             // Resuming into a legacy segment: new frames use the v2
             // payload encoding, which must not share a v1 segment.
             writer.rotate()?;
@@ -467,6 +485,68 @@ fn new_segment(dir: &Path, seq: u64) -> Result<File, PersistError> {
     Ok(file)
 }
 
+/// Frame-chain auditor for the `debug-invariants` sanitizer: re-reads
+/// the entire on-disk log and checks the chain invariants the appenders
+/// maintain — contiguous segment sequence numbers (a hole means history
+/// the manifests may still depend on was deleted out from under them),
+/// every frame decodable in strict append order, and per-stream epoch
+/// monotonicity (a shard's checkpoint epoch never decreases along the
+/// log; a decrease means frames were reordered or a stale writer raced
+/// a checkpoint).
+///
+/// An empty directory is a valid (empty) chain. This is a full-log
+/// re-read — call it from the feature-gated hooks after rotation and
+/// checkpoint truncation, not on the append path.
+///
+/// # Errors
+/// Returns [`PersistError`] naming the first violated chain invariant.
+pub fn audit_chain<K: ItemCodec>(dir: &Path) -> Result<(), PersistError> {
+    let segments = list_segments(dir)?;
+    let Some(&(first, _)) = segments.first() else {
+        return Ok(());
+    };
+    for (walked, &(seq, ref path)) in segments.iter().enumerate() {
+        let expected = first + walked as u64;
+        if seq != expected {
+            return Err(PersistError::corrupt(
+                path,
+                format!("segment chain hole: expected seq {expected}, found {seq}"),
+            ));
+        }
+    }
+    let outcome = read_from::<K>(
+        dir,
+        WalPosition {
+            segment: first,
+            offset: SEGMENT_HEADER_LEN,
+        },
+    )?;
+    let mut last_epoch: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut last_at: Option<WalPosition> = None;
+    for rec in &outcome.records {
+        if last_at.is_some_and(|prev| rec.at <= prev) {
+            return Err(PersistError::corrupt(
+                dir,
+                format!("frame positions out of append order at {:?}", rec.at),
+            ));
+        }
+        last_at = Some(rec.at);
+        if let Some(&prev) = last_epoch.get(&rec.stream) {
+            if rec.epoch < prev {
+                return Err(PersistError::corrupt(
+                    dir,
+                    format!(
+                        "stream {} epoch went backwards: {} after {prev}",
+                        rec.stream, rec.epoch
+                    ),
+                ));
+            }
+        }
+        last_epoch.insert(rec.stream, rec.epoch);
+    }
+    Ok(())
+}
+
 /// Scans the log from `start` to its physical end, decoding every valid
 /// frame. See the module docs for the torn-write contract; a bad frame
 /// anywhere except the last segment's tail is an error.
@@ -510,10 +590,9 @@ pub fn read_from<K: ItemCodec>(
         File::open(path)
             .and_then(|mut f| f.read_to_end(&mut bytes))
             .map_err(|e| PersistError::io(path, e))?;
-        if bytes.len() < SEGMENT_HEADER_LEN as usize
-            || &bytes[..4] != SEG_MAGIC
-            || !known_version(bytes[4])
-        {
+        let header_version =
+            parse_segment_header(&bytes).filter(|_| bytes.len() >= SEG_HEADER_USIZE);
+        let Some(version) = header_version else {
             // A bad header on the newest, not-yet-referenced segment is
             // the signature of a crash during rotation (the directory
             // entry committed before the header bytes were durable): a
@@ -529,8 +608,7 @@ pub fn read_from<K: ItemCodec>(
                 });
             }
             return Err(PersistError::corrupt(path, "bad segment header"));
-        }
-        let version = bytes[4];
+        };
         let mut cursor = if seq == start.segment {
             if start.offset < SEGMENT_HEADER_LEN || start.offset > bytes.len() as u64 {
                 return Err(PersistError::corrupt(
@@ -538,9 +616,10 @@ pub fn read_from<K: ItemCodec>(
                     format!("replay offset {} outside segment", start.offset),
                 ));
             }
-            start.offset as usize
+            usize::try_from(start.offset)
+                .map_err(|_| PersistError::corrupt(path, "replay offset overflows usize"))?
         } else {
-            SEGMENT_HEADER_LEN as usize
+            SEG_HEADER_USIZE
         };
         end = WalPosition {
             segment: seq,
@@ -551,10 +630,10 @@ pub fn read_from<K: ItemCodec>(
                 segment: seq,
                 offset: cursor as u64,
             };
-            match decode_frame::<K>(version, &bytes[cursor..], at) {
+            match decode_frame::<K>(version, bytes.get(cursor..).unwrap_or_default(), at) {
                 FrameOutcome::Record(record, consumed) => {
                     records.push(record);
-                    cursor += consumed;
+                    cursor = cursor.saturating_add(consumed);
                     end.offset = cursor as u64;
                 }
                 FrameOutcome::End => break,
@@ -591,28 +670,39 @@ enum FrameOutcome<K> {
     Torn(String),
 }
 
+/// Reads a frame header's `(payload_len, crc)` pair, or `None` when
+/// fewer than [`FRAME_HEADER_USIZE`] bytes remain.
+fn frame_header(bytes: &[u8]) -> Option<(u32, u32)> {
+    let len = bytes.get(0..4)?.try_into().ok()?;
+    let crc = bytes.get(4..8)?.try_into().ok()?;
+    Some((u32::from_le_bytes(len), u32::from_le_bytes(crc)))
+}
+
 /// Decodes the frame at the front of `bytes`, interpreting the payload
 /// per the segment's `version`.
 fn decode_frame<K: ItemCodec>(version: u8, bytes: &[u8], at: WalPosition) -> FrameOutcome<K> {
     if bytes.is_empty() {
         return FrameOutcome::End;
     }
-    if bytes.len() < FRAME_HEADER_LEN as usize {
+    let Some((payload_len, crc)) = frame_header(bytes) else {
         return FrameOutcome::Torn(format!("{}-byte partial frame header", bytes.len()));
-    }
-    let payload_len = u32::from_le_bytes(bytes[0..4].try_into().expect("sized"));
-    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("sized"));
+    };
     if payload_len > MAX_FRAME_PAYLOAD {
         return FrameOutcome::Torn(format!("implausible payload length {payload_len}"));
     }
-    let total = FRAME_HEADER_LEN as usize + payload_len as usize;
-    if bytes.len() < total {
+    let total = match usize::try_from(payload_len)
+        .ok()
+        .and_then(|p| FRAME_HEADER_USIZE.checked_add(p))
+    {
+        Some(total) => total,
+        None => return FrameOutcome::Torn(format!("implausible payload length {payload_len}")),
+    };
+    let Some(payload) = bytes.get(FRAME_HEADER_USIZE..total) else {
         return FrameOutcome::Torn(format!(
             "payload truncated ({} of {payload_len} bytes)",
-            bytes.len() - FRAME_HEADER_LEN as usize
+            bytes.len() - FRAME_HEADER_USIZE
         ));
-    }
-    let payload = &bytes[FRAME_HEADER_LEN as usize..total];
+    };
     if super::crc32c(payload) != crc {
         return FrameOutcome::Torn("CRC mismatch".into());
     }
@@ -624,7 +714,9 @@ fn decode_frame<K: ItemCodec>(version: u8, bytes: &[u8], at: WalPosition) -> Fra
             (
                 0u32,
                 u64::decode(&mut view)?,
-                u32::decode(&mut view)? as usize,
+                usize::try_from(u32::decode(&mut view)?).map_err(|_| {
+                    crate::error::Error::Corrupt("batch count overflows usize".into())
+                })?,
             )
         } else {
             let stream = u32::try_from(read_uvarint(&mut view)?)
@@ -718,6 +810,35 @@ mod tests {
         let out = read_from::<u64>(&dir, start()).unwrap();
         assert_eq!(out.records.len(), 5);
         assert_eq!(out.records[4].batch, vec![(4, 5)]);
+    }
+
+    #[test]
+    fn audit_chain_accepts_clean_log_and_rejects_holes() {
+        let dir = tmp_dir("audit-chain");
+        audit_chain::<u64>(&dir).expect("an empty directory is a valid chain");
+        // Tiny segment budget: every append rotates, building a chain.
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 16).unwrap();
+        for i in 0..5u64 {
+            w.append(i, &[(i, i + 1)]).unwrap();
+        }
+        drop(w);
+        assert!(list_segments(&dir).unwrap().len() >= 3);
+        audit_chain::<u64>(&dir).expect("intact chain audits clean");
+        let (_, mid_path) = list_segments(&dir).unwrap()[1].clone();
+        std::fs::remove_file(&mid_path).unwrap();
+        let err = audit_chain::<u64>(&dir).unwrap_err();
+        assert!(err.to_string().contains("hole"), "{err}");
+    }
+
+    #[test]
+    fn audit_chain_rejects_backwards_epochs() {
+        let dir = tmp_dir("audit-epoch");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Off, 1 << 20).unwrap();
+        w.append(5, &[(1u64, 1u64)]).unwrap();
+        w.append(3, &[(2u64, 2u64)]).unwrap();
+        drop(w);
+        let err = audit_chain::<u64>(&dir).unwrap_err();
+        assert!(err.to_string().contains("epoch went backwards"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Lock/channel rank tracking for the `debug-invariants` sanitizer.
+//!
+//! The concurrent serving layer ([`crate::concurrent`]) and the group
+//! commit WAL ([`crate::persist`]) share a small set of locks and
+//! bounded channels whose acquisition order is a correctness contract:
+//!
+//! | rank | resource |
+//! |-----:|----------|
+//! | 10   | `publish_lock` (snapshot publication critical section) |
+//! | 15   | `ckpt_requests` registry |
+//! | 20   | shard channel sends (bounded `SyncSender`) |
+//! | 30   | `CheckpointRound` state |
+//! | 40   | `GroupCommitWal` staging queue |
+//! | 50   | `GroupCommitWal` sink (the `WalWriter`) |
+//! | 60   | the shared snapshot `RwLock` |
+//!
+//! Acquiring a resource whose rank is ≤ the highest rank currently held
+//! on the same thread is an ordering inversion — the classic ingredient
+//! of a deadlock that only fires under contention. With the
+//! `debug-invariants` feature the tracker turns any inversion into a
+//! deterministic panic naming both resources; without it every call
+//! compiles to nothing, so call sites need no `cfg` guards.
+//!
+//! Blocking on a **bounded** channel send while holding a lock is the
+//! same hazard in disguise (the drainer may need the held lock to make
+//! room), so sends are checked with [`check_send`] against the same
+//! rank order, just without pushing onto the stack.
+//!
+//! The tracker is per-thread: cross-thread deadlocks that involve no
+//! per-thread ordering violation (true lock cycles across threads) are
+//! out of scope — the rank discipline itself is what prevents those, as
+//! long as every thread obeys it.
+
+/// The rank order. Gaps are deliberate: new resources slot in without
+/// renumbering.
+pub mod rank {
+    /// `concurrent::Shared::publish_lock`.
+    pub const PUBLISH: u16 = 10;
+    /// `concurrent::Shared::ckpt_requests`.
+    pub const CKPT_REQUESTS: u16 = 15;
+    /// Bounded shard-channel sends (`SyncSender<Msg>`).
+    pub const SHARD_CHANNEL: u16 = 20;
+    /// `persist::group::CheckpointRound` state mutex.
+    pub const ROUND: u16 = 30;
+    /// `persist::group::GroupCommitWal` staging-queue mutex.
+    pub const WAL_QUEUE: u16 = 40;
+    /// `persist::group::GroupCommitWal` sink mutex.
+    pub const WAL_SINK: u16 = 50;
+    /// `concurrent::Shared::snapshot` RwLock.
+    pub const SNAPSHOT: u16 = 60;
+}
+
+#[cfg(feature = "debug-invariants")]
+mod imp {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<(u16, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Proof of a tracked acquisition; dropping it releases the rank.
+    /// Hold it exactly as long as the guarded lock's own guard — when a
+    /// lock is released mid-scope, `drop` the rank guard at the same
+    /// point or the tracker will report phantom inversions.
+    #[must_use]
+    pub struct RankGuard {
+        rank: u16,
+    }
+
+    impl Drop for RankGuard {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(at) = held.iter().rposition(|&(r, _)| r == self.rank) {
+                    held.remove(at);
+                }
+            });
+        }
+    }
+
+    /// Records acquiring `label` at `rank`; panics on a rank inversion.
+    pub fn rank_acquire(rank: u16, label: &'static str) -> RankGuard {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(top, top_label)) = held.last() {
+                assert!(
+                    rank > top,
+                    "debug-invariants: lock-order inversion — acquiring \
+                     {label} (rank {rank}) while holding {top_label} \
+                     (rank {top})"
+                );
+            }
+            held.push((rank, label));
+        });
+        RankGuard { rank }
+    }
+
+    /// Checks a blocking send on `label` at `rank` against the held
+    /// ranks without recording an acquisition.
+    pub fn check_send(rank: u16, label: &'static str) {
+        HELD.with(|held| {
+            if let Some(&(top, top_label)) = held.borrow().last() {
+                assert!(
+                    rank > top,
+                    "debug-invariants: channel-order inversion — blocking \
+                     send on {label} (rank {rank}) while holding \
+                     {top_label} (rank {top})"
+                );
+            }
+        });
+    }
+}
+
+#[cfg(not(feature = "debug-invariants"))]
+mod imp {
+    /// No-op stand-in; see the feature-gated twin.
+    #[must_use]
+    pub struct RankGuard;
+
+    /// No-op stand-in; see the feature-gated twin.
+    #[inline(always)]
+    pub fn rank_acquire(_rank: u16, _label: &'static str) -> RankGuard {
+        RankGuard
+    }
+
+    /// No-op stand-in; see the feature-gated twin.
+    #[inline(always)]
+    pub fn check_send(_rank: u16, _label: &'static str) {}
+}
+
+pub use imp::{check_send, rank_acquire, RankGuard};
+
+#[cfg(all(test, feature = "debug-invariants"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_acquisition_is_clean() {
+        let _q = rank_acquire(rank::WAL_QUEUE, "queue");
+        let _s = rank_acquire(rank::WAL_SINK, "sink");
+        check_send(u16::MAX, "reply channel");
+    }
+
+    #[test]
+    fn release_and_reacquire_is_clean() {
+        // The writer_loop pattern: queue → sink, drop sink, re-lock queue.
+        let q = rank_acquire(rank::WAL_QUEUE, "queue");
+        let s = rank_acquire(rank::WAL_SINK, "sink");
+        drop(s);
+        drop(q);
+        let _q = rank_acquire(rank::WAL_QUEUE, "queue");
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn inversion_panics_deterministically() {
+        let _s = rank_acquire(rank::WAL_SINK, "sink");
+        let _q = rank_acquire(rank::WAL_QUEUE, "queue");
+    }
+
+    #[test]
+    #[should_panic(expected = "channel-order inversion")]
+    fn blocking_send_under_higher_rank_panics() {
+        let _s = rank_acquire(rank::WAL_SINK, "sink");
+        check_send(rank::SHARD_CHANNEL, "shard channel");
+    }
+}

@@ -337,7 +337,7 @@ mod tests {
         // No-false-negatives side: everything reported has ub above the
         // requested threshold.
         let net = s.net_weight().max(0);
-        let threshold = crate::bounds::phi_threshold(0.2, net as u64) as i64;
+        let threshold = i64::try_from(crate::bounds::phi_threshold(0.2, net as u64)).unwrap();
         for (item, _) in &hh {
             let (_, ub) = s.bounds(item);
             assert!(ub > threshold);

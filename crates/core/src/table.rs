@@ -163,11 +163,12 @@ unsafe fn scan4_avx2(keys: &[u64], states: &[u16], i: usize, needle: u64) -> Opt
     debug_assert!(i + SCAN_WIDTH <= keys.len() && i + SCAN_WIDTH <= states.len());
     // SAFETY: `i + SCAN_WIDTH` is in bounds (caller contract), so both
     // unaligned loads stay inside their allocations.
-    let kv = _mm256_loadu_si256(keys.as_ptr().add(i) as *const __m256i);
+    let kv = unsafe { _mm256_loadu_si256(keys.as_ptr().add(i) as *const __m256i) };
     let eq = _mm256_cmpeq_epi64(kv, _mm256_set1_epi64x(needle as i64));
     // One sign bit per 64-bit lane: bit t set ⇔ keys[i+t] == needle.
     let match_mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32;
-    let sv = _mm_loadl_epi64(states.as_ptr().add(i) as *const __m128i);
+    // SAFETY: same caller contract covers the 8-byte state load.
+    let sv = unsafe { _mm_loadl_epi64(states.as_ptr().add(i) as *const __m128i) };
     let zeq = _mm_cmpeq_epi16(sv, _mm_setzero_si128());
     // Two bits per 16-bit lane; keep one per lane: bit t ⇔ state == 0.
     let zbytes = (_mm_movemask_epi8(zeq) as u32) & 0xFF;
@@ -1492,6 +1493,43 @@ impl<K: SketchKey> LpTable<K> {
             );
         }
         assert_eq!(active, self.num_active, "active-count bookkeeping drifted");
+    }
+
+    /// Full structural audit as a `Result` — the `debug-invariants`
+    /// sanitizer's table check, also safe to call at decode boundaries
+    /// (it never panics). Covers `validate_layout` plus the
+    /// probe-distance encoding, counter positivity (both engines of a
+    /// signed sketch keep per-sign magnitudes, so a stored counter is
+    /// always ≥ 1), and the active-count bookkeeping.
+    ///
+    /// # Errors
+    /// Describes the first violated invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        self.validate_layout()?;
+        let mut active = 0usize;
+        for i in 0..self.len() {
+            if self.states[i] == 0 {
+                continue;
+            }
+            active += 1;
+            let dist = (self.states[i] - 1) as usize;
+            let home = i.wrapping_sub(dist) & self.mask;
+            if home != self.home(&self.keys[i]) {
+                return Err(format!(
+                    "slot {i}: state does not encode the key's home cell"
+                ));
+            }
+            if self.values[i] <= 0 {
+                return Err(format!("slot {i}: non-positive counter {}", self.values[i]));
+            }
+        }
+        if active != self.num_active {
+            return Err(format!(
+                "active-count bookkeeping drifted: counted {active}, recorded {}",
+                self.num_active
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,379 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! repo lints, with zero dependencies.
+//!
+//! The lexer's one job is to make the scanners immune to the classic
+//! grep failure modes: `unsafe` inside a doc comment, `unwrap()` inside
+//! a string literal, `'a` lifetimes versus `'a'` char literals, nested
+//! block comments. It produces a flat token stream (identifiers,
+//! numeric/string literals, single-char punctuation) plus the line
+//! comments (for `lint:allow` waivers). It does **not** build a syntax
+//! tree; the rules layer works on token patterns.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `unsafe`, `phi`, ...).
+    Ident(String),
+    /// Numeric literal, raw text preserved (to classify floats).
+    Num(String),
+    /// String, byte-string, raw-string, or char literal. Content dropped:
+    /// literals can never trigger a code lint.
+    Str,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Any other single character (`{`, `+`, `#`, ...).
+    Punct(char),
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Debug, Clone)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Lexer output: the token stream and every line/block comment with its
+/// starting line (block comments are recorded once, at their first line).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<SpannedTok>,
+    pub comments: Vec<(u32, String)>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`. Unterminated literals/comments end the token stream at
+/// the malformation (the compiler rejects such files anyway; the lint
+/// must merely not loop or panic).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($tok:expr) => {
+            out.toks.push(SpannedTok { tok: $tok, line })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push((line, chars[start..i].iter().collect()));
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push((
+                    start_line,
+                    chars[start..i.min(chars.len())].iter().collect(),
+                ));
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+                push!(Tok::Str);
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&chars, i) => {
+                let (next, is_str) = skip_prefixed_literal(&chars, i, &mut line);
+                i = next;
+                if is_str {
+                    push!(Tok::Str);
+                } else {
+                    // `r#ident` raw identifier: the ident was consumed.
+                    // Re-lex it as a plain identifier token.
+                    let text: String = chars[..i]
+                        .iter()
+                        .rev()
+                        .take_while(|c| is_ident_continue(**c))
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .rev()
+                        .collect();
+                    push!(Tok::Ident(text));
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if chars.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: skip to the closing quote.
+                    i += 2;
+                    while i < chars.len() && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    push!(Tok::Str);
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    i += 3;
+                    push!(Tok::Str);
+                } else {
+                    i += 1;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    push!(Tok::Lifetime);
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                push!(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                let hex = c == '0'
+                    && matches!(chars.get(i), Some('x') | Some('X') | Some('o') | Some('b'));
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        // Exponent sign: `1e-5` / `1E+5` (decimal only).
+                        if !hex
+                            && (d == 'e' || d == 'E')
+                            && matches!(chars.get(i + 1), Some('+') | Some('-'))
+                            && chars.get(i + 2).is_some_and(|c| c.is_ascii_digit())
+                        {
+                            i += 2;
+                        }
+                        i += 1;
+                    } else if d == '.'
+                        && !hex
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        // Fraction digits — but `0..4` is a range and
+                        // `1.max(2)` is a method call, both excluded by
+                        // requiring a digit after the dot.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Num(chars[start..i].iter().collect()));
+            }
+            other => {
+                push!(Tok::Punct(other));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Is `chars[i..]` an `r"`/`r#`-style raw literal or `b"`/`b'` byte
+/// literal (as opposed to a plain identifier starting with r/b)?
+fn starts_raw_or_byte_literal(chars: &[char], i: usize) -> bool {
+    match chars[i] {
+        'r' => matches!(chars.get(i + 1), Some('"') | Some('#')),
+        'b' => matches!(chars.get(i + 1), Some('"') | Some('\'') | Some('r')),
+        _ => false,
+    }
+}
+
+/// Skips a plain `"..."` string starting at the opening quote; returns
+/// the index one past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`, or a raw
+/// identifier `r#ident`. Returns `(next_index, was_literal)`; for a raw
+/// identifier the ident chars are consumed and `was_literal` is false.
+fn skip_prefixed_literal(chars: &[char], mut i: usize, line: &mut u32) -> (usize, bool) {
+    // Consume the prefix letters (r, b, br, rb).
+    let mut j = i;
+    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
+        j += 1;
+    }
+    // Count raw hashes.
+    let mut hashes = 0usize;
+    while chars.get(j + hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    match chars.get(j + hashes) {
+        Some('"') => {
+            // Raw (or plain byte) string: scan for `"` followed by
+            // `hashes` hashes. Escapes are inert in raw strings; plain
+            // b"..." escapes still never produce a bare quote before a
+            // backslash-quote, which this scan treats conservatively.
+            let raw = hashes > 0 || chars.get(j) == Some(&'"') && chars[i] == 'r';
+            let mut k = j + hashes + 1;
+            while k < chars.len() {
+                if chars[k] == '\n' {
+                    *line += 1;
+                    k += 1;
+                    continue;
+                }
+                if !raw && chars[k] == '\\' {
+                    k += 2;
+                    continue;
+                }
+                if chars[k] == '"' {
+                    let mut h = 0usize;
+                    while h < hashes && chars.get(k + 1 + h) == Some(&'#') {
+                        h += 1;
+                    }
+                    if h == hashes {
+                        return (k + 1 + hashes, true);
+                    }
+                }
+                k += 1;
+            }
+            (k, true)
+        }
+        Some('\'') if hashes == 0 => {
+            // Byte char literal b'x' / b'\n'.
+            let mut k = j + 1;
+            if chars.get(k) == Some(&'\\') {
+                k += 2;
+            }
+            while k < chars.len() && chars[k] != '\'' {
+                k += 1;
+            }
+            (k + 1, true)
+        }
+        _ if hashes > 0 => {
+            // Raw identifier r#ident.
+            i = j + hashes;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            (i, false)
+        }
+        _ => {
+            // Plain identifier starting with r/b after all (e.g. `rb` was
+            // not followed by a literal): consume as identifier.
+            i = j;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            (i, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // unsafe in a line comment
+            /* unwrap() in /* a nested */ block comment */
+            let s = "unsafe unwrap()";
+            let r = r#"expect("oops")"#;
+            let b = b"panic!";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed.toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let strs = lexed.toks.iter().filter(|t| t.tok == Tok::Str).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(strs, 1);
+    }
+
+    #[test]
+    fn numbers_classify_and_ranges_split() {
+        let lexed = lex("a[0..4]; 1.5e-3; 2.0; 0xFF; 1f64");
+        let nums: Vec<String> = lexed
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Num(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "4", "1.5e-3", "2.0", "0xFF", "1f64"]);
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let lexed = lex("one\n\ntwo // note\nthree");
+        let lines: Vec<(String, u32)> = lexed
+            .toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some((s.clone(), t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            lines,
+            vec![("one".into(), 1), ("two".into(), 3), ("three".into(), 4)]
+        );
+        assert_eq!(lexed.comments, vec![(3, "// note".to_string())]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ids = idents("let r#type = 1; br#\"raw bytes\"#;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+}

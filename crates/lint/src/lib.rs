@@ -1,0 +1,275 @@
+//! streamfreq-lint: in-repo static analysis for the streamfreq
+//! workspace.
+//!
+//! Three enforcement layers, each born from a real bug class in this
+//! repo's history (see `DESIGN.md` § Correctness tooling):
+//!
+//! 1. **Unsafe ledger** — every `unsafe` token and
+//!    `#[allow(unsafe_code)]` attribute must be accounted for, with
+//!    exact counts, in the checked-in `UNSAFE_LEDGER.md`, alongside a
+//!    justification and a pointer to the portable cross-check that pins
+//!    its behaviour. New unsafe code fails CI until ledgered.
+//! 2. **Arithmetic safety** — float→int truncating casts near
+//!    φ/threshold identifiers; unchecked narrowing `as` casts and bare
+//!    `+`/`*` over length-like values in the byte-level decode files.
+//! 3. **Panic freedom on untrusted input** — `unwrap`/`expect`/`panic!`
+//!    family reachable from decode paths in the codecs and `persist/`.
+//!
+//! The binary (`cargo run -p streamfreq-lint`) walks the tree from the
+//! workspace root and exits nonzero on any finding. The library exposes
+//! [`lint_file`] so the fixture tests can feed synthetic paths.
+
+pub mod ledger;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{analyze, Finding, UnsafeCounts};
+
+/// One finding located in the tree.
+#[derive(Debug, Clone)]
+pub struct TreeFinding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// The result of linting a whole tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<TreeFinding>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Findings silenced by valid `lint:allow` waivers.
+    pub suppressed: usize,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Name of the unsafe ledger file at the workspace root.
+pub const LEDGER_FILE: &str = "UNSAFE_LEDGER.md";
+
+/// Lints a single file's source. `rel_path` (workspace-relative,
+/// `/`-separated) drives rule scoping; the file need not exist on disk.
+/// Ledger reconciliation is a tree-level concern and not performed here.
+pub fn lint_file(rel_path: &str, src: &str) -> Vec<TreeFinding> {
+    rules::analyze(rel_path, src)
+        .findings
+        .into_iter()
+        .map(|f| TreeFinding {
+            file: rel_path.to_string(),
+            line: f.line,
+            rule: f.rule,
+            message: f.message,
+        })
+        .collect()
+}
+
+/// Lints the whole workspace tree rooted at `root`.
+pub fn lint_tree(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut rs_files = Vec::new();
+    collect_rs_files(root, root, &mut rs_files)?;
+    rs_files.sort();
+
+    // Per-file scan.
+    let mut unsafe_counts: Vec<(String, UnsafeCounts)> = Vec::new();
+    for rel in &rs_files {
+        let src = fs::read_to_string(root.join(rel))?;
+        let rel_slash = rel.to_string_lossy().replace('\\', "/");
+        let analysis = rules::analyze(&rel_slash, &src);
+        report.files += 1;
+        report.suppressed += analysis.suppressed;
+        for f in analysis.findings {
+            report.findings.push(TreeFinding {
+                file: rel_slash.clone(),
+                line: f.line,
+                rule: f.rule,
+                message: f.message,
+            });
+        }
+        if analysis.unsafe_counts.any() {
+            unsafe_counts.push((rel_slash, analysis.unsafe_counts));
+        }
+    }
+
+    // Ledger reconciliation.
+    let ledger_path = root.join(LEDGER_FILE);
+    let ledger_src = fs::read_to_string(&ledger_path).unwrap_or_default();
+    reconcile_ledger(&ledger_src, &unsafe_counts, &mut report);
+
+    report
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(report)
+}
+
+/// Checks the scanner's per-file unsafe counts against the ledger and
+/// emits findings for every discrepancy.
+pub fn reconcile_ledger(
+    ledger_src: &str,
+    unsafe_counts: &[(String, UnsafeCounts)],
+    report: &mut Report,
+) {
+    let ledger = ledger::parse(ledger_src);
+    for (line, msg) in &ledger.problems {
+        report.findings.push(TreeFinding {
+            file: LEDGER_FILE.to_string(),
+            line: *line,
+            rule: "unledgered-unsafe",
+            message: format!("ledger parse problem: {msg}"),
+        });
+    }
+    for (file, counts) in unsafe_counts {
+        match ledger.entries.get(file) {
+            None => report.findings.push(TreeFinding {
+                file: file.clone(),
+                line: 1,
+                rule: "unledgered-unsafe",
+                message: format!(
+                    "{} unsafe token(s) and {} #[allow(unsafe_code)] \
+                     attribute(s) but no section in {LEDGER_FILE}; add one \
+                     with a justification and a portable cross-check",
+                    counts.unsafe_tokens, counts.allow_attrs
+                ),
+            }),
+            Some(entry) => {
+                if entry.unsafe_tokens != Some(counts.unsafe_tokens)
+                    || entry.allow_attrs != Some(counts.allow_attrs)
+                {
+                    report.findings.push(TreeFinding {
+                        file: file.clone(),
+                        line: 1,
+                        rule: "unledgered-unsafe",
+                        message: format!(
+                            "unsafe census drifted from {LEDGER_FILE}: found \
+                             {} unsafe token(s) / {} allow-attr(s), ledger \
+                             declares {:?} / {:?}; re-review and update the \
+                             ledger entry",
+                            counts.unsafe_tokens,
+                            counts.allow_attrs,
+                            entry.unsafe_tokens,
+                            entry.allow_attrs
+                        ),
+                    });
+                }
+                if entry.justification.is_empty() {
+                    report.findings.push(TreeFinding {
+                        file: LEDGER_FILE.to_string(),
+                        line: entry.line,
+                        rule: "unledgered-unsafe",
+                        message: format!("ledger entry for {file} has no justification"),
+                    });
+                }
+                if entry.cross_check.is_empty() {
+                    report.findings.push(TreeFinding {
+                        file: LEDGER_FILE.to_string(),
+                        line: entry.line,
+                        rule: "unledgered-unsafe",
+                        message: format!(
+                            "ledger entry for {file} has no cross-check \
+                             pointer (portable test or CI job)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // Stale entries: ledgered files with no unsafe left (or gone).
+    for (file, entry) in &ledger.entries {
+        if !unsafe_counts.iter().any(|(f, _)| f == file) {
+            report.findings.push(TreeFinding {
+                file: LEDGER_FILE.to_string(),
+                line: entry.line,
+                rule: "unledgered-unsafe",
+                message: format!(
+                    "stale ledger entry: {file} contains no unsafe code \
+                     (remove the section so the ledger stays exact)"
+                ),
+            });
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, as paths relative to
+/// `root`. Skips build output, VCS metadata, and the lint fixture corpus
+/// (fixtures are deliberately dirty).
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconcile_flags_missing_and_stale_entries() {
+        let counts = vec![(
+            "crates/core/src/table.rs".to_string(),
+            UnsafeCounts {
+                unsafe_tokens: 3,
+                allow_attrs: 3,
+            },
+        )];
+        // Empty ledger: missing entry.
+        let mut report = Report::default();
+        reconcile_ledger("", &counts, &mut report);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "unledgered-unsafe");
+
+        // Matching ledger: clean.
+        let ledger = "\
+## crates/core/src/table.rs
+- unsafe-tokens: 3
+- allow-attrs: 3
+- justification: SIMD.
+- cross-check: portable-scan job.
+";
+        let mut report = Report::default();
+        reconcile_ledger(ledger, &counts, &mut report);
+        assert!(report.clean(), "{:?}", report.findings);
+
+        // Count drift: flagged.
+        let mut report = Report::default();
+        let drifted = ledger.replace("unsafe-tokens: 3", "unsafe-tokens: 2");
+        reconcile_ledger(&drifted, &counts, &mut report);
+        assert_eq!(report.findings.len(), 1);
+
+        // Stale section for a now-safe file: flagged.
+        let mut report = Report::default();
+        reconcile_ledger(ledger, &[], &mut report);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn lint_file_scopes_by_synthetic_path() {
+        let src = "fn decode_x(b: &[u8]) -> u8 { b.first().unwrap() }";
+        assert!(!lint_file("crates/core/src/persist/wal.rs", src).is_empty());
+        assert!(lint_file("crates/core/src/table.rs", src).is_empty());
+    }
+}

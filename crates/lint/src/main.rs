@@ -1,0 +1,66 @@
+//! `streamfreq-lint` — walk the workspace, enforce the unsafe ledger
+//! and the arithmetic-safety/decode-panic lints.
+//!
+//! Usage: `streamfreq-lint [--root DIR]` (default: current directory).
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: streamfreq-lint [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "error: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = match streamfreq_lint::lint_tree(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    let status = if report.clean() { "clean" } else { "FAILED" };
+    println!(
+        "streamfreq-lint: {} file(s) scanned, {} finding(s), {} waived — {status}",
+        report.files,
+        report.findings.len(),
+        report.suppressed
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: unchecked arithmetic, indexing, and narrowing casts over
+//! length-like values in a byte-level decode path — each a historical
+//! corruption-to-panic (or overflow) vector.
+
+pub fn decode_header(buf: &[u8]) -> usize {
+    let len = buf[0] as usize;
+    let total = len + 8;
+    total * 2
+}

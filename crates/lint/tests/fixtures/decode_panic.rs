@@ -1,0 +1,9 @@
+//! Fixture: panicking operations on untrusted bytes inside a decode
+//! function. Under a codec/persist path, streamfreq-lint must demand
+//! Err(Error::Corrupt) instead.
+
+pub fn decode_frame(buf: &[u8]) -> u32 {
+    let first = buf.first().copied().unwrap();
+    assert!(buf.len() > 4);
+    u32::from(first)
+}

@@ -1,0 +1,8 @@
+//! Fixture: the PR-4 bug class. A φ-threshold computed through f64 and
+//! truncated back to an integer silently disagrees with the exact
+//! integer ceiling for large n. streamfreq-lint must flag the cast.
+
+pub fn heavy_hitter_threshold(phi: f64, n: u64) -> u64 {
+    let threshold = (phi * n as f64) as u64;
+    threshold
+}

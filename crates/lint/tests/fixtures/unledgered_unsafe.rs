@@ -1,0 +1,7 @@
+//! Fixture: unsafe code with no UNSAFE_LEDGER.md section. The tree-level
+//! reconciliation must flag the file as unledgered.
+
+#[allow(unsafe_code)]
+pub unsafe fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

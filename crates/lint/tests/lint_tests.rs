@@ -1,0 +1,167 @@
+//! Fixture corpus + tree-cleanliness tests for streamfreq-lint.
+//!
+//! Each fixture under `tests/fixtures/` reintroduces one historical bug
+//! class; the lint must flag every one of them when the source is
+//! presented under the path scope the rule guards. The final test runs
+//! the full tree scan and asserts the workspace itself is clean — the
+//! CI gate in executable form.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use streamfreq_lint::{lint_file, lint_tree, reconcile_ledger, rules, Report};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Workspace root: two levels above this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn float_threshold_fixture_is_flagged_everywhere() {
+    let src = fixture("float_threshold.rs");
+    // The float-threshold rule is not path-scoped: the PR-4 bug lived in
+    // library code, and test assertions built on the same expression are
+    // just as wrong.
+    for path in [
+        "crates/core/src/bounds.rs",
+        "crates/apps/src/decay.rs",
+        "tests/accuracy.rs",
+    ] {
+        let findings = lint_file(path, &src);
+        assert!(
+            findings.iter().any(|f| f.rule == "float-threshold-cast"),
+            "{path}: expected float-threshold-cast, got {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn unledgered_unsafe_fixture_fails_reconciliation() {
+    let src = fixture("unledgered_unsafe.rs");
+    let analysis = rules::analyze("crates/core/src/hashing.rs", &src);
+    assert!(
+        analysis.unsafe_counts.unsafe_tokens >= 2,
+        "the scanner must count both unsafe tokens, got {:?}",
+        analysis.unsafe_counts
+    );
+    assert_eq!(analysis.unsafe_counts.allow_attrs, 1);
+
+    let counts = vec![(
+        "crates/core/src/hashing.rs".to_string(),
+        analysis.unsafe_counts,
+    )];
+    // Against an empty ledger: flagged as unledgered.
+    let mut report = Report::default();
+    reconcile_ledger("", &counts, &mut report);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "unledgered-unsafe"),
+        "expected unledgered-unsafe, got {:?}",
+        report.findings
+    );
+
+    // Against a ledger with drifted counts: still flagged.
+    let stale = "\
+## crates/core/src/hashing.rs
+- unsafe-tokens: 1
+- allow-attrs: 1
+- justification: pretend.
+- cross-check: pretend.
+";
+    let mut report = Report::default();
+    reconcile_ledger(stale, &counts, &mut report);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "unledgered-unsafe" && f.message.contains("drifted")),
+        "expected census drift, got {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn decode_panic_fixture_is_flagged_in_decode_scopes() {
+    let src = fixture("decode_panic.rs");
+    for path in [
+        "crates/core/src/codec.rs",
+        "crates/core/src/item_codec.rs",
+        "crates/core/src/persist/wal.rs",
+    ] {
+        let findings = lint_file(path, &src);
+        assert!(
+            findings.iter().any(|f| f.rule == "decode-panic"),
+            "{path}: expected decode-panic, got {findings:?}"
+        );
+    }
+    // Outside the decode scope the same source is legal (assertions in
+    // engine internals guard programmer errors, not untrusted bytes).
+    assert!(
+        lint_file("crates/core/src/table.rs", &src).is_empty(),
+        "decode-panic must not fire outside the codec/persist scope"
+    );
+}
+
+#[test]
+fn decode_arith_fixture_is_flagged_per_category() {
+    let src = fixture("decode_arith.rs");
+    let findings = lint_file("crates/core/src/persist/checkpoint.rs", &src);
+    for rule in ["decode-index", "decode-arith", "decode-cast"] {
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "expected {rule}, got {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_fixture_is_caught_by_at_least_one_rule() {
+    // Belt and braces: no fixture may rot into a silently-clean file.
+    for name in ["float_threshold.rs", "decode_panic.rs", "decode_arith.rs"] {
+        let src = fixture(name);
+        assert!(
+            !lint_file("crates/core/src/persist/wal.rs", &src).is_empty(),
+            "{name} produced no findings under the decode scope"
+        );
+    }
+    let unsafe_fixture = rules::analyze(
+        "crates/core/src/hashing.rs",
+        &fixture("unledgered_unsafe.rs"),
+    );
+    assert!(unsafe_fixture.unsafe_counts.any());
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "expected the workspace root at {}",
+        root.display()
+    );
+    let report = lint_tree(&root).expect("tree scan");
+    assert!(report.files > 50, "suspiciously few files scanned");
+    assert!(
+        report.clean(),
+        "the workspace must lint clean; findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -75,7 +75,7 @@ fn main() {
     println!();
 
     // Verify the contracts against ground truth.
-    let threshold = (phi * n as f64) as u64;
+    let threshold = streamfreq::phi_threshold(phi, n);
     let true_hh: Vec<u64> = exact
         .iter()
         .filter(|&(_, f)| f > threshold)

@@ -157,7 +157,7 @@ fn heavy_hitter_contracts_on_packet_trace() {
     let n = truth.stream_weight();
     for phi in [0.001, 0.01, 0.05] {
         // thresholds are clamped to the summary's error level by the query
-        let threshold = ((phi * n as f64) as u64).max(s.maximum_error());
+        let threshold = streamfreq::phi_threshold(phi, n).max(s.maximum_error());
         let nfn: Vec<u64> = s
             .heavy_hitters(phi, ErrorType::NoFalseNegatives)
             .iter()

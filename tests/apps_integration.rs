@@ -36,7 +36,7 @@ fn hhh_finds_every_truly_heavy_prefix() {
         }
     }
     let phi = 0.01;
-    let threshold = (phi * n as f64) as u64;
+    let threshold = streamfreq::phi_threshold(phi, n);
     let reported = hhh.hierarchical_heavy_hitters(phi, ErrorType::NoFalseNegatives);
 
     // Exact HHH, most specific level first (same semantics as the app):

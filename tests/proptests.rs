@@ -273,7 +273,7 @@ proptest! {
         let n = exact.stream_weight();
         // The query clamps thresholds to the summary's error level (the
         // summary cannot enumerate items inside its error band).
-        let threshold = ((phi * n as f64) as u64).max(sketch.maximum_error());
+        let threshold = streamfreq::phi_threshold(phi, n).max(sketch.maximum_error());
         let nfn: Vec<u64> = sketch
             .heavy_hitters(phi, streamfreq::ErrorType::NoFalseNegatives)
             .iter().map(|r| r.item).collect();
