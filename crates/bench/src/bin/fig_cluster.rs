@@ -1,0 +1,266 @@
+//! Cluster-mode throughput: sharded wire ingest and merging fan-out
+//! queries against the single-node floor, recorded into
+//! `BENCH_cluster.json`.
+//!
+//! Cluster mode buys horizontal capacity with two taxes: every update
+//! crosses a socket (framing + routing + `INGEST` acks), and every
+//! query pays a full `SNAP` fan-out plus an Algorithm-5 merge of the
+//! per-node engines. This bench puts numbers on both against the
+//! in-process floors they must be judged by:
+//!
+//! * `single_node_direct` — `ShardedSketch::ingest_parallel` on one
+//!   bank: the no-network ingest floor.
+//! * `cluster_ingest` — the real `cluster-ingest` client routing the
+//!   same stream to 3 wire-ingest `serve` nodes over loopback.
+//! * `local_bank_est` — point estimates against one merged bank: the
+//!   no-network query floor.
+//! * `cluster_query_est` — `cluster-query EST`, each query a full
+//!   3-node fan-out + merge (the query tier's cold path).
+//!
+//! ```text
+//! cargo run --release -p streamfreq-bench --bin fig_cluster -- \
+//!     [--updates N] [--json PATH] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the stream and query counts to a CI-sized guard
+//! that the whole cluster stack still runs end to end.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use streamfreq_bench::{parse_flag, print_header};
+use streamfreq_cli::cluster::{
+    run_cluster_ingest, run_cluster_query, ClusterIngestOptions, ClusterQueryOptions,
+};
+use streamfreq_cli::serve::{run_serve, ServeOptions, DEFAULT_REMOTE_TIMEOUT_MS};
+use streamfreq_core::cluster::{NodeSpec, Topology};
+use streamfreq_core::{FreqSketch, FsyncPolicy, PurgePolicy, ShardedSketch};
+use streamfreq_workloads::{save_binary, CaidaConfig, SyntheticCaida};
+
+/// Counter budget per node (and for the single-node floor bank).
+const K: usize = 4_096;
+
+/// Shards per node, matching `streamfreq serve` conventions.
+const SHARDS: usize = 4;
+
+/// Cluster width for the wire modes.
+const NODES: usize = 3;
+
+struct Row {
+    mode: &'static str,
+    ops: u64,
+    seconds: f64,
+    ops_per_sec: f64,
+}
+
+fn row(mode: &'static str, ops: u64, seconds: f64) -> Row {
+    Row {
+        mode,
+        ops,
+        seconds,
+        ops_per_sec: ops as f64 / seconds.max(1e-9),
+    }
+}
+
+/// Spawns one in-process wire-ingest node and returns its address and
+/// join handle (the node exits on `QUIT`).
+fn spawn_node(dir: &Path, id: usize) -> (String, std::thread::JoinHandle<()>) {
+    let port_file = dir.join(format!("port-{id}"));
+    let opts = ServeOptions {
+        port: 0,
+        port_file: Some(port_file.clone()),
+        k: K,
+        policy: PurgePolicy::smed(),
+        seed: 7,
+        threads: 1,
+        shards: SHARDS,
+        passes: 1,
+        snapshot_ms: 5,
+        input: None,
+        data_dir: None,
+        fsync: FsyncPolicy::default(),
+        checkpoint_ms: 0,
+    };
+    let handle = std::thread::spawn(move || {
+        run_serve(&opts).expect("node failed");
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if text.contains(':') {
+                break text.trim().to_string();
+            }
+        }
+        assert!(Instant::now() < deadline, "node {id} never bound");
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    (addr, handle)
+}
+
+fn quit_node(addr: &str) {
+    use std::io::Write;
+    if let Ok(mut conn) = std::net::TcpStream::connect(addr) {
+        let _ = conn.write_all(b"QUIT\n");
+    }
+}
+
+fn results_to_json(updates: usize, ingest: &[Row], query: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"updates\": {updates},\n"));
+    out.push_str(&format!("  \"nodes\": {NODES},\n"));
+    for (section, rows) in [("ingest", ingest), ("query", query)] {
+        out.push_str(&format!("  \"{section}\": [\n"));
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"ops\": {}, \"seconds\": {:.6}, \
+                 \"ops_per_sec\": {:.1}}}{}\n",
+                r.mode,
+                r.ops,
+                r.seconds,
+                r.ops_per_sec,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(if section == "ingest" {
+            "  ],\n"
+        } else {
+            "  ]\n"
+        });
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let updates = if smoke {
+        60_000
+    } else {
+        parse_flag("--updates", 2_000_000)
+    };
+    let queries: usize = if smoke { 25 } else { 200 };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|p| args.get(p + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cluster.json".to_string());
+
+    eprintln!("generating synthetic CAIDA stream: {updates} updates ...");
+    let config = CaidaConfig::scaled(updates);
+    let stream: Vec<(u64, u64)> = SyntheticCaida::new(&config).collect();
+
+    let dir = std::env::temp_dir().join(format!("sf-fig-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let input = dir.join("stream.bin");
+    save_binary(&stream, &input).expect("save stream");
+
+    // Single-node floors.
+    let mut bank: ShardedSketch<u64> = ShardedSketch::builder(SHARDS, K / SHARDS)
+        .policy(PurgePolicy::smed())
+        .seed(7)
+        .build()
+        .expect("bank configuration");
+    let start = Instant::now();
+    bank.update_batch(&stream);
+    let direct = row(
+        "single_node_direct",
+        stream.len() as u64,
+        start.elapsed().as_secs_f64(),
+    );
+
+    let merged = FreqSketch::from(bank.merged_with_capacity(K));
+    let probe: Vec<u64> = stream.iter().rev().take(64).map(|&(i, _)| i).collect();
+    let local_reps = queries * 1_000;
+    let start = Instant::now();
+    let mut sink = 0u64;
+    for q in 0..local_reps {
+        sink ^= merged.estimate(probe[q % probe.len()]);
+    }
+    let local = row(
+        "local_bank_est",
+        local_reps as u64,
+        start.elapsed().as_secs_f64(),
+    );
+    std::hint::black_box(sink);
+
+    // The 3-node cluster over loopback.
+    let spawned: Vec<(String, std::thread::JoinHandle<()>)> =
+        (0..NODES).map(|id| spawn_node(&dir, id)).collect();
+    let nodes: Vec<NodeSpec> = spawned
+        .iter()
+        .enumerate()
+        .map(|(i, (addr, _))| NodeSpec {
+            id: i as u64 + 1,
+            addr: addr.clone(),
+        })
+        .collect();
+    let topology = Topology::new(1, 32, nodes).expect("topology");
+    let topo_path: PathBuf = dir.join("topology.sftopo");
+    std::fs::write(&topo_path, topology.encode()).expect("write topology");
+
+    let start = Instant::now();
+    run_cluster_ingest(&ClusterIngestOptions {
+        topology: topo_path.clone(),
+        input: input.clone(),
+        batch: 4_096,
+        timeout_ms: DEFAULT_REMOTE_TIMEOUT_MS,
+        retries: 2,
+    })
+    .expect("cluster ingest");
+    let wire = row(
+        "cluster_ingest",
+        stream.len() as u64,
+        start.elapsed().as_secs_f64(),
+    );
+
+    let start = Instant::now();
+    for q in 0..queries {
+        let request = vec!["EST".to_string(), probe[q % probe.len()].to_string()];
+        run_cluster_query(&ClusterQueryOptions {
+            topology: topo_path.clone(),
+            k: K,
+            policy: PurgePolicy::smed(),
+            seed: 7,
+            request,
+            timeout_ms: DEFAULT_REMOTE_TIMEOUT_MS,
+            retries: 2,
+        })
+        .expect("cluster query");
+    }
+    let fanout = row(
+        "cluster_query_est",
+        queries as u64,
+        start.elapsed().as_secs_f64(),
+    );
+
+    for (addr, _) in &spawned {
+        quit_node(addr);
+    }
+    for (_, handle) in spawned {
+        let _ = handle.join();
+    }
+
+    let ingest_rows = [direct, wire];
+    let query_rows = [local, fanout];
+    println!("# Cluster mode vs single-node floor ({NODES} nodes, k = {K})");
+    print_header(&["mode", "ops", "seconds", "ops_per_sec"]);
+    for r in ingest_rows.iter().chain(&query_rows) {
+        println!(
+            "{}\t{}\t{:.3}\t{:.3e}",
+            r.mode, r.ops, r.seconds, r.ops_per_sec
+        );
+    }
+
+    let json = results_to_json(updates, &ingest_rows, &query_rows);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -219,7 +219,7 @@ fn run_protocol(
         shards: 4,
         passes: 1,
         snapshot_ms: 20,
-        input: input.clone(),
+        input: Some(input.clone()),
         data_dir,
         fsync: FsyncPolicy::Off,
         checkpoint_ms: 0,

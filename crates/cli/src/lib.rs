@@ -9,6 +9,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod cluster;
 pub mod serve;
 
 use streamfreq_apps::WindowedStore;
@@ -47,15 +48,28 @@ USAGE:
                    --input <stream.tbin> --output <store.wsk>
                    [--retention R] [--policy ...]
   streamfreq window query <store.wsk> --from <t0> --to <t1> [--top N]
-  streamfreq serve -k <counters> --input <stream.bin> [--port P]
+  streamfreq serve -k <counters> [--input <stream.bin>] [--port P]
                    [--port-file PATH] [--threads T] [--shards S]
                    [--passes R] [--snapshot-ms M] [--policy ...] [--seed N]
                    [--data-dir DIR] [--fsync always|off|bytes:N]
                    [--checkpoint-ms M]
-  streamfreq query-remote --port P [--binary] <EST item | TOPK n
+  streamfreq query-remote --port P [--binary] [--timeout-ms M]
+                   [--retries R] <EST item | TOPK n
                    | HH phi [nfp|nfn] | STATS | CKPT | QUIT>
   streamfreq checkpoint --data-dir DIR
   streamfreq recover --data-dir DIR --output <sketch.sk>
+  streamfreq cluster-ingest --topology <cluster.topo> --input <stream.bin>
+                   [--batch N] [--timeout-ms M] [--retries R]
+  streamfreq cluster-query --topology <cluster.topo> -k <counters>
+                   [--policy ...] [--seed N] [--timeout-ms M] [--retries R]
+                   <EST item | TOPK n | HH phi [nfp|nfn] | STATS>
+  streamfreq cluster-serve --topology <cluster.topo> -k <counters>
+                   [--port P] [--port-file PATH] [--refresh-ms M]
+                   [--policy ...] [--seed N] [--timeout-ms M] [--retries R]
+  streamfreq cluster-replicate --port P --dir <replica-dir>
+                   [--no-checkpoint] [--timeout-ms M] [--retries R]
+  streamfreq cluster-promote --topology <cluster.topo> --node ID
+                   --addr HOST:PORT
   streamfreq help
 
 FILES:
@@ -121,6 +135,25 @@ DURABILITY:
   checkpoint compacts an offline store: recover, write a fresh
   checkpoint, truncate the WAL. recover exports a store's merged state
   as an ordinary sketch file.
+
+CLUSTER MODE:
+  A cluster is N `serve` processes started *without* --input (wire-
+  ingest nodes) plus an epoch-versioned topology file (`SFTOPO v1`:
+  node ids, addresses, vnode count) defining a consistent-hash ring.
+  cluster-ingest routes a stream file's updates to their owning nodes
+  in batches over the binary protocol, retrying failed connections
+  with bounded backoff. cluster-query fans a snapshot request out to
+  every node, merges the per-node Algorithm-5 summaries into one bank
+  (same -k/--policy/--seed as the nodes), answers in the text
+  protocol's shape, and appends per-node epochs plus the combined
+  Theorem-5 error band (offsets add, N adds). cluster-serve is a front
+  node answering the text protocol from a periodically refreshed
+  merged view. cluster-replicate copies a durable node's store
+  (checkpoint + WAL tail) over the wire into a local directory that
+  `serve --data-dir` can recover — a replica in warm standby.
+  cluster-promote rewrites a topology entry's address (epoch + 1), so
+  routing is unchanged (identity is the node id) and a promoted
+  replica takes over its failed leader's slot.
 ";
 
 /// A parsed command line.
@@ -239,6 +272,29 @@ pub enum Command {
         /// Speak the framed `SFBP` binary protocol instead of newline
         /// text (the reply prints identically either way).
         binary: bool,
+        /// Connect/read/write timeout in milliseconds (0 = block
+        /// forever, the historical behavior).
+        timeout_ms: u64,
+        /// Extra connection attempts on failure, with doubling backoff.
+        retries: u32,
+    },
+    /// Route a stream file's updates to their owning cluster nodes.
+    ClusterIngest(cluster::ClusterIngestOptions),
+    /// Fan one query out to every cluster node and merge the answers.
+    ClusterQuery(cluster::ClusterQueryOptions),
+    /// Front node: serve merged cluster answers over the text protocol.
+    ClusterServe(cluster::ClusterServeOptions),
+    /// Copy a durable node's store (checkpoint + WAL tail) over the
+    /// wire into a local replica directory.
+    ClusterReplicate(cluster::ClusterReplicateOptions),
+    /// Rewrite a topology entry's address (replica promotion).
+    ClusterPromote {
+        /// The topology file to rewrite in place.
+        topology: PathBuf,
+        /// Id of the node being re-addressed.
+        node: u64,
+        /// The replacement address (`HOST:PORT`).
+        addr: String,
     },
     /// Range-merge query over a windowed bucket store.
     WindowQuery {
@@ -321,6 +377,22 @@ fn required<'a>(args: &'a [String], flag: &str, cmd: &str) -> Result<&'a str, Cl
 fn parse_u64(s: &str, what: &str) -> Result<u64, CliError> {
     s.parse()
         .map_err(|_| CliError::Usage(format!("bad {what} `{s}`")))
+}
+
+/// The shared `--timeout-ms` / `--retries` pair of the cluster verbs.
+/// Cluster clients default to a couple of retries: a node restarting
+/// under promotion is expected, not exceptional.
+fn cluster_net_flags(rest: &[String]) -> Result<(u64, u32), CliError> {
+    let timeout_ms = match flag_value(rest, "--timeout-ms") {
+        Some(s) => parse_u64(s, "timeout")?,
+        None => serve::DEFAULT_REMOTE_TIMEOUT_MS,
+    };
+    let retries = match flag_value(rest, "--retries") {
+        Some(s) => u32::try_from(parse_u64(s, "retry count")?)
+            .map_err(|_| CliError::Usage("retry count too large".into()))?,
+        None => 2,
+    };
+    Ok((timeout_ms, retries))
 }
 
 /// Parses a command line (without the program name).
@@ -497,7 +569,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         "serve" => {
             let k = parse_u64(required(rest, "-k", "serve")?, "counter count")? as usize;
-            let input = PathBuf::from(required(rest, "--input", "serve")?);
+            let input = flag_value(rest, "--input").map(PathBuf::from);
             let port = match flag_value(rest, "--port") {
                 Some(s) => {
                     let p = parse_u64(s, "port")?;
@@ -600,13 +672,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 let p = parse_u64(port_value, "port")?;
                 u16::try_from(p).map_err(|_| CliError::Usage(format!("port {p} > 65535")))?
             };
-            // Everything except the --port pair and --binary flag is
-            // the protocol request.
+            let timeout_ms = match flag_value(rest, "--timeout-ms") {
+                Some(s) => parse_u64(s, "timeout")?,
+                None => serve::DEFAULT_REMOTE_TIMEOUT_MS,
+            };
+            let retries = match flag_value(rest, "--retries") {
+                Some(s) => u32::try_from(parse_u64(s, "retry count")?)
+                    .map_err(|_| CliError::Usage("retry count too large".into()))?,
+                None => 0,
+            };
+            // Everything except the flag pairs and --binary is the
+            // protocol request.
             let mut request = Vec::new();
             let mut binary = false;
             let mut iter = rest.iter();
             while let Some(arg) = iter.next() {
-                if arg == "--port" {
+                if arg == "--port" || arg == "--timeout-ms" || arg == "--retries" {
                     iter.next();
                     continue;
                 }
@@ -626,6 +707,140 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 port,
                 request,
                 binary,
+                timeout_ms,
+                retries,
+            })
+        }
+        "cluster-ingest" => {
+            let topology = PathBuf::from(required(rest, "--topology", "cluster-ingest")?);
+            let input = PathBuf::from(required(rest, "--input", "cluster-ingest")?);
+            let batch = match flag_value(rest, "--batch") {
+                Some(s) => {
+                    let b = parse_u64(s, "batch size")? as usize;
+                    if b == 0 {
+                        return Err(CliError::Usage("--batch must be positive".into()));
+                    }
+                    b
+                }
+                None => cluster::DEFAULT_INGEST_BATCH,
+            };
+            let (timeout_ms, retries) = cluster_net_flags(rest)?;
+            Ok(Command::ClusterIngest(cluster::ClusterIngestOptions {
+                topology,
+                input,
+                batch,
+                timeout_ms,
+                retries,
+            }))
+        }
+        "cluster-query" => {
+            let topology = PathBuf::from(required(rest, "--topology", "cluster-query")?);
+            let k = parse_u64(required(rest, "-k", "cluster-query")?, "counter count")? as usize;
+            let policy = match flag_value(rest, "--policy") {
+                Some(p) => parse_policy(p)?,
+                None => PurgePolicy::smed(),
+            };
+            let seed = match flag_value(rest, "--seed") {
+                Some(s) => parse_u64(s, "seed")?,
+                None => streamfreq_core::sketch::DEFAULT_SEED,
+            };
+            let (timeout_ms, retries) = cluster_net_flags(rest)?;
+            // Everything not consumed by a flag pair is the query.
+            let flags_with_value = [
+                "--topology",
+                "-k",
+                "--policy",
+                "--seed",
+                "--timeout-ms",
+                "--retries",
+            ];
+            let mut request = Vec::new();
+            let mut iter = rest.iter();
+            while let Some(arg) = iter.next() {
+                if flags_with_value.contains(&arg.as_str()) {
+                    iter.next();
+                    continue;
+                }
+                request.push(arg.clone());
+            }
+            if request.is_empty() {
+                return Err(CliError::Usage(
+                    "cluster-query requires a request (EST item | TOPK n | HH phi | STATS)".into(),
+                ));
+            }
+            Ok(Command::ClusterQuery(cluster::ClusterQueryOptions {
+                topology,
+                k,
+                policy,
+                seed,
+                request,
+                timeout_ms,
+                retries,
+            }))
+        }
+        "cluster-serve" => {
+            let topology = PathBuf::from(required(rest, "--topology", "cluster-serve")?);
+            let k = parse_u64(required(rest, "-k", "cluster-serve")?, "counter count")? as usize;
+            let policy = match flag_value(rest, "--policy") {
+                Some(p) => parse_policy(p)?,
+                None => PurgePolicy::smed(),
+            };
+            let seed = match flag_value(rest, "--seed") {
+                Some(s) => parse_u64(s, "seed")?,
+                None => streamfreq_core::sketch::DEFAULT_SEED,
+            };
+            let port = match flag_value(rest, "--port") {
+                Some(s) => {
+                    let p = parse_u64(s, "port")?;
+                    u16::try_from(p).map_err(|_| CliError::Usage(format!("port {p} > 65535")))?
+                }
+                None => 0,
+            };
+            let port_file = flag_value(rest, "--port-file").map(PathBuf::from);
+            let refresh_ms = match flag_value(rest, "--refresh-ms") {
+                Some(s) => parse_u64(s, "refresh interval")?,
+                None => 100,
+            };
+            let (timeout_ms, retries) = cluster_net_flags(rest)?;
+            Ok(Command::ClusterServe(cluster::ClusterServeOptions {
+                topology,
+                k,
+                policy,
+                seed,
+                port,
+                port_file,
+                refresh_ms,
+                timeout_ms,
+                retries,
+            }))
+        }
+        "cluster-replicate" => {
+            let port_value = required(rest, "--port", "cluster-replicate")?;
+            let port = {
+                let p = parse_u64(port_value, "port")?;
+                u16::try_from(p).map_err(|_| CliError::Usage(format!("port {p} > 65535")))?
+            };
+            let dir = PathBuf::from(required(rest, "--dir", "cluster-replicate")?);
+            let checkpoint = !rest.iter().any(|a| a == "--no-checkpoint");
+            let (timeout_ms, retries) = cluster_net_flags(rest)?;
+            Ok(Command::ClusterReplicate(
+                cluster::ClusterReplicateOptions {
+                    port,
+                    dir,
+                    checkpoint,
+                    timeout_ms,
+                    retries,
+                },
+            ))
+        }
+        "cluster-promote" => {
+            let topology = PathBuf::from(required(rest, "--topology", "cluster-promote")?);
+            let node = parse_u64(required(rest, "--node", "cluster-promote")?, "node id")?;
+            let addr = required(rest, "--addr", "cluster-promote")?.to_string();
+            Ok(Command::ClusterPromote {
+                topology,
+                node,
+                addr,
             })
         }
         "window" => {
@@ -1313,7 +1528,18 @@ pub fn run(command: &Command) -> Result<String, CliError> {
             port,
             request,
             binary,
-        } => serve::run_query_remote(*port, request, *binary),
+            timeout_ms,
+            retries,
+        } => serve::run_query_remote(*port, request, *binary, *timeout_ms, *retries),
+        Command::ClusterIngest(options) => cluster::run_cluster_ingest(options),
+        Command::ClusterQuery(options) => cluster::run_cluster_query(options),
+        Command::ClusterServe(options) => cluster::run_cluster_serve(options),
+        Command::ClusterReplicate(options) => cluster::run_cluster_replicate(options),
+        Command::ClusterPromote {
+            topology,
+            node,
+            addr,
+        } => cluster::run_cluster_promote(topology, *node, addr),
         Command::Checkpoint { data_dir } => run_store_checkpoint(data_dir),
         Command::Recover { data_dir, output } => run_store_recover(data_dir, output),
         Command::WindowQuery {
@@ -1841,7 +2067,7 @@ mod tests {
                 shards: 4,
                 passes: 3,
                 snapshot_ms: 25,
-                input: PathBuf::from("s.bin"),
+                input: Some(PathBuf::from("s.bin")),
                 data_dir: None,
                 fsync: streamfreq_core::FsyncPolicy::default(),
                 checkpoint_ms: 0,
@@ -1854,10 +2080,20 @@ mod tests {
                 port: 7070,
                 request: vec!["EST".into(), "42".into()],
                 binary: false,
+                timeout_ms: serve::DEFAULT_REMOTE_TIMEOUT_MS,
+                retries: 0,
             }
         );
         assert!(parse_args(&args("serve --input s.bin")).is_err(), "no -k");
-        assert!(parse_args(&args("serve -k 8")).is_err(), "no --input");
+        // No --input is cluster-node mode, not an error.
+        let node = parse_args(&args("serve -k 8")).unwrap();
+        assert!(
+            matches!(
+                node,
+                Command::Serve(serve::ServeOptions { input: None, .. })
+            ),
+            "{node:?}"
+        );
         assert!(parse_args(&args("serve -k 8 --input s.bin --port 70000")).is_err());
         assert!(parse_args(&args("serve -k 8 --input s.bin --passes 0")).is_err());
         assert!(
@@ -1941,7 +2177,7 @@ mod tests {
             shards: 4,
             passes,
             snapshot_ms: 10,
-            input: stream_path.clone(),
+            input: Some(stream_path.clone()),
             data_dir: None,
             fsync: streamfreq_core::FsyncPolicy::default(),
             checkpoint_ms: 0,
@@ -2026,6 +2262,8 @@ mod tests {
             port,
             request: vec!["STATS".into()],
             binary: false,
+            timeout_ms: serve::DEFAULT_REMOTE_TIMEOUT_MS,
+            retries: 0,
         })
         .unwrap();
         assert_eq!(stats_field(remote.trim(), "ingest_done"), 1);
@@ -2033,6 +2271,8 @@ mod tests {
             port,
             request: vec!["TOPK".into(), "2".into()],
             binary: false,
+            timeout_ms: serve::DEFAULT_REMOTE_TIMEOUT_MS,
+            retries: 0,
         })
         .unwrap();
         assert_eq!(remote_top.lines().count(), 3, "{remote_top}");
@@ -2042,6 +2282,8 @@ mod tests {
             port,
             request: vec!["QUIT".into()],
             binary: false,
+            timeout_ms: serve::DEFAULT_REMOTE_TIMEOUT_MS,
+            retries: 0,
         })
         .unwrap();
         assert!(bye.starts_with("OK bye"), "{bye}");
@@ -2096,7 +2338,7 @@ mod tests {
             shards: 2,
             passes: 1,
             snapshot_ms: 10,
-            input: stream_path.clone(),
+            input: Some(stream_path.clone()),
             data_dir: None,
             fsync: streamfreq_core::FsyncPolicy::default(),
             checkpoint_ms: 0,
@@ -2191,6 +2433,8 @@ mod tests {
             port,
             request: vec!["EST".into(), heaviest.to_string()],
             binary: true,
+            timeout_ms: serve::DEFAULT_REMOTE_TIMEOUT_MS,
+            retries: 0,
         })
         .unwrap();
         assert_eq!(remote.trim(), text_est[0], "binary EST rendering");
@@ -2198,6 +2442,8 @@ mod tests {
             port,
             request: vec!["STATS".into()],
             binary: true,
+            timeout_ms: serve::DEFAULT_REMOTE_TIMEOUT_MS,
+            retries: 0,
         })
         .unwrap();
         assert!(remote_stats.contains("protocol=binary"), "{remote_stats}");
@@ -2207,6 +2453,8 @@ mod tests {
             port,
             request: vec!["QUIT".into()],
             binary: true,
+            timeout_ms: serve::DEFAULT_REMOTE_TIMEOUT_MS,
+            retries: 0,
         })
         .unwrap();
         assert!(bye.starts_with("OK bye"), "{bye}");
@@ -2255,7 +2503,7 @@ mod tests {
             shards: 4,
             passes: 1,
             snapshot_ms: 0,
-            input: stream_path.clone(),
+            input: Some(stream_path.clone()),
             data_dir: None,
             fsync: streamfreq_core::FsyncPolicy::default(),
             checkpoint_ms: 0,
@@ -2375,7 +2623,7 @@ mod tests {
             shards: 4,
             passes,
             snapshot_ms: 10,
-            input: stream_path.to_path_buf(),
+            input: Some(stream_path.to_path_buf()),
             data_dir: Some(data_dir.to_path_buf()),
             fsync: streamfreq_core::FsyncPolicy::Off,
             checkpoint_ms: 25,
@@ -2497,6 +2745,8 @@ mod tests {
             port,
             request: vec!["QUIT".into()],
             binary: false,
+            timeout_ms: serve::DEFAULT_REMOTE_TIMEOUT_MS,
+            retries: 0,
         })
         .unwrap();
         let report = server.join().unwrap();

@@ -69,14 +69,17 @@
 //! port, not an internet-facing service.
 
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use streamfreq_core::persist::{DurabilityOptions, FsyncPolicy};
-use streamfreq_core::{ConcurrentSketch, ErrorType, PurgePolicy, Row, SnapshotReader};
+use streamfreq_core::cluster::wire as cluster_wire;
+use streamfreq_core::persist::{self, DurabilityOptions, FsyncPolicy};
+use streamfreq_core::{
+    ConcurrentSketch, ConcurrentWriter, ErrorType, PurgePolicy, Row, SnapshotReader,
+};
 use streamfreq_workloads::load_binary;
 
 use crate::CliError;
@@ -90,9 +93,11 @@ const MAX_TOPK: usize = 100_000;
 /// The four bytes a binary-protocol client sends first.
 pub const BINARY_MAGIC: &[u8; 4] = b"SFBP";
 
-/// Sanity cap on one request frame (a request is at most an opcode and
-/// a few scalars; anything bigger is a corrupt or hostile stream).
-const MAX_REQUEST_FRAME: usize = 1 << 16;
+/// Sanity cap on one request frame. `INGEST` legitimately carries up to
+/// [`MAX_INGEST_BATCH`](cluster_wire::MAX_INGEST_BATCH) update pairs, so
+/// the header-level cap admits that; every other opcode's handler still
+/// rejects payloads beyond its own few-scalar shape.
+const MAX_REQUEST_FRAME: usize = 1 << 24;
 
 /// Stop reading from a connection whose client is not draining replies
 /// once this much output is queued; resume when it drains.
@@ -103,13 +108,20 @@ const WRITE_HIGH_WATER: usize = 8 << 20;
 const READ_QUANTUM: usize = 1 << 20;
 
 /// Binary request opcodes (also the `query-remote --binary` encoding).
-mod opcode {
+/// `0x07..=0x0A` are the cluster extension: snapshot export for the
+/// merging query tier, file shipping for replicas, and wire ingest for
+/// the routing client.
+pub(crate) mod opcode {
     pub const EST: u8 = 0x01;
     pub const TOPK: u8 = 0x02;
     pub const HH: u8 = 0x03;
     pub const STATS: u8 = 0x04;
     pub const CKPT: u8 = 0x05;
     pub const QUIT: u8 = 0x06;
+    pub const SNAP: u8 = 0x07;
+    pub const REPL: u8 = 0x08;
+    pub const FETCH: u8 = 0x09;
+    pub const INGEST: u8 = 0x0A;
 }
 
 /// Configuration of one `streamfreq serve` run.
@@ -139,8 +151,11 @@ pub struct ServeOptions {
     /// Periodic snapshot publish interval in milliseconds (0 = publish
     /// only at drain).
     pub snapshot_ms: u64,
-    /// Input stream file (16-byte `(item, weight)` records).
-    pub input: PathBuf,
+    /// Input stream file (16-byte `(item, weight)` records). `None`
+    /// runs the server as a **cluster ingest node**: nothing is read
+    /// from disk and updates arrive over the wire via the binary
+    /// `INGEST` opcode instead (see `cluster-ingest`).
+    pub input: Option<PathBuf>,
     /// Durable store directory: shared group-commit WAL + checkpoints,
     /// recovered on startup. `None` = in-memory serving.
     pub data_dir: Option<PathBuf>,
@@ -159,6 +174,12 @@ struct ServeCtx {
     num_shards: usize,
     /// The fsync-policy label when serving durably (`--data-dir`).
     fsync_label: Option<String>,
+    /// The durable store directory, for `REPL`/`FETCH` file shipping.
+    data_dir: Option<PathBuf>,
+    /// Wire-ingest writer, present only in cluster-node mode (no
+    /// `--input`). Taken (dropped) after the event loop exits so the
+    /// ingest thread's `drain()` can join the shard workers.
+    writer: Mutex<Option<ConcurrentWriter<u64>>>,
 }
 
 /// Runs the server until a client sends `QUIT`; returns the final text
@@ -168,7 +189,15 @@ struct ServeCtx {
 /// Returns [`CliError`] for unreadable inputs, invalid sketch
 /// configuration, or socket failures.
 pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
-    let stream = load_binary(&opts.input).map_err(|e| CliError::Io(opts.input.clone(), e))?;
+    let stream = match &opts.input {
+        Some(input) => Some(load_binary(input).map_err(|e| CliError::Io(input.clone(), e))?),
+        None => None,
+    };
+    // Error-context label: the input path, or a marker in node mode.
+    let origin = opts
+        .input
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("<wire-ingest>"));
     let threads = opts.threads.max(1);
     let num_shards = if opts.shards > 0 {
         opts.shards
@@ -185,9 +214,7 @@ pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
     }
     let (sketch, recovered_weight) = match &opts.data_dir {
         None => {
-            let sketch = builder
-                .build()
-                .map_err(|e| CliError::Sketch(opts.input.clone(), e))?;
+            let sketch = builder.build().map_err(|e| CliError::Sketch(origin, e))?;
             (sketch, 0)
         }
         Some(dir) => {
@@ -205,6 +232,8 @@ pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
         }
     };
     let snapshot_reader = sketch.reader();
+    // In node mode the event loop feeds updates into the bank itself.
+    let wire_writer = opts.input.is_none().then(|| sketch.writer());
 
     let listener = TcpListener::bind(("127.0.0.1", opts.port))
         .map_err(|e| CliError::Net("127.0.0.1".into(), e))?;
@@ -226,20 +255,34 @@ pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
         queries: AtomicU64::new(0),
         num_shards,
         fsync_label: opts.data_dir.is_some().then(|| opts.fsync.label()),
+        data_dir: opts.data_dir.clone(),
+        writer: Mutex::new(wire_writer),
     };
 
     // Ingestion runs beside the event loop; queries observe its
-    // progress through snapshots. QUIT aborts between passes.
+    // progress through snapshots. QUIT aborts between passes. In node
+    // mode (no input file) updates arrive through the event loop's
+    // `INGEST` handler instead, so this thread only parks until stop
+    // and then drains the bank for the final sealed snapshot.
     let ingest = {
         let stop = Arc::clone(&stop);
         let passes = opts.passes.max(1);
         std::thread::spawn(move || {
             let mut sketch = sketch;
-            for _ in 0..passes {
-                if stop.load(Ordering::SeqCst) {
-                    break;
+            match stream {
+                Some(stream) => {
+                    for _ in 0..passes {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        sketch.ingest_slice_parallel(&stream, threads);
+                    }
                 }
-                sketch.ingest_slice_parallel(&stream, threads);
+                None => {
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                }
             }
             sketch.drain();
         })
@@ -288,6 +331,9 @@ pub fn run_serve(opts: &ServeOptions) -> Result<String, CliError> {
         conn.flush_best_effort();
     }
     drop(conns);
+    // The wire writer holds shard-channel senders; it must drop before
+    // the ingest thread's drain() can join the shard workers.
+    ctx.writer.lock().expect("writer mutex poisoned").take();
     ingest.join().expect("ingest thread panicked");
     if let Some(error) = accept_error {
         return Err(error);
@@ -631,6 +677,87 @@ fn handle_binary_request(op: u8, payload: &[u8], ctx: &ServeCtx, out: &mut Vec<u
                 None => push_err_frame(out, "checkpoint unavailable (draining?)"),
             }
         }
+        opcode::SNAP => {
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
+            if !payload.is_empty() {
+                push_err_frame(out, "SNAP takes no payload");
+                return false;
+            }
+            let snap = ctx.reader.snapshot();
+            let body = cluster_wire::encode_snapshot(snap.epoch(), snap.is_sealed(), snap.engine());
+            push_frame(out, 0, |p| p.extend_from_slice(&body));
+        }
+        opcode::REPL => {
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
+            if !payload.is_empty() {
+                push_err_frame(out, "REPL takes no payload");
+                return false;
+            }
+            let Some(dir) = &ctx.data_dir else {
+                push_err_frame(out, "server is not durable (start with --data-dir)");
+                return false;
+            };
+            // Push buffered wire writes into the bank and force the WAL
+            // to disk first, so the manifest advertises a durable state
+            // at least as fresh as every acknowledged INGEST.
+            if let Some(writer) = ctx.writer.lock().expect("writer mutex poisoned").as_mut() {
+                writer.flush();
+            }
+            if let Err(e) = ctx.reader.sync() {
+                push_err_frame(out, &format!("wal sync failed: {e}"));
+                return false;
+            }
+            match persist::export_manifest(dir).and_then(|files| {
+                cluster_wire::encode_file_list(&files)
+                    .map_err(streamfreq_core::PersistError::Sketch)
+            }) {
+                Ok(body) => push_frame(out, 0, |p| p.extend_from_slice(&body)),
+                Err(e) => push_err_frame(out, &format!("manifest export failed: {e}")),
+            }
+        }
+        opcode::FETCH => {
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
+            let Some(dir) = &ctx.data_dir else {
+                push_err_frame(out, "server is not durable (start with --data-dir)");
+                return false;
+            };
+            let (offset, rel) = match cluster_wire::decode_fetch_request(payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    push_err_frame(out, &format!("bad FETCH payload: {e}"));
+                    return false;
+                }
+            };
+            match persist::read_file_range(dir, &rel, offset) {
+                Ok(bytes) => push_frame(out, 0, |p| p.extend_from_slice(&bytes)),
+                Err(e) => push_err_frame(out, &format!("fetch failed: {e}")),
+            }
+        }
+        opcode::INGEST => {
+            ctx.queries.fetch_add(1, Ordering::Relaxed);
+            let batch = match cluster_wire::decode_ingest_batch(payload) {
+                Ok(batch) => batch,
+                Err(e) => {
+                    push_err_frame(out, &format!("bad INGEST payload: {e}"));
+                    return false;
+                }
+            };
+            let mut guard = ctx.writer.lock().expect("writer mutex poisoned");
+            let Some(writer) = guard.as_mut() else {
+                push_err_frame(
+                    out,
+                    "wire ingest disabled (server was started with --input)",
+                );
+                return false;
+            };
+            for &(item, weight) in &batch {
+                writer.write(item, weight);
+            }
+            writer.flush();
+            push_frame(out, 0, |p| {
+                p.extend_from_slice(&(batch.len() as u64).to_le_bytes());
+            });
+        }
         opcode::QUIT => {
             push_frame(out, 0, |p| p.extend_from_slice(b"bye"));
             return true;
@@ -875,17 +1002,73 @@ fn format_binary_response(command: &str, status: u8, payload: &[u8]) -> String {
     rendered.unwrap_or_else(|| "ERR malformed response payload\n".into())
 }
 
+/// Connects to `addr` with a connect timeout, retrying failed
+/// *connection attempts* up to `retries` extra times with doubling
+/// backoff (50 ms, 100 ms, … capped at 1 s). Only establishment is
+/// retried — once connected, a request is sent at most once, so a
+/// timeout mid-exchange can never double-apply an `INGEST`. The
+/// read/write timeouts are installed on the returned stream.
+pub(crate) fn connect_with_retry(
+    addr: &SocketAddr,
+    timeout: Duration,
+    retries: u32,
+) -> std::io::Result<TcpStream> {
+    let mut backoff = Duration::from_millis(50);
+    let mut attempt = 0u32;
+    loop {
+        match TcpStream::connect_timeout(addr, timeout) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(timeout))?;
+                stream.set_write_timeout(Some(timeout))?;
+                return Ok(stream);
+            }
+            Err(e) if attempt >= retries => return Err(e),
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// The default `query-remote` connect/read/write timeout.
+pub const DEFAULT_REMOTE_TIMEOUT_MS: u64 = 10_000;
+
 /// Sends one protocol request to a local `streamfreq serve` instance
 /// and returns the full response (header plus any rows). With `binary`
 /// set it speaks the `SFBP` framed protocol and renders the reply in
 /// the text shape, so both modes print interchangeably.
 ///
+/// `timeout_ms` bounds connecting *and* every read/write (0 = wait
+/// forever, the historical behavior); `retries` re-attempts failed
+/// connections with doubling backoff. A server that accepts the
+/// connection but never replies now yields a timeout error instead of
+/// hanging the client for good.
+///
 /// # Errors
-/// Returns [`CliError::Net`] if the connection or the exchange fails.
-pub fn run_query_remote(port: u16, request: &[String], binary: bool) -> Result<String, CliError> {
+/// Returns [`CliError::Net`] if the connection or the exchange fails
+/// or times out.
+pub fn run_query_remote(
+    port: u16,
+    request: &[String],
+    binary: bool,
+    timeout_ms: u64,
+    retries: u32,
+) -> Result<String, CliError> {
     let addr = format!("127.0.0.1:{port}");
     let net = |e: std::io::Error| CliError::Net(addr.clone(), e);
-    let mut conn = TcpStream::connect(&addr).map_err(net)?;
+    let socket_addr: SocketAddr = addr.parse().map_err(|_| {
+        CliError::Net(
+            addr.clone(),
+            std::io::Error::new(ErrorKind::InvalidInput, "bad address"),
+        )
+    })?;
+    let mut conn = if timeout_ms > 0 {
+        connect_with_retry(&socket_addr, Duration::from_millis(timeout_ms), retries).map_err(net)?
+    } else {
+        TcpStream::connect(&addr).map_err(net)?
+    };
     if binary {
         let mut wire = BINARY_MAGIC.to_vec();
         encode_binary_request(request, &mut wire)?;

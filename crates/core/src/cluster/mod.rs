@@ -1,0 +1,46 @@
+//! Distributed cluster mode: consistent-hash partitioning across N
+//! ingest nodes, with merging fan-out queries and WAL-shipped replicas.
+//!
+//! Algorithm 5 makes the sketch *mergeable* with additive error
+//! accounting (Theorem 5): merging per-node summaries adds their
+//! offsets and their stream weights, nothing else. That is exactly the
+//! primitive that makes horizontal scale-out honest rather than
+//! heuristic — a cluster of N ingest nodes, each sketching its slice of
+//! the keyspace, answers any EST/TOPK/HH query by merging the N
+//! per-node snapshots into one bank whose error band is *certified*,
+//! not estimated.
+//!
+//! ## Pieces
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`ring`] | consistent-hash ring with virtual nodes: deterministic key → node routing, minimal remapping on membership change |
+//! | [`topology`] | the explicit, epoch-versioned cluster membership file (`SFTOPO v1`): node ids, addresses, ring width |
+//! | [`wire`] | payload codecs for the cluster extension opcodes of the SFBP binary protocol (snapshot export, file shipping, wire ingest) |
+//!
+//! ## Division of labor
+//!
+//! This module is pure data-plane logic — hashing, routing, and byte
+//! codecs — with no sockets and no threads, so it unit-tests without a
+//! cluster. The actual processes (ingest routing client, merging query
+//! tier, WAL-shipping replication) live in the `streamfreq` CLI
+//! (`cluster-ingest`, `cluster-query`, `cluster-serve`,
+//! `cluster-replicate`, `cluster-promote` verbs), which composes these
+//! parts with the existing serving loop and the
+//! [`crate::persist`] recovery contract.
+//!
+//! ## Trust model
+//!
+//! Topology files and fan-out response payloads are *untrusted input*:
+//! [`topology::Topology::parse`] and every `wire::decode_*` function
+//! follow the same defensive-decode discipline as the sketch codec
+//! (explicit `Err(Corrupt)`/`Err(Truncated)`, no panics, no unchecked
+//! arithmetic), enforced by `streamfreq-lint`.
+
+pub mod ring;
+pub mod topology;
+pub mod wire;
+
+pub use ring::HashRing;
+pub use topology::{NodeSpec, Topology};
+pub use wire::NodeSnapshot;

@@ -1,0 +1,172 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! The keyspace is the full `u64` hash circle. Every node contributes
+//! `vnodes` points to the circle, each placed at the stable hash of
+//! `(node id, replica index)`; a key is owned by the first point at or
+//! clockwise-after the key's own position (wrapping at the top). Two
+//! consequences fall straight out of the construction:
+//!
+//! * **Determinism.** Placement depends only on node *ids* and the
+//!   vnode count — both recorded in the topology file — so every
+//!   process (ingest clients, query tiers, the nodes themselves)
+//!   computes identical routes, across restarts and machines.
+//! * **Minimal remapping.** Removing a node removes only that node's
+//!   points: a key whose owning point belonged to a *different* node
+//!   keeps its owner exactly, so only ≈ 1/N of keys move (the removed
+//!   node's arc mass). Adding a node is symmetric.
+//!
+//! The key's ring position is a *re-mixed* hash, decorrelated from the
+//! bits [`shard_of`](crate::concurrent) uses for intra-node shard
+//! routing: node arcs partition the circle into intervals, and without
+//! the re-mix a node owning few arcs would see its keys' high hash bits
+//! concentrated in those intervals, skewing its internal shard balance.
+
+use crate::hashing::Hash64;
+use crate::rng::split_mix64_mix;
+
+/// Salt decorrelating ring positions from the item hash itself (and
+/// from the upper bits `shard_of` consumes inside each node).
+const RING_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The ring position of an item key.
+#[inline]
+pub fn key_point<K: Hash64 + ?Sized>(key: &K) -> u64 {
+    split_mix64_mix(key.hash64() ^ RING_SALT)
+}
+
+/// The ring position of virtual node `replica` of node `node_id`.
+#[inline]
+pub fn vnode_point(node_id: u64, replica: u32) -> u64 {
+    (node_id, u64::from(replica)).hash64()
+}
+
+/// A consistent-hash ring over a fixed node set.
+///
+/// Build one from a [`crate::cluster::Topology`] (via
+/// [`Topology::ring`](crate::cluster::Topology::ring)) or directly from
+/// node ids. Owners are reported as *indices into the node list the
+/// ring was built from*, so callers can carry addresses or sketch
+/// handles in a parallel slice.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// Sorted `(position, node index)` points. Ties sort by node index,
+    /// so even colliding vnode positions resolve deterministically.
+    points: Vec<(u64, u32)>,
+    num_nodes: usize,
+}
+
+impl HashRing {
+    /// Builds the ring: `vnodes` points for each id in `node_ids`.
+    ///
+    /// # Panics
+    /// Panics if `node_ids` is empty, holds more than `u32::MAX`
+    /// entries, or `vnodes` is zero — a ring with no points cannot
+    /// route. (Topology validation rejects these before a file-driven
+    /// path can reach here.)
+    pub fn build(node_ids: &[u64], vnodes: u32) -> HashRing {
+        assert!(!node_ids.is_empty(), "ring needs at least one node");
+        assert!(vnodes > 0, "ring needs at least one vnode per node");
+        assert!(u32::try_from(node_ids.len()).is_ok(), "too many nodes");
+        let mut points = Vec::with_capacity(node_ids.len() * vnodes as usize);
+        for (index, &id) in node_ids.iter().enumerate() {
+            for replica in 0..vnodes {
+                points.push((vnode_point(id, replica), index as u32));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            num_nodes: node_ids.len(),
+        }
+    }
+
+    /// Number of nodes the ring was built from.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total points on the circle (nodes × vnodes).
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The node index owning ring position `point`: the first vnode at
+    /// or clockwise-after it, wrapping at the top of the circle.
+    pub fn owner_of_point(&self, point: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < point);
+        let (_, node) = if i == self.points.len() {
+            self.points[0]
+        } else {
+            self.points[i]
+        };
+        node as usize
+    }
+
+    /// The node index owning item `key`.
+    pub fn route<K: Hash64 + ?Sized>(&self, key: &K) -> usize {
+        self.owner_of_point(key_point(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let ids = [11u64, 22, 33];
+        let a = HashRing::build(&ids, 16);
+        let b = HashRing::build(&ids, 16);
+        for key in 0u64..1000 {
+            let owner = a.route(&key);
+            assert!(owner < 3);
+            assert_eq!(owner, b.route(&key), "two builds diverged on {key}");
+        }
+    }
+
+    #[test]
+    fn removal_only_remaps_the_removed_nodes_keys() {
+        let ids = [1u64, 2, 3, 4, 5];
+        let full = HashRing::build(&ids, 32);
+        let reduced_ids: Vec<u64> = ids.iter().copied().filter(|&id| id != 3).collect();
+        let reduced = HashRing::build(&reduced_ids, 32);
+        let removed_index = 2; // id 3 in the full list
+        for key in 0u64..4000 {
+            let before = full.route(&key);
+            let after = reduced.route(&key);
+            if before != removed_index {
+                // Survivor-owned keys keep their owner (ids shift down
+                // by one slot past the removal point).
+                let expected = if before > removed_index {
+                    before - 1
+                } else {
+                    before
+                };
+                assert_eq!(after, expected, "key {key} moved off a surviving node");
+            }
+        }
+    }
+
+    #[test]
+    fn arcs_are_roughly_balanced() {
+        let ids: Vec<u64> = (100..108).collect();
+        let ring = HashRing::build(&ids, 64);
+        let mut owned = vec![0usize; ids.len()];
+        for key in 0u64..80_000 {
+            owned[ring.route(&key)] += 1;
+        }
+        let expect = 80_000 / ids.len();
+        for (node, &count) in owned.iter().enumerate() {
+            assert!(
+                count > expect / 3 && count < expect * 3,
+                "node {node} owns {count} of 80000 (expected ≈{expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn vnode_points_differ_per_replica_and_node() {
+        assert_ne!(vnode_point(1, 0), vnode_point(1, 1));
+        assert_ne!(vnode_point(1, 0), vnode_point(2, 0));
+    }
+}

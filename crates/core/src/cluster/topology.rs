@@ -1,0 +1,383 @@
+//! The explicit, epoch-versioned cluster topology file.
+//!
+//! Cluster membership is never implicit: every process that routes
+//! (ingest clients), fans out (query tiers), or gets promoted
+//! (replicas) reads the same small text file and computes the same
+//! ring. The file is human-editable and diff-friendly:
+//!
+//! ```text
+//! SFTOPO v1
+//! epoch 3
+//! vnodes 64
+//! node 1 127.0.0.1:7001
+//! node 2 127.0.0.1:7002
+//! node 3 127.0.0.1:7103
+//! ```
+//!
+//! * `epoch` is the topology version, **strictly increasing**: every
+//!   mutation helper ([`Topology::with_node_addr`],
+//!   [`Topology::with_node_added`], [`Topology::with_node_removed`])
+//!   returns a new topology at `epoch + 1`, and refuses to wrap. A
+//!   reader comparing two files trusts the higher epoch.
+//! * `vnodes` is the ring width (virtual nodes per node).
+//! * `node <id> <host:port>` declares one member. The *id* is the
+//!   node's permanent identity on the ring; the address is merely where
+//!   it currently lives. Failover therefore rewrites the address and
+//!   bumps the epoch while **routing stays fixed** — the promoted
+//!   replica serves exactly the key arcs its dead leader owned.
+//!
+//! Blank lines and `#` comments are allowed. Parsing is defensive
+//! (untrusted input): malformed files produce [`Error::Corrupt`], never
+//! a panic, and membership is bounded so a hostile file cannot request
+//! a multi-gigabyte ring.
+
+use crate::cluster::ring::HashRing;
+use crate::error::Error;
+
+/// Most members a topology file may declare.
+pub const MAX_NODES: usize = 4096;
+
+/// Widest allowed ring (virtual nodes per node).
+pub const MAX_VNODES: u32 = 1 << 16;
+
+/// The first line of every topology file.
+pub const TOPOLOGY_MAGIC: &str = "SFTOPO v1";
+
+/// One cluster member: a permanent ring identity plus its current
+/// address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Permanent node id (determines ring placement; never reused).
+    pub id: u64,
+    /// Current `host:port` of the serving process.
+    pub addr: String,
+}
+
+/// An epoch-versioned cluster membership: the parsed topology file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    epoch: u64,
+    vnodes: u32,
+    nodes: Vec<NodeSpec>,
+}
+
+impl Topology {
+    /// Creates a validated topology.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] on an empty or oversized node set, a
+    /// duplicate id, an invalid address, or a zero/oversized `vnodes`.
+    pub fn new(epoch: u64, vnodes: u32, nodes: Vec<NodeSpec>) -> Result<Topology, Error> {
+        if nodes.is_empty() {
+            return Err(Error::InvalidConfig(
+                "topology needs at least one node".into(),
+            ));
+        }
+        if nodes.len() > MAX_NODES {
+            return Err(Error::InvalidConfig(format!(
+                "topology declares {} nodes (max {MAX_NODES})",
+                nodes.len()
+            )));
+        }
+        if vnodes == 0 || vnodes > MAX_VNODES {
+            return Err(Error::InvalidConfig(format!(
+                "vnodes {vnodes} outside 1..={MAX_VNODES}"
+            )));
+        }
+        for node in &nodes {
+            validate_addr(&node.addr)?;
+            let dup = nodes.iter().filter(|other| other.id == node.id).count();
+            if dup > 1 {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate node id {}",
+                    node.id
+                )));
+            }
+        }
+        Ok(Topology {
+            epoch,
+            vnodes,
+            nodes,
+        })
+    }
+
+    /// The topology version.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Virtual nodes per member on the ring.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// The members, in file order (the canonical merge order for
+    /// fan-out queries).
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// The index of the member with `id`, if present.
+    pub fn node_index_of(&self, id: u64) -> Option<usize> {
+        self.nodes.iter().position(|n| n.id == id)
+    }
+
+    /// Builds the consistent-hash ring for this membership. Owner
+    /// indices returned by the ring index into [`Topology::nodes`].
+    pub fn ring(&self) -> HashRing {
+        let ids: Vec<u64> = self.nodes.iter().map(|n| n.id).collect();
+        HashRing::build(&ids, self.vnodes)
+    }
+
+    /// The next epoch, refusing to wrap.
+    fn bumped_epoch(&self) -> Result<u64, Error> {
+        self.epoch
+            .checked_add(1)
+            .ok_or_else(|| Error::InvalidConfig("topology epoch overflow".into()))
+    }
+
+    /// Failover: the same membership with node `id` re-addressed (a
+    /// promoted replica taking over its leader's ring identity), at
+    /// `epoch + 1`.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] if `id` is not a member or the address
+    /// is invalid.
+    pub fn with_node_addr(&self, id: u64, addr: &str) -> Result<Topology, Error> {
+        validate_addr(addr)?;
+        let mut nodes = self.nodes.clone();
+        let node = nodes
+            .iter_mut()
+            .find(|n| n.id == id)
+            .ok_or_else(|| Error::InvalidConfig(format!("no node with id {id}")))?;
+        node.addr = addr.to_string();
+        Topology::new(self.bumped_epoch()?, self.vnodes, nodes)
+    }
+
+    /// Scale-out: the membership plus one new node, at `epoch + 1`.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] on a duplicate id or invalid spec.
+    pub fn with_node_added(&self, node: NodeSpec) -> Result<Topology, Error> {
+        let mut nodes = self.nodes.clone();
+        nodes.push(node);
+        Topology::new(self.bumped_epoch()?, self.vnodes, nodes)
+    }
+
+    /// Scale-in: the membership minus node `id`, at `epoch + 1`. Only
+    /// the removed node's ≈ 1/N key arc remaps (see
+    /// [`crate::cluster::ring`]).
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] if `id` is not a member or it is the
+    /// last one.
+    pub fn with_node_removed(&self, id: u64) -> Result<Topology, Error> {
+        if self.node_index_of(id).is_none() {
+            return Err(Error::InvalidConfig(format!("no node with id {id}")));
+        }
+        let nodes: Vec<NodeSpec> = self.nodes.iter().filter(|n| n.id != id).cloned().collect();
+        Topology::new(self.bumped_epoch()?, self.vnodes, nodes)
+    }
+
+    /// Renders the canonical file form (parse ∘ encode is identity).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str(TOPOLOGY_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("epoch {}\n", self.epoch));
+        out.push_str(&format!("vnodes {}\n", self.vnodes));
+        for node in &self.nodes {
+            out.push_str(&format!("node {} {}\n", node.id, node.addr));
+        }
+        out.into_bytes()
+    }
+
+    /// Parses a topology file.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on non-UTF-8 bytes, a bad header, malformed
+    /// or out-of-order directives; [`Error::InvalidConfig`] when the
+    /// described membership is invalid (see [`Topology::new`]).
+    pub fn parse(bytes: &[u8]) -> Result<Topology, Error> {
+        let text = core::str::from_utf8(bytes)
+            .map_err(|_| Error::Corrupt("topology file is not UTF-8".into()))?;
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        let header = lines
+            .next()
+            .ok_or_else(|| Error::Corrupt("empty topology file".into()))?;
+        if header != TOPOLOGY_MAGIC {
+            return Err(Error::Corrupt(format!(
+                "bad topology header `{header}` (want `{TOPOLOGY_MAGIC}`)"
+            )));
+        }
+        let epoch = parse_directive_u64(lines.next(), "epoch")?;
+        let vnodes = parse_directive_u64(lines.next(), "vnodes")?;
+        let vnodes = u32::try_from(vnodes)
+            .map_err(|_| Error::Corrupt(format!("vnodes {vnodes} does not fit u32")))?;
+        let mut nodes: Vec<NodeSpec> = Vec::new();
+        for line in lines {
+            let mut fields = line.split_whitespace();
+            match fields.next() {
+                Some("node") => {}
+                Some(other) => {
+                    return Err(Error::Corrupt(format!("unknown directive `{other}`")));
+                }
+                None => continue,
+            }
+            let id = fields
+                .next()
+                .and_then(|f| f.parse::<u64>().ok())
+                .ok_or_else(|| Error::Corrupt(format!("bad node id in `{line}`")))?;
+            let addr = fields
+                .next()
+                .ok_or_else(|| Error::Corrupt(format!("missing node address in `{line}`")))?;
+            if fields.next().is_some() {
+                return Err(Error::Corrupt(format!("trailing fields in `{line}`")));
+            }
+            if nodes.len() >= MAX_NODES {
+                return Err(Error::Corrupt(format!(
+                    "topology declares more than {MAX_NODES} nodes"
+                )));
+            }
+            nodes.push(NodeSpec {
+                id,
+                addr: addr.to_string(),
+            });
+        }
+        Topology::new(epoch, vnodes, nodes)
+    }
+}
+
+/// Parses one `<keyword> <u64>` directive line.
+fn parse_directive_u64(line: Option<&str>, keyword: &str) -> Result<u64, Error> {
+    let line = line.ok_or_else(|| Error::Corrupt(format!("missing `{keyword}` directive")))?;
+    let mut fields = line.split_whitespace();
+    if fields.next() != Some(keyword) {
+        return Err(Error::Corrupt(format!(
+            "expected `{keyword} <value>`, found `{line}`"
+        )));
+    }
+    let value = fields
+        .next()
+        .and_then(|f| f.parse::<u64>().ok())
+        .ok_or_else(|| Error::Corrupt(format!("bad `{keyword}` value in `{line}`")))?;
+    if fields.next().is_some() {
+        return Err(Error::Corrupt(format!("trailing fields in `{line}`")));
+    }
+    Ok(value)
+}
+
+/// A plausible `host:port` token: non-empty, no whitespace (guaranteed
+/// by tokenization), and a port-bearing colon.
+fn validate_addr(addr: &str) -> Result<(), Error> {
+    let port = addr.rsplit(':').next().unwrap_or("");
+    if addr.is_empty() || port.is_empty() || port.parse::<u16>().is_err() {
+        return Err(Error::InvalidConfig(format!(
+            "node address `{addr}` is not host:port"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes3() -> Vec<NodeSpec> {
+        vec![
+            NodeSpec {
+                id: 1,
+                addr: "127.0.0.1:7001".into(),
+            },
+            NodeSpec {
+                id: 2,
+                addr: "127.0.0.1:7002".into(),
+            },
+            NodeSpec {
+                id: 3,
+                addr: "127.0.0.1:7003".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_parse_roundtrips() {
+        let topo = Topology::new(7, 48, nodes3()).unwrap();
+        let parsed = Topology::parse(&topo.encode()).unwrap();
+        assert_eq!(parsed, topo);
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_blank_lines() {
+        let text = "# cluster of two\nSFTOPO v1\n\nepoch 2\nvnodes 8\n\n# members\nnode 10 a:1\nnode 11 b:2\n";
+        let topo = Topology::parse(text.as_bytes()).unwrap();
+        assert_eq!(topo.epoch(), 2);
+        assert_eq!(topo.nodes().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_files() {
+        for bad in [
+            &b""[..],
+            b"SFTOPO v2\nepoch 1\nvnodes 8\nnode 1 a:1\n",
+            b"SFTOPO v1\nvnodes 8\nepoch 1\nnode 1 a:1\n", // out of order
+            b"SFTOPO v1\nepoch x\nvnodes 8\nnode 1 a:1\n",
+            b"SFTOPO v1\nepoch 1\nvnodes 0\nnode 1 a:1\n",
+            b"SFTOPO v1\nepoch 1\nvnodes 8\n", // no nodes
+            b"SFTOPO v1\nepoch 1\nvnodes 8\nnode 1 a:1 extra\n", // trailing
+            b"SFTOPO v1\nepoch 1\nvnodes 8\nnode 1 a:1\nnode 1 b:2\n", // dup id
+            b"SFTOPO v1\nepoch 1\nvnodes 8\nnode 1 noport\n",
+            b"SFTOPO v1\nepoch 1\nvnodes 8\nfrob 1 a:1\n",
+            b"\xFF\xFE",
+        ] {
+            assert!(
+                Topology::parse(bad).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn mutations_strictly_increase_the_epoch() {
+        let t0 = Topology::new(1, 16, nodes3()).unwrap();
+        let t1 = t0.with_node_addr(3, "127.0.0.1:7103").unwrap();
+        assert_eq!(t1.epoch(), 2);
+        assert_eq!(t1.nodes()[2].addr, "127.0.0.1:7103");
+        let t2 = t1
+            .with_node_added(NodeSpec {
+                id: 4,
+                addr: "127.0.0.1:7004".into(),
+            })
+            .unwrap();
+        assert_eq!(t2.epoch(), 3);
+        let t3 = t2.with_node_removed(4).unwrap();
+        assert_eq!(t3.epoch(), 4);
+        // Epoch overflow refuses to wrap back to a stale version.
+        let max = Topology::new(u64::MAX, 16, nodes3()).unwrap();
+        assert!(max.with_node_addr(1, "x:1").is_err());
+    }
+
+    #[test]
+    fn readdressing_keeps_routing_fixed() {
+        let t0 = Topology::new(1, 32, nodes3()).unwrap();
+        let t1 = t0.with_node_addr(2, "10.0.0.9:9999").unwrap();
+        let (r0, r1) = (t0.ring(), t1.ring());
+        for key in 0u64..2000 {
+            assert_eq!(r0.route(&key), r1.route(&key));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_membership() {
+        assert!(Topology::new(1, 16, vec![]).is_err());
+        assert!(Topology::new(1, 0, nodes3()).is_err());
+        assert!(Topology::new(1, MAX_VNODES + 1, nodes3()).is_err());
+        let mut dup = nodes3();
+        dup[2].id = 1;
+        assert!(Topology::new(1, 16, dup).is_err());
+    }
+}

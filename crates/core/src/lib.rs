@@ -97,6 +97,7 @@
 #![warn(clippy::all)]
 
 pub mod bounds;
+pub mod cluster;
 pub mod codec;
 pub mod concurrent;
 pub mod engine;
@@ -117,6 +118,7 @@ pub mod table;
 pub mod traits;
 
 pub use bounds::phi_threshold;
+pub use cluster::{HashRing, NodeSpec, Topology};
 pub use concurrent::{
     ConcurrentSketch, ConcurrentSketchBuilder, ConcurrentWriter, Snapshot, SnapshotReader,
 };

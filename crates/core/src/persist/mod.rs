@@ -24,6 +24,7 @@
 //! | [`checkpoint`] | atomic (temp-file + rename) full-state snapshots, **slot-exact** |
 //! | [`store`] | [`DurableSketch<K>`](store::DurableSketch): engine + WAL + manifest; log truncation after checkpoints |
 //! | [`recover`] | manifest-driven recovery: load checkpoint, replay tail, drop torn records |
+//! | [`ship`] | segment shipping for replicas: export the shippable file set, read/import byte ranges as exact prefix copies |
 //!
 //! ## Guarantees
 //!
@@ -53,11 +54,13 @@
 pub mod checkpoint;
 pub mod group;
 pub mod recover;
+pub mod ship;
 pub mod store;
 pub mod wal;
 
 pub use group::{CheckpointRound, GroupCommitWal, GroupWalStats};
 pub use recover::{open_bank_existing, recover_bank_readonly, RecoveryReport, RecoverySource};
+pub use ship::{export_manifest, import_file_range, read_file_range, MAX_SHIP_CHUNK};
 pub use store::{checkpoint_bank, DurabilityOptions, DurableSketch, Manifest, StoreMeta};
 pub use wal::{WalPosition, WalRecord};
 

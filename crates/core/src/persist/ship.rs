@@ -1,0 +1,284 @@
+//! Segment shipping: export a durable store's file set for replication,
+//! and import shipped byte ranges into a follower's store directory.
+//!
+//! Replica catch-up rides entirely on the existing recovery contract:
+//! a follower that holds a byte-exact prefix copy of the leader's store
+//! directory — the `STORE` descriptor, the shared group-commit WAL
+//! segments, and each shard's `MANIFEST` + newest checkpoint — recovers
+//! to exactly the state `checkpoint ⊕ replay(WAL tail)` defines. So
+//! shipping needs no new format at all, only three primitives:
+//!
+//! * [`export_manifest`] — the leader's shippable file list with sizes,
+//!   so a follower can diff against what it already holds and fetch
+//!   only tails;
+//! * [`read_file_range`] — a bounded byte range of one store file (the
+//!   `FETCH` opcode's backing), chunk-capped so one request cannot pin
+//!   a whole segment in memory;
+//! * [`import_file_range`] — write a shipped range at its offset in the
+//!   follower's copy, truncating anything past it so the local file is
+//!   an exact prefix of the leader's.
+//!
+//! Torn tails are already the recovery contract's problem (CRC-framed,
+//! dropped never misdecoded), which is what makes "copy file prefixes"
+//! a sound replication protocol: a follower that stops mid-ship simply
+//! recovers to an earlier durable point.
+//!
+//! Relative paths cross the wire, so both directions validate them with
+//! [`crate::cluster::wire::validate_rel_path`] before touching the
+//! filesystem.
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use super::PersistError;
+use crate::cluster::wire::validate_rel_path;
+
+/// Most bytes one [`read_file_range`] call returns; clients loop on the
+/// offset until they have a file's full advertised length.
+pub const MAX_SHIP_CHUNK: u64 = 1 << 22;
+
+/// Resolves a wire-supplied relative path inside `dir`, refusing
+/// traversal.
+fn resolve_rel(dir: &Path, rel: &str) -> Result<PathBuf, PersistError> {
+    validate_rel_path(rel).map_err(|e| PersistError::corrupt(dir, e.to_string()))?;
+    Ok(dir.join(rel))
+}
+
+/// Whether a top-level store entry is shippable.
+fn is_top_level_shippable(name: &str) -> bool {
+    name == super::store::STORE_FILE || (name.starts_with("wal-") && name.ends_with(".seg"))
+}
+
+/// Whether a shard-directory entry is shippable.
+fn is_shard_shippable(name: &str) -> bool {
+    name == super::store::MANIFEST_FILE || (name.starts_with("ckpt-") && name.ends_with(".ck"))
+}
+
+/// Lists the shippable files of the store at `dir` as
+/// `(store-relative path, size in bytes)`, sorted by path for
+/// deterministic manifests.
+///
+/// Shippable means: the top-level `STORE` descriptor and `wal-*.seg`
+/// segments, plus `MANIFEST` and `ckpt-*.ck` files one level down in
+/// `shard-*` directories. Temp files and anything else are skipped —
+/// they are not part of the recovery contract.
+///
+/// # Errors
+/// [`PersistError::Io`] if the directory cannot be listed or a file
+/// cannot be stat'ed.
+pub fn export_manifest(dir: &Path) -> Result<Vec<(String, u64)>, PersistError> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| PersistError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| PersistError::io(dir, e))?;
+        let name = match entry.file_name().into_string() {
+            Ok(name) => name,
+            Err(_) => continue,
+        };
+        let meta = entry
+            .metadata()
+            .map_err(|e| PersistError::io(&entry.path(), e))?;
+        if meta.is_file() && is_top_level_shippable(&name) {
+            out.push((name, meta.len()));
+        } else if meta.is_dir() && name.starts_with("shard-") {
+            let sub_path = entry.path();
+            let sub_entries =
+                fs::read_dir(&sub_path).map_err(|e| PersistError::io(&sub_path, e))?;
+            for sub in sub_entries {
+                let sub = sub.map_err(|e| PersistError::io(&sub_path, e))?;
+                let sub_name = match sub.file_name().into_string() {
+                    Ok(sub_name) => sub_name,
+                    Err(_) => continue,
+                };
+                let sub_meta = sub
+                    .metadata()
+                    .map_err(|e| PersistError::io(&sub.path(), e))?;
+                if sub_meta.is_file() && is_shard_shippable(&sub_name) {
+                    out.push((format!("{name}/{sub_name}"), sub_meta.len()));
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Reads up to [`MAX_SHIP_CHUNK`] bytes of store file `rel` starting at
+/// byte `start`. Returns an empty vector at or past end-of-file — the
+/// client's signal that it holds the full file.
+///
+/// # Errors
+/// [`PersistError::Corrupt`] for an invalid relative path,
+/// [`PersistError::Io`] if the file cannot be opened or read.
+pub fn read_file_range(dir: &Path, rel: &str, start: u64) -> Result<Vec<u8>, PersistError> {
+    let path = resolve_rel(dir, rel)?;
+    let mut file = fs::File::open(&path).map_err(|e| PersistError::io(&path, e))?;
+    let total = file
+        .metadata()
+        .map_err(|e| PersistError::io(&path, e))?
+        .len();
+    let want = total.saturating_sub(start).min(MAX_SHIP_CHUNK);
+    if want == 0 {
+        return Ok(Vec::new());
+    }
+    file.seek(SeekFrom::Start(start))
+        .map_err(|e| PersistError::io(&path, e))?;
+    let mut buf = Vec::new();
+    file.take(want)
+        .read_to_end(&mut buf)
+        .map_err(|e| PersistError::io(&path, e))?;
+    Ok(buf)
+}
+
+/// Writes `bytes` at byte `start` of store file `rel` under `dir`,
+/// then truncates the file to end exactly there — so after the call the
+/// local file is a byte-exact prefix copy of the leader's file up to
+/// `start + bytes.len()`.
+///
+/// Refuses to leave a hole: `start` must not exceed the current local
+/// length (a follower always ships contiguously from its own length, or
+/// from zero after detecting a leader-side truncation).
+///
+/// # Errors
+/// [`PersistError::Corrupt`] for an invalid path or a gap,
+/// [`PersistError::Io`] on filesystem failure.
+pub fn import_file_range(
+    dir: &Path,
+    rel: &str,
+    start: u64,
+    bytes: &[u8],
+) -> Result<(), PersistError> {
+    let path = resolve_rel(dir, rel)?;
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).map_err(|e| PersistError::io(parent, e))?;
+    }
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(&path)
+        .map_err(|e| PersistError::io(&path, e))?;
+    let local = file
+        .metadata()
+        .map_err(|e| PersistError::io(&path, e))?
+        .len();
+    if start > local {
+        return Err(PersistError::corrupt(
+            &path,
+            format!("shipped range starts at {start} but local file holds {local} bytes"),
+        ));
+    }
+    let added = u64::try_from(bytes.len())
+        .map_err(|_| PersistError::corrupt(&path, "shipped range too large"))?;
+    let end = start
+        .checked_add(added)
+        .ok_or_else(|| PersistError::corrupt(&path, "shipped range overflows file offset"))?;
+    file.seek(SeekFrom::Start(start))
+        .map_err(|e| PersistError::io(&path, e))?;
+    file.write_all(bytes)
+        .map_err(|e| PersistError::io(&path, e))?;
+    file.set_len(end).map_err(|e| PersistError::io(&path, e))?;
+    file.sync_all().map_err(|e| PersistError::io(&path, e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sf-ship-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_lists_only_shippable_files() {
+        let dir = tmp_dir("manifest");
+        fs::write(dir.join("STORE"), b"store").unwrap();
+        fs::write(dir.join("wal-0000000000000001.seg"), b"seg-one").unwrap();
+        fs::write(dir.join("wal-0000000000000001.seg.tmp"), b"junk").unwrap();
+        fs::write(dir.join("stray.txt"), b"junk").unwrap();
+        let shard = dir.join("shard-0000");
+        fs::create_dir_all(&shard).unwrap();
+        fs::write(shard.join("MANIFEST"), b"manifest!").unwrap();
+        fs::write(shard.join("ckpt-0000000000000007.ck"), b"ck").unwrap();
+        fs::write(shard.join("ckpt-7.tmp"), b"junk").unwrap();
+        let listed = export_manifest(&dir).unwrap();
+        assert_eq!(
+            listed,
+            vec![
+                ("STORE".to_string(), 5),
+                ("shard-0000/MANIFEST".to_string(), 9),
+                ("shard-0000/ckpt-0000000000000007.ck".to_string(), 2),
+                ("wal-0000000000000001.seg".to_string(), 7),
+            ]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn range_read_is_chunked_and_offset_correct() {
+        let dir = tmp_dir("read");
+        fs::write(dir.join("STORE"), b"abcdefghij").unwrap();
+        assert_eq!(read_file_range(&dir, "STORE", 0).unwrap(), b"abcdefghij");
+        assert_eq!(read_file_range(&dir, "STORE", 4).unwrap(), b"efghij");
+        assert_eq!(read_file_range(&dir, "STORE", 10).unwrap(), b"");
+        assert_eq!(read_file_range(&dir, "STORE", 999).unwrap(), b"");
+        assert!(read_file_range(&dir, "../STORE", 0).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn import_builds_exact_prefix_copies() {
+        let dir = tmp_dir("import");
+        import_file_range(&dir, "shard-0001/MANIFEST", 0, b"hello").unwrap();
+        import_file_range(&dir, "shard-0001/MANIFEST", 5, b" world").unwrap();
+        assert_eq!(
+            fs::read(dir.join("shard-0001/MANIFEST")).unwrap(),
+            b"hello world"
+        );
+        // Re-shipping from an earlier offset truncates the stale tail.
+        import_file_range(&dir, "shard-0001/MANIFEST", 5, b"!").unwrap();
+        assert_eq!(
+            fs::read(dir.join("shard-0001/MANIFEST")).unwrap(),
+            b"hello!"
+        );
+        // Gaps are refused.
+        assert!(import_file_range(&dir, "shard-0001/MANIFEST", 100, b"x").is_err());
+        // Traversal is refused.
+        assert!(import_file_range(&dir, "../evil", 0, b"x").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ship_loop_replicates_a_directory() {
+        let leader = tmp_dir("leader");
+        let follower = tmp_dir("follower");
+        let big = vec![7u8; (MAX_SHIP_CHUNK as usize) + 1234];
+        fs::write(leader.join("wal-0000000000000002.seg"), &big).unwrap();
+        fs::write(leader.join("STORE"), b"hdr").unwrap();
+        for (rel, size) in export_manifest(&leader).unwrap() {
+            let mut have = 0u64;
+            while have < size {
+                let chunk = read_file_range(&leader, &rel, have).unwrap();
+                assert!(!chunk.is_empty(), "advertised bytes must be fetchable");
+                import_file_range(&follower, &rel, have, &chunk).unwrap();
+                have += chunk.len() as u64;
+            }
+        }
+        assert_eq!(
+            fs::read(follower.join("wal-0000000000000002.seg")).unwrap(),
+            big
+        );
+        assert_eq!(fs::read(follower.join("STORE")).unwrap(), b"hdr");
+        fs::remove_dir_all(&leader).unwrap();
+        fs::remove_dir_all(&follower).unwrap();
+    }
+}

@@ -25,11 +25,15 @@
 //! `decode-*` rules run only in non-test code, inside functions whose
 //! names mark them as decode/recovery paths (`decode*`, `read*`,
 //! `parse*`, `recover*`, `load*`, `open*`, `verify*`, ...), in
-//! `codec.rs`, `item_codec.rs`, and `persist/`. The arithmetic, index,
-//! and cast rules are further restricted to the byte-level files
-//! (`codec.rs`, `item_codec.rs`, `persist/{wal,checkpoint,mod,store}.rs`)
-//! — the orchestration files (`recover.rs`, `group.rs`) do no raw byte
-//! math, and flagging every loop counter there would drown the signal.
+//! `codec.rs`, `item_codec.rs`, `persist/`, and the cluster wire-facing
+//! files (anything under `cluster/`, plus the CLI's `cluster.rs` fan-out
+//! client — topology files and node responses are untrusted input). The
+//! arithmetic, index, and cast rules are further restricted to the
+//! byte-level files (`codec.rs`, `item_codec.rs`,
+//! `persist/{wal,checkpoint,mod,store}.rs`,
+//! `cluster/{topology,wire}.rs`) — the orchestration files
+//! (`recover.rs`, `group.rs`, `cluster/ring.rs`) do no raw byte math,
+//! and flagging every loop counter there would drown the signal.
 //!
 //! ## Waivers
 //!
@@ -140,14 +144,20 @@ pub fn classify(rel_path: &str) -> FileClass {
     let rel = rel_path.replace('\\', "/");
     let file_name = rel.rsplit('/').next().unwrap_or(rel.as_str());
     let in_persist = rel.contains("/persist/") || rel.starts_with("persist/");
-    let decode_file = file_name == "codec.rs" || file_name == "item_codec.rs" || in_persist;
+    let in_cluster = rel.contains("/cluster/") || rel.starts_with("cluster/");
+    let decode_file = file_name == "codec.rs"
+        || file_name == "item_codec.rs"
+        || in_persist
+        || in_cluster
+        || file_name == "cluster.rs";
     let byte_level = file_name == "codec.rs"
         || file_name == "item_codec.rs"
         || (in_persist
             && matches!(
                 file_name,
                 "wal.rs" | "checkpoint.rs" | "mod.rs" | "store.rs"
-            ));
+            ))
+        || (in_cluster && matches!(file_name, "topology.rs" | "wire.rs"));
     let test_file = rel
         .split('/')
         .any(|part| part == "tests" || part == "benches" || part == "examples");
@@ -778,6 +788,27 @@ mod tests {
             }
         "#;
         assert!(findings("crates/core/src/codec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cluster_wire_files_are_decode_scoped() {
+        let topo = classify("crates/core/src/cluster/topology.rs");
+        assert!(topo.decode_file && topo.byte_level);
+        let wire = classify("crates/core/src/cluster/wire.rs");
+        assert!(wire.decode_file && wire.byte_level);
+        // The ring does hashing, not byte decoding: panic discipline
+        // only, no arithmetic/index scoping.
+        let ring = classify("crates/core/src/cluster/ring.rs");
+        assert!(ring.decode_file && !ring.byte_level);
+        // The CLI fan-out client parses node responses: panic
+        // discipline in its decode fns.
+        let cli = classify("crates/cli/src/cluster.rs");
+        assert!(cli.decode_file && !cli.byte_level);
+        let src = r#"
+            fn decode_reply(bytes: &[u8]) -> u8 { bytes.first().unwrap() }
+        "#;
+        let found = findings("crates/core/src/cluster/wire.rs", src);
+        assert_eq!(rules_of(&found), vec!["decode-panic"], "{found:?}");
     }
 
     #[test]

@@ -46,12 +46,12 @@
 pub use streamfreq_apps as apps;
 pub use streamfreq_baselines as baselines;
 pub use streamfreq_core::{
-    bounds, codec, concurrent, engine, hashing, item_codec, persist, phi_threshold, purge, result,
-    rng, select, sharded, signed, sketch, table, traits, ConcurrentSketch, ConcurrentSketchBuilder,
-    ConcurrentWriter, CounterSummary, DurabilityOptions, DurableSketch, EngineConfig, Error,
-    ErrorType, FreqSketch, FreqSketchBuilder, FrequencyEstimator, FsyncPolicy, ItemsSketch,
-    ItemsSketchBuilder, PersistError, PurgePolicy, Row, ShardedSketch, ShardedSketchBuilder,
-    SignedFreqSketch, SignedSketch, SketchEngine, SketchEngineBuilder, SketchKey, Snapshot,
-    SnapshotReader,
+    bounds, cluster, codec, concurrent, engine, hashing, item_codec, persist, phi_threshold, purge,
+    result, rng, select, sharded, signed, sketch, table, traits, ConcurrentSketch,
+    ConcurrentSketchBuilder, ConcurrentWriter, CounterSummary, DurabilityOptions, DurableSketch,
+    EngineConfig, Error, ErrorType, FreqSketch, FreqSketchBuilder, FrequencyEstimator, FsyncPolicy,
+    HashRing, ItemsSketch, ItemsSketchBuilder, NodeSpec, PersistError, PurgePolicy, Row,
+    ShardedSketch, ShardedSketchBuilder, SignedFreqSketch, SignedSketch, SketchEngine,
+    SketchEngineBuilder, SketchKey, Snapshot, SnapshotReader, Topology,
 };
 pub use streamfreq_workloads as workloads;

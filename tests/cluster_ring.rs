@@ -1,0 +1,162 @@
+//! Property-based tests of the cluster hash ring and topology file:
+//! the deterministic-rebalancing contract of DESIGN.md's cluster mode.
+//!
+//! The load-bearing properties: removing one of `N` nodes remaps *only*
+//! the keys the removed node owned (≈ `1/N` of the keyspace) and no
+//! others; topology epochs are strictly increasing under any mutation
+//! sequence; and routing is a pure function of the topology *file*, so
+//! a process restart (encode → parse) changes nothing.
+
+use proptest::prelude::*;
+
+use streamfreq::{HashRing, NodeSpec, Topology};
+
+/// Distinct node-id sets, 2..=8 nodes.
+fn arb_node_ids() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..10_000, 2..9).prop_map(|mut ids| {
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() < 2 {
+            // Collapsed to one id: extend deterministically.
+            let next = ids[0] + 1;
+            ids.push(next);
+        }
+        ids
+    })
+}
+
+fn topology_of(ids: &[u64], vnodes: u32) -> Topology {
+    let nodes = ids
+        .iter()
+        .map(|&id| NodeSpec {
+            id,
+            addr: format!("127.0.0.1:{}", 10_000 + (id % 50_000)),
+        })
+        .collect();
+    Topology::new(1, vnodes, nodes).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Consistent hashing's core promise, stated deterministically: a
+    /// key owned by a surviving node keeps that owner when another
+    /// node leaves. Only the removed node's keys move.
+    #[test]
+    fn removal_remaps_only_the_removed_nodes_keys(
+        ids in arb_node_ids(),
+        vnodes in 16u32..128,
+        removed_idx in 0usize..8,
+        keys in proptest::collection::vec(any::<u64>(), 200..800),
+    ) {
+        let removed = ids[removed_idx % ids.len()];
+        let survivors: Vec<u64> = ids.iter().copied().filter(|&id| id != removed).collect();
+        let before = HashRing::build(&ids, vnodes);
+        let after = HashRing::build(&survivors, vnodes);
+        let mut moved = 0usize;
+        for key in &keys {
+            let owner_before = ids[before.route(key)];
+            let owner_after = survivors[after.route(key)];
+            if owner_before == removed {
+                moved += 1;
+                prop_assert!(owner_after != removed);
+            } else {
+                prop_assert_eq!(
+                    owner_before, owner_after,
+                    "key {} jumped between surviving nodes", key
+                );
+            }
+        }
+        // The removed node's share is ≈ 1/N of sampled keys. Virtual
+        // nodes keep the variance modest; allow a generous band rather
+        // than a brittle exact fraction.
+        let share = moved as f64 / keys.len() as f64;
+        prop_assert!(
+            share <= 3.5 / ids.len() as f64,
+            "removing 1 of {} nodes remapped {:.1}% of keys",
+            ids.len(),
+            100.0 * share
+        );
+    }
+
+    /// Epochs are strictly increasing across any sequence of topology
+    /// mutations (the fencing token replica promotion relies on).
+    #[test]
+    fn topology_epochs_strictly_increase(
+        ids in arb_node_ids(),
+        vnodes in 1u32..64,
+        ops in proptest::collection::vec(0u8..3, 1..12),
+    ) {
+        let mut topo = topology_of(&ids, vnodes);
+        let mut fresh_id = 20_000u64;
+        for op in ops {
+            let epoch = topo.epoch();
+            let next = match op {
+                0 => {
+                    fresh_id += 1;
+                    topo.with_node_added(NodeSpec {
+                        id: fresh_id,
+                        addr: "127.0.0.1:19999".into(),
+                    })
+                }
+                1 if topo.nodes().len() > 1 => {
+                    let victim = topo.nodes()[0].id;
+                    topo.with_node_removed(victim)
+                }
+                _ => {
+                    let id = topo.nodes()[0].id;
+                    topo.with_node_addr(id, "127.0.0.1:18888")
+                }
+            };
+            topo = next.unwrap();
+            prop_assert!(topo.epoch() > epoch, "epoch did not advance");
+        }
+    }
+
+    /// Routing is stable across process restarts: the parsed topology
+    /// file routes every key exactly like the original, and encoding
+    /// is a fixed point.
+    #[test]
+    fn routing_survives_encode_parse_roundtrip(
+        ids in arb_node_ids(),
+        vnodes in 1u32..64,
+        keys in proptest::collection::vec(any::<u64>(), 100..400),
+    ) {
+        let original = topology_of(&ids, vnodes);
+        let encoded = original.encode();
+        let reparsed = Topology::parse(&encoded).unwrap();
+        prop_assert_eq!(&reparsed, &original);
+        prop_assert_eq!(reparsed.encode(), encoded, "encode is not a fixed point");
+        let (ra, rb) = (original.ring(), reparsed.ring());
+        for key in &keys {
+            prop_assert_eq!(ra.route(key), rb.route(key));
+        }
+    }
+
+    /// Every node owns a non-trivial share of a large keyspace when it
+    /// has enough virtual nodes — no starved member.
+    #[test]
+    fn no_node_is_starved(
+        ids in arb_node_ids(),
+        seed in any::<u64>(),
+    ) {
+        let ring = HashRing::build(&ids, 64);
+        let mut owned = vec![0usize; ids.len()];
+        let mut x = seed | 1;
+        for _ in 0..4_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            owned[ring.route(&x)] += 1;
+        }
+        for (i, &count) in owned.iter().enumerate() {
+            let share = count as f64 / 4_000.0;
+            let fair = 1.0 / ids.len() as f64;
+            prop_assert!(
+                share > fair / 4.0,
+                "node {} owns only {:.1}% (fair {:.1}%)",
+                ids[i],
+                100.0 * share,
+                100.0 * fair
+            );
+        }
+    }
+}
